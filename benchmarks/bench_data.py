@@ -1,0 +1,38 @@
+"""Dataset-substrate benchmarks: renderer and augmentation throughput."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    BirdRenderer,
+    SyntheticCUB,
+    cub_schema,
+    paper_train_transform,
+    sample_class_signatures,
+)
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return cub_schema()
+
+
+def test_render_single_image(benchmark, schema):
+    rng = np.random.default_rng(0)
+    signature = sample_class_signatures(schema, 1, rng)[0]
+    renderer = BirdRenderer(schema, image_size=32)
+    benchmark(lambda: renderer.render(signature, rng))
+
+
+def test_dataset_construction_small(benchmark):
+    benchmark.pedantic(
+        lambda: SyntheticCUB(num_classes=10, images_per_class=4, image_size=32, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_augmentation_pipeline(benchmark, rng):
+    transform = paper_train_transform()
+    batch = rng.random((32, 3, 32, 32)).astype(np.float32)
+    benchmark(lambda: transform(batch, rng))

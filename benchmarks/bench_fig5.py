@@ -1,0 +1,22 @@
+"""Regenerates Fig 5 (hyperparameter sweeps on the validation split).
+
+Quick scale with the epochs sweep capped at 10 so the bench stays fast;
+the recorded default-scale sweep (full grid) is in EXPERIMENTS.md.
+"""
+
+from conftest import once
+
+from repro.experiments.fig5 import SWEEPS, format_fig5, run_fig5
+
+
+def test_fig5_regeneration(benchmark):
+    results = once(benchmark, run_fig5, scale="quick", seed=0, max_epochs_cap=10)
+    print()
+    print(format_fig5(results))
+    assert set(results) == set(SWEEPS)
+    for series in results.values():
+        for _, top1 in series:
+            assert 0.0 <= top1 <= 100.0
+    # Shape check: the degenerate learning rate must not be the best one.
+    lr_series = dict(results["lr"])
+    assert lr_series[1e-6] <= max(lr_series.values())

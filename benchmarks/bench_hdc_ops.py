@@ -1,0 +1,83 @@
+"""Op-level HDC benchmarks + the two-codebook design-choice ablation.
+
+Quantifies the trade the paper's attribute encoder makes: storing G+V
+atomic vectors and binding on the fly versus storing all α combination
+vectors (Section III-A, the 71 % memory-reduction claim).
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import cub_schema
+from repro.hdc import (
+    AttributeDictionary,
+    Codebook,
+    bind,
+    bundle,
+    codebook_footprint,
+    cosine_similarity,
+    random_bipolar,
+)
+
+D = 1536  # the paper's preferred dimensionality
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return cub_schema()
+
+
+@pytest.fixture(scope="module")
+def dictionary(schema):
+    rng = np.random.default_rng(0)
+    groups = Codebook.random(schema.group_names, D, rng)
+    values = Codebook.random(schema.value_vocabulary, D, rng)
+    return AttributeDictionary(groups, values, schema.pairs)
+
+
+def test_bind_throughput(benchmark, rng):
+    a = random_bipolar(312, D, rng)
+    b = random_bipolar(312, D, rng)
+    benchmark(lambda: bind(a, b))
+
+
+def test_bundle_throughput(benchmark, rng):
+    stack = random_bipolar(64, D, rng)
+    benchmark(lambda: bundle(stack))
+
+
+def test_cosine_similarity_312x200(benchmark, rng):
+    queries = rng.normal(size=(200, D))
+    keys = random_bipolar(312, D, rng).astype(np.float64)
+    benchmark(lambda: cosine_similarity(queries, keys))
+
+
+def test_dictionary_on_the_fly_row(benchmark, dictionary):
+    """Hardware-style rematerialization: bind one row per query."""
+    benchmark(lambda: [dictionary.row(i) for i in range(0, 312, 8)])
+
+
+def test_dictionary_full_materialization(benchmark, schema):
+    """Software-style: build the whole α×d dictionary once (uncached)."""
+    rng = np.random.default_rng(1)
+    groups = Codebook.random(schema.group_names, D, rng)
+    values = Codebook.random(schema.value_vocabulary, D, rng)
+
+    def build():
+        return AttributeDictionary(groups, values, schema.pairs).matrix(cache=False)
+
+    benchmark(build)
+
+
+def test_class_embeddings_phi(benchmark, dictionary, rng):
+    """φ(A) = A × B for the full 200-class CUB descriptor matrix."""
+    A = rng.random((200, 312))
+    dictionary.matrix()  # pre-cache, measuring only the projection
+    benchmark(lambda: dictionary.class_embeddings(A))
+
+
+def test_memory_footprint_claim(benchmark):
+    """Asserts (and times) the 17 KB / 71 % accounting."""
+    report = benchmark(lambda: codebook_footprint(28, 61, 312, D))
+    assert round(report.factored_kilobytes) == 17
+    assert round(report.reduction * 100) == 71

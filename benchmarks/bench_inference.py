@@ -1,0 +1,44 @@
+"""Stationary zero-shot inference benchmarks (paper Fig 3).
+
+Measures the deployed model: every weight frozen, binary attribute
+encoder + similarity kernel — the part the paper proposes to offload to
+non-von-Neumann accelerators.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.data import SyntheticCUB, make_split
+from repro.models import ImageEncoder, mini_resnet50
+from repro.utils.rng import seeded_rng
+from repro.zsl import HDCZSC, build_attribute_encoder
+
+
+@pytest.fixture(scope="module")
+def deployed():
+    dataset = SyntheticCUB(num_classes=12, images_per_class=4, image_size=24, seed=0)
+    split = make_split(dataset, "ZS", seed=0)
+    rng = seeded_rng(0)
+    encoder = ImageEncoder(mini_resnet50(rng=rng), embedding_dim=64, rng=rng)
+    attr = build_attribute_encoder("hdc", dataset.schema, 64, rng)
+    model = HDCZSC(encoder, attr).deploy()
+    test_attrs = dataset.class_attributes[split.test_classes]
+    return model, split.test_images, test_attrs
+
+
+def test_zero_shot_predict_throughput(benchmark, deployed):
+    model, images, attrs = deployed
+    benchmark(lambda: model.predict(images, attrs))
+
+
+def test_attribute_scoring_throughput(benchmark, deployed):
+    model, images, _ = deployed
+    benchmark(lambda: model.score_attributes(images[:16]))
+
+
+def test_attribute_encoder_only(benchmark, deployed):
+    """The stationary φ(A) = A×B projection alone (accelerator-offload part)."""
+    model, _, attrs = deployed
+    with nn.no_grad():
+        benchmark(lambda: model.attribute_encoder(attrs))

@@ -1,0 +1,68 @@
+"""Op-level benchmarks of the autograd substrate (conv, BN, optimizer)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor, functional as F
+
+
+@pytest.fixture(scope="module")
+def conv_inputs():
+    rng = np.random.default_rng(0)
+    x = Tensor(rng.normal(size=(16, 8, 32, 32)).astype(np.float32))
+    w = Tensor(rng.normal(size=(16, 8, 3, 3)).astype(np.float32) * 0.1)
+    return x, w
+
+
+def test_conv2d_forward(benchmark, conv_inputs):
+    x, w = conv_inputs
+    with nn.no_grad():
+        benchmark(lambda: F.conv2d(x, w, stride=1, padding=1))
+
+
+def test_conv2d_forward_backward(benchmark):
+    rng = np.random.default_rng(0)
+
+    def step():
+        x = Tensor(rng.normal(size=(8, 8, 16, 16)).astype(np.float32), requires_grad=True)
+        w = Tensor(rng.normal(size=(16, 8, 3, 3)).astype(np.float32) * 0.1, requires_grad=True)
+        out = F.conv2d(x, w, stride=1, padding=1)
+        (out * out).mean().backward()
+
+    benchmark(step)
+
+
+def test_batchnorm_forward(benchmark, rng):
+    bn = nn.BatchNorm2d(16)
+    x = Tensor(rng.normal(size=(16, 16, 16, 16)))
+    benchmark(lambda: bn(x))
+
+
+def test_maxpool_forward(benchmark, rng):
+    x = Tensor(rng.normal(size=(16, 16, 32, 32)))
+    with nn.no_grad():
+        benchmark(lambda: F.max_pool2d(x, 2))
+
+
+def test_adamw_step(benchmark, rng):
+    params = [nn.Parameter(rng.normal(size=(256, 256))) for _ in range(4)]
+    optimizer = nn.optim.AdamW(params, lr=1e-3)
+    for p in params:
+        p.grad = rng.normal(size=p.shape)
+    benchmark(optimizer.step)
+
+
+def test_cosine_similarity_kernel(benchmark, rng):
+    a = Tensor(rng.normal(size=(64, 256)))
+    b = Tensor(rng.normal(size=(200, 256)))
+    with nn.no_grad():
+        benchmark(lambda: F.cosine_similarity_matrix(a, b))
+
+
+def test_cross_entropy_forward_backward(benchmark, rng):
+    def step():
+        logits = Tensor(rng.normal(size=(64, 150)), requires_grad=True)
+        F.cross_entropy(logits, rng.integers(0, 150, size=64)).backward()
+
+    benchmark(step)

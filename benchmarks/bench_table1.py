@@ -1,0 +1,19 @@
+"""Regenerates Table I (attribute extraction vs Finetag / A3M).
+
+Runs the full Table I protocol at the quick scale (one pass) and prints
+the per-group table; the recorded default-scale numbers live in
+EXPERIMENTS.md and come from ``python -m repro.experiments.table1``.
+"""
+
+from conftest import once
+
+from repro.experiments.table1 import format_table1, run_table1
+
+
+def test_table1_regeneration(benchmark):
+    report = once(benchmark, run_table1, scale="quick", seed=0)
+    print()
+    print(format_table1(report))
+    avg = report["average"]
+    for metric in ("finetag_wmap", "ours_wmap", "a3m_top1", "ours_top1"):
+        assert 0.0 <= avg[metric] <= 100.0

@@ -1,0 +1,19 @@
+"""Regenerates Table II (image/attribute encoder ablation).
+
+Quick-scale single pass over all 8 configurations; recorded
+default-scale numbers in EXPERIMENTS.md.
+"""
+
+from conftest import once
+
+from repro.experiments.table2 import format_table2, run_table2
+
+
+def test_table2_regeneration(benchmark):
+    rows = once(benchmark, run_table2, scale="quick", seed=0)
+    print()
+    print(format_table2(rows))
+    assert len(rows) == 4
+    for row in rows:
+        assert 0.0 <= row["hdc"] <= 100.0
+        assert 0.0 <= row["mlp"] <= 100.0

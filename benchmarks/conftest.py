@@ -1,0 +1,21 @@
+"""Shared fixtures for the benchmark suite.
+
+Heavy experiment regenerations (one per paper table/figure) run exactly
+once via ``benchmark.pedantic(rounds=1)``; op-level benchmarks use the
+default calibration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run an expensive benchmark body exactly once."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

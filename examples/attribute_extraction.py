@@ -1,0 +1,55 @@
+"""Attribute extraction (the paper's Phase II / Table I task).
+
+Trains the image encoder so that cosine similarities against the
+stationary HDC dictionary predict which of the 312 attributes are
+present in an image, then prints the per-group report.
+
+    python examples/attribute_extraction.py
+"""
+
+import numpy as np
+
+from repro import nn
+from repro.data import SyntheticCUB, make_split
+from repro.utils.tables import format_table
+from repro.zsl import PipelineConfig, TrainConfig, ZSLPipeline
+
+
+def main():
+    dataset = SyntheticCUB(num_classes=24, images_per_class=10, image_size=24, seed=1)
+    # Table I uses the noZS split: same classes in train and test.
+    split = make_split(dataset, "noZS", seed=1)
+
+    config = PipelineConfig(
+        embedding_dim=96,
+        seed=1,
+        pretrain_classes=10,
+        pretrain_images_per_class=5,
+        image_size=24,
+        phase1=TrainConfig(epochs=2, batch_size=16),
+        phase2=TrainConfig(epochs=8, batch_size=16),
+        phase3=TrainConfig(epochs=0),  # attribute extraction only
+        verbose=True,
+    )
+    with nn.using_dtype(np.float32):
+        pipeline = ZSLPipeline(dataset, split, config)
+        pipeline.run()
+        report = pipeline.evaluate_attributes()
+
+    rows = []
+    for group in dataset.schema.group_names:
+        cells = report[group]
+        rows.append([group, f"{cells['wmap']:.1f}", f"{cells['top1']:.1f}"])
+    rows.append(["average", f"{report['average']['wmap']:.2f}", f"{report['average']['top1']:.2f}"])
+    print()
+    print(format_table(["Attribute Group", "WMAP", "top-1 %"], rows,
+                       title="Attribute extraction (ours), noZS split"))
+
+    # The class-imbalance statistic that motivates the weighted BCE:
+    freq = dataset.attribute_frequencies()
+    print(f"\nattribute activation rate: mean {freq.mean():.3f} "
+          f"(≈{int(round(freq.mean() * dataset.num_attributes))} of 312 active per class)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""The paper's headline scenario: fine-grained zero-shot bird
+classification, HDC-ZSC vs the ESZSL baseline.
+
+    python examples/zero_shot_birds.py
+"""
+
+import numpy as np
+
+from repro import nn
+from repro.baselines import ESZSL
+from repro.data import SyntheticCUB, make_split
+from repro.metrics import top1_accuracy
+from repro.models import ImageEncoder, mini_resnet50
+from repro.utils.rng import seeded_rng
+from repro.zsl import PipelineConfig, TrainConfig, ZSLPipeline
+
+
+def main():
+    dataset = SyntheticCUB(num_classes=32, images_per_class=10, image_size=24, seed=2)
+    split = make_split(dataset, "ZS", seed=2)
+    chance = 100.0 / len(split.test_classes)
+    print(f"{len(split.train_classes)} seen classes, "
+          f"{len(split.test_classes)} unseen classes (chance {chance:.1f}%)\n")
+
+    # --- HDC-ZSC: the full three-phase pipeline ---------------------------- #
+    config = PipelineConfig(
+        embedding_dim=96,
+        attribute_encoder="hdc",
+        seed=2,
+        pretrain_classes=10,
+        pretrain_images_per_class=5,
+        image_size=24,
+        phase1=TrainConfig(epochs=2, batch_size=16),
+        phase2=TrainConfig(epochs=6, batch_size=16),
+        phase3=TrainConfig(epochs=5, batch_size=16),
+    )
+    with nn.using_dtype(np.float32):
+        pipeline = ZSLPipeline(dataset, split, config)
+        result = pipeline.run()
+    print(f"HDC-ZSC  top-1 {result.metrics['top1']:.1f}%  top-5 {result.metrics['top5']:.1f}%")
+
+    # --- ESZSL on frozen features (the standard literature protocol) ------- #
+    with nn.using_dtype(np.float32):
+        rng = seeded_rng(2)
+        frozen = ImageEncoder(mini_resnet50(rng=rng), embedding_dim=None)
+        frozen.freeze().eval()
+        train_features = frozen.encode(split.train_images).astype(np.float64)
+        test_features = frozen.encode(split.test_images).astype(np.float64)
+    eszsl = ESZSL(gamma=1.0, lam=1.0)
+    eszsl.fit(train_features, split.train_targets,
+              dataset.class_attributes[split.train_classes])
+    scores = eszsl.scores(test_features, dataset.class_attributes[split.test_classes])
+    eszsl_top1 = top1_accuracy(scores, split.test_targets) * 100.0
+    print(f"ESZSL    top-1 {eszsl_top1:.1f}%")
+
+    # --- the efficiency story ------------------------------------------------ #
+    hdc_params = result.model.num_parameters(trainable_only=False)
+    bilinear = eszsl.V.size
+    print(f"\nHDC-ZSC parameters: {hdc_params:,} (attribute encoder: 0 — stationary codebooks)")
+    print(f"ESZSL bilinear map alone: {bilinear:,} extra parameters on top of its backbone")
+    footprint = result.model.attribute_encoder.memory_report()
+    print(f"HDC codebooks: {footprint.summary()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""repro — reproduction of "Zero-shot Classification using Hyperdimensional
+Computing" (Ruffino et al., DATE 2024).
+
+Public surface:
+
+- :mod:`repro.nn` — numpy autograd neural-network substrate
+- :mod:`repro.hdc` — hyperdimensional-computing library
+- :mod:`repro.data` — CUB-like attribute schema and synthetic datasets
+- :mod:`repro.models` — ResNet image encoders and the parameter-count zoo
+- :mod:`repro.zsl` — the HDC-ZSC model and its three-phase training
+- :mod:`repro.baselines` — ESZSL, TCN, generative, Finetag/A3M, DAP, ConSE
+- :mod:`repro.metrics` — accuracy, WMAP, Pareto front
+- :mod:`repro.experiments` — Table I/II and Fig 4/5 harnesses
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

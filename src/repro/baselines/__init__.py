@@ -1,0 +1,18 @@
+"""``repro.baselines`` — reference methods the paper compares against.
+
+- :class:`ESZSL` — closed-form bilinear compatibility (main comparator).
+- :class:`TCN` — contrastive non-linear compatibility network.
+- :class:`GenerativeZSL` — feature-synthesis recipe of the generative family.
+- :class:`Finetag` / :class:`A3M` — Table I attribute-extraction baselines.
+- :class:`DAP` / :class:`ConSE` — background-section method families.
+"""
+
+from .a3m import A3M
+from .conse import ConSE
+from .dap import DAP
+from .eszsl import ESZSL
+from .finetag import Finetag
+from .generative import FeatureGenerator, GenerativeZSL
+from .tcn import TCN
+
+__all__ = ["ESZSL", "TCN", "GenerativeZSL", "FeatureGenerator", "Finetag", "A3M", "DAP", "ConSE"]

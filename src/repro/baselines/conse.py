@@ -1,0 +1,70 @@
+"""ConSE — Convex combination of semantic embeddings (Norouzi et al., 2013).
+
+Representative of the "Hybrid Models" family from the paper's background
+section: a plain seen-class softmax classifier embeds a test image into
+attribute space as the probability-weighted average of the top-T seen
+classes' attribute vectors; unseen classes are ranked by cosine
+similarity in that space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import linalg
+
+__all__ = ["ConSE"]
+
+
+class ConSE:
+    """Closed-form (ridge) seen-class classifier + semantic combination."""
+
+    def __init__(self, top_t=5, ridge=10.0):
+        if top_t < 1:
+            raise ValueError("top_t must be >= 1")
+        self.top_t = top_t
+        self.ridge = ridge
+        self.W = None
+        self.seen_attributes = None
+
+    def fit(self, features, labels, seen_class_attributes):
+        """Fit the seen-class ridge classifier (one-hot regression)."""
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        seen = np.asarray(seen_class_attributes, dtype=np.float64)
+        num_classes = seen.shape[0]
+        X = np.hstack([features, np.ones((len(features), 1))])
+        onehot = np.zeros((len(labels), num_classes))
+        onehot[np.arange(len(labels)), labels] = 1.0
+        gram = X.T @ X + self.ridge * np.eye(X.shape[1])
+        self.W = linalg.solve(gram, X.T @ onehot, assume_a="pos")
+        self.seen_attributes = seen
+        return self
+
+    def semantic_embedding(self, features):
+        """Convex combination of top-T seen-class attribute vectors (n, α)."""
+        if self.W is None:
+            raise RuntimeError("fit() must be called first")
+        features = np.asarray(features, dtype=np.float64)
+        X = np.hstack([features, np.ones((len(features), 1))])
+        logits = X @ self.W
+        # softmax over seen classes
+        logits = logits - logits.max(axis=1, keepdims=True)
+        probs = np.exp(logits)
+        probs /= probs.sum(axis=1, keepdims=True)
+        top_t = min(self.top_t, probs.shape[1])
+        top_idx = np.argpartition(-probs, top_t - 1, axis=1)[:, :top_t]
+        rows = np.arange(len(probs))[:, None]
+        top_probs = probs[rows, top_idx]
+        top_probs = top_probs / top_probs.sum(axis=1, keepdims=True)
+        return np.einsum("nt,nta->na", top_probs, self.seen_attributes[top_idx])
+
+    def scores(self, features, unseen_class_attributes):
+        """Cosine similarity in attribute space (n, C_unseen)."""
+        embedding = self.semantic_embedding(features)
+        unseen = np.asarray(unseen_class_attributes, dtype=np.float64)
+        embedding = embedding / np.maximum(np.linalg.norm(embedding, axis=1, keepdims=True), 1e-12)
+        unseen = unseen / np.maximum(np.linalg.norm(unseen, axis=1, keepdims=True), 1e-12)
+        return embedding @ unseen.T
+
+    def predict(self, features, unseen_class_attributes):
+        return self.scores(features, unseen_class_attributes).argmax(axis=1)

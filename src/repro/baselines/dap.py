@@ -1,0 +1,59 @@
+"""DAP — Direct Attribute Prediction (Lampert et al., TPAMI 2014).
+
+Representative of the "Learning Intermediate Attribute Classifiers"
+family from the paper's background section: train one probabilistic
+classifier per attribute on seen classes, then score an unseen class by
+combining its attributes' posteriors (naive-Bayes style, in log space).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import linalg
+
+__all__ = ["DAP"]
+
+
+class DAP:
+    """Ridge-probe direct attribute prediction.
+
+    Per-attribute probabilities come from ridge regression squashed
+    through a sigmoid; unseen-class scores sum log-likelihoods of the
+    class's binary attribute signature.
+    """
+
+    def __init__(self, ridge=10.0, eps=1e-6):
+        self.ridge = ridge
+        self.eps = eps
+        self.W = None
+
+    def fit(self, features, attribute_targets):
+        """Fit one ridge probe per attribute column."""
+        features = np.asarray(features, dtype=np.float64)
+        targets = np.asarray(attribute_targets, dtype=np.float64)
+        if len(features) != len(targets):
+            raise ValueError("features and targets must align")
+        # Bias via feature augmentation.
+        X = np.hstack([features, np.ones((len(features), 1))])
+        gram = X.T @ X + self.ridge * np.eye(X.shape[1])
+        self.W = linalg.solve(gram, X.T @ (2.0 * targets - 1.0), assume_a="pos")
+        return self
+
+    def attribute_probabilities(self, features):
+        """Per-attribute posterior estimates in (0, 1)."""
+        if self.W is None:
+            raise RuntimeError("fit() must be called first")
+        features = np.asarray(features, dtype=np.float64)
+        X = np.hstack([features, np.ones((len(features), 1))])
+        return 1.0 / (1.0 + np.exp(-np.clip(X @ self.W, -30, 30)))
+
+    def scores(self, features, class_attributes):
+        """Log-posterior class scores for binary class signatures (n, C)."""
+        probs = self.attribute_probabilities(features)
+        signatures = (np.asarray(class_attributes) > 0.5).astype(np.float64)
+        log_p = np.log(np.clip(probs, self.eps, 1.0 - self.eps))
+        log_not = np.log(np.clip(1.0 - probs, self.eps, 1.0 - self.eps))
+        return log_p @ signatures.T + log_not @ (1.0 - signatures).T
+
+    def predict(self, features, class_attributes):
+        return self.scores(features, class_attributes).argmax(axis=1)

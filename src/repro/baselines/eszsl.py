@@ -1,0 +1,84 @@
+"""ESZSL — "An embarrassingly simple approach to zero-shot learning"
+(Romera-Paredes & Torr, ICML 2015).
+
+The paper's main non-generative comparator. Learns a bilinear
+compatibility ``V ∈ R^{d×α}`` between image features and class attribute
+signatures with a squared loss and Frobenius regularization; the solution
+is closed-form:
+
+    V = (X Xᵀ + γ I)⁻¹ X Y Sᵀ (S Sᵀ + λ I)⁻¹
+
+with ``X ∈ R^{d×m}`` features, ``Y ∈ {−1,1}^{m×z}`` one-vs-rest labels
+and ``S ∈ R^{α×z}`` the seen-class attribute signatures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import linalg
+
+__all__ = ["ESZSL"]
+
+
+class ESZSL:
+    """Closed-form bilinear zero-shot classifier.
+
+    Parameters
+    ----------
+    gamma:
+        Regularizer on the feature side (γ).
+    lam:
+        Regularizer on the attribute side (λ).
+    """
+
+    def __init__(self, gamma=1.0, lam=1.0):
+        self.gamma = gamma
+        self.lam = lam
+        self.V = None
+
+    def fit(self, features, labels, class_attributes):
+        """Solve for ``V`` on the seen classes.
+
+        Parameters
+        ----------
+        features:
+            ``(m, d)`` image features (from a frozen backbone, as in the
+            ZSL literature).
+        labels:
+            ``(m,)`` integer labels indexing rows of ``class_attributes``.
+        class_attributes:
+            ``(z, α)`` seen-class attribute signatures.
+        """
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        class_attributes = np.asarray(class_attributes, dtype=np.float64)
+        m, d = features.shape
+        z, alpha = class_attributes.shape
+        if labels.shape != (m,):
+            raise ValueError("labels must align with features")
+        if labels.min(initial=0) < 0 or labels.max(initial=0) >= z:
+            raise ValueError("labels out of range for class_attributes")
+
+        X = features.T  # (d, m)
+        Y = -np.ones((m, z))
+        Y[np.arange(m), labels] = 1.0
+        S = class_attributes.T  # (α, z)
+
+        left = X @ X.T + self.gamma * np.eye(d)
+        right = S @ S.T + self.lam * np.eye(alpha)
+        middle = X @ Y @ S.T
+        self.V = linalg.solve(left, middle, assume_a="pos")
+        self.V = linalg.solve(right.T, self.V.T, assume_a="pos").T
+        return self
+
+    def scores(self, features, class_attributes):
+        """Compatibility scores ``xᵀ V s`` → (n, C)."""
+        if self.V is None:
+            raise RuntimeError("fit() must be called before scoring")
+        features = np.asarray(features, dtype=np.float64)
+        class_attributes = np.asarray(class_attributes, dtype=np.float64)
+        return features @ self.V @ class_attributes.T
+
+    def predict(self, features, class_attributes):
+        """Zero-shot prediction over (unseen) class attribute rows."""
+        return self.scores(features, class_attributes).argmax(axis=1)

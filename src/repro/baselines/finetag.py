@@ -1,0 +1,68 @@
+"""Finetag-like attribute extractor (Zakizadeh et al., 2018).
+
+Table I's WMAP comparator. Finetag performs multi-attribute classification
+with independent per-attribute heads on CNN features. Relative to HDC-ZSC
+its defining traits are: a plain trainable linear head per attribute (no
+stationary HDC dictionary) and an *unweighted* binary cross entropy (no
+class-imbalance compensation) — which is why it lags on rare attributes
+under WMAP.
+
+Operates on frozen backbone features.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+from ..utils.rng import spawn
+
+__all__ = ["Finetag"]
+
+
+class Finetag(nn.Module):
+    """Independent per-attribute sigmoid probes over image features."""
+
+    def __init__(self, feature_dim, num_attributes, seed=0):
+        super().__init__()
+        rng = spawn(seed, "finetag")
+        self.head = nn.Linear(feature_dim, num_attributes, rng=rng)
+        self.seed = seed
+
+    def forward(self, features):
+        if not isinstance(features, nn.Tensor):
+            features = nn.Tensor(np.asarray(features, dtype=nn.default_dtype()))
+        return self.head(features)
+
+    def fit(self, features, attribute_targets, epochs=30, batch_size=64, lr=1e-3):
+        """Train with *unweighted* BCE (the Finetag trait); returns history."""
+        features = np.asarray(features)
+        attribute_targets = np.asarray(attribute_targets, dtype=np.float64)
+        optimizer = nn.optim.AdamW(list(self.parameters()), lr=lr, weight_decay=1e-4)
+        scheduler = nn.optim.CosineAnnealingLR(optimizer, t_max=max(epochs, 1))
+        history = []
+        self.train()
+        for epoch in range(epochs):
+            rng = spawn(self.seed, "finetag-epoch", epoch)
+            order = rng.permutation(len(features))
+            losses = []
+            for start in range(0, len(order), batch_size):
+                idx = order[start : start + batch_size]
+                optimizer.zero_grad()
+                logits = self.forward(features[idx])
+                loss = F.binary_cross_entropy_with_logits(
+                    logits, attribute_targets[idx].astype(logits.dtype)
+                )
+                loss.backward()
+                optimizer.step()
+                losses.append(loss.item())
+            scheduler.step()
+            history.append(float(np.mean(losses)))
+        return history
+
+    def scores(self, features):
+        """Attribute scores (n, α) as numpy."""
+        self.eval()
+        with nn.no_grad():
+            return self.forward(features).data

@@ -1,0 +1,82 @@
+"""TCN-like transferable contrastive network (Jiang et al., 2019).
+
+The paper's second non-generative comparator. Our simplified
+re-implementation keeps TCN's defining traits relative to ESZSL: a
+*learned non-linear* attribute branch and a *contrastive* objective that
+pulls matching image/class pairs together in a shared space — without the
+HDC codebooks or the three-phase curriculum.
+
+Operates on frozen backbone features (standard ZSL-literature protocol).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+from ..utils.rng import spawn
+
+__all__ = ["TCN"]
+
+
+class TCN(nn.Module):
+    """Contrastive image/attribute compatibility network."""
+
+    def __init__(self, feature_dim, num_attributes, embedding_dim=128, temperature=0.05, seed=0):
+        super().__init__()
+        rng = spawn(seed, "tcn")
+        self.image_proj = nn.Linear(feature_dim, embedding_dim, rng=rng)
+        self.attr_fc1 = nn.Linear(num_attributes, embedding_dim, rng=rng)
+        self.attr_fc2 = nn.Linear(embedding_dim, embedding_dim, rng=rng)
+        self.temperature = temperature
+        self.seed = seed
+
+    def embed_attributes(self, class_attributes):
+        if not isinstance(class_attributes, nn.Tensor):
+            class_attributes = nn.Tensor(np.asarray(class_attributes, dtype=nn.default_dtype()))
+        return self.attr_fc2(self.attr_fc1(class_attributes).relu())
+
+    def forward(self, features, class_attributes):
+        if not isinstance(features, nn.Tensor):
+            features = nn.Tensor(np.asarray(features, dtype=nn.default_dtype()))
+        image_embeddings = self.image_proj(features)
+        class_embeddings = self.embed_attributes(class_attributes)
+        return F.cosine_similarity_matrix(image_embeddings, class_embeddings) * (
+            1.0 / self.temperature
+        )
+
+    # -- training --------------------------------------------------------- #
+
+    def fit(self, features, labels, class_attributes, epochs=30, batch_size=64, lr=1e-3):
+        """Contrastive training on seen classes; returns loss history."""
+        features = np.asarray(features)
+        labels = np.asarray(labels, dtype=np.int64)
+        optimizer = nn.optim.AdamW(list(self.parameters()), lr=lr, weight_decay=1e-4)
+        scheduler = nn.optim.CosineAnnealingLR(optimizer, t_max=max(epochs, 1))
+        history = []
+        self.train()
+        for epoch in range(epochs):
+            rng = spawn(self.seed, "tcn-epoch", epoch)
+            order = rng.permutation(len(features))
+            losses = []
+            for start in range(0, len(order), batch_size):
+                idx = order[start : start + batch_size]
+                optimizer.zero_grad()
+                logits = self.forward(features[idx], class_attributes)
+                loss = F.cross_entropy(logits, labels[idx])
+                loss.backward()
+                optimizer.step()
+                losses.append(loss.item())
+            scheduler.step()
+            history.append(float(np.mean(losses)))
+        return history
+
+    def scores(self, features, class_attributes):
+        """Inference scores as numpy (n, C)."""
+        self.eval()
+        with nn.no_grad():
+            return self.forward(features, class_attributes).data
+
+    def predict(self, features, class_attributes):
+        return self.scores(features, class_attributes).argmax(axis=1)

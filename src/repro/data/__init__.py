@@ -1,0 +1,52 @@
+"""``repro.data`` — attribute schema, synthetic datasets, splits, loaders.
+
+Provides the CUB-200-like attribute vocabulary (28 groups / 61 values /
+312 combinations), the procedural SyntheticCUB bird dataset whose images
+are rendered from class attributes, the Phase-I SyntheticImageNet
+substitute, the paper's noZS / ZS / val splits and augmentation pipeline.
+"""
+
+from .loader import iterate_minibatches, num_batches
+from .palette import COLOR_RGB, SIZE_SCALE
+from .renderer import BirdRenderer
+from .schema import COLORS, PATTERNS, AttributeGroup, AttributeSchema, cub_schema, toy_schema
+from .signatures import ClassSignature, sample_class_signatures, signatures_to_matrices
+from .splits import Split, instance_split, make_split
+from .synthetic_cub import SyntheticCUB
+from .synthetic_imagenet import SyntheticImageNet
+from .transforms import (
+    Compose,
+    center_crop,
+    paper_train_transform,
+    random_horizontal_flip,
+    random_rotation,
+    resize,
+)
+
+__all__ = [
+    "AttributeGroup",
+    "AttributeSchema",
+    "cub_schema",
+    "toy_schema",
+    "COLORS",
+    "PATTERNS",
+    "COLOR_RGB",
+    "SIZE_SCALE",
+    "ClassSignature",
+    "sample_class_signatures",
+    "signatures_to_matrices",
+    "BirdRenderer",
+    "SyntheticCUB",
+    "SyntheticImageNet",
+    "Split",
+    "make_split",
+    "instance_split",
+    "iterate_minibatches",
+    "num_batches",
+    "Compose",
+    "random_rotation",
+    "random_horizontal_flip",
+    "center_crop",
+    "resize",
+    "paper_train_transform",
+]

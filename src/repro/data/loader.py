@@ -1,0 +1,45 @@
+"""Minibatch iteration."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["iterate_minibatches", "num_batches"]
+
+
+def num_batches(num_samples, batch_size, drop_last=False):
+    """Number of minibatches an epoch will yield."""
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    if drop_last:
+        return num_samples // batch_size
+    return (num_samples + batch_size - 1) // batch_size
+
+
+def iterate_minibatches(images, labels, batch_size, rng=None, transform=None, drop_last=False):
+    """Yield ``(image_batch, label_batch)`` pairs over one epoch.
+
+    Parameters
+    ----------
+    rng:
+        When given, samples are shuffled and passed through ``transform``
+        (training mode); otherwise order is preserved and no augmentation
+        is applied (evaluation mode).
+    transform:
+        Callable ``(images, rng) -> images`` applied per batch.
+    """
+    images = np.asarray(images)
+    labels = np.asarray(labels)
+    if len(images) != len(labels):
+        raise ValueError(f"{len(images)} images but {len(labels)} labels")
+    indices = np.arange(len(images))
+    if rng is not None:
+        indices = rng.permutation(indices)
+    for start in range(0, len(indices), batch_size):
+        batch_idx = indices[start : start + batch_size]
+        if drop_last and len(batch_idx) < batch_size:
+            break
+        batch_images = images[batch_idx]
+        if transform is not None and rng is not None:
+            batch_images = transform(batch_images, rng)
+        yield batch_images, labels[batch_idx]

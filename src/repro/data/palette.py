@@ -1,0 +1,67 @@
+"""Colour palette and geometry parameter tables for the bird renderer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["COLOR_RGB", "color_rgb", "SIZE_SCALE", "SHAPE_ASPECT", "BACKGROUNDS"]
+
+#: RGB (0..1) rendering of the 15 schema colour values.
+COLOR_RGB = {
+    "blue": (0.20, 0.35, 0.85),
+    "brown": (0.45, 0.28, 0.12),
+    "iridescent": (0.35, 0.78, 0.75),
+    "purple": (0.55, 0.20, 0.70),
+    "rufous": (0.70, 0.30, 0.12),
+    "grey": (0.55, 0.55, 0.55),
+    "yellow": (0.92, 0.85, 0.20),
+    "olive": (0.45, 0.50, 0.20),
+    "green": (0.20, 0.65, 0.25),
+    "pink": (0.95, 0.60, 0.75),
+    "orange": (0.95, 0.55, 0.15),
+    "black": (0.08, 0.08, 0.08),
+    "white": (0.95, 0.95, 0.95),
+    "red": (0.85, 0.12, 0.12),
+    "buff": (0.85, 0.75, 0.55),
+}
+
+#: Body scale factor per ``size`` value.
+SIZE_SCALE = {
+    "very-small": 0.55,
+    "small": 0.68,
+    "medium": 0.80,
+    "large": 0.92,
+    "very-large": 1.05,
+}
+
+#: Body elongation (width/height ratio modifier) per ``shape`` value.
+SHAPE_ASPECT = {
+    "perching-like": 1.00,
+    "duck-like": 1.35,
+    "owl-like": 0.80,
+    "gull-like": 1.25,
+    "hummingbird-like": 0.70,
+    "pigeon-like": 1.05,
+    "hawk-like": 1.15,
+    "sandpiper-like": 1.20,
+    "swallow-like": 1.10,
+    "chicken-like": 0.90,
+    "tree-clinging-like": 0.85,
+    "long-legged-like": 1.30,
+    "upland-ground-like": 0.95,
+    "upright-perching-water-like": 0.75,
+}
+
+#: Background base colours (sky / foliage / water / dusk).
+BACKGROUNDS = (
+    (0.55, 0.75, 0.95),
+    (0.35, 0.55, 0.30),
+    (0.40, 0.60, 0.75),
+    (0.75, 0.70, 0.60),
+    (0.60, 0.50, 0.65),
+)
+
+
+def color_rgb(name):
+    """RGB triple for a schema colour value."""
+    return np.array(COLOR_RGB[name], dtype=np.float64)

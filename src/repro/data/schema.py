@@ -1,0 +1,296 @@
+"""CUB-200-like attribute schema.
+
+The paper's attribute encoder is built on the CUB-200-2011 attribute
+vocabulary: α = 312 attribute group/value combinations drawn from
+G = 28 groups (crown color, bill shape, size, ...) and V = 61 unique
+values (blue, brown, large, ...). This module defines a schema with the
+identical symbol-level structure so the HDC codebooks, the attribute
+dictionary and the class-attribute matrix have the paper's exact shapes.
+
+The 28 groups and the group sizes follow the real CUB schema (15-way
+colour groups, 4-way pattern groups, 9 bill shapes, ...); value names are
+shared across groups exactly enough to make the unique-value vocabulary
+61 entries, matching the paper's memory-reduction arithmetic
+((312 − (28 + 61)) / 312 ≈ 71 %).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "AttributeGroup",
+    "AttributeSchema",
+    "cub_schema",
+    "toy_schema",
+    "COLORS",
+    "PATTERNS",
+]
+
+#: The 15 colour values shared by all colour groups.
+COLORS = (
+    "blue",
+    "brown",
+    "iridescent",
+    "purple",
+    "rufous",
+    "grey",
+    "yellow",
+    "olive",
+    "green",
+    "pink",
+    "orange",
+    "black",
+    "white",
+    "red",
+    "buff",
+)
+
+#: The 4 pattern values shared by all pattern groups.
+PATTERNS = ("solid", "spotted", "striped", "multi-colored")
+
+_EYE_COLORS = tuple(c for c in COLORS if c != "iridescent")  # 14 values
+
+_HEAD_PATTERNS = (
+    "spotted",
+    "striped",
+    "solid",
+    "multi-colored",
+    "masked",
+    "crested",
+    "eyebrow",
+    "eyering",
+    "capped",
+    "eyeline",
+    "malar",
+)
+
+_BILL_SHAPES = (
+    "curved",
+    "hooked",
+    "dagger",
+    "needle",
+    "spatulate",
+    "all-purpose",
+    "cone",
+    "pointed",
+    "notched",
+)
+
+_TAIL_SHAPES = ("forked", "rounded", "notched", "fan-shaped", "pointed", "tapered")
+
+_WING_SHAPES = ("rounded", "pointed", "broad", "tapered", "long")
+
+_BILL_LENGTHS = ("short", "medium", "long")
+
+_SIZES = ("very-small", "small", "medium", "large", "very-large")
+
+_SHAPES = (
+    "perching-like",
+    "duck-like",
+    "owl-like",
+    "gull-like",
+    "hummingbird-like",
+    "pigeon-like",
+    "hawk-like",
+    "sandpiper-like",
+    "swallow-like",
+    "chicken-like",
+    "tree-clinging-like",
+    "long-legged-like",
+    "upland-ground-like",
+    "upright-perching-water-like",
+)
+
+
+@dataclass(frozen=True)
+class AttributeGroup:
+    """One attribute group (e.g. ``crown_color``) and its value names."""
+
+    name: str
+    values: tuple
+
+    def __post_init__(self):
+        if len(set(self.values)) != len(self.values):
+            raise ValueError(f"group {self.name!r} has duplicate values")
+
+    def __len__(self):
+        return len(self.values)
+
+
+class AttributeSchema:
+    """An ordered collection of attribute groups with derived index maps.
+
+    Provides everything the rest of the library needs:
+
+    - ``num_groups`` (G), ``num_values`` (V — unique value vocabulary),
+      ``num_attributes`` (α — sum of group sizes);
+    - ``pairs`` — for each of the α combinations, the
+      ``(group_index, unique_value_index)`` tuple consumed by
+      :class:`repro.hdc.AttributeDictionary`;
+    - ``attribute_names`` — e.g. ``"crown_color::blue"``;
+    - slicing helpers mapping a group to its attribute-index range.
+    """
+
+    def __init__(self, groups):
+        groups = tuple(groups)
+        if not groups:
+            raise ValueError("schema needs at least one group")
+        names = [g.name for g in groups]
+        if len(set(names)) != len(names):
+            raise ValueError("group names must be unique")
+        self.groups = groups
+
+        vocabulary = []
+        seen = {}
+        for group in groups:
+            for value in group.values:
+                if value not in seen:
+                    seen[value] = len(vocabulary)
+                    vocabulary.append(value)
+        self._vocabulary = tuple(vocabulary)
+        self._value_index = seen
+
+        pairs = []
+        attribute_names = []
+        slices = {}
+        cursor = 0
+        for gi, group in enumerate(groups):
+            start = cursor
+            for value in group.values:
+                pairs.append((gi, seen[value]))
+                attribute_names.append(f"{group.name}::{value}")
+                cursor += 1
+            slices[group.name] = slice(start, cursor)
+        self.pairs = tuple(pairs)
+        self.attribute_names = tuple(attribute_names)
+        self._slices = slices
+
+    # -- sizes ------------------------------------------------------------ #
+
+    @property
+    def num_groups(self):
+        """G — the number of attribute groups."""
+        return len(self.groups)
+
+    @property
+    def num_values(self):
+        """V — the number of unique attribute values across all groups."""
+        return len(self._vocabulary)
+
+    @property
+    def num_attributes(self):
+        """α — the number of group/value combinations."""
+        return len(self.pairs)
+
+    @property
+    def group_names(self):
+        return tuple(g.name for g in self.groups)
+
+    @property
+    def value_vocabulary(self):
+        return self._vocabulary
+
+    # -- lookups ----------------------------------------------------------- #
+
+    def group(self, name):
+        """Return the :class:`AttributeGroup` called ``name``."""
+        for group in self.groups:
+            if group.name == name:
+                return group
+        raise KeyError(name)
+
+    def group_slice(self, name):
+        """Attribute-index range (as a slice) covered by group ``name``."""
+        return self._slices[name]
+
+    def value_index(self, value):
+        """Index of ``value`` in the unique-value vocabulary."""
+        return self._value_index[value]
+
+    def attribute_index(self, group_name, value):
+        """Flat attribute index of the ``group::value`` combination."""
+        sl = self._slices[group_name]
+        group = self.group(group_name)
+        return sl.start + group.values.index(value)
+
+    def group_of_attribute(self, attribute_index):
+        """Group index that attribute ``attribute_index`` belongs to."""
+        return self.pairs[attribute_index][0]
+
+    def group_sizes(self):
+        """Array of per-group combination counts (sums to α)."""
+        return np.array([len(g) for g in self.groups])
+
+    def __repr__(self):
+        return (
+            f"AttributeSchema(G={self.num_groups}, V={self.num_values}, "
+            f"alpha={self.num_attributes})"
+        )
+
+
+def cub_schema():
+    """The CUB-200-like schema: G = 28, V = 61, α = 312.
+
+    Group structure mirrors CUB-200-2011: fifteen 15-way colour groups,
+    one 14-way eye-colour group, five 4-way pattern groups, and the
+    shape/size/length groups.
+    """
+    color_groups = [
+        "wing_color",
+        "upperparts_color",
+        "underparts_color",
+        "back_color",
+        "upper_tail_color",
+        "breast_color",
+        "throat_color",
+        "forehead_color",
+        "under_tail_color",
+        "nape_color",
+        "belly_color",
+        "primary_color",
+        "leg_color",
+        "bill_color",
+        "crown_color",
+    ]
+    pattern_groups = [
+        "breast_pattern",
+        "back_pattern",
+        "tail_pattern",
+        "belly_pattern",
+        "wing_pattern",
+    ]
+    groups = [AttributeGroup("bill_shape", _BILL_SHAPES)]
+    groups.extend(AttributeGroup(name, COLORS) for name in color_groups[:5])
+    groups.append(AttributeGroup("breast_pattern", PATTERNS))
+    groups.extend(AttributeGroup(name, COLORS) for name in color_groups[5:8])
+    groups.append(AttributeGroup("tail_shape", _TAIL_SHAPES))
+    groups.append(AttributeGroup("head_pattern", _HEAD_PATTERNS))
+    groups.append(AttributeGroup("eye_color", _EYE_COLORS))
+    groups.append(AttributeGroup("bill_length", _BILL_LENGTHS))
+    groups.extend(AttributeGroup(name, COLORS) for name in color_groups[8:11])
+    groups.append(AttributeGroup("wing_shape", _WING_SHAPES))
+    groups.append(AttributeGroup("size", _SIZES))
+    groups.append(AttributeGroup("shape", _SHAPES))
+    groups.extend(AttributeGroup(name, PATTERNS) for name in pattern_groups[1:4])
+    groups.extend(AttributeGroup(name, COLORS) for name in color_groups[11:14])
+    groups.append(AttributeGroup("crown_color", COLORS))
+    groups.append(AttributeGroup("wing_pattern", PATTERNS))
+    schema = AttributeSchema(groups)
+    assert schema.num_groups == 28, schema.num_groups
+    assert schema.num_values == 61, schema.num_values
+    assert schema.num_attributes == 312, schema.num_attributes
+    return schema
+
+
+def toy_schema(num_color_groups=3, num_colors=4):
+    """A small schema for fast tests (same structural properties)."""
+    colors = COLORS[:num_colors]
+    groups = [
+        AttributeGroup(f"color_group{i}", colors) for i in range(num_color_groups)
+    ]
+    groups.append(AttributeGroup("pattern", PATTERNS[:3]))
+    groups.append(AttributeGroup("size", _SIZES[:3]))
+    return AttributeSchema(groups)

@@ -1,0 +1,181 @@
+"""Class attribute-signature sampling.
+
+Each synthetic class gets, per attribute group, a *dominant* value drawn
+from a class-specific colour palette (colours across body parts correlate,
+like real bird species) plus independent shape/size/pattern choices. From
+the dominant choices we derive
+
+- the **continuous** class-attribute matrix ``A ∈ R^{C×α}`` (strengths in
+  [0, 1], analogous to CUB's per-class attribute percentages), and
+- the **binary** matrix used as Phase-II ground truth (one active value
+  per group, two for multi-coloured patterns).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .schema import COLORS
+
+__all__ = [
+    "ClassSignature",
+    "sample_class_signatures",
+    "signatures_to_matrices",
+    "perturb_signature",
+    "signature_binary_vector",
+]
+
+_COLOR_GROUP_SUFFIX = "_color"
+_PATTERN_GROUP_SUFFIX = "_pattern"
+
+
+class ClassSignature:
+    """Dominant attribute values of one class, keyed by group name."""
+
+    def __init__(self, class_name, dominant, secondary_color):
+        self.class_name = class_name
+        self.dominant = dict(dominant)
+        #: The palette's secondary colour (used by multi-coloured patterns).
+        self.secondary_color = secondary_color
+
+    def __getitem__(self, group_name):
+        return self.dominant[group_name]
+
+    def items(self):
+        return self.dominant.items()
+
+    def key(self):
+        """Hashable identity of the signature (for uniqueness checks)."""
+        return tuple(sorted(self.dominant.items()))
+
+    def __repr__(self):
+        return f"ClassSignature({self.class_name!r})"
+
+
+def _palette_weights(size):
+    weights = np.array([0.5, 0.3, 0.2][:size], dtype=np.float64)
+    return weights / weights.sum()
+
+
+def sample_class_signatures(schema, num_classes, rng, max_retries=64):
+    """Sample ``num_classes`` mutually distinct class signatures.
+
+    Colour groups draw from a 3-colour class palette (primary colour is
+    forced to the palette head), eye colour is biased towards black/brown
+    as in real birds, and every other group draws uniformly. Collisions
+    are resampled so class descriptors are unique — a requirement for the
+    zero-shot protocol to be well-posed.
+    """
+    eye_group = schema.group("eye_color")
+    eye_values = list(eye_group.values)
+    eye_weights = np.ones(len(eye_values))
+    for favored in ("black", "brown"):
+        if favored in eye_values:
+            eye_weights[eye_values.index(favored)] = 6.0
+    eye_weights = eye_weights / eye_weights.sum()
+
+    signatures = []
+    seen = set()
+    for index in range(num_classes):
+        for _ in range(max_retries):
+            palette = list(rng.choice(COLORS, size=3, replace=False))
+            dominant = {}
+            for group in schema.groups:
+                if group.name == "primary_color":
+                    dominant[group.name] = palette[0]
+                elif group.name == "eye_color":
+                    dominant[group.name] = str(rng.choice(eye_values, p=eye_weights))
+                elif group.name.endswith(_COLOR_GROUP_SUFFIX):
+                    usable = [c for c in palette if c in group.values]
+                    weights = _palette_weights(len(usable))
+                    dominant[group.name] = str(rng.choice(usable, p=weights))
+                else:
+                    dominant[group.name] = str(rng.choice(group.values))
+            signature = ClassSignature(f"class_{index:03d}", dominant, palette[1])
+            if signature.key() not in seen:
+                seen.add(signature.key())
+                signatures.append(signature)
+                break
+        else:
+            raise RuntimeError(
+                f"could not sample a unique signature for class {index} "
+                f"after {max_retries} retries"
+            )
+    return signatures
+
+
+def signatures_to_matrices(schema, signatures, rng, dominant_strength=(0.65, 0.95), noise=0.05):
+    """Convert signatures into continuous and binary class-attribute matrices.
+
+    Returns
+    -------
+    continuous:
+        ``(C, α)`` float matrix: dominant combinations get a strength in
+        ``dominant_strength``; everything else gets small positive noise.
+    binary:
+        ``(C, α)`` 0/1 matrix of active combinations (dominant value per
+        group, plus the secondary palette colour for multi-coloured
+        pattern-bearing parts).
+    """
+    num_classes = len(signatures)
+    alpha = schema.num_attributes
+    continuous = np.abs(rng.normal(0.0, noise, size=(num_classes, alpha)))
+    binary = np.zeros((num_classes, alpha), dtype=np.float64)
+    low, high = dominant_strength
+    for ci, signature in enumerate(signatures):
+        for group in schema.groups:
+            attr = schema.attribute_index(group.name, signature[group.name])
+            continuous[ci, attr] = rng.uniform(low, high)
+            binary[ci, attr] = 1.0
+        # Multi-coloured parts also activate the secondary palette colour.
+        for group in schema.groups:
+            if not group.name.endswith(_PATTERN_GROUP_SUFFIX):
+                continue
+            if signature[group.name] != "multi-colored":
+                continue
+            part = group.name.replace(_PATTERN_GROUP_SUFFIX, _COLOR_GROUP_SUFFIX)
+            if part in schema.group_names and signature.secondary_color in schema.group(part).values:
+                attr = schema.attribute_index(part, signature.secondary_color)
+                continuous[ci, attr] = max(continuous[ci, attr], rng.uniform(0.35, 0.6))
+                binary[ci, attr] = 1.0
+    return np.clip(continuous, 0.0, 1.0), binary
+
+
+def perturb_signature(schema, signature, rng, flip_prob=0.15):
+    """Instance-level variation: resample some groups' dominant values.
+
+    Real CUB images of one species differ in visible attributes (lighting,
+    individual variation, partial views) — CUB's instance-level attribute
+    annotations vary within a class. This models that: with probability
+    ``flip_prob`` per group, an instance displays a different value than
+    the class mode. Phase-II training on such *instance* targets forces
+    the model to ground attributes in pixels instead of memorizing class
+    templates.
+    """
+    dominant = dict(signature.dominant)
+    for group in schema.groups:
+        if rng.random() < flip_prob:
+            alternatives = [v for v in group.values if v != dominant[group.name]]
+            dominant[group.name] = str(rng.choice(alternatives))
+    return ClassSignature(signature.class_name, dominant, signature.secondary_color)
+
+
+def signature_binary_vector(schema, signature):
+    """Binary (α,) attribute vector displayed by one signature.
+
+    Dominant value per group, plus the secondary palette colour for parts
+    whose pattern is multi-coloured (consistent with
+    :func:`signatures_to_matrices`).
+    """
+    vector = np.zeros(schema.num_attributes, dtype=np.float64)
+    for group in schema.groups:
+        vector[schema.attribute_index(group.name, signature[group.name])] = 1.0
+    for group in schema.groups:
+        if not group.name.endswith(_PATTERN_GROUP_SUFFIX):
+            continue
+        if signature[group.name] != "multi-colored":
+            continue
+        part = group.name.replace(_PATTERN_GROUP_SUFFIX, _COLOR_GROUP_SUFFIX)
+        if part in schema.group_names and signature.secondary_color in schema.group(part).values:
+            vector[schema.attribute_index(part, signature.secondary_color)] = 1.0
+    return vector

@@ -1,0 +1,155 @@
+"""Train/test class splits for the zero-shot protocol.
+
+The paper evaluates on two standard CUB splits plus a validation split:
+
+- **noZS** — the same ``C/2`` classes appear in both train and test (the
+  split used for the Table I attribute-extraction comparison);
+- **ZS** — 150 training classes, 50 *disjoint* unseen test classes
+  (``Y_r ∩ Y_e = ∅``), used for zero-shot classification;
+- **val** — 50 disjoint classes carved out of the ZS training set, used
+  for the Fig 5 hyperparameter search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..utils.rng import seeded_rng
+
+__all__ = ["Split", "make_split", "instance_split"]
+
+
+@dataclass(frozen=True)
+class Split:
+    """A class-level split plus instance-level train/test partitions.
+
+    ``train_indices`` / ``test_indices`` index the *dataset's* instance
+    arrays (images, labels, instance_attributes), so instance-level
+    ground truth stays aligned with the split.
+    """
+
+    kind: str
+    dataset: object
+    train_classes: np.ndarray
+    test_classes: np.ndarray
+    train_indices: np.ndarray
+    test_indices: np.ndarray
+
+    # -- instance views ---------------------------------------------------- #
+
+    @property
+    def train_images(self):
+        return self.dataset.images[self.train_indices]
+
+    @property
+    def test_images(self):
+        return self.dataset.images[self.test_indices]
+
+    @property
+    def train_labels(self):
+        return self.dataset.labels[self.train_indices]
+
+    @property
+    def test_labels(self):
+        return self.dataset.labels[self.test_indices]
+
+    @property
+    def train_attribute_targets(self):
+        """Instance-level Phase-II targets for the training images."""
+        return self.dataset.instance_attribute_targets(self.train_indices)
+
+    @property
+    def test_attribute_targets(self):
+        """Instance-level attribute ground truth for the test images."""
+        return self.dataset.instance_attribute_targets(self.test_indices)
+
+    # -- class-index remapping ------------------------------------------------ #
+
+    @property
+    def zero_shot(self):
+        """True when train and test class sets are disjoint."""
+        return not np.intersect1d(self.train_classes, self.test_classes).size
+
+    def remap_labels(self, labels, classes):
+        """Map dataset-level labels onto positions within ``classes``."""
+        lookup = {int(c): i for i, c in enumerate(classes)}
+        return np.array([lookup[int(l)] for l in labels], dtype=np.int64)
+
+    @property
+    def train_targets(self):
+        """Train labels re-indexed into ``range(len(train_classes))``."""
+        return self.remap_labels(self.train_labels, self.train_classes)
+
+    @property
+    def test_targets(self):
+        """Test labels re-indexed into ``range(len(test_classes))``."""
+        return self.remap_labels(self.test_labels, self.test_classes)
+
+
+def instance_split(labels, test_fraction, rng):
+    """Split instances of each class into train/test index sets (stratified)."""
+    labels = np.asarray(labels)
+    train_idx, test_idx = [], []
+    for cls in np.unique(labels):
+        members = np.flatnonzero(labels == cls)
+        members = rng.permutation(members)
+        cut = max(1, int(round(len(members) * test_fraction)))
+        test_idx.extend(members[:cut])
+        train_idx.extend(members[cut:])
+    return np.array(sorted(train_idx)), np.array(sorted(test_idx))
+
+
+def make_split(dataset, kind="ZS", seed=0, test_fraction=0.3):
+    """Build a :class:`Split` of ``dataset`` (a :class:`SyntheticCUB`).
+
+    Parameters
+    ----------
+    kind:
+        ``"ZS"`` (150/50 disjoint, scaled to the dataset size),
+        ``"noZS"`` (half the classes, seen in both train and test),
+        or ``"val"`` (the ZS protocol applied to 100 train + 50
+        validation classes, mirroring Fig 5's "50 disjoint classes").
+    seed:
+        Controls the class permutation and the instance partition.
+    test_fraction:
+        Instance fraction held out for testing in the noZS split.
+    """
+    num_classes = dataset.num_classes
+    rng = seeded_rng(seed)
+    permutation = rng.permutation(num_classes)
+
+    if kind == "ZS":
+        cut = int(round(num_classes * 0.75))  # 150/50 for 200 classes
+        train_classes = np.sort(permutation[:cut])
+        test_classes = np.sort(permutation[cut:])
+        train_indices = dataset.indices_of_classes(train_classes)
+        test_indices = dataset.indices_of_classes(test_classes)
+    elif kind == "val":
+        # 100 train / 50 validation / 50 untouched (the final ZS test set).
+        train_cut = int(round(num_classes * 0.50))
+        val_cut = int(round(num_classes * 0.75))
+        train_classes = np.sort(permutation[:train_cut])
+        test_classes = np.sort(permutation[train_cut:val_cut])
+        train_indices = dataset.indices_of_classes(train_classes)
+        test_indices = dataset.indices_of_classes(test_classes)
+    elif kind == "noZS":
+        half = num_classes // 2
+        classes = np.sort(permutation[:half])
+        members = dataset.indices_of_classes(classes)
+        train_rel, test_rel = instance_split(dataset.labels[members], test_fraction, rng)
+        train_classes = test_classes = classes
+        train_indices = members[train_rel]
+        test_indices = members[test_rel]
+    else:
+        raise ValueError(f"unknown split kind {kind!r} (expected ZS, noZS or val)")
+
+    return Split(
+        kind=kind,
+        dataset=dataset,
+        train_classes=train_classes,
+        test_classes=test_classes,
+        train_indices=train_indices,
+        test_indices=test_indices,
+    )

@@ -1,0 +1,111 @@
+"""Synthetic ImageNet-like dataset for Phase-I backbone pre-training.
+
+The paper pre-trains the ResNet backbone on ImageNet1K before the
+attribute-extraction and zero-shot phases. Offline, we substitute a
+procedural many-class object dataset: each class is a distinct
+(shape, colour, texture) prototype rendered with instance jitter. The
+classes are generic objects — not birds — so Phase I teaches the backbone
+transferable low-level features exactly as generic pre-training does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.rng import spawn
+from .palette import BACKGROUNDS
+
+__all__ = ["SyntheticImageNet"]
+
+_NUM_SHAPES = 7  # circle, square, triangle, cross, ring, stripes, diamond
+
+
+class SyntheticImageNet:
+    """Procedural many-class classification dataset (Phase-I substitute).
+
+    Parameters
+    ----------
+    num_classes:
+        Number of object classes (1000 reproduces the paper's FC' head
+        width; the mini experiment presets use fewer).
+    images_per_class, image_size, seed:
+        As in :class:`SyntheticCUB`.
+    """
+
+    def __init__(self, num_classes=1000, images_per_class=10, image_size=32, seed=0):
+        if num_classes < 2:
+            raise ValueError("need at least two classes")
+        self.num_classes = num_classes
+        self.images_per_class = images_per_class
+        self.image_size = image_size
+        self.seed = seed
+
+        proto_rng = spawn(seed, "prototypes")
+        self._prototypes = [
+            {
+                "shape": int(proto_rng.integers(_NUM_SHAPES)),
+                "color": proto_rng.uniform(0.1, 0.95, size=3),
+                "scale": float(proto_rng.uniform(0.45, 0.9)),
+                "cx": float(proto_rng.uniform(0.35, 0.65)),
+                "cy": float(proto_rng.uniform(0.35, 0.65)),
+                "texture_phase": int(proto_rng.integers(4)),
+            }
+            for _ in range(num_classes)
+        ]
+
+        axis = (np.arange(image_size) + 0.5) / image_size
+        yy, xx = np.meshgrid(axis, axis, indexing="ij")
+        iy, ix = np.meshgrid(np.arange(image_size), np.arange(image_size), indexing="ij")
+
+        images = np.empty((num_classes * images_per_class, 3, image_size, image_size), dtype=np.float32)
+        labels = np.empty(num_classes * images_per_class, dtype=np.int64)
+        cursor = 0
+        for class_index, proto in enumerate(self._prototypes):
+            rng = spawn(seed, "render", class_index)
+            for _ in range(images_per_class):
+                images[cursor] = self._render(proto, rng, xx, yy, iy)
+                labels[cursor] = class_index
+                cursor += 1
+        self.images = images
+        self.labels = labels
+
+    def _render(self, proto, rng, xx, yy, iy):
+        img = np.empty((self.image_size, self.image_size, 3))
+        background = np.array(BACKGROUNDS[rng.integers(len(BACKGROUNDS))])
+        img[:] = np.clip(background + rng.normal(0, 0.05, 3), 0, 1)
+
+        cx = proto["cx"] + rng.uniform(-0.05, 0.05)
+        cy = proto["cy"] + rng.uniform(-0.05, 0.05)
+        half = proto["scale"] * rng.uniform(0.9, 1.1) / 2.0
+        color = np.clip(proto["color"] + rng.normal(0, 0.04, 3), 0, 1)
+        dx, dy = xx - cx, yy - cy
+        shape = proto["shape"]
+        if shape == 0:  # circle
+            mask = dx**2 + dy**2 <= half**2
+        elif shape == 1:  # square
+            mask = (np.abs(dx) <= half) & (np.abs(dy) <= half)
+        elif shape == 2:  # triangle
+            mask = (dy >= -half) & (dy <= half) & (np.abs(dx) <= (dy + half) / 2.0)
+        elif shape == 3:  # cross
+            mask = ((np.abs(dx) <= half / 3) & (np.abs(dy) <= half)) | (
+                (np.abs(dy) <= half / 3) & (np.abs(dx) <= half)
+            )
+        elif shape == 4:  # ring
+            r2 = dx**2 + dy**2
+            mask = (r2 <= half**2) & (r2 >= (half * 0.55) ** 2)
+        elif shape == 5:  # stripes
+            mask = (np.abs(dx) <= half) & (np.abs(dy) <= half) & ((iy + proto["texture_phase"]) % 4 < 2)
+        else:  # diamond
+            mask = np.abs(dx) + np.abs(dy) <= half
+        img[mask] = color
+        img = np.clip(img + rng.normal(0, 0.03, img.shape), 0, 1)
+        return np.ascontiguousarray(img.transpose(2, 0, 1)).astype(np.float32)
+
+    def __len__(self):
+        return self.images.shape[0]
+
+    def __repr__(self):
+        return (
+            f"SyntheticImageNet(classes={self.num_classes}, "
+            f"images_per_class={self.images_per_class}, image_size={self.image_size})"
+        )

@@ -1,0 +1,102 @@
+"""Image augmentation.
+
+The paper augments training images with random rotation in [−45°, +45°],
+center cropping and random horizontal flips. These operate on float32
+CHW images (or NCHW batches) and are used by the Phase I–III trainers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+__all__ = [
+    "random_rotation",
+    "random_horizontal_flip",
+    "center_crop",
+    "resize",
+    "Compose",
+    "paper_train_transform",
+]
+
+
+def _per_image(batch, fn):
+    batch = np.asarray(batch)
+    if batch.ndim == 3:
+        return fn(batch)
+    return np.stack([fn(img) for img in batch])
+
+
+def random_rotation(images, rng, max_degrees=45.0):
+    """Rotate each image by an angle drawn from [−max_degrees, +max_degrees]."""
+
+    def rotate(img):
+        angle = rng.uniform(-max_degrees, max_degrees)
+        rotated = ndimage.rotate(
+            img, angle, axes=(1, 2), reshape=False, order=1, mode="nearest"
+        )
+        return rotated.astype(img.dtype)
+
+    return _per_image(images, rotate)
+
+
+def random_horizontal_flip(images, rng, probability=0.5):
+    """Flip each image left-right with the given probability."""
+
+    def flip(img):
+        if rng.random() < probability:
+            return img[:, :, ::-1].copy()
+        return img
+
+    return _per_image(images, flip)
+
+
+def center_crop(images, crop_size):
+    """Crop the central ``crop_size × crop_size`` window."""
+
+    def crop(img):
+        _, height, width = img.shape
+        if crop_size > height or crop_size > width:
+            raise ValueError(f"crop {crop_size} larger than image {height}x{width}")
+        top = (height - crop_size) // 2
+        left = (width - crop_size) // 2
+        return img[:, top : top + crop_size, left : left + crop_size].copy()
+
+    return _per_image(images, crop)
+
+
+def resize(images, out_size):
+    """Bilinear resize to ``out_size × out_size``."""
+
+    def scale(img):
+        _, height, width = img.shape
+        zoom = (1.0, out_size / height, out_size / width)
+        return ndimage.zoom(img, zoom, order=1).astype(img.dtype)
+
+    return _per_image(images, scale)
+
+
+class Compose:
+    """Chain transforms; each must accept ``(images, rng)``."""
+
+    def __init__(self, transforms):
+        self.transforms = list(transforms)
+
+    def __call__(self, images, rng):
+        for transform in self.transforms:
+            images = transform(images, rng)
+        return images
+
+
+def paper_train_transform(max_degrees=45.0, flip_probability=0.5):
+    """The paper's augmentation pipeline: rotation ±45° + horizontal flip.
+
+    (Center cropping is a no-op at our canvas sizes and is exposed
+    separately via :func:`center_crop`.)
+    """
+    return Compose(
+        [
+            lambda imgs, rng: random_rotation(imgs, rng, max_degrees=max_degrees),
+            lambda imgs, rng: random_horizontal_flip(imgs, rng, probability=flip_probability),
+        ]
+    )

@@ -1,0 +1,32 @@
+"""``repro.experiments`` — harnesses regenerating every table and figure.
+
+- :mod:`repro.experiments.table1` — attribute extraction vs Finetag/A3M.
+- :mod:`repro.experiments.table2` — encoder ablation.
+- :mod:`repro.experiments.fig4` — accuracy-vs-parameters Pareto plot.
+- :mod:`repro.experiments.fig5` — hyperparameter sweeps.
+
+Each module is runnable (``python -m repro.experiments.<name> [scale]``)
+and exposes ``run_*``/``format_*`` functions used by the benchmarks.
+"""
+
+from .config import SCALES, ExperimentScale, get_scale
+from .fig4 import run_fig4
+from .runner import TrialResult, run_trials, summarize_trials
+from .fig5 import SWEEPS, run_fig5
+from .table1 import run_table1
+from .table2 import TABLE2_ROWS, run_table2
+
+__all__ = [
+    "ExperimentScale",
+    "SCALES",
+    "get_scale",
+    "run_table1",
+    "run_table2",
+    "TABLE2_ROWS",
+    "run_fig4",
+    "run_fig5",
+    "SWEEPS",
+    "run_trials",
+    "summarize_trials",
+    "TrialResult",
+]

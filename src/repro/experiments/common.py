@@ -1,0 +1,118 @@
+"""Shared building blocks for the experiment harnesses."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..data import SyntheticCUB, SyntheticImageNet, make_split
+from ..models.heads import ImageEncoder
+from ..models.resnet import build_backbone
+from ..utils.rng import spawn
+from ..zsl import PipelineConfig, TrainConfig, ZSLPipeline, train_phase1
+from .config import get_scale
+
+__all__ = [
+    "build_dataset",
+    "pipeline_config",
+    "run_pipeline",
+    "pretrained_feature_encoder",
+    "extract_features",
+    "aggregate",
+]
+
+
+def build_dataset(scale, seed=0):
+    """SyntheticCUB at the given experiment scale."""
+    scale = get_scale(scale)
+    return SyntheticCUB(
+        num_classes=scale.num_classes,
+        images_per_class=scale.images_per_class,
+        image_size=scale.image_size,
+        seed=seed,
+    )
+
+
+def pipeline_config(scale, seed=0, **overrides):
+    """PipelineConfig matching an :class:`ExperimentScale`.
+
+    ``overrides`` may replace any PipelineConfig field (e.g.
+    ``attribute_encoder="mlp"``, ``backbone="resnet101"``).
+    """
+    scale = get_scale(scale)
+    base = dict(
+        backbone="resnet50",
+        embedding_dim=scale.embedding_dim,
+        attribute_encoder="hdc",
+        temperature=scale.temperature,
+        seed=seed,
+        pretrain_classes=scale.pretrain_classes,
+        pretrain_images_per_class=scale.pretrain_images_per_class,
+        image_size=scale.image_size,
+        phase1=TrainConfig(
+            epochs=scale.phase1_epochs, batch_size=scale.batch_size,
+            lr=scale.lr, weight_decay=scale.weight_decay, seed=seed,
+        ),
+        phase2=TrainConfig(
+            epochs=scale.phase2_epochs, batch_size=scale.batch_size,
+            lr=scale.lr, weight_decay=scale.weight_decay, seed=seed,
+        ),
+        phase3=TrainConfig(
+            epochs=scale.phase3_epochs, batch_size=scale.batch_size,
+            lr=scale.lr, weight_decay=scale.weight_decay, seed=seed,
+        ),
+    )
+    base.update(overrides)
+    return PipelineConfig(**base)
+
+
+def run_pipeline(dataset, split, config):
+    """Run the three-phase pipeline in float32 and return its result."""
+    with nn.using_dtype(np.float32):
+        pipeline = ZSLPipeline(dataset, split, config)
+        result = pipeline.run()
+    return pipeline, result
+
+
+def pretrained_feature_encoder(scale, seed=0):
+    """A Phase-I-pretrained frozen image encoder for the feature baselines.
+
+    The ZSL literature evaluates ESZSL/TCN/generative methods on frozen
+    ImageNet-pretrained CNN features; this provides the equivalent
+    substitute (backbone pre-trained on SyntheticImageNet, no projection).
+    """
+    scale = get_scale(scale)
+    with nn.using_dtype(np.float32):
+        rng = spawn(seed, "feature-backbone")
+        backbone = build_backbone("resnet50", rng=rng)
+        pretrain = SyntheticImageNet(
+            num_classes=scale.pretrain_classes,
+            images_per_class=scale.pretrain_images_per_class,
+            image_size=scale.image_size,
+            seed=spawn(seed, "feature-pretrain-data").integers(2**31),
+        )
+        config = TrainConfig(
+            epochs=scale.phase1_epochs,
+            batch_size=scale.batch_size,
+            lr=scale.lr,
+            weight_decay=scale.weight_decay,
+            seed=seed,
+        )
+        train_phase1(backbone, pretrain.images, pretrain.labels, pretrain.num_classes, config)
+        encoder = ImageEncoder(backbone, embedding_dim=None)
+        encoder.freeze()
+        encoder.eval()
+    return encoder
+
+
+def extract_features(encoder, images, batch_size=64):
+    """Frozen features for a (large) image array, float64 numpy."""
+    with nn.using_dtype(np.float32):
+        features = encoder.encode(images, batch_size=batch_size)
+    return features.astype(np.float64)
+
+
+def aggregate(values):
+    """Mean ± std over trial values (the paper's µ ± σ protocol)."""
+    values = np.asarray(list(values), dtype=np.float64)
+    return float(values.mean()), float(values.std())

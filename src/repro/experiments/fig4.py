@@ -1,0 +1,172 @@
+"""Fig 4 — accuracy vs parameter count (Pareto comparison).
+
+Two complementary reproductions:
+
+1. **Measured series** — HDC-ZSC, Trainable-MLP, ESZSL, TCN and the
+   generative recipe are all trained on the same synthetic ZS split;
+   accuracies are measured, parameter counts are those of the actual
+   mini-scale models.
+2. **Published series** — the paper's full-scale reference points
+   (accuracies from the cited literature, parameter counts from the
+   paper's ratios and our analytic ResNet formulas), whose Pareto
+   geometry is checked exactly.
+
+Run: ``python -m repro.experiments.fig4 [scale]``
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..baselines import ESZSL, TCN, GenerativeZSL
+from ..data import make_split
+from ..metrics import is_pareto_optimal, top1_accuracy
+from ..models.param_count import paper_catalog
+from ..utils.tables import format_table
+from .common import (
+    build_dataset,
+    extract_features,
+    pipeline_config,
+    pretrained_feature_encoder,
+    run_pipeline,
+)
+from .config import get_scale
+
+__all__ = ["run_fig4", "format_fig4", "ascii_scatter", "main"]
+
+
+def run_fig4(scale="default", seed=0):
+    """Train all measured models; return a list of point dicts."""
+    scale = get_scale(scale)
+    dataset = build_dataset(scale, seed=seed)
+    split = make_split(dataset, "ZS", seed=seed)
+    test_attrs = dataset.class_attributes[split.test_classes]
+    train_attrs = dataset.class_attributes[split.train_classes]
+    points = []
+
+    # --- ours (end-to-end pipelines) -------------------------------------- #
+    for kind, label in (("hdc", "HDC-ZSC (ours)"), ("mlp", "Trainable-MLP (ours)")):
+        config = pipeline_config(scale, seed=seed, attribute_encoder=kind)
+        pipeline, result = run_pipeline(dataset, split, config)
+        points.append(
+            {
+                "name": label,
+                "family": "ours",
+                "top1": result.metrics["top1"],
+                "params": pipeline.model.num_parameters(trainable_only=False),
+            }
+        )
+
+    # --- feature-space baselines ------------------------------------------- #
+    encoder = pretrained_feature_encoder(scale, seed=seed)
+    backbone_params = encoder.num_parameters(trainable_only=False)
+    train_features = extract_features(encoder, split.train_images)
+    test_features = extract_features(encoder, split.test_images)
+    train_targets = split.train_targets
+    test_targets = split.test_targets
+
+    eszsl = ESZSL(gamma=1.0, lam=1.0).fit(train_features, train_targets, train_attrs)
+    points.append(
+        {
+            "name": "ESZSL",
+            "family": "non-generative",
+            "top1": top1_accuracy(eszsl.scores(test_features, test_attrs), test_targets) * 100,
+            "params": backbone_params + eszsl.V.size,
+        }
+    )
+
+    with nn.using_dtype(np.float32):
+        tcn = TCN(encoder.embedding_dim, dataset.num_attributes,
+                  embedding_dim=get_scale(scale).embedding_dim, seed=seed)
+        tcn.fit(train_features, train_targets, train_attrs,
+                epochs=scale.baseline_epochs, batch_size=scale.batch_size, lr=scale.lr)
+        tcn_scores = tcn.scores(test_features.astype(np.float32), test_attrs)
+        points.append(
+            {
+                "name": "TCN",
+                "family": "non-generative",
+                "top1": top1_accuracy(tcn_scores, test_targets) * 100,
+                "params": backbone_params + tcn.num_parameters(),
+            }
+        )
+
+        generative = GenerativeZSL(dataset.num_attributes, encoder.embedding_dim,
+                                   hidden_dim=2 * get_scale(scale).embedding_dim, seed=seed)
+        generative.fit(train_features, train_targets, train_attrs, test_attrs,
+                       epochs=scale.baseline_epochs, batch_size=scale.batch_size)
+        points.append(
+            {
+                "name": "Generative (f-CLSWGAN-style)",
+                "family": "generative",
+                "top1": top1_accuracy(generative.scores(test_features), test_targets) * 100,
+                "params": backbone_params + generative.num_parameters(),
+            }
+        )
+    return points
+
+
+def format_fig4(points, catalog=None):
+    """Render measured and published series with Pareto membership."""
+    catalog = catalog if catalog is not None else paper_catalog()
+    measured_mask = is_pareto_optimal(
+        [p["params"] for p in points], [p["top1"] for p in points]
+    )
+    rows = [
+        [p["name"], p["family"], f"{p['top1']:.1f}", f"{p['params']:,}",
+         "yes" if on_front else "no"]
+        for p, on_front in zip(points, measured_mask)
+    ]
+    measured = format_table(
+        ["Model", "Family", "top-1 %", "params (mini)", "Pareto"],
+        rows,
+        title="Fig 4 (measured on synthetic ZS split)",
+    )
+    published_mask = is_pareto_optimal(
+        [s.params_millions for s in catalog], [s.top1_accuracy for s in catalog]
+    )
+    rows = [
+        [s.name, s.family, f"{s.top1_accuracy:.1f}", f"{s.params_millions:.2f} M",
+         "yes" if on_front else "no"]
+        for s, on_front in zip(catalog, published_mask)
+    ]
+    published = format_table(
+        ["Model", "Family", "top-1 %", "params (full-scale)", "Pareto"],
+        rows,
+        title="Fig 4 (published reference points)",
+    )
+    return measured + "\n\n" + published
+
+
+def ascii_scatter(specs, width=64, height=18):
+    """Plain-text rendering of the accuracy-vs-parameters scatter."""
+    xs = np.array([s.params_millions for s in specs])
+    ys = np.array([s.top1_accuracy for s in specs])
+    x_lo, x_hi = xs.min() - 2, xs.max() + 2
+    y_lo, y_hi = ys.min() - 1, ys.max() + 1
+    grid = [[" "] * width for _ in range(height)]
+    markers = {"ours": "O", "non-generative": "n", "generative": "g"}
+    for spec in specs:
+        col = int((spec.params_millions - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = int((1 - (spec.top1_accuracy - y_lo) / (y_hi - y_lo)) * (height - 1))
+        grid[row][col] = markers[spec.family]
+    lines = ["top-1 %"]
+    lines += ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width + "> params (M)")
+    lines.append(f"  x: [{x_lo:.0f}, {x_hi:.0f}] M    O=ours  n=non-generative  g=generative")
+    return "\n".join(lines)
+
+
+def main(scale="default", seed=0):
+    points = run_fig4(scale=scale, seed=seed)
+    catalog = paper_catalog()
+    print(format_fig4(points, catalog))
+    print()
+    print(ascii_scatter(catalog))
+    return points
+
+
+if __name__ == "__main__":
+    import sys
+
+    main(scale=sys.argv[1] if len(sys.argv) > 1 else "default")

@@ -1,0 +1,140 @@
+"""Fig 5 — hyperparameter tuning for HDC-ZSC on the validation split.
+
+Sweeps the paper's five hyperparameters one-factor-at-a-time around the
+default point, measuring Phase-III zero-shot top-1 % on the 50-disjoint-
+class validation split:
+
+- batch size ∈ {4, 8, 16, 32}
+- epochs ∈ {3, 10, 30, 100}
+- learning rate ∈ {1e-6, 1e-3, 0.01}
+- temperature scale ∈ {7e-4, 0.03, 0.7}
+- weight decay ∈ {0, 1e-4, 0.01}
+
+Phases I+II are trained once and reused (the sweep varies only the
+Phase-III training, as in the paper's ZSC tuning); every sweep point
+restarts Phase III from the same snapshot.
+
+Run: ``python -m repro.experiments.fig5 [scale]``
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..data import make_split
+from ..utils.tables import format_table
+from ..zsl import ZSLPipeline, evaluate_zsc, train_phase3
+from .common import build_dataset, pipeline_config
+from .config import get_scale
+
+__all__ = ["SWEEPS", "run_fig5", "format_fig5", "main"]
+
+SWEEPS = {
+    "batch_size": (4, 8, 16, 32),
+    "epochs": (3, 10, 30, 100),
+    "lr": (1e-6, 1e-3, 0.01),
+    "temperature": (7e-4, 0.03, 0.7),
+    "weight_decay": (0.0, 1e-4, 0.01),
+}
+
+
+def _restore(model, snapshot, temperature=None):
+    """Reset the model to the post-Phase-II snapshot (fresh Phase III)."""
+    model.load_state_dict(snapshot)
+    model.unfreeze()
+    if temperature is not None:
+        model.kernel.log_temperature.data = np.array(
+            np.log(temperature), dtype=model.kernel.log_temperature.data.dtype
+        )
+    return model
+
+
+def run_fig5(scale="default", seed=0, sweeps=None, max_epochs_cap=None):
+    """Run the one-factor-at-a-time sweep; returns {hyperparam: [(value, top1)]}.
+
+    ``max_epochs_cap`` optionally truncates the epochs sweep (used by the
+    quick benchmark harness).
+    """
+    scale = get_scale(scale)
+    sweeps = dict(sweeps or SWEEPS)
+    if max_epochs_cap is not None:
+        sweeps["epochs"] = tuple(e for e in sweeps["epochs"] if e <= max_epochs_cap)
+
+    dataset = build_dataset(scale, seed=seed)
+    split = make_split(dataset, "val", seed=seed)
+    config = pipeline_config(scale, seed=seed)
+    # Phases I+II once; skip Phase III here (epochs=0).
+    config.phase3 = config.phase3.with_overrides(epochs=0)
+    with nn.using_dtype(np.float32):
+        pipeline = ZSLPipeline(dataset, split, config)
+        pipeline.run()
+        snapshot = pipeline.model.state_dict()
+        train_attrs = dataset.class_attributes[split.train_classes]
+        test_attrs = dataset.class_attributes[split.test_classes]
+
+        base = dict(
+            epochs=scale.phase3_epochs,
+            batch_size=scale.batch_size,
+            lr=scale.lr,
+            weight_decay=scale.weight_decay,
+            temperature=scale.temperature,
+        )
+        results = {}
+        for hyperparam, values in sweeps.items():
+            series = []
+            for value in values:
+                settings = dict(base)
+                settings[hyperparam] = value
+                temperature = settings.pop("temperature")
+                phase3 = config.phase3.with_overrides(
+                    epochs=settings["epochs"],
+                    batch_size=settings["batch_size"],
+                    lr=settings["lr"],
+                    weight_decay=settings["weight_decay"],
+                    seed=seed,
+                )
+                _restore(pipeline.model, snapshot, temperature=temperature)
+                train_phase3(
+                    pipeline.model,
+                    split.train_images,
+                    split.train_targets,
+                    train_attrs,
+                    phase3,
+                )
+                metrics = evaluate_zsc(
+                    pipeline.model, split.test_images, split.test_targets, test_attrs
+                )
+                series.append((value, metrics["top1"]))
+            results[hyperparam] = series
+    return results
+
+
+def format_fig5(results):
+    """Render one small table per swept hyperparameter."""
+    blocks = []
+    for hyperparam, series in results.items():
+        rows = [[f"{value:g}", f"{top1:.1f}"] for value, top1 in series]
+        blocks.append(
+            format_table(
+                [hyperparam, "val top-1 %"], rows,
+                title=f"Fig 5 sweep: {hyperparam}",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def main(scale="default", seed=0):
+    results = run_fig5(scale=scale, seed=seed)
+    print(format_fig5(results))
+    epoch_series = dict(results).get("epochs", [])
+    if epoch_series:
+        best_epochs = max(epoch_series, key=lambda pair: pair[1])[0]
+        print(f"\nBest epoch count: {best_epochs} (paper: ~10 epochs suffice)")
+    return results
+
+
+if __name__ == "__main__":
+    import sys
+
+    main(scale=sys.argv[1] if len(sys.argv) > 1 else "default")

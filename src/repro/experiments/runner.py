@@ -1,0 +1,69 @@
+"""Multi-trial experiment runner.
+
+The paper reports every result as µ ± σ over five trials with different
+seeds; this module provides that protocol for any experiment callable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..utils.tables import format_mean_std
+
+__all__ = ["TrialResult", "run_trials", "summarize_trials"]
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """Aggregated multi-seed statistics for one scalar metric."""
+
+    name: str
+    values: tuple
+    seeds: tuple
+
+    @property
+    def mean(self):
+        return float(np.mean(self.values))
+
+    @property
+    def std(self):
+        return float(np.std(self.values))
+
+    def __str__(self):
+        return f"{self.name}: {format_mean_std(self.mean, self.std)}"
+
+
+def run_trials(experiment, seeds, metric_names=None):
+    """Run ``experiment(seed) -> dict[str, float]`` for every seed.
+
+    Parameters
+    ----------
+    experiment:
+        Callable mapping a seed to a flat metric dict.
+    seeds:
+        Iterable of integer seeds (the paper uses five).
+    metric_names:
+        Optional subset of metric keys to aggregate; defaults to all keys
+        of the first trial.
+
+    Returns
+    -------
+    dict[str, TrialResult]
+    """
+    seeds = [int(s) for s in seeds]
+    if not seeds:
+        raise ValueError("need at least one seed")
+    per_seed = [experiment(seed) for seed in seeds]
+    names = list(metric_names or per_seed[0].keys())
+    results = {}
+    for name in names:
+        values = tuple(float(trial[name]) for trial in per_seed)
+        results[name] = TrialResult(name=name, values=values, seeds=tuple(seeds))
+    return results
+
+
+def summarize_trials(results):
+    """One line per metric, in the paper's ``µ ± σ`` style."""
+    return "\n".join(str(results[name]) for name in results)

@@ -1,0 +1,86 @@
+"""Table II — image/attribute encoder ablation.
+
+Reproduces the paper's ablation: {ResNet50 (no FC), ResNet50+FC d=1536,
+ResNet50+FC d=2048, ResNet101 (no FC)} × {HDC, trainable MLP} with a
+common hyperparameter set, on the ZS split, figure of merit top-1 %.
+Phase II is skipped when the projection FC is absent (as in the paper).
+
+Full-scale embedding dims map onto the mini backbones proportionally:
+the mini feature width stands in for 2048, and ``0.75 ×`` of it for 1536.
+
+Run: ``python -m repro.experiments.table2 [scale]``
+"""
+
+from __future__ import annotations
+
+from ..data import make_split
+from ..utils.tables import format_table
+from .common import build_dataset, pipeline_config, run_pipeline
+from .config import get_scale
+
+__all__ = ["TABLE2_ROWS", "run_table2", "format_table2", "main"]
+
+#: (label, backbone preset, use FC?, full-scale d, run Phase II?)
+TABLE2_ROWS = (
+    ("ResNet50 (no FC)", "resnet50", False, 2048),
+    ("ResNet50+FC d=1536", "resnet50", True, 1536),
+    ("ResNet50+FC d=2048", "resnet50", True, 2048),
+    ("ResNet101 (no FC)", "resnet101", False, 2048),
+)
+
+
+def _mini_dim(scale, full_dim):
+    """Map a full-scale embedding width onto the experiment scale."""
+    return max(8, int(round(scale.embedding_dim * full_dim / 2048)))
+
+
+def run_table2(scale="default", seed=0):
+    """Train all 8 (image encoder × attribute encoder) configurations.
+
+    Returns ``[{label, d, hdc, mlp}]`` rows with top-1 % accuracies.
+    """
+    scale = get_scale(scale)
+    dataset = build_dataset(scale, seed=seed)
+    split = make_split(dataset, "ZS", seed=seed)
+    rows = []
+    for label, backbone, use_fc, full_dim in TABLE2_ROWS:
+        row = {"label": label, "d": full_dim, "pretrain": "I,II,III" if use_fc else "I,III"}
+        for kind in ("hdc", "mlp"):
+            config = pipeline_config(
+                scale,
+                seed=seed,
+                backbone=backbone,
+                embedding_dim=_mini_dim(scale, full_dim) if use_fc else None,
+                attribute_encoder=kind,
+            )
+            _, result = run_pipeline(dataset, split, config)
+            row[kind] = result.metrics["top1"]
+        rows.append(row)
+    return rows
+
+
+def format_table2(rows):
+    """Render in the paper's Table II layout."""
+    body = [
+        [row["label"], row["pretrain"], row["d"], f"{row['hdc']:.1f}", f"{row['mlp']:.1f}"]
+        for row in rows
+    ]
+    return format_table(
+        ["Image Encoder", "Pre-train", "d (full-scale)", "HDC ZSC top-1%", "MLP top-1%"],
+        body,
+        title="Table II — encoder ablation (ZS split)",
+    )
+
+
+def main(scale="default", seed=0):
+    rows = run_table2(scale=scale, seed=seed)
+    print(format_table2(rows))
+    best = max(rows, key=lambda r: r["hdc"])
+    print(f"\nBest HDC configuration: {best['label']} (paper: ResNet50+FC d=1536)")
+    return rows
+
+
+if __name__ == "__main__":
+    import sys
+
+    main(scale=sys.argv[1] if len(sys.argv) > 1 else "default")

@@ -1,0 +1,63 @@
+"""``repro.hdc`` — hyperdimensional computing library.
+
+Implements the paper's HDC machinery: Rademacher hypervector sampling,
+the bipolar/binary algebra (bind ⊙ / bundle + / permute ρ / unbind ⊘),
+codebooks, associative item memory, the two-codebook attribute dictionary
+``b_x = g_y ⊙ v_z``, quasi-orthogonality analytics and the memory
+footprint accounting behind the 17 KB / 71 % claims.
+"""
+
+from .analysis import crosstalk_probability, orthogonality_report, pairwise_similarities
+from .attribute_dictionary import AttributeDictionary
+from .codebook import Codebook
+from .footprint import FootprintReport, codebook_footprint
+from .hypervector import (
+    binary_to_bipolar,
+    bipolar_to_binary,
+    expected_similarity_std,
+    is_binary,
+    is_bipolar,
+    random_binary,
+    random_bipolar,
+)
+from .item_memory import ItemMemory
+from .ops import (
+    bind,
+    bind_binary,
+    bundle,
+    cosine_similarity,
+    dot_similarity,
+    hamming_distance,
+    inverse_permute,
+    normalized_hamming,
+    permute,
+    unbind,
+)
+
+__all__ = [
+    "random_bipolar",
+    "random_binary",
+    "bipolar_to_binary",
+    "binary_to_bipolar",
+    "is_bipolar",
+    "is_binary",
+    "expected_similarity_std",
+    "bind",
+    "bind_binary",
+    "unbind",
+    "bundle",
+    "permute",
+    "inverse_permute",
+    "cosine_similarity",
+    "dot_similarity",
+    "hamming_distance",
+    "normalized_hamming",
+    "Codebook",
+    "ItemMemory",
+    "AttributeDictionary",
+    "pairwise_similarities",
+    "orthogonality_report",
+    "crosstalk_probability",
+    "FootprintReport",
+    "codebook_footprint",
+]

@@ -1,0 +1,60 @@
+"""Quasi-orthogonality analytics for hypervector collections.
+
+Quantifies the HDC dimensioning argument: pairwise similarities of random
+(and bound) hypervectors concentrate around zero with standard deviation
+``1/sqrt(d)``, so a sufficiently large ``d`` keeps symbols separable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .hypervector import expected_similarity_std
+from .ops import cosine_similarity
+
+__all__ = [
+    "pairwise_similarities",
+    "orthogonality_report",
+    "crosstalk_probability",
+]
+
+
+def pairwise_similarities(vectors):
+    """Upper-triangular pairwise cosine similarities of a stack of vectors."""
+    vectors = np.asarray(vectors, dtype=np.float64)
+    if vectors.ndim != 2 or vectors.shape[0] < 2:
+        raise ValueError("need a 2-D stack with at least two vectors")
+    sims = cosine_similarity(vectors, vectors)
+    iu = np.triu_indices(vectors.shape[0], k=1)
+    return sims[iu]
+
+
+def orthogonality_report(vectors):
+    """Summary statistics of pairwise similarity vs the theoretical bound.
+
+    Returns a dict with observed mean / std / max |sim| and the theoretical
+    ``1/sqrt(d)`` standard deviation for comparison.
+    """
+    vectors = np.asarray(vectors)
+    sims = pairwise_similarities(vectors)
+    return {
+        "num_vectors": int(vectors.shape[0]),
+        "dim": int(vectors.shape[1]),
+        "mean": float(sims.mean()),
+        "std": float(sims.std()),
+        "max_abs": float(np.abs(sims).max()),
+        "theoretical_std": expected_similarity_std(vectors.shape[1]),
+    }
+
+
+def crosstalk_probability(dim, threshold):
+    """Gaussian-tail estimate of P(|cos sim| > threshold) for random HVs.
+
+    Uses the CLT approximation cos ~ N(0, 1/d); useful for choosing ``d``.
+    """
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
+    from scipy.stats import norm
+
+    sigma = expected_similarity_std(dim)
+    return float(2.0 * norm.sf(threshold / sigma))

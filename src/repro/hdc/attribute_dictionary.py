@@ -1,0 +1,133 @@
+"""The paper's two-codebook attribute dictionary.
+
+Instead of storing one atomic hypervector per attribute group/value
+combination (α = 312 for CUB-200), HDC-ZSC stores an attribute-*groups*
+codebook (G = 28) and an attribute-*values* codebook (V = 61) and
+materializes each combination on the fly by variable binding:
+
+    b_x = g_y ⊙ v_z
+
+Binding produces vectors quasi-orthogonal to both operands, so
+quasi-orthogonality is preserved at the attribute level while the atomic
+storage shrinks from α to G + V vectors (a ~71 % reduction).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .codebook import Codebook
+from .ops import bind
+
+__all__ = ["AttributeDictionary"]
+
+
+class AttributeDictionary:
+    """Materializes attribute codevectors from group/value codebooks.
+
+    Parameters
+    ----------
+    group_codebook, value_codebook:
+        The two stationary atomic codebooks (same dimensionality).
+    pairs:
+        Sequence of ``(group_index, value_index)`` tuples, one per
+        attribute combination, defining rows of the dictionary
+        ``B ∈ {±1}^{α×d}``.
+    """
+
+    def __init__(self, group_codebook, value_codebook, pairs):
+        if not isinstance(group_codebook, Codebook) or not isinstance(value_codebook, Codebook):
+            raise TypeError("codebooks must be Codebook instances")
+        if group_codebook.dim != value_codebook.dim:
+            raise ValueError(
+                f"codebook dims differ: {group_codebook.dim} vs {value_codebook.dim}"
+            )
+        pairs = [(int(g), int(v)) for g, v in pairs]
+        if len(set(pairs)) != len(pairs):
+            raise ValueError("duplicate (group, value) pairs in attribute dictionary")
+        for g, v in pairs:
+            if not 0 <= g < len(group_codebook):
+                raise IndexError(f"group index {g} out of range")
+            if not 0 <= v < len(value_codebook):
+                raise IndexError(f"value index {v} out of range")
+        self.groups = group_codebook
+        self.values = value_codebook
+        self.pairs = tuple(pairs)
+        self._matrix = None
+
+    @classmethod
+    def random(cls, num_groups, num_values, pairs, dim, rng, group_names=None, value_names=None):
+        """Sample fresh random codebooks and build the dictionary."""
+        group_names = group_names or [f"group{i}" for i in range(num_groups)]
+        value_names = value_names or [f"value{i}" for i in range(num_values)]
+        groups = Codebook.random(group_names, dim, rng)
+        values = Codebook.random(value_names, dim, rng)
+        return cls(groups, values, pairs)
+
+    # -- core ------------------------------------------------------------ #
+
+    @property
+    def dim(self):
+        return self.groups.dim
+
+    @property
+    def num_attributes(self):
+        """α — the number of group/value combinations."""
+        return len(self.pairs)
+
+    def row(self, index):
+        """Materialize attribute codevector ``b_index = g_y ⊙ v_z`` on the fly."""
+        g, v = self.pairs[index]
+        return bind(self.groups[g], self.values[v])
+
+    def matrix(self, cache=True):
+        """The full dictionary ``B ∈ {±1}^{α×d}`` (optionally cached).
+
+        The cached form corresponds to a software implementation that
+        rematerializes once; ``row`` models the hardware-style on-the-fly
+        binding of Schmuck et al.
+        """
+        if self._matrix is not None:
+            return self._matrix
+        g_idx = np.array([g for g, _ in self.pairs])
+        v_idx = np.array([v for _, v in self.pairs])
+        matrix = (self.groups.vectors[g_idx] * self.values.vectors[v_idx]).astype(np.int8)
+        if cache:
+            self._matrix = matrix
+            self._matrix.setflags(write=False)
+        return matrix
+
+    def class_embeddings(self, class_attributes):
+        """Encode classes: ``φ(A) = A × B`` with ``A ∈ R^{C×α}``.
+
+        This is the paper's stationary attribute encoder for zero-shot
+        classification (Section III-B).
+        """
+        class_attributes = np.asarray(class_attributes, dtype=np.float64)
+        if class_attributes.ndim != 2 or class_attributes.shape[1] != self.num_attributes:
+            raise ValueError(
+                f"class attributes must be (C, {self.num_attributes}), "
+                f"got {class_attributes.shape}"
+            )
+        return class_attributes @ self.matrix().astype(np.float64)
+
+    # -- accounting -------------------------------------------------------- #
+
+    def atomic_memory_bits(self):
+        """Bits to store the two atomic codebooks ((G + V) × d)."""
+        return self.groups.memory_bits() + self.values.memory_bits()
+
+    def naive_memory_bits(self):
+        """Bits a one-vector-per-combination dictionary would need (α × d)."""
+        return self.num_attributes * self.dim
+
+    def memory_reduction(self):
+        """Fractional memory saving of the two-codebook factorization."""
+        naive = self.naive_memory_bits()
+        return (naive - self.atomic_memory_bits()) / naive
+
+    def __repr__(self):
+        return (
+            f"AttributeDictionary(G={len(self.groups)}, V={len(self.values)}, "
+            f"alpha={self.num_attributes}, d={self.dim})"
+        )

@@ -1,0 +1,63 @@
+"""Memory-footprint accounting for the HDC attribute encoder.
+
+Reproduces the paper's storage claims: for CUB-200 (G = 28 groups,
+V = 61 values, α = 312 combinations) at d = 1536, the two-codebook
+factorization stores (28 + 61) × 1536 bits ≈ 17 KB — a ~71 % reduction
+over storing all 312 combination vectors — which is negligible next to a
+multi-hundred-MB CNN image encoder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FootprintReport", "codebook_footprint"]
+
+
+@dataclass(frozen=True)
+class FootprintReport:
+    """Storage accounting for a two-codebook attribute encoder."""
+
+    num_groups: int
+    num_values: int
+    num_attributes: int
+    dim: int
+
+    @property
+    def factored_bits(self):
+        """Bits for the group + value codebooks."""
+        return (self.num_groups + self.num_values) * self.dim
+
+    @property
+    def naive_bits(self):
+        """Bits for one vector per group/value combination."""
+        return self.num_attributes * self.dim
+
+    @property
+    def factored_kilobytes(self):
+        return self.factored_bits / 8.0 / 1024.0
+
+    @property
+    def naive_kilobytes(self):
+        return self.naive_bits / 8.0 / 1024.0
+
+    @property
+    def reduction(self):
+        """Fractional saving of factored vs naive storage."""
+        return (self.naive_bits - self.factored_bits) / self.naive_bits
+
+    def summary(self):
+        """Human-readable report string."""
+        return (
+            f"atomic codebooks: ({self.num_groups}+{self.num_values})×{self.dim} bits "
+            f"= {self.factored_kilobytes:.1f} KB; naive dictionary: "
+            f"{self.num_attributes}×{self.dim} bits = {self.naive_kilobytes:.1f} KB; "
+            f"reduction = {self.reduction * 100.0:.0f}%"
+        )
+
+
+def codebook_footprint(num_groups=28, num_values=61, num_attributes=312, dim=1536):
+    """Footprint report with the paper's CUB-200 defaults."""
+    if min(num_groups, num_values, num_attributes, dim) <= 0:
+        raise ValueError("all sizes must be positive")
+    return FootprintReport(num_groups, num_values, num_attributes, dim)

@@ -1,0 +1,82 @@
+"""Hypervector sampling and representation conversions.
+
+HDC encodes symbols as randomly initialized high-dimensional vectors
+("atomic hypervectors"). The paper uses *dense* binary/bipolar vectors
+drawn from the Rademacher distribution; as the dimensionality grows,
+independently sampled vectors become quasi-orthogonal (Kanerva, 2009).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "random_bipolar",
+    "random_binary",
+    "bipolar_to_binary",
+    "binary_to_bipolar",
+    "is_bipolar",
+    "is_binary",
+    "expected_similarity_std",
+]
+
+
+def random_bipolar(num_vectors, dim, rng):
+    """Sample ``num_vectors`` dense bipolar hypervectors from Rademacher.
+
+    Returns an ``(num_vectors, dim)`` int8 array with entries in {-1, +1}.
+    """
+    if dim <= 0 or num_vectors < 0:
+        raise ValueError("dim must be positive and num_vectors non-negative")
+    return (rng.integers(0, 2, size=(num_vectors, dim), dtype=np.int8) * 2 - 1).astype(np.int8)
+
+
+def random_binary(num_vectors, dim, rng):
+    """Sample dense binary hypervectors: ``(num_vectors, dim)`` in {0, 1}."""
+    if dim <= 0 or num_vectors < 0:
+        raise ValueError("dim must be positive and num_vectors non-negative")
+    return rng.integers(0, 2, size=(num_vectors, dim), dtype=np.int8)
+
+
+def bipolar_to_binary(x):
+    """Map {-1, +1} → {1, 0} (the convention under which XOR ≡ multiply).
+
+    With ``b = (1 - x) / 2``, bipolar multiplication corresponds exactly to
+    binary XOR: ``(-1)·(-1)=+1 ↔ 1⊕1=0``.
+    """
+    x = np.asarray(x)
+    if not is_bipolar(x):
+        raise ValueError("input is not bipolar (+1/-1)")
+    return ((1 - x) // 2).astype(np.int8)
+
+
+def binary_to_bipolar(b):
+    """Map {1, 0} → {-1, +1}, the inverse of :func:`bipolar_to_binary`."""
+    b = np.asarray(b)
+    if not is_binary(b):
+        raise ValueError("input is not binary (0/1)")
+    return (1 - 2 * b).astype(np.int8)
+
+
+def is_bipolar(x):
+    """True when every entry is -1 or +1."""
+    x = np.asarray(x)
+    return bool(np.isin(x, (-1, 1)).all())
+
+
+def is_binary(x):
+    """True when every entry is 0 or 1."""
+    x = np.asarray(x)
+    return bool(np.isin(x, (0, 1)).all())
+
+
+def expected_similarity_std(dim):
+    """Standard deviation of the cosine similarity of two random bipolar HVs.
+
+    For i.i.d. Rademacher vectors the normalized dot product has mean 0 and
+    standard deviation ``1/sqrt(dim)`` — the quantitative statement of
+    quasi-orthogonality used in the paper's dimensioning argument.
+    """
+    if dim <= 0:
+        raise ValueError("dim must be positive")
+    return 1.0 / np.sqrt(dim)

@@ -1,0 +1,75 @@
+"""Associative item memory with similarity-based cleanup.
+
+A standard HDC component: stores labelled hypervectors and retrieves the
+best-matching stored item for a noisy query. Used in this repository for
+attribute-dictionary analysis and in the HDC example applications.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .ops import cosine_similarity
+
+__all__ = ["ItemMemory"]
+
+
+class ItemMemory:
+    """Associative memory over labelled hypervectors."""
+
+    def __init__(self, dim):
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        self.dim = dim
+        self._labels = []
+        self._vectors = []
+
+    def add(self, label, vector):
+        """Store ``vector`` under ``label`` (labels must be unique)."""
+        vector = np.asarray(vector)
+        if vector.shape != (self.dim,):
+            raise ValueError(f"expected shape ({self.dim},), got {vector.shape}")
+        if label in self._labels:
+            raise KeyError(f"label {label!r} already stored")
+        self._labels.append(label)
+        self._vectors.append(vector.astype(np.int8))
+
+    def add_many(self, labels, vectors):
+        """Store a stack of vectors under corresponding labels."""
+        for label, vector in zip(labels, vectors):
+            self.add(label, vector)
+
+    def __len__(self):
+        return len(self._labels)
+
+    def __contains__(self, label):
+        return label in self._labels
+
+    @property
+    def labels(self):
+        return tuple(self._labels)
+
+    def matrix(self):
+        """Return the stored vectors as an ``(n, dim)`` array."""
+        if not self._vectors:
+            return np.zeros((0, self.dim), dtype=np.int8)
+        return np.stack(self._vectors)
+
+    def similarities(self, query):
+        """Cosine similarity of ``query`` against every stored item."""
+        if not self._vectors:
+            raise LookupError("item memory is empty")
+        return cosine_similarity(np.asarray(query, dtype=np.float64), self.matrix())
+
+    def cleanup(self, query):
+        """Return ``(label, similarity)`` of the best-matching stored item."""
+        sims = self.similarities(query)
+        best = int(np.argmax(sims))
+        return self._labels[best], float(sims[best])
+
+    def topk(self, query, k=5):
+        """Return the ``k`` best ``(label, similarity)`` pairs, best first."""
+        sims = self.similarities(query)
+        k = min(k, len(self._labels))
+        order = np.argsort(sims)[::-1][:k]
+        return [(self._labels[i], float(sims[i])) for i in order]

@@ -1,0 +1,161 @@
+"""Elementary HDC algebra: binding, bundling, permutation, similarity.
+
+For *dense bipolar* hypervectors (the paper's representation, following
+Schmuck et al., JETC 2019):
+
+- binding ``⊙`` is elementwise multiplication (self-inverse),
+- for the equivalent *binary* representation binding is elementwise XOR,
+- bundling ``+`` is elementwise addition followed by a sign threshold
+  (majority rule),
+- permutation ``ρ`` is a cyclic shift,
+- unbinding ``⊘`` coincides with binding (the bipolar product is an
+  involution).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .hypervector import is_binary, is_bipolar
+
+__all__ = [
+    "bind",
+    "bind_binary",
+    "unbind",
+    "bundle",
+    "permute",
+    "inverse_permute",
+    "cosine_similarity",
+    "dot_similarity",
+    "hamming_distance",
+    "normalized_hamming",
+]
+
+
+def bind(a, b):
+    """Bipolar variable binding: elementwise multiplication.
+
+    The result is quasi-orthogonal to both operands — the property the
+    paper relies on to materialize attribute codevectors ``b_x = g_y ⊙ v_z``
+    that remain distinguishable at the attribute level.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape[-1] != b.shape[-1]:
+        raise ValueError(f"dimension mismatch: {a.shape} vs {b.shape}")
+    return (a * b).astype(a.dtype)
+
+
+def bind_binary(a, b):
+    """Binary variable binding: elementwise XOR (the {0,1} view of ``bind``)."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if not (is_binary(a) and is_binary(b)):
+        raise ValueError("bind_binary expects {0,1} inputs")
+    return np.bitwise_xor(a.astype(np.int8), b.astype(np.int8))
+
+
+def unbind(bound, key):
+    """Recover ``value`` from ``bound = key ⊙ value``.
+
+    For bipolar vectors binding is self-inverse, so unbinding is another
+    bind with the same key.
+    """
+    return bind(bound, key)
+
+
+def bundle(vectors, rng=None):
+    """Majority-rule bundling of a stack of bipolar hypervectors.
+
+    Parameters
+    ----------
+    vectors:
+        ``(n, d)`` array of bipolar vectors.
+    rng:
+        Optional generator used to break ties (even ``n``); without it,
+        ties resolve deterministically to +1.
+
+    Returns
+    -------
+    ``(d,)`` bipolar vector: the elementwise sign of the sum.
+    """
+    vectors = np.asarray(vectors)
+    if vectors.ndim != 2:
+        raise ValueError("bundle expects a 2-D (n, d) stack")
+    if not is_bipolar(vectors):
+        raise ValueError("bundle expects bipolar vectors")
+    total = vectors.sum(axis=0)
+    out = np.sign(total).astype(np.int8)
+    ties = out == 0
+    if ties.any():
+        if rng is not None:
+            out[ties] = (rng.integers(0, 2, size=int(ties.sum()), dtype=np.int8) * 2 - 1)
+        else:
+            out[ties] = 1
+    return out
+
+
+def permute(x, shift=1):
+    """Cyclic permutation ρ: roll the vector by ``shift`` positions."""
+    return np.roll(np.asarray(x), shift, axis=-1)
+
+
+def inverse_permute(x, shift=1):
+    """Inverse of :func:`permute`."""
+    return np.roll(np.asarray(x), -shift, axis=-1)
+
+
+def cosine_similarity(a, b):
+    """Cosine similarity between (stacks of) hypervectors.
+
+    Accepts 1-D or 2-D inputs; 2-D × 2-D returns the full pairwise matrix.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    a2 = np.atleast_2d(a)
+    b2 = np.atleast_2d(b)
+    a_norm = np.linalg.norm(a2, axis=1, keepdims=True)
+    b_norm = np.linalg.norm(b2, axis=1, keepdims=True)
+    if (a_norm == 0).any() or (b_norm == 0).any():
+        raise ValueError("cosine similarity undefined for zero vectors")
+    sim = (a2 / a_norm) @ (b2 / b_norm).T
+    if a.ndim == 1 and b.ndim == 1:
+        return float(sim[0, 0])
+    if a.ndim == 1:
+        return sim[0]
+    if b.ndim == 1:
+        return sim[:, 0]
+    return sim
+
+
+def dot_similarity(a, b):
+    """Raw dot-product similarity (pairwise for 2-D inputs)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    out = np.atleast_2d(a) @ np.atleast_2d(b).T
+    if a.ndim == 1 and b.ndim == 1:
+        return float(out[0, 0])
+    if a.ndim == 1:
+        return out[0]
+    if b.ndim == 1:
+        return out[:, 0]
+    return out
+
+
+def hamming_distance(a, b):
+    """Number of disagreeing components between two hypervectors.
+
+    Works for both binary and bipolar representations (they disagree at
+    exactly the same positions under the standard mapping).
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return int((a != b).sum())
+
+
+def normalized_hamming(a, b):
+    """Hamming distance divided by the dimensionality (in [0, 1])."""
+    a = np.asarray(a)
+    return hamming_distance(a, b) / a.shape[-1]

@@ -1,0 +1,21 @@
+"""``repro.metrics`` — evaluation metrics for all tables and figures."""
+
+from .attribute_metrics import group_top1_accuracy, group_wmap, per_group_report
+from .classification import confusion_matrix, top1_accuracy, top5_accuracy, topk_accuracy
+from .pareto import is_pareto_optimal, pareto_front
+from .wmap import average_precision, mean_average_precision, weighted_mean_average_precision
+
+__all__ = [
+    "topk_accuracy",
+    "top1_accuracy",
+    "top5_accuracy",
+    "confusion_matrix",
+    "average_precision",
+    "mean_average_precision",
+    "weighted_mean_average_precision",
+    "group_top1_accuracy",
+    "group_wmap",
+    "per_group_report",
+    "is_pareto_optimal",
+    "pareto_front",
+]

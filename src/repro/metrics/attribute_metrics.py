@@ -1,0 +1,68 @@
+"""Per-attribute-group metrics for the Table I comparison.
+
+Table I reports, per attribute group (bill shape, wing colour, ...):
+
+- **WMAP** of the group's attribute scores (vs Finetag), and
+- **top-1 % accuracy** (vs A3M): for each image, the highest-scoring
+  value *within the group* must be an active ground-truth value.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .wmap import weighted_mean_average_precision
+
+__all__ = ["group_top1_accuracy", "group_wmap", "per_group_report"]
+
+
+def group_top1_accuracy(scores, targets, group_slice):
+    """Top-1 accuracy restricted to one attribute group.
+
+    Parameters
+    ----------
+    scores, targets:
+        ``(N, α)`` prediction scores and binary ground truth.
+    group_slice:
+        ``slice`` selecting the group's columns (from
+        :meth:`AttributeSchema.group_slice`).
+    """
+    scores = np.asarray(scores)[:, group_slice]
+    targets = np.asarray(targets)[:, group_slice]
+    has_active = targets.sum(axis=1) > 0
+    if not has_active.any():
+        return float("nan")
+    predicted = scores[has_active].argmax(axis=1)
+    hit = targets[has_active, :][np.arange(int(has_active.sum())), predicted] > 0.5
+    return float(hit.mean())
+
+
+def group_wmap(scores, targets, group_slice):
+    """WMAP restricted to one attribute group's columns."""
+    scores = np.asarray(scores)[:, group_slice]
+    targets = np.asarray(targets)[:, group_slice]
+    return weighted_mean_average_precision(scores, targets)
+
+
+def per_group_report(schema, scores, targets):
+    """Compute WMAP and top-1 accuracy for every group plus the average.
+
+    Returns a dict: ``group name → {"wmap": float, "top1": float}`` with
+    an extra ``"average"`` entry, both metrics in percent (as in Table I).
+    """
+    report = {}
+    wmaps, top1s = [], []
+    for group in schema.groups:
+        sl = schema.group_slice(group.name)
+        wmap = group_wmap(scores, targets, sl) * 100.0
+        top1 = group_top1_accuracy(scores, targets, sl) * 100.0
+        report[group.name] = {"wmap": wmap, "top1": top1}
+        if not np.isnan(wmap):
+            wmaps.append(wmap)
+        if not np.isnan(top1):
+            top1s.append(top1)
+    report["average"] = {
+        "wmap": float(np.mean(wmaps)) if wmaps else float("nan"),
+        "top1": float(np.mean(top1s)) if top1s else float("nan"),
+    }
+    return report

@@ -1,0 +1,52 @@
+"""Classification accuracy metrics (top-1 / top-5 as in the paper)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["topk_accuracy", "top1_accuracy", "top5_accuracy", "confusion_matrix"]
+
+
+def topk_accuracy(scores, targets, k=1):
+    """Fraction of rows whose target is among the ``k`` highest scores.
+
+    Parameters
+    ----------
+    scores:
+        ``(N, C)`` score/logit matrix.
+    targets:
+        ``(N,)`` integer ground-truth labels.
+    """
+    scores = np.asarray(scores)
+    targets = np.asarray(targets, dtype=np.int64)
+    if scores.ndim != 2:
+        raise ValueError("scores must be 2-D (N, C)")
+    if targets.shape != (scores.shape[0],):
+        raise ValueError(f"targets shape {targets.shape} incompatible with scores {scores.shape}")
+    if not 1 <= k <= scores.shape[1]:
+        raise ValueError(f"k={k} out of range for {scores.shape[1]} classes")
+    topk = np.argpartition(-scores, k - 1, axis=1)[:, :k]
+    hits = (topk == targets[:, None]).any(axis=1)
+    return float(hits.mean())
+
+
+def top1_accuracy(scores, targets):
+    """Top-1 accuracy."""
+    return topk_accuracy(scores, targets, k=1)
+
+
+def top5_accuracy(scores, targets):
+    """Top-5 accuracy (k is clamped to the number of classes)."""
+    k = min(5, np.asarray(scores).shape[1])
+    return topk_accuracy(scores, targets, k=k)
+
+
+def confusion_matrix(predictions, targets, num_classes):
+    """Dense ``(num_classes, num_classes)`` confusion counts."""
+    predictions = np.asarray(predictions, dtype=np.int64)
+    targets = np.asarray(targets, dtype=np.int64)
+    if predictions.shape != targets.shape:
+        raise ValueError("predictions and targets must have the same shape")
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (targets, predictions), 1)
+    return matrix

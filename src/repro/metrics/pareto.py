@@ -1,0 +1,48 @@
+"""Pareto-front extraction for the Fig 4 accuracy-vs-parameters plot."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pareto_front", "is_pareto_optimal"]
+
+
+def is_pareto_optimal(costs, gains):
+    """Boolean mask of points not dominated by any other point.
+
+    A point dominates another when it has *lower or equal cost* (parameter
+    count) and *higher or equal gain* (accuracy), strictly better in at
+    least one. Fig 4's claim is that both of our models lie on this front.
+    """
+    costs = np.asarray(costs, dtype=np.float64)
+    gains = np.asarray(gains, dtype=np.float64)
+    if costs.shape != gains.shape or costs.ndim != 1:
+        raise ValueError("costs and gains must be 1-D arrays of equal length")
+    n = len(costs)
+    optimal = np.ones(n, dtype=bool)
+    for i in range(n):
+        dominated = (
+            (costs <= costs[i])
+            & (gains >= gains[i])
+            & ((costs < costs[i]) | (gains > gains[i]))
+        )
+        dominated[i] = False
+        if dominated.any():
+            optimal[i] = False
+    return optimal
+
+
+def pareto_front(points, cost_key, gain_key):
+    """Filter a list of dicts/objects to the Pareto-optimal subset.
+
+    ``cost_key`` / ``gain_key`` may be attribute names or dict keys.
+    """
+    def get(point, key):
+        if isinstance(point, dict):
+            return point[key]
+        return getattr(point, key)
+
+    costs = [get(p, cost_key) for p in points]
+    gains = [get(p, gain_key) for p in points]
+    mask = is_pareto_optimal(costs, gains)
+    return [p for p, keep in zip(points, mask) if keep]

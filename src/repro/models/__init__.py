@@ -1,0 +1,58 @@
+"""``repro.models`` — image encoders and parameter accounting."""
+
+from .heads import ClassifierHead, ImageEncoder
+from .mlp import MLP
+from .param_count import (
+    RESNET50_BACKBONE_PARAMS,
+    RESNET101_BACKBONE_PARAMS,
+    ModelSpec,
+    basic_block_params,
+    bn_params,
+    bottleneck_params,
+    conv_params,
+    count_parameters,
+    hdc_zsc_params,
+    linear_params,
+    paper_catalog,
+    resnet_backbone_params,
+    trainable_mlp_zsc_params,
+)
+from .resnet import (
+    BACKBONE_PRESETS,
+    BasicBlock,
+    Bottleneck,
+    ResNet,
+    build_backbone,
+    mini_resnet50,
+    mini_resnet101,
+    resnet50,
+    resnet101,
+)
+
+__all__ = [
+    "BasicBlock",
+    "Bottleneck",
+    "ResNet",
+    "resnet50",
+    "resnet101",
+    "mini_resnet50",
+    "mini_resnet101",
+    "BACKBONE_PRESETS",
+    "build_backbone",
+    "MLP",
+    "ImageEncoder",
+    "ClassifierHead",
+    "conv_params",
+    "bn_params",
+    "linear_params",
+    "bottleneck_params",
+    "basic_block_params",
+    "resnet_backbone_params",
+    "RESNET50_BACKBONE_PARAMS",
+    "RESNET101_BACKBONE_PARAMS",
+    "hdc_zsc_params",
+    "trainable_mlp_zsc_params",
+    "count_parameters",
+    "ModelSpec",
+    "paper_catalog",
+]

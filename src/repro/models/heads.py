@@ -1,0 +1,79 @@
+"""Image-encoder heads.
+
+The paper's image encoder γ(·) is a ResNet backbone followed by a single
+fully connected projection (``FC``) to the embedding dimension ``d``
+shared with the attribute encoder. During Phase I a temporary ``FC'``
+softmax head replaces the projection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+
+__all__ = ["ImageEncoder", "ClassifierHead"]
+
+
+class ImageEncoder(nn.Module):
+    """γ(·): backbone + optional FC projection to dimension ``d``.
+
+    Parameters
+    ----------
+    backbone:
+        A module mapping NCHW images to (N, feature_dim) features and
+        exposing ``feature_dim``.
+    embedding_dim:
+        Output dimensionality ``d``. When ``None`` the backbone features
+        are used directly (the Table II rows without an FC layer, where
+        Phase II is skipped).
+    """
+
+    def __init__(self, backbone, embedding_dim=None, rng=None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.backbone = backbone
+        if embedding_dim is None:
+            self.projection = nn.Identity()
+            self.embedding_dim = backbone.feature_dim
+            self.has_projection = False
+        else:
+            self.projection = nn.Linear(backbone.feature_dim, embedding_dim, rng=rng)
+            self.embedding_dim = embedding_dim
+            self.has_projection = True
+
+    def forward(self, x):
+        return self.projection(self.backbone(x))
+
+    def freeze_backbone(self):
+        """Make the backbone stationary (Phase III trains only the FC)."""
+        self.backbone.freeze()
+        return self
+
+    def encode(self, images, batch_size=64):
+        """Inference helper: embed a (possibly large) image array.
+
+        Runs in eval mode under ``no_grad`` and returns a numpy array.
+        """
+        was_training = self.training
+        self.eval()
+        chunks = []
+        with nn.no_grad():
+            for start in range(0, len(images), batch_size):
+                batch = np.asarray(images[start : start + batch_size])
+                chunks.append(self.forward(nn.Tensor(batch)).data)
+        if was_training:
+            self.train()
+        return np.concatenate(chunks, axis=0)
+
+
+class ClassifierHead(nn.Module):
+    """FC′: the temporary Phase-I softmax classification head."""
+
+    def __init__(self, in_features, num_classes, rng=None):
+        super().__init__()
+        self.fc = nn.Linear(in_features, num_classes, rng=rng)
+        self.num_classes = num_classes
+
+    def forward(self, features):
+        return self.fc(features)

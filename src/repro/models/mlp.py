@@ -1,0 +1,52 @@
+"""Multi-layer perceptrons (used by the Trainable-MLP attribute encoder
+and the generative baseline's networks)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+
+__all__ = ["MLP"]
+
+
+class MLP(nn.Module):
+    """Fully connected network with ReLU between layers.
+
+    Parameters
+    ----------
+    dims:
+        Layer widths including input and output, e.g. ``[312, 1536, 1536]``
+        builds the paper's 2-layer trainable attribute encoder.
+    final_activation:
+        Optional module applied after the last linear layer.
+    dropout:
+        Dropout probability applied after each hidden activation.
+    """
+
+    def __init__(self, dims, final_activation=None, dropout=0.0, rng=None):
+        super().__init__()
+        dims = list(dims)
+        if len(dims) < 2:
+            raise ValueError("MLP needs at least input and output dims")
+        rng = rng or np.random.default_rng()
+        layers = []
+        for index, (d_in, d_out) in enumerate(zip(dims[:-1], dims[1:])):
+            layers.append(nn.Linear(d_in, d_out, rng=rng))
+            is_last = index == len(dims) - 2
+            if not is_last:
+                layers.append(nn.ReLU())
+                if dropout:
+                    layers.append(nn.Dropout(dropout, rng=rng))
+        if final_activation is not None:
+            layers.append(final_activation)
+        self.net = nn.Sequential(*layers)
+        self.dims = tuple(dims)
+
+    def forward(self, x):
+        if not isinstance(x, nn.Tensor):
+            x = nn.Tensor(x)
+        return self.net(x)
+
+    def __repr__(self):
+        return f"MLP(dims={list(self.dims)})"

@@ -1,0 +1,167 @@
+"""Analytic parameter accounting and the Fig 4 model catalogue.
+
+The paper's headline efficiency claims are parameter-count claims:
+HDC-ZSC = ResNet50 backbone + FC(2048→1536) = **26.6 M** trainable
+parameters, vs 1.72× for ESZSL, 1.85× for TCN and 1.75–2.58× for the
+generative competitors. This module computes the full-scale counts
+analytically (no giant weight tensors needed) and carries the published
+reference points used to regenerate Fig 4's accuracy-vs-parameters plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "conv_params",
+    "bn_params",
+    "linear_params",
+    "bottleneck_params",
+    "basic_block_params",
+    "resnet_backbone_params",
+    "RESNET50_BACKBONE_PARAMS",
+    "RESNET101_BACKBONE_PARAMS",
+    "hdc_zsc_params",
+    "trainable_mlp_zsc_params",
+    "count_parameters",
+    "ModelSpec",
+    "paper_catalog",
+]
+
+
+def conv_params(in_channels, out_channels, kernel_size, bias=False):
+    """Trainable parameters of a 2-D convolution."""
+    count = in_channels * out_channels * kernel_size * kernel_size
+    return count + (out_channels if bias else 0)
+
+
+def bn_params(channels):
+    """Trainable parameters of a batch-norm layer (γ and β)."""
+    return 2 * channels
+
+
+def linear_params(in_features, out_features, bias=True):
+    """Trainable parameters of a fully connected layer."""
+    return in_features * out_features + (out_features if bias else 0)
+
+
+def bottleneck_params(in_channels, channels, downsample):
+    """Parameters of one ResNet bottleneck block (expansion 4)."""
+    out_channels = channels * 4
+    count = (
+        conv_params(in_channels, channels, 1)
+        + bn_params(channels)
+        + conv_params(channels, channels, 3)
+        + bn_params(channels)
+        + conv_params(channels, out_channels, 1)
+        + bn_params(out_channels)
+    )
+    if downsample:
+        count += conv_params(in_channels, out_channels, 1) + bn_params(out_channels)
+    return count
+
+
+def basic_block_params(in_channels, channels, downsample):
+    """Parameters of one ResNet basic block (expansion 1)."""
+    count = (
+        conv_params(in_channels, channels, 3)
+        + bn_params(channels)
+        + conv_params(channels, channels, 3)
+        + bn_params(channels)
+    )
+    if downsample:
+        count += conv_params(in_channels, channels, 1) + bn_params(channels)
+    return count
+
+
+def resnet_backbone_params(layers, base_width=64, bottleneck=True, stem_kernel=7, in_channels=3):
+    """Trainable parameters of a ResNet backbone (stem + stages, no head)."""
+    expansion = 4 if bottleneck else 1
+    block_fn = bottleneck_params if bottleneck else basic_block_params
+    count = conv_params(in_channels, base_width, stem_kernel) + bn_params(base_width)
+    in_ch = base_width
+    channels = base_width
+    for stage_index, num_blocks in enumerate(layers):
+        for block_index in range(num_blocks):
+            stride = 2 if (stage_index > 0 and block_index == 0) else 1
+            downsample = block_index == 0 and (stride != 1 or in_ch != channels * expansion)
+            count += block_fn(in_ch, channels, downsample)
+            in_ch = channels * expansion
+        channels *= 2
+    return count
+
+
+#: ResNet-50 backbone (no classification head): 23,508,032 — matches torchvision.
+RESNET50_BACKBONE_PARAMS = resnet_backbone_params([3, 4, 6, 3])
+
+#: ResNet-101 backbone (no classification head): 42,500,160 — matches torchvision.
+RESNET101_BACKBONE_PARAMS = resnet_backbone_params([3, 4, 23, 3])
+
+
+def hdc_zsc_params(embedding_dim=1536, backbone="resnet50"):
+    """Trainable parameters of HDC-ZSC at full scale.
+
+    The HDC attribute encoder is stationary and contributes zero; the
+    temperature scale contributes one scalar. With the preferred
+    configuration (ResNet50 + FC to d = 1536) this evaluates to
+    26,655,297 ≈ the paper's 26.6 M.
+    """
+    backbone_params = {
+        "resnet50": RESNET50_BACKBONE_PARAMS,
+        "resnet101": RESNET101_BACKBONE_PARAMS,
+    }[backbone]
+    projection = linear_params(2048, embedding_dim) if embedding_dim else 0
+    return backbone_params + projection + 1  # +1: learnable temperature K
+
+
+def trainable_mlp_zsc_params(embedding_dim=1536, hidden_dim=1536, num_attributes=312, backbone="resnet50"):
+    """Trainable parameters of the Trainable-MLP variant (2-layer attribute MLP)."""
+    return (
+        hdc_zsc_params(embedding_dim, backbone)
+        + linear_params(num_attributes, hidden_dim)
+        + linear_params(hidden_dim, embedding_dim)
+    )
+
+
+def count_parameters(module, trainable_only=True):
+    """Count parameters of an instantiated :class:`repro.nn.Module`."""
+    return module.num_parameters(trainable_only=trainable_only)
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """One point of the Fig 4 accuracy-vs-parameters comparison."""
+
+    name: str
+    family: str  # "ours" | "non-generative" | "generative"
+    top1_accuracy: float  # CUB top-1 % reported in the paper/literature
+    params_millions: float
+    source: str
+
+    @property
+    def params(self):
+        return int(self.params_millions * 1e6)
+
+
+def paper_catalog():
+    """Published reference points for Fig 4.
+
+    Our two models use the analytically computed counts above. Competitor
+    accuracies are the CUB numbers cited in the paper's comparison; their
+    parameter counts follow the paper's stated ratios (ESZSL 1.72×, TCN
+    1.85×, generative 1.75×–2.58× of HDC-ZSC).
+    """
+    ours = hdc_zsc_params() / 1e6
+    mlp = trainable_mlp_zsc_params() / 1e6
+    return [
+        ModelSpec("HDC-ZSC (ours)", "ours", 63.8, round(ours, 2), "this paper"),
+        ModelSpec("Trainable-MLP (ours)", "ours", 65.8, round(mlp, 2), "this paper (Fig 4)"),
+        ModelSpec("ESZSL", "non-generative", 53.9, round(1.72 * ours, 2), "Romera-Paredes & Torr 2015"),
+        ModelSpec("TCN", "non-generative", 59.5, round(1.85 * ours, 2), "Jiang et al. 2019"),
+        ModelSpec("f-CLSWGAN", "generative", 57.3, round(1.75 * ours, 2), "Xian et al. 2018"),
+        ModelSpec("cycle-CLSWGAN", "generative", 58.4, round(1.84 * ours, 2), "Felix et al. 2018"),
+        ModelSpec("LisGAN", "generative", 58.8, round(1.90 * ours, 2), "Li et al. 2019"),
+        ModelSpec("f-VAEGAN-D2", "generative", 61.0, round(2.07 * ours, 2), "Xian et al. 2019"),
+        ModelSpec("TF-VAEGAN", "generative", 64.9, round(2.26 * ours, 2), "Narayan et al. 2020"),
+        ModelSpec("Composer", "generative", 69.4, round(2.58 * ours, 2), "Huynh & Elhamifar 2021"),
+    ]

@@ -1,0 +1,69 @@
+"""``repro.nn`` — a from-scratch numpy neural-network substrate.
+
+Provides the autograd tensor, layers, losses and optimizers used to train
+the paper's image encoders (ResNet + FC) and baseline models without any
+external deep-learning framework.
+"""
+
+from . import functional, init, optim
+from .gradcheck import gradcheck, numerical_gradient
+from .layers import (
+    AvgPool2d,
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    LayerNorm,
+    LeakyReLU,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+from .module import Buffer, Module, ModuleList, Parameter, Sequential
+from .tensor import (
+    Tensor,
+    default_dtype,
+    is_grad_enabled,
+    no_grad,
+    set_default_dtype,
+    using_dtype,
+)
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "set_default_dtype",
+    "default_dtype",
+    "using_dtype",
+    "Module",
+    "Parameter",
+    "Buffer",
+    "Sequential",
+    "ModuleList",
+    "Linear",
+    "Conv2d",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "LayerNorm",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "Dropout",
+    "Identity",
+    "functional",
+    "init",
+    "optim",
+    "gradcheck",
+    "numerical_gradient",
+]

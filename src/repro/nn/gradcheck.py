@@ -1,0 +1,67 @@
+"""Finite-difference gradient checking for the autograd engine."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["numerical_gradient", "gradcheck"]
+
+
+def numerical_gradient(fn, tensor, eps=1e-6):
+    """Central-difference gradient of scalar ``fn()`` w.r.t. ``tensor``."""
+    grad = np.zeros_like(tensor.data)
+    flat = tensor.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + eps
+        plus = float(fn().data)
+        flat[index] = original - eps
+        minus = float(fn().data)
+        flat[index] = original
+        grad_flat[index] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def gradcheck(fn, tensors, eps=1e-6, atol=1e-4, rtol=1e-4):
+    """Verify autograd gradients of scalar ``fn()`` against finite differences.
+
+    Parameters
+    ----------
+    fn:
+        Zero-argument callable returning a scalar :class:`Tensor`. It must
+        re-run the full forward pass on each call (it is invoked many times
+        with perturbed inputs).
+    tensors:
+        Iterable of tensors (with ``requires_grad=True``) to check.
+
+    Returns
+    -------
+    bool
+        True when every analytic gradient matches the numerical one.
+
+    Raises
+    ------
+    AssertionError
+        With a diagnostic message on the first mismatch.
+    """
+    tensors = list(tensors)
+    for tensor in tensors:
+        if not tensor.requires_grad:
+            raise ValueError("gradcheck requires tensors with requires_grad=True")
+        tensor.zero_grad()
+    out = fn()
+    if not isinstance(out, Tensor) or out.data.size != 1:
+        raise ValueError("fn must return a scalar Tensor")
+    out.backward()
+    for index, tensor in enumerate(tensors):
+        analytic = tensor.grad if tensor.grad is not None else np.zeros_like(tensor.data)
+        numeric = numerical_gradient(fn, tensor, eps=eps)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            worst = np.abs(analytic - numeric).max()
+            raise AssertionError(
+                f"gradient mismatch on tensor #{index}: max abs err {worst:.3e}"
+            )
+    return True

@@ -1,0 +1,62 @@
+"""Parameter initialization schemes (Kaiming / Xavier / constants)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "kaiming_normal",
+    "kaiming_uniform",
+    "xavier_uniform",
+    "xavier_normal",
+    "zeros",
+    "ones",
+    "fan_in_and_out",
+]
+
+
+def fan_in_and_out(shape):
+    """Compute (fan_in, fan_out) for linear or convolutional weight shapes."""
+    shape = tuple(shape)
+    if len(shape) < 2:
+        raise ValueError("fan computation requires at least 2 dimensions")
+    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    fan_in = shape[1] * receptive
+    fan_out = shape[0] * receptive
+    return fan_in, fan_out
+
+
+def kaiming_normal(shape, rng, gain=np.sqrt(2.0)):
+    """He-normal initialization (suited to ReLU networks)."""
+    fan_in, _ = fan_in_and_out(shape)
+    std = gain / np.sqrt(fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(shape, rng, gain=np.sqrt(2.0)):
+    """He-uniform initialization."""
+    fan_in, _ = fan_in_and_out(shape)
+    bound = gain * np.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_uniform(shape, rng, gain=1.0):
+    """Glorot-uniform initialization."""
+    fan_in, fan_out = fan_in_and_out(shape)
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(shape, rng, gain=1.0):
+    """Glorot-normal initialization."""
+    fan_in, fan_out = fan_in_and_out(shape)
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape):
+    return np.zeros(shape)
+
+
+def ones(shape):
+    return np.ones(shape)

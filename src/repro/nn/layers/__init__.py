@@ -1,0 +1,26 @@
+"""Neural-network layers."""
+
+from .activation import LeakyReLU, ReLU, Sigmoid, Tanh
+from .conv import Conv2d
+from .linear import Linear
+from .norm import BatchNorm1d, BatchNorm2d, LayerNorm
+from .pooling import AvgPool2d, GlobalAvgPool2d, MaxPool2d
+from .shape import Dropout, Flatten, Identity
+
+__all__ = [
+    "Linear",
+    "Conv2d",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "LayerNorm",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "Dropout",
+    "Identity",
+]

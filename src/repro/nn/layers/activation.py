@@ -1,0 +1,43 @@
+"""Activation-function modules."""
+
+from __future__ import annotations
+
+from ..module import Module
+
+__all__ = ["ReLU", "LeakyReLU", "Sigmoid", "Tanh"]
+
+
+class ReLU(Module):
+    def forward(self, x):
+        return x.relu()
+
+    def __repr__(self):
+        return "ReLU()"
+
+
+class LeakyReLU(Module):
+    def __init__(self, negative_slope=0.01):
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x):
+        return x.leaky_relu(self.negative_slope)
+
+    def __repr__(self):
+        return f"LeakyReLU(negative_slope={self.negative_slope})"
+
+
+class Sigmoid(Module):
+    def forward(self, x):
+        return x.sigmoid()
+
+    def __repr__(self):
+        return "Sigmoid()"
+
+
+class Tanh(Module):
+    def forward(self, x):
+        return x.tanh()
+
+    def __repr__(self):
+        return "Tanh()"

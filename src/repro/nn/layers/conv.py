@@ -1,0 +1,51 @@
+"""2-D convolution layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import functional as F
+from .. import init
+from ..module import Module, Parameter
+
+__all__ = ["Conv2d"]
+
+
+class Conv2d(Module):
+    """2-D convolution over NCHW input (square kernels)."""
+
+    def __init__(
+        self,
+        in_channels,
+        out_channels,
+        kernel_size,
+        stride=1,
+        padding=0,
+        bias=True,
+        rng=None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        shape = (out_channels, in_channels, kernel_size, kernel_size)
+        self.weight = Parameter(init.kaiming_normal(shape, rng))
+        if bias:
+            fan_in = in_channels * kernel_size * kernel_size
+            bound = 1.0 / np.sqrt(fan_in)
+            self.bias = Parameter(rng.uniform(-bound, bound, size=out_channels))
+        else:
+            self.bias = None
+
+    def forward(self, x):
+        return F.conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+    def __repr__(self):
+        return (
+            f"Conv2d({self.in_channels}, {self.out_channels}, "
+            f"kernel_size={self.kernel_size}, stride={self.stride}, "
+            f"padding={self.padding}, bias={self.bias is not None})"
+        )

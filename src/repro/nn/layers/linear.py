@@ -1,0 +1,51 @@
+"""Fully connected layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import init
+from ..module import Module, Parameter
+
+__all__ = ["Linear"]
+
+
+class Linear(Module):
+    """Affine map ``y = x W^T + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input / output dimensionality.
+    bias:
+        Whether to add a learnable bias.
+    rng:
+        ``numpy.random.Generator`` used for weight initialization; a fresh
+        default generator is used when omitted.
+    """
+
+    def __init__(self, in_features, out_features, bias=True, rng=None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init.kaiming_uniform((out_features, in_features), rng, gain=1.0)
+        )
+        if bias:
+            bound = 1.0 / np.sqrt(in_features)
+            self.bias = Parameter(rng.uniform(-bound, bound, size=out_features))
+        else:
+            self.bias = None
+
+    def forward(self, x):
+        out = x @ self.weight.T
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self):
+        return (
+            f"Linear(in_features={self.in_features}, "
+            f"out_features={self.out_features}, bias={self.bias is not None})"
+        )

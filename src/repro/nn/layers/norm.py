@@ -1,0 +1,111 @@
+"""Batch normalization layers (1-D and 2-D) and LayerNorm."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..module import Buffer, Module, Parameter
+from ..tensor import Tensor
+
+__all__ = ["BatchNorm1d", "BatchNorm2d", "LayerNorm"]
+
+
+class _BatchNorm(Module):
+    """Shared implementation for BatchNorm1d / BatchNorm2d."""
+
+    def __init__(self, num_features, eps=1e-5, momentum=0.1):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = Parameter(np.ones(num_features))
+        self.bias = Parameter(np.zeros(num_features))
+        self.running_mean = Buffer(np.zeros(num_features))
+        self.running_var = Buffer(np.ones(num_features))
+
+    def _axes(self, x):
+        raise NotImplementedError
+
+    def _reshape_stats(self, stat, x):
+        raise NotImplementedError
+
+    def forward(self, x):
+        axes = self._axes(x)
+        if self.training:
+            mean = x.mean(axis=axes, keepdims=True)
+            var = x.var(axis=axes, keepdims=True)
+            # Update running statistics outside the autograd graph.
+            flat_mean = mean.data.reshape(-1)
+            flat_var = var.data.reshape(-1)
+            count = x.data.size / self.num_features
+            unbiased = flat_var * count / max(count - 1, 1)
+            m = self.momentum
+            self.running_mean.data = (1 - m) * self.running_mean.data + m * flat_mean
+            self.running_var.data = (1 - m) * self.running_var.data + m * unbiased
+        else:
+            mean = Tensor(self._reshape_stats(self.running_mean.data, x))
+            var = Tensor(self._reshape_stats(self.running_var.data, x))
+        inv_std = (var + self.eps) ** -0.5
+        normalized = (x - mean) * inv_std
+        weight = self._reshape_param(self.weight, x)
+        bias = self._reshape_param(self.bias, x)
+        return normalized * weight + bias
+
+    def _reshape_param(self, param, x):
+        return param.reshape(self._stat_shape(x))
+
+    def _stat_shape(self, x):
+        raise NotImplementedError
+
+    def __repr__(self):
+        return f"{type(self).__name__}({self.num_features}, eps={self.eps}, momentum={self.momentum})"
+
+
+class BatchNorm1d(_BatchNorm):
+    """Batch normalization over (B, C) input."""
+
+    def _axes(self, x):
+        if x.ndim != 2:
+            raise ValueError(f"BatchNorm1d expects 2-D input, got {x.ndim}-D")
+        return (0,)
+
+    def _stat_shape(self, x):
+        return (1, self.num_features)
+
+    def _reshape_stats(self, stat, x):
+        return stat.reshape(1, self.num_features)
+
+
+class BatchNorm2d(_BatchNorm):
+    """Batch normalization over (B, C, H, W) input."""
+
+    def _axes(self, x):
+        if x.ndim != 4:
+            raise ValueError(f"BatchNorm2d expects 4-D input, got {x.ndim}-D")
+        return (0, 2, 3)
+
+    def _stat_shape(self, x):
+        return (1, self.num_features, 1, 1)
+
+    def _reshape_stats(self, stat, x):
+        return stat.reshape(1, self.num_features, 1, 1)
+
+
+class LayerNorm(Module):
+    """Layer normalization over the trailing feature axis."""
+
+    def __init__(self, num_features, eps=1e-5):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.weight = Parameter(np.ones(num_features))
+        self.bias = Parameter(np.zeros(num_features))
+
+    def forward(self, x):
+        mean = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        normalized = (x - mean) * ((var + self.eps) ** -0.5)
+        return normalized * self.weight + self.bias
+
+    def __repr__(self):
+        return f"LayerNorm({self.num_features}, eps={self.eps})"

@@ -1,0 +1,44 @@
+"""Pooling modules."""
+
+from __future__ import annotations
+
+from .. import functional as F
+from ..module import Module
+
+__all__ = ["MaxPool2d", "AvgPool2d", "GlobalAvgPool2d"]
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel_size=2, stride=None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+
+    def forward(self, x):
+        return F.max_pool2d(x, self.kernel_size, self.stride)
+
+    def __repr__(self):
+        return f"MaxPool2d(kernel_size={self.kernel_size}, stride={self.stride})"
+
+
+class AvgPool2d(Module):
+    def __init__(self, kernel_size=2, stride=None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+
+    def forward(self, x):
+        return F.avg_pool2d(x, self.kernel_size, self.stride)
+
+    def __repr__(self):
+        return f"AvgPool2d(kernel_size={self.kernel_size}, stride={self.stride})"
+
+
+class GlobalAvgPool2d(Module):
+    """Global average pooling NCHW → NC (the ResNet head pooling)."""
+
+    def forward(self, x):
+        return F.global_avg_pool2d(x)
+
+    def __repr__(self):
+        return "GlobalAvgPool2d()"

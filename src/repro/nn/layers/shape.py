@@ -1,0 +1,45 @@
+"""Shape-manipulation and regularization modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import functional as F
+from ..module import Module
+
+__all__ = ["Flatten", "Dropout", "Identity"]
+
+
+class Flatten(Module):
+    """Flatten all axes after the batch axis."""
+
+    def forward(self, x):
+        return x.flatten(start_axis=1)
+
+    def __repr__(self):
+        return "Flatten()"
+
+
+class Identity(Module):
+    def forward(self, x):
+        return x
+
+    def __repr__(self):
+        return "Identity()"
+
+
+class Dropout(Module):
+    """Inverted dropout, active only in training mode."""
+
+    def __init__(self, p=0.5, rng=None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self.rng = rng or np.random.default_rng()
+
+    def forward(self, x):
+        return F.dropout(x, p=self.p, training=self.training, rng=self.rng)
+
+    def __repr__(self):
+        return f"Dropout(p={self.p})"

@@ -1,0 +1,17 @@
+"""Optimizers and learning-rate schedulers."""
+
+from .adamw import Adam, AdamW
+from .optimizer import Optimizer
+from .scheduler import ConstantLR, CosineAnnealingLR, LRScheduler, StepLR
+from .sgd import SGD
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "LRScheduler",
+    "CosineAnnealingLR",
+    "StepLR",
+    "ConstantLR",
+]

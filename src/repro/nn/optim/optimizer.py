@@ -1,0 +1,30 @@
+"""Optimizer base class."""
+
+from __future__ import annotations
+
+__all__ = ["Optimizer"]
+
+
+class Optimizer:
+    """Base class: holds a parameter list and the (mutable) learning rate."""
+
+    def __init__(self, params, lr):
+        self.params = [p for p in params]
+        if not self.params:
+            raise ValueError("optimizer got an empty parameter list")
+        if lr < 0:
+            raise ValueError(f"learning rate must be non-negative, got {lr}")
+        self.lr = lr
+        self._step_count = 0
+
+    def zero_grad(self):
+        """Clear gradients on all managed parameters."""
+        for param in self.params:
+            param.zero_grad()
+
+    def step(self):
+        raise NotImplementedError
+
+    @property
+    def step_count(self):
+        return self._step_count

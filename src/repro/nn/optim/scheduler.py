@@ -1,0 +1,70 @@
+"""Learning-rate schedulers.
+
+The paper optimizes "using AdamW with default settings and cosine
+annealing learning rate scheduler"; :class:`CosineAnnealingLR` mirrors
+SGDR's annealing (Loshchilov & Hutter, 2016) without restarts.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["LRScheduler", "CosineAnnealingLR", "StepLR", "ConstantLR"]
+
+
+class LRScheduler:
+    """Base class: mutates ``optimizer.lr`` on every :meth:`step`."""
+
+    def __init__(self, optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def get_lr(self):
+        raise NotImplementedError
+
+    def step(self):
+        """Advance one epoch and update the optimizer's learning rate."""
+        self.epoch += 1
+        self.optimizer.lr = self.get_lr()
+
+    @property
+    def current_lr(self):
+        return self.optimizer.lr
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Anneal from the base LR to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer, t_max, eta_min=0.0):
+        if t_max <= 0:
+            raise ValueError("t_max must be positive")
+        super().__init__(optimizer)
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def get_lr(self):
+        t = min(self.epoch, self.t_max)
+        cos = (1.0 + math.cos(math.pi * t / self.t_max)) / 2.0
+        return self.eta_min + (self.base_lr - self.eta_min) * cos
+
+
+class StepLR(LRScheduler):
+    """Decay the LR by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer, step_size, gamma=0.1):
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        super().__init__(optimizer)
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self):
+        return self.base_lr * self.gamma ** (self.epoch // self.step_size)
+
+
+class ConstantLR(LRScheduler):
+    """Keep the LR fixed (useful as a sweep control)."""
+
+    def get_lr(self):
+        return self.base_lr

@@ -1,0 +1,36 @@
+"""Stochastic gradient descent with momentum and weight decay."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .optimizer import Optimizer
+
+__all__ = ["SGD"]
+
+
+class SGD(Optimizer):
+    """SGD with optional Nesterov momentum and L2 weight decay."""
+
+    def __init__(self, params, lr=0.01, momentum=0.0, weight_decay=0.0, nesterov=False):
+        super().__init__(params, lr)
+        if nesterov and momentum <= 0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.nesterov = nesterov
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self):
+        for param, velocity in zip(self.params, self._velocity):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                grad = self.momentum * velocity + grad if self.nesterov else velocity
+            param.data = param.data - self.lr * grad
+        self._step_count += 1

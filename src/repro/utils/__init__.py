@@ -1,0 +1,13 @@
+"""Shared utilities: deterministic RNG management and report formatting."""
+
+from .rng import derive_seed, seeded_rng, spawn
+from .tables import format_float, format_mean_std, format_table
+
+__all__ = [
+    "seeded_rng",
+    "spawn",
+    "derive_seed",
+    "format_table",
+    "format_float",
+    "format_mean_std",
+]

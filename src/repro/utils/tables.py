@@ -1,0 +1,47 @@
+"""Plain-text table rendering for experiment reports.
+
+The experiment harness prints the same rows/series the paper reports;
+these helpers format them as aligned ASCII tables without third-party
+dependencies.
+"""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "format_float", "format_mean_std"]
+
+
+def format_float(value, digits=2):
+    """Format a float with fixed decimals; pass strings through."""
+    if isinstance(value, str):
+        return value
+    return f"{value:.{digits}f}"
+
+
+def format_mean_std(mean, std, digits=1):
+    """Render ``µ ± σ`` the way the paper reports multi-seed results."""
+    return f"{mean:.{digits}f} ± {std:.{digits}f}"
+
+
+def format_table(headers, rows, title=None):
+    """Render a list of rows as an aligned ASCII table string."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    headers = [str(h) for h in headers]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match header length")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells):
+        return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    separator = "-+-".join("-" * width for width in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(separator))
+    lines.append(render_row(headers))
+    lines.append(separator)
+    lines.extend(render_row(row) for row in str_rows)
+    return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""``repro.zsl`` — the paper's contribution: HDC-ZSC.
+
+The end-to-end zero-shot classifier (image encoder γ, stationary HDC
+attribute encoder φ, temperature-scaled cosine similarity kernel), the
+trainable-MLP reference encoder, the three-phase training methodology and
+the evaluation helpers.
+"""
+
+from .attribute_encoders import HDCAttributeEncoder, MLPAttributeEncoder, build_attribute_encoder
+from .model import HDCZSC
+from .pipeline import PipelineConfig, PipelineResult, ZSLPipeline, build_model
+from .similarity import SimilarityKernel
+from .training import (
+    TrainConfig,
+    attribute_pos_weight,
+    evaluate_attribute_extraction,
+    evaluate_zsc,
+    train_phase1,
+    train_phase2,
+    train_phase3,
+)
+
+__all__ = [
+    "HDCAttributeEncoder",
+    "MLPAttributeEncoder",
+    "build_attribute_encoder",
+    "SimilarityKernel",
+    "HDCZSC",
+    "TrainConfig",
+    "train_phase1",
+    "train_phase2",
+    "train_phase3",
+    "attribute_pos_weight",
+    "evaluate_zsc",
+    "evaluate_attribute_extraction",
+    "PipelineConfig",
+    "PipelineResult",
+    "ZSLPipeline",
+    "build_model",
+]

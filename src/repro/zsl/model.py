@@ -1,0 +1,121 @@
+"""HDC-ZSC: the end-to-end zero-shot classifier (Fig 1 of the paper).
+
+Composes the three computational modules:
+
+- image encoder γ(·) — ResNet backbone + FC projection,
+- attribute encoder φ(·) — stationary HDC codebooks (or the trainable
+  MLP variant),
+- similarity kernel — temperature-scaled cosine similarity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from .attribute_encoders import HDCAttributeEncoder
+from .similarity import SimilarityKernel
+
+__all__ = ["HDCZSC"]
+
+
+class HDCZSC(nn.Module):
+    """Zero-shot classifier with an HDC (or MLP) attribute encoder.
+
+    Parameters
+    ----------
+    image_encoder:
+        :class:`repro.models.ImageEncoder` mapping images to (B, d).
+    attribute_encoder:
+        Encoder exposing ``forward(class_attributes) -> (C, d)`` and
+        ``dictionary_tensor() -> (α, d)``.
+    temperature:
+        Initial temperature of the similarity kernel.
+    """
+
+    def __init__(self, image_encoder, attribute_encoder, temperature=0.03):
+        super().__init__()
+        if image_encoder.embedding_dim != attribute_encoder.embedding_dim:
+            raise ValueError(
+                f"embedding dims differ: image {image_encoder.embedding_dim} vs "
+                f"attribute {attribute_encoder.embedding_dim}"
+            )
+        self.image_encoder = image_encoder
+        self.attribute_encoder = attribute_encoder
+        self.kernel = SimilarityKernel(temperature)
+
+    @property
+    def embedding_dim(self):
+        return self.image_encoder.embedding_dim
+
+    @property
+    def is_hdc(self):
+        return isinstance(self.attribute_encoder, HDCAttributeEncoder)
+
+    # -- forward paths ---------------------------------------------------- #
+
+    def attribute_logits(self, images):
+        """Phase-II path: ``q = cossim(γ(x), B)`` → (B, α) attribute scores."""
+        embeddings = self.image_encoder(images)
+        dictionary = self.attribute_encoder.dictionary_tensor()
+        return self.kernel(embeddings, dictionary)
+
+    def class_logits(self, images, class_attributes):
+        """Phase-III / inference path: ``p = cossim(γ(x), φ(A))`` → (B, C)."""
+        embeddings = self.image_encoder(images)
+        class_embeddings = self.attribute_encoder(class_attributes)
+        return self.kernel(embeddings, class_embeddings)
+
+    def forward(self, images, class_attributes):
+        return self.class_logits(images, class_attributes)
+
+    # -- inference helpers --------------------------------------------------- #
+
+    def predict(self, images, class_attributes, batch_size=64):
+        """Zero-shot prediction: argmax over the provided class descriptors.
+
+        Runs frozen (``no_grad``, eval mode) exactly like the paper's
+        Fig 3 deployment; returns an (N,) array of class indices into
+        ``class_attributes`` rows.
+        """
+        return self.score(images, class_attributes, batch_size=batch_size).argmax(axis=1)
+
+    def score(self, images, class_attributes, batch_size=64):
+        """Class-similarity matrix for a (large) image set, as numpy (N, C)."""
+        was_training = self.training
+        self.eval()
+        scores = []
+        with nn.no_grad():
+            class_embeddings = self.attribute_encoder(class_attributes)
+            for start in range(0, len(images), batch_size):
+                batch = nn.Tensor(np.asarray(images[start : start + batch_size]))
+                embeddings = self.image_encoder(batch)
+                scores.append(self.kernel(embeddings, class_embeddings).data)
+        if was_training:
+            self.train()
+        return np.concatenate(scores, axis=0)
+
+    def score_attributes(self, images, batch_size=64):
+        """Attribute-similarity matrix (N, α) for evaluation (Table I)."""
+        was_training = self.training
+        self.eval()
+        scores = []
+        with nn.no_grad():
+            dictionary = self.attribute_encoder.dictionary_tensor()
+            for start in range(0, len(images), batch_size):
+                batch = nn.Tensor(np.asarray(images[start : start + batch_size]))
+                embeddings = self.image_encoder(batch)
+                scores.append(self.kernel(embeddings, dictionary).data)
+        if was_training:
+            self.train()
+        return np.concatenate(scores, axis=0)
+
+    def deploy(self):
+        """Freeze everything for stationary inference (paper Fig 3)."""
+        self.freeze()
+        self.eval()
+        return self
+
+    def __repr__(self):
+        kind = "HDC" if self.is_hdc else "MLP"
+        return f"HDCZSC(d={self.embedding_dim}, attribute_encoder={kind})"

@@ -1,0 +1,47 @@
+"""The temperature-scaled cosine similarity kernel.
+
+Implements the paper's bi-similarity kernel
+
+    cossim(γ(X), φ(A)) = (1/K) · γ(X)ᵀφ(A) / (‖γ(X)‖ ‖φ(A)‖)
+
+with learnable temperature ``K`` (Fig 5 sweeps its initial value over
+{7e-4, 0.03, 0.7}).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+
+__all__ = ["SimilarityKernel"]
+
+
+class SimilarityKernel(nn.Module):
+    """Pairwise cosine similarity divided by a learnable temperature."""
+
+    def __init__(self, temperature=0.03, learnable=True):
+        super().__init__()
+        if temperature <= 0:
+            raise ValueError("temperature must be positive")
+        # Parameterized as log K so gradient steps cannot push K negative.
+        log_t = np.array(np.log(temperature))
+        if learnable:
+            self.log_temperature = nn.Parameter(log_t)
+        else:
+            self.log_temperature = nn.Buffer(log_t)
+
+    @property
+    def temperature(self):
+        """Current value of K."""
+        return float(np.exp(self.log_temperature.data))
+
+    def forward(self, image_embeddings, reference_embeddings):
+        """Scaled similarity matrix: (B, d) × (C, d) → (B, C)."""
+        sims = F.cosine_similarity_matrix(image_embeddings, reference_embeddings)
+        inv_temperature = (-self.log_temperature).exp()
+        return sims * inv_temperature
+
+    def __repr__(self):
+        return f"SimilarityKernel(temperature={self.temperature:.4g})"

@@ -1,0 +1,211 @@
+"""Baseline zero-shot and attribute-extraction methods.
+
+The feature-space baselines are tested on a planted bilinear world:
+features = attributes @ M + noise. Every method must recover unseen
+classes well above chance there, and the closed-form methods should be
+near-perfect.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.baselines import A3M, DAP, ESZSL, TCN, ConSE, Finetag, GenerativeZSL
+from repro.data import toy_schema
+from repro.metrics import per_group_report, top1_accuracy
+
+
+@pytest.fixture(scope="module")
+def planted_world():
+    """Linear attribute→feature world with seen/unseen classes."""
+    rng = np.random.default_rng(0)
+    schema = toy_schema()
+    alpha = schema.num_attributes
+    num_seen, num_unseen, dim, per_class = 20, 6, 48, 12
+    attributes = rng.random((num_seen + num_unseen, alpha))
+    mixing = rng.normal(size=(alpha, dim)) / np.sqrt(alpha)
+
+    def sample(classes):
+        features, labels = [], []
+        for local, cls in enumerate(classes):
+            f = attributes[cls] @ mixing + rng.normal(0, 0.05, size=(per_class, dim))
+            features.append(f)
+            labels.extend([local] * per_class)
+        return np.vstack(features), np.array(labels)
+
+    seen = np.arange(num_seen)
+    unseen = np.arange(num_seen, num_seen + num_unseen)
+    train_x, train_y = sample(seen)
+    test_x, test_y = sample(unseen)
+    binary = (attributes > 0.5).astype(np.float64)
+    return {
+        "schema": schema,
+        "attributes": attributes,
+        "binary": binary,
+        "seen": seen,
+        "unseen": unseen,
+        "train": (train_x, train_y),
+        "test": (test_x, test_y),
+        "dim": dim,
+        "alpha": alpha,
+    }
+
+
+class TestESZSL:
+    def test_recovers_unseen_classes(self, planted_world):
+        w = planted_world
+        model = ESZSL(gamma=1.0, lam=1.0).fit(*w["train"], w["attributes"][w["seen"]])
+        acc = (model.predict(w["test"][0], w["attributes"][w["unseen"]]) == w["test"][1]).mean()
+        assert acc > 0.9
+
+    def test_bilinear_form_shape(self, planted_world):
+        w = planted_world
+        model = ESZSL().fit(*w["train"], w["attributes"][w["seen"]])
+        assert model.V.shape == (w["dim"], w["alpha"])
+
+    def test_scores_before_fit_raise(self, planted_world):
+        w = planted_world
+        with pytest.raises(RuntimeError):
+            ESZSL().scores(w["test"][0], w["attributes"][w["unseen"]])
+
+    def test_label_range_checked(self, planted_world):
+        w = planted_world
+        with pytest.raises(ValueError):
+            ESZSL().fit(w["train"][0], w["train"][1] + 999, w["attributes"][w["seen"]])
+
+    def test_regularization_affects_solution(self, planted_world):
+        w = planted_world
+        v1 = ESZSL(gamma=0.1, lam=0.1).fit(*w["train"], w["attributes"][w["seen"]]).V
+        v2 = ESZSL(gamma=100.0, lam=100.0).fit(*w["train"], w["attributes"][w["seen"]]).V
+        assert np.linalg.norm(v2) < np.linalg.norm(v1)
+
+
+class TestTCN:
+    def test_learns_above_chance(self, planted_world):
+        w = planted_world
+        with nn.using_dtype(np.float64):
+            model = TCN(w["dim"], w["alpha"], embedding_dim=32, seed=0)
+            history = model.fit(*w["train"], w["attributes"][w["seen"]], epochs=25)
+            acc = (model.predict(w["test"][0], w["attributes"][w["unseen"]]) == w["test"][1]).mean()
+        assert history[-1] < history[0]
+        assert acc > 1.5 / len(w["unseen"])
+
+    def test_scores_shape(self, planted_world):
+        w = planted_world
+        with nn.using_dtype(np.float64):
+            model = TCN(w["dim"], w["alpha"], embedding_dim=16, seed=0)
+            scores = model.scores(w["test"][0][:5], w["attributes"][w["unseen"]])
+        assert scores.shape == (5, len(w["unseen"]))
+
+
+class TestGenerative:
+    def test_full_recipe_above_chance(self, planted_world):
+        w = planted_world
+        with nn.using_dtype(np.float64):
+            model = GenerativeZSL(w["alpha"], w["dim"], seed=0)
+            gen_hist, clf_hist = model.fit(
+                *w["train"], w["attributes"][w["seen"]], w["attributes"][w["unseen"]]
+            )
+            acc = (model.predict(w["test"][0]) == w["test"][1]).mean()
+        assert gen_hist[-1] < gen_hist[0]
+        assert acc > 1.5 / len(w["unseen"])
+
+    def test_synthesize_counts(self, planted_world):
+        w = planted_world
+        with nn.using_dtype(np.float64):
+            model = GenerativeZSL(w["alpha"], w["dim"], synthetic_per_class=7, seed=0)
+            fake, labels = model.synthesize(w["attributes"][w["unseen"]])
+        assert fake.shape == (7 * len(w["unseen"]), w["dim"])
+        assert np.bincount(labels).tolist() == [7] * len(w["unseen"])
+
+    def test_scores_require_classifier(self, planted_world):
+        w = planted_world
+        with nn.using_dtype(np.float64):
+            model = GenerativeZSL(w["alpha"], w["dim"], seed=0)
+            with pytest.raises(RuntimeError):
+                model.scores(w["test"][0])
+
+    def test_parameter_count_grows_with_classifier(self, planted_world):
+        w = planted_world
+        with nn.using_dtype(np.float64):
+            model = GenerativeZSL(w["alpha"], w["dim"], seed=0)
+            before = model.num_parameters()
+            model.fit_classifier(w["attributes"][w["unseen"]], epochs=1)
+            assert model.num_parameters() > before
+
+
+class TestAttributeExtractors:
+    def make_attr_targets(self, w):
+        return w["binary"][w["seen"]][w["train"][1]], w["binary"][w["unseen"]][w["test"][1]]
+
+    def test_finetag_learns_attributes(self, planted_world):
+        w = planted_world
+        train_t, test_t = self.make_attr_targets(w)
+        with nn.using_dtype(np.float64):
+            model = Finetag(w["dim"], w["alpha"], seed=0)
+            history = model.fit(w["train"][0], train_t, epochs=25)
+            report = per_group_report(w["schema"], model.scores(w["test"][0]), test_t)
+        assert history[-1] < history[0]
+        assert report["average"]["top1"] > 40.0
+
+    def test_a3m_learns_attributes(self, planted_world):
+        w = planted_world
+        train_t, test_t = self.make_attr_targets(w)
+        with nn.using_dtype(np.float64):
+            model = A3M(w["dim"], w["schema"], seed=0)
+            history = model.fit(w["train"][0], train_t, epochs=20)
+            report = per_group_report(w["schema"], model.scores(w["test"][0]), test_t)
+        assert history[-1] < history[0]
+        assert report["average"]["top1"] > 40.0
+
+    def test_a3m_output_ordering_matches_schema(self, planted_world):
+        w = planted_world
+        with nn.using_dtype(np.float64):
+            model = A3M(w["dim"], w["schema"], seed=0)
+            scores = model.scores(w["test"][0][:3])
+        assert scores.shape == (3, w["alpha"])
+
+
+class TestDAPConSE:
+    def test_dap_recovers_unseen(self, planted_world):
+        w = planted_world
+        train_t = w["binary"][w["seen"]][w["train"][1]]
+        model = DAP().fit(w["train"][0], train_t)
+        acc = (model.predict(w["test"][0], w["binary"][w["unseen"]]) == w["test"][1]).mean()
+        assert acc > 0.8
+
+    def test_dap_probabilities_in_range(self, planted_world):
+        w = planted_world
+        train_t = w["binary"][w["seen"]][w["train"][1]]
+        probs = DAP().fit(w["train"][0], train_t).attribute_probabilities(w["test"][0])
+        assert (probs > 0).all() and (probs < 1).all()
+
+    def test_dap_requires_fit(self, planted_world):
+        with pytest.raises(RuntimeError):
+            DAP().attribute_probabilities(planted_world["test"][0])
+
+    def test_conse_above_chance(self, planted_world):
+        w = planted_world
+        model = ConSE(top_t=5).fit(*w["train"], w["attributes"][w["seen"]])
+        acc = (model.predict(w["test"][0], w["attributes"][w["unseen"]]) == w["test"][1]).mean()
+        assert acc > 1.5 / len(w["unseen"])
+
+    def test_conse_semantic_embedding_shape(self, planted_world):
+        w = planted_world
+        model = ConSE(top_t=3).fit(*w["train"], w["attributes"][w["seen"]])
+        assert model.semantic_embedding(w["test"][0][:4]).shape == (4, w["alpha"])
+
+    def test_conse_invalid_topt(self):
+        with pytest.raises(ValueError):
+            ConSE(top_t=0)
+
+
+class TestOrdering:
+    def test_eszsl_beats_conse_on_linear_world(self, planted_world):
+        """Sanity on method ranking in the regime that favours bilinear."""
+        w = planted_world
+        eszsl = ESZSL().fit(*w["train"], w["attributes"][w["seen"]])
+        conse = ConSE().fit(*w["train"], w["attributes"][w["seen"]])
+        acc_e = (eszsl.predict(w["test"][0], w["attributes"][w["unseen"]]) == w["test"][1]).mean()
+        acc_c = (conse.predict(w["test"][0], w["attributes"][w["unseen"]]) == w["test"][1]).mean()
+        assert acc_e >= acc_c

@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticCUB, cub_schema, toy_schema
+
+
+@pytest.fixture
+def rng():
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def schema():
+    """The full CUB-like schema (28 groups / 61 values / 312 combos)."""
+    return cub_schema()
+
+
+@pytest.fixture(scope="session")
+def small_schema():
+    """A small schema for fast structural tests."""
+    return toy_schema()
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A small SyntheticCUB shared across tests (rendered once)."""
+    return SyntheticCUB(num_classes=12, images_per_class=4, image_size=16, seed=7)

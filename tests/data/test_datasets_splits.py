@@ -1,0 +1,146 @@
+"""SyntheticCUB / SyntheticImageNet datasets and split protocol."""
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticCUB, SyntheticImageNet, instance_split, make_split
+
+
+class TestSyntheticCUB:
+    def test_shapes(self, tiny_dataset):
+        ds = tiny_dataset
+        assert ds.images.shape == (48, 3, 16, 16)
+        assert ds.labels.shape == (48,)
+        assert ds.class_attributes.shape == (12, 312)
+        assert ds.binary_attributes.shape == (12, 312)
+        assert ds.instance_attributes.shape == (48, 312)
+
+    def test_labels_grouped_per_class(self, tiny_dataset):
+        counts = np.bincount(tiny_dataset.labels, minlength=12)
+        assert (counts == 4).all()
+
+    def test_reproducible(self):
+        a = SyntheticCUB(num_classes=4, images_per_class=2, image_size=16, seed=11)
+        b = SyntheticCUB(num_classes=4, images_per_class=2, image_size=16, seed=11)
+        assert np.array_equal(a.images, b.images)
+        assert np.array_equal(a.class_attributes, b.class_attributes)
+
+    def test_seed_changes_data(self):
+        a = SyntheticCUB(num_classes=4, images_per_class=2, image_size=16, seed=1)
+        b = SyntheticCUB(num_classes=4, images_per_class=2, image_size=16, seed=2)
+        assert not np.array_equal(a.images, b.images)
+
+    def test_instance_attributes_mostly_match_class(self, tiny_dataset):
+        ds = tiny_dataset
+        class_level = ds.binary_attributes[ds.labels]
+        agreement = (ds.instance_attributes == class_level).mean()
+        assert agreement > 0.9  # flips are rare
+
+    def test_instance_attributes_sometimes_differ(self):
+        ds = SyntheticCUB(num_classes=6, images_per_class=6, image_size=16, seed=3,
+                          attribute_flip_prob=0.5)
+        class_level = ds.binary_attributes[ds.labels]
+        assert (ds.instance_attributes != class_level).any()
+
+    def test_zero_flip_prob_matches_class_attributes(self):
+        ds = SyntheticCUB(num_classes=4, images_per_class=3, image_size=16, seed=3,
+                          attribute_flip_prob=0.0)
+        assert np.array_equal(ds.instance_attributes, ds.binary_attributes[ds.labels])
+
+    def test_attribute_frequencies_imbalanced(self, tiny_dataset):
+        """The class imbalance motivating the paper's weighted BCE."""
+        freq = tiny_dataset.attribute_frequencies()
+        assert freq.mean() < 0.15  # most attributes inactive
+
+    def test_helpers(self, tiny_dataset):
+        ds = tiny_dataset
+        images, labels = ds.images_of_classes([0, 3])
+        assert len(images) == 8 and set(labels) == {0, 3}
+        idx = ds.indices_of_classes([1])
+        assert (ds.labels[idx] == 1).all()
+        targets = ds.attribute_targets([0, 0, 5])
+        assert targets.shape == (3, 312)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticCUB(num_classes=1)
+        with pytest.raises(ValueError):
+            SyntheticCUB(num_classes=4, images_per_class=0)
+
+
+class TestSyntheticImageNet:
+    def test_shapes_and_range(self):
+        ds = SyntheticImageNet(num_classes=6, images_per_class=3, image_size=16, seed=0)
+        assert ds.images.shape == (18, 3, 16, 16)
+        assert ds.images.min() >= 0 and ds.images.max() <= 1
+        assert set(np.unique(ds.labels)) == set(range(6))
+
+    def test_reproducible(self):
+        a = SyntheticImageNet(num_classes=4, images_per_class=2, image_size=16, seed=5)
+        b = SyntheticImageNet(num_classes=4, images_per_class=2, image_size=16, seed=5)
+        assert np.array_equal(a.images, b.images)
+
+    def test_classes_distinguishable(self):
+        """Per-class images are more alike than cross-class images."""
+        ds = SyntheticImageNet(num_classes=5, images_per_class=6, image_size=16, seed=2)
+        flat = ds.images.reshape(len(ds.images), -1)
+        within, between = [], []
+        for i in range(len(flat)):
+            for j in range(i + 1, len(flat)):
+                dist = np.abs(flat[i] - flat[j]).mean()
+                (within if ds.labels[i] == ds.labels[j] else between).append(dist)
+        assert np.mean(within) < np.mean(between)
+
+
+class TestSplits:
+    def test_zs_disjoint(self, tiny_dataset):
+        split = make_split(tiny_dataset, "ZS", seed=0)
+        assert split.zero_shot
+        assert len(split.train_classes) == 9 and len(split.test_classes) == 3
+        assert set(split.train_labels) == set(split.train_classes)
+        assert set(split.test_labels) == set(split.test_classes)
+
+    def test_nozs_shares_classes(self, tiny_dataset):
+        split = make_split(tiny_dataset, "noZS", seed=0)
+        assert not split.zero_shot
+        assert np.array_equal(split.train_classes, split.test_classes)
+        assert not np.intersect1d(split.train_indices, split.test_indices).size
+
+    def test_val_split_disjoint_from_train(self, tiny_dataset):
+        split = make_split(tiny_dataset, "val", seed=0)
+        assert split.zero_shot
+        assert len(split.train_classes) == 6 and len(split.test_classes) == 3
+
+    def test_val_and_zs_test_classes_disjoint(self, tiny_dataset):
+        """Fig 5 tunes on validation classes that are NOT the ZS test set."""
+        val = make_split(tiny_dataset, "val", seed=0)
+        zs = make_split(tiny_dataset, "ZS", seed=0)
+        assert not np.intersect1d(val.test_classes, zs.test_classes).size
+
+    def test_remapped_targets_contiguous(self, tiny_dataset):
+        split = make_split(tiny_dataset, "ZS", seed=0)
+        assert set(split.train_targets) == set(range(len(split.train_classes)))
+        assert set(split.test_targets) == set(range(len(split.test_classes)))
+
+    def test_attribute_target_views_align(self, tiny_dataset):
+        split = make_split(tiny_dataset, "ZS", seed=0)
+        assert np.array_equal(
+            split.train_attribute_targets,
+            tiny_dataset.instance_attributes[split.train_indices],
+        )
+
+    def test_deterministic(self, tiny_dataset):
+        a = make_split(tiny_dataset, "ZS", seed=4)
+        b = make_split(tiny_dataset, "ZS", seed=4)
+        assert np.array_equal(a.train_classes, b.train_classes)
+
+    def test_unknown_kind(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            make_split(tiny_dataset, "bogus")
+
+    def test_instance_split_stratified(self, rng):
+        labels = np.repeat(np.arange(5), 10)
+        train_idx, test_idx = instance_split(labels, 0.3, rng)
+        assert len(train_idx) + len(test_idx) == 50
+        for cls in range(5):
+            assert (labels[test_idx] == cls).sum() == 3

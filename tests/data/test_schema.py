@@ -1,0 +1,99 @@
+"""The CUB-like attribute schema: the paper's exact symbol counts."""
+
+import numpy as np
+import pytest
+
+from repro.data import AttributeGroup, AttributeSchema, cub_schema, toy_schema
+
+
+class TestPaperCounts:
+    def test_group_value_attribute_counts(self, schema):
+        """The paper's numbers: G = 28, V = 61, α = 312."""
+        assert schema.num_groups == 28
+        assert schema.num_values == 61
+        assert schema.num_attributes == 312
+
+    def test_memory_reduction_arithmetic(self, schema):
+        """(312 − 89) / 312 ≈ 71 % — the storage-saving headline."""
+        saved = schema.num_attributes - (schema.num_groups + schema.num_values)
+        assert round(saved / schema.num_attributes * 100) == 71
+
+    def test_fifteen_way_colour_groups(self, schema):
+        colour_groups = [g for g in schema.groups if g.name.endswith("_color") and g.name != "eye_color"]
+        assert len(colour_groups) == 15
+        assert all(len(g) == 15 for g in colour_groups)
+
+    def test_eye_color_has_14(self, schema):
+        assert len(schema.group("eye_color")) == 14
+        assert "iridescent" not in schema.group("eye_color").values
+
+    def test_pattern_groups(self, schema):
+        patterns = [g for g in schema.groups if g.name.endswith("_pattern") and g.name != "head_pattern"]
+        assert len(patterns) == 5
+        assert all(len(g) == 4 for g in patterns)
+
+    def test_group_sizes_sum_to_alpha(self, schema):
+        assert schema.group_sizes().sum() == 312
+
+
+class TestIndexing:
+    def test_pairs_cover_all_attributes(self, schema):
+        assert len(schema.pairs) == 312
+        assert len(set(schema.pairs)) == 312
+        groups = {g for g, _ in schema.pairs}
+        values = {v for _, v in schema.pairs}
+        assert groups == set(range(28))
+        assert values == set(range(61))
+
+    def test_attribute_index_roundtrip(self, schema):
+        idx = schema.attribute_index("crown_color", "blue")
+        assert schema.attribute_names[idx] == "crown_color::blue"
+        group_idx, value_idx = schema.pairs[idx]
+        assert schema.groups[group_idx].name == "crown_color"
+        assert schema.value_vocabulary[value_idx] == "blue"
+
+    def test_group_slice_partition(self, schema):
+        covered = np.zeros(312, dtype=bool)
+        for name in schema.group_names:
+            sl = schema.group_slice(name)
+            assert not covered[sl].any()
+            covered[sl] = True
+        assert covered.all()
+
+    def test_group_of_attribute(self, schema):
+        sl = schema.group_slice("size")
+        for idx in range(sl.start, sl.stop):
+            assert schema.groups[schema.group_of_attribute(idx)].name == "size"
+
+    def test_shared_values_map_to_same_vocabulary_index(self, schema):
+        """'blue' in crown_color and wing_color is ONE codebook symbol."""
+        crown_blue = schema.attribute_index("crown_color", "blue")
+        wing_blue = schema.attribute_index("wing_color", "blue")
+        assert schema.pairs[crown_blue][1] == schema.pairs[wing_blue][1]
+        assert schema.pairs[crown_blue][0] != schema.pairs[wing_blue][0]
+
+    def test_unknown_group_raises(self, schema):
+        with pytest.raises(KeyError):
+            schema.group("nonexistent")
+
+
+class TestConstruction:
+    def test_duplicate_group_names_rejected(self):
+        group = AttributeGroup("g", ("a", "b"))
+        with pytest.raises(ValueError):
+            AttributeSchema([group, group])
+
+    def test_duplicate_values_within_group_rejected(self):
+        with pytest.raises(ValueError):
+            AttributeGroup("g", ("a", "a"))
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(ValueError):
+            AttributeSchema([])
+
+    def test_toy_schema_consistent(self, small_schema):
+        assert small_schema.num_attributes == sum(len(g) for g in small_schema.groups)
+        assert small_schema.num_groups == len(small_schema.groups)
+
+    def test_repr(self, schema):
+        assert "G=28" in repr(schema)

@@ -1,0 +1,153 @@
+"""Class signatures and the procedural renderer."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    BirdRenderer,
+    cub_schema,
+    sample_class_signatures,
+    signatures_to_matrices,
+)
+from repro.data.signatures import perturb_signature, signature_binary_vector
+
+
+class TestSignatures:
+    def test_unique_across_classes(self, schema, rng):
+        signatures = sample_class_signatures(schema, 50, rng)
+        keys = {s.key() for s in signatures}
+        assert len(keys) == 50
+
+    def test_every_group_assigned(self, schema, rng):
+        signature = sample_class_signatures(schema, 1, rng)[0]
+        for group in schema.groups:
+            assert signature[group.name] in group.values
+
+    def test_primary_color_in_palette(self, schema, rng):
+        for signature in sample_class_signatures(schema, 10, rng):
+            # primary colour must also be a legal colour value
+            assert signature["primary_color"] in schema.group("primary_color").values
+
+    def test_matrices_shapes_and_ranges(self, schema, rng):
+        signatures = sample_class_signatures(schema, 8, rng)
+        continuous, binary = signatures_to_matrices(schema, signatures, rng)
+        assert continuous.shape == (8, 312) and binary.shape == (8, 312)
+        assert (continuous >= 0).all() and (continuous <= 1).all()
+        assert set(np.unique(binary)) <= {0.0, 1.0}
+
+    def test_binary_has_one_active_per_group_at_least(self, schema, rng):
+        signatures = sample_class_signatures(schema, 5, rng)
+        _, binary = signatures_to_matrices(schema, signatures, rng)
+        for row in binary:
+            for group in schema.groups:
+                assert row[schema.group_slice(group.name)].sum() >= 1
+
+    def test_dominant_strength_exceeds_noise(self, schema, rng):
+        signatures = sample_class_signatures(schema, 5, rng)
+        continuous, binary = signatures_to_matrices(schema, signatures, rng)
+        dominant = continuous[binary == 1]
+        background = continuous[binary == 0]
+        assert dominant.min() > background.mean() + 0.2
+
+    def test_perturb_changes_some_groups(self, schema, rng):
+        signature = sample_class_signatures(schema, 1, rng)[0]
+        perturbed = perturb_signature(schema, signature, rng, flip_prob=0.5)
+        changed = [g.name for g in schema.groups if perturbed[g.name] != signature[g.name]]
+        assert changed  # flip_prob 0.5 over 28 groups: P(none) ≈ 4e-9
+
+    def test_perturb_zero_prob_identity(self, schema, rng):
+        signature = sample_class_signatures(schema, 1, rng)[0]
+        perturbed = perturb_signature(schema, signature, rng, flip_prob=0.0)
+        assert perturbed.key() == signature.key()
+
+    def test_signature_binary_vector_matches_matrices(self, schema, rng):
+        signatures = sample_class_signatures(schema, 4, rng)
+        _, binary = signatures_to_matrices(schema, signatures, rng)
+        for row, signature in zip(binary, signatures):
+            vector = signature_binary_vector(schema, signature)
+            # matrices add the multi-colored secondary exactly like the helper
+            assert np.array_equal(vector, row)
+
+
+class TestRenderer:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        schema = cub_schema()
+        rng = np.random.default_rng(0)
+        signatures = sample_class_signatures(schema, 6, rng)
+        return schema, signatures
+
+    def test_output_format(self, setup):
+        schema, signatures = setup
+        renderer = BirdRenderer(schema, image_size=24)
+        img = renderer.render(signatures[0], np.random.default_rng(1))
+        assert img.shape == (3, 24, 24)
+        assert img.dtype == np.float32
+        assert img.min() >= 0.0 and img.max() <= 1.0
+
+    def test_deterministic_given_rng_state(self, setup):
+        schema, signatures = setup
+        renderer = BirdRenderer(schema, image_size=24)
+        a = renderer.render(signatures[0], np.random.default_rng(42))
+        b = renderer.render(signatures[0], np.random.default_rng(42))
+        assert np.array_equal(a, b)
+
+    def test_instance_noise_varies_renders(self, setup):
+        schema, signatures = setup
+        renderer = BirdRenderer(schema, image_size=24)
+        rng = np.random.default_rng(0)
+        a = renderer.render(signatures[0], rng)
+        b = renderer.render(signatures[0], rng)
+        assert not np.array_equal(a, b)
+
+    def test_different_classes_render_differently(self, setup):
+        schema, signatures = setup
+        renderer = BirdRenderer(schema, image_size=24)
+        a = renderer.render(signatures[0], np.random.default_rng(1))
+        b = renderer.render(signatures[1], np.random.default_rng(1))
+        assert np.abs(a - b).mean() > 0.01
+
+    def test_crown_color_changes_pixels(self, setup):
+        """Attributes must have visual correlates for ZSL to be solvable."""
+        schema, signatures = setup
+        renderer = BirdRenderer(schema, image_size=32)
+        base = signatures[0]
+        variant = perturb_signature(schema, base, np.random.default_rng(3), flip_prob=0.0)
+        current = base["crown_color"]
+        other = "red" if current != "red" else "blue"
+        variant.dominant["crown_color"] = other
+        a = renderer.render(base, np.random.default_rng(9))
+        b = renderer.render(variant, np.random.default_rng(9))
+        assert np.abs(a - b).sum() > 0.5
+
+    def test_size_changes_footprint(self, setup):
+        """Bigger size value → more non-background pixels."""
+        schema, signatures = setup
+        renderer = BirdRenderer(schema, image_size=32)
+        small = perturb_signature(schema, signatures[0], np.random.default_rng(4), flip_prob=0.0)
+        big = perturb_signature(schema, signatures[0], np.random.default_rng(4), flip_prob=0.0)
+        small.dominant["size"] = "very-small"
+        big.dominant["size"] = "very-large"
+        img_small = renderer.render(small, np.random.default_rng(5))
+        img_big = renderer.render(big, np.random.default_rng(5))
+        # compare variance as a proxy for drawn-object extent
+        assert img_big.std() > img_small.std() * 0.9
+
+    def test_all_head_patterns_render(self, setup):
+        schema, signatures = setup
+        renderer = BirdRenderer(schema, image_size=24)
+        for value in schema.group("head_pattern").values:
+            variant = perturb_signature(schema, signatures[0], np.random.default_rng(0), flip_prob=0.0)
+            variant.dominant["head_pattern"] = value
+            img = renderer.render(variant, np.random.default_rng(0))
+            assert np.isfinite(img).all()
+
+    def test_all_bill_and_tail_shapes_render(self, setup):
+        schema, signatures = setup
+        renderer = BirdRenderer(schema, image_size=24)
+        for group in ("bill_shape", "tail_shape", "wing_shape", "shape", "size"):
+            for value in schema.group(group).values:
+                variant = perturb_signature(schema, signatures[1], np.random.default_rng(0), flip_prob=0.0)
+                variant.dominant[group] = value
+                img = renderer.render(variant, np.random.default_rng(0))
+                assert np.isfinite(img).all()

@@ -1,0 +1,103 @@
+"""Augmentation transforms and minibatch iteration."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    Compose,
+    center_crop,
+    iterate_minibatches,
+    num_batches,
+    paper_train_transform,
+    random_horizontal_flip,
+    random_rotation,
+    resize,
+)
+
+
+@pytest.fixture
+def batch(rng):
+    return rng.random((4, 3, 16, 16)).astype(np.float32)
+
+
+class TestTransforms:
+    def test_rotation_preserves_shape_dtype(self, batch, rng):
+        out = random_rotation(batch, rng, max_degrees=30)
+        assert out.shape == batch.shape and out.dtype == batch.dtype
+        assert not np.array_equal(out, batch)
+
+    def test_rotation_single_image(self, batch, rng):
+        out = random_rotation(batch[0], rng)
+        assert out.shape == (3, 16, 16)
+
+    def test_flip_probability_extremes(self, batch, rng):
+        never = random_horizontal_flip(batch, rng, probability=0.0)
+        assert np.array_equal(never, batch)
+        always = random_horizontal_flip(batch, rng, probability=1.0)
+        assert np.array_equal(always, batch[:, :, :, ::-1])
+
+    def test_center_crop(self, batch):
+        out = center_crop(batch, 8)
+        assert out.shape == (4, 3, 8, 8)
+        assert np.array_equal(out, batch[:, :, 4:12, 4:12])
+
+    def test_center_crop_too_large(self, batch):
+        with pytest.raises(ValueError):
+            center_crop(batch, 32)
+
+    def test_resize(self, batch):
+        out = resize(batch, 8)
+        assert out.shape == (4, 3, 8, 8)
+        up = resize(batch, 24)
+        assert up.shape == (4, 3, 24, 24)
+
+    def test_compose_and_paper_pipeline(self, batch, rng):
+        pipeline = paper_train_transform(max_degrees=10)
+        out = pipeline(batch, rng)
+        assert out.shape == batch.shape
+        custom = Compose([lambda imgs, r: imgs * 0.5])
+        assert np.allclose(custom(batch, rng), batch * 0.5)
+
+
+class TestLoader:
+    def test_covers_all_samples(self, rng):
+        images = rng.random((10, 3, 4, 4))
+        labels = np.arange(10)
+        seen = []
+        for batch_images, batch_labels in iterate_minibatches(images, labels, 3, rng=rng):
+            assert len(batch_images) == len(batch_labels)
+            seen.extend(batch_labels)
+        assert sorted(seen) == list(range(10))
+
+    def test_eval_mode_preserves_order(self, rng):
+        images = rng.random((6, 1))
+        labels = np.arange(6)
+        batches = list(iterate_minibatches(images, labels, 4))
+        assert np.array_equal(np.concatenate([b[1] for b in batches]), labels)
+
+    def test_drop_last(self, rng):
+        images = rng.random((10, 1))
+        labels = np.arange(10)
+        batches = list(iterate_minibatches(images, labels, 4, rng=rng, drop_last=True))
+        assert len(batches) == 2
+        assert all(len(b[0]) == 4 for b in batches)
+
+    def test_transform_applied_only_with_rng(self, rng):
+        images = np.ones((4, 1))
+        labels = np.zeros(4, dtype=int)
+        double = lambda imgs, r: imgs * 2  # noqa: E731
+        train = list(iterate_minibatches(images, labels, 2, rng=rng, transform=double))
+        assert np.allclose(train[0][0], 2.0)
+        eval_ = list(iterate_minibatches(images, labels, 2, transform=double))
+        assert np.allclose(eval_[0][0], 1.0)
+
+    def test_length_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            list(iterate_minibatches(np.ones((3, 1)), np.ones(4), 2))
+
+    def test_num_batches(self):
+        assert num_batches(10, 3) == 4
+        assert num_batches(10, 3, drop_last=True) == 3
+        assert num_batches(9, 3) == 3
+        with pytest.raises(ValueError):
+            num_batches(10, 0)

@@ -1,0 +1,86 @@
+"""Experiment configuration and report formatting (no training here)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import SCALES, get_scale
+from repro.experiments.fig4 import ascii_scatter, format_fig4
+from repro.experiments.fig5 import SWEEPS, format_fig5
+from repro.experiments.table1 import format_table1
+from repro.experiments.table2 import TABLE2_ROWS, format_table2
+from repro.models.param_count import paper_catalog
+
+
+class TestScales:
+    def test_registry(self):
+        assert {"quick", "default", "full"} <= set(SCALES)
+        assert get_scale("quick").num_classes < get_scale("full").num_classes
+
+    def test_get_scale_passthrough(self):
+        scale = SCALES["quick"]
+        assert get_scale(scale) is scale
+
+    def test_unknown_scale(self):
+        with pytest.raises(KeyError):
+            get_scale("galactic")
+
+    def test_full_scale_matches_paper_protocol(self):
+        full = get_scale("full")
+        assert full.num_classes == 200  # CUB-200
+        assert full.num_trials == 5  # five seeds, µ ± σ
+
+    def test_replace(self):
+        scale = get_scale("quick").replace(num_classes=99)
+        assert scale.num_classes == 99
+
+
+class TestSweepDefinitions:
+    def test_paper_sweep_values(self):
+        """The exact hyperparameter grids from Fig 5."""
+        assert SWEEPS["batch_size"] == (4, 8, 16, 32)
+        assert SWEEPS["epochs"] == (3, 10, 30, 100)
+        assert SWEEPS["lr"] == (1e-6, 1e-3, 0.01)
+        assert SWEEPS["temperature"] == (7e-4, 0.03, 0.7)
+        assert SWEEPS["weight_decay"] == (0.0, 1e-4, 0.01)
+
+    def test_table2_rows_match_paper(self):
+        labels = [row[0] for row in TABLE2_ROWS]
+        assert len(labels) == 4
+        assert any("1536" in label for label in labels)
+        assert any("ResNet101" in label for label in labels)
+
+
+class TestFormatting:
+    def test_format_table1(self, schema):
+        report = {
+            name: {"finetag_wmap": 50.0, "ours_wmap": 55.0, "a3m_top1": 51.0, "ours_top1": 80.0}
+            for name in list(schema.group_names) + ["average"]
+        }
+        text = format_table1(report)
+        assert "bill_shape" in text and "average" in text
+        assert text.count("\n") >= 29  # 28 groups + header rows
+
+    def test_format_table2(self):
+        rows = [
+            {"label": "ResNet50 (no FC)", "pretrain": "I,III", "d": 2048, "hdc": 55.0, "mlp": 60.0},
+        ]
+        text = format_table2(rows)
+        assert "ResNet50" in text and "55.0" in text
+
+    def test_format_fig4(self):
+        points = [
+            {"name": "ours", "family": "ours", "top1": 50.0, "params": 1000},
+            {"name": "big", "family": "generative", "top1": 49.0, "params": 5000},
+        ]
+        text = format_fig4(points, paper_catalog())
+        assert "Pareto" in text
+        assert "HDC-ZSC (ours)" in text
+
+    def test_ascii_scatter_contains_all_families(self):
+        text = ascii_scatter(paper_catalog())
+        assert "O" in text and "g" in text and "n" in text
+
+    def test_format_fig5(self):
+        results = {"lr": [(1e-6, 10.0), (1e-3, 50.0)]}
+        text = format_fig5(results)
+        assert "lr" in text and "50.0" in text

@@ -1,0 +1,48 @@
+"""Multi-trial aggregation (the paper's µ ± σ protocol)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import TrialResult, run_trials, summarize_trials
+
+
+class TestRunTrials:
+    def test_aggregates_over_seeds(self):
+        def experiment(seed):
+            return {"top1": 50.0 + seed, "top5": 80.0}
+
+        results = run_trials(experiment, seeds=[0, 1, 2])
+        assert results["top1"].mean == pytest.approx(51.0)
+        assert results["top1"].std == pytest.approx(np.std([50, 51, 52]))
+        assert results["top5"].std == 0.0
+
+    def test_metric_subset(self):
+        results = run_trials(lambda s: {"a": 1.0, "b": 2.0}, seeds=[0, 1], metric_names=["b"])
+        assert set(results) == {"b"}
+
+    def test_seeds_recorded(self):
+        results = run_trials(lambda s: {"m": float(s)}, seeds=[7, 9])
+        assert results["m"].seeds == (7, 9)
+        assert results["m"].values == (7.0, 9.0)
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            run_trials(lambda s: {}, seeds=[])
+
+    def test_experiment_called_with_each_seed(self):
+        seen = []
+
+        def experiment(seed):
+            seen.append(seed)
+            return {"m": 0.0}
+
+        run_trials(experiment, seeds=[3, 5, 8])
+        assert seen == [3, 5, 8]
+
+
+class TestSummary:
+    def test_format(self):
+        result = TrialResult("top1", values=(63.1, 64.5), seeds=(0, 1))
+        assert "±" in str(result)
+        text = summarize_trials({"top1": result})
+        assert text.startswith("top1:")

@@ -1,0 +1,51 @@
+"""Quasi-orthogonality analytics."""
+
+import numpy as np
+import pytest
+
+from repro.hdc import (
+    crosstalk_probability,
+    orthogonality_report,
+    pairwise_similarities,
+    random_bipolar,
+)
+
+
+class TestPairwise:
+    def test_count(self, rng):
+        sims = pairwise_similarities(random_bipolar(10, 64, rng))
+        assert sims.shape == (45,)  # 10 choose 2
+
+    def test_requires_two(self, rng):
+        with pytest.raises(ValueError):
+            pairwise_similarities(random_bipolar(1, 64, rng))
+
+
+class TestReport:
+    def test_fields_and_theory(self, rng):
+        report = orthogonality_report(random_bipolar(50, 1024, rng))
+        assert report["num_vectors"] == 50 and report["dim"] == 1024
+        assert np.isclose(report["theoretical_std"], 1 / 32)
+        assert abs(report["std"] - report["theoretical_std"]) < 0.01
+
+
+class TestCrosstalk:
+    def test_decreases_with_dim(self):
+        assert crosstalk_probability(4096, 0.1) < crosstalk_probability(256, 0.1)
+
+    def test_bounds(self):
+        p = crosstalk_probability(1024, 0.05)
+        assert 0.0 <= p <= 1.0
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            crosstalk_probability(1024, 0.0)
+
+    def test_matches_empirical_rate(self, rng):
+        """CLT estimate agrees with the measured exceedance rate."""
+        d, threshold = 512, 0.1
+        hv = random_bipolar(120, d, rng)
+        sims = pairwise_similarities(hv)
+        empirical = (np.abs(sims) > threshold).mean()
+        predicted = crosstalk_probability(d, threshold)
+        assert abs(empirical - predicted) < 0.02

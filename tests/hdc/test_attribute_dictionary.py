@@ -1,0 +1,123 @@
+"""The two-codebook attribute dictionary and its memory claims."""
+
+import numpy as np
+import pytest
+
+from repro.hdc import (
+    AttributeDictionary,
+    Codebook,
+    FootprintReport,
+    bind,
+    codebook_footprint,
+    orthogonality_report,
+    pairwise_similarities,
+)
+
+
+@pytest.fixture
+def small_dictionary(rng):
+    pairs = [(g, v) for g in range(4) for v in range(5)]
+    return AttributeDictionary.random(4, 5, pairs, dim=512, rng=rng)
+
+
+class TestConstruction:
+    def test_random_factory(self, small_dictionary):
+        assert small_dictionary.num_attributes == 20
+        assert small_dictionary.dim == 512
+
+    def test_dim_mismatch_rejected(self, rng):
+        g = Codebook.random(["a"], 32, rng)
+        v = Codebook.random(["x"], 64, rng)
+        with pytest.raises(ValueError):
+            AttributeDictionary(g, v, [(0, 0)])
+
+    def test_duplicate_pairs_rejected(self, rng):
+        g = Codebook.random(["a"], 32, rng)
+        v = Codebook.random(["x"], 32, rng)
+        with pytest.raises(ValueError):
+            AttributeDictionary(g, v, [(0, 0), (0, 0)])
+
+    def test_out_of_range_pair_rejected(self, rng):
+        g = Codebook.random(["a"], 32, rng)
+        v = Codebook.random(["x"], 32, rng)
+        with pytest.raises(IndexError):
+            AttributeDictionary(g, v, [(1, 0)])
+
+
+class TestBinding:
+    def test_row_is_bound_pair(self, small_dictionary):
+        d = small_dictionary
+        for index in (0, 7, 19):
+            g, v = d.pairs[index]
+            expected = bind(d.groups[g], d.values[v])
+            assert np.array_equal(d.row(index), expected)
+
+    def test_matrix_matches_rows(self, small_dictionary):
+        matrix = small_dictionary.matrix()
+        for index in range(small_dictionary.num_attributes):
+            assert np.array_equal(matrix[index], small_dictionary.row(index))
+
+    def test_matrix_cached_and_readonly(self, small_dictionary):
+        m1 = small_dictionary.matrix()
+        m2 = small_dictionary.matrix()
+        assert m1 is m2
+        with pytest.raises(ValueError):
+            m1[0, 0] = 5
+
+    def test_attribute_level_quasi_orthogonality(self, rng):
+        """Bound combinations stay quasi-orthogonal to each other."""
+        pairs = [(g, v) for g in range(6) for v in range(8)]
+        dictionary = AttributeDictionary.random(6, 8, pairs, dim=4096, rng=rng)
+        report = orthogonality_report(dictionary.matrix())
+        # Pairs sharing a group/value operand still decorrelate strongly.
+        assert report["max_abs"] < 0.12
+        assert abs(report["mean"]) < 0.01
+
+
+class TestClassEncoding:
+    def test_phi_equals_a_times_b(self, small_dictionary, rng):
+        attrs = rng.random((7, small_dictionary.num_attributes))
+        phi = small_dictionary.class_embeddings(attrs)
+        manual = attrs @ small_dictionary.matrix().astype(np.float64)
+        assert np.allclose(phi, manual)
+
+    def test_wrong_alpha_rejected(self, small_dictionary, rng):
+        with pytest.raises(ValueError):
+            small_dictionary.class_embeddings(rng.random((3, 99)))
+
+
+class TestMemoryAccounting:
+    def test_dictionary_reduction(self, small_dictionary):
+        # (20 - 9) / 20 = 55% for the toy sizes
+        assert np.isclose(small_dictionary.memory_reduction(), 11 / 20)
+        assert small_dictionary.atomic_memory_bits() == 9 * 512
+        assert small_dictionary.naive_memory_bits() == 20 * 512
+
+    def test_paper_footprint_claims(self):
+        """The paper's numbers: 17 KB atomic storage, ~71 % reduction."""
+        report = codebook_footprint()  # CUB defaults: 28/61/312 @ d=1536
+        assert np.isclose(report.factored_kilobytes, 16.7, atol=0.1)  # ≈17 KB
+        assert np.isclose(report.reduction, 0.7147, atol=0.001)  # ≈71 %
+
+    def test_footprint_summary_text(self):
+        text = codebook_footprint().summary()
+        assert "71%" in text and "KB" in text
+
+    def test_footprint_validation(self):
+        with pytest.raises(ValueError):
+            codebook_footprint(num_groups=0)
+
+    def test_report_dataclass(self):
+        report = FootprintReport(2, 3, 6, 100)
+        assert report.factored_bits == 500
+        assert report.naive_bits == 600
+
+
+class TestSchemaIntegration:
+    def test_full_cub_dictionary(self, schema, rng):
+        dictionary = AttributeDictionary.random(
+            schema.num_groups, schema.num_values, schema.pairs, dim=256, rng=rng
+        )
+        assert dictionary.num_attributes == 312
+        assert dictionary.matrix().shape == (312, 256)
+        assert np.isclose(dictionary.memory_reduction(), (312 - 89) / 312)

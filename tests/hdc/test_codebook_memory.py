@@ -1,0 +1,108 @@
+"""Codebook and ItemMemory behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.hdc import Codebook, ItemMemory, bind, bundle, random_bipolar
+
+
+class TestCodebook:
+    def test_random_construction(self, rng):
+        cb = Codebook.random(["a", "b", "c"], 64, rng)
+        assert len(cb) == 3 and cb.dim == 64
+        assert cb.names == ("a", "b", "c")
+
+    def test_lookup_by_name_and_index(self, rng):
+        cb = Codebook.random(["x", "y"], 32, rng)
+        assert np.array_equal(cb["x"], cb[0])
+        assert cb.index_of("y") == 1
+        assert "x" in cb and "z" not in cb
+
+    def test_vectors_read_only(self, rng):
+        cb = Codebook.random(["a"], 16, rng)
+        with pytest.raises(ValueError):
+            cb.vectors[0, 0] = 5
+
+    def test_duplicate_names_rejected(self, rng):
+        with pytest.raises(ValueError):
+            Codebook.random(["a", "a"], 16, rng)
+
+    def test_name_count_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            Codebook(["a", "b"], random_bipolar(3, 16, rng))
+
+    def test_binary_roundtrip(self, rng):
+        cb = Codebook.random(["a", "b"], 32, rng)
+        again = Codebook.from_binary(["a", "b"], cb.as_binary())
+        assert np.array_equal(again.vectors, cb.vectors)
+
+    def test_memory_accounting(self, rng):
+        cb = Codebook.random(list("abcd"), 1024, rng)
+        assert cb.memory_bits() == 4 * 1024
+        assert cb.memory_bytes() == 512.0
+
+
+class TestItemMemory:
+    def test_cleanup_exact(self, rng):
+        memory = ItemMemory(256)
+        vectors = random_bipolar(5, 256, rng)
+        memory.add_many(list("abcde"), vectors)
+        label, sim = memory.cleanup(vectors[2])
+        assert label == "c" and np.isclose(sim, 1.0)
+
+    def test_cleanup_under_noise(self, rng):
+        """Associative recall survives heavy bit-flip noise — the HDC
+        robustness property behind its hardware appeal."""
+        d = 2048
+        memory = ItemMemory(d)
+        vectors = random_bipolar(20, d, rng)
+        memory.add_many([f"v{i}" for i in range(20)], vectors)
+        noisy = vectors[7].copy()
+        flip = rng.choice(d, size=d // 4, replace=False)  # 25% bit flips
+        noisy[flip] *= -1
+        label, sim = memory.cleanup(noisy)
+        assert label == "v7"
+        assert sim > 0.3
+
+    def test_topk_ordering(self, rng):
+        memory = ItemMemory(512)
+        vectors = random_bipolar(6, 512, rng)
+        memory.add_many(list("abcdef"), vectors)
+        top = memory.topk(vectors[1], k=3)
+        assert top[0][0] == "b"
+        assert top[0][1] >= top[1][1] >= top[2][1]
+
+    def test_bundle_retrieves_members(self, rng):
+        memory = ItemMemory(2048)
+        vectors = random_bipolar(3, 2048, rng)
+        memory.add_many(["x", "y", "z"], vectors)
+        composite = bundle(vectors, rng=rng)
+        labels = [label for label, _ in memory.topk(composite, k=3)]
+        assert set(labels) == {"x", "y", "z"}
+
+    def test_duplicate_label_rejected(self, rng):
+        memory = ItemMemory(16)
+        memory.add("a", random_bipolar(1, 16, rng)[0])
+        with pytest.raises(KeyError):
+            memory.add("a", random_bipolar(1, 16, rng)[0])
+
+    def test_wrong_shape_rejected(self, rng):
+        memory = ItemMemory(16)
+        with pytest.raises(ValueError):
+            memory.add("a", random_bipolar(1, 32, rng)[0])
+
+    def test_empty_query_raises(self):
+        with pytest.raises(LookupError):
+            ItemMemory(16).cleanup(np.ones(16))
+
+    def test_key_value_binding_retrieval(self, rng):
+        """End-to-end HDC pattern: bind key⊙value, unbind, clean up."""
+        d = 2048
+        keys = random_bipolar(4, d, rng)
+        values = random_bipolar(4, d, rng)
+        memory = ItemMemory(d)
+        memory.add_many([f"val{i}" for i in range(4)], values)
+        record = bundle(np.stack([bind(k, v) for k, v in zip(keys, values)]), rng=rng)
+        recovered = bind(record, keys[2])  # unbind key 2
+        label, _ = memory.cleanup(recovered)
+        assert label == "val2"

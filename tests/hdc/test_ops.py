@@ -1,0 +1,155 @@
+"""Algebraic properties of the HDC operations (heavily property-based)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdc import (
+    bind,
+    bind_binary,
+    bundle,
+    cosine_similarity,
+    dot_similarity,
+    hamming_distance,
+    inverse_permute,
+    normalized_hamming,
+    permute,
+    random_bipolar,
+    unbind,
+)
+
+
+def vectors(seed, n, d=256):
+    return random_bipolar(n, d, np.random.default_rng(seed))
+
+
+class TestBind:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**16))
+    def test_commutative(self, seed):
+        a, b = vectors(seed, 2)
+        assert np.array_equal(bind(a, b), bind(b, a))
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**16))
+    def test_associative(self, seed):
+        a, b, c = vectors(seed, 3)
+        assert np.array_equal(bind(bind(a, b), c), bind(a, bind(b, c)))
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**16))
+    def test_self_inverse(self, seed):
+        a, b = vectors(seed, 2)
+        assert np.array_equal(unbind(bind(a, b), a), b)
+
+    def test_result_is_bipolar(self, rng):
+        a, b = random_bipolar(2, 128, rng)
+        out = bind(a, b)
+        assert set(np.unique(out)) <= {-1, 1}
+
+    def test_bound_vector_quasi_orthogonal_to_operands(self, rng):
+        """Binding preserves quasi-orthogonality (the paper's key property)."""
+        d = 4096
+        a, b = random_bipolar(2, d, rng)
+        bound = bind(a, b)
+        assert abs(cosine_similarity(bound, a)) < 0.06
+        assert abs(cosine_similarity(bound, b)) < 0.06
+
+    def test_distributes_over_hamming(self, rng):
+        """Binding with a common key preserves pairwise Hamming distance."""
+        a, b, key = random_bipolar(3, 512, rng)
+        assert hamming_distance(a, b) == hamming_distance(bind(a, key), bind(b, key))
+
+    def test_dimension_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            bind(random_bipolar(1, 8, rng)[0], random_bipolar(1, 16, rng)[0])
+
+    def test_binary_bind_is_xor(self, rng):
+        a = rng.integers(0, 2, size=32).astype(np.int8)
+        b = rng.integers(0, 2, size=32).astype(np.int8)
+        assert np.array_equal(bind_binary(a, b), a ^ b)
+
+    def test_binary_bind_rejects_bipolar(self, rng):
+        with pytest.raises(ValueError):
+            bind_binary(np.array([-1, 1]), np.array([0, 1]))
+
+
+class TestBundle:
+    def test_majority(self):
+        stack = np.array([[1, 1, -1], [1, -1, -1], [1, 1, 1]], dtype=np.int8)
+        assert np.array_equal(bundle(stack), [1, 1, -1])
+
+    def test_ties_deterministic_without_rng(self):
+        stack = np.array([[1, -1], [-1, 1]], dtype=np.int8)
+        assert np.array_equal(bundle(stack), [1, 1])
+
+    def test_ties_with_rng_are_bipolar(self, rng):
+        stack = np.array([[1, -1], [-1, 1]], dtype=np.int8)
+        out = bundle(stack, rng=rng)
+        assert set(np.unique(out)) <= {-1, 1}
+
+    def test_bundle_similar_to_components(self, rng):
+        """The bundle stays similar to each bundled vector (HDC memory)."""
+        stack = random_bipolar(5, 2048, rng)
+        out = bundle(stack, rng=rng)
+        for row in stack:
+            assert cosine_similarity(out, row) > 0.2
+
+    def test_rejects_non_2d(self, rng):
+        with pytest.raises(ValueError):
+            bundle(random_bipolar(1, 16, rng)[0])
+
+    def test_rejects_non_bipolar(self):
+        with pytest.raises(ValueError):
+            bundle(np.array([[0, 1], [1, 0]]))
+
+
+class TestPermute:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**16), shift=st.integers(-10, 10))
+    def test_inverse(self, seed, shift):
+        a = vectors(seed, 1)[0]
+        assert np.array_equal(inverse_permute(permute(a, shift), shift), a)
+
+    def test_preserves_components(self, rng):
+        a = random_bipolar(1, 64, rng)[0]
+        assert sorted(permute(a, 7)) == sorted(a)
+
+    def test_permuted_vector_dissimilar(self, rng):
+        a = random_bipolar(1, 4096, rng)[0]
+        assert abs(cosine_similarity(a, permute(a, 1))) < 0.06
+
+
+class TestSimilarities:
+    def test_cosine_identity(self, rng):
+        a = random_bipolar(1, 128, rng)[0]
+        assert np.isclose(cosine_similarity(a, a), 1.0)
+        assert np.isclose(cosine_similarity(a, -a), -1.0)
+
+    def test_cosine_matrix_shape(self, rng):
+        a = random_bipolar(3, 64, rng)
+        b = random_bipolar(5, 64, rng)
+        assert cosine_similarity(a, b).shape == (3, 5)
+        assert cosine_similarity(a[0], b).shape == (5,)
+        assert cosine_similarity(a, b[0]).shape == (3,)
+
+    def test_cosine_rejects_zero_vector(self):
+        with pytest.raises(ValueError):
+            cosine_similarity(np.zeros(8), np.ones(8))
+
+    def test_dot_similarity(self, rng):
+        a, b = random_bipolar(2, 64, rng).astype(np.float64)
+        assert np.isclose(dot_similarity(a, b), float(a @ b))
+
+    def test_hamming_relations(self, rng):
+        a, b = random_bipolar(2, 512, rng)
+        h = hamming_distance(a, b)
+        assert 0 <= h <= 512
+        assert np.isclose(normalized_hamming(a, b), h / 512)
+        # cos = 1 - 2·hamming/d for bipolar vectors
+        assert np.isclose(cosine_similarity(a, b), 1 - 2 * h / 512)
+
+    def test_hamming_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            hamming_distance(np.ones(4), np.ones(5))

@@ -1,0 +1,145 @@
+"""End-to-end integration: the full pipeline, experiment harnesses and
+examples wired together at miniature scale."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.baselines import ESZSL
+from repro.data import SyntheticCUB, make_split
+from repro.metrics import top1_accuracy
+from repro.zsl import PipelineConfig, TrainConfig, ZSLPipeline
+
+
+@pytest.fixture(scope="module")
+def trained_pipeline():
+    """One miniature three-phase run shared by the assertions below."""
+    dataset = SyntheticCUB(num_classes=12, images_per_class=6, image_size=16, seed=9)
+    split = make_split(dataset, "ZS", seed=9)
+    config = PipelineConfig(
+        embedding_dim=48,
+        seed=9,
+        pretrain_classes=6,
+        pretrain_images_per_class=4,
+        image_size=16,
+        phase1=TrainConfig(epochs=1, batch_size=12),
+        phase2=TrainConfig(epochs=2, batch_size=12),
+        phase3=TrainConfig(epochs=2, batch_size=12),
+    )
+    with nn.using_dtype(np.float32):
+        pipeline = ZSLPipeline(dataset, split, config)
+        result = pipeline.run()
+    return dataset, split, pipeline, result
+
+
+class TestPipeline:
+    def test_all_phases_ran(self, trained_pipeline):
+        _, _, _, result = trained_pipeline
+        assert len(result.phase1_history) == 1
+        assert len(result.phase2_history) == 2
+        assert len(result.phase3_history) == 2
+
+    def test_losses_finite_and_decreasing_phase2(self, trained_pipeline):
+        _, _, _, result = trained_pipeline
+        assert all(np.isfinite(result.phase2_history))
+        assert result.phase2_history[-1] <= result.phase2_history[0]
+
+    def test_metrics_sane(self, trained_pipeline):
+        _, split, _, result = trained_pipeline
+        assert 0.0 <= result.metrics["top1"] <= result.metrics["top5"] <= 100.0
+
+    def test_zero_shot_protocol_respected(self, trained_pipeline):
+        dataset, split, _, _ = trained_pipeline
+        assert split.zero_shot
+        # no test-class image was ever seen in training
+        assert not np.intersect1d(split.train_indices, split.test_indices).size
+
+    def test_attribute_report_available(self, trained_pipeline):
+        _, _, pipeline, _ = trained_pipeline
+        report = pipeline.evaluate_attributes()
+        assert 0.0 <= report["average"]["top1"] <= 100.0
+
+    def test_deployed_model_stationary_and_consistent(self, trained_pipeline):
+        dataset, split, _, result = trained_pipeline
+        model = result.model.deploy()
+        attrs = dataset.class_attributes[split.test_classes]
+        first = model.score(split.test_images[:4], attrs)
+        second = model.score(split.test_images[:4], attrs)
+        assert np.array_equal(first, second)
+        assert model.num_parameters(trainable_only=True) == 0
+
+    def test_no_fc_configuration_skips_phase2(self):
+        dataset = SyntheticCUB(num_classes=8, images_per_class=3, image_size=16, seed=4)
+        split = make_split(dataset, "ZS", seed=4)
+        config = PipelineConfig(
+            embedding_dim=None,  # no projection FC → Phase II skipped (Table II)
+            seed=4,
+            pretrain_classes=4,
+            pretrain_images_per_class=3,
+            image_size=16,
+            phase1=TrainConfig(epochs=1, batch_size=8),
+            phase3=TrainConfig(epochs=1, batch_size=8),
+        )
+        with nn.using_dtype(np.float32):
+            result = ZSLPipeline(dataset, split, config).run()
+        assert result.phase2_history == []
+
+    def test_mlp_variant_runs(self):
+        dataset = SyntheticCUB(num_classes=8, images_per_class=3, image_size=16, seed=5)
+        split = make_split(dataset, "ZS", seed=5)
+        config = PipelineConfig(
+            embedding_dim=32,
+            attribute_encoder="mlp",
+            seed=5,
+            pretrain_classes=4,
+            pretrain_images_per_class=3,
+            image_size=16,
+            phase1=TrainConfig(epochs=1, batch_size=8),
+            phase2=TrainConfig(epochs=1, batch_size=8),
+            phase3=TrainConfig(epochs=1, batch_size=8),
+        )
+        with nn.using_dtype(np.float32):
+            result = ZSLPipeline(dataset, split, config).run()
+        assert 0.0 <= result.metrics["top1"] <= 100.0
+
+
+class TestModelVsBaselineProtocol:
+    def test_eszsl_on_same_split(self, trained_pipeline):
+        """The Fig 4 protocol end to end: ESZSL on frozen features."""
+        dataset, split, pipeline, _ = trained_pipeline
+        with nn.using_dtype(np.float32):
+            features_train = pipeline.model.image_encoder.encode(split.train_images)
+            features_test = pipeline.model.image_encoder.encode(split.test_images)
+        eszsl = ESZSL().fit(
+            features_train.astype(np.float64),
+            split.train_targets,
+            dataset.class_attributes[split.train_classes],
+        )
+        scores = eszsl.scores(
+            features_test.astype(np.float64),
+            dataset.class_attributes[split.test_classes],
+        )
+        acc = top1_accuracy(scores, split.test_targets)
+        assert 0.0 <= acc <= 1.0
+
+
+class TestDeterminism:
+    def test_same_seed_same_model(self):
+        results = []
+        for _ in range(2):
+            dataset = SyntheticCUB(num_classes=6, images_per_class=3, image_size=16, seed=3)
+            split = make_split(dataset, "ZS", seed=3)
+            config = PipelineConfig(
+                embedding_dim=24,
+                seed=3,
+                pretrain_classes=4,
+                pretrain_images_per_class=2,
+                image_size=16,
+                phase1=TrainConfig(epochs=1, batch_size=8),
+                phase2=TrainConfig(epochs=1, batch_size=8),
+                phase3=TrainConfig(epochs=1, batch_size=8),
+            )
+            with nn.using_dtype(np.float32):
+                result = ZSLPipeline(dataset, split, config).run()
+            results.append(result.metrics["top1"])
+        assert results[0] == results[1]

@@ -1,0 +1,200 @@
+"""Classification, WMAP, per-group and Pareto metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    average_precision,
+    confusion_matrix,
+    group_top1_accuracy,
+    group_wmap,
+    is_pareto_optimal,
+    mean_average_precision,
+    pareto_front,
+    per_group_report,
+    top1_accuracy,
+    top5_accuracy,
+    topk_accuracy,
+    weighted_mean_average_precision,
+)
+
+
+class TestTopK:
+    def test_top1_exact(self):
+        scores = np.array([[0.9, 0.1], [0.2, 0.8], [0.6, 0.4]])
+        assert top1_accuracy(scores, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_topk_monotone_in_k(self, rng):
+        scores = rng.normal(size=(50, 10))
+        targets = rng.integers(0, 10, size=50)
+        accs = [topk_accuracy(scores, targets, k=k) for k in (1, 3, 5, 10)]
+        assert all(a <= b for a, b in zip(accs, accs[1:]))
+        assert accs[-1] == 1.0  # k = C always hits
+
+    def test_top5_clamps_k(self, rng):
+        scores = rng.normal(size=(10, 3))
+        targets = rng.integers(0, 3, size=10)
+        assert top5_accuracy(scores, targets) == 1.0
+
+    def test_invalid_k(self, rng):
+        with pytest.raises(ValueError):
+            topk_accuracy(rng.normal(size=(5, 3)), np.zeros(5, dtype=int), k=4)
+
+    def test_shape_checks(self, rng):
+        with pytest.raises(ValueError):
+            topk_accuracy(rng.normal(size=(5, 3)), np.zeros(4, dtype=int))
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**16), n=st.integers(1, 40), c=st.integers(2, 8))
+    def test_bounds_property(self, seed, n, c):
+        gen = np.random.default_rng(seed)
+        acc = topk_accuracy(gen.normal(size=(n, c)), gen.integers(0, c, size=n), k=1)
+        assert 0.0 <= acc <= 1.0
+
+    def test_confusion_matrix(self):
+        cm = confusion_matrix(np.array([0, 1, 1, 2]), np.array([0, 1, 2, 2]), 3)
+        assert cm[0, 0] == 1 and cm[1, 1] == 1 and cm[2, 1] == 1 and cm[2, 2] == 1
+        assert cm.sum() == 4
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self):
+        assert average_precision(np.array([0.9, 0.8, 0.1, 0.0]), np.array([1, 1, 0, 0])) == 1.0
+
+    def test_worst_ranking(self):
+        ap = average_precision(np.array([0.1, 0.2, 0.8, 0.9]), np.array([1, 1, 0, 0]))
+        assert ap == pytest.approx((1 / 3 + 2 / 4) / 2)
+
+    def test_hand_computed(self):
+        # ranking: pos, neg, pos → precisions 1/1 and 2/3
+        ap = average_precision(np.array([0.9, 0.5, 0.3]), np.array([1, 0, 1]))
+        assert ap == pytest.approx((1.0 + 2 / 3) / 2)
+
+    def test_no_positives_nan(self):
+        assert np.isnan(average_precision(np.array([0.5]), np.array([0])))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            average_precision(np.zeros(3), np.zeros(4))
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**16), n=st.integers(2, 50))
+    def test_ap_bounds(self, seed, n):
+        gen = np.random.default_rng(seed)
+        targets = gen.integers(0, 2, size=n)
+        if targets.sum() == 0:
+            targets[0] = 1
+        ap = average_precision(gen.normal(size=n), targets)
+        assert 0.0 < ap <= 1.0
+
+
+class TestWMAP:
+    def test_equals_map_when_uniform(self, rng):
+        """With equal column frequencies, WMAP reduces to plain mAP."""
+        scores = rng.normal(size=(40, 4))
+        targets = np.zeros((40, 4))
+        targets[:10, 0] = targets[10:20, 1] = targets[20:30, 2] = targets[30:, 3] = 1
+        assert weighted_mean_average_precision(scores, targets) == pytest.approx(
+            mean_average_precision(scores, targets)
+        )
+
+    def test_upweights_rare_attributes(self, rng):
+        """A rare, badly-ranked attribute hurts WMAP more than mAP."""
+        n = 60
+        scores = np.zeros((n, 2))
+        targets = np.zeros((n, 2))
+        targets[:30, 0] = 1
+        scores[:30, 0] = 1.0  # common attribute: perfect
+        targets[-3:, 1] = 1
+        scores[:, 1] = np.linspace(1, 0, n)  # rare attribute: worst ranking
+        wmap = weighted_mean_average_precision(scores, targets)
+        plain = mean_average_precision(scores, targets)
+        assert wmap < plain
+
+    def test_all_nan_columns(self):
+        assert np.isnan(weighted_mean_average_precision(np.zeros((3, 2)), np.zeros((3, 2))))
+
+
+class TestGroupMetrics:
+    def test_group_top1(self, small_schema):
+        alpha = small_schema.num_attributes
+        targets = np.zeros((2, alpha))
+        scores = np.zeros((2, alpha))
+        sl = small_schema.group_slice("pattern")
+        targets[0, sl.start + 1] = 1
+        scores[0, sl.start + 1] = 5.0  # hit
+        targets[1, sl.start + 2] = 1
+        scores[1, sl.start] = 5.0  # miss
+        assert group_top1_accuracy(scores, targets, sl) == pytest.approx(0.5)
+
+    def test_group_top1_no_active_nan(self, small_schema):
+        sl = small_schema.group_slice("pattern")
+        out = group_top1_accuracy(np.zeros((3, small_schema.num_attributes)),
+                                  np.zeros((3, small_schema.num_attributes)), sl)
+        assert np.isnan(out)
+
+    def test_per_group_report_keys(self, small_schema, rng):
+        alpha = small_schema.num_attributes
+        scores = rng.normal(size=(20, alpha))
+        targets = (rng.random((20, alpha)) > 0.8).astype(float)
+        report = per_group_report(small_schema, scores, targets)
+        assert set(report) == set(small_schema.group_names) | {"average"}
+        assert "wmap" in report["average"] and "top1" in report["average"]
+
+    def test_perfect_predictor_scores_100(self, small_schema, rng):
+        alpha = small_schema.num_attributes
+        targets = np.zeros((10, alpha))
+        for i in range(10):
+            for group in small_schema.groups:
+                sl = small_schema.group_slice(group.name)
+                targets[i, sl.start + int(rng.integers(len(group.values)))] = 1
+        report = per_group_report(small_schema, targets * 10.0 + rng.normal(size=targets.shape) * 0.01, targets)
+        assert report["average"]["top1"] == pytest.approx(100.0)
+        assert report["average"]["wmap"] > 95.0
+
+
+class TestPareto:
+    def test_simple_front(self):
+        costs = [1, 2, 3]
+        gains = [1, 3, 2]
+        assert list(is_pareto_optimal(costs, gains)) == [True, True, False]
+
+    def test_duplicate_points_both_kept(self):
+        assert list(is_pareto_optimal([1, 1], [2, 2])) == [True, True]
+
+    def test_front_filter_with_objects(self):
+        points = [
+            {"name": "a", "params": 10, "acc": 50},
+            {"name": "b", "params": 20, "acc": 60},
+            {"name": "c", "params": 30, "acc": 55},
+        ]
+        front = pareto_front(points, "params", "acc")
+        assert [p["name"] for p in front] == ["a", "b"]
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**16), n=st.integers(1, 20))
+    def test_front_members_not_dominated(self, seed, n):
+        gen = np.random.default_rng(seed)
+        costs = gen.random(n)
+        gains = gen.random(n)
+        mask = is_pareto_optimal(costs, gains)
+        assert mask.any()  # a front always exists
+        for i in np.flatnonzero(mask):
+            dominated = (
+                (costs <= costs[i]) & (gains >= gains[i])
+                & ((costs < costs[i]) | (gains > gains[i]))
+            )
+            assert not dominated.any()
+
+    def test_paper_catalog_pareto_claim(self):
+        """Fig 4's claim: both of our models lie on the Pareto front."""
+        from repro.models.param_count import paper_catalog
+
+        catalog = paper_catalog()
+        mask = is_pareto_optimal(
+            [s.params_millions for s in catalog], [s.top1_accuracy for s in catalog]
+        )
+        ours = {s.name: keep for s, keep in zip(catalog, mask) if s.family == "ours"}
+        assert all(ours.values())

@@ -1,0 +1,165 @@
+"""ResNets, heads, MLP and the parameter-count zoo."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import (
+    MLP,
+    RESNET50_BACKBONE_PARAMS,
+    RESNET101_BACKBONE_PARAMS,
+    BasicBlock,
+    Bottleneck,
+    ClassifierHead,
+    ImageEncoder,
+    ResNet,
+    basic_block_params,
+    bottleneck_params,
+    build_backbone,
+    hdc_zsc_params,
+    linear_params,
+    mini_resnet50,
+    mini_resnet101,
+    paper_catalog,
+    resnet_backbone_params,
+    trainable_mlp_zsc_params,
+)
+
+
+class TestResNetForward:
+    def test_mini50_shapes(self, rng):
+        model = mini_resnet50(rng=rng)
+        out = model(nn.Tensor(rng.normal(size=(2, 3, 32, 32))))
+        assert out.shape == (2, model.feature_dim)
+        assert model.feature_dim == 256  # 8 * 2**3 * 4
+
+    def test_mini101_deeper(self, rng):
+        m50 = mini_resnet50(rng=rng)
+        m101 = mini_resnet101(rng=rng)
+        assert m101.num_parameters() > m50.num_parameters()
+        assert m101.feature_dim == m50.feature_dim
+
+    def test_basic_block_variant(self, rng):
+        model = ResNet(BasicBlock, [1, 1], base_width=4, rng=rng)
+        out = model(nn.Tensor(rng.normal(size=(1, 3, 16, 16))))
+        assert out.shape == (1, 8)
+
+    def test_imagenet_stem_downsampling(self, rng):
+        model = ResNet(Bottleneck, [1, 1], base_width=4, small_input=False, rng=rng)
+        out = model(nn.Tensor(rng.normal(size=(1, 3, 64, 64))))
+        assert out.shape == (1, 32)
+
+    def test_accepts_numpy(self, rng):
+        model = mini_resnet50(rng=rng)
+        out = model(rng.normal(size=(1, 3, 16, 16)))
+        assert out.shape == (1, 256)
+
+    def test_backward_flows_to_stem(self, rng):
+        model = ResNet(Bottleneck, [1], base_width=4, rng=rng)
+        out = model(nn.Tensor(rng.normal(size=(2, 3, 8, 8))))
+        (out * out).sum().backward()
+        assert model.conv1.weight.grad is not None
+        assert np.isfinite(model.conv1.weight.grad).all()
+
+    def test_build_backbone_registry(self, rng):
+        assert build_backbone("resnet50", rng=rng).layer_plan == (1, 1, 1, 1)
+        assert build_backbone("resnet101", rng=rng).layer_plan == (1, 1, 3, 1)
+        with pytest.raises(KeyError):
+            build_backbone("vgg")
+
+
+class TestParamFormulas:
+    def test_full_scale_torchvision_numbers(self):
+        """Exact parameter counts of the real architectures."""
+        assert RESNET50_BACKBONE_PARAMS == 23_508_032
+        assert RESNET101_BACKBONE_PARAMS == 42_500_160
+        # with the 1000-way FC heads: the canonical 25.557M / 44.549M
+        assert RESNET50_BACKBONE_PARAMS + linear_params(2048, 1000) == 25_557_032
+        assert RESNET101_BACKBONE_PARAMS + linear_params(2048, 1000) == 44_549_160
+
+    def test_paper_headline_26_6m(self):
+        """HDC-ZSC = ResNet50 + FC(2048→1536): the paper's 26.6 M."""
+        assert hdc_zsc_params() == 26_655_297
+        assert round(hdc_zsc_params() / 1e6, 1) == 26.7  # reported as 26.6M
+
+    def test_mlp_variant_larger(self):
+        assert trainable_mlp_zsc_params() > hdc_zsc_params()
+
+    def test_formula_matches_instantiated_model(self, rng):
+        """Analytic count == actual parameter count of a built network."""
+        model = ResNet(Bottleneck, [1, 1, 1, 1], base_width=8, small_input=True, rng=rng)
+        predicted = resnet_backbone_params([1, 1, 1, 1], base_width=8, stem_kernel=3)
+        assert model.num_parameters() == predicted
+
+    def test_basic_block_formula_matches(self, rng):
+        model = ResNet(BasicBlock, [2, 2], base_width=4, small_input=True, rng=rng)
+        predicted = resnet_backbone_params([2, 2], base_width=4, bottleneck=False, stem_kernel=3)
+        assert model.num_parameters() == predicted
+
+    def test_block_formulas_match_modules(self, rng):
+        block = Bottleneck(16, 8, stride=2, rng=rng)
+        assert block.num_parameters() == bottleneck_params(16, 8, downsample=True)
+        block = BasicBlock(8, 8, stride=1, rng=rng)
+        assert block.num_parameters() == basic_block_params(8, 8, downsample=False)
+
+    def test_catalog_ratios(self):
+        catalog = {s.name: s for s in paper_catalog()}
+        ours = catalog["HDC-ZSC (ours)"].params_millions
+        assert np.isclose(catalog["ESZSL"].params_millions / ours, 1.72, atol=0.01)
+        assert np.isclose(catalog["TCN"].params_millions / ours, 1.85, atol=0.01)
+        generative = [s for s in paper_catalog() if s.family == "generative"]
+        ratios = [s.params_millions / ours for s in generative]
+        assert min(ratios) >= 1.74 and max(ratios) <= 2.59
+
+    def test_catalog_accuracy_deltas(self):
+        """+9.9 % vs ESZSL and +4.3 % vs TCN."""
+        catalog = {s.name: s for s in paper_catalog()}
+        ours = catalog["HDC-ZSC (ours)"].top1_accuracy
+        assert np.isclose(ours - catalog["ESZSL"].top1_accuracy, 9.9)
+        assert np.isclose(ours - catalog["TCN"].top1_accuracy, 4.3)
+
+
+class TestHeadsAndMLP:
+    def test_image_encoder_projection(self, rng):
+        encoder = ImageEncoder(mini_resnet50(rng=rng), embedding_dim=64, rng=rng)
+        out = encoder(nn.Tensor(rng.normal(size=(2, 3, 16, 16))))
+        assert out.shape == (2, 64)
+        assert encoder.has_projection
+
+    def test_image_encoder_identity(self, rng):
+        encoder = ImageEncoder(mini_resnet50(rng=rng), embedding_dim=None)
+        assert not encoder.has_projection
+        assert encoder.embedding_dim == 256
+
+    def test_freeze_backbone_keeps_projection_trainable(self, rng):
+        encoder = ImageEncoder(mini_resnet50(rng=rng), embedding_dim=32, rng=rng)
+        encoder.freeze_backbone()
+        trainable = [p for p in encoder.parameters() if p.requires_grad]
+        assert len(trainable) == 2  # projection weight + bias
+
+    def test_encode_batched_matches_forward(self, rng):
+        encoder = ImageEncoder(mini_resnet50(rng=rng), embedding_dim=16, rng=rng)
+        images = rng.normal(size=(5, 3, 16, 16))
+        encoder.eval()
+        with nn.no_grad():
+            direct = encoder(nn.Tensor(images)).data
+        batched = encoder.encode(images, batch_size=2)
+        assert np.allclose(direct, batched, atol=1e-6)
+
+    def test_classifier_head(self, rng):
+        head = ClassifierHead(32, 10, rng=rng)
+        assert head(nn.Tensor(rng.normal(size=(4, 32)))).shape == (4, 10)
+
+    def test_mlp_structure(self, rng):
+        mlp = MLP([312, 64, 32], rng=rng)
+        assert mlp(nn.Tensor(rng.normal(size=(3, 312)))).shape == (3, 32)
+        assert mlp.num_parameters() == linear_params(312, 64) + linear_params(64, 32)
+
+    def test_mlp_needs_two_dims(self, rng):
+        with pytest.raises(ValueError):
+            MLP([10], rng=rng)
+
+    def test_mlp_dropout_and_final_activation(self, rng):
+        mlp = MLP([8, 8, 4], dropout=0.5, final_activation=nn.Sigmoid(), rng=rng)
+        out = mlp(nn.Tensor(rng.normal(size=(2, 8))))
+        assert (out.data >= 0).all() and (out.data <= 1).all()

@@ -1,0 +1,148 @@
+"""Gradient correctness: every differentiable op vs finite differences."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor, gradcheck, no_grad
+
+
+def leaf(rng, shape, offset=0.0):
+    return Tensor(rng.normal(size=shape) + offset, requires_grad=True)
+
+
+class TestElementwiseGrads:
+    @pytest.mark.parametrize(
+        "fn",
+        [
+            lambda t: (t * t).sum(),
+            lambda t: (t + 3.0).sum(),
+            lambda t: (t - 1.5).mean(),
+            lambda t: (t * 2.0 - t / 3.0).sum(),
+            lambda t: t.exp().sum(),
+            lambda t: t.tanh().sum(),
+            lambda t: t.sigmoid().sum(),
+            lambda t: t.relu().sum(),
+            lambda t: t.leaky_relu(0.1).sum(),
+            lambda t: (t**3).sum(),
+        ],
+    )
+    def test_unary(self, rng, fn):
+        t = leaf(rng, (3, 4))
+        gradcheck(lambda: fn(t), [t])
+
+    def test_log_sqrt_positive_domain(self, rng):
+        t = Tensor(np.abs(rng.normal(size=(4,))) + 0.5, requires_grad=True)
+        gradcheck(lambda: (t.log() + t.sqrt()).sum(), [t])
+
+    def test_binary_broadcast(self, rng):
+        a = leaf(rng, (3, 4))
+        b = leaf(rng, (4,))
+        gradcheck(lambda: (a * b + a / (b * b + 2.0)).sum(), [a, b])
+
+    def test_rsub_rdiv(self, rng):
+        a = Tensor(np.abs(rng.normal(size=(3,))) + 1.0, requires_grad=True)
+        gradcheck(lambda: (2.0 - a).sum() + (1.0 / a).sum(), [a])
+
+
+class TestMatmulGrads:
+    def test_2d(self, rng):
+        a, b = leaf(rng, (3, 4)), leaf(rng, (4, 2))
+        gradcheck(lambda: ((a @ b) ** 2).sum(), [a, b])
+
+    def test_matrix_vector(self, rng):
+        a, v = leaf(rng, (3, 4)), leaf(rng, (4,))
+        gradcheck(lambda: ((a @ v) ** 2).sum(), [a, v])
+
+
+class TestReductionGrads:
+    @pytest.mark.parametrize("axis,keepdims", [(None, False), (0, False), (1, True)])
+    def test_sum(self, rng, axis, keepdims):
+        t = leaf(rng, (3, 4))
+        gradcheck(lambda: (t.sum(axis=axis, keepdims=keepdims) ** 2).sum(), [t])
+
+    def test_mean_var(self, rng):
+        t = leaf(rng, (4, 5))
+        gradcheck(lambda: (t.mean(axis=1) ** 2).sum() + t.var(axis=0).sum(), [t])
+
+    def test_max_routes_to_argmax(self, rng):
+        t = leaf(rng, (4, 5))
+        gradcheck(lambda: t.max(axis=1).sum(), [t])
+
+    def test_max_splits_grad_on_ties(self):
+        t = Tensor(np.ones((1, 4)), requires_grad=True)
+        t.max(axis=1).sum().backward()
+        assert np.allclose(t.grad, np.full((1, 4), 0.25))
+
+    def test_norm(self, rng):
+        t = leaf(rng, (3, 4), offset=1.0)
+        gradcheck(lambda: t.norm(axis=1).sum(), [t])
+
+
+class TestShapeGrads:
+    def test_reshape_transpose(self, rng):
+        t = leaf(rng, (2, 3, 4))
+        gradcheck(lambda: (t.reshape(6, 4).transpose() ** 2).sum(), [t])
+
+    def test_getitem(self, rng):
+        t = leaf(rng, (5, 4))
+        gradcheck(lambda: (t[1:4, ::2] ** 2).sum(), [t])
+
+    def test_concatenate(self, rng):
+        a, b = leaf(rng, (2, 3)), leaf(rng, (4, 3))
+        gradcheck(lambda: (Tensor.concatenate([a, b], axis=0) ** 2).sum(), [a, b])
+
+    def test_stack(self, rng):
+        a, b = leaf(rng, (2, 3)), leaf(rng, (2, 3))
+        gradcheck(lambda: (Tensor.stack([a, b]) ** 2).sum(), [a, b])
+
+    def test_pad2d(self, rng):
+        t = leaf(rng, (1, 2, 3, 3))
+        gradcheck(lambda: (t.pad2d(1) ** 2).sum(), [t])
+
+
+class TestGraphSemantics:
+    def test_grad_accumulates_over_multiple_uses(self, rng):
+        a = leaf(rng, (3,))
+        out = (a * 2).sum() + (a * 3).sum()
+        out.backward()
+        assert np.allclose(a.grad, np.full(3, 5.0))
+
+    def test_no_grad_blocks_recording(self, rng):
+        a = leaf(rng, (3,))
+        with no_grad():
+            b = a * 2
+        assert not b.requires_grad
+
+    def test_zero_grad(self, rng):
+        a = leaf(rng, (3,))
+        (a * a).sum().backward()
+        assert a.grad is not None
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_diamond_graph(self, rng):
+        a = leaf(rng, (3,))
+        gradcheck(lambda: ((a * 2) * (a + 1)).sum(), [a])
+
+    def test_deep_chain(self, rng):
+        a = leaf(rng, (4,))
+        def fn():
+            x = a
+            for _ in range(20):
+                x = x * 1.01 + 0.01
+            return x.sum()
+        gradcheck(fn, [a])
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        rows=st.integers(1, 4),
+        cols=st.integers(1, 4),
+        seed=st.integers(0, 2**16),
+    )
+    def test_property_mixed_expression(self, rows, cols, seed):
+        gen = np.random.default_rng(seed)
+        a = Tensor(gen.normal(size=(rows, cols)), requires_grad=True)
+        b = Tensor(gen.normal(size=(cols,)), requires_grad=True)
+        gradcheck(lambda: ((a * b).tanh().sum() + (a + b).sigmoid().mean()), [a, b])

@@ -1,0 +1,130 @@
+"""Initialization schemes, the gradcheck utility, and dtype management."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor, gradcheck, numerical_gradient
+from repro.nn.init import (
+    fan_in_and_out,
+    kaiming_normal,
+    kaiming_uniform,
+    xavier_normal,
+    xavier_uniform,
+)
+
+
+class TestFans:
+    def test_linear_shape(self):
+        assert fan_in_and_out((10, 20)) == (20, 10)
+
+    def test_conv_shape(self):
+        # (out, in, kh, kw): fan_in = in * kh * kw
+        assert fan_in_and_out((8, 4, 3, 3)) == (36, 72)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            fan_in_and_out((5,))
+
+
+class TestDistributions:
+    def test_kaiming_normal_std(self, rng):
+        w = kaiming_normal((512, 256), rng)
+        assert abs(w.std() - np.sqrt(2.0 / 256)) < 0.01
+
+    def test_kaiming_uniform_bound(self, rng):
+        w = kaiming_uniform((64, 100), rng)
+        bound = np.sqrt(2.0) * np.sqrt(3.0 / 100)
+        assert np.abs(w).max() <= bound
+
+    def test_xavier_uniform_bound(self, rng):
+        w = xavier_uniform((50, 70), rng)
+        bound = np.sqrt(6.0 / 120)
+        assert np.abs(w).max() <= bound
+
+    def test_xavier_normal_std(self, rng):
+        w = xavier_normal((400, 400), rng)
+        assert abs(w.std() - np.sqrt(2.0 / 800)) < 0.005
+
+
+class TestGradcheckUtility:
+    def test_detects_wrong_gradient(self, rng):
+        """A deliberately corrupted backward must be caught."""
+        t = Tensor(rng.normal(size=(3,)), requires_grad=True)
+
+        def wrong():
+            out = t * t
+            # corrupt the graph: detach and reattach a wrong gradient path
+            fake = Tensor(out.data, requires_grad=True)
+            fake._parents = (t,)
+            fake._backward = lambda grad: t._accumulate(grad * 0.123)
+            return fake.sum()
+
+        with pytest.raises(AssertionError):
+            gradcheck(wrong, [t])
+
+    def test_requires_scalar(self, rng):
+        t = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        with pytest.raises(ValueError):
+            gradcheck(lambda: t * 2, [t])
+
+    def test_requires_grad_flag(self, rng):
+        t = Tensor(rng.normal(size=(3,)))
+        with pytest.raises(ValueError):
+            gradcheck(lambda: (t * t).sum(), [t])
+
+    def test_numerical_gradient_simple(self):
+        t = Tensor(np.array([2.0, 3.0]), requires_grad=True)
+        grad = numerical_gradient(lambda: (t * t).sum(), t)
+        assert np.allclose(grad, [4.0, 6.0], atol=1e-5)
+
+
+class TestDtypeManagement:
+    def test_using_dtype_context(self):
+        assert nn.default_dtype() == np.float64
+        with nn.using_dtype(np.float32):
+            assert nn.default_dtype() == np.float32
+            assert Tensor(np.zeros(3)).dtype == np.float32
+        assert nn.default_dtype() == np.float64
+
+    def test_context_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with nn.using_dtype(np.float32):
+                raise RuntimeError("boom")
+        assert nn.default_dtype() == np.float64
+
+    def test_invalid_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            nn.set_default_dtype(np.int32)
+
+    def test_float32_training_step_works(self, rng):
+        with nn.using_dtype(np.float32):
+            layer = nn.Linear(4, 2, rng=rng)
+            out = layer(Tensor(rng.normal(size=(3, 4)).astype(np.float32)))
+            out.sum().backward()
+            assert layer.weight.grad.dtype == np.float32
+
+
+class TestBufferSemantics:
+    def test_buffer_not_in_parameters(self):
+        class WithBuffer(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.stat = nn.Buffer(np.zeros(3))
+                self.weight = nn.Parameter(np.ones(3))
+
+        module = WithBuffer()
+        assert [name for name, _ in module.named_parameters()] == ["weight"]
+        assert [name for name, _ in module.named_buffers()] == ["stat"]
+
+    def test_buffer_in_state_dict(self):
+        class WithBuffer(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.stat = nn.Buffer(np.arange(3.0))
+
+        state = WithBuffer().state_dict()
+        assert "stat" in state
+
+    def test_buffer_never_requires_grad(self):
+        assert not nn.Buffer(np.zeros(2)).requires_grad

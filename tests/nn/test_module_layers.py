@@ -1,0 +1,170 @@
+"""Module system and layer behaviour."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+
+
+class TestModuleRegistration:
+    def test_parameters_discovered_recursively(self, rng):
+        model = nn.Sequential(
+            nn.Linear(4, 8, rng=rng), nn.ReLU(), nn.Linear(8, 2, rng=rng)
+        )
+        names = [name for name, _ in model.named_parameters()]
+        assert len(names) == 4  # two weights + two biases
+        assert all("." in name for name in names)
+
+    def test_num_parameters(self, rng):
+        layer = nn.Linear(10, 5, rng=rng)
+        assert layer.num_parameters() == 10 * 5 + 5
+
+    def test_freeze_unfreeze(self, rng):
+        layer = nn.Linear(3, 3, rng=rng)
+        layer.freeze()
+        assert layer.num_parameters(trainable_only=True) == 0
+        layer.unfreeze()
+        assert layer.num_parameters(trainable_only=True) == 12
+
+    def test_train_eval_recursive(self, rng):
+        model = nn.Sequential(nn.Dropout(0.5, rng=rng), nn.Linear(2, 2, rng=rng))
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_state_dict_roundtrip(self, rng):
+        a = nn.Sequential(nn.Linear(4, 3, rng=rng), nn.BatchNorm1d(3))
+        b = nn.Sequential(nn.Linear(4, 3, rng=np.random.default_rng(99)), nn.BatchNorm1d(3))
+        b.load_state_dict(a.state_dict())
+        x = Tensor(rng.normal(size=(5, 4)))
+        a.eval(), b.eval()
+        assert np.allclose(a(x).data, b(x).data)
+
+    def test_state_dict_strict_mismatch(self, rng):
+        a = nn.Linear(4, 3, rng=rng)
+        with pytest.raises(KeyError):
+            a.load_state_dict({"weight": a.weight.data})  # missing bias
+
+    def test_state_dict_shape_mismatch(self, rng):
+        a = nn.Linear(4, 3, rng=rng)
+        state = a.state_dict()
+        state["weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            a.load_state_dict(state)
+
+    def test_zero_grad(self, rng):
+        layer = nn.Linear(3, 2, rng=rng)
+        out = layer(Tensor(rng.normal(size=(4, 3))))
+        out.sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_module_list(self, rng):
+        ml = nn.ModuleList([nn.Linear(2, 2, rng=rng) for _ in range(3)])
+        assert len(ml) == 3
+        assert len(list(ml[0].parameters())) == 2
+        assert len(list(ml.parameters())) == 6
+
+
+class TestLinear:
+    def test_forward_matches_manual(self, rng):
+        layer = nn.Linear(4, 3, rng=rng)
+        x = rng.normal(size=(5, 4))
+        out = layer(Tensor(x)).data
+        assert np.allclose(out, x @ layer.weight.data.T + layer.bias.data)
+
+    def test_no_bias(self, rng):
+        layer = nn.Linear(4, 3, bias=False, rng=rng)
+        assert layer.bias is None
+        assert layer.num_parameters() == 12
+
+
+class TestConvLayer:
+    def test_shape_and_params(self, rng):
+        layer = nn.Conv2d(3, 8, 3, stride=2, padding=1, rng=rng)
+        out = layer(Tensor(rng.normal(size=(2, 3, 8, 8))))
+        assert out.shape == (2, 8, 4, 4)
+        assert layer.num_parameters() == 8 * 3 * 9 + 8
+
+    def test_no_bias_param_count(self, rng):
+        layer = nn.Conv2d(3, 8, 3, bias=False, rng=rng)
+        assert layer.num_parameters() == 8 * 3 * 9
+
+
+class TestBatchNorm:
+    def test_normalizes_in_training(self, rng):
+        bn = nn.BatchNorm2d(4)
+        x = Tensor(rng.normal(loc=3.0, scale=2.0, size=(8, 4, 5, 5)))
+        out = bn(x).data
+        assert abs(out.mean()) < 1e-6
+        assert abs(out.std() - 1.0) < 0.05
+
+    def test_running_stats_updated(self, rng):
+        bn = nn.BatchNorm1d(3, momentum=0.5)
+        x = Tensor(rng.normal(loc=2.0, size=(64, 3)))
+        bn(x)
+        assert (bn.running_mean.data > 0.5).all()
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = nn.BatchNorm1d(3)
+        for _ in range(20):
+            bn(Tensor(rng.normal(loc=1.0, size=(32, 3))))
+        bn.eval()
+        out = bn(Tensor(np.ones((2, 3)))).data
+        # identical inputs → identical outputs regardless of batch stats
+        assert np.allclose(out[0], out[1])
+
+    def test_rejects_wrong_rank(self, rng):
+        with pytest.raises(ValueError):
+            nn.BatchNorm1d(3)(Tensor(rng.normal(size=(2, 3, 4))))
+        with pytest.raises(ValueError):
+            nn.BatchNorm2d(3)(Tensor(rng.normal(size=(2, 3))))
+
+    def test_backward_through_bn(self, rng):
+        bn = nn.BatchNorm2d(2)
+        x = Tensor(rng.normal(size=(4, 2, 3, 3)), requires_grad=True)
+        bn(x).sum().backward()
+        assert x.grad is not None and np.isfinite(x.grad).all()
+
+    def test_layernorm(self, rng):
+        ln = nn.LayerNorm(6)
+        out = ln(Tensor(rng.normal(loc=4.0, size=(3, 6)))).data
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+
+
+class TestActivationsAndShape:
+    def test_activation_modules(self, rng):
+        x = Tensor(rng.normal(size=(3, 4)))
+        assert np.allclose(nn.ReLU()(x).data, np.maximum(x.data, 0))
+        assert np.allclose(nn.Sigmoid()(x).data, 1 / (1 + np.exp(-x.data)))
+        assert np.allclose(nn.Tanh()(x).data, np.tanh(x.data))
+
+    def test_flatten_identity(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 4)))
+        assert nn.Flatten()(x).shape == (2, 12)
+        assert nn.Identity()(x) is x
+
+    def test_dropout_train_vs_eval(self, rng):
+        drop = nn.Dropout(0.5, rng=rng)
+        x = Tensor(np.ones((20, 20)))
+        train_out = drop(x).data
+        assert (train_out == 0).any()
+        drop.eval()
+        assert np.allclose(drop(x).data, 1.0)
+
+    def test_pool_modules(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 6, 6)))
+        assert nn.MaxPool2d(2)(x).shape == (1, 2, 3, 3)
+        assert nn.AvgPool2d(3)(x).shape == (1, 2, 2, 2)
+        assert nn.GlobalAvgPool2d()(x).shape == (1, 2)
+
+
+class TestSequential:
+    def test_iteration_and_indexing(self, rng):
+        model = nn.Sequential(nn.Linear(2, 4, rng=rng), nn.ReLU())
+        assert len(model) == 2
+        assert isinstance(model[1], nn.ReLU)
+        assert len(list(iter(model))) == 2

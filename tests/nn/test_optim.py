@@ -1,0 +1,154 @@
+"""Optimizers and schedulers: convergence and exact update rules."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+from repro.nn.optim import SGD, Adam, AdamW, ConstantLR, CosineAnnealingLR, StepLR
+
+
+def quadratic_loss(param, target):
+    diff = param - Tensor(target)
+    return (diff * diff).sum()
+
+
+def run_steps(optimizer, param, target, steps=200):
+    for _ in range(steps):
+        optimizer.zero_grad()
+        loss = quadratic_loss(param, target)
+        loss.backward()
+        optimizer.step()
+    return quadratic_loss(param, target).item()
+
+
+class TestConvergence:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda p: SGD([p], lr=0.05),
+            lambda p: SGD([p], lr=0.05, momentum=0.9),
+            lambda p: SGD([p], lr=0.05, momentum=0.9, nesterov=True),
+            lambda p: Adam([p], lr=0.1),
+            lambda p: AdamW([p], lr=0.1, weight_decay=0.0),
+        ],
+    )
+    def test_quadratic(self, rng, factory):
+        param = nn.Parameter(rng.normal(size=(5,)))
+        target = rng.normal(size=(5,))
+        final = run_steps(factory(param), param, target)
+        assert final < 1e-4
+
+    def test_trains_linear_regression(self, rng):
+        true_w = rng.normal(size=(3, 1))
+        X = rng.normal(size=(64, 3))
+        y = X @ true_w
+        layer = nn.Linear(3, 1, bias=False, rng=rng)
+        optimizer = AdamW(list(layer.parameters()), lr=0.05, weight_decay=0.0)
+        for _ in range(300):
+            optimizer.zero_grad()
+            loss = nn.functional.mse_loss(layer(Tensor(X)), y)
+            loss.backward()
+            optimizer.step()
+        assert np.allclose(layer.weight.data, true_w.T, atol=1e-2)
+
+
+class TestUpdateRules:
+    def test_sgd_single_step(self):
+        param = nn.Parameter(np.array([1.0]))
+        optimizer = SGD([param], lr=0.1)
+        (param * param).sum().backward()
+        optimizer.step()
+        assert np.isclose(param.data[0], 1.0 - 0.1 * 2.0)
+
+    def test_sgd_weight_decay(self):
+        param = nn.Parameter(np.array([1.0]))
+        optimizer = SGD([param], lr=0.1, weight_decay=0.5)
+        param.grad = np.array([0.0])
+        optimizer.step()
+        assert np.isclose(param.data[0], 1.0 - 0.1 * 0.5)
+
+    def test_adamw_decoupled_decay(self):
+        # With zero gradient, AdamW still shrinks weights; Adam does not.
+        p1 = nn.Parameter(np.array([1.0]))
+        p2 = nn.Parameter(np.array([1.0]))
+        adamw = AdamW([p1], lr=0.1, weight_decay=0.5)
+        adam = Adam([p2], lr=0.1, weight_decay=0.0)
+        p1.grad = np.array([0.0])
+        p2.grad = np.array([0.0])
+        adamw.step()
+        adam.step()
+        assert p1.data[0] < 1.0
+        assert np.isclose(p2.data[0], 1.0)
+
+    def test_adam_bias_correction_first_step(self):
+        param = nn.Parameter(np.array([0.0]))
+        optimizer = Adam([param], lr=0.1)
+        param.grad = np.array([1.0])
+        optimizer.step()
+        # First Adam step moves by ~lr regardless of gradient magnitude.
+        assert np.isclose(param.data[0], -0.1, atol=1e-6)
+
+    def test_skips_params_without_grad(self):
+        param = nn.Parameter(np.array([1.0]))
+        optimizer = SGD([param], lr=0.1)
+        optimizer.step()  # no grad accumulated
+        assert np.isclose(param.data[0], 1.0)
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_negative_lr_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([nn.Parameter(np.zeros(1))], lr=-1.0)
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([nn.Parameter(np.zeros(1))], lr=0.1, nesterov=True)
+
+
+class TestSchedulers:
+    def make(self):
+        return SGD([nn.Parameter(np.zeros(1))], lr=1.0)
+
+    def test_cosine_endpoints(self):
+        optimizer = self.make()
+        scheduler = CosineAnnealingLR(optimizer, t_max=10, eta_min=0.1)
+        assert optimizer.lr == 1.0
+        for _ in range(5):
+            scheduler.step()
+        assert np.isclose(optimizer.lr, (1.0 + 0.1) / 2)  # halfway point
+        for _ in range(5):
+            scheduler.step()
+        assert np.isclose(optimizer.lr, 0.1)
+
+    def test_cosine_monotone_decreasing(self):
+        optimizer = self.make()
+        scheduler = CosineAnnealingLR(optimizer, t_max=20)
+        values = []
+        for _ in range(20):
+            scheduler.step()
+            values.append(optimizer.lr)
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_step_lr(self):
+        optimizer = self.make()
+        scheduler = StepLR(optimizer, step_size=2, gamma=0.5)
+        lrs = []
+        for _ in range(4):
+            scheduler.step()
+            lrs.append(optimizer.lr)
+        assert np.allclose(lrs, [1.0, 0.5, 0.5, 0.25])
+
+    def test_constant(self):
+        optimizer = self.make()
+        scheduler = ConstantLR(optimizer)
+        scheduler.step()
+        assert optimizer.lr == 1.0
+
+    def test_invalid_tmax(self):
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(self.make(), t_max=0)

@@ -1,0 +1,162 @@
+"""Forward-pass correctness of Tensor operations against raw numpy."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+
+
+class TestArithmetic:
+    def test_add(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(3, 4))
+        assert np.allclose((Tensor(a) + Tensor(b)).data, a + b)
+
+    def test_add_scalar(self, rng):
+        a = rng.normal(size=(3, 4))
+        assert np.allclose((Tensor(a) + 2.5).data, a + 2.5)
+        assert np.allclose((2.5 + Tensor(a)).data, a + 2.5)
+
+    def test_add_broadcast(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(4,))
+        assert np.allclose((Tensor(a) + Tensor(b)).data, a + b)
+
+    def test_sub(self, rng):
+        a, b = rng.normal(size=(5,)), rng.normal(size=(5,))
+        assert np.allclose((Tensor(a) - Tensor(b)).data, a - b)
+        assert np.allclose((1.0 - Tensor(b)).data, 1.0 - b)
+
+    def test_mul_div(self, rng):
+        a = rng.normal(size=(2, 3))
+        b = rng.normal(size=(2, 3)) + 3.0
+        assert np.allclose((Tensor(a) * Tensor(b)).data, a * b)
+        assert np.allclose((Tensor(a) / Tensor(b)).data, a / b)
+        assert np.allclose((1.0 / Tensor(b)).data, 1.0 / b)
+
+    def test_neg_pow(self, rng):
+        a = np.abs(rng.normal(size=(4,))) + 0.5
+        assert np.allclose((-Tensor(a)).data, -a)
+        assert np.allclose((Tensor(a) ** 2.5).data, a**2.5)
+
+    def test_pow_requires_scalar(self, rng):
+        with pytest.raises(TypeError):
+            Tensor(rng.normal(size=3)) ** np.array([1.0, 2.0, 3.0])
+
+    def test_matmul_2d(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(4, 5))
+        assert np.allclose((Tensor(a) @ Tensor(b)).data, a @ b)
+
+    def test_matmul_vector(self, rng):
+        a, v = rng.normal(size=(3, 4)), rng.normal(size=(4,))
+        assert np.allclose((Tensor(a) @ Tensor(v)).data, a @ v)
+
+
+class TestElementwise:
+    @pytest.mark.parametrize("name", ["exp", "tanh", "sigmoid"])
+    def test_matches_reference(self, rng, name):
+        a = rng.normal(size=(3, 3))
+        reference = {
+            "exp": np.exp,
+            "tanh": np.tanh,
+            "sigmoid": lambda x: 1 / (1 + np.exp(-x)),
+        }[name]
+        assert np.allclose(getattr(Tensor(a), name)().data, reference(a))
+
+    def test_log_sqrt(self, rng):
+        a = np.abs(rng.normal(size=(4,))) + 0.1
+        assert np.allclose(Tensor(a).log().data, np.log(a))
+        assert np.allclose(Tensor(a).sqrt().data, np.sqrt(a))
+
+    def test_relu(self):
+        a = np.array([-2.0, -0.5, 0.0, 0.5, 2.0])
+        assert np.allclose(Tensor(a).relu().data, [0, 0, 0, 0.5, 2.0])
+
+    def test_leaky_relu(self):
+        a = np.array([-2.0, 2.0])
+        assert np.allclose(Tensor(a).leaky_relu(0.1).data, [-0.2, 2.0])
+
+    def test_abs_clip(self, rng):
+        a = rng.normal(size=(6,))
+        assert np.allclose(Tensor(a).abs().data, np.abs(a))
+        assert np.allclose(Tensor(a).clip(-0.5, 0.5).data, np.clip(a, -0.5, 0.5))
+
+
+class TestReductions:
+    def test_sum_all(self, rng):
+        a = rng.normal(size=(3, 4))
+        assert np.isclose(Tensor(a).sum().item(), a.sum())
+
+    @pytest.mark.parametrize("axis", [0, 1, (0, 1)])
+    @pytest.mark.parametrize("keepdims", [True, False])
+    def test_sum_axis(self, rng, axis, keepdims):
+        a = rng.normal(size=(3, 4))
+        out = Tensor(a).sum(axis=axis, keepdims=keepdims)
+        assert np.allclose(out.data, a.sum(axis=axis, keepdims=keepdims))
+
+    def test_mean_var(self, rng):
+        a = rng.normal(size=(5, 6))
+        assert np.allclose(Tensor(a).mean(axis=0).data, a.mean(axis=0))
+        assert np.allclose(Tensor(a).var(axis=1).data, a.var(axis=1))
+
+    def test_max_min(self, rng):
+        a = rng.normal(size=(4, 5))
+        assert np.allclose(Tensor(a).max(axis=1).data, a.max(axis=1))
+        assert np.allclose(Tensor(a).min(axis=0).data, a.min(axis=0))
+
+    def test_norm(self, rng):
+        a = rng.normal(size=(3, 4))
+        assert np.allclose(Tensor(a).norm(axis=1).data, np.linalg.norm(a, axis=1))
+
+
+class TestShape:
+    def test_reshape_flatten(self, rng):
+        a = rng.normal(size=(2, 3, 4))
+        assert Tensor(a).reshape(6, 4).shape == (6, 4)
+        assert Tensor(a).flatten().shape == (2, 12)
+
+    def test_transpose(self, rng):
+        a = rng.normal(size=(2, 3, 4))
+        assert np.allclose(Tensor(a).transpose(2, 0, 1).data, a.transpose(2, 0, 1))
+        assert np.allclose(Tensor(a).T.data, a.T)
+
+    def test_getitem(self, rng):
+        a = rng.normal(size=(5, 6))
+        t = Tensor(a)
+        assert np.allclose(t[1:3].data, a[1:3])
+        assert np.allclose(t[:, 2].data, a[:, 2])
+
+    def test_concatenate_stack(self, rng):
+        a, b = rng.normal(size=(2, 3)), rng.normal(size=(4, 3))
+        out = Tensor.concatenate([Tensor(a), Tensor(b)], axis=0)
+        assert np.allclose(out.data, np.concatenate([a, b], axis=0))
+        c = rng.normal(size=(2, 3))
+        out = Tensor.stack([Tensor(a), Tensor(c)], axis=0)
+        assert np.allclose(out.data, np.stack([a, c]))
+
+    def test_pad2d(self, rng):
+        a = rng.normal(size=(1, 2, 3, 3))
+        out = Tensor(a).pad2d(2)
+        assert out.shape == (1, 2, 7, 7)
+        assert np.allclose(out.data[:, :, 2:-2, 2:-2], a)
+
+
+class TestMeta:
+    def test_detach_cuts_graph(self, rng):
+        a = Tensor(rng.normal(size=3), requires_grad=True)
+        b = (a * 2).detach()
+        assert not b.requires_grad
+
+    def test_item_requires_scalar(self):
+        with pytest.raises(ValueError):
+            Tensor(np.zeros(3)).item()
+
+    def test_backward_non_scalar_needs_grad(self, rng):
+        a = Tensor(rng.normal(size=3), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (a * 2).backward()
+
+    def test_backward_without_requires_grad_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            Tensor(rng.normal(size=())).backward()
+
+    def test_repr(self):
+        assert "requires_grad=True" in repr(Tensor(np.zeros(2), requires_grad=True))

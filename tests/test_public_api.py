@@ -1,0 +1,52 @@
+"""Public-API integrity: everything in __all__ exists and is importable."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.nn",
+    "repro.nn.optim",
+    "repro.nn.layers",
+    "repro.hdc",
+    "repro.data",
+    "repro.models",
+    "repro.zsl",
+    "repro.baselines",
+    "repro.metrics",
+    "repro.experiments",
+    "repro.utils",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_exports_resolve(package):
+    module = importlib.import_module(package)
+    assert hasattr(module, "__all__"), f"{package} has no __all__"
+    for name in module.__all__:
+        assert hasattr(module, name), f"{package}.{name} missing"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_module_docstrings(package):
+    module = importlib.import_module(package)
+    assert module.__doc__, f"{package} lacks a module docstring"
+
+
+def test_public_classes_have_docstrings():
+    import repro.baselines as baselines
+    import repro.hdc as hdc
+    import repro.zsl as zsl
+
+    for module in (hdc, zsl, baselines):
+        for name in module.__all__:
+            obj = getattr(module, name)
+            if isinstance(obj, type):
+                assert obj.__doc__, f"{module.__name__}.{name} lacks a docstring"
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__ == "1.0.0"

@@ -1,0 +1,69 @@
+"""RNG management and table formatting."""
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    derive_seed,
+    format_float,
+    format_mean_std,
+    format_table,
+    seeded_rng,
+    spawn,
+)
+
+
+class TestRng:
+    def test_seeded_rng_deterministic(self):
+        assert seeded_rng(7).integers(1000) == seeded_rng(7).integers(1000)
+
+    def test_derive_seed_depends_on_tags(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+        assert derive_seed(1, "a", "b") != derive_seed(1, "b", "a")
+        assert derive_seed(1, "x") == derive_seed(1, "x")
+
+    def test_derive_seed_handles_none(self):
+        assert isinstance(derive_seed(None, "t"), int)
+
+    def test_spawn_from_seed_and_generator(self):
+        a = spawn(3, "render", 0)
+        b = spawn(3, "render", 0)
+        assert a.integers(10**6) == b.integers(10**6)
+        gen = seeded_rng(3)
+        c = spawn(gen, "render")
+        assert c is not gen
+
+    def test_spawn_streams_decorrelated(self):
+        a = spawn(3, "codebooks").normal(size=100)
+        b = spawn(3, "weights").normal(size=100)
+        assert abs(np.corrcoef(a, b)[0, 1]) < 0.3
+
+
+class TestTables:
+    def test_basic_rendering(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "-+-" in lines[1]
+
+    def test_title(self):
+        text = format_table(["x"], [["1"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_alignment(self):
+        text = format_table(["col"], [["short"], ["a-much-longer-cell"]])
+        lines = text.splitlines()
+        assert len(lines[2]) == len(lines[3])
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_format_float(self):
+        assert format_float(1.23456) == "1.23"
+        assert format_float(1.2, digits=3) == "1.200"
+        assert format_float("n/a") == "n/a"
+
+    def test_format_mean_std(self):
+        assert format_mean_std(63.84, 0.52) == "63.8 ± 0.5"

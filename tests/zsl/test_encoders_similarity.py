@@ -1,0 +1,126 @@
+"""Attribute encoders and the similarity kernel."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.data import toy_schema
+from repro.utils.rng import seeded_rng
+from repro.zsl import (
+    HDCAttributeEncoder,
+    MLPAttributeEncoder,
+    SimilarityKernel,
+    build_attribute_encoder,
+)
+
+
+@pytest.fixture
+def hdc_encoder(small_schema):
+    return HDCAttributeEncoder(small_schema, dim=128, rng=seeded_rng(0))
+
+
+class TestHDCEncoder:
+    def test_stationary_zero_trainable_params(self, hdc_encoder):
+        """The paper's headline property: the attribute encoder trains nothing."""
+        assert hdc_encoder.num_parameters(trainable_only=True) == 0
+
+    def test_dictionary_shape_and_values(self, hdc_encoder, small_schema):
+        B = hdc_encoder.dictionary_tensor()
+        assert B.shape == (small_schema.num_attributes, 128)
+        assert set(np.unique(B.data)) <= {-1.0, 1.0}
+
+    def test_dictionary_rows_are_bound_pairs(self, hdc_encoder, small_schema):
+        """b_x = g_y ⊙ v_z exactly as the paper defines."""
+        B = hdc_encoder.dictionary_tensor().data
+        for idx in (0, small_schema.num_attributes - 1):
+            g, v = small_schema.pairs[idx]
+            expected = (
+                hdc_encoder.dictionary.groups[g] * hdc_encoder.dictionary.values[v]
+            )
+            assert np.array_equal(B[idx], expected)
+
+    def test_phi_equals_a_times_b(self, hdc_encoder, small_schema, rng):
+        A = rng.random((5, small_schema.num_attributes))
+        phi = hdc_encoder(A).data
+        assert np.allclose(phi, A @ hdc_encoder.dictionary_tensor().data)
+
+    def test_shared_value_vectors_across_groups(self, small_schema):
+        """'blue' uses ONE codevector no matter which colour group."""
+        encoder = HDCAttributeEncoder(small_schema, dim=64, rng=seeded_rng(1))
+        idx_a = small_schema.attribute_index("color_group0", "blue")
+        idx_b = small_schema.attribute_index("color_group1", "blue")
+        assert small_schema.pairs[idx_a][1] == small_schema.pairs[idx_b][1]
+
+    def test_gradient_flows_through_attributes_not_dictionary(self, hdc_encoder, small_schema, rng):
+        A = nn.Tensor(rng.random((2, small_schema.num_attributes)), requires_grad=True)
+        hdc_encoder(A).sum().backward()
+        assert A.grad is not None
+
+    def test_memory_report(self, hdc_encoder, small_schema):
+        report = hdc_encoder.memory_report()
+        assert report.num_attributes == small_schema.num_attributes
+        assert 0 < report.reduction < 1
+
+    def test_state_dict_roundtrip_preserves_codebooks(self, small_schema):
+        a = HDCAttributeEncoder(small_schema, dim=32, rng=seeded_rng(3))
+        b = HDCAttributeEncoder(small_schema, dim=32, rng=seeded_rng(99))
+        b.load_state_dict(a.state_dict())
+        assert np.array_equal(b.group_codebook.data, a.group_codebook.data)
+
+
+class TestMLPEncoder:
+    def test_trainable(self, small_schema):
+        encoder = MLPAttributeEncoder(small_schema, dim=32, rng=seeded_rng(0))
+        assert encoder.num_parameters() > 0
+
+    def test_forward_shape(self, small_schema, rng):
+        encoder = MLPAttributeEncoder(small_schema, dim=32, rng=seeded_rng(0))
+        out = encoder(rng.random((4, small_schema.num_attributes)))
+        assert out.shape == (4, 32)
+
+    def test_dictionary_tensor_interface(self, small_schema):
+        encoder = MLPAttributeEncoder(small_schema, dim=32, rng=seeded_rng(0))
+        B = encoder.dictionary_tensor()
+        assert B.shape == (small_schema.num_attributes, 32)
+
+    def test_factory(self, small_schema):
+        hdc = build_attribute_encoder("hdc", small_schema, 16, seeded_rng(0))
+        mlp = build_attribute_encoder("mlp", small_schema, 16, seeded_rng(0))
+        assert isinstance(hdc, HDCAttributeEncoder)
+        assert isinstance(mlp, MLPAttributeEncoder)
+        with pytest.raises(ValueError):
+            build_attribute_encoder("transformer", small_schema, 16, seeded_rng(0))
+
+
+class TestSimilarityKernel:
+    def test_scaling(self, rng):
+        kernel = SimilarityKernel(temperature=0.1)
+        a = rng.normal(size=(3, 8))
+        b = rng.normal(size=(4, 8))
+        out = kernel(nn.Tensor(a), nn.Tensor(b)).data
+        an = a / np.linalg.norm(a, axis=1, keepdims=True)
+        bn = b / np.linalg.norm(b, axis=1, keepdims=True)
+        assert np.allclose(out, (an @ bn.T) / 0.1, atol=1e-6)
+
+    def test_temperature_property(self):
+        assert np.isclose(SimilarityKernel(0.03).temperature, 0.03)
+
+    def test_learnable_temperature_receives_grad(self, rng):
+        kernel = SimilarityKernel(0.05, learnable=True)
+        out = kernel(nn.Tensor(rng.normal(size=(2, 4))), nn.Tensor(rng.normal(size=(3, 4))))
+        out.sum().backward()
+        assert kernel.log_temperature.grad is not None
+
+    def test_non_learnable_has_no_params(self):
+        kernel = SimilarityKernel(0.05, learnable=False)
+        assert kernel.num_parameters() == 0
+
+    def test_temperature_stays_positive(self, rng):
+        """log-parameterization keeps K > 0 under any gradient step."""
+        kernel = SimilarityKernel(0.01, learnable=True)
+        kernel.log_temperature.data = kernel.log_temperature.data - 10.0
+        assert kernel.temperature > 0
+
+    def test_invalid_temperature(self):
+        with pytest.raises(ValueError):
+            SimilarityKernel(0.0)

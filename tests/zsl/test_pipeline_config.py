@@ -1,0 +1,63 @@
+"""PipelineConfig / build_model wiring."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.data import toy_schema
+from repro.zsl import PipelineConfig, build_model
+from repro.zsl.attribute_encoders import HDCAttributeEncoder, MLPAttributeEncoder
+
+
+class TestBuildModel:
+    def test_default_is_hdc_resnet50(self, small_schema):
+        model = build_model(small_schema, PipelineConfig(embedding_dim=32, seed=0))
+        assert isinstance(model.attribute_encoder, HDCAttributeEncoder)
+        assert model.image_encoder.backbone.layer_plan == (1, 1, 1, 1)
+        assert model.embedding_dim == 32
+
+    def test_mlp_choice(self, small_schema):
+        config = PipelineConfig(embedding_dim=32, attribute_encoder="mlp", seed=0)
+        model = build_model(small_schema, config)
+        assert isinstance(model.attribute_encoder, MLPAttributeEncoder)
+
+    def test_no_projection(self, small_schema):
+        model = build_model(small_schema, PipelineConfig(embedding_dim=None, seed=0))
+        assert not model.image_encoder.has_projection
+        assert model.embedding_dim == model.image_encoder.backbone.feature_dim
+
+    def test_resnet101_backbone(self, small_schema):
+        model = build_model(small_schema, PipelineConfig(backbone="resnet101", embedding_dim=32, seed=0))
+        assert model.image_encoder.backbone.layer_plan == (1, 1, 3, 1)
+
+    def test_seed_determinism(self, small_schema):
+        a = build_model(small_schema, PipelineConfig(embedding_dim=16, seed=5))
+        b = build_model(small_schema, PipelineConfig(embedding_dim=16, seed=5))
+        assert np.array_equal(
+            a.image_encoder.projection.weight.data, b.image_encoder.projection.weight.data
+        )
+        assert np.array_equal(
+            a.attribute_encoder.dictionary_tensor().data,
+            b.attribute_encoder.dictionary_tensor().data,
+        )
+
+    def test_different_seeds_differ(self, small_schema):
+        a = build_model(small_schema, PipelineConfig(embedding_dim=16, seed=1))
+        b = build_model(small_schema, PipelineConfig(embedding_dim=16, seed=2))
+        assert not np.array_equal(
+            a.attribute_encoder.dictionary_tensor().data,
+            b.attribute_encoder.dictionary_tensor().data,
+        )
+
+    def test_temperature_propagates(self, small_schema):
+        model = build_model(small_schema, PipelineConfig(embedding_dim=16, temperature=0.7, seed=0))
+        assert np.isclose(model.kernel.temperature, 0.7)
+
+    def test_codebook_and_weights_use_independent_streams(self, small_schema):
+        """Different subsystems derive decorrelated RNG streams from one seed."""
+        model = build_model(small_schema, PipelineConfig(embedding_dim=16, seed=0))
+        weights = model.image_encoder.projection.weight.data.reshape(-1)
+        dictionary = model.attribute_encoder.dictionary_tensor().data.reshape(-1)
+        n = min(len(weights), len(dictionary))
+        corr = np.corrcoef(weights[:n], dictionary[:n])[0, 1]
+        assert abs(corr) < 0.3
