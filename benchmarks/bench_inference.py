@@ -15,16 +15,25 @@ from repro.utils.rng import seeded_rng
 from repro.zsl import HDCZSC, build_attribute_encoder
 
 
-@pytest.fixture(scope="module")
-def deployed():
+def _deployed_model(backend):
     dataset = SyntheticCUB(num_classes=12, images_per_class=4, image_size=24, seed=0)
     split = make_split(dataset, "ZS", seed=0)
     rng = seeded_rng(0)
     encoder = ImageEncoder(mini_resnet50(rng=rng), embedding_dim=64, rng=rng)
-    attr = build_attribute_encoder("hdc", dataset.schema, 64, rng)
+    attr = build_attribute_encoder("hdc", dataset.schema, 64, rng, backend=backend)
     model = HDCZSC(encoder, attr).deploy()
     test_attrs = dataset.class_attributes[split.test_classes]
     return model, split.test_images, test_attrs
+
+
+@pytest.fixture(scope="module")
+def deployed():
+    return _deployed_model("dense")
+
+
+@pytest.fixture(scope="module")
+def deployed_packed():
+    return _deployed_model("packed")
 
 
 def test_zero_shot_predict_throughput(benchmark, deployed):
@@ -42,3 +51,18 @@ def test_attribute_encoder_only(benchmark, deployed):
     model, _, attrs = deployed
     with nn.no_grad():
         benchmark(lambda: model.attribute_encoder(attrs))
+
+
+def test_zero_shot_predict_packed_backend(benchmark, deployed, deployed_packed):
+    """Deployed inference with bit-packed codebook storage.
+
+    Same predictions as the dense deployment per seed — backend choice
+    changes the resident codebook bytes, never the decisions.
+    """
+    model, images, attrs = deployed_packed
+    dense_model, _, _ = deployed
+    predictions = benchmark(lambda: model.predict(images, attrs))
+    assert np.array_equal(predictions, dense_model.predict(images, attrs))
+    dense_kb = dense_model.attribute_encoder.memory_report().measured_kilobytes
+    packed_kb = model.attribute_encoder.memory_report().measured_kilobytes
+    assert packed_kb < dense_kb

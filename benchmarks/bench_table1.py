@@ -17,3 +17,16 @@ def test_table1_regeneration(benchmark):
     avg = report["average"]
     for metric in ("finetag_wmap", "ours_wmap", "a3m_top1", "ours_top1"):
         assert 0.0 <= avg[metric] <= 100.0
+
+
+def test_table1_backend_invariance(benchmark):
+    """ISSUE acceptance: identical Table I results on dense vs packed."""
+
+    def both_backends():
+        return (
+            run_table1(scale="quick", seed=0, backend="dense"),
+            run_table1(scale="quick", seed=0, backend="packed"),
+        )
+
+    dense, packed = once(benchmark, both_backends)
+    assert dense == packed

@@ -17,3 +17,16 @@ def test_table2_regeneration(benchmark):
     for row in rows:
         assert 0.0 <= row["hdc"] <= 100.0
         assert 0.0 <= row["mlp"] <= 100.0
+
+
+def test_table2_backend_invariance(benchmark):
+    """ISSUE acceptance: identical Table II rows on dense vs packed."""
+
+    def both_backends():
+        return (
+            run_table2(scale="quick", seed=0, backend="dense"),
+            run_table2(scale="quick", seed=0, backend="packed"),
+        )
+
+    dense, packed = once(benchmark, both_backends)
+    assert dense == packed

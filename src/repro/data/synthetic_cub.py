@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..utils.rng import seeded_rng, spawn
+from ..utils.rng import spawn
 from .renderer import BirdRenderer
 from .schema import cub_schema
 from .signatures import (

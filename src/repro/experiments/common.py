@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from .. import nn
-from ..data import SyntheticCUB, SyntheticImageNet, make_split
+from ..data import SyntheticCUB, SyntheticImageNet
 from ..models.heads import ImageEncoder
 from ..models.resnet import build_backbone
 from ..utils.rng import spawn
@@ -44,6 +44,7 @@ def pipeline_config(scale, seed=0, **overrides):
         backbone="resnet50",
         embedding_dim=scale.embedding_dim,
         attribute_encoder="hdc",
+        hdc_backend=scale.hdc_backend,
         temperature=scale.temperature,
         seed=seed,
         pretrain_classes=scale.pretrain_classes,

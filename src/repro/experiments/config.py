@@ -15,7 +15,7 @@ what transfers across scales; absolute accuracies depend on scale.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 __all__ = ["ExperimentScale", "SCALES", "get_scale"]
 
@@ -40,6 +40,9 @@ class ExperimentScale:
     temperature: float
     num_trials: int
     baseline_epochs: int
+    #: HDC codebook storage backend ("dense" reference / "packed" bit-level);
+    #: backend choice never changes results, only storage and query speed.
+    hdc_backend: str = "dense"
 
     def replace(self, **kwargs):
         return replace(self, **kwargs)

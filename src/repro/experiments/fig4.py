@@ -36,9 +36,15 @@ from .config import get_scale
 __all__ = ["run_fig4", "format_fig4", "ascii_scatter", "main"]
 
 
-def run_fig4(scale="default", seed=0):
-    """Train all measured models; return a list of point dicts."""
+def run_fig4(scale="default", seed=0, backend=None):
+    """Train all measured models; return a list of point dicts.
+
+    ``backend`` overrides the scale's HDC codebook storage backend for
+    the "ours" pipelines (accuracy is backend-invariant per seed).
+    """
     scale = get_scale(scale)
+    if backend is not None:
+        scale = scale.replace(hdc_backend=backend)
     dataset = build_dataset(scale, seed=seed)
     split = make_split(dataset, "ZS", seed=seed)
     test_attrs = dataset.class_attributes[split.test_classes]
@@ -157,8 +163,8 @@ def ascii_scatter(specs, width=64, height=18):
     return "\n".join(lines)
 
 
-def main(scale="default", seed=0):
-    points = run_fig4(scale=scale, seed=seed)
+def main(scale="default", seed=0, backend=None):
+    points = run_fig4(scale=scale, seed=seed, backend=backend)
     catalog = paper_catalog()
     print(format_fig4(points, catalog))
     print()
@@ -169,4 +175,7 @@ def main(scale="default", seed=0):
 if __name__ == "__main__":
     import sys
 
-    main(scale=sys.argv[1] if len(sys.argv) > 1 else "default")
+    main(
+        scale=sys.argv[1] if len(sys.argv) > 1 else "default",
+        backend=sys.argv[2] if len(sys.argv) > 2 else None,
+    )

@@ -50,13 +50,16 @@ def _restore(model, snapshot, temperature=None):
     return model
 
 
-def run_fig5(scale="default", seed=0, sweeps=None, max_epochs_cap=None):
+def run_fig5(scale="default", seed=0, sweeps=None, max_epochs_cap=None, backend=None):
     """Run the one-factor-at-a-time sweep; returns {hyperparam: [(value, top1)]}.
 
     ``max_epochs_cap`` optionally truncates the epochs sweep (used by the
-    quick benchmark harness).
+    quick benchmark harness). ``backend`` overrides the scale's HDC
+    codebook storage backend (sweep results are backend-invariant).
     """
     scale = get_scale(scale)
+    if backend is not None:
+        scale = scale.replace(hdc_backend=backend)
     sweeps = dict(sweeps or SWEEPS)
     if max_epochs_cap is not None:
         sweeps["epochs"] = tuple(e for e in sweeps["epochs"] if e <= max_epochs_cap)
@@ -124,8 +127,8 @@ def format_fig5(results):
     return "\n\n".join(blocks)
 
 
-def main(scale="default", seed=0):
-    results = run_fig5(scale=scale, seed=seed)
+def main(scale="default", seed=0, backend=None):
+    results = run_fig5(scale=scale, seed=seed, backend=backend)
     print(format_fig5(results))
     epoch_series = dict(results).get("epochs", [])
     if epoch_series:
@@ -137,4 +140,7 @@ def main(scale="default", seed=0):
 if __name__ == "__main__":
     import sys
 
-    main(scale=sys.argv[1] if len(sys.argv) > 1 else "default")
+    main(
+        scale=sys.argv[1] if len(sys.argv) > 1 else "default",
+        backend=sys.argv[2] if len(sys.argv) > 2 else None,
+    )

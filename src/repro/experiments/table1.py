@@ -30,13 +30,17 @@ from .config import get_scale
 __all__ = ["run_table1", "format_table1", "main"]
 
 
-def run_table1(scale="default", seed=0):
+def run_table1(scale="default", seed=0, backend=None):
     """Train ours + both baselines once and return the per-group report.
 
     Returns a dict: ``group → {ours_wmap, finetag_wmap, ours_top1,
-    a3m_top1}`` (+ ``average``), all in percent.
+    a3m_top1}`` (+ ``average``), all in percent. ``backend`` overrides
+    the scale's HDC codebook storage backend ("dense"/"packed"); results
+    are identical either way — only storage and query cost change.
     """
     scale = get_scale(scale)
+    if backend is not None:
+        scale = scale.replace(hdc_backend=backend)
     dataset = build_dataset(scale, seed=seed)
     split = make_split(dataset, "noZS", seed=seed)
 
@@ -113,8 +117,8 @@ def format_table1(report):
     )
 
 
-def main(scale="default", seed=0):
-    report = run_table1(scale=scale, seed=seed)
+def main(scale="default", seed=0, backend=None):
+    report = run_table1(scale=scale, seed=seed, backend=backend)
     print(format_table1(report))
     avg = report["average"]
     print(
@@ -128,4 +132,7 @@ def main(scale="default", seed=0):
 if __name__ == "__main__":
     import sys
 
-    main(scale=sys.argv[1] if len(sys.argv) > 1 else "default")
+    main(
+        scale=sys.argv[1] if len(sys.argv) > 1 else "default",
+        backend=sys.argv[2] if len(sys.argv) > 2 else None,
+    )

@@ -34,12 +34,16 @@ def _mini_dim(scale, full_dim):
     return max(8, int(round(scale.embedding_dim * full_dim / 2048)))
 
 
-def run_table2(scale="default", seed=0):
+def run_table2(scale="default", seed=0, backend=None):
     """Train all 8 (image encoder × attribute encoder) configurations.
 
     Returns ``[{label, d, hdc, mlp}]`` rows with top-1 % accuracies.
+    ``backend`` overrides the scale's HDC storage backend; the HDC
+    column's decisions are identical on either backend per seed.
     """
     scale = get_scale(scale)
+    if backend is not None:
+        scale = scale.replace(hdc_backend=backend)
     dataset = build_dataset(scale, seed=seed)
     split = make_split(dataset, "ZS", seed=seed)
     rows = []
@@ -72,8 +76,8 @@ def format_table2(rows):
     )
 
 
-def main(scale="default", seed=0):
-    rows = run_table2(scale=scale, seed=seed)
+def main(scale="default", seed=0, backend=None):
+    rows = run_table2(scale=scale, seed=seed, backend=backend)
     print(format_table2(rows))
     best = max(rows, key=lambda r: r["hdc"])
     print(f"\nBest HDC configuration: {best['label']} (paper: ResNet50+FC d=1536)")
@@ -83,4 +87,7 @@ def main(scale="default", seed=0):
 if __name__ == "__main__":
     import sys
 
-    main(scale=sys.argv[1] if len(sys.argv) > 1 else "default")
+    main(
+        scale=sys.argv[1] if len(sys.argv) > 1 else "default",
+        backend=sys.argv[2] if len(sys.argv) > 2 else None,
+    )

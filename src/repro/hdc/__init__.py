@@ -2,32 +2,41 @@
 
 Implements the paper's HDC machinery: Rademacher hypervector sampling,
 the bipolar/binary algebra (bind ⊙ / bundle + / permute ρ / unbind ⊘),
-codebooks, associative item memory, the two-codebook attribute dictionary
+pluggable dense/bit-packed storage backends, codebooks, associative item
+memory with batched cleanup, the two-codebook attribute dictionary
 ``b_x = g_y ⊙ v_z``, quasi-orthogonality analytics and the memory
 footprint accounting behind the 17 KB / 71 % claims.
 """
 
 from .analysis import crosstalk_probability, orthogonality_report, pairwise_similarities
 from .attribute_dictionary import AttributeDictionary
+from .backend import BACKENDS, DenseBackend, HDCBackend, PackedBackend, make_backend
 from .codebook import Codebook
-from .footprint import FootprintReport, codebook_footprint
+from .footprint import FootprintReport, codebook_footprint, measured_footprint
 from .hypervector import (
+    WORD_BITS,
     binary_to_bipolar,
     bipolar_to_binary,
     expected_similarity_std,
     is_binary,
     is_bipolar,
+    pack_bipolar,
+    pack_bits,
     random_binary,
     random_bipolar,
+    unpack_bipolar,
+    unpack_bits,
 )
 from .item_memory import ItemMemory
 from .ops import (
     bind,
     bind_binary,
     bundle,
+    bundle_many,
     cosine_similarity,
     dot_similarity,
     hamming_distance,
+    hamming_distance_many,
     inverse_permute,
     normalized_hamming,
     permute,
@@ -35,22 +44,34 @@ from .ops import (
 )
 
 __all__ = [
+    "WORD_BITS",
     "random_bipolar",
     "random_binary",
     "bipolar_to_binary",
     "binary_to_bipolar",
     "is_bipolar",
     "is_binary",
+    "pack_bits",
+    "unpack_bits",
+    "pack_bipolar",
+    "unpack_bipolar",
     "expected_similarity_std",
+    "HDCBackend",
+    "DenseBackend",
+    "PackedBackend",
+    "BACKENDS",
+    "make_backend",
     "bind",
     "bind_binary",
     "unbind",
     "bundle",
+    "bundle_many",
     "permute",
     "inverse_permute",
     "cosine_similarity",
     "dot_similarity",
     "hamming_distance",
+    "hamming_distance_many",
     "normalized_hamming",
     "Codebook",
     "ItemMemory",
@@ -60,4 +81,5 @@ __all__ = [
     "crosstalk_probability",
     "FootprintReport",
     "codebook_footprint",
+    "measured_footprint",
 ]

@@ -1,0 +1,375 @@
+"""Pluggable storage/compute backends for the HDC algebra.
+
+Two interchangeable implementations of the paper's bipolar hypervector
+algebra (Schmuck et al., JETC 2019):
+
+- :class:`DenseBackend` — the reference semantics: one int8 per
+  component, binding as elementwise multiplication, Hamming distance as
+  an elementwise comparison. Simple, exact, and the ground truth every
+  other backend must agree with bit-for-bit.
+- :class:`PackedBackend` — the hardware-faithful representation: 64
+  components per ``uint64`` word (one *bit* per component, as the paper's
+  17 KB storage claim assumes). Binding is XOR, bundling is a vectorized
+  column-popcount majority, permutation is a word-level roll with bit
+  carry, and similarity is popcount Hamming via ``np.bitwise_count``.
+
+A backend instance is bound to one dimensionality ``d`` because the
+packed word layout cannot infer ``d`` from its store (``d`` is padded up
+to a whole number of 64-bit words). Random sampling always routes
+through the dense Rademacher sample before packing, so both backends
+produce *identical* hypervectors for the same seed — the property that
+makes backend choice invisible to experiment results.
+
+Bit convention (little-endian platforms): component ``i`` lives in word
+``i // 64`` at bit ``i % 64``, with bit 1 encoding bipolar −1 (the
+``bipolar_to_binary`` mapping under which XOR ≡ multiplication).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from .hypervector import (
+    WORD_BITS,
+    pack_bipolar,
+    pack_bits,
+    random_bipolar,
+    unpack_bipolar,
+    unpack_bits,
+)
+
+__all__ = [
+    "HDCBackend",
+    "DenseBackend",
+    "PackedBackend",
+    "BACKENDS",
+    "make_backend",
+]
+
+#: ``np.bitwise_count`` landed in NumPy 2.0; older NumPy falls back to a
+#: 256-entry byte-popcount table (same results, moderately slower).
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+_POPCOUNT_TABLE = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
+
+
+def _popcount_sum_table(words):
+    """Σ popcount over the last axis via the byte LUT (NumPy < 2.0 path)."""
+    as_bytes = np.ascontiguousarray(words).view(np.uint8)
+    return _POPCOUNT_TABLE[as_bytes].sum(axis=-1, dtype=np.int64)
+
+
+def _popcount_sum(words):
+    """Σ popcount over the last axis of a uint64 array."""
+    if _HAS_BITWISE_COUNT:
+        return np.bitwise_count(words).sum(axis=-1, dtype=np.int64)
+    return _popcount_sum_table(words)
+
+
+def _majority_bits(minus_counts, n, rng):
+    """Majority bits from per-column −1 counts (bit 1 ↔ bipolar −1).
+
+    The tie-breaking contract shared by every backend: a column with
+    exactly ``n/2`` minus-ones resolves to +1 (bit 0) deterministically,
+    or — when ``rng`` is given — to the sign drawn by one
+    ``rng.integers(0, 2, size=num_ties)`` call over the tie positions in
+    row-major order (draw 1 → +1, draw 0 → −1). Backends that follow
+    this contract agree bit-for-bit for the same generator state.
+    """
+    twice = 2 * minus_counts
+    bits = (twice > n).astype(np.uint8)
+    ties = twice == n
+    if ties.any() and rng is not None:
+        draws = rng.integers(0, 2, size=int(ties.sum()), dtype=np.int8)
+        bits[ties] = (1 - draws).astype(np.uint8)
+    return bits
+
+
+def _squeeze_pairwise(matrix, a_ndim, b_ndim, scalar=float):
+    """Collapse a pairwise (A, B) result to match 1-D operand shapes."""
+    if a_ndim == 1 and b_ndim == 1:
+        return scalar(matrix[0, 0])
+    if a_ndim == 1:
+        return matrix[0]
+    if b_ndim == 1:
+        return matrix[:, 0]
+    return matrix
+
+
+class HDCBackend(ABC):
+    """Storage + compute strategy for bipolar hypervectors of one ``d``.
+
+    Stores are backend-native numpy arrays whose *last* axis is the
+    component axis (dense: length ``d`` int8; packed: ``ceil(d/64)``
+    uint64 words). All similarity methods are batched first-class:
+    1-D × 1-D → scalar, 1-D × 2-D → ``(n,)``, 2-D × 2-D → the full
+    pairwise ``(A, B)`` matrix in a single call.
+    """
+
+    name = "abstract"
+
+    def __init__(self, dim):
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        self.dim = int(dim)
+
+    # -- construction / conversion -------------------------------------- #
+
+    def random(self, num_vectors, rng):
+        """Sample ``(num_vectors, d)`` Rademacher hypervectors.
+
+        Always drawn through the dense sampler so every backend yields
+        the same vectors for the same generator state.
+        """
+        return self.from_bipolar(random_bipolar(num_vectors, self.dim, rng))
+
+    @abstractmethod
+    def from_bipolar(self, vectors):
+        """Convert a dense bipolar ``(..., d)`` array to the native store."""
+
+    @abstractmethod
+    def to_bipolar(self, store):
+        """Convert a native store back to dense bipolar int8 ``(..., d)``."""
+
+    # -- algebra ---------------------------------------------------------- #
+
+    @abstractmethod
+    def bind(self, a, b):
+        """Variable binding (bipolar multiply / binary XOR)."""
+
+    def unbind(self, bound, key):
+        """Binding is self-inverse, so unbinding is another bind."""
+        return self.bind(bound, key)
+
+    def bundle(self, stack, rng=None):
+        """Majority-rule bundling of an ``(n, d*)`` stack → ``(d*,)``.
+
+        Delegates to :meth:`bundle_many` on a singleton batch — same
+        result and the same rng stream, so each backend maintains the
+        tie-break contract in exactly one place.
+        """
+        stack = np.asarray(stack)
+        if stack.ndim != 2:
+            raise ValueError("bundle expects a 2-D (n, d) stack")
+        return self.bundle_many(stack[None], rng=rng)[0]
+
+    @abstractmethod
+    def bundle_many(self, stacks, rng=None):
+        """Batched bundling of ``(B, n, d*)`` stacks → ``(B, d*)``.
+
+        Tie-breaking follows the shared contract of
+        :func:`_majority_bits` applied once to the flattened ``(B, d)``
+        tie mask — reproducible, but the rng stream differs from calling
+        :meth:`bundle` row by row (numpy draws are buffered per call).
+        """
+
+    @abstractmethod
+    def permute(self, x, shift=1):
+        """Cyclic permutation ρ by ``shift`` component positions."""
+
+    def inverse_permute(self, x, shift=1):
+        """Inverse of :meth:`permute`."""
+        return self.permute(x, -shift)
+
+    # -- similarity -------------------------------------------------------- #
+
+    @abstractmethod
+    def hamming(self, a, b):
+        """Pairwise Hamming distances (component disagreement counts)."""
+
+    @abstractmethod
+    def dot(self, a, b):
+        """Pairwise bipolar dot products (``d − 2·hamming``)."""
+
+    def cosine(self, a, b):
+        """Pairwise cosine similarity (bipolar norms are ``sqrt(d)``)."""
+        dot = self.dot(a, b)
+        return np.asarray(dot, dtype=np.float64) / self.dim if np.ndim(dot) else dot / self.dim
+
+    # -- accounting -------------------------------------------------------- #
+
+    def nbytes(self, store):
+        """Actual bytes held by a native store (the *measured* footprint)."""
+        return int(np.asarray(store).nbytes)
+
+    def __repr__(self):
+        return f"{type(self).__name__}(dim={self.dim})"
+
+
+class DenseBackend(HDCBackend):
+    """Reference backend: one int8 per bipolar component.
+
+    Deliberately favors clarity over speed — its Hamming path is the
+    literal elementwise-disagreement count the algebra defines, and it is
+    the semantics oracle the packed backend is verified against.
+    """
+
+    name = "dense"
+
+    def from_bipolar(self, vectors):
+        vectors = np.asarray(vectors)
+        if vectors.shape[-1] != self.dim:
+            raise ValueError(f"expected last axis {self.dim}, got {vectors.shape}")
+        return vectors.astype(np.int8)
+
+    def to_bipolar(self, store):
+        return np.asarray(store, dtype=np.int8)
+
+    def bind(self, a, b):
+        a = np.asarray(a)
+        b = np.asarray(b)
+        if a.shape[-1] != b.shape[-1]:
+            raise ValueError(f"dimension mismatch: {a.shape} vs {b.shape}")
+        return (a * b).astype(a.dtype)
+
+    def bundle_many(self, stacks, rng=None):
+        stacks = np.asarray(stacks)
+        if stacks.ndim != 3:
+            raise ValueError("bundle_many expects a 3-D (B, n, d) array")
+        minus = (stacks < 0).sum(axis=1, dtype=np.int64)
+        bits = _majority_bits(minus, stacks.shape[1], rng)
+        return (1 - 2 * bits.astype(np.int8)).astype(np.int8)
+
+    def permute(self, x, shift=1):
+        return np.roll(np.asarray(x), shift, axis=-1)
+
+    #: target temporary size (bytes) for the blocked comparison sweep
+    _HAMMING_BLOCK_BYTES = 4 << 20
+
+    def hamming(self, a, b):
+        a = np.asarray(a)
+        b = np.asarray(b)
+        a2 = np.atleast_2d(a)
+        b2 = np.atleast_2d(b)
+        if a2.shape[-1] != b2.shape[-1]:
+            raise ValueError(f"dimension mismatch: {a.shape} vs {b.shape}")
+        num_a = a2.shape[0]
+        counts = np.empty((num_a, b2.shape[0]), dtype=np.int64)
+        per_row = max(1, b2.size)  # one bool per compared component
+        block = max(1, self._HAMMING_BLOCK_BYTES // per_row)
+        for start in range(0, num_a, block):
+            counts[start : start + block] = (
+                a2[start : start + block, None, :] != b2[None, :, :]
+            ).sum(axis=-1, dtype=np.int64)
+        return _squeeze_pairwise(counts, a.ndim, b.ndim, scalar=int)
+
+    def dot(self, a, b):
+        a = np.asarray(a)
+        b = np.asarray(b)
+        out = np.atleast_2d(a).astype(np.float64) @ np.atleast_2d(b).astype(np.float64).T
+        return _squeeze_pairwise(out, a.ndim, b.ndim, scalar=float)
+
+
+class PackedBackend(HDCBackend):
+    """Bit-packed backend: 64 components per ``uint64`` word.
+
+    Stores 1 bit per component (8× smaller than :class:`DenseBackend`
+    for ``d`` divisible by 64) and runs the hot similarity path as
+    XOR + ``np.bitwise_count`` popcounts, blocked to keep temporaries
+    cache-friendly.
+    """
+
+    name = "packed"
+
+    #: target temporary size (bytes) for the blocked Hamming kernel
+    _HAMMING_BLOCK_BYTES = 4 << 20
+
+    def __init__(self, dim):
+        super().__init__(dim)
+        self.num_words = (self.dim + WORD_BITS - 1) // WORD_BITS
+
+    def from_bipolar(self, vectors):
+        vectors = np.asarray(vectors)
+        if vectors.shape[-1] != self.dim:
+            raise ValueError(f"expected last axis {self.dim}, got {vectors.shape}")
+        return pack_bipolar(vectors)
+
+    def to_bipolar(self, store):
+        return unpack_bipolar(store, self.dim)
+
+    def _as_words(self, x):
+        """Validate a packed store: uint64 words, ``num_words`` per vector.
+
+        Guards against dense bipolar arrays slipping in unpacked — their
+        int8 components would silently reinterpret as 64-bit words and
+        every downstream popcount would be garbage.
+        """
+        x = np.asarray(x)
+        if x.shape[-1] != self.num_words or x.dtype != np.uint64:
+            raise ValueError(
+                f"expected a packed uint64 store with last axis {self.num_words}, "
+                f"got {x.dtype} {x.shape}; convert dense vectors with from_bipolar()"
+            )
+        return x
+
+    def bind(self, a, b):
+        return np.bitwise_xor(self._as_words(a), self._as_words(b))
+
+    def _minus_counts(self, stacks, axis):
+        bits = unpack_bits(stacks, self.dim)
+        return bits.sum(axis=axis, dtype=np.int64)
+
+    def bundle_many(self, stacks, rng=None):
+        stacks = self._as_words(stacks)
+        if stacks.ndim != 3:
+            raise ValueError("bundle_many expects a 3-D (B, n, words) array")
+        bits = _majority_bits(self._minus_counts(stacks, axis=1), stacks.shape[1], rng)
+        return pack_bits(bits)
+
+    def permute(self, x, shift=1):
+        x = self._as_words(x)
+        s = int(shift) % self.dim
+        if s == 0:
+            return x.copy()
+        if self.dim % WORD_BITS == 0:
+            # Word-level roll plus a bit carry from the neighbouring word.
+            word_shift, bit_shift = divmod(s, WORD_BITS)
+            rolled = np.roll(x, word_shift, axis=-1)
+            if bit_shift:
+                carry = np.roll(rolled, 1, axis=-1)
+                rolled = (rolled << np.uint64(bit_shift)) | (
+                    carry >> np.uint64(WORD_BITS - bit_shift)
+                )
+            return rolled
+        # Padded tail bits make word rolls wrap incorrectly; take the
+        # exact (slower) route through the dense layout.
+        return pack_bipolar(np.roll(unpack_bipolar(x, self.dim), s, axis=-1))
+
+    def hamming(self, a, b):
+        a = self._as_words(a)
+        b = self._as_words(b)
+        a2 = np.ascontiguousarray(np.atleast_2d(a))
+        b2 = np.ascontiguousarray(np.atleast_2d(b))
+        num_a = a2.shape[0]
+        counts = np.empty((num_a, b2.shape[0]), dtype=np.int64)
+        per_row = max(1, b2.size * 8)
+        block = max(1, self._HAMMING_BLOCK_BYTES // per_row)
+        for start in range(0, num_a, block):
+            xor = a2[start : start + block, None, :] ^ b2[None, :, :]
+            counts[start : start + block] = _popcount_sum(xor)
+        return _squeeze_pairwise(counts, a.ndim, b.ndim, scalar=int)
+
+    def dot(self, a, b):
+        hamming = self.hamming(a, b)
+        if np.ndim(hamming):
+            return (self.dim - 2 * hamming).astype(np.float64)
+        return float(self.dim - 2 * hamming)
+
+
+BACKENDS = {DenseBackend.name: DenseBackend, PackedBackend.name: PackedBackend}
+
+
+def make_backend(spec, dim):
+    """Resolve ``spec`` (a name or an :class:`HDCBackend`) at ``dim``."""
+    if isinstance(spec, HDCBackend):
+        if spec.dim != dim:
+            raise ValueError(f"backend dim {spec.dim} does not match {dim}")
+        return spec
+    try:
+        cls = BACKENDS[spec]
+    except (KeyError, TypeError):
+        raise ValueError(
+            f"unknown HDC backend {spec!r}; available: {sorted(BACKENDS)}"
+        ) from None
+    return cls(dim)

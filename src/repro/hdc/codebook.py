@@ -4,12 +4,20 @@ The paper's attribute encoder stores two stationary codebooks — one for
 attribute *groups* (G = 28 entries) and one for attribute *values*
 (V = 61 entries) — instead of one vector per group/value combination
 (α = 312), cutting the atomic-hypervector memory by ~71 %.
+
+A codebook delegates storage to an :class:`repro.hdc.backend.HDCBackend`:
+the default ``"dense"`` backend keeps one int8 per component (reference
+semantics), while ``"packed"`` stores one *bit* per component in uint64
+words — the representation the paper's 17 KB figure actually assumes.
+Random sampling routes through the dense Rademacher draw in both cases,
+so the same seed yields bit-identical codebooks on either backend.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from .backend import make_backend
 from .hypervector import binary_to_bipolar, bipolar_to_binary, random_bipolar
 
 __all__ = ["Codebook"]
@@ -24,9 +32,12 @@ class Codebook:
         Symbol names, one per codevector; must be unique.
     vectors:
         ``(len(names), dim)`` bipolar array.
+    backend:
+        Backend name (``"dense"`` / ``"packed"``) or an
+        :class:`~repro.hdc.backend.HDCBackend` instance of matching dim.
     """
 
-    def __init__(self, names, vectors):
+    def __init__(self, names, vectors, backend="dense"):
         names = list(names)
         vectors = np.asarray(vectors)
         if vectors.ndim != 2:
@@ -39,14 +50,15 @@ class Codebook:
             raise ValueError("codebook names must be unique")
         self._names = names
         self._index = {name: i for i, name in enumerate(names)}
-        self._vectors = vectors.astype(np.int8)
-        self._vectors.setflags(write=False)
+        self._backend = make_backend(backend, vectors.shape[1])
+        self._store = self._backend.from_bipolar(vectors.astype(np.int8))
+        self._store.setflags(write=False)
 
     @classmethod
-    def random(cls, names, dim, rng):
+    def random(cls, names, dim, rng, backend="dense"):
         """Create a codebook of Rademacher-sampled bipolar vectors."""
         names = list(names)
-        return cls(names, random_bipolar(len(names), dim, rng))
+        return cls(names, random_bipolar(len(names), dim, rng), backend=backend)
 
     # -- access --------------------------------------------------------- #
 
@@ -56,12 +68,30 @@ class Codebook:
 
     @property
     def dim(self):
-        return self._vectors.shape[1]
+        return self._backend.dim
+
+    @property
+    def backend(self):
+        """The storage/compute backend holding this codebook."""
+        return self._backend
+
+    @property
+    def store(self):
+        """The backend-native store (int8 matrix or packed uint64 words)."""
+        return self._store
 
     @property
     def vectors(self):
-        """The full ``(n, dim)`` read-only bipolar matrix."""
-        return self._vectors
+        """The full ``(n, dim)`` read-only bipolar matrix.
+
+        On the packed backend this view is rematerialized per call so the
+        resident footprint stays at the packed store's size.
+        """
+        if self._backend.name == "dense":
+            return self._store
+        dense = self._backend.to_bipolar(self._store)
+        dense.setflags(write=False)
+        return dense
 
     def __len__(self):
         return len(self._names)
@@ -72,8 +102,10 @@ class Codebook:
     def __getitem__(self, key):
         """Look up a codevector by name or integer index."""
         if isinstance(key, str):
-            return self._vectors[self._index[key]]
-        return self._vectors[key]
+            key = self._index[key]
+        if self._backend.name == "dense":
+            return self._store[key]
+        return self._backend.to_bipolar(self._store[key])
 
     def index_of(self, name):
         """Return the row index of ``name``."""
@@ -81,22 +113,35 @@ class Codebook:
 
     def as_binary(self):
         """Return the {0,1} view of the codebook matrix."""
-        return bipolar_to_binary(self._vectors)
+        return bipolar_to_binary(self.vectors)
 
     @classmethod
-    def from_binary(cls, names, binary_vectors):
+    def from_binary(cls, names, binary_vectors, backend="dense"):
         """Build a codebook from a {0,1} matrix."""
-        return cls(names, binary_to_bipolar(binary_vectors))
+        return cls(names, binary_to_bipolar(binary_vectors), backend=backend)
+
+    def with_backend(self, backend):
+        """Re-store the same codevectors on another backend."""
+        return Codebook(self._names, self.vectors, backend=backend)
 
     # -- accounting ------------------------------------------------------ #
 
     def memory_bits(self):
         """Storage cost in bits (one bit per component, as in hardware)."""
-        return self._vectors.size
+        return len(self._names) * self.dim
 
     def memory_bytes(self):
         """Storage cost in bytes at one bit per component."""
         return self.memory_bits() / 8.0
 
+    def measured_bytes(self):
+        """Actual bytes of the native store (``nbytes``, not arithmetic).
+
+        Dense: one byte per component. Packed: one bit per component
+        rounded up to whole 64-bit words — the number that verifies the
+        paper's storage claim against real memory.
+        """
+        return self._backend.nbytes(self._store)
+
     def __repr__(self):
-        return f"Codebook(n={len(self)}, dim={self.dim})"
+        return f"Codebook(n={len(self)}, dim={self.dim}, backend={self._backend.name!r})"

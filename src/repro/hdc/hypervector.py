@@ -11,14 +11,22 @@ from __future__ import annotations
 import numpy as np
 
 __all__ = [
+    "WORD_BITS",
     "random_bipolar",
     "random_binary",
     "bipolar_to_binary",
     "binary_to_bipolar",
     "is_bipolar",
     "is_binary",
+    "pack_bits",
+    "unpack_bits",
+    "pack_bipolar",
+    "unpack_bipolar",
     "expected_similarity_std",
 ]
+
+#: components per packed word (the bit-packed backend's word width)
+WORD_BITS = 64
 
 
 def random_bipolar(num_vectors, dim, rng):
@@ -68,6 +76,57 @@ def is_binary(x):
     """True when every entry is 0 or 1."""
     x = np.asarray(x)
     return bool(np.isin(x, (0, 1)).all())
+
+
+def pack_bits(bits):
+    """Pack a {0,1} bit array ``(..., d)`` into uint64 words ``(..., ⌈d/64⌉)``.
+
+    Component ``i`` maps to bit ``i % 64`` of word ``i // 64``
+    (little-endian bit order); padding bits beyond ``d`` are zero. The
+    word view relies on the platform being little-endian, which holds on
+    every supported target.
+    """
+    bits = np.asarray(bits)
+    if bits.ndim == 0:
+        raise ValueError("pack_bits expects at least a 1-D bit array")
+    dim = bits.shape[-1]
+    num_words = (dim + WORD_BITS - 1) // WORD_BITS
+    pad = num_words * WORD_BITS - dim
+    bits = bits.astype(np.uint8)
+    if pad:
+        bits = np.concatenate(
+            [bits, np.zeros(bits.shape[:-1] + (pad,), dtype=np.uint8)], axis=-1
+        )
+    packed = np.packbits(bits, axis=-1, bitorder="little")
+    return np.ascontiguousarray(packed).view(np.uint64)
+
+
+def unpack_bits(words, dim):
+    """Inverse of :func:`pack_bits`: uint64 words → {0,1} bits ``(..., dim)``."""
+    if dim <= 0:
+        raise ValueError("dim must be positive")
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    if words.shape[-1] * WORD_BITS < dim:
+        raise ValueError(f"{words.shape[-1]} words cannot hold {dim} components")
+    return np.unpackbits(words.view(np.uint8), axis=-1, count=dim, bitorder="little")
+
+
+def pack_bipolar(x):
+    """Bit-pack bipolar hypervectors: {−1, +1} ``(..., d)`` → uint64 words.
+
+    Bit 1 encodes −1 (the :func:`bipolar_to_binary` convention under
+    which packed XOR implements bipolar multiplication).
+    """
+    x = np.asarray(x)
+    if not is_bipolar(x):
+        raise ValueError("input is not bipolar (+1/-1)")
+    return pack_bits((x < 0).astype(np.uint8))
+
+
+def unpack_bipolar(words, dim):
+    """Inverse of :func:`pack_bipolar`: words → bipolar int8 ``(..., dim)``."""
+    bits = unpack_bits(words, dim)
+    return (1 - 2 * bits.astype(np.int8)).astype(np.int8)
 
 
 def expected_similarity_std(dim):

@@ -3,69 +3,208 @@
 A standard HDC component: stores labelled hypervectors and retrieves the
 best-matching stored item for a noisy query. Used in this repository for
 attribute-dictionary analysis and in the HDC example applications.
+
+Design notes for scale:
+
+- label membership is a dict lookup (O(1), not a list scan);
+- the stored stack is kept as one contiguous backend-native matrix;
+  rows added since the last query fold into it lazily, so queries never
+  re-``np.stack`` and the steady-state residency is a single copy;
+- the query API is batched first-class: :meth:`similarities_batch` and
+  :meth:`cleanup_batch` score ``(B, d)`` queries against all ``n`` items
+  in a single matmul (dense) or popcount (packed) call.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from .backend import make_backend
 from .ops import cosine_similarity
 
 __all__ = ["ItemMemory"]
 
 
 class ItemMemory:
-    """Associative memory over labelled hypervectors."""
+    """Associative memory over labelled hypervectors.
 
-    def __init__(self, dim):
+    Parameters
+    ----------
+    dim:
+        Hypervector dimensionality.
+    backend:
+        ``"dense"`` (default) stores int8 components and scores float
+        cosine; ``"packed"`` stores bit-packed words and scores popcount
+        Hamming cosine — identical values for bipolar data, 8× smaller
+        and popcount-fast at query time.
+    """
+
+    def __init__(self, dim, backend="dense"):
         if dim <= 0:
             raise ValueError("dim must be positive")
-        self.dim = dim
+        self._backend = make_backend(backend, dim)
+        self.dim = self._backend.dim
         self._labels = []
-        self._vectors = []
+        self._label_index = {}
+        # Contiguous native store + rows added since it was last built.
+        # The pending list folds into the matrix on the next query, so the
+        # steady-state residency is one contiguous copy, not two.
+        self._matrix = None
+        self._pending = []
+
+    @property
+    def backend(self):
+        """The storage/compute backend holding the stored items."""
+        return self._backend
 
     def add(self, label, vector):
         """Store ``vector`` under ``label`` (labels must be unique)."""
         vector = np.asarray(vector)
         if vector.shape != (self.dim,):
             raise ValueError(f"expected shape ({self.dim},), got {vector.shape}")
-        if label in self._labels:
+        if label in self._label_index:
             raise KeyError(f"label {label!r} already stored")
+        # Convert before touching any state: a failed conversion (e.g. a
+        # non-bipolar vector on the packed backend) must leave the memory
+        # exactly as it was.
+        row = self._backend.from_bipolar(vector)
+        self._label_index[label] = len(self._labels)
         self._labels.append(label)
-        self._vectors.append(vector.astype(np.int8))
+        self._pending.append(row)
 
     def add_many(self, labels, vectors):
-        """Store a stack of vectors under corresponding labels."""
-        for label, vector in zip(labels, vectors):
-            self.add(label, vector)
+        """Store a stack of vectors under corresponding labels.
+
+        Atomic like :meth:`add`: every label and vector is validated and
+        converted (in one batched call) before any state changes, so a
+        failure leaves the memory untouched.
+        """
+        labels = list(labels)
+        vectors = np.asarray(vectors)
+        if len(labels) != len(vectors):
+            raise ValueError("labels and vectors must align")
+        if not labels:
+            return
+        if vectors.ndim != 2 or vectors.shape[1] != self.dim:
+            raise ValueError(f"expected ({len(labels)}, {self.dim}) vectors, got {vectors.shape}")
+        if len(set(labels)) != len(labels):
+            raise KeyError("duplicate labels in add_many")
+        for label in labels:
+            if label in self._label_index:
+                raise KeyError(f"label {label!r} already stored")
+        rows = self._backend.from_bipolar(vectors)
+        for label, row in zip(labels, rows):
+            self._label_index[label] = len(self._labels)
+            self._labels.append(label)
+            self._pending.append(row)
 
     def __len__(self):
         return len(self._labels)
 
     def __contains__(self, label):
-        return label in self._labels
+        return label in self._label_index
 
     @property
     def labels(self):
         return tuple(self._labels)
 
+    def index_of(self, label):
+        """Row index of ``label`` (O(1))."""
+        return self._label_index[label]
+
+    def _native_matrix(self):
+        """The contiguous ``(n, ·)`` backend-native store.
+
+        Pending rows fold into the cached matrix here; afterwards the
+        matrix is the only resident copy of the stored vectors.
+        """
+        if self._matrix is None or self._pending:
+            parts = [] if self._matrix is None else [self._matrix]
+            if self._pending:
+                parts.append(np.stack(self._pending))
+            if parts:
+                matrix = parts[0] if len(parts) == 1 else np.vstack(parts)
+                self._matrix = np.ascontiguousarray(matrix)
+            else:
+                self._matrix = self._backend.from_bipolar(
+                    np.ones((0, self.dim), dtype=np.int8)
+                )
+            self._pending.clear()
+            self._matrix.setflags(write=False)
+        return self._matrix
+
     def matrix(self):
-        """Return the stored vectors as an ``(n, dim)`` array."""
-        if not self._vectors:
-            return np.zeros((0, self.dim), dtype=np.int8)
-        return np.stack(self._vectors)
+        """The stored vectors as a read-only ``(n, dim)`` bipolar array."""
+        native = self._native_matrix()
+        if self._backend.name == "dense":
+            return native
+        dense = self._backend.to_bipolar(native)
+        dense.setflags(write=False)
+        return dense
+
+    def measured_bytes(self):
+        """Actual bytes of the contiguous native store."""
+        return self._backend.nbytes(self._native_matrix())
+
+    # -- queries ---------------------------------------------------------- #
+
+    def _pack_query(self, query):
+        if query.shape[-1] != self.dim:
+            raise ValueError(f"expected last axis {self.dim}, got {query.shape}")
+        try:
+            return self._backend.from_bipolar(query)
+        except ValueError as exc:
+            raise ValueError(
+                "the packed backend accepts only bipolar (+1/-1) queries; "
+                "use ItemMemory(dim, backend='dense') for real-valued queries"
+            ) from exc
 
     def similarities(self, query):
-        """Cosine similarity of ``query`` against every stored item."""
-        if not self._vectors:
+        """Cosine similarity of ``query`` against every stored item.
+
+        Dense backend: any real-valued query (float cosine). Packed
+        backend: bipolar queries only (popcount cosine — same values as
+        dense for bipolar data).
+        """
+        if not self._labels:
             raise LookupError("item memory is empty")
-        return cosine_similarity(np.asarray(query, dtype=np.float64), self.matrix())
+        if self._backend.name == "dense":
+            return cosine_similarity(
+                np.asarray(query, dtype=np.float64), self._native_matrix()
+            )
+        packed = self._pack_query(np.asarray(query))
+        return self._backend.cosine(packed, self._native_matrix())
+
+    def similarities_batch(self, queries):
+        """Cosine similarities of ``(B, dim)`` queries: one ``(B, n)`` call."""
+        if not self._labels:
+            raise LookupError("item memory is empty")
+        queries = np.asarray(queries)
+        if queries.ndim != 2 or queries.shape[1] != self.dim:
+            raise ValueError(f"expected (B, {self.dim}) queries, got {queries.shape}")
+        if self._backend.name == "dense":
+            return cosine_similarity(
+                queries.astype(np.float64), self._native_matrix()
+            )
+        packed = self._pack_query(queries)
+        return self._backend.cosine(packed, self._native_matrix())
 
     def cleanup(self, query):
         """Return ``(label, similarity)`` of the best-matching stored item."""
         sims = self.similarities(query)
         best = int(np.argmax(sims))
         return self._labels[best], float(sims[best])
+
+    def cleanup_batch(self, queries):
+        """Batched cleanup: ``(B, dim)`` queries → ``(labels, similarities)``.
+
+        Returns a list of ``B`` labels and the matching ``(B,)`` float
+        similarity array, computed in one pairwise similarity call.
+        """
+        sims = self.similarities_batch(queries)
+        best = np.argmax(sims, axis=1)
+        labels = [self._labels[i] for i in best]
+        return labels, sims[np.arange(len(best)), best]
 
     def topk(self, query, k=5):
         """Return the ``k`` best ``(label, similarity)`` pairs, best first."""

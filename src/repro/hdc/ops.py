@@ -10,12 +10,19 @@ Schmuck et al., JETC 2019):
 - permutation ``ρ`` is a cyclic shift,
 - unbinding ``⊘`` coincides with binding (the bipolar product is an
   involution).
+
+These module-level functions are the *dense reference semantics*; they
+dispatch through :class:`repro.hdc.backend.DenseBackend`. The bit-packed
+performance implementation of the same algebra lives in
+:class:`repro.hdc.backend.PackedBackend` and is verified bit-for-bit
+against these functions.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from .backend import DenseBackend
 from .hypervector import is_binary, is_bipolar
 
 __all__ = [
@@ -23,13 +30,19 @@ __all__ = [
     "bind_binary",
     "unbind",
     "bundle",
+    "bundle_many",
     "permute",
     "inverse_permute",
     "cosine_similarity",
     "dot_similarity",
     "hamming_distance",
+    "hamming_distance_many",
     "normalized_hamming",
 ]
+
+
+def _dense(dim):
+    return DenseBackend(dim)
 
 
 def bind(a, b):
@@ -43,7 +56,7 @@ def bind(a, b):
     b = np.asarray(b)
     if a.shape[-1] != b.shape[-1]:
         raise ValueError(f"dimension mismatch: {a.shape} vs {b.shape}")
-    return (a * b).astype(a.dtype)
+    return _dense(a.shape[-1]).bind(a, b)
 
 
 def bind_binary(a, b):
@@ -73,7 +86,10 @@ def bundle(vectors, rng=None):
         ``(n, d)`` array of bipolar vectors.
     rng:
         Optional generator used to break ties (even ``n``); without it,
-        ties resolve deterministically to +1.
+        ties resolve deterministically to +1. With a generator, tie
+        positions are filled from one ``rng.integers(0, 2, size=ties)``
+        draw in component order — the contract every backend implements
+        identically.
 
     Returns
     -------
@@ -84,25 +100,38 @@ def bundle(vectors, rng=None):
         raise ValueError("bundle expects a 2-D (n, d) stack")
     if not is_bipolar(vectors):
         raise ValueError("bundle expects bipolar vectors")
-    total = vectors.sum(axis=0)
-    out = np.sign(total).astype(np.int8)
-    ties = out == 0
-    if ties.any():
-        if rng is not None:
-            out[ties] = (rng.integers(0, 2, size=int(ties.sum()), dtype=np.int8) * 2 - 1)
-        else:
-            out[ties] = 1
-    return out
+    return _dense(vectors.shape[-1]).bundle(vectors, rng=rng)
+
+
+def bundle_many(stacks, rng=None):
+    """Batched majority-rule bundling: ``(B, n, d)`` stacks → ``(B, d)``.
+
+    One vectorized call replacing a Python loop over :func:`bundle`.
+    Tie-breaking is reproducible and documented: without ``rng`` every
+    tie resolves to +1; with ``rng`` the ties of the whole batch are
+    filled from a single ``rng.integers(0, 2, size=num_ties)`` draw in
+    row-major ``(B, d)`` order. (Because numpy buffers random bits per
+    call, this stream intentionally differs from looping :func:`bundle`
+    row by row — but is identical across backends and runs.)
+    """
+    stacks = np.asarray(stacks)
+    if stacks.ndim != 3:
+        raise ValueError("bundle_many expects a 3-D (B, n, d) array")
+    if not is_bipolar(stacks):
+        raise ValueError("bundle_many expects bipolar vectors")
+    return _dense(stacks.shape[-1]).bundle_many(stacks, rng=rng)
 
 
 def permute(x, shift=1):
     """Cyclic permutation ρ: roll the vector by ``shift`` positions."""
-    return np.roll(np.asarray(x), shift, axis=-1)
+    x = np.asarray(x)
+    return _dense(x.shape[-1]).permute(x, shift)
 
 
 def inverse_permute(x, shift=1):
     """Inverse of :func:`permute`."""
-    return np.roll(np.asarray(x), -shift, axis=-1)
+    x = np.asarray(x)
+    return _dense(x.shape[-1]).inverse_permute(x, shift)
 
 
 def cosine_similarity(a, b):
@@ -153,6 +182,21 @@ def hamming_distance(a, b):
     if a.shape != b.shape:
         raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
     return int((a != b).sum())
+
+
+def hamming_distance_many(a, b):
+    """Pairwise Hamming distances between stacks of hypervectors.
+
+    The batched form of :func:`hamming_distance`: ``(A, d)`` × ``(B, d)``
+    → an ``(A, B)`` int64 count matrix in one call (1-D operands squeeze
+    as in :func:`cosine_similarity`). This is the dense reference path;
+    the packed backend computes the same matrix via XOR + popcount.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape[-1] != b.shape[-1]:
+        raise ValueError(f"dimension mismatch: {a.shape} vs {b.shape}")
+    return _dense(a.shape[-1]).hamming(a, b)
 
 
 def normalized_hamming(a, b):

@@ -33,12 +33,18 @@ class HDCAttributeEncoder(nn.Module):
         Hypervector dimensionality ``d`` (the paper's preferred 1536).
     rng:
         Generator used to sample the two Rademacher codebooks.
+    backend:
+        HDC storage backend: ``"dense"`` (int8 reference) or ``"packed"``
+        (bit-packed uint64 words, the paper's 1-bit-per-component storage
+        story). Sampling routes through the same dense Rademacher draw on
+        either backend, so the codebooks — and therefore every
+        classification decision — are identical per seed.
     """
 
-    def __init__(self, schema, dim, rng):
+    def __init__(self, schema, dim, rng, backend="dense"):
         super().__init__()
-        groups = Codebook.random(schema.group_names, dim, rng)
-        values = Codebook.random(schema.value_vocabulary, dim, rng)
+        groups = Codebook.random(schema.group_names, dim, rng, backend=backend)
+        values = Codebook.random(schema.value_vocabulary, dim, rng, backend=backend)
         self.dictionary = AttributeDictionary(groups, values, schema.pairs)
         self.schema = schema
         self.embedding_dim = dim
@@ -69,19 +75,31 @@ class HDCAttributeEncoder(nn.Module):
             class_attributes = nn.Tensor(np.asarray(class_attributes, dtype=nn.default_dtype()))
         return class_attributes @ self.dictionary_tensor()
 
-    def memory_report(self):
-        """Footprint accounting of the stationary codebooks."""
-        from ..hdc.footprint import FootprintReport
+    @property
+    def backend_name(self):
+        """Name of the HDC storage backend holding the codebooks."""
+        return self.dictionary.backend.name
 
-        return FootprintReport(
-            num_groups=len(self.dictionary.groups),
-            num_values=len(self.dictionary.values),
-            num_attributes=self.num_attributes,
-            dim=self.embedding_dim,
-        )
+    def memory_report(self):
+        """Footprint accounting of the stationary codebooks.
+
+        Includes the *measured* resident bytes of the stored codebooks on
+        the active backend, alongside the analytic bit counts. The
+        measurement covers the HDC store itself — what a deployed
+        accelerator would hold. This training-path module additionally
+        keeps float64 working copies (the ``state_dict`` buffers and the
+        cached dictionary tensor) that are not part of that store and
+        are not counted here.
+        """
+        from ..hdc.footprint import measured_footprint
+
+        return measured_footprint(self.dictionary)
 
     def __repr__(self):
-        return f"HDCAttributeEncoder(d={self.embedding_dim}, alpha={self.num_attributes})"
+        return (
+            f"HDCAttributeEncoder(d={self.embedding_dim}, "
+            f"alpha={self.num_attributes}, backend={self.backend_name!r})"
+        )
 
 
 class MLPAttributeEncoder(nn.Module):
@@ -122,10 +140,14 @@ class MLPAttributeEncoder(nn.Module):
         return f"MLPAttributeEncoder(d={self.embedding_dim}, alpha={self.num_attributes})"
 
 
-def build_attribute_encoder(kind, schema, dim, rng, **kwargs):
-    """Factory: ``kind`` is ``"hdc"`` or ``"mlp"``."""
+def build_attribute_encoder(kind, schema, dim, rng, backend="dense", **kwargs):
+    """Factory: ``kind`` is ``"hdc"`` or ``"mlp"``.
+
+    ``backend`` selects the HDC storage backend (``"dense"``/``"packed"``)
+    and is ignored by the MLP variant, which has no codebooks to store.
+    """
     if kind == "hdc":
-        return HDCAttributeEncoder(schema, dim, rng)
+        return HDCAttributeEncoder(schema, dim, rng, backend=backend)
     if kind == "mlp":
         return MLPAttributeEncoder(schema, dim, rng, **kwargs)
     raise ValueError(f"unknown attribute encoder kind {kind!r} (expected 'hdc' or 'mlp')")

@@ -8,9 +8,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
-from .. import nn
 from ..data import SyntheticImageNet
 from ..models.heads import ImageEncoder
 from ..models.resnet import build_backbone
@@ -40,6 +37,7 @@ class PipelineConfig:
     backbone: str = "resnet50"
     embedding_dim: int | None = 256
     attribute_encoder: str = "hdc"  # "hdc" | "mlp"
+    hdc_backend: str = "dense"  # "dense" | "packed" (HDC codebook storage)
     temperature: float = 0.03
     seed: int = 0
     pretrain_classes: int = 20
@@ -71,7 +69,11 @@ def build_model(schema, config):
     image_encoder = ImageEncoder(backbone, embedding_dim=config.embedding_dim, rng=encoder_rng)
     attr_rng = spawn(config.seed, "attribute-encoder")
     attribute_encoder = build_attribute_encoder(
-        config.attribute_encoder, schema, image_encoder.embedding_dim, attr_rng
+        config.attribute_encoder,
+        schema,
+        image_encoder.embedding_dim,
+        attr_rng,
+        backend=config.hdc_backend,
     )
     return HDCZSC(image_encoder, attribute_encoder, temperature=config.temperature)
 

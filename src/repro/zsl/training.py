@@ -18,7 +18,7 @@ augmentation (rotation ±45°, horizontal flip).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 import numpy as np
 

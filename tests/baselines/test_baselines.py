@@ -12,7 +12,7 @@ import pytest
 from repro import nn
 from repro.baselines import A3M, DAP, ESZSL, TCN, ConSE, Finetag, GenerativeZSL
 from repro.data import toy_schema
-from repro.metrics import per_group_report, top1_accuracy
+from repro.metrics import per_group_report
 
 
 @pytest.fixture(scope="module")

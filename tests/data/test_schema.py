@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.data import AttributeGroup, AttributeSchema, cub_schema, toy_schema
+from repro.data import AttributeGroup, AttributeSchema
 
 
 class TestPaperCounts:

@@ -1,6 +1,5 @@
 """Experiment configuration and report formatting (no training here)."""
 
-import numpy as np
 import pytest
 
 from repro.experiments import SCALES, get_scale
@@ -32,6 +31,19 @@ class TestScales:
     def test_replace(self):
         scale = get_scale("quick").replace(num_classes=99)
         assert scale.num_classes == 99
+
+    def test_hdc_backend_defaults_dense(self):
+        for scale in SCALES.values():
+            assert scale.hdc_backend == "dense"
+
+    def test_hdc_backend_threads_into_pipeline_config(self):
+        from repro.experiments.common import pipeline_config
+
+        scale = get_scale("quick").replace(hdc_backend="packed")
+        config = pipeline_config(scale, seed=0)
+        assert config.hdc_backend == "packed"
+        override = pipeline_config(get_scale("quick"), seed=0, hdc_backend="packed")
+        assert override.hdc_backend == "packed"
 
 
 class TestSweepDefinitions:

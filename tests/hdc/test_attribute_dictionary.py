@@ -9,8 +9,8 @@ from repro.hdc import (
     FootprintReport,
     bind,
     codebook_footprint,
+    measured_footprint,
     orthogonality_report,
-    pairwise_similarities,
 )
 
 
@@ -111,6 +111,74 @@ class TestMemoryAccounting:
         report = FootprintReport(2, 3, 6, 100)
         assert report.factored_bits == 500
         assert report.naive_bits == 600
+
+
+class TestPackedDictionary:
+    PAIRS = [(g, v) for g in range(4) for v in range(5)]
+
+    def _pair(self, dim=512):
+        dense = AttributeDictionary.random(
+            4, 5, self.PAIRS, dim=dim, rng=np.random.default_rng(8)
+        )
+        packed = AttributeDictionary.random(
+            4, 5, self.PAIRS, dim=dim, rng=np.random.default_rng(8), backend="packed"
+        )
+        return dense, packed
+
+    def test_matrix_identical_to_dense_per_seed(self):
+        dense, packed = self._pair()
+        assert np.array_equal(dense.matrix(), packed.matrix())
+
+    def test_rows_identical(self):
+        dense, packed = self._pair()
+        for index in (0, 7, 19):
+            assert np.array_equal(dense.row(index), packed.row(index))
+
+    def test_native_matrix_is_words(self):
+        _, packed = self._pair()
+        native = packed.matrix_native()
+        assert native.dtype == np.uint64
+        assert native.shape == (20, 512 // 64)
+
+    def test_packed_matrix_does_not_pin_dense_cache(self):
+        """Only the word matrix is cached; the dense view is per-call."""
+        _, packed = self._pair()
+        first = packed.matrix()
+        assert packed._matrix is None  # no resident dense copy
+        assert packed._native is not None
+        assert np.array_equal(first, packed.matrix())
+
+    def test_class_embeddings_identical(self, rng):
+        dense, packed = self._pair()
+        attrs = rng.random((7, 20))
+        assert np.allclose(dense.class_embeddings(attrs), packed.class_embeddings(attrs))
+
+    def test_measured_bytes_ratio(self):
+        dense, packed = self._pair(dim=512)
+        assert dense.measured_bytes() == 8 * packed.measured_bytes()
+
+    def test_mixed_backends_rejected(self, rng):
+        groups = Codebook.random(["a"], 64, rng)
+        values = Codebook.random(["x"], 64, rng, backend="packed")
+        with pytest.raises(ValueError):
+            AttributeDictionary(groups, values, [(0, 0)])
+
+    def test_measured_footprint_report(self):
+        dense, packed = self._pair(dim=512)
+        dense_report = measured_footprint(dense)
+        packed_report = measured_footprint(packed)
+        assert packed_report.backend == "packed"
+        assert packed_report.measured_bytes == 9 * 512 // 8
+        assert dense_report.measured_bytes == 9 * 512
+        assert "measured (packed)" in packed_report.summary()
+        # analytic bit counts are backend-independent
+        assert packed_report.factored_bits == dense_report.factored_bits
+
+    def test_analytic_report_has_no_measurement(self):
+        report = codebook_footprint()
+        assert report.measured_bytes is None
+        assert report.measured_kilobytes is None
+        assert "measured" not in report.summary()
 
 
 class TestSchemaIntegration:

@@ -1,0 +1,205 @@
+"""Backend layer: packed/dense agreement, property-based algebra invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdc import (
+    WORD_BITS,
+    DenseBackend,
+    HDCBackend,
+    PackedBackend,
+    make_backend,
+    pack_bipolar,
+    random_bipolar,
+    unpack_bipolar,
+)
+
+# Dimensions that exercise word boundaries: sub-word, exact words, ragged tail.
+DIMS = st.sampled_from([1, 7, 63, 64, 65, 128, 200, 256, 300])
+
+
+def backends(dim):
+    return DenseBackend(dim), PackedBackend(dim)
+
+
+def sample(seed, n, dim):
+    return random_bipolar(n, dim, np.random.default_rng(seed))
+
+
+class TestPacking:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 2**16), dim=DIMS)
+    def test_pack_roundtrip(self, seed, dim):
+        x = sample(seed, 3, dim)
+        assert np.array_equal(unpack_bipolar(pack_bipolar(x), dim), x)
+
+    def test_word_count(self):
+        assert pack_bipolar(sample(0, 2, 65)[0]).shape == (2,)
+        assert pack_bipolar(sample(0, 2, 64)[0]).shape == (1,)
+
+    def test_padding_bits_zero(self):
+        """Tail bits beyond d stay zero, so XOR/popcount never see garbage."""
+        x = -np.ones((1, 7), dtype=np.int8)  # all bits set in the used range
+        words = pack_bipolar(x)
+        assert int(words[0, 0]) == (1 << 7) - 1
+
+    def test_rejects_non_bipolar(self):
+        with pytest.raises(ValueError):
+            pack_bipolar(np.array([0, 1, -1]))
+
+
+class TestCrossBackendAgreement:
+    """Packed and dense must agree bit-for-bit on every algebra op."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 2**16), dim=DIMS)
+    def test_bind(self, seed, dim):
+        dense, packed = backends(dim)
+        a, b = sample(seed, 2, dim)
+        expected = dense.bind(a, b)
+        got = packed.to_bipolar(packed.bind(packed.from_bipolar(a), packed.from_bipolar(b)))
+        assert np.array_equal(got, expected)
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 2**16), dim=DIMS, n=st.integers(1, 9))
+    def test_bundle(self, seed, dim, n):
+        dense, packed = backends(dim)
+        stack = sample(seed, n, dim)
+        rng_a, rng_b = np.random.default_rng(seed), np.random.default_rng(seed)
+        expected = dense.bundle(stack, rng=rng_a)
+        got = packed.to_bipolar(packed.bundle(packed.from_bipolar(stack), rng=rng_b))
+        assert np.array_equal(got, expected)
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 2**16), dim=DIMS, n=st.integers(1, 5))
+    def test_bundle_many(self, seed, dim, n):
+        dense, packed = backends(dim)
+        stacks = sample(seed, 4 * n, dim).reshape(4, n, dim)
+        rng_a, rng_b = np.random.default_rng(seed), np.random.default_rng(seed)
+        expected = dense.bundle_many(stacks, rng=rng_a)
+        got = packed.to_bipolar(packed.bundle_many(packed.from_bipolar(stacks), rng=rng_b))
+        assert np.array_equal(got, expected)
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 2**16), dim=DIMS, shift=st.integers(-130, 130))
+    def test_permute(self, seed, dim, shift):
+        """Covers the word-level roll + bit-carry path (dim % 64 == 0) and
+        the ragged-tail fallback alike."""
+        dense, packed = backends(dim)
+        x = sample(seed, 2, dim)
+        expected = dense.permute(x, shift)
+        got = packed.to_bipolar(packed.permute(packed.from_bipolar(x), shift))
+        assert np.array_equal(got, expected)
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 2**16), dim=DIMS)
+    def test_hamming_dot_cosine(self, seed, dim):
+        dense, packed = backends(dim)
+        a = sample(seed, 4, dim)
+        b = sample(seed + 1, 3, dim)
+        pa, pb = packed.from_bipolar(a), packed.from_bipolar(b)
+        assert np.array_equal(packed.hamming(pa, pb), dense.hamming(a, b))
+        assert np.allclose(packed.dot(pa, pb), dense.dot(a, b))
+        assert np.allclose(packed.cosine(pa, pb), dense.cosine(a, b))
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**16), dim=DIMS)
+    def test_random_sampling_identical(self, seed, dim):
+        """Same generator state → the same hypervectors on every backend."""
+        dense, packed = backends(dim)
+        from_dense = dense.random(3, np.random.default_rng(seed))
+        from_packed = packed.random(3, np.random.default_rng(seed))
+        assert np.array_equal(packed.to_bipolar(from_packed), from_dense)
+
+
+class TestAlgebraInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 2**16), dim=DIMS)
+    def test_bind_self_inverse_packed(self, seed, dim):
+        packed = PackedBackend(dim)
+        a, b = (packed.from_bipolar(v) for v in sample(seed, 2, dim))
+        assert np.array_equal(packed.unbind(packed.bind(a, b), a), b)
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 2**16), dim=DIMS, shift=st.integers(-130, 130))
+    def test_permute_inverse_identity_packed(self, seed, dim, shift):
+        packed = PackedBackend(dim)
+        x = packed.from_bipolar(sample(seed, 1, dim)[0])
+        assert np.array_equal(packed.inverse_permute(packed.permute(x, shift), shift), x)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**16), dim=DIMS)
+    def test_hamming_zero_on_self(self, seed, dim):
+        packed = PackedBackend(dim)
+        x = packed.from_bipolar(sample(seed, 1, dim)[0])
+        assert packed.hamming(x, x) == 0
+        assert np.isclose(packed.cosine(x, x), 1.0)
+
+
+class TestBackendContract:
+    def test_make_backend_by_name(self):
+        assert isinstance(make_backend("dense", 16), DenseBackend)
+        assert isinstance(make_backend("packed", 16), PackedBackend)
+
+    def test_make_backend_passthrough(self):
+        backend = PackedBackend(32)
+        assert make_backend(backend, 32) is backend
+
+    def test_make_backend_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            make_backend(PackedBackend(32), 64)
+
+    def test_make_backend_unknown(self):
+        with pytest.raises(ValueError):
+            make_backend("quantum", 16)
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            DenseBackend(0)
+
+    def test_is_abstract(self):
+        with pytest.raises(TypeError):
+            HDCBackend(16)
+
+    def test_nbytes_ratio(self):
+        """The 8× storage story at the paper's d = 1536 (24 words exactly)."""
+        rng = np.random.default_rng(0)
+        vectors = random_bipolar(10, 1536, rng)
+        dense, packed = backends(1536)
+        assert dense.nbytes(dense.from_bipolar(vectors)) == 10 * 1536
+        assert packed.nbytes(packed.from_bipolar(vectors)) == 10 * 1536 // 8
+        assert packed.num_words == 1536 // WORD_BITS
+
+    def test_packed_ops_reject_unpacked_inputs(self, rng):
+        """Dense bipolar arrays must not slip into packed ops as 'words'."""
+        packed = PackedBackend(128)
+        dense_vectors = random_bipolar(2, 128, rng)
+        store = packed.from_bipolar(dense_vectors)
+        for call in (
+            lambda: packed.hamming(dense_vectors, store),
+            lambda: packed.bind(dense_vectors[0], store[0]),
+            lambda: packed.bundle(dense_vectors),
+            lambda: packed.permute(dense_vectors[0]),
+        ):
+            with pytest.raises(ValueError, match="from_bipolar"):
+                call()
+
+    def test_popcount_table_fallback_agrees(self, rng):
+        """The NumPy<2 byte-LUT popcount matches np.bitwise_count."""
+        from repro.hdc.backend import _popcount_sum, _popcount_sum_table
+
+        words = PackedBackend(1536).random(16, rng)
+        assert np.array_equal(_popcount_sum_table(words), _popcount_sum(words))
+
+    def test_similarity_shapes(self):
+        rng = np.random.default_rng(1)
+        packed = PackedBackend(128)
+        a = packed.random(3, rng)
+        b = packed.random(5, rng)
+        assert packed.hamming(a, b).shape == (3, 5)
+        assert packed.hamming(a[0], b).shape == (5,)
+        assert packed.hamming(a, b[0]).shape == (3,)
+        assert isinstance(packed.hamming(a[0], b[0]), int)
+        assert isinstance(packed.cosine(a[0], b[0]), float)

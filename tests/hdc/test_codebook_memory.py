@@ -42,6 +42,42 @@ class TestCodebook:
         assert cb.memory_bytes() == 512.0
 
 
+class TestPackedCodebook:
+    def test_same_vectors_as_dense_per_seed(self):
+        dense = Codebook.random(list("abc"), 256, np.random.default_rng(4))
+        packed = Codebook.random(list("abc"), 256, np.random.default_rng(4), backend="packed")
+        assert np.array_equal(dense.vectors, packed.vectors)
+        assert np.array_equal(dense["b"], packed["b"])
+        assert np.array_equal(dense[2], packed[2])
+
+    def test_measured_bytes_eight_times_smaller(self, rng):
+        dense = Codebook.random(list("abcd"), 1024, rng)
+        packed = dense.with_backend("packed")
+        assert dense.measured_bytes() == 4 * 1024
+        assert packed.measured_bytes() == 4 * 1024 // 8
+        assert packed.measured_bytes() == packed.memory_bytes()
+
+    def test_with_backend_roundtrip(self, rng):
+        dense = Codebook.random(list("xy"), 96, rng)
+        assert np.array_equal(dense.with_backend("packed").with_backend("dense").vectors,
+                              dense.vectors)
+
+    def test_store_is_words(self, rng):
+        packed = Codebook.random(list("ab"), 128, rng, backend="packed")
+        assert packed.store.dtype == np.uint64
+        assert packed.store.shape == (2, 2)
+        assert packed.backend.name == "packed"
+
+    def test_binary_view(self, rng):
+        dense = Codebook.random(list("ab"), 64, rng)
+        packed = dense.with_backend("packed")
+        assert np.array_equal(packed.as_binary(), dense.as_binary())
+
+    def test_unknown_backend_rejected(self, rng):
+        with pytest.raises(ValueError):
+            Codebook.random(["a"], 16, rng, backend="quantum")
+
+
 class TestItemMemory:
     def test_cleanup_exact(self, rng):
         memory = ItemMemory(256)
@@ -106,3 +142,135 @@ class TestItemMemory:
         recovered = bind(record, keys[2])  # unbind key 2
         label, _ = memory.cleanup(recovered)
         assert label == "val2"
+
+    def test_index_of(self, rng):
+        memory = ItemMemory(32)
+        memory.add_many(list("abc"), random_bipolar(3, 32, rng))
+        assert memory.index_of("b") == 1
+        with pytest.raises(KeyError):
+            memory.index_of("z")
+
+    def test_matrix_cached_until_add(self, rng):
+        memory = ItemMemory(32)
+        memory.add_many(list("ab"), random_bipolar(2, 32, rng))
+        first = memory.matrix()
+        assert memory.matrix() is first  # cached, no re-stack per query
+        memory.add("c", random_bipolar(1, 32, rng)[0])
+        assert memory.matrix().shape == (3, 32)  # cache invalidated on add
+
+    def test_add_many_duplicate_labels_rejected(self, rng):
+        memory = ItemMemory(16)
+        with pytest.raises(KeyError):
+            memory.add_many(["a", "a"], random_bipolar(2, 16, rng))
+
+
+class TestItemMemoryBatched:
+    def test_cleanup_batch_matches_loop(self, rng):
+        memory = ItemMemory(512)
+        vectors = random_bipolar(8, 512, rng)
+        memory.add_many([f"v{i}" for i in range(8)], vectors)
+        queries = random_bipolar(5, 512, rng)
+        labels, sims = memory.cleanup_batch(queries)
+        for query, label, sim in zip(queries, labels, sims):
+            single_label, single_sim = memory.cleanup(query)
+            assert label == single_label
+            assert np.isclose(sim, single_sim)
+
+    def test_similarities_batch_shape(self, rng):
+        memory = ItemMemory(128)
+        memory.add_many(list("abcd"), random_bipolar(4, 128, rng))
+        sims = memory.similarities_batch(random_bipolar(6, 128, rng))
+        assert sims.shape == (6, 4)
+
+    def test_similarities_batch_rejects_wrong_shape(self, rng):
+        memory = ItemMemory(128)
+        memory.add("a", random_bipolar(1, 128, rng)[0])
+        with pytest.raises(ValueError):
+            memory.similarities_batch(random_bipolar(2, 64, rng))
+
+    def test_batch_on_empty_memory_raises(self, rng):
+        with pytest.raises(LookupError):
+            ItemMemory(16).cleanup_batch(random_bipolar(2, 16, rng))
+
+
+class TestPackedItemMemory:
+    def test_agrees_with_dense_on_bipolar_queries(self, rng):
+        d = 1024
+        vectors = random_bipolar(12, d, rng)
+        noisy = vectors[3].copy()
+        flip = rng.choice(d, size=d // 5, replace=False)
+        noisy[flip] *= -1
+        queries = np.stack([noisy, vectors[7], vectors[0]])
+        dense = ItemMemory(d)
+        packed = ItemMemory(d, backend="packed")
+        labels = [f"v{i}" for i in range(12)]
+        dense.add_many(labels, vectors)
+        packed.add_many(labels, vectors)
+        dense_labels, dense_sims = dense.cleanup_batch(queries)
+        packed_labels, packed_sims = packed.cleanup_batch(queries)
+        assert dense_labels == packed_labels == ["v3", "v7", "v0"]
+        assert np.allclose(dense_sims, packed_sims)
+
+    def test_packed_storage_is_smaller(self, rng):
+        d = 1024
+        vectors = random_bipolar(8, d, rng)
+        dense = ItemMemory(d)
+        packed = ItemMemory(d, backend="packed")
+        dense.add_many(list("abcdefgh"), vectors)
+        packed.add_many(list("abcdefgh"), vectors)
+        assert dense.measured_bytes() == 8 * packed.measured_bytes()
+        assert np.array_equal(dense.matrix(), packed.matrix())
+
+    def test_packed_topk(self, rng):
+        memory = ItemMemory(512, backend="packed")
+        vectors = random_bipolar(6, 512, rng)
+        memory.add_many(list("abcdef"), vectors)
+        top = memory.topk(vectors[1], k=3)
+        assert top[0][0] == "b"
+        assert np.isclose(top[0][1], 1.0)
+
+    def test_failed_add_leaves_memory_unchanged(self, rng):
+        """A conversion error must not half-register the label."""
+        memory = ItemMemory(32, backend="packed")
+        with pytest.raises(ValueError):
+            memory.add("a", np.zeros(32))  # not bipolar
+        assert len(memory) == 0
+        assert "a" not in memory
+        memory.add("a", random_bipolar(1, 32, rng)[0])  # retry succeeds
+        assert memory.cleanup(memory.matrix()[0])[0] == "a"
+
+    def test_failed_add_many_leaves_memory_unchanged(self, rng):
+        """A bad row anywhere in the batch must not commit earlier rows."""
+        memory = ItemMemory(32, backend="packed")
+        vectors = random_bipolar(3, 32, rng)
+        bad = vectors.copy()
+        bad[2, 0] = 0  # not bipolar
+        with pytest.raises(ValueError):
+            memory.add_many(list("abc"), bad)
+        assert len(memory) == 0
+        memory.add_many(list("abc"), vectors)  # retry succeeds wholesale
+        assert len(memory) == 3
+
+    def test_single_resident_copy_after_query(self, rng):
+        """Pending rows fold into the contiguous store; adds still work after."""
+        memory = ItemMemory(128, backend="packed")
+        memory.add_many(list("ab"), random_bipolar(2, 128, rng))
+        assert memory.measured_bytes() == 2 * 128 // 8
+        assert memory._pending == []  # folded, matrix is the only copy
+        later = random_bipolar(1, 128, rng)[0]
+        memory.add("c", later)
+        label, sim = memory.cleanup(later)  # rebuild path after fold
+        assert label == "c" and np.isclose(sim, 1.0)
+        assert memory.measured_bytes() == 3 * 128 // 8
+
+    def test_packed_rejects_real_valued_queries_with_guidance(self, rng):
+        memory = ItemMemory(32, backend="packed")
+        memory.add("a", random_bipolar(1, 32, rng)[0])
+        with pytest.raises(ValueError, match="backend='dense'"):
+            memory.cleanup(np.zeros(32))
+
+    def test_packed_wrong_dim_query_names_shape(self, rng):
+        memory = ItemMemory(32, backend="packed")
+        memory.add("a", random_bipolar(1, 32, rng)[0])
+        with pytest.raises(ValueError, match="last axis 32"):
+            memory.cleanup(random_bipolar(1, 16, rng)[0])

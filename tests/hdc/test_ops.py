@@ -9,9 +9,11 @@ from repro.hdc import (
     bind,
     bind_binary,
     bundle,
+    bundle_many,
     cosine_similarity,
     dot_similarity,
     hamming_distance,
+    hamming_distance_many,
     inverse_permute,
     normalized_hamming,
     permute,
@@ -105,6 +107,44 @@ class TestBundle:
             bundle(np.array([[0, 1], [1, 0]]))
 
 
+class TestBundleMany:
+    def test_matches_per_row_bundle_deterministic(self, rng):
+        """Without rng (ties → +1) the batched path equals a Python loop."""
+        stacks = random_bipolar(4 * 6, 64, rng).reshape(4, 6, 64)
+        batched = bundle_many(stacks)
+        looped = np.stack([bundle(stack) for stack in stacks])
+        assert np.array_equal(batched, looped)
+
+    def test_odd_n_matches_loop_with_rng(self, rng):
+        """Odd n has no ties, so rng is never consumed and paths agree."""
+        stacks = random_bipolar(3 * 5, 32, rng).reshape(3, 5, 32)
+        batched = bundle_many(stacks, rng=np.random.default_rng(0))
+        looped = np.stack(
+            [bundle(stack, rng=np.random.default_rng(0)) for stack in stacks]
+        )
+        assert np.array_equal(batched, looped)
+
+    def test_tie_breaking_reproducible(self):
+        """Documented contract: one draw over the flattened tie mask."""
+        stacks = np.array([[[1, -1], [-1, 1]], [[1, 1], [-1, -1]]], dtype=np.int8)
+        a = bundle_many(stacks, rng=np.random.default_rng(7))
+        b = bundle_many(stacks, rng=np.random.default_rng(7))
+        assert np.array_equal(a, b)
+        assert set(np.unique(a)) <= {-1, 1}
+
+    def test_ties_deterministic_without_rng(self):
+        stacks = np.array([[[1, -1], [-1, 1]]], dtype=np.int8)
+        assert np.array_equal(bundle_many(stacks), [[1, 1]])
+
+    def test_rejects_non_3d(self, rng):
+        with pytest.raises(ValueError):
+            bundle_many(random_bipolar(4, 16, rng))
+
+    def test_rejects_non_bipolar(self):
+        with pytest.raises(ValueError):
+            bundle_many(np.zeros((1, 2, 4)))
+
+
 class TestPermute:
     @settings(max_examples=30, deadline=None)
     @given(seed=st.integers(0, 2**16), shift=st.integers(-10, 10))
@@ -153,3 +193,23 @@ class TestSimilarities:
     def test_hamming_shape_mismatch(self, rng):
         with pytest.raises(ValueError):
             hamming_distance(np.ones(4), np.ones(5))
+
+    def test_hamming_many_matches_loops(self, rng):
+        a = random_bipolar(4, 128, rng)
+        b = random_bipolar(3, 128, rng)
+        matrix = hamming_distance_many(a, b)
+        assert matrix.shape == (4, 3)
+        for i in range(4):
+            for j in range(3):
+                assert matrix[i, j] == hamming_distance(a[i], b[j])
+
+    def test_hamming_many_shapes(self, rng):
+        a = random_bipolar(4, 64, rng)
+        b = random_bipolar(3, 64, rng)
+        assert hamming_distance_many(a[0], b).shape == (3,)
+        assert hamming_distance_many(a, b[0]).shape == (4,)
+        assert hamming_distance_many(a[0], b[0]) == hamming_distance(a[0], b[0])
+
+    def test_hamming_many_dimension_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            hamming_distance_many(random_bipolar(2, 8, rng), random_bipolar(2, 16, rng))

@@ -9,7 +9,6 @@ from repro.metrics import (
     average_precision,
     confusion_matrix,
     group_top1_accuracy,
-    group_wmap,
     is_pareto_optimal,
     mean_average_precision,
     pareto_front,

@@ -1,7 +1,5 @@
 """Optimizers and schedulers: convergence and exact update rules."""
 
-import math
-
 import numpy as np
 import pytest
 

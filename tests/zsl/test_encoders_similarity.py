@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro import nn
-from repro.data import toy_schema
 from repro.utils.rng import seeded_rng
 from repro.zsl import (
     HDCAttributeEncoder,
@@ -67,6 +66,28 @@ class TestHDCEncoder:
         b.load_state_dict(a.state_dict())
         assert np.array_equal(b.group_codebook.data, a.group_codebook.data)
 
+    def test_packed_backend_identical_dictionary(self, small_schema):
+        """Backend choice never changes the encoder's decisions per seed."""
+        dense = HDCAttributeEncoder(small_schema, dim=64, rng=seeded_rng(5))
+        packed = HDCAttributeEncoder(
+            small_schema, dim=64, rng=seeded_rng(5), backend="packed"
+        )
+        assert packed.backend_name == "packed"
+        assert np.array_equal(
+            dense.dictionary_tensor().data, packed.dictionary_tensor().data
+        )
+        A = np.linspace(0, 1, 3 * small_schema.num_attributes).reshape(3, -1)
+        assert np.allclose(dense(A).data, packed(A).data)
+
+    def test_packed_backend_measured_footprint(self, small_schema):
+        dense = HDCAttributeEncoder(small_schema, dim=64, rng=seeded_rng(5))
+        packed = HDCAttributeEncoder(
+            small_schema, dim=64, rng=seeded_rng(5), backend="packed"
+        )
+        assert dense.memory_report().measured_bytes == (
+            8 * packed.memory_report().measured_bytes
+        )
+
 
 class TestMLPEncoder:
     def test_trainable(self, small_schema):
@@ -90,6 +111,17 @@ class TestMLPEncoder:
         assert isinstance(mlp, MLPAttributeEncoder)
         with pytest.raises(ValueError):
             build_attribute_encoder("transformer", small_schema, 16, seeded_rng(0))
+
+    def test_factory_threads_backend(self, small_schema):
+        hdc = build_attribute_encoder(
+            "hdc", small_schema, 16, seeded_rng(0), backend="packed"
+        )
+        assert hdc.backend_name == "packed"
+        # the MLP variant has no codebooks; the backend choice is ignored
+        mlp = build_attribute_encoder(
+            "mlp", small_schema, 16, seeded_rng(0), backend="packed"
+        )
+        assert isinstance(mlp, MLPAttributeEncoder)
 
 
 class TestSimilarityKernel:

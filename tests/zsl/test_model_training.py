@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro import nn
-from repro.data import SyntheticCUB, make_split, toy_schema
+from repro.data import SyntheticCUB, make_split
 from repro.models import ImageEncoder, mini_resnet50
 from repro.utils.rng import seeded_rng
 from repro.zsl import (

@@ -1,10 +1,7 @@
 """PipelineConfig / build_model wiring."""
 
 import numpy as np
-import pytest
 
-from repro import nn
-from repro.data import toy_schema
 from repro.zsl import PipelineConfig, build_model
 from repro.zsl.attribute_encoders import HDCAttributeEncoder, MLPAttributeEncoder
 
@@ -52,6 +49,22 @@ class TestBuildModel:
     def test_temperature_propagates(self, small_schema):
         model = build_model(small_schema, PipelineConfig(embedding_dim=16, temperature=0.7, seed=0))
         assert np.isclose(model.kernel.temperature, 0.7)
+
+    def test_hdc_backend_propagates(self, small_schema):
+        config = PipelineConfig(embedding_dim=16, hdc_backend="packed", seed=0)
+        model = build_model(small_schema, config)
+        assert model.attribute_encoder.backend_name == "packed"
+
+    def test_hdc_backend_invisible_to_decisions(self, small_schema):
+        """Identical dictionaries (hence predictions) per seed on either backend."""
+        dense = build_model(small_schema, PipelineConfig(embedding_dim=16, seed=5))
+        packed = build_model(
+            small_schema, PipelineConfig(embedding_dim=16, hdc_backend="packed", seed=5)
+        )
+        assert np.array_equal(
+            dense.attribute_encoder.dictionary_tensor().data,
+            packed.attribute_encoder.dictionary_tensor().data,
+        )
 
     def test_codebook_and_weights_use_independent_streams(self, small_schema):
         """Different subsystems derive decorrelated RNG streams from one seed."""
