@@ -13,10 +13,15 @@ def test_fig5_regeneration(benchmark):
     results = once(benchmark, run_fig5, scale="quick", seed=0, max_epochs_cap=10)
     print()
     print(format_fig5(results))
-    assert set(results) == set(SWEEPS)
-    for series in results.values():
-        for _, top1 in series:
+    sweep_keys = {key for key in results if not key.startswith("_")}
+    assert sweep_keys == set(SWEEPS)
+    for key in sweep_keys:
+        for _, top1 in results[key]:
             assert 0.0 <= top1 <= 100.0
+    # The store-backed deployment entry rides along with the sweep.
+    deployment = results["_store"]
+    assert 0.0 <= deployment["top1"] <= 100.0
+    assert deployment["store"]["shards"] == 1  # quick scale default
     # Shape check: the degenerate learning rate must not be the best one.
     lr_series = dict(results["lr"])
     assert lr_series[1e-6] <= max(lr_series.values())

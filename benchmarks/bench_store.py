@@ -1,0 +1,155 @@
+"""Store-layer benchmarks: build/query throughput from 1k to 1M items.
+
+Streams synthetic packed hypervectors into a sharded
+:class:`~repro.hdc.store.AssociativeStore`, times ingestion and batched
+cleanup at each decade, and records the scaling curve in
+``BENCH_store.json`` (linked from ROADMAP.md's perf-trajectory note).
+Also times the persistence cycle at the largest size: save, lazy memmap
+open (milliseconds regardless of store size), and the first query that
+actually pages the data in.
+
+The full sweep ends at one million items and takes a couple of minutes;
+it runs as a plain pytest test (``pytest benchmarks/bench_store.py``)
+but is deliberately not part of the tier-1 suite. Set
+``BENCH_STORE_MAX_ITEMS`` to cap the sweep (e.g. ``100000``) for a quick
+look — the JSON is only (re)written when the sweep ran to the full
+million so a capped run never truncates the recorded curve.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.hdc import random_bipolar
+from repro.hdc.store import AssociativeStore
+
+D = 1024  # divisible by 64: exactly 16 uint64 words per vector
+SIZES = (1_000, 10_000, 100_000, 1_000_000)
+SHARDS = 8
+QUERY_BATCH = 64
+CHUNK = 65536
+
+
+def _build(num_items, shards, rng):
+    """Stream ``num_items`` synthetic packed hypervectors into a store.
+
+    Returns the store, the pure ingestion seconds (generation excluded),
+    and a noisy query batch drawn from the stored items.
+    """
+    store = AssociativeStore(D, backend="packed", shards=shards)
+    ingest_seconds = 0.0
+    queries = None
+    for start in range(0, num_items, CHUNK):
+        rows = min(CHUNK, num_items - start)
+        vectors = random_bipolar(rows, D, rng)
+        if queries is None:  # noisy copies of the first chunk's head
+            queries = vectors[:QUERY_BATCH].copy()
+            flips = rng.integers(0, D, size=(len(queries), D // 8))
+            for row, columns in enumerate(flips):
+                queries[row, columns] *= -1
+        tick = time.perf_counter()
+        store.add_many(range(start, start + rows), vectors)
+        ingest_seconds += time.perf_counter() - tick
+    return store, ingest_seconds, queries
+
+
+def _best_of(fn, repeats):
+    fn()  # warmup
+    return min(
+        (lambda t0: (fn(), time.perf_counter() - t0)[1])(time.perf_counter())
+        for _ in range(repeats)
+    )
+
+
+def test_store_scaling_json():
+    """Record the 1k→1M build/query scaling curve (the tentpole's numbers)."""
+    max_items = int(os.environ.get("BENCH_STORE_MAX_ITEMS", SIZES[-1]))
+    sizes = [size for size in SIZES if size <= max_items]
+    curve = []
+    persistence = None
+    for num_items in sizes:
+        rng = np.random.default_rng(num_items)
+        store, ingest_seconds, queries = _build(num_items, SHARDS, rng)
+        repeats = 1 if num_items >= 1_000_000 else 3
+        query_seconds = _best_of(lambda: store.cleanup_batch(queries), repeats)
+        # Decisions sanity: the noisy queries must recall their items.
+        labels, _ = store.cleanup_batch(queries)
+        assert labels == list(range(len(queries)))
+        curve.append(
+            {
+                "items": num_items,
+                "shards": SHARDS,
+                "ingest_seconds": ingest_seconds,
+                "ingest_rows_per_second": num_items / ingest_seconds,
+                "query_seconds": query_seconds,
+                "query_batch": len(queries),
+                "queries_per_second": len(queries) / query_seconds,
+                "item_compares_per_second": num_items * len(queries) / query_seconds,
+                "store_bytes": store.measured_bytes(),
+                "bytes_per_item": store.measured_bytes() / num_items,
+            }
+        )
+        if num_items == sizes[-1]:
+            persistence = _persistence_cycle(store, queries)
+        del store
+
+    result = {
+        "config": {
+            "dim": D,
+            "backend": "packed",
+            "shards": SHARDS,
+            "query_batch": QUERY_BATCH,
+            "chunk": CHUNK,
+        },
+        "curve": curve,
+        "persistence": persistence,
+    }
+    # Packed storage really is 1 bit per component at every size.
+    for point in curve:
+        assert point["bytes_per_item"] == D // 8
+    if sizes[-1] == SIZES[-1]:  # only a full sweep may update the record
+        out_path = Path(__file__).parent / "BENCH_store.json"
+        out_path.write_text(json.dumps(result, indent=2) + "\n")
+
+
+def _persistence_cycle(store, queries, tmp_root=None):
+    """save → lazy open → first query, timed (run at the largest size)."""
+    import shutil
+    import tempfile
+
+    tmp = Path(tempfile.mkdtemp(dir=tmp_root))
+    try:
+        tick = time.perf_counter()
+        store.save(tmp / "store")
+        save_seconds = time.perf_counter() - tick
+        tick = time.perf_counter()
+        reopened = AssociativeStore.open(tmp / "store")
+        open_seconds = time.perf_counter() - tick
+        tick = time.perf_counter()
+        labels, _ = reopened.cleanup_batch(queries)
+        first_query_seconds = time.perf_counter() - tick
+        in_memory_labels, _ = store.cleanup_batch(queries)
+        assert labels == in_memory_labels  # memmap answers bit-identically
+        return {
+            "items": len(store),
+            "save_seconds": save_seconds,
+            "open_seconds": open_seconds,
+            "first_query_seconds": first_query_seconds,
+        }
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def test_sharding_overhead_is_bounded():
+    """At 10k items, the fan-out/merge must stay within 4x of one shard."""
+    single, _, queries = _build(10_000, 1, np.random.default_rng(1))
+    sharded, _, _ = _build(10_000, SHARDS, np.random.default_rng(1))
+    single_seconds = _best_of(lambda: single.cleanup_batch(queries), 3)
+    sharded_seconds = _best_of(lambda: sharded.cleanup_batch(queries), 3)
+    assert sharded.cleanup_batch(queries)[0] == single.cleanup_batch(queries)[0]
+    assert sharded_seconds < max(4 * single_seconds, 0.25), (
+        f"sharded fan-out {sharded_seconds:.3f}s vs single {single_seconds:.3f}s"
+    )

@@ -29,4 +29,11 @@ def test_table1_backend_invariance(benchmark):
         )
 
     dense, packed = once(benchmark, both_backends)
+    dense_store = dense.pop("_store")
+    packed_store = packed.pop("_store")
     assert dense == packed
+    # The attribute store's decisions are backend-invariant; its resident
+    # bytes differ by design (that's the packed backend's whole point).
+    for key in ("items", "shards", "exact_recall"):
+        assert dense_store[key] == packed_store[key]
+    assert packed_store["bytes"] * 8 == dense_store["bytes"]

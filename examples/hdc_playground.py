@@ -8,9 +8,9 @@ import numpy as np
 
 from repro.data import cub_schema
 from repro.hdc import (
+    AssociativeStore,
     AttributeDictionary,
     Codebook,
-    ItemMemory,
     PackedBackend,
     bind,
     bundle,
@@ -39,11 +39,11 @@ def main():
     print(f"unbind: cos(unbound, value)= {cosine_similarity(unbind(bound, key), value):+.3f} (=1: exact)")
 
     # --- bundling + associative cleanup ------------------------------------ #
-    memory = ItemMemory(d)
+    memory = AssociativeStore(d)
     items = random_bipolar(6, d, rng)
     memory.add_many([f"item{i}" for i in range(6)], items)
     composite = bundle(items[:3], rng=rng)
-    print("\nbundle of item0..2, cleaned up against memory:")
+    print("\nbundle of item0..2, cleaned up against the associative store:")
     for label, sim in memory.topk(composite, k=4):
         print(f"  {label}: {sim:+.3f}")
 
@@ -80,9 +80,10 @@ def main():
           f"({dictionary.measured_bytes() // packed.measured_bytes()}x smaller, "
           f"identical decisions)")
 
-    # Batched associative cleanup on the packed backend: one popcount call.
+    # Batched associative cleanup on the packed backend, fanned across a
+    # sharded store: one popcount call per shard, identical decisions.
     backend = PackedBackend(d)
-    memory = ItemMemory(d, backend="packed")
+    memory = AssociativeStore(d, backend="packed", shards=4)
     class_vectors = random_bipolar(200, d, rng)
     memory.add_many([f"class{i}" for i in range(200)], class_vectors)
     queries = class_vectors[:5].copy()
@@ -91,7 +92,7 @@ def main():
         queries[row, cols] *= -1
     labels, sims = memory.cleanup_batch(queries)
     print(f"\nbatched cleanup of 5 noisy queries against 200 stored classes "
-          f"({backend.num_words} words each):")
+          f"({backend.num_words} words each, {memory.num_shards} shards):")
     for label, sim in zip(labels, sims):
         print(f"  {label}: {sim:+.3f}")
 

@@ -45,6 +45,7 @@ def pipeline_config(scale, seed=0, **overrides):
         embedding_dim=scale.embedding_dim,
         attribute_encoder="hdc",
         hdc_backend=scale.hdc_backend,
+        store_shards=scale.store_shards,
         temperature=scale.temperature,
         seed=seed,
         pretrain_classes=scale.pretrain_classes,

@@ -43,6 +43,9 @@ class ExperimentScale:
     #: HDC codebook storage backend ("dense" reference / "packed" bit-level);
     #: backend choice never changes results, only storage and query speed.
     hdc_backend: str = "dense"
+    #: shard count of the deployment class store (repro.hdc.store);
+    #: sharding never changes decisions, only layout and scalability.
+    store_shards: int = 1
 
     def replace(self, **kwargs):
         return replace(self, **kwargs)

@@ -36,15 +36,20 @@ from .config import get_scale
 __all__ = ["run_fig4", "format_fig4", "ascii_scatter", "main"]
 
 
-def run_fig4(scale="default", seed=0, backend=None):
+def run_fig4(scale="default", seed=0, backend=None, shards=None):
     """Train all measured models; return a list of point dicts.
 
     ``backend`` overrides the scale's HDC codebook storage backend for
-    the "ours" pipelines (accuracy is backend-invariant per seed).
+    the "ours" pipelines (accuracy is backend-invariant per seed);
+    ``shards`` overrides the deployment class store's shard count (the
+    HDC point additionally reports ``store_top1``, the store-backed
+    inference path, plus the store layout stats).
     """
     scale = get_scale(scale)
     if backend is not None:
         scale = scale.replace(hdc_backend=backend)
+    if shards is not None:
+        scale = scale.replace(store_shards=shards)
     dataset = build_dataset(scale, seed=seed)
     split = make_split(dataset, "ZS", seed=seed)
     test_attrs = dataset.class_attributes[split.test_classes]
@@ -55,14 +60,17 @@ def run_fig4(scale="default", seed=0, backend=None):
     for kind, label in (("hdc", "HDC-ZSC (ours)"), ("mlp", "Trainable-MLP (ours)")):
         config = pipeline_config(scale, seed=seed, attribute_encoder=kind)
         pipeline, result = run_pipeline(dataset, split, config)
-        points.append(
-            {
-                "name": label,
-                "family": "ours",
-                "top1": result.metrics["top1"],
-                "params": pipeline.model.num_parameters(trainable_only=False),
-            }
-        )
+        point = {
+            "name": label,
+            "family": "ours",
+            "top1": result.metrics["top1"],
+            "params": pipeline.model.num_parameters(trainable_only=False),
+        }
+        if kind == "hdc":
+            store_metrics = pipeline.evaluate_store()
+            point["store_top1"] = store_metrics["top1"]
+            point["store"] = store_metrics["store"]
+        points.append(point)
 
     # --- feature-space baselines ------------------------------------------- #
     encoder = pretrained_feature_encoder(scale, seed=seed)
@@ -163,12 +171,22 @@ def ascii_scatter(specs, width=64, height=18):
     return "\n".join(lines)
 
 
-def main(scale="default", seed=0, backend=None):
-    points = run_fig4(scale=scale, seed=seed, backend=backend)
+def main(scale="default", seed=0, backend=None, shards=None):
+    points = run_fig4(scale=scale, seed=seed, backend=backend, shards=shards)
     catalog = paper_catalog()
     print(format_fig4(points, catalog))
     print()
     print(ascii_scatter(catalog))
+    for point in points:
+        if "store" in point:
+            stats = point["store"]
+            print(
+                f"\nStore-backed deployment ({point['name']}): "
+                f"top-1 {point['store_top1']:.1f}% via associative cleanup of "
+                f"{stats['items']} binarized class prototypes "
+                f"({stats['shards']} shard(s), {stats['backend']} backend, "
+                f"{stats['bytes']} bytes resident)"
+            )
     return points
 
 
@@ -178,4 +196,5 @@ if __name__ == "__main__":
     main(
         scale=sys.argv[1] if len(sys.argv) > 1 else "default",
         backend=sys.argv[2] if len(sys.argv) > 2 else None,
+        shards=int(sys.argv[3]) if len(sys.argv) > 3 else None,
     )

@@ -50,16 +50,22 @@ def _restore(model, snapshot, temperature=None):
     return model
 
 
-def run_fig5(scale="default", seed=0, sweeps=None, max_epochs_cap=None, backend=None):
+def run_fig5(scale="default", seed=0, sweeps=None, max_epochs_cap=None, backend=None,
+             shards=None):
     """Run the one-factor-at-a-time sweep; returns {hyperparam: [(value, top1)]}.
 
     ``max_epochs_cap`` optionally truncates the epochs sweep (used by the
     quick benchmark harness). ``backend`` overrides the scale's HDC
-    codebook storage backend (sweep results are backend-invariant).
+    codebook storage backend (sweep results are backend-invariant);
+    ``shards`` overrides the deployment class store's shard count
+    (threaded into the pipeline config; store decisions are
+    shard-invariant too).
     """
     scale = get_scale(scale)
     if backend is not None:
         scale = scale.replace(hdc_backend=backend)
+    if shards is not None:
+        scale = scale.replace(store_shards=shards)
     sweeps = dict(sweeps or SWEEPS)
     if max_epochs_cap is not None:
         sweeps["epochs"] = tuple(e for e in sweeps["epochs"] if e <= max_epochs_cap)
@@ -110,13 +116,24 @@ def run_fig5(scale="default", seed=0, sweeps=None, max_epochs_cap=None, backend=
                 )
                 series.append((value, metrics["top1"]))
             results[hyperparam] = series
+        # Store-backed deployment check from the shared Phase I+II
+        # snapshot (the sweep's common ancestor): binarized prototypes of
+        # the val split's unseen classes in the configured sharded store.
+        _restore(pipeline.model, snapshot)
+        results["_store"] = pipeline.evaluate_store()
     return results
 
 
 def format_fig5(results):
-    """Render one small table per swept hyperparameter."""
+    """Render one small table per swept hyperparameter.
+
+    Keys starting with ``_`` (e.g. the ``_store`` deployment entry) are
+    metadata, not sweeps, and are skipped.
+    """
     blocks = []
     for hyperparam, series in results.items():
+        if hyperparam.startswith("_"):
+            continue
         rows = [[f"{value:g}", f"{top1:.1f}"] for value, top1 in series]
         blocks.append(
             format_table(
@@ -127,13 +144,22 @@ def format_fig5(results):
     return "\n\n".join(blocks)
 
 
-def main(scale="default", seed=0, backend=None):
-    results = run_fig5(scale=scale, seed=seed, backend=backend)
+def main(scale="default", seed=0, backend=None, shards=None):
+    results = run_fig5(scale=scale, seed=seed, backend=backend, shards=shards)
     print(format_fig5(results))
     epoch_series = dict(results).get("epochs", [])
     if epoch_series:
         best_epochs = max(epoch_series, key=lambda pair: pair[1])[0]
         print(f"\nBest epoch count: {best_epochs} (paper: ~10 epochs suffice)")
+    if "_store" in results:
+        deployment = results["_store"]
+        stats = deployment["store"]
+        print(
+            f"Store-backed deployment (Phase I+II snapshot): "
+            f"val top-1 {deployment['top1']:.1f}% via {stats['items']} binarized "
+            f"class prototypes ({stats['shards']} shard(s), {stats['backend']} "
+            f"backend, {stats['bytes']} bytes resident)"
+        )
     return results
 
 
@@ -143,4 +169,5 @@ if __name__ == "__main__":
     main(
         scale=sys.argv[1] if len(sys.argv) > 1 else "default",
         backend=sys.argv[2] if len(sys.argv) > 2 else None,
+        shards=int(sys.argv[3]) if len(sys.argv) > 3 else None,
     )

@@ -30,17 +30,23 @@ from .config import get_scale
 __all__ = ["run_table1", "format_table1", "main"]
 
 
-def run_table1(scale="default", seed=0, backend=None):
+def run_table1(scale="default", seed=0, backend=None, shards=None):
     """Train ours + both baselines once and return the per-group report.
 
     Returns a dict: ``group → {ours_wmap, finetag_wmap, ours_top1,
-    a3m_top1}`` (+ ``average``), all in percent. ``backend`` overrides
-    the scale's HDC codebook storage backend ("dense"/"packed"); results
-    are identical either way — only storage and query cost change.
+    a3m_top1}`` (+ ``average``), all in percent, plus a ``"_store"``
+    entry describing the attribute-level item memory (the dictionary
+    ``B`` loaded into an ``AssociativeStore``, ``shards`` overriding the
+    scale's ``store_shards``) with an exact-recall check through the
+    store's cleanup path. ``backend`` overrides the scale's HDC codebook
+    storage backend ("dense"/"packed"); results are identical either way
+    — only storage and query cost change.
     """
     scale = get_scale(scale)
     if backend is not None:
         scale = scale.replace(hdc_backend=backend)
+    if shards is not None:
+        scale = scale.replace(store_shards=shards)
     dataset = build_dataset(scale, seed=seed)
     split = make_split(dataset, "noZS", seed=seed)
 
@@ -51,6 +57,18 @@ def run_table1(scale="default", seed=0, backend=None):
     test_targets = split.test_attribute_targets
     ours = evaluate_attribute_extraction(
         pipeline.model, split.test_images, test_targets, dataset.schema
+    )
+
+    # --- the attribute-level item memory, through the store facade -------- #
+    store = pipeline.model.attribute_encoder.attribute_store(
+        shards=scale.store_shards
+    )
+    recalled, _ = store.cleanup_batch(
+        pipeline.model.attribute_encoder.dictionary.matrix()
+    )
+    store_report = store.stats()
+    store_report["exact_recall"] = float(
+        np.mean([label == hit for label, hit in zip(store.labels, recalled)]) * 100.0
     )
 
     # --- baselines on frozen pre-trained features ------------------------- #
@@ -82,14 +100,19 @@ def run_table1(scale="default", seed=0, backend=None):
             "a3m_top1": a3m_report[key]["top1"],
             "ours_top1": ours[key]["top1"],
         }
+    report["_store"] = store_report
     return report
 
 
 def format_table1(report):
-    """Render the report in the paper's Table I layout."""
+    """Render the report in the paper's Table I layout.
+
+    Keys starting with ``_`` (e.g. the ``_store`` deployment entry) are
+    metadata, not attribute groups, and are skipped.
+    """
     rows = []
     for group, cells in report.items():
-        if group == "average":
+        if group == "average" or group.startswith("_"):
             continue
         rows.append(
             [
@@ -117,8 +140,8 @@ def format_table1(report):
     )
 
 
-def main(scale="default", seed=0, backend=None):
-    report = run_table1(scale=scale, seed=seed, backend=backend)
+def main(scale="default", seed=0, backend=None, shards=None):
+    report = run_table1(scale=scale, seed=seed, backend=backend, shards=shards)
     print(format_table1(report))
     avg = report["average"]
     print(
@@ -126,6 +149,14 @@ def main(scale="default", seed=0, backend=None):
         f"ours-vs-A3M top-1 {avg['ours_top1'] - avg['a3m_top1']:+.2f} "
         f"(paper: +4.14 WMAP, +36.71 top-1)"
     )
+    if "_store" in report:
+        stats = report["_store"]
+        print(
+            f"Attribute item memory: {stats['items']} codevectors, "
+            f"{stats['shards']} shard(s) ({stats['backend']} backend, "
+            f"{stats['bytes']} bytes resident), "
+            f"store cleanup exact recall {stats['exact_recall']:.1f}%"
+        )
     return report
 
 
@@ -135,4 +166,5 @@ if __name__ == "__main__":
     main(
         scale=sys.argv[1] if len(sys.argv) > 1 else "default",
         backend=sys.argv[2] if len(sys.argv) > 2 else None,
+        shards=int(sys.argv[3]) if len(sys.argv) > 3 else None,
     )

@@ -34,16 +34,22 @@ def _mini_dim(scale, full_dim):
     return max(8, int(round(scale.embedding_dim * full_dim / 2048)))
 
 
-def run_table2(scale="default", seed=0, backend=None):
+def run_table2(scale="default", seed=0, backend=None, shards=None):
     """Train all 8 (image encoder × attribute encoder) configurations.
 
-    Returns ``[{label, d, hdc, mlp}]`` rows with top-1 % accuracies.
-    ``backend`` overrides the scale's HDC storage backend; the HDC
-    column's decisions are identical on either backend per seed.
+    Returns ``[{label, d, hdc, hdc_store, mlp}]`` rows with top-1 %
+    accuracies; ``hdc_store`` is the store-backed deployment path
+    (associative cleanup of binarized embeddings against the sharded
+    class store). ``backend`` overrides the scale's HDC storage backend;
+    the HDC column's decisions are identical on either backend per seed.
+    ``shards`` overrides the scale's deployment-store shard count, which
+    never changes the store decisions either.
     """
     scale = get_scale(scale)
     if backend is not None:
         scale = scale.replace(hdc_backend=backend)
+    if shards is not None:
+        scale = scale.replace(store_shards=shards)
     dataset = build_dataset(scale, seed=seed)
     split = make_split(dataset, "ZS", seed=seed)
     rows = []
@@ -57,27 +63,40 @@ def run_table2(scale="default", seed=0, backend=None):
                 embedding_dim=_mini_dim(scale, full_dim) if use_fc else None,
                 attribute_encoder=kind,
             )
-            _, result = run_pipeline(dataset, split, config)
+            pipeline, result = run_pipeline(dataset, split, config)
             row[kind] = result.metrics["top1"]
+            if kind == "hdc":
+                row["hdc_store"] = pipeline.evaluate_store()["top1"]
         rows.append(row)
     return rows
 
 
 def format_table2(rows):
-    """Render in the paper's Table II layout."""
+    """Render in the paper's Table II layout.
+
+    The store-backed deployment column appears when the rows carry it
+    (``run_table2`` always does; hand-built rows may not).
+    """
+    with_store = all("hdc_store" in row for row in rows)
     body = [
-        [row["label"], row["pretrain"], row["d"], f"{row['hdc']:.1f}", f"{row['mlp']:.1f}"]
+        [row["label"], row["pretrain"], row["d"], f"{row['hdc']:.1f}"]
+        + ([f"{row['hdc_store']:.1f}"] if with_store else [])
+        + [f"{row['mlp']:.1f}"]
         for row in rows
     ]
+    headers = ["Image Encoder", "Pre-train", "d (full-scale)", "HDC ZSC top-1%"]
+    if with_store:
+        headers.append("HDC store top-1%")
+    headers.append("MLP top-1%")
     return format_table(
-        ["Image Encoder", "Pre-train", "d (full-scale)", "HDC ZSC top-1%", "MLP top-1%"],
+        headers,
         body,
         title="Table II — encoder ablation (ZS split)",
     )
 
 
-def main(scale="default", seed=0, backend=None):
-    rows = run_table2(scale=scale, seed=seed, backend=backend)
+def main(scale="default", seed=0, backend=None, shards=None):
+    rows = run_table2(scale=scale, seed=seed, backend=backend, shards=shards)
     print(format_table2(rows))
     best = max(rows, key=lambda r: r["hdc"])
     print(f"\nBest HDC configuration: {best['label']} (paper: ResNet50+FC d=1536)")
@@ -90,4 +109,5 @@ if __name__ == "__main__":
     main(
         scale=sys.argv[1] if len(sys.argv) > 1 else "default",
         backend=sys.argv[2] if len(sys.argv) > 2 else None,
+        shards=int(sys.argv[3]) if len(sys.argv) > 3 else None,
     )

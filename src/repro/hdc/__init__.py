@@ -3,7 +3,9 @@
 Implements the paper's HDC machinery: Rademacher hypervector sampling,
 the bipolar/binary algebra (bind ⊙ / bundle + / permute ρ / unbind ⊘),
 pluggable dense/bit-packed storage backends, codebooks, associative item
-memory with batched cleanup, the two-codebook attribute dictionary
+memory with batched cleanup, the sharded store subsystem
+(:mod:`repro.hdc.store`: ``AssociativeStore`` facade, label-routed
+shards, memmap persistence), the two-codebook attribute dictionary
 ``b_x = g_y ⊙ v_z``, quasi-orthogonality analytics and the memory
 footprint accounting behind the 17 KB / 71 % claims.
 """
@@ -28,6 +30,7 @@ from .hypervector import (
     unpack_bits,
 )
 from .item_memory import ItemMemory
+from .store import AssociativeStore, ShardedItemMemory, open_store, save_store
 from .ops import (
     bind,
     bind_binary,
@@ -75,6 +78,10 @@ __all__ = [
     "normalized_hamming",
     "Codebook",
     "ItemMemory",
+    "AssociativeStore",
+    "ShardedItemMemory",
+    "save_store",
+    "open_store",
     "AttributeDictionary",
     "pairwise_similarities",
     "orthogonality_report",

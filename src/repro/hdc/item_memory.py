@@ -2,7 +2,9 @@
 
 A standard HDC component: stores labelled hypervectors and retrieves the
 best-matching stored item for a noisy query. Used in this repository for
-attribute-dictionary analysis and in the HDC example applications.
+attribute-dictionary analysis and in the HDC example applications, and as
+the single-shard reference implementation underneath the sharded store
+subsystem (:mod:`repro.hdc.store`).
 
 Design notes for scale:
 
@@ -10,9 +12,18 @@ Design notes for scale:
 - the stored stack is kept as one contiguous backend-native matrix;
   rows added since the last query fold into it lazily, so queries never
   re-``np.stack`` and the steady-state residency is a single copy;
-- the query API is batched first-class: :meth:`similarities_batch` and
-  :meth:`cleanup_batch` score ``(B, d)`` queries against all ``n`` items
-  in a single matmul (dense) or popcount (packed) call.
+- the query API is batched first-class: :meth:`similarities_batch`,
+  :meth:`cleanup_batch` and :meth:`topk_batch` score ``(B, d)`` queries
+  against all ``n`` items in a single matmul (dense) or popcount
+  (packed) call;
+- :meth:`from_native` adopts an existing backend-native matrix (for
+  example an ``np.memmap`` over a saved shard file) without copying.
+
+Tie-breaking contract (shared with :class:`repro.hdc.store`): queries
+rank stored items by similarity *descending*, and exact similarity ties
+resolve to the earliest-inserted label. ``cleanup``/``cleanup_batch``
+realize this through ``argmax`` (first maximum wins); ``topk`` uses a
+stable sort on the negated similarities.
 """
 
 from __future__ import annotations
@@ -20,7 +31,7 @@ from __future__ import annotations
 import numpy as np
 
 from .backend import make_backend
-from .ops import cosine_similarity
+from .hypervector import is_bipolar
 
 __all__ = ["ItemMemory"]
 
@@ -52,21 +63,73 @@ class ItemMemory:
         self._matrix = None
         self._pending = []
 
+    @classmethod
+    def from_native(cls, dim, labels, matrix, backend="dense"):
+        """Adopt a backend-native ``(n, ·)`` matrix without copying it.
+
+        ``matrix`` must already be in the backend's storage layout
+        (dense: ``(n, dim)`` int8; packed: ``(n, ⌈dim/64⌉)`` uint64) —
+        e.g. a read-only ``np.memmap`` over a saved shard file. The
+        matrix is used as the store directly, so a memmap stays lazy
+        until queried. Rows added afterwards fold in normally (which
+        materializes the memmap into RAM on the next query).
+        """
+        memory = cls(dim, backend=backend)
+        labels = list(labels)
+        matrix = np.asanyarray(matrix)
+        expected = memory._backend.from_bipolar(
+            np.ones((0, dim), dtype=np.int8)
+        )
+        if matrix.ndim != 2 or matrix.shape[1:] != expected.shape[1:]:
+            raise ValueError(
+                f"expected a native ({len(labels)}, {expected.shape[1]}) store, "
+                f"got {matrix.shape}"
+            )
+        if matrix.dtype != expected.dtype:
+            raise ValueError(
+                f"expected a {expected.dtype} native store, got {matrix.dtype}"
+            )
+        if matrix.shape[0] != len(labels):
+            raise ValueError(f"{len(labels)} labels but {matrix.shape[0]} stored rows")
+        if len(set(labels)) != len(labels):
+            raise ValueError("duplicate labels in from_native")
+        memory._labels = labels
+        memory._label_index = {label: i for i, label in enumerate(labels)}
+        if matrix.flags.writeable:
+            # Freeze a zero-copy view, not the caller's array in place.
+            matrix = matrix.view()
+            matrix.setflags(write=False)
+        memory._matrix = matrix
+        return memory
+
     @property
     def backend(self):
         """The storage/compute backend holding the stored items."""
         return self._backend
 
+    def _check_rows(self, vectors, expected_shape):
+        """Validate shape and bipolarity before any conversion/commit."""
+        if vectors.shape != expected_shape:
+            raise ValueError(f"expected shape {expected_shape}, got {vectors.shape}")
+        if not is_bipolar(vectors):
+            raise ValueError(
+                "stored vectors must be bipolar (+1/-1); the dense backend would "
+                "otherwise silently truncate components to int8"
+            )
+
     def add(self, label, vector):
-        """Store ``vector`` under ``label`` (labels must be unique)."""
+        """Store ``vector`` under ``label``.
+
+        Raises ``ValueError`` on a duplicate label, on a shape other than
+        ``(dim,)``, and on non-bipolar components (which the dense
+        backend would otherwise truncate silently).
+        """
         vector = np.asarray(vector)
-        if vector.shape != (self.dim,):
-            raise ValueError(f"expected shape ({self.dim},), got {vector.shape}")
+        self._check_rows(vector, (self.dim,))
         if label in self._label_index:
-            raise KeyError(f"label {label!r} already stored")
-        # Convert before touching any state: a failed conversion (e.g. a
-        # non-bipolar vector on the packed backend) must leave the memory
-        # exactly as it was.
+            raise ValueError(f"label {label!r} already stored")
+        # Convert before touching any state: a failed conversion must
+        # leave the memory exactly as it was.
         row = self._backend.from_bipolar(vector)
         self._label_index[label] = len(self._labels)
         self._labels.append(label)
@@ -77,21 +140,31 @@ class ItemMemory:
 
         Atomic like :meth:`add`: every label and vector is validated and
         converted (in one batched call) before any state changes, so a
-        failure leaves the memory untouched.
+        failure leaves the memory untouched. Raises ``ValueError`` on
+        label/vector count mismatch, duplicate labels (within the batch
+        or against the store), a shape other than ``(len(labels), dim)``,
+        and non-bipolar components.
         """
         labels = list(labels)
         vectors = np.asarray(vectors)
         if len(labels) != len(vectors):
-            raise ValueError("labels and vectors must align")
+            raise ValueError(
+                f"labels and vectors must align: {len(labels)} labels, "
+                f"{len(vectors)} vectors"
+            )
         if not labels:
             return
-        if vectors.ndim != 2 or vectors.shape[1] != self.dim:
-            raise ValueError(f"expected ({len(labels)}, {self.dim}) vectors, got {vectors.shape}")
+        if vectors.ndim != 2:
+            raise ValueError(
+                f"expected a 2-D ({len(labels)}, {self.dim}) vector stack, "
+                f"got {vectors.ndim}-D {vectors.shape}"
+            )
+        self._check_rows(vectors, (len(labels), self.dim))
         if len(set(labels)) != len(labels):
-            raise KeyError("duplicate labels in add_many")
+            raise ValueError("duplicate labels in add_many")
         for label in labels:
             if label in self._label_index:
-                raise KeyError(f"label {label!r} already stored")
+                raise ValueError(f"label {label!r} already stored")
         rows = self._backend.from_bipolar(vectors)
         for label, row in zip(labels, rows):
             self._label_index[label] = len(self._labels)
@@ -133,6 +206,10 @@ class ItemMemory:
             self._matrix.setflags(write=False)
         return self._matrix
 
+    def native_matrix(self):
+        """The read-only backend-native store (used by the persistence layer)."""
+        return self._native_matrix()
+
     def matrix(self):
         """The stored vectors as a read-only ``(n, dim)`` bipolar array."""
         native = self._native_matrix()
@@ -159,21 +236,51 @@ class ItemMemory:
                 "use ItemMemory(dim, backend='dense') for real-valued queries"
             ) from exc
 
+    #: target size (bytes) of the float64 store-conversion temporary
+    _DENSE_BLOCK_BYTES = 4 << 20
+
+    def _dense_similarities(self, queries):
+        """Dense cosine with the matmul *before* normalization.
+
+        The raw ``queries @ storeᵀ`` dot of float64 against bipolar rows
+        is exact for integer-valued queries (every partial sum is an
+        exactly-representable integer), and the stored rows all have norm
+        ``√d``, so each similarity entry is a deterministic elementwise
+        function of its own row — bit-identical no matter how the store
+        is sharded. (:func:`repro.hdc.ops.cosine_similarity` normalizes
+        first, which loses that property.)
+
+        The int8 store converts to float64 in bounded row blocks, so the
+        conversion temporary stays ~4 MB however large the store grows —
+        the same discipline as the backends' blocked Hamming kernels.
+        """
+        queries = queries.astype(np.float64)
+        norms = np.linalg.norm(queries, axis=1)
+        if (norms == 0).any():
+            raise ValueError("cosine similarity undefined for zero vectors")
+        native = self._native_matrix()
+        dots = np.empty((queries.shape[0], native.shape[0]), dtype=np.float64)
+        block = max(1, self._DENSE_BLOCK_BYTES // (8 * max(1, self.dim)))
+        for start in range(0, native.shape[0], block):
+            stop = start + block
+            dots[:, start:stop] = queries @ native[start:stop].astype(np.float64).T
+        return dots / (norms[:, None] * np.sqrt(self.dim))
+
     def similarities(self, query):
         """Cosine similarity of ``query`` against every stored item.
 
         Dense backend: any real-valued query (float cosine). Packed
         backend: bipolar queries only (popcount cosine — same values as
-        dense for bipolar data).
+        dense for bipolar data). Computed through the same kernel as
+        :meth:`similarities_batch`, so single and batched queries score
+        bit-identically.
         """
-        if not self._labels:
-            raise LookupError("item memory is empty")
-        if self._backend.name == "dense":
-            return cosine_similarity(
-                np.asarray(query, dtype=np.float64), self._native_matrix()
-            )
-        packed = self._pack_query(np.asarray(query))
-        return self._backend.cosine(packed, self._native_matrix())
+        query = np.asarray(query)
+        if query.ndim != 1:
+            raise ValueError(f"expected a ({self.dim},) query, got {query.shape}")
+        if query.shape[0] != self.dim:
+            raise ValueError(f"expected last axis {self.dim}, got {query.shape}")
+        return self.similarities_batch(query[None])[0]
 
     def similarities_batch(self, queries):
         """Cosine similarities of ``(B, dim)`` queries: one ``(B, n)`` call."""
@@ -183,14 +290,15 @@ class ItemMemory:
         if queries.ndim != 2 or queries.shape[1] != self.dim:
             raise ValueError(f"expected (B, {self.dim}) queries, got {queries.shape}")
         if self._backend.name == "dense":
-            return cosine_similarity(
-                queries.astype(np.float64), self._native_matrix()
-            )
+            return self._dense_similarities(queries)
         packed = self._pack_query(queries)
         return self._backend.cosine(packed, self._native_matrix())
 
     def cleanup(self, query):
-        """Return ``(label, similarity)`` of the best-matching stored item."""
+        """Return ``(label, similarity)`` of the best-matching stored item.
+
+        Exact similarity ties resolve to the earliest-inserted label.
+        """
         sims = self.similarities(query)
         best = int(np.argmax(sims))
         return self._labels[best], float(sims[best])
@@ -200,15 +308,45 @@ class ItemMemory:
 
         Returns a list of ``B`` labels and the matching ``(B,)`` float
         similarity array, computed in one pairwise similarity call.
+        Exact similarity ties resolve to the earliest-inserted label
+        (``argmax`` returns the first maximum).
         """
         sims = self.similarities_batch(queries)
         best = np.argmax(sims, axis=1)
         labels = [self._labels[i] for i in best]
         return labels, sims[np.arange(len(best)), best]
 
-    def topk(self, query, k=5):
-        """Return the ``k`` best ``(label, similarity)`` pairs, best first."""
-        sims = self.similarities(query)
+    def _topk_order(self, sims, k):
+        """Top-``k`` row indices: similarity descending, ties by insertion.
+
+        The stable sort on the negated similarities is the documented
+        tie-breaking contract — equal similarities keep insertion order,
+        matching ``cleanup``'s first-maximum ``argmax``.
+        """
         k = min(k, len(self._labels))
-        order = np.argsort(sims)[::-1][:k]
+        return np.argsort(-np.asarray(sims), axis=-1, kind="stable")[..., :k]
+
+    def topk(self, query, k=5):
+        """Return the ``k`` best ``(label, similarity)`` pairs, best first.
+
+        Ordering contract: similarity descending; exact ties in insertion
+        order (earliest-stored label first). ``k`` larger than the store
+        returns every item.
+        """
+        sims = self.similarities(query)
+        order = self._topk_order(sims, k)
         return [(self._labels[i], float(sims[i])) for i in order]
+
+    def topk_batch(self, queries, k=5):
+        """Batched :meth:`topk`: ``(B, dim)`` queries → ``B`` ranked lists.
+
+        Returns a list of ``B`` lists of ``(label, similarity)`` pairs,
+        each best-first under the same ordering contract as :meth:`topk`,
+        from one pairwise similarity call.
+        """
+        sims = self.similarities_batch(queries)
+        order = self._topk_order(sims, k)
+        return [
+            [(self._labels[i], float(row_sims[i])) for i in row_order]
+            for row_sims, row_order in zip(sims, order)
+        ]

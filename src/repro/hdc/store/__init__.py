@@ -1,0 +1,44 @@
+"""``repro.hdc.store`` — the sharded associative-memory store subsystem.
+
+Retrieval, extracted from the monolithic :class:`~repro.hdc.ItemMemory`
+into a layered subsystem (see ``docs/ARCHITECTURE.md``, "Store layer"):
+
+- :class:`AssociativeStore` (:mod:`.planner`) — the facade every
+  consumer uses: one query surface (``cleanup`` / ``cleanup_batch`` /
+  ``topk`` / ``topk_batch``), bounded query blocking, ``save``/``open``.
+- :class:`ShardedItemMemory` (:mod:`.sharded`) — label-routed shards
+  with streaming ingestion and fan-out/merge queries, decision-identical
+  to a single ``ItemMemory`` for any shard count.
+- :mod:`.persistence` — packed shard files + JSON manifest, reopened
+  lazily via ``np.memmap``.
+- :mod:`.routing` — stable hash / round-robin shard placement.
+
+``ItemMemory`` itself stays in :mod:`repro.hdc.item_memory` as the
+single-shard reference implementation the agreement suite pins the
+subsystem against.
+"""
+
+from .persistence import (
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    MANIFEST_NAME,
+    open_store,
+    save_store,
+)
+from .planner import AssociativeStore
+from .routing import ROUTINGS, hash_shard, route_label
+from .sharded import DEFAULT_CHUNK_SIZE, ShardedItemMemory
+
+__all__ = [
+    "AssociativeStore",
+    "ShardedItemMemory",
+    "DEFAULT_CHUNK_SIZE",
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+    "MANIFEST_NAME",
+    "save_store",
+    "open_store",
+    "ROUTINGS",
+    "hash_shard",
+    "route_label",
+]

@@ -1,0 +1,176 @@
+"""Save / open associative stores: packed shard files + a JSON manifest.
+
+On-disk layout (one directory per store)::
+
+    <path>/
+      manifest.json      format version, dim, backend, routing, labels,
+                         and the shard map (file, labels, rows per shard)
+      shard_00000.npy    shard 0's contiguous backend-native matrix
+      shard_00001.npy    ...
+
+Each shard file is a plain ``.npy`` of the shard's native store (dense:
+``(n, dim)`` int8; packed: ``(n, ⌈dim/64⌉)`` uint64) written with
+``np.save``, so :func:`open_store` can hand it straight to ``np.load(...,
+mmap_mode="r")``: a multi-million-item store opens lazily — only the
+manifest and label maps load (O(labels): ~1.5 s at 1M items), the vector
+data stays on disk until a query touches it — and queries against the
+memmap are bit-identical to the in-memory store (same kernels over the
+same words/bytes).
+
+Labels must be JSON-serializable scalars (``str`` / ``int`` / ``float`` /
+``bool``) and round-trip exactly; the manifest records them per shard
+*and* in global insertion order, which is what preserves the documented
+tie-breaking across a save/open cycle.
+
+``format_version`` is bumped on any incompatible layout change;
+:func:`open_store` refuses versions it does not understand, and a CI
+smoke step (``python -m repro.hdc.store.smoke``) re-opens a freshly
+saved store in a new process so format drift fails the build.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import numpy as np
+
+from ..item_memory import ItemMemory
+from .routing import ROUTINGS
+from .sharded import ShardedItemMemory
+
+__all__ = ["FORMAT_NAME", "FORMAT_VERSION", "MANIFEST_NAME", "save_store", "open_store"]
+
+FORMAT_NAME = "repro.hdc.store"
+FORMAT_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+
+_LABEL_TYPES = (str, int, float, bool)
+
+
+def _shard_filename(index):
+    return f"shard_{index:05d}.npy"
+
+
+def _check_labels(labels):
+    for label in labels:
+        if not isinstance(label, _LABEL_TYPES):
+            raise TypeError(
+                f"label {label!r} of type {type(label).__name__} is not "
+                f"JSON-serializable; persistable labels are str/int/float/bool"
+            )
+        if isinstance(label, float) and not math.isfinite(label):
+            # NaN/inf are not standard JSON and NaN breaks the label-set
+            # comparison on reopen; fail at save time, not open time.
+            raise TypeError(f"label {label!r} is not a finite float")
+
+
+def save_store(memory, path):
+    """Write an :class:`ItemMemory` or :class:`ShardedItemMemory` to ``path``.
+
+    Creates the directory (parents included). Returns the manifest path.
+    """
+    if isinstance(memory, ItemMemory):
+        kind, shards, routing = "single", [memory], None
+        labels = list(memory.labels)
+    elif isinstance(memory, ShardedItemMemory):
+        kind, shards, routing = "sharded", list(memory.shards), memory.routing
+        labels = list(memory.labels)
+    else:
+        raise TypeError(
+            f"cannot save {type(memory).__name__}; expected ItemMemory or "
+            f"ShardedItemMemory (AssociativeStore saves via .save())"
+        )
+    _check_labels(labels)
+
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    shard_entries = []
+    for index, shard in enumerate(shards):
+        filename = _shard_filename(index)
+        np.save(path / filename, shard.native_matrix())
+        shard_entries.append(
+            {"file": filename, "rows": len(shard), "labels": list(shard.labels)}
+        )
+    # Overwriting a wider store must not leave its extra shard files
+    # behind: the manifest would be correct, but stale vector data would
+    # linger for anything globbing shard_*.npy.
+    current = {entry["file"] for entry in shard_entries}
+    for stale in path.glob("shard_*.npy"):
+        if stale.name not in current:
+            stale.unlink()
+    manifest = {
+        "format": FORMAT_NAME,
+        "format_version": FORMAT_VERSION,
+        "kind": kind,
+        "dim": int(shards[0].dim),
+        "backend": shards[0].backend.name,
+        "routing": routing,
+        "num_shards": len(shards),
+        "labels": labels,
+        "shards": shard_entries,
+    }
+    manifest_path = path / MANIFEST_NAME
+    manifest_path.write_text(json.dumps(manifest) + "\n")
+    return manifest_path
+
+
+def _read_manifest(path):
+    manifest_path = Path(path) / MANIFEST_NAME
+    if not manifest_path.is_file():
+        raise FileNotFoundError(f"no store manifest at {manifest_path}")
+    manifest = json.loads(manifest_path.read_text())
+    if manifest.get("format") != FORMAT_NAME:
+        raise ValueError(
+            f"{manifest_path} is not a {FORMAT_NAME} manifest "
+            f"(format={manifest.get('format')!r})"
+        )
+    version = manifest.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"store format version {version!r} is not supported "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    if manifest.get("kind") not in ("single", "sharded"):
+        raise ValueError(f"unknown store kind {manifest.get('kind')!r}")
+    if manifest["kind"] == "sharded" and manifest.get("routing") not in ROUTINGS:
+        raise ValueError(f"unknown routing policy {manifest.get('routing')!r}")
+    if len(manifest["shards"]) != manifest["num_shards"]:
+        raise ValueError("manifest shard count does not match shard entries")
+    return manifest
+
+
+def open_store(path, mmap=True):
+    """Reopen a saved store; vector data loads lazily via ``np.memmap``.
+
+    Returns an :class:`ItemMemory` (kind ``"single"``) or a
+    :class:`ShardedItemMemory` (kind ``"sharded"``). With ``mmap=True``
+    (default) each shard matrix is an ``np.load(..., mmap_mode="r")``
+    view — no vector data is materialized until queried, so opening
+    costs only the label-map rebuild (O(labels)). ``mmap=False`` reads
+    everything into RAM up front (useful when the store directory is
+    about to be deleted).
+    """
+    path = Path(path)
+    manifest = _read_manifest(path)
+    dim, backend = manifest["dim"], manifest["backend"]
+    shards = []
+    for entry in manifest["shards"]:
+        shard_path = path / entry["file"]
+        if not shard_path.is_file():
+            raise FileNotFoundError(f"missing shard file {shard_path}")
+        matrix = np.load(shard_path, mmap_mode="r" if mmap else None)
+        if matrix.shape[0] != entry["rows"] or len(entry["labels"]) != entry["rows"]:
+            raise ValueError(
+                f"{shard_path} holds {matrix.shape[0]} rows but the manifest "
+                f"records {entry['rows']} ({len(entry['labels'])} labels)"
+            )
+        shards.append(
+            ItemMemory.from_native(dim, entry["labels"], matrix, backend=backend)
+        )
+    if manifest["kind"] == "single":
+        return shards[0]
+    return ShardedItemMemory.from_shards(
+        shards, manifest["labels"], routing=manifest["routing"]
+    )

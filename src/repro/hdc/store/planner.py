@@ -1,0 +1,226 @@
+"""``AssociativeStore`` — the retrieval facade consumers talk to.
+
+One object, one query surface, regardless of how the store is laid out:
+
+- ``shards=1`` (default) keeps the single contiguous
+  :class:`~repro.hdc.item_memory.ItemMemory` — the reference
+  implementation;
+- ``shards=N`` routes storage and fan-out through
+  :class:`~repro.hdc.store.sharded.ShardedItemMemory`, with decisions
+  guaranteed identical by the agreement suite.
+
+The facade is also a small query planner: batched queries are executed
+in blocks of ``query_block`` rows, so the per-call ``(B, n_shard)``
+similarity temporary stays bounded no matter how large a batch a caller
+throws at it. Results are streams of per-query answers, so block
+boundaries are invisible.
+
+``save``/``open`` delegate to :mod:`repro.hdc.store.persistence`:
+``open`` memmaps the shard files, so opening costs only the label maps
+(O(labels), ~1.5 s at one million items) and the vector data pages in
+on demand.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..item_memory import ItemMemory
+from .persistence import open_store, save_store
+from .sharded import DEFAULT_CHUNK_SIZE, ShardedItemMemory, validate_batch
+
+__all__ = ["AssociativeStore"]
+
+
+class AssociativeStore:
+    """Facade over the single-shard and sharded associative memories.
+
+    Parameters
+    ----------
+    dim:
+        Hypervector dimensionality.
+    backend:
+        HDC storage backend (``"dense"`` / ``"packed"``).
+    shards:
+        Shard count; ``1`` uses the reference :class:`ItemMemory`.
+    routing:
+        Shard routing policy (ignored when ``shards == 1``).
+    query_block:
+        Max queries scored per underlying call — bounds the similarity
+        temporary at ``query_block × largest-shard`` entries.
+    """
+
+    def __init__(self, dim, backend="dense", shards=1, routing="hash",
+                 query_block=1024):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if query_block < 1:
+            raise ValueError("query_block must be >= 1")
+        if shards == 1:
+            memory = ItemMemory(dim, backend=backend)
+        else:
+            memory = ShardedItemMemory(
+                dim, num_shards=shards, backend=backend, routing=routing
+            )
+        self._memory = memory
+        self.query_block = int(query_block)
+
+    @classmethod
+    def _wrap(cls, memory, query_block=1024):
+        """Wrap an existing memory (used by :meth:`open`)."""
+        if query_block < 1:
+            raise ValueError("query_block must be >= 1")
+        store = cls.__new__(cls)
+        store._memory = memory
+        store.query_block = int(query_block)
+        return store
+
+    @classmethod
+    def from_vectors(cls, labels, vectors, backend="dense", shards=1,
+                     routing="hash", query_block=1024,
+                     chunk_size=DEFAULT_CHUNK_SIZE):
+        """Build a store directly from a labelled ``(n, dim)`` stack."""
+        vectors = np.asarray(vectors)
+        if vectors.ndim != 2:
+            raise ValueError(f"expected an (n, dim) stack, got {vectors.shape}")
+        store = cls(vectors.shape[1], backend=backend, shards=shards,
+                    routing=routing, query_block=query_block)
+        store.add_many(labels, vectors, chunk_size=chunk_size)
+        return store
+
+    @classmethod
+    def open(cls, path, mmap=True, query_block=1024):
+        """Reopen a saved store (lazily memmapped by default)."""
+        return cls._wrap(open_store(path, mmap=mmap), query_block=query_block)
+
+    # -- introspection ----------------------------------------------------- #
+
+    @property
+    def memory(self):
+        """The underlying :class:`ItemMemory` / :class:`ShardedItemMemory`."""
+        return self._memory
+
+    @property
+    def dim(self):
+        return self._memory.dim
+
+    @property
+    def backend_name(self):
+        return self._memory.backend.name
+
+    @property
+    def num_shards(self):
+        memory = self._memory
+        return memory.num_shards if isinstance(memory, ShardedItemMemory) else 1
+
+    @property
+    def routing(self):
+        memory = self._memory
+        return memory.routing if isinstance(memory, ShardedItemMemory) else None
+
+    @property
+    def labels(self):
+        return self._memory.labels
+
+    def __len__(self):
+        return len(self._memory)
+
+    def __contains__(self, label):
+        return label in self._memory
+
+    def index_of(self, label):
+        return self._memory.index_of(label)
+
+    def measured_bytes(self):
+        """Actual resident bytes of the native shard stores."""
+        return self._memory.measured_bytes()
+
+    def stats(self):
+        """Summary dict for reports: items, layout, resident bytes."""
+        return {
+            "items": len(self),
+            "dim": self.dim,
+            "backend": self.backend_name,
+            "shards": self.num_shards,
+            "routing": self.routing,
+            "bytes": self.measured_bytes(),
+        }
+
+    def __repr__(self):
+        return (
+            f"AssociativeStore(n={len(self)}, dim={self.dim}, "
+            f"shards={self.num_shards}, backend={self.backend_name!r})"
+        )
+
+    # -- ingestion --------------------------------------------------------- #
+
+    def add(self, label, vector):
+        """Store one labelled hypervector."""
+        self._memory.add(label, vector)
+
+    def add_many(self, labels, vectors, chunk_size=DEFAULT_CHUNK_SIZE):
+        """Stream labelled vectors in, ``chunk_size`` rows at a time.
+
+        ``vectors`` only needs ``len()`` and row slicing (an ``np.memmap``
+        streams through without materializing).
+        """
+        memory = self._memory
+        if isinstance(memory, ShardedItemMemory):
+            memory.add_many(labels, vectors, chunk_size=chunk_size)
+            return
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        labels = validate_batch(labels, vectors, memory)
+        for start in range(0, len(labels), chunk_size):
+            memory.add_many(
+                labels[start : start + chunk_size],
+                np.asarray(vectors[start : start + chunk_size]),
+            )
+
+    # -- queries ----------------------------------------------------------- #
+
+    def _blocks(self, queries):
+        queries = np.asarray(queries)
+        if queries.ndim != 2 or queries.shape[1] != self.dim:
+            raise ValueError(f"expected (B, {self.dim}) queries, got {queries.shape}")
+        for start in range(0, queries.shape[0], self.query_block):
+            yield queries[start : start + self.query_block]
+
+    def similarities(self, query):
+        return self._memory.similarities(query) if isinstance(
+            self._memory, ItemMemory
+        ) else self._memory.similarities_batch(np.asarray(query)[None])[0]
+
+    def similarities_batch(self, queries):
+        """Full ``(B, n)`` similarity matrix (unbounded — debugging aid)."""
+        return self._memory.similarities_batch(queries)
+
+    def cleanup(self, query):
+        """Best ``(label, similarity)`` for one query."""
+        return self._memory.cleanup(query)
+
+    def cleanup_batch(self, queries):
+        """Best match per query, executed in bounded query blocks."""
+        labels, sims = [], []
+        for block in self._blocks(queries):
+            block_labels, block_sims = self._memory.cleanup_batch(block)
+            labels.extend(block_labels)
+            sims.append(block_sims)
+        return labels, np.concatenate(sims) if sims else np.empty(0)
+
+    def topk(self, query, k=5):
+        """Ranked ``(label, similarity)`` pairs for one query."""
+        return self._memory.topk(query, k=k)
+
+    def topk_batch(self, queries, k=5):
+        """Ranked lists per query, executed in bounded query blocks."""
+        out = []
+        for block in self._blocks(queries):
+            out.extend(self._memory.topk_batch(block, k=k))
+        return out
+
+    # -- persistence -------------------------------------------------------- #
+
+    def save(self, path):
+        """Write the store (shard matrices + manifest) to ``path``."""
+        return save_store(self._memory, path)

@@ -1,0 +1,50 @@
+"""Shard routing policies for the sharded associative store.
+
+A routing policy decides which shard a label's hypervector lives in. The
+choice never affects query *results* — the store's tie-breaking contract
+ranks by (similarity desc, global insertion order asc), which is
+independent of placement — only load balance and ingestion locality.
+
+Two policies:
+
+- ``"hash"`` (default): a stable content hash of the label. The same
+  label always routes to the same shard, in any process, on any
+  platform — the property the persistence layer relies on so a reopened
+  store keeps accepting adds. (Python's builtin ``hash`` is randomized
+  per process for strings, so ``zlib.crc32`` over a canonical encoding
+  is used instead.)
+- ``"round_robin"``: the i-th inserted item goes to shard ``i % N``.
+  Perfectly balanced and append-friendly; routing depends on insertion
+  order, which the manifest preserves across save/open.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+__all__ = ["ROUTINGS", "hash_shard", "route_label"]
+
+ROUTINGS = ("hash", "round_robin")
+
+
+def hash_shard(label, num_shards):
+    """Stable shard index for ``label`` — identical across processes.
+
+    The label is encoded together with its type name so ``1`` and
+    ``"1"`` (both valid, distinct labels) do not always collide.
+    """
+    payload = f"{type(label).__name__}:{label}".encode("utf-8", "surrogatepass")
+    return zlib.crc32(payload) % num_shards
+
+
+def route_label(label, insertion_index, num_shards, routing):
+    """Shard index for ``label`` under ``routing``.
+
+    ``insertion_index`` is the label's global insertion position (used
+    only by ``"round_robin"``).
+    """
+    if routing == "hash":
+        return hash_shard(label, num_shards)
+    if routing == "round_robin":
+        return insertion_index % num_shards
+    raise ValueError(f"unknown routing policy {routing!r}; available: {ROUTINGS}")

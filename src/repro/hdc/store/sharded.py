@@ -1,0 +1,315 @@
+"""Sharded associative memory: N :class:`ItemMemory` shards, one answer.
+
+``ShardedItemMemory`` routes labels to shards (:mod:`.routing`), ingests
+in streaming chunks, and answers batched cleanup / top-k queries by
+fanning the query block across shards and merging the per-shard partial
+results. Per-shard scoring runs through :class:`ItemMemory`'s existing
+blocked similarity kernels, so the peak temporary is bounded by the
+largest *shard*, not the whole store — the property that lets one
+process serve multi-million-item stores.
+
+Decision contract (the agreement suite pins this): for any shard count
+and either backend, every ``cleanup`` / ``topk`` decision is identical
+to a single :class:`ItemMemory` holding the same items in the same
+insertion order. That holds because
+
+- per-item similarities are computed by the same kernels on the same
+  rows (exact integer dots / popcounts, so shard layout cannot change a
+  value), and
+- ties are merged under the shared contract: similarity descending,
+  then *global insertion order* ascending — which is exactly
+  ``ItemMemory``'s first-maximum / stable-sort behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..item_memory import ItemMemory
+from .routing import ROUTINGS, route_label
+
+__all__ = ["ShardedItemMemory", "DEFAULT_CHUNK_SIZE", "validate_batch"]
+
+#: rows ingested per streaming chunk in :meth:`ShardedItemMemory.add_many`
+DEFAULT_CHUNK_SIZE = 65536
+
+
+def validate_batch(labels, vectors, store):
+    """Shared ``add_many`` batch validation for the store layer.
+
+    Checks label/vector alignment, in-batch duplicates, and duplicates
+    against ``store`` (anything supporting ``in``) — *before* anything
+    commits, so ingestion semantics are identical on every layout.
+    Returns the labels as a list.
+    """
+    labels = list(labels)
+    num_rows = vectors.shape[0] if hasattr(vectors, "shape") else len(vectors)
+    if len(labels) != num_rows:
+        raise ValueError(
+            f"labels and vectors must align: {len(labels)} labels, "
+            f"{num_rows} vectors"
+        )
+    if len(set(labels)) != len(labels):
+        raise ValueError("duplicate labels in add_many")
+    for label in labels:
+        if label in store:
+            raise ValueError(f"label {label!r} already stored")
+    return labels
+
+
+class ShardedItemMemory:
+    """Associative memory over labelled hypervectors, split into shards.
+
+    Parameters
+    ----------
+    dim:
+        Hypervector dimensionality.
+    num_shards:
+        Number of :class:`ItemMemory` shards (≥ 1).
+    backend:
+        HDC storage backend name shared by every shard
+        (``"dense"`` / ``"packed"``).
+    routing:
+        Label-placement policy: ``"hash"`` (stable content hash) or
+        ``"round_robin"`` (i-th item → shard ``i % N``). See
+        :mod:`repro.hdc.store.routing`.
+    """
+
+    def __init__(self, dim, num_shards=4, backend="dense", routing="hash"):
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if routing not in ROUTINGS:
+            raise ValueError(f"unknown routing policy {routing!r}; available: {ROUTINGS}")
+        self._shards = [ItemMemory(dim, backend=backend) for _ in range(num_shards)]
+        self.dim = self._shards[0].dim
+        self.routing = routing
+        self._labels = []  # global insertion order
+        self._order = {}  # label -> global insertion index
+        self._shard_of = {}  # label -> shard index
+
+    @classmethod
+    def from_shards(cls, shards, labels, routing="hash"):
+        """Rebuild a sharded memory around existing shards (persistence).
+
+        ``shards`` are :class:`ItemMemory` instances of matching dim and
+        backend; ``labels`` is the *global* insertion order, which must be
+        exactly the disjoint union of the shards' labels.
+        """
+        shards = list(shards)
+        if not shards:
+            raise ValueError("from_shards needs at least one shard")
+        dims = {shard.dim for shard in shards}
+        names = {shard.backend.name for shard in shards}
+        if len(dims) != 1 or len(names) != 1:
+            raise ValueError("shards must share one dim and one backend")
+        memory = cls(shards[0].dim, num_shards=len(shards),
+                     backend=names.pop(), routing=routing)
+        memory._shards = shards
+        labels = list(labels)
+        if len(set(labels)) != len(labels):
+            raise ValueError("duplicate labels in global label list")
+        shard_of = {}
+        for index, shard in enumerate(shards):
+            for label in shard.labels:
+                shard_of[label] = index
+        total_rows = sum(len(shard) for shard in shards)
+        if total_rows != len(labels) or set(shard_of) != set(labels):
+            raise ValueError(
+                f"global labels do not match the union of shard labels "
+                f"({total_rows} stored rows, {len(labels)} labels)"
+            )
+        memory._labels = labels
+        memory._order = {label: i for i, label in enumerate(labels)}
+        memory._shard_of = shard_of
+        return memory
+
+    # -- introspection ----------------------------------------------------- #
+
+    @property
+    def backend(self):
+        """The storage/compute backend (shared by every shard)."""
+        return self._shards[0].backend
+
+    @property
+    def num_shards(self):
+        return len(self._shards)
+
+    @property
+    def shards(self):
+        """The underlying :class:`ItemMemory` shards (read-only tuple)."""
+        return tuple(self._shards)
+
+    @property
+    def labels(self):
+        """Every stored label, in global insertion order."""
+        return tuple(self._labels)
+
+    @property
+    def shard_sizes(self):
+        return tuple(len(shard) for shard in self._shards)
+
+    def shard_of(self, label):
+        """Shard index holding ``label``."""
+        return self._shard_of[label]
+
+    def index_of(self, label):
+        """Global insertion index of ``label`` (O(1))."""
+        return self._order[label]
+
+    def __len__(self):
+        return len(self._labels)
+
+    def __contains__(self, label):
+        return label in self._order
+
+    def measured_bytes(self):
+        """Actual bytes of all shards' contiguous native stores."""
+        return sum(shard.measured_bytes() for shard in self._shards)
+
+    def __repr__(self):
+        return (
+            f"ShardedItemMemory(n={len(self)}, dim={self.dim}, "
+            f"shards={self.num_shards}, routing={self.routing!r}, "
+            f"backend={self.backend.name!r})"
+        )
+
+    # -- ingestion --------------------------------------------------------- #
+
+    def add(self, label, vector):
+        """Store ``vector`` under ``label`` in its routed shard."""
+        if label in self._order:
+            raise ValueError(f"label {label!r} already stored")
+        index = route_label(label, len(self._labels), self.num_shards, self.routing)
+        self._shards[index].add(label, vector)  # validates; raises before commit
+        self._shard_of[label] = index
+        self._order[label] = len(self._labels)
+        self._labels.append(label)
+
+    def add_many(self, labels, vectors, chunk_size=DEFAULT_CHUNK_SIZE):
+        """Stream a stack of vectors into the shards, ``chunk_size`` rows at a time.
+
+        ``vectors`` only needs ``len()`` and row slicing, so an
+        ``np.memmap`` (or any lazily materialized array) streams through
+        without ever being resident at once. Labels are validated for
+        duplicates up front and every chunk is shape/bipolarity-checked
+        before any of it commits, so a failure cannot leave the global
+        label maps and the shards disagreeing; chunks before the failing
+        one remain ingested (streaming semantics).
+        """
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        labels = validate_batch(labels, vectors, self)
+        for start in range(0, len(labels), chunk_size):
+            chunk_labels = labels[start : start + chunk_size]
+            chunk = np.asarray(vectors[start : start + chunk_size])
+            self._ingest_chunk(chunk_labels, chunk)
+
+    def _ingest_chunk(self, chunk_labels, chunk):
+        """Route one pre-validated chunk to its shards and commit it."""
+        base = len(self._labels)
+        if chunk.ndim != 2 or chunk.shape != (len(chunk_labels), self.dim):
+            raise ValueError(
+                f"expected a ({len(chunk_labels)}, {self.dim}) chunk, got {chunk.shape}"
+            )
+        groups = {}
+        for offset, label in enumerate(chunk_labels):
+            index = route_label(label, base + offset, self.num_shards, self.routing)
+            groups.setdefault(index, []).append(offset)
+        # Validate the whole chunk (one shard call checks bipolarity of its
+        # slice; checking the full chunk first keeps the commit atomic).
+        plan = []
+        for index, offsets in groups.items():
+            shard_labels = [chunk_labels[o] for o in offsets]
+            shard_rows = chunk[offsets]
+            self._shards[index]._check_rows(shard_rows, (len(offsets), self.dim))
+            plan.append((index, shard_labels, shard_rows))
+        for index, shard_labels, shard_rows in plan:
+            self._shards[index].add_many(shard_labels, shard_rows)
+            for label in shard_labels:
+                self._shard_of[label] = index
+        for label in chunk_labels:
+            self._order[label] = len(self._labels)
+            self._labels.append(label)
+
+    # -- queries ----------------------------------------------------------- #
+
+    def _check_queries(self, queries):
+        if not self._labels:
+            raise LookupError("sharded item memory is empty")
+        queries = np.asarray(queries)
+        if queries.ndim != 2 or queries.shape[1] != self.dim:
+            raise ValueError(f"expected (B, {self.dim}) queries, got {queries.shape}")
+        return queries
+
+    def _active_shards(self):
+        return [shard for shard in self._shards if len(shard)]
+
+    def similarities_batch(self, queries):
+        """Cosine similarities ``(B, n)`` with columns in global insertion order.
+
+        Materializes the full matrix — a debugging/agreement aid; the
+        bounded-memory paths are :meth:`cleanup_batch` / :meth:`topk_batch`.
+        """
+        queries = self._check_queries(queries)
+        out = np.empty((queries.shape[0], len(self._labels)), dtype=np.float64)
+        for shard in self._active_shards():
+            columns = np.fromiter(
+                (self._order[label] for label in shard.labels),
+                dtype=np.int64, count=len(shard),
+            )
+            out[:, columns] = shard.similarities_batch(queries)
+        return out
+
+    def cleanup(self, query):
+        """Return ``(label, similarity)`` of the best-matching stored item."""
+        labels, sims = self.cleanup_batch(np.asarray(query)[None])
+        return labels[0], float(sims[0])
+
+    def cleanup_batch(self, queries):
+        """Batched cleanup across shards: ``(B, dim)`` → ``(labels, sims)``.
+
+        Each shard answers with its own best match (its ``cleanup_batch``
+        already prefers the earliest-inserted label on ties); the merge
+        keeps the highest similarity, breaking exact ties by global
+        insertion order — bit-identical to a single ``ItemMemory``.
+        """
+        queries = self._check_queries(queries)
+        num = queries.shape[0]
+        best_sims = np.full(num, -np.inf)
+        best_orders = np.full(num, np.iinfo(np.int64).max, dtype=np.int64)
+        best_labels = [None] * num
+        for shard in self._active_shards():
+            labels, sims = shard.cleanup_batch(queries)
+            orders = np.fromiter(
+                (self._order[label] for label in labels), dtype=np.int64, count=num
+            )
+            better = (sims > best_sims) | ((sims == best_sims) & (orders < best_orders))
+            best_sims = np.where(better, sims, best_sims)
+            best_orders = np.where(better, orders, best_orders)
+            for i in np.nonzero(better)[0]:
+                best_labels[i] = labels[i]
+        return best_labels, best_sims
+
+    def topk(self, query, k=5):
+        """Return the ``k`` best ``(label, similarity)`` pairs, best first."""
+        return self.topk_batch(np.asarray(query)[None], k=k)[0]
+
+    def topk_batch(self, queries, k=5):
+        """Batched top-k across shards: ``B`` ranked lists of ``(label, sim)``.
+
+        Each shard contributes its local top-``k`` (computed under the
+        shared tie-break contract), so merging at most ``shards × k``
+        candidates per query reproduces the global ranking exactly.
+        """
+        queries = self._check_queries(queries)
+        k = min(k, len(self._labels))
+        merged = [[] for _ in range(queries.shape[0])]
+        for shard in self._active_shards():
+            for row, ranked in zip(merged, shard.topk_batch(queries, k=k)):
+                row.extend(
+                    (-sim, self._order[label], label, sim) for label, sim in ranked
+                )
+        return [
+            [(label, sim) for _, _, label, sim in sorted(row)[:k]]
+            for row in merged
+        ]

@@ -1,0 +1,100 @@
+"""Store round-trip smoke check: build → save → reopen → query, the
+reopen happening in a *fresh process* so any persistence-format drift
+(manifest schema, shard layout, bit convention) fails loudly — CI runs
+``python -m repro.hdc.store.smoke`` as a dedicated step.
+
+The parent process builds a sharded packed store, saves it, and records
+cleanup + top-k answers for a noisy query batch. A child interpreter —
+which shares no in-memory state, only the on-disk format — reopens the
+store via memmap and must reproduce the answers bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from ..hypervector import random_bipolar
+from .planner import AssociativeStore
+
+DIM = 512
+ITEMS = 400
+SHARDS = 3
+QUERIES = 16
+
+_CHILD = """
+import json, sys
+import numpy as np
+from repro.hdc.store import AssociativeStore
+
+path, query_path = sys.argv[1], sys.argv[2]
+store = AssociativeStore.open(path)  # memmap-backed
+queries = np.load(query_path)
+labels, sims = store.cleanup_batch(queries)
+topk = store.topk_batch(queries, k=5)
+print(json.dumps({
+    "labels": labels,
+    "sims": [float(s) for s in sims],
+    "topk": [[[label, float(sim)] for label, sim in row] for row in topk],
+    "items": len(store),
+    "shards": store.num_shards,
+}))
+"""
+
+
+def main():
+    rng = np.random.default_rng(7)
+    vectors = random_bipolar(ITEMS, DIM, rng)
+    store = AssociativeStore(DIM, backend="packed", shards=SHARDS)
+    store.add_many([f"item{i}" for i in range(ITEMS)], vectors, chunk_size=128)
+
+    queries = vectors[rng.integers(0, ITEMS, size=QUERIES)].copy()
+    flips = rng.integers(0, DIM, size=(QUERIES, DIM // 8))
+    for row, columns in enumerate(flips):
+        queries[row, columns] *= -1
+
+    expected_labels, expected_sims = store.cleanup_batch(queries)
+    expected_topk = store.topk_batch(queries, k=5)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store_path = Path(tmp) / "store"
+        query_path = Path(tmp) / "queries.npy"
+        store.save(store_path)
+        np.save(query_path, queries)
+        child = subprocess.run(
+            [sys.executable, "-c", _CHILD, str(store_path), str(query_path)],
+            capture_output=True, text=True,
+        )
+    if child.returncode != 0:
+        print(child.stdout)
+        print(child.stderr, file=sys.stderr)
+        print("SMOKE FAIL: fresh-process reopen crashed", file=sys.stderr)
+        return 1
+
+    answer = json.loads(child.stdout)
+    ok = (
+        answer["items"] == ITEMS
+        and answer["shards"] == SHARDS
+        and answer["labels"] == expected_labels
+        and answer["sims"] == [float(s) for s in expected_sims]
+        and answer["topk"]
+        == [[[label, float(sim)] for label, sim in row] for row in expected_topk]
+    )
+    if not ok:
+        print("SMOKE FAIL: reopened store answers differ from the in-memory store",
+              file=sys.stderr)
+        return 1
+    print(
+        f"store smoke OK: {ITEMS} items x {DIM} dims, {SHARDS} shards, "
+        f"{QUERIES} queries bit-identical after fresh-process memmap reopen"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -80,6 +80,25 @@ class HDCAttributeEncoder(nn.Module):
         """Name of the HDC storage backend holding the codebooks."""
         return self.dictionary.backend.name
 
+    def attribute_store(self, shards=1, routing="hash", query_block=1024):
+        """The dictionary ``B`` as an :class:`~repro.hdc.store.AssociativeStore`.
+
+        One labelled hypervector per attribute combination
+        (``"group::value"``), on the encoder's storage backend — the
+        attribute-level item memory a deployment cleans noisy attribute
+        estimates against. Sharding never changes decisions.
+        """
+        from ..hdc.store import AssociativeStore
+
+        labels = [
+            f"{self.schema.group_names[g]}::{self.schema.value_vocabulary[v]}"
+            for g, v in self.dictionary.pairs
+        ]
+        return AssociativeStore.from_vectors(
+            labels, self.dictionary.matrix(), backend=self.backend_name,
+            shards=shards, routing=routing, query_block=query_block,
+        )
+
     def memory_report(self):
         """Footprint accounting of the stationary codebooks.
 

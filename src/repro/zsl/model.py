@@ -10,13 +10,21 @@ Composes the three computational modules:
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+
 import numpy as np
 
 from .. import nn
+from ..hdc.store import AssociativeStore
 from .attribute_encoders import HDCAttributeEncoder
 from .similarity import SimilarityKernel
 
 __all__ = ["HDCZSC"]
+
+
+def _sign_bipolar(x):
+    """The store path's binarization convention: ``>= 0 → +1`` (int8)."""
+    return np.where(np.asarray(x) >= 0, 1, -1).astype(np.int8)
 
 
 class HDCZSC(nn.Module):
@@ -109,6 +117,74 @@ class HDCZSC(nn.Module):
         if was_training:
             self.train()
         return np.concatenate(scores, axis=0)
+
+    # -- store-backed deployment path (repro.hdc.store) ---------------------- #
+
+    @contextmanager
+    def _stationary(self):
+        """Frozen-inference scope: eval + ``no_grad``, training restored."""
+        was_training = self.training
+        self.eval()
+        try:
+            with nn.no_grad():
+                yield
+        finally:
+            if was_training:
+                self.train()
+
+    def binary_embeddings(self, images, batch_size=64):
+        """Sign-binarized image embeddings: the store-query form of γ(x).
+
+        Runs frozen (``no_grad``, eval mode) and maps each embedding to
+        its bipolar sign pattern (``>= 0 → +1``), the representation an
+        accelerator deployment compares against a binarized class item
+        memory by Hamming distance. Returns ``(N, d)`` int8 in {±1}.
+        """
+        batches = []
+        with self._stationary():
+            for start in range(0, len(images), batch_size):
+                batch = nn.Tensor(np.asarray(images[start : start + batch_size]))
+                batches.append(_sign_bipolar(self.image_encoder(batch).data))
+        return np.concatenate(batches, axis=0)
+
+    def class_store(self, class_attributes, labels=None, shards=1,
+                    routing="hash", backend=None, query_block=1024):
+        """Build the class-level item memory behind store-backed inference.
+
+        Encodes ``class_attributes`` through φ(·), sign-binarizes the
+        prototypes, and loads them into an
+        :class:`~repro.hdc.store.AssociativeStore` — the paper's Fig 3
+        stationary deployment, where zero-shot prediction is an
+        associative cleanup of the binarized embedding against binarized
+        class hypervectors. ``labels`` default to the row indices of
+        ``class_attributes``; ``backend`` defaults to the HDC encoder's
+        storage backend (``"dense"`` for the MLP encoder).
+        """
+        with self._stationary():
+            class_embeddings = self.attribute_encoder(class_attributes).data
+        prototypes = _sign_bipolar(class_embeddings)
+        if labels is None:
+            labels = list(range(prototypes.shape[0]))
+        if backend is None:
+            backend = getattr(self.attribute_encoder, "backend_name", "dense")
+        return AssociativeStore.from_vectors(
+            labels, prototypes, backend=backend, shards=shards,
+            routing=routing, query_block=query_block,
+        )
+
+    def predict_store(self, images, store, batch_size=64):
+        """Store-backed zero-shot prediction: cleanup against ``store``.
+
+        The deployment twin of :meth:`predict`: queries are the
+        binarized embeddings, the decision is ``store.cleanup_batch``'s
+        best label per query (identical for any shard count). Returns
+        the stored labels, as an int array when every label is an int.
+        """
+        queries = self.binary_embeddings(images, batch_size=batch_size)
+        labels, _ = store.cleanup_batch(queries)
+        if labels and all(isinstance(label, (int, np.integer)) for label in labels):
+            return np.asarray(labels, dtype=np.int64)
+        return labels
 
     def deploy(self):
         """Freeze everything for stationary inference (paper Fig 3)."""

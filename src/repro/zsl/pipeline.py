@@ -8,6 +8,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..data import SyntheticImageNet
 from ..models.heads import ImageEncoder
 from ..models.resnet import build_backbone
@@ -38,6 +40,10 @@ class PipelineConfig:
     embedding_dim: int | None = 256
     attribute_encoder: str = "hdc"  # "hdc" | "mlp"
     hdc_backend: str = "dense"  # "dense" | "packed" (HDC codebook storage)
+    #: shard count of the deployment class store (repro.hdc.store);
+    #: sharding changes layout and scalability, never decisions.
+    store_shards: int = 1
+    store_routing: str = "hash"  # "hash" | "round_robin"
     temperature: float = 0.03
     seed: int = 0
     pretrain_classes: int = 20
@@ -155,6 +161,53 @@ class ZSLPipeline:
             self.split.test_targets,
             test_class_attributes,
         )
+
+    def deployment_store(self, shards=None, routing=None):
+        """The class-level item memory for stationary inference.
+
+        Binarized prototypes of the split's *test* (unseen) classes,
+        loaded into an :class:`~repro.hdc.store.AssociativeStore`;
+        ``shards``/``routing`` default to the pipeline config
+        (``store_shards`` / ``store_routing``). Labels are the class
+        positions used by :meth:`evaluate`, so store decisions compare
+        directly against ``split.test_targets``.
+        """
+        test_class_attributes = self.dataset.class_attributes[self.split.test_classes]
+        return self.model.class_store(
+            test_class_attributes,
+            shards=self.config.store_shards if shards is None else shards,
+            routing=routing or self.config.store_routing,
+        )
+
+    def evaluate_store(self, shards=None, routing=None, store=None):
+        """Zero-shot metrics along the store-backed deployment path.
+
+        Predictions are associative cleanups of binarized embeddings
+        against :meth:`deployment_store` (or a prebuilt ``store``, so
+        callers holding one don't re-encode the prototypes) — the
+        paper's Fig 3 stationary inference. Returns ``{"top1", "top5",
+        "store"}`` with accuracies in percent and the store's layout
+        stats.
+        """
+        if store is None:
+            store = self.deployment_store(shards=shards, routing=routing)
+        queries = self.model.binary_embeddings(self.split.test_images)
+        ranked = store.topk_batch(queries, k=min(5, len(store)))
+        targets = np.asarray(self.split.test_targets)
+        top1 = np.fromiter(
+            (row[0][0] == target for row, target in zip(ranked, targets)),
+            dtype=bool, count=len(targets),
+        )
+        top5 = np.fromiter(
+            (any(label == target for label, _ in row)
+             for row, target in zip(ranked, targets)),
+            dtype=bool, count=len(targets),
+        )
+        return {
+            "top1": float(top1.mean() * 100.0),
+            "top5": float(top5.mean() * 100.0),
+            "store": store.stats(),
+        }
 
     def evaluate_attributes(self):
         """Table I metrics on the split's test images (instance-level GT)."""

@@ -45,6 +45,19 @@ class TestScales:
         override = pipeline_config(get_scale("quick"), seed=0, hdc_backend="packed")
         assert override.hdc_backend == "packed"
 
+    def test_store_shards_defaults_single(self):
+        for scale in SCALES.values():
+            assert scale.store_shards == 1
+
+    def test_store_shards_threads_into_pipeline_config(self):
+        from repro.experiments.common import pipeline_config
+
+        scale = get_scale("quick").replace(store_shards=4)
+        config = pipeline_config(scale, seed=0)
+        assert config.store_shards == 4
+        override = pipeline_config(get_scale("quick"), seed=0, store_shards=8)
+        assert override.store_shards == 8
+
 
 class TestSweepDefinitions:
     def test_paper_sweep_values(self):

@@ -119,13 +119,32 @@ class TestItemMemory:
     def test_duplicate_label_rejected(self, rng):
         memory = ItemMemory(16)
         memory.add("a", random_bipolar(1, 16, rng)[0])
-        with pytest.raises(KeyError):
+        with pytest.raises(ValueError, match="'a' already stored"):
             memory.add("a", random_bipolar(1, 16, rng)[0])
 
     def test_wrong_shape_rejected(self, rng):
         memory = ItemMemory(16)
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="expected shape"):
             memory.add("a", random_bipolar(1, 32, rng)[0])
+
+    def test_dense_rejects_non_bipolar_rows(self, rng):
+        """Float rows must not silently truncate to int8 on the dense backend."""
+        memory = ItemMemory(16)
+        with pytest.raises(ValueError, match="bipolar"):
+            memory.add("a", np.full(16, 0.5))
+        with pytest.raises(ValueError, match="bipolar"):
+            memory.add_many(["a"], np.full((1, 16), 0.5))
+        assert len(memory) == 0
+
+    def test_add_many_count_mismatch_names_counts(self, rng):
+        memory = ItemMemory(16)
+        with pytest.raises(ValueError, match="3 labels, 2 vectors"):
+            memory.add_many(["a", "b", "c"], random_bipolar(2, 16, rng))
+
+    def test_add_many_wrong_ndim_rejected(self, rng):
+        memory = ItemMemory(16)
+        with pytest.raises(ValueError, match="2-D"):
+            memory.add_many([f"l{i}" for i in range(16)], random_bipolar(1, 16, rng)[0])
 
     def test_empty_query_raises(self):
         with pytest.raises(LookupError):
@@ -160,8 +179,62 @@ class TestItemMemory:
 
     def test_add_many_duplicate_labels_rejected(self, rng):
         memory = ItemMemory(16)
-        with pytest.raises(KeyError):
+        with pytest.raises(ValueError, match="duplicate labels"):
             memory.add_many(["a", "a"], random_bipolar(2, 16, rng))
+
+    def test_add_many_duplicate_against_store_rejected(self, rng):
+        memory = ItemMemory(16)
+        memory.add("a", random_bipolar(1, 16, rng)[0])
+        with pytest.raises(ValueError, match="'a' already stored"):
+            memory.add_many(["b", "a"], random_bipolar(2, 16, rng))
+        assert len(memory) == 1  # the batch did not half-commit
+
+
+class TestTopkDeterminism:
+    """The documented ordering contract: similarity desc, ties by insertion."""
+
+    @pytest.mark.parametrize("backend", ["dense", "packed"])
+    def test_exact_ties_keep_insertion_order(self, backend, rng):
+        d = 64
+        base = random_bipolar(1, d, rng)[0]
+        other = base.copy()
+        other[: d // 2] *= -1  # exactly d/2 flips: similarity 0 to base
+        # c and a are identical (tie at sim 1.0); b and d tie at sim 0.0.
+        memory = ItemMemory(d, backend=backend)
+        memory.add_many(["a", "b", "c", "d"], np.stack([base, other, base, other]))
+        top = memory.topk(base, k=4)
+        assert [label for label, _ in top] == ["a", "c", "b", "d"]
+        assert np.isclose(top[0][1], 1.0) and np.isclose(top[2][1], 0.0)
+
+    @pytest.mark.parametrize("backend", ["dense", "packed"])
+    def test_k_larger_than_store_returns_all(self, backend, rng):
+        memory = ItemMemory(32, backend=backend)
+        vectors = random_bipolar(3, 32, rng)
+        memory.add_many(["x", "y", "z"], vectors)
+        top = memory.topk(vectors[2], k=10)
+        assert len(top) == 3
+        assert top[0][0] == "z"
+
+    @pytest.mark.parametrize("backend", ["dense", "packed"])
+    def test_topk_batch_matches_topk(self, backend, rng):
+        memory = ItemMemory(128, backend=backend)
+        vectors = random_bipolar(7, 128, rng)
+        memory.add_many([f"v{i}" for i in range(7)], vectors)
+        queries = random_bipolar(4, 128, rng)
+        batched = memory.topk_batch(queries, k=3)
+        # Single and batched queries run the same kernel → bitwise equal.
+        assert batched == [memory.topk(q, k=3) for q in queries]
+
+    def test_cleanup_tie_prefers_earliest_label(self, rng):
+        d = 64
+        vector = random_bipolar(1, d, rng)[0]
+        memory = ItemMemory(d)
+        memory.add("first", vector)
+        memory.add("second", vector.copy())
+        label, sim = memory.cleanup(vector)
+        assert label == "first" and np.isclose(sim, 1.0)
+        labels, _ = memory.cleanup_batch(np.stack([vector, vector]))
+        assert labels == ["first", "first"]
 
 
 class TestItemMemoryBatched:

@@ -10,6 +10,7 @@ PACKAGES = [
     "repro.nn.optim",
     "repro.nn.layers",
     "repro.hdc",
+    "repro.hdc.store",
     "repro.data",
     "repro.models",
     "repro.zsl",

@@ -2,6 +2,7 @@
 
 import numpy as np
 
+from repro.hdc.store import AssociativeStore
 from repro.zsl import PipelineConfig, build_model
 from repro.zsl.attribute_encoders import HDCAttributeEncoder, MLPAttributeEncoder
 
@@ -66,6 +67,11 @@ class TestBuildModel:
             packed.attribute_encoder.dictionary_tensor().data,
         )
 
+    def test_store_config_defaults(self, small_schema):
+        config = PipelineConfig(embedding_dim=16, seed=0)
+        assert config.store_shards == 1
+        assert config.store_routing == "hash"
+
     def test_codebook_and_weights_use_independent_streams(self, small_schema):
         """Different subsystems derive decorrelated RNG streams from one seed."""
         model = build_model(small_schema, PipelineConfig(embedding_dim=16, seed=0))
@@ -74,3 +80,57 @@ class TestBuildModel:
         n = min(len(weights), len(dictionary))
         corr = np.corrcoef(weights[:n], dictionary[:n])[0, 1]
         assert abs(corr) < 0.3
+
+
+class TestStoreBackedDeployment:
+    """The model's store path (repro.hdc.store consumers in the zsl layer)."""
+
+    def _model_and_attrs(self, small_schema, rng, backend="dense"):
+        config = PipelineConfig(embedding_dim=32, hdc_backend=backend, seed=3)
+        model = build_model(small_schema, config)
+        num_classes = 6
+        attrs = (rng.random((num_classes, small_schema.num_attributes)) < 0.3).astype(
+            np.float64
+        )
+        return model, attrs
+
+    def test_class_store_builds_binarized_prototypes(self, small_schema, rng):
+        model, attrs = self._model_and_attrs(small_schema, rng)
+        store = model.class_store(attrs, shards=2)
+        assert isinstance(store, AssociativeStore)
+        assert len(store) == attrs.shape[0]
+        assert store.labels == tuple(range(attrs.shape[0]))
+        assert store.dim == model.embedding_dim
+
+    def test_class_store_inherits_encoder_backend(self, small_schema, rng):
+        model, attrs = self._model_and_attrs(small_schema, rng, backend="packed")
+        assert model.class_store(attrs).backend_name == "packed"
+        assert model.class_store(attrs, backend="dense").backend_name == "dense"
+
+    def test_predict_store_shard_invariant(self, small_schema, rng):
+        """The acceptance contract at the model level: identical decisions
+        for any shard count, on either backend."""
+        model, attrs = self._model_and_attrs(small_schema, rng)
+        images = rng.random((10, 3, 16, 16))
+        single = model.predict_store(images, model.class_store(attrs, shards=1))
+        for shards in (3, 8):
+            for backend in ("dense", "packed"):
+                store = model.class_store(attrs, shards=shards, backend=backend)
+                assert np.array_equal(
+                    model.predict_store(images, store), single
+                ), f"shards={shards} backend={backend}"
+
+    def test_binary_embeddings_are_bipolar(self, small_schema, rng):
+        model, _ = self._model_and_attrs(small_schema, rng)
+        embeddings = model.binary_embeddings(rng.random((4, 3, 16, 16)))
+        assert embeddings.shape == (4, model.embedding_dim)
+        assert set(np.unique(embeddings)) <= {-1, 1}
+
+    def test_attribute_store_exact_recall(self, small_schema, rng):
+        model, _ = self._model_and_attrs(small_schema, rng)
+        store = model.attribute_encoder.attribute_store(shards=3)
+        assert len(store) == small_schema.num_attributes
+        dictionary = model.attribute_encoder.dictionary.matrix()
+        recalled, sims = store.cleanup_batch(dictionary)
+        assert list(store.labels) == recalled  # every row recalls itself
+        assert np.allclose(sims, 1.0)
