@@ -4,9 +4,12 @@ Streams synthetic packed hypervectors into a sharded
 :class:`~repro.hdc.store.AssociativeStore`, times ingestion and batched
 cleanup at each decade, and records the scaling curve in
 ``BENCH_store.json`` (linked from ROADMAP.md's perf-trajectory note).
-Also times the persistence cycle at the largest size: save, lazy memmap
-open (milliseconds regardless of store size), and the first query that
-actually pages the data in.
+Also records the **parallel scaling surface** — query throughput across
+``workers × shards`` at 10k / 100k / 1M items (the integer-domain merge
+plus the thread-pool fan-out; compared against the recorded PR 2
+sequential baseline at 1M) — and times the persistence cycle at the
+largest size: save, lazy memmap open (milliseconds regardless of store
+size), and the first query that actually pages the data in.
 
 The full sweep ends at one million items and takes a couple of minutes;
 it runs as a plain pytest test (``pytest benchmarks/bench_store.py``)
@@ -31,6 +34,12 @@ SIZES = (1_000, 10_000, 100_000, 1_000_000)
 SHARDS = 8
 QUERY_BATCH = 64
 CHUNK = 65536
+#: parallel scaling surface: workers swept at these sizes (shards fixed)
+PARALLEL_SIZES = (10_000, 100_000, 1_000_000)
+WORKER_COUNTS = (1, 2, 4, 8)
+#: the recorded PR 2 sequential path at 1M items (queries/s), kept as the
+#: comparison anchor for the integer-domain + fan-out rewrite
+PR2_SEQUENTIAL_1M_QPS = 9.994165507680195
 
 
 def _build(num_items, shards, rng):
@@ -69,6 +78,7 @@ def test_store_scaling_json():
     max_items = int(os.environ.get("BENCH_STORE_MAX_ITEMS", SIZES[-1]))
     sizes = [size for size in SIZES if size <= max_items]
     curve = []
+    parallel = []
     persistence = None
     for num_items in sizes:
         rng = np.random.default_rng(num_items)
@@ -92,6 +102,8 @@ def test_store_scaling_json():
                 "bytes_per_item": store.measured_bytes() / num_items,
             }
         )
+        if num_items in PARALLEL_SIZES:
+            parallel.extend(_worker_sweep(store, queries, num_items, repeats))
         if num_items == sizes[-1]:
             persistence = _persistence_cycle(store, queries)
         del store
@@ -103,8 +115,11 @@ def test_store_scaling_json():
             "shards": SHARDS,
             "query_batch": QUERY_BATCH,
             "chunk": CHUNK,
+            "workers_swept": list(WORKER_COUNTS),
+            "pr2_sequential_1m_queries_per_second": PR2_SEQUENTIAL_1M_QPS,
         },
         "curve": curve,
+        "parallel": parallel,
         "persistence": persistence,
     }
     # Packed storage really is 1 bit per component at every size.
@@ -113,6 +128,39 @@ def test_store_scaling_json():
     if sizes[-1] == SIZES[-1]:  # only a full sweep may update the record
         out_path = Path(__file__).parent / "BENCH_store.json"
         out_path.write_text(json.dumps(result, indent=2) + "\n")
+
+
+def _worker_sweep(store, queries, num_items, repeats):
+    """Query the same store across worker counts (decisions must not move).
+
+    One shared pool of CPU work, so the speedup column directly reads as
+    the thread fan-out's effect on the integer-domain query path; the
+    PR 2 comparison at 1M uses the recorded sequential baseline.
+    """
+    expected = store.cleanup_batch(queries)[0]
+    points = []
+    baseline_qps = None
+    for workers in WORKER_COUNTS:
+        store.memory.workers = workers
+        query_seconds = _best_of(lambda: store.cleanup_batch(queries), repeats)
+        assert store.cleanup_batch(queries)[0] == expected  # worker-invariant
+        qps = len(queries) / query_seconds
+        if baseline_qps is None:
+            baseline_qps = qps
+        point = {
+            "items": num_items,
+            "shards": store.num_shards,
+            "workers": workers,
+            "query_seconds": query_seconds,
+            "queries_per_second": qps,
+            "item_compares_per_second": num_items * len(queries) / query_seconds,
+            "speedup_vs_workers1": qps / baseline_qps,
+        }
+        if num_items == 1_000_000:
+            point["speedup_vs_pr2_sequential"] = qps / PR2_SEQUENTIAL_1M_QPS
+        points.append(point)
+    store.memory.workers = 1
+    return points
 
 
 def _persistence_cycle(store, queries, tmp_root=None):

@@ -11,11 +11,16 @@ Stated memory budget (d = 1024, N = 1,000,000, 8 shards):
   (the dense int8 equivalent would be 1 GB);
 - ingestion transient: one 64k × 1024 int8 chunk → **64 MB**, freed
   after packing — the full dense matrix never exists;
-- query transient: the blocked Hamming kernel caps each XOR temporary
-  at ~4 MB, and per-shard score rows are (B × n/8) — ~**125 MB** peak
-  for a 64-query batch, independent of how many shards the store grows.
+- query transient: the item-tiled Hamming kernel caps each popcount
+  temporary at ~4 MB, and the fan-out merge stays in the integer
+  distance domain — per-shard partials are (distance, insertion-index)
+  pairs, never float similarity rows — so the peak is bounded by the
+  kernel tile for any store size.
 
-    python examples/million_item_store.py [num_items]
+    python examples/million_item_store.py [num_items] [workers]
+
+``workers`` (default 1) fans the per-shard kernels out on a thread
+pool; decisions are identical for any worker count.
 """
 
 import sys
@@ -32,12 +37,14 @@ CHUNK = 65536
 QUERY_BATCH = 64
 
 
-def main(num_items=1_000_000):
-    store = AssociativeStore(DIM, backend="packed", shards=SHARDS)
+def main(num_items=1_000_000, workers=1):
+    store = AssociativeStore(DIM, backend="packed", shards=SHARDS,
+                             workers=workers)
     rng = np.random.default_rng(0)
 
     print(f"streaming {num_items:,} packed {DIM}-dim hypervectors "
-          f"into {SHARDS} shards ({CHUNK:,} rows per chunk)...")
+          f"into {SHARDS} shards ({CHUNK:,} rows per chunk, "
+          f"workers={store.workers})...")
     queries = probe_labels = None
     tick = time.perf_counter()
     for start in range(0, num_items, CHUNK):
@@ -79,4 +86,7 @@ def main(num_items=1_000_000):
 
 
 if __name__ == "__main__":
-    main(int(sys.argv[1]) if len(sys.argv) > 1 else 1_000_000)
+    main(
+        int(sys.argv[1]) if len(sys.argv) > 1 else 1_000_000,
+        int(sys.argv[2]) if len(sys.argv) > 2 else 1,
+    )

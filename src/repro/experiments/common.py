@@ -46,6 +46,7 @@ def pipeline_config(scale, seed=0, **overrides):
         attribute_encoder="hdc",
         hdc_backend=scale.hdc_backend,
         store_shards=scale.store_shards,
+        store_workers=scale.store_workers,
         temperature=scale.temperature,
         seed=seed,
         pretrain_classes=scale.pretrain_classes,

@@ -36,20 +36,23 @@ from .config import get_scale
 __all__ = ["run_fig4", "format_fig4", "ascii_scatter", "main"]
 
 
-def run_fig4(scale="default", seed=0, backend=None, shards=None):
+def run_fig4(scale="default", seed=0, backend=None, shards=None, workers=None):
     """Train all measured models; return a list of point dicts.
 
     ``backend`` overrides the scale's HDC codebook storage backend for
     the "ours" pipelines (accuracy is backend-invariant per seed);
-    ``shards`` overrides the deployment class store's shard count (the
-    HDC point additionally reports ``store_top1``, the store-backed
-    inference path, plus the store layout stats).
+    ``shards`` overrides the deployment class store's shard count and
+    ``workers`` its fan-out thread-pool width (the HDC point
+    additionally reports ``store_top1``, the store-backed inference
+    path, plus the store layout stats).
     """
     scale = get_scale(scale)
     if backend is not None:
         scale = scale.replace(hdc_backend=backend)
     if shards is not None:
         scale = scale.replace(store_shards=shards)
+    if workers is not None:
+        scale = scale.replace(store_workers=workers)
     dataset = build_dataset(scale, seed=seed)
     split = make_split(dataset, "ZS", seed=seed)
     test_attrs = dataset.class_attributes[split.test_classes]
@@ -171,8 +174,9 @@ def ascii_scatter(specs, width=64, height=18):
     return "\n".join(lines)
 
 
-def main(scale="default", seed=0, backend=None, shards=None):
-    points = run_fig4(scale=scale, seed=seed, backend=backend, shards=shards)
+def main(scale="default", seed=0, backend=None, shards=None, workers=None):
+    points = run_fig4(scale=scale, seed=seed, backend=backend, shards=shards,
+                      workers=workers)
     catalog = paper_catalog()
     print(format_fig4(points, catalog))
     print()
@@ -184,8 +188,8 @@ def main(scale="default", seed=0, backend=None, shards=None):
                 f"\nStore-backed deployment ({point['name']}): "
                 f"top-1 {point['store_top1']:.1f}% via associative cleanup of "
                 f"{stats['items']} binarized class prototypes "
-                f"({stats['shards']} shard(s), {stats['backend']} backend, "
-                f"{stats['bytes']} bytes resident)"
+                f"({stats['shards']} shard(s), {stats.get('workers', 1)} worker(s), "
+                f"{stats['backend']} backend, {stats['bytes']} bytes resident)"
             )
     return points
 
@@ -197,4 +201,5 @@ if __name__ == "__main__":
         scale=sys.argv[1] if len(sys.argv) > 1 else "default",
         backend=sys.argv[2] if len(sys.argv) > 2 else None,
         shards=int(sys.argv[3]) if len(sys.argv) > 3 else None,
+        workers=int(sys.argv[4]) if len(sys.argv) > 4 else None,
     )

@@ -51,21 +51,24 @@ def _restore(model, snapshot, temperature=None):
 
 
 def run_fig5(scale="default", seed=0, sweeps=None, max_epochs_cap=None, backend=None,
-             shards=None):
+             shards=None, workers=None):
     """Run the one-factor-at-a-time sweep; returns {hyperparam: [(value, top1)]}.
 
     ``max_epochs_cap`` optionally truncates the epochs sweep (used by the
     quick benchmark harness). ``backend`` overrides the scale's HDC
     codebook storage backend (sweep results are backend-invariant);
-    ``shards`` overrides the deployment class store's shard count
-    (threaded into the pipeline config; store decisions are
-    shard-invariant too).
+    ``shards`` overrides the deployment class store's shard count and
+    ``workers`` its fan-out thread-pool width (threaded into the
+    pipeline config; store decisions are shard- and worker-invariant
+    too).
     """
     scale = get_scale(scale)
     if backend is not None:
         scale = scale.replace(hdc_backend=backend)
     if shards is not None:
         scale = scale.replace(store_shards=shards)
+    if workers is not None:
+        scale = scale.replace(store_workers=workers)
     sweeps = dict(sweeps or SWEEPS)
     if max_epochs_cap is not None:
         sweeps["epochs"] = tuple(e for e in sweeps["epochs"] if e <= max_epochs_cap)
@@ -144,8 +147,9 @@ def format_fig5(results):
     return "\n\n".join(blocks)
 
 
-def main(scale="default", seed=0, backend=None, shards=None):
-    results = run_fig5(scale=scale, seed=seed, backend=backend, shards=shards)
+def main(scale="default", seed=0, backend=None, shards=None, workers=None):
+    results = run_fig5(scale=scale, seed=seed, backend=backend, shards=shards,
+                       workers=workers)
     print(format_fig5(results))
     epoch_series = dict(results).get("epochs", [])
     if epoch_series:
@@ -157,7 +161,8 @@ def main(scale="default", seed=0, backend=None, shards=None):
         print(
             f"Store-backed deployment (Phase I+II snapshot): "
             f"val top-1 {deployment['top1']:.1f}% via {stats['items']} binarized "
-            f"class prototypes ({stats['shards']} shard(s), {stats['backend']} "
+            f"class prototypes ({stats['shards']} shard(s), "
+            f"{stats.get('workers', 1)} worker(s), {stats['backend']} "
             f"backend, {stats['bytes']} bytes resident)"
         )
     return results
@@ -170,4 +175,5 @@ if __name__ == "__main__":
         scale=sys.argv[1] if len(sys.argv) > 1 else "default",
         backend=sys.argv[2] if len(sys.argv) > 2 else None,
         shards=int(sys.argv[3]) if len(sys.argv) > 3 else None,
+        workers=int(sys.argv[4]) if len(sys.argv) > 4 else None,
     )

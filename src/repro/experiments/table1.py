@@ -30,7 +30,7 @@ from .config import get_scale
 __all__ = ["run_table1", "format_table1", "main"]
 
 
-def run_table1(scale="default", seed=0, backend=None, shards=None):
+def run_table1(scale="default", seed=0, backend=None, shards=None, workers=None):
     """Train ours + both baselines once and return the per-group report.
 
     Returns a dict: ``group → {ours_wmap, finetag_wmap, ours_top1,
@@ -39,14 +39,17 @@ def run_table1(scale="default", seed=0, backend=None, shards=None):
     ``B`` loaded into an ``AssociativeStore``, ``shards`` overriding the
     scale's ``store_shards``) with an exact-recall check through the
     store's cleanup path. ``backend`` overrides the scale's HDC codebook
-    storage backend ("dense"/"packed"); results are identical either way
-    — only storage and query cost change.
+    storage backend ("dense"/"packed"); ``workers`` the store's fan-out
+    thread-pool width — results are identical either way, only storage
+    and query cost change.
     """
     scale = get_scale(scale)
     if backend is not None:
         scale = scale.replace(hdc_backend=backend)
     if shards is not None:
         scale = scale.replace(store_shards=shards)
+    if workers is not None:
+        scale = scale.replace(store_workers=workers)
     dataset = build_dataset(scale, seed=seed)
     split = make_split(dataset, "noZS", seed=seed)
 
@@ -61,7 +64,7 @@ def run_table1(scale="default", seed=0, backend=None, shards=None):
 
     # --- the attribute-level item memory, through the store facade -------- #
     store = pipeline.model.attribute_encoder.attribute_store(
-        shards=scale.store_shards
+        shards=scale.store_shards, workers=scale.store_workers
     )
     recalled, _ = store.cleanup_batch(
         pipeline.model.attribute_encoder.dictionary.matrix()
@@ -140,8 +143,9 @@ def format_table1(report):
     )
 
 
-def main(scale="default", seed=0, backend=None, shards=None):
-    report = run_table1(scale=scale, seed=seed, backend=backend, shards=shards)
+def main(scale="default", seed=0, backend=None, shards=None, workers=None):
+    report = run_table1(scale=scale, seed=seed, backend=backend, shards=shards,
+                        workers=workers)
     print(format_table1(report))
     avg = report["average"]
     print(
@@ -167,4 +171,5 @@ if __name__ == "__main__":
         scale=sys.argv[1] if len(sys.argv) > 1 else "default",
         backend=sys.argv[2] if len(sys.argv) > 2 else None,
         shards=int(sys.argv[3]) if len(sys.argv) > 3 else None,
+        workers=int(sys.argv[4]) if len(sys.argv) > 4 else None,
     )

@@ -34,7 +34,7 @@ def _mini_dim(scale, full_dim):
     return max(8, int(round(scale.embedding_dim * full_dim / 2048)))
 
 
-def run_table2(scale="default", seed=0, backend=None, shards=None):
+def run_table2(scale="default", seed=0, backend=None, shards=None, workers=None):
     """Train all 8 (image encoder × attribute encoder) configurations.
 
     Returns ``[{label, d, hdc, hdc_store, mlp}]`` rows with top-1 %
@@ -42,14 +42,17 @@ def run_table2(scale="default", seed=0, backend=None, shards=None):
     (associative cleanup of binarized embeddings against the sharded
     class store). ``backend`` overrides the scale's HDC storage backend;
     the HDC column's decisions are identical on either backend per seed.
-    ``shards`` overrides the scale's deployment-store shard count, which
-    never changes the store decisions either.
+    ``shards`` overrides the scale's deployment-store shard count and
+    ``workers`` its fan-out thread-pool width — neither changes the
+    store decisions either.
     """
     scale = get_scale(scale)
     if backend is not None:
         scale = scale.replace(hdc_backend=backend)
     if shards is not None:
         scale = scale.replace(store_shards=shards)
+    if workers is not None:
+        scale = scale.replace(store_workers=workers)
     dataset = build_dataset(scale, seed=seed)
     split = make_split(dataset, "ZS", seed=seed)
     rows = []
@@ -95,8 +98,9 @@ def format_table2(rows):
     )
 
 
-def main(scale="default", seed=0, backend=None, shards=None):
-    rows = run_table2(scale=scale, seed=seed, backend=backend, shards=shards)
+def main(scale="default", seed=0, backend=None, shards=None, workers=None):
+    rows = run_table2(scale=scale, seed=seed, backend=backend, shards=shards,
+                      workers=workers)
     print(format_table2(rows))
     best = max(rows, key=lambda r: r["hdc"])
     print(f"\nBest HDC configuration: {best['label']} (paper: ResNet50+FC d=1536)")
@@ -110,4 +114,5 @@ if __name__ == "__main__":
         scale=sys.argv[1] if len(sys.argv) > 1 else "default",
         backend=sys.argv[2] if len(sys.argv) > 2 else None,
         shards=int(sys.argv[3]) if len(sys.argv) > 3 else None,
+        workers=int(sys.argv[4]) if len(sys.argv) > 4 else None,
     )

@@ -30,6 +30,7 @@ from .hypervector import (
     unpack_bits,
 )
 from .item_memory import ItemMemory
+from .ordering import topk_order, topk_order_partitioned
 from .store import AssociativeStore, ShardedItemMemory, open_store, save_store
 from .ops import (
     bind,
@@ -78,6 +79,8 @@ __all__ = [
     "normalized_hamming",
     "Codebook",
     "ItemMemory",
+    "topk_order",
+    "topk_order_partitioned",
     "AssociativeStore",
     "ShardedItemMemory",
     "save_store",

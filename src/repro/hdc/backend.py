@@ -236,6 +236,8 @@ class DenseBackend(HDCBackend):
 
     #: target temporary size (bytes) for the blocked comparison sweep
     _HAMMING_BLOCK_BYTES = 4 << 20
+    #: rows of ``a`` held resident per tile pass
+    _HAMMING_A_BLOCK = 64
 
     def hamming(self, a, b):
         a = np.asarray(a)
@@ -244,14 +246,22 @@ class DenseBackend(HDCBackend):
         b2 = np.atleast_2d(b)
         if a2.shape[-1] != b2.shape[-1]:
             raise ValueError(f"dimension mismatch: {a.shape} vs {b.shape}")
-        num_a = a2.shape[0]
-        counts = np.empty((num_a, b2.shape[0]), dtype=np.int64)
-        per_row = max(1, b2.size)  # one bool per compared component
-        block = max(1, self._HAMMING_BLOCK_BYTES // per_row)
-        for start in range(0, num_a, block):
-            counts[start : start + block] = (
-                a2[start : start + block, None, :] != b2[None, :, :]
-            ).sum(axis=-1, dtype=np.int64)
+        num_a, num_b = a2.shape[0], b2.shape[0]
+        counts = np.empty((num_a, num_b), dtype=np.int64)
+        # Tile over *both* axes: the item (b) axis is the one that grows
+        # into the millions, so the comparison temporary is bounded by
+        # (a_block × tile × d) bools however large the store gets — the
+        # old query-axis-only blocking degenerated to full-store
+        # temporaries per query row.
+        a_block = max(1, min(num_a, self._HAMMING_A_BLOCK))
+        per_pair = max(1, a2.shape[-1] * a_block)
+        tile = max(1, self._HAMMING_BLOCK_BYTES // per_pair)
+        for b_start in range(0, num_b, tile):
+            b_tile = b2[b_start : b_start + tile]
+            for a_start in range(0, num_a, a_block):
+                counts[a_start : a_start + a_block, b_start : b_start + tile] = (
+                    a2[a_start : a_start + a_block, None, :] != b_tile[None, :, :]
+                ).sum(axis=-1, dtype=np.int64)
         return _squeeze_pairwise(counts, a.ndim, b.ndim, scalar=int)
 
     def dot(self, a, b):
@@ -336,19 +346,43 @@ class PackedBackend(HDCBackend):
         # exact (slower) route through the dense layout.
         return pack_bipolar(np.roll(unpack_bipolar(x, self.dim), s, axis=-1))
 
+    #: rows of ``a`` held resident per tile pass
+    _HAMMING_A_BLOCK = 64
+
     def hamming(self, a, b):
         a = self._as_words(a)
         b = self._as_words(b)
         a2 = np.ascontiguousarray(np.atleast_2d(a))
         b2 = np.ascontiguousarray(np.atleast_2d(b))
-        num_a = a2.shape[0]
-        counts = np.empty((num_a, b2.shape[0]), dtype=np.int64)
-        per_row = max(1, b2.size * 8)
-        block = max(1, self._HAMMING_BLOCK_BYTES // per_row)
-        for start in range(0, num_a, block):
-            xor = a2[start : start + block, None, :] ^ b2[None, :, :]
-            counts[start : start + block] = _popcount_sum(xor)
+        num_a, num_b = a2.shape[0], b2.shape[0]
+        counts = np.empty((num_a, num_b), dtype=np.int64)
+        # Tile over the *item* axis (the axis that grows into the
+        # millions): each tile is transposed once into word-major layout
+        # and swept word by word, so every popcount pass runs over a
+        # contiguous (a_block, tile) temporary and the store is read
+        # once per a_block rather than once per query row. The old
+        # query-axis-only blocking materialized a full-store XOR
+        # temporary per query at large n.
+        a_block = max(1, min(num_a, self._HAMMING_A_BLOCK))
+        tile = max(1, self._HAMMING_BLOCK_BYTES // (8 * a_block))
+        for b_start in range(0, num_b, tile):
+            b_tile = np.ascontiguousarray(b2[b_start : b_start + tile].T)
+            for a_start in range(0, num_a, a_block):
+                a_rows = a2[a_start : a_start + a_block]
+                counts[a_start : a_start + a_block, b_start : b_start + tile] = (
+                    self._hamming_tile(a_rows, b_tile)
+                )
         return _squeeze_pairwise(counts, a.ndim, b.ndim, scalar=int)
+
+    def _hamming_tile(self, a_rows, b_tile_T):
+        """Popcount Hamming of ``(A, words)`` rows vs one ``(words, t)`` tile."""
+        if _HAS_BITWISE_COUNT:
+            acc = np.zeros((a_rows.shape[0], b_tile_T.shape[1]), dtype=np.uint64)
+            for word in range(self.num_words):
+                acc += np.bitwise_count(a_rows[:, word, None] ^ b_tile_T[word, None, :])
+            return acc
+        xor = a_rows[:, None, :] ^ b_tile_T.T[None, :, :]
+        return _popcount_sum(xor)
 
     def dot(self, a, b):
         hamming = self.hamming(a, b)

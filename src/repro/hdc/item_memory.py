@@ -32,6 +32,7 @@ import numpy as np
 
 from .backend import make_backend
 from .hypervector import is_bipolar
+from .ordering import topk_order
 
 __all__ = ["ItemMemory"]
 
@@ -294,6 +295,66 @@ class ItemMemory:
         packed = self._pack_query(queries)
         return self._backend.cosine(packed, self._native_matrix())
 
+    def distances_batch(self, queries):
+        """Integer Hamming distances of bipolar queries: ``(B, n)`` int64.
+
+        The integer-domain twin of :meth:`similarities_batch`, used by
+        the sharded store's parallel fan-out so per-shard partials never
+        materialize float similarity rows. Defined for bipolar queries
+        only (the distance is the component disagreement count); cosine
+        similarity is a monotone decreasing function of it, so rankings
+        in either domain agree.
+        """
+        if not self._labels:
+            raise LookupError("item memory is empty")
+        queries = np.asarray(queries)
+        if queries.ndim != 2 or queries.shape[1] != self.dim:
+            raise ValueError(f"expected (B, {self.dim}) queries, got {queries.shape}")
+        if not is_bipolar(queries):
+            raise ValueError(
+                "integer Hamming distances are defined for bipolar (+1/-1) "
+                "queries only; use similarities_batch for real-valued queries"
+            )
+        return self._native_distances(self._backend.from_bipolar(queries))
+
+    def _native_distances(self, native_queries):
+        """Hamming distances of already-converted backend-native queries."""
+        return self._backend.hamming(native_queries, self._native_matrix())
+
+    def extend_native(self, labels, matrix):
+        """Append backend-native rows without converting through bipolar.
+
+        The persistence layer's append path: journaled segment files
+        hold native rows, and a reopened shard folds them in behind its
+        base matrix through the normal pending-row machinery. Validates
+        like :meth:`from_native` (dtype, width, row/label alignment,
+        duplicate labels) before any state changes.
+        """
+        labels = list(labels)
+        matrix = np.asanyarray(matrix)
+        expected = self._backend.from_bipolar(np.ones((0, self.dim), dtype=np.int8))
+        if matrix.ndim != 2 or matrix.shape[1:] != expected.shape[1:]:
+            raise ValueError(
+                f"expected a native ({len(labels)}, {expected.shape[1]}) segment, "
+                f"got {matrix.shape}"
+            )
+        if matrix.dtype != expected.dtype:
+            raise ValueError(
+                f"expected a {expected.dtype} native segment, got {matrix.dtype}"
+            )
+        if matrix.shape[0] != len(labels):
+            raise ValueError(f"{len(labels)} labels but {matrix.shape[0]} segment rows")
+        if len(set(labels)) != len(labels):
+            raise ValueError("duplicate labels in extend_native")
+        for label in labels:
+            if label in self._label_index:
+                raise ValueError(f"label {label!r} already stored")
+        rows = np.array(matrix)  # one materialized copy (the file may be a memmap)
+        for label, row in zip(labels, rows):
+            self._label_index[label] = len(self._labels)
+            self._labels.append(label)
+            self._pending.append(row)
+
     def cleanup(self, query):
         """Return ``(label, similarity)`` of the best-matching stored item.
 
@@ -319,12 +380,12 @@ class ItemMemory:
     def _topk_order(self, sims, k):
         """Top-``k`` row indices: similarity descending, ties by insertion.
 
-        The stable sort on the negated similarities is the documented
-        tie-breaking contract — equal similarities keep insertion order,
-        matching ``cleanup``'s first-maximum ``argmax``.
+        Delegates to the retrieval stack's single tie-break
+        implementation (:func:`repro.hdc.ordering.topk_order` on the
+        negated similarities) — the same function the sharded store's
+        fan-out merge ranks with, so the two paths cannot drift.
         """
-        k = min(k, len(self._labels))
-        return np.argsort(-np.asarray(sims), axis=-1, kind="stable")[..., :k]
+        return topk_order(-np.asarray(sims), min(k, len(self._labels)))
 
     def topk(self, query, k=5):
         """Return the ``k`` best ``(label, similarity)`` pairs, best first.

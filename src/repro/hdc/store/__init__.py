@@ -5,12 +5,15 @@ into a layered subsystem (see ``docs/ARCHITECTURE.md``, "Store layer"):
 
 - :class:`AssociativeStore` (:mod:`.planner`) — the facade every
   consumer uses: one query surface (``cleanup`` / ``cleanup_batch`` /
-  ``topk`` / ``topk_batch``), bounded query blocking, ``save``/``open``.
+  ``topk`` / ``topk_batch``), bounded query blocking, ``save``/``open``
+  plus the append/compact lifecycle of persisted stores.
 - :class:`ShardedItemMemory` (:mod:`.sharded`) — label-routed shards
   with streaming ingestion and fan-out/merge queries, decision-identical
-  to a single ``ItemMemory`` for any shard count.
+  to a single ``ItemMemory`` for any shard *and worker* count.
+- :mod:`.parallel` — the thread-pool shard executor and the
+  integer-distance-domain query partials the fan-out merges.
 - :mod:`.persistence` — packed shard files + JSON manifest, reopened
-  lazily via ``np.memmap``.
+  lazily via ``np.memmap``; appends journal per-shard segment files.
 - :mod:`.routing` — stable hash / round-robin shard placement.
 
 ``ItemMemory`` itself stays in :mod:`repro.hdc.item_memory` as the
@@ -18,10 +21,13 @@ single-shard reference implementation the agreement suite pins the
 subsystem against.
 """
 
+from .parallel import ShardExecutor, resolve_workers
 from .persistence import (
     FORMAT_NAME,
     FORMAT_VERSION,
     MANIFEST_NAME,
+    SUPPORTED_VERSIONS,
+    append_rows,
     open_store,
     save_store,
 )
@@ -32,12 +38,16 @@ from .sharded import DEFAULT_CHUNK_SIZE, ShardedItemMemory
 __all__ = [
     "AssociativeStore",
     "ShardedItemMemory",
+    "ShardExecutor",
+    "resolve_workers",
     "DEFAULT_CHUNK_SIZE",
     "FORMAT_NAME",
     "FORMAT_VERSION",
+    "SUPPORTED_VERSIONS",
     "MANIFEST_NAME",
     "save_store",
     "open_store",
+    "append_rows",
     "ROUTINGS",
     "hash_shard",
     "route_label",

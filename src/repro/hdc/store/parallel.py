@@ -1,0 +1,169 @@
+"""Thread-pool shard fan-out and integer-domain query partials.
+
+The sharded store's query path has two independent scaling levers, both
+implemented here:
+
+- **Fan-out** — per-shard blocked Hamming kernels are independent, and
+  NumPy's popcount / matmul inner loops release the GIL, so a small
+  thread pool genuinely parallelizes them across cores.
+  :class:`ShardExecutor` maps a partial function over the shards —
+  sequentially for ``workers=1``, on a lazily created, reused
+  ``ThreadPoolExecutor`` otherwise — and always returns results in
+  shard order, so completion order can never reorder a merge.
+- **Integer domain** — per-shard partials are ``(uint distance, global
+  insertion index)`` pairs (:func:`shard_cleanup_ints` /
+  :func:`shard_topk_ints`): the blocked kernels already produce integer
+  Hamming distances, ranking by distance *ascending* is exactly ranking
+  by similarity *descending*, and the global insertion index is the
+  shared tie-break key. No per-shard float similarity row is ever
+  materialized; only the final merged top-k converts, and
+  :func:`distances_to_similarities` reproduces the reference backends'
+  float expressions operand for operand, so the conversion is
+  bit-identical to the single-shard ``ItemMemory`` path.
+
+Real-valued queries on the dense backend have no integer distance; the
+float partials (:func:`shard_cleanup_floats` / :func:`shard_topk_floats`)
+carry ``(−similarity, global insertion index)`` instead, which merges
+through the identical ascending contract.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from ..ordering import topk_order_partitioned
+
+__all__ = [
+    "resolve_workers",
+    "ShardExecutor",
+    "shard_cleanup_ints",
+    "shard_topk_ints",
+    "shard_cleanup_floats",
+    "shard_topk_floats",
+    "distances_to_similarities",
+]
+
+
+def resolve_workers(workers):
+    """Normalize a worker-count spec: an int ≥ 1, or ``"auto"`` → CPU count."""
+    if workers is None:
+        return 1
+    if workers == "auto":
+        return max(1, os.cpu_count() or 1)
+    try:
+        workers = int(workers)
+    except (TypeError, ValueError):
+        raise ValueError(f"workers must be an int >= 1 or 'auto', got {workers!r}") from None
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1 (or 'auto'), got {workers}")
+    return workers
+
+
+class ShardExecutor:
+    """Maps a function over shards, sequentially or on a thread pool.
+
+    Results come back in submission (shard) order regardless of
+    completion order — the merge's tie-break correctness never depends
+    on scheduling. The pool is created lazily on the first parallel map
+    and reused across queries; :meth:`close` (also called on garbage
+    collection) shuts it down.
+    """
+
+    def __init__(self, workers=1):
+        self._pool = None  # before validation: __del__ must always find it
+        self.workers = resolve_workers(workers)
+
+    def map(self, fn, items):
+        items = list(items)
+        if self.workers == 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-shard"
+            )
+        return list(self._pool.map(fn, items))
+
+    def close(self):
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False)
+
+    def __del__(self):
+        self.close()
+
+    def __repr__(self):
+        return f"ShardExecutor(workers={self.workers})"
+
+
+# -- per-shard partials: (primary ascending, global insertion index) ------- #
+
+
+def shard_cleanup_ints(shard, native_queries, orders):
+    """One shard's cleanup partial: per-query ``(distance, global order)``.
+
+    ``argmin`` returns the first minimum, and a shard receives its labels
+    in global insertion order, so the earliest local row is also the
+    earliest global row — the tie-break holds before the merge ever runs.
+    """
+    distances = shard._native_distances(native_queries)
+    local = np.argmin(distances, axis=1)
+    rows = np.arange(distances.shape[0])
+    return distances[rows, local], orders[local]
+
+
+def shard_topk_ints(shard, native_queries, k, orders):
+    """One shard's top-k partial: ``(B, k')`` distances + global orders."""
+    distances = shard._native_distances(native_queries)
+    k = min(k, distances.shape[1])
+    selected = np.empty((distances.shape[0], k), dtype=np.int64)
+    for row, distance_row in enumerate(distances):
+        selected[row] = topk_order_partitioned(distance_row, k)
+    rows = np.arange(distances.shape[0])[:, None]
+    return distances[rows, selected], orders[selected]
+
+
+def shard_cleanup_floats(shard, queries, orders):
+    """Float fallback of :func:`shard_cleanup_ints` (real-valued queries).
+
+    Carries the *negated* similarity so the merge ranks ascending on the
+    primary key in both domains.
+    """
+    sims = shard.similarities_batch(queries)
+    local = np.argmax(sims, axis=1)
+    rows = np.arange(sims.shape[0])
+    return -sims[rows, local], orders[local]
+
+
+def shard_topk_floats(shard, queries, k, orders):
+    """Float fallback of :func:`shard_topk_ints` (real-valued queries)."""
+    sims = shard.similarities_batch(queries)
+    k = min(k, sims.shape[1])
+    selected = np.empty((sims.shape[0], k), dtype=np.int64)
+    for row, sim_row in enumerate(sims):
+        selected[row] = topk_order_partitioned(-sim_row, k)
+    rows = np.arange(sims.shape[0])[:, None]
+    return -sims[rows, selected], orders[selected]
+
+
+def distances_to_similarities(distances, dim, backend_name, queries):
+    """Merged integer distances → the reference float similarities.
+
+    Reproduces the exact float expressions of the single-shard paths so
+    the conversion is bit-identical to ``ItemMemory``:
+
+    - packed: ``(d − 2·ham) / d`` (``PackedBackend.dot`` → ``cosine``);
+    - dense: ``(d − 2·ham) / (‖q‖ · √d)`` — the raw matmul dot of a
+      float64 query against bipolar rows is the exactly-representable
+      integer ``d − 2·ham``, and the norms are computed by the same
+      ``np.linalg.norm`` call as ``ItemMemory._dense_similarities``.
+    """
+    dots = (dim - 2 * np.asarray(distances)).astype(np.float64)
+    if backend_name == "packed":
+        return dots / dim
+    norms = np.linalg.norm(np.asarray(queries).astype(np.float64), axis=1)
+    if dots.ndim == 1:
+        return dots / (norms * np.sqrt(dim))
+    return dots / (norms[:, None] * np.sqrt(dim))

@@ -1,56 +1,92 @@
-"""Save / open associative stores: packed shard files + a JSON manifest.
+"""Save / open / append associative stores: shard files + a JSON manifest.
 
 On-disk layout (one directory per store)::
 
     <path>/
-      manifest.json      format version, dim, backend, routing, labels,
-                         and the shard map (file, labels, rows per shard)
-      shard_00000.npy    shard 0's contiguous backend-native matrix
-      shard_00001.npy    ...
+      manifest.json            format version, dim, backend, routing,
+                               generation, labels, and the shard map
+      shard_00000.npy          shard 0's contiguous backend-native matrix
+      shard_00000.seg00002.npy shard 0's first appended segment (journal)
+      shard_00001.npy          ...
 
-Each shard file is a plain ``.npy`` of the shard's native store (dense:
-``(n, dim)`` int8; packed: ``(n, ⌈dim/64⌉)`` uint64) written with
-``np.save``, so :func:`open_store` can hand it straight to ``np.load(...,
-mmap_mode="r")``: a multi-million-item store opens lazily — only the
-manifest and label maps load (O(labels): ~1.5 s at 1M items), the vector
-data stays on disk until a query touches it — and queries against the
-memmap are bit-identical to the in-memory store (same kernels over the
-same words/bytes).
+Each shard's base file is a plain ``.npy`` of the shard's native store
+(dense: ``(n, dim)`` int8; packed: ``(n, ⌈dim/64⌉)`` uint64) written
+with ``np.save``, so :func:`open_store` can hand it straight to
+``np.load(..., mmap_mode="r")``: a multi-million-item store opens lazily
+— only the manifest and label maps load (O(labels): ~1.5 s at 1M items),
+the vector data stays on disk until a query touches it — and queries
+against the memmap are bit-identical to the in-memory store (same
+kernels over the same words/bytes).
+
+**Append/compact lifecycle** (format version 2): :func:`append_rows`
+journals rows added to a reopened store as per-shard *segment* files —
+the base matrices are never rewritten, one segment per touched shard per
+append, committed by a manifest rewrite (the manifest is the commit
+point; an orphaned segment from an interrupted append is simply never
+read). A reopened store folds each shard's segments in behind its base
+matrix in insertion order. Compaction (:func:`save_store` on the same
+path, via ``AssociativeStore.compact()``) rewrites contiguous shard
+files under a bumped ``generation``, deletes the journal, and restores
+the one-lazy-file-per-shard property. All file writes go through a
+temp-file + ``os.replace`` swap, so live memmaps of the previous
+generation stay valid and a crash never leaves a half-written file
+behind.
 
 Labels must be JSON-serializable scalars (``str`` / ``int`` / ``float`` /
-``bool``) and round-trip exactly; the manifest records them per shard
-*and* in global insertion order, which is what preserves the documented
-tie-breaking across a save/open cycle.
+``bool``) and round-trip exactly; the manifest records them per shard,
+per segment, *and* in global insertion order, which is what preserves
+the documented tie-breaking across save/open/append cycles.
 
-``format_version`` is bumped on any incompatible layout change;
-:func:`open_store` refuses versions it does not understand, and a CI
-smoke step (``python -m repro.hdc.store.smoke``) re-opens a freshly
-saved store in a new process so format drift fails the build.
+``format_version`` is bumped on any incompatible layout change; version
+1 (the pre-append format, no ``segments``/``generation``) is still read
+and migrated on open. :func:`open_store` refuses versions it does not
+understand, and a CI smoke step (``python -m repro.hdc.store.smoke``)
+re-opens — and appends to, and compacts — a freshly saved store in new
+processes so format drift fails the build.
 """
 
 from __future__ import annotations
 
 import json
 import math
+import os
 from pathlib import Path
 
 import numpy as np
 
 from ..item_memory import ItemMemory
-from .routing import ROUTINGS
-from .sharded import ShardedItemMemory
+from .routing import ROUTINGS, route_label
+from .sharded import DEFAULT_CHUNK_SIZE, ShardedItemMemory, validate_batch
 
-__all__ = ["FORMAT_NAME", "FORMAT_VERSION", "MANIFEST_NAME", "save_store", "open_store"]
+__all__ = [
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+    "SUPPORTED_VERSIONS",
+    "MANIFEST_NAME",
+    "save_store",
+    "open_store",
+    "append_rows",
+]
 
 FORMAT_NAME = "repro.hdc.store"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+#: versions :func:`open_store` reads (1 = PR 2 layout, migrated on open)
+SUPPORTED_VERSIONS = (1, 2)
 MANIFEST_NAME = "manifest.json"
 
 _LABEL_TYPES = (str, int, float, bool)
 
 
-def _shard_filename(index):
-    return f"shard_{index:05d}.npy"
+def _shard_filename(index, generation):
+    # Generation-unique: a save/compact never overwrites a data file the
+    # previous manifest references, so the manifest swap stays the one
+    # and only commit point (a crash on either side leaves an openable
+    # store). Stale generations are deleted only after the swap.
+    return f"shard_{index:05d}.g{generation:05d}.npy"
+
+
+def _segment_filename(index, generation):
+    return f"shard_{index:05d}.seg{generation:05d}.npy"
 
 
 def _check_labels(labels):
@@ -66,10 +102,54 @@ def _check_labels(labels):
             raise TypeError(f"label {label!r} is not a finite float")
 
 
+def _replace_with(path, writer):
+    """Write through a sibling temp file, then ``os.replace`` into place.
+
+    The swap changes the directory entry, not the old inode, so live
+    ``np.memmap`` views of the previous file stay valid (compaction can
+    rewrite a shard the open store is still reading) and a crash never
+    leaves a torn file under the final name.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        writer(tmp)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def _save_array(path, array):
+    def writer(tmp):
+        with open(tmp, "wb") as handle:
+            np.save(handle, array)
+
+    _replace_with(path, writer)
+
+
+def _write_manifest(path, manifest):
+    _replace_with(
+        Path(path) / MANIFEST_NAME,
+        lambda tmp: tmp.write_text(json.dumps(manifest) + "\n"),
+    )
+    return Path(path) / MANIFEST_NAME
+
+
+def _next_generation(path):
+    """Generation for the next manifest written at ``path`` (0 if fresh)."""
+    try:
+        return int(_read_manifest(path).get("generation", 0)) + 1
+    except (FileNotFoundError, ValueError, TypeError, KeyError):
+        return 0
+
+
 def save_store(memory, path):
     """Write an :class:`ItemMemory` or :class:`ShardedItemMemory` to ``path``.
 
-    Creates the directory (parents included). Returns the manifest path.
+    Creates the directory (parents included) and writes *contiguous*
+    shard files — saving over a store that has journaled append segments
+    folds them in and deletes the journal, i.e. this is also the
+    compaction primitive. Returns the manifest path.
     """
     if isinstance(memory, ItemMemory):
         kind, shards, routing = "single", [memory], None
@@ -86,20 +166,21 @@ def save_store(memory, path):
 
     path = Path(path)
     path.mkdir(parents=True, exist_ok=True)
+    generation = _next_generation(path)
+    # Crash-safe ordering: (1) write this generation's data files under
+    # names no earlier manifest references, (2) swap the manifest —
+    # the commit point — then (3) garbage-collect files the committed
+    # manifest no longer names (stale shards of a wider layout, folded
+    # append segments, previous generations). A crash at any point
+    # leaves a directory whose manifest fully describes existing files.
     shard_entries = []
     for index, shard in enumerate(shards):
-        filename = _shard_filename(index)
-        np.save(path / filename, shard.native_matrix())
+        filename = _shard_filename(index, generation)
+        _save_array(path / filename, shard.native_matrix())
         shard_entries.append(
-            {"file": filename, "rows": len(shard), "labels": list(shard.labels)}
+            {"file": filename, "rows": len(shard), "labels": list(shard.labels),
+             "segments": []}
         )
-    # Overwriting a wider store must not leave its extra shard files
-    # behind: the manifest would be correct, but stale vector data would
-    # linger for anything globbing shard_*.npy.
-    current = {entry["file"] for entry in shard_entries}
-    for stale in path.glob("shard_*.npy"):
-        if stale.name not in current:
-            stale.unlink()
     manifest = {
         "format": FORMAT_NAME,
         "format_version": FORMAT_VERSION,
@@ -108,11 +189,15 @@ def save_store(memory, path):
         "backend": shards[0].backend.name,
         "routing": routing,
         "num_shards": len(shards),
+        "generation": generation,
         "labels": labels,
         "shards": shard_entries,
     }
-    manifest_path = path / MANIFEST_NAME
-    manifest_path.write_text(json.dumps(manifest) + "\n")
+    manifest_path = _write_manifest(path, manifest)
+    current = {entry["file"] for entry in shard_entries}
+    for stale in path.glob("shard_*.npy"):
+        if stale.name not in current:
+            stale.unlink()
     return manifest_path
 
 
@@ -127,10 +212,10 @@ def _read_manifest(path):
             f"(format={manifest.get('format')!r})"
         )
     version = manifest.get("format_version")
-    if version != FORMAT_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise ValueError(
             f"store format version {version!r} is not supported "
-            f"(this build reads version {FORMAT_VERSION})"
+            f"(this build reads versions {SUPPORTED_VERSIONS})"
         )
     if manifest.get("kind") not in ("single", "sharded"):
         raise ValueError(f"unknown store kind {manifest.get('kind')!r}")
@@ -138,7 +223,29 @@ def _read_manifest(path):
         raise ValueError(f"unknown routing policy {manifest.get('routing')!r}")
     if len(manifest["shards"]) != manifest["num_shards"]:
         raise ValueError("manifest shard count does not match shard entries")
+    # Version-1 manifests predate the append journal: migrate in place.
+    manifest.setdefault("generation", 0)
+    for entry in manifest["shards"]:
+        entry.setdefault("segments", [])
     return manifest
+
+
+def _load_matrix(path, entry, what, mmap):
+    """Load one base/segment file, validating it against its manifest entry."""
+    file_path = path / entry["file"]
+    if not file_path.is_file():
+        raise FileNotFoundError(f"missing {what} file {file_path}")
+    try:
+        matrix = np.load(file_path, mmap_mode="r" if mmap else None)
+    except (ValueError, EOFError, OSError) as exc:
+        raise ValueError(f"corrupted {what} file {file_path}: {exc}") from exc
+    if matrix.ndim != 2 or matrix.shape[0] != entry["rows"] \
+            or len(entry["labels"]) != entry["rows"]:
+        raise ValueError(
+            f"{file_path} holds {matrix.shape[0] if matrix.ndim else 0} rows but "
+            f"the manifest records {entry['rows']} ({len(entry['labels'])} labels)"
+        )
+    return matrix
 
 
 def open_store(path, mmap=True):
@@ -146,31 +253,120 @@ def open_store(path, mmap=True):
 
     Returns an :class:`ItemMemory` (kind ``"single"``) or a
     :class:`ShardedItemMemory` (kind ``"sharded"``). With ``mmap=True``
-    (default) each shard matrix is an ``np.load(..., mmap_mode="r")``
-    view — no vector data is materialized until queried, so opening
-    costs only the label-map rebuild (O(labels)). ``mmap=False`` reads
-    everything into RAM up front (useful when the store directory is
-    about to be deleted).
+    (default) each shard's *base* matrix is an ``np.load(...,
+    mmap_mode="r")`` view — no vector data is materialized until
+    queried, so opening costs only the label-map rebuild (O(labels)).
+    Journaled append segments (if any) fold in behind the base matrix in
+    insertion order; the first query materializes such a shard into RAM
+    (``compact()`` restores the fully lazy layout). A segment whose rows,
+    dtype, or width disagree with the manifest raises — a corrupted
+    journal must fail, never mis-answer. ``mmap=False`` reads everything
+    into RAM up front (useful when the store directory is about to be
+    deleted).
     """
     path = Path(path)
     manifest = _read_manifest(path)
     dim, backend = manifest["dim"], manifest["backend"]
     shards = []
     for entry in manifest["shards"]:
-        shard_path = path / entry["file"]
-        if not shard_path.is_file():
-            raise FileNotFoundError(f"missing shard file {shard_path}")
-        matrix = np.load(shard_path, mmap_mode="r" if mmap else None)
-        if matrix.shape[0] != entry["rows"] or len(entry["labels"]) != entry["rows"]:
-            raise ValueError(
-                f"{shard_path} holds {matrix.shape[0]} rows but the manifest "
-                f"records {entry['rows']} ({len(entry['labels'])} labels)"
-            )
-        shards.append(
-            ItemMemory.from_native(dim, entry["labels"], matrix, backend=backend)
-        )
+        matrix = _load_matrix(path, entry, "shard", mmap)
+        shard = ItemMemory.from_native(dim, entry["labels"], matrix, backend=backend)
+        for segment in entry["segments"]:
+            segment_matrix = _load_matrix(path, segment, "segment", mmap)
+            shard.extend_native(segment["labels"], segment_matrix)
+        shards.append(shard)
     if manifest["kind"] == "single":
-        return shards[0]
+        memory = shards[0]
+        if list(memory.labels) != list(manifest["labels"]):
+            raise ValueError(
+                "global labels do not match the shard's base+segment labels"
+            )
+        return memory
     return ShardedItemMemory.from_shards(
         shards, manifest["labels"], routing=manifest["routing"]
     )
+
+
+def append_rows(memory, path, labels, vectors, chunk_size=DEFAULT_CHUNK_SIZE):
+    """Ingest rows into an opened ``memory`` *and* journal them at ``path``.
+
+    The append story for persisted stores: the whole batch is validated
+    up front (labels, alignment, duplicates, shape, bipolarity — a
+    rejected batch touches neither RAM nor disk), new rows route exactly
+    as the in-memory ingest routes them, land in ``memory``, and are
+    then journaled as one native-layout segment file per touched shard,
+    committed by a single manifest rewrite under a bumped
+    ``generation``. Returns the manifest path.
+
+    Cost note: the manifest commit rewrites the full label maps, so one
+    append call is O(batch + total labels) — batch your appends; a loop
+    of single-row ``add`` calls on a large persisted store pays the
+    full-manifest rewrite (and one segment file per touched shard) per
+    row. O(batch) manifest deltas are a ROADMAP rung.
+    """
+    path = Path(path)
+    manifest = _read_manifest(path)
+    sharded = isinstance(memory, ShardedItemMemory)
+    kind = "sharded" if sharded else "single"
+    if manifest["kind"] != kind:
+        raise ValueError(
+            f"cannot append a {kind} store to a {manifest['kind']} manifest"
+        )
+    if manifest["dim"] != memory.dim or manifest["backend"] != memory.backend.name:
+        raise ValueError(
+            f"open store (dim={memory.dim}, backend={memory.backend.name!r}) does "
+            f"not match the manifest (dim={manifest['dim']}, "
+            f"backend={manifest['backend']!r})"
+        )
+    if list(manifest["labels"]) != list(memory.labels):
+        raise ValueError(
+            "on-disk manifest is out of sync with the open store; "
+            "re-open or compact() before appending"
+        )
+    labels = list(labels)
+    _check_labels(labels)  # journalable before anything commits
+    base = len(memory)
+
+    # Validate the *whole* batch up front — labels (alignment,
+    # duplicates in-batch and against the store) and rows (shape,
+    # bipolarity). The in-memory ingest streams chunk by chunk, so
+    # without this a failure in a late chunk would commit earlier
+    # chunks to RAM with nothing journaled, leaving the open handle
+    # permanently diverged from disk.
+    vectors = np.asarray(vectors)
+    validate_batch(labels, vectors, memory)
+    reference_shard = memory.shards[0] if sharded else memory
+    if vectors.ndim != 2 or vectors.shape != (len(labels), memory.dim):
+        raise ValueError(
+            f"expected a ({len(labels)}, {memory.dim}) append batch, "
+            f"got {vectors.shape}"
+        )
+    reference_shard._check_rows(vectors, (len(labels), memory.dim))
+
+    # Group the new rows by destination shard — the same route_label the
+    # in-memory ingest uses, so journal placement can never diverge.
+    if sharded:
+        groups = {}
+        for offset, label in enumerate(labels):
+            index = route_label(label, base + offset, memory.num_shards,
+                                memory.routing)
+            groups.setdefault(index, []).append(offset)
+        memory.add_many(labels, vectors, chunk_size=chunk_size)
+    else:
+        groups = {0: list(range(len(labels)))}
+        memory.add_many(labels, vectors)
+
+    generation = int(manifest["generation"]) + 1
+    for index in sorted(groups):
+        offsets = groups[index]
+        segment_labels = [labels[o] for o in offsets]
+        native = memory.backend.from_bipolar(np.asarray(vectors[offsets]))
+        filename = _segment_filename(index, generation)
+        _save_array(path / filename, native)
+        manifest["shards"][index]["segments"].append(
+            {"file": filename, "rows": len(offsets), "labels": segment_labels}
+        )
+    manifest["labels"] = list(memory.labels)
+    manifest["generation"] = generation
+    manifest["format_version"] = FORMAT_VERSION  # appending migrates v1 stores
+    return _write_manifest(path, manifest)

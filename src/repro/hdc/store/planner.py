@@ -18,15 +18,21 @@ boundaries are invisible.
 ``save``/``open`` delegate to :mod:`repro.hdc.store.persistence`:
 ``open`` memmaps the shard files, so opening costs only the label maps
 (O(labels), ~1.5 s at one million items) and the vector data pages in
-on demand.
+on demand. A store opened from a path stays *attached* to it:
+``add``/``add_many`` journal the new rows as per-shard segment files
+(the append story — reopen, append, query), and :meth:`compact` folds
+the journal back into contiguous shard files.
 """
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 
 from ..item_memory import ItemMemory
-from .persistence import open_store, save_store
+from .parallel import resolve_workers
+from .persistence import append_rows, open_store, save_store
 from .sharded import DEFAULT_CHUNK_SIZE, ShardedItemMemory, validate_batch
 
 __all__ = ["AssociativeStore"]
@@ -48,21 +54,28 @@ class AssociativeStore:
     query_block:
         Max queries scored per underlying call — bounds the similarity
         temporary at ``query_block × largest-shard`` entries.
+    workers:
+        Thread-pool width of the sharded query fan-out (int ≥ 1 or
+        ``"auto"``); never changes decisions, only wall-clock. With one
+        shard there is nothing to fan out and the value is ignored.
     """
 
     def __init__(self, dim, backend="dense", shards=1, routing="hash",
-                 query_block=1024):
+                 query_block=1024, workers=1):
         if shards < 1:
             raise ValueError("shards must be >= 1")
         if query_block < 1:
             raise ValueError("query_block must be >= 1")
+        resolve_workers(workers)  # validate even when ignored below
         if shards == 1:
             memory = ItemMemory(dim, backend=backend)
         else:
             memory = ShardedItemMemory(
-                dim, num_shards=shards, backend=backend, routing=routing
+                dim, num_shards=shards, backend=backend, routing=routing,
+                workers=workers,
             )
         self._memory = memory
+        self._path = None
         self.query_block = int(query_block)
 
     @classmethod
@@ -72,26 +85,40 @@ class AssociativeStore:
             raise ValueError("query_block must be >= 1")
         store = cls.__new__(cls)
         store._memory = memory
+        store._path = None
         store.query_block = int(query_block)
         return store
 
     @classmethod
     def from_vectors(cls, labels, vectors, backend="dense", shards=1,
-                     routing="hash", query_block=1024,
+                     routing="hash", query_block=1024, workers=1,
                      chunk_size=DEFAULT_CHUNK_SIZE):
         """Build a store directly from a labelled ``(n, dim)`` stack."""
         vectors = np.asarray(vectors)
         if vectors.ndim != 2:
             raise ValueError(f"expected an (n, dim) stack, got {vectors.shape}")
         store = cls(vectors.shape[1], backend=backend, shards=shards,
-                    routing=routing, query_block=query_block)
+                    routing=routing, query_block=query_block, workers=workers)
         store.add_many(labels, vectors, chunk_size=chunk_size)
         return store
 
     @classmethod
-    def open(cls, path, mmap=True, query_block=1024):
-        """Reopen a saved store (lazily memmapped by default)."""
-        return cls._wrap(open_store(path, mmap=mmap), query_block=query_block)
+    def open(cls, path, mmap=True, query_block=1024, workers=1):
+        """Reopen a saved store (lazily memmapped by default).
+
+        The returned store is attached to ``path``: subsequent
+        ``add``/``add_many`` calls journal the rows to per-shard segment
+        files and :meth:`compact` rewrites contiguous shards. ``workers``
+        sets the sharded fan-out width (ignored for single-shard stores).
+        """
+        memory = open_store(path, mmap=mmap)
+        if isinstance(memory, ShardedItemMemory):
+            memory.workers = workers
+        else:
+            resolve_workers(workers)
+        store = cls._wrap(memory, query_block=query_block)
+        store._path = Path(path)
+        return store
 
     # -- introspection ----------------------------------------------------- #
 
@@ -119,6 +146,17 @@ class AssociativeStore:
         return memory.routing if isinstance(memory, ShardedItemMemory) else None
 
     @property
+    def workers(self):
+        """Fan-out thread-pool width (1 for single-shard stores)."""
+        memory = self._memory
+        return memory.workers if isinstance(memory, ShardedItemMemory) else 1
+
+    @property
+    def path(self):
+        """The attached persistence directory (``None`` for in-memory stores)."""
+        return self._path
+
+    @property
     def labels(self):
         return self._memory.labels
 
@@ -143,6 +181,7 @@ class AssociativeStore:
             "backend": self.backend_name,
             "shards": self.num_shards,
             "routing": self.routing,
+            "workers": self.workers,
             "bytes": self.measured_bytes(),
         }
 
@@ -155,21 +194,32 @@ class AssociativeStore:
     # -- ingestion --------------------------------------------------------- #
 
     def add(self, label, vector):
-        """Store one labelled hypervector."""
+        """Store one labelled hypervector (journaled when persisted)."""
+        if self._path is not None:
+            self.add_many([label], np.asarray(vector)[None])
+            return
         self._memory.add(label, vector)
 
     def add_many(self, labels, vectors, chunk_size=DEFAULT_CHUNK_SIZE):
         """Stream labelled vectors in, ``chunk_size`` rows at a time.
 
         ``vectors`` only needs ``len()`` and row slicing (an ``np.memmap``
-        streams through without materializing).
+        streams through without materializing). On a store opened from a
+        path, the batch is additionally journaled to per-shard segment
+        files and committed by a manifest rewrite — reopen, append,
+        query is the supported lifecycle (:meth:`compact` folds the
+        journal back in).
         """
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        if self._path is not None:
+            append_rows(self._memory, self._path, labels, vectors,
+                        chunk_size=chunk_size)
+            return
         memory = self._memory
         if isinstance(memory, ShardedItemMemory):
             memory.add_many(labels, vectors, chunk_size=chunk_size)
             return
-        if chunk_size < 1:
-            raise ValueError("chunk_size must be >= 1")
         labels = validate_batch(labels, vectors, memory)
         for start in range(0, len(labels), chunk_size):
             memory.add_many(
@@ -222,5 +272,25 @@ class AssociativeStore:
     # -- persistence -------------------------------------------------------- #
 
     def save(self, path):
-        """Write the store (shard matrices + manifest) to ``path``."""
+        """Write the store (contiguous shard matrices + manifest) to ``path``.
+
+        Saving does not attach the in-memory store to ``path``; use
+        :meth:`open` to get a journaling, appendable handle on the saved
+        directory.
+        """
         return save_store(self._memory, path)
+
+    def compact(self):
+        """Fold journaled append segments back into contiguous shard files.
+
+        Rewrites every shard's full native matrix under a bumped
+        manifest ``generation`` and deletes the segment journal, so the
+        directory is again one lazily memmappable file per shard.
+        Requires a store opened from a path. Returns the manifest path.
+        """
+        if self._path is None:
+            raise ValueError(
+                "compact() needs a persisted store; open it with "
+                "AssociativeStore.open(path) first"
+            )
+        return save_store(self._memory, self._path)

@@ -2,30 +2,53 @@
 
 ``ShardedItemMemory`` routes labels to shards (:mod:`.routing`), ingests
 in streaming chunks, and answers batched cleanup / top-k queries by
-fanning the query block across shards and merging the per-shard partial
-results. Per-shard scoring runs through :class:`ItemMemory`'s existing
-blocked similarity kernels, so the peak temporary is bounded by the
-largest *shard*, not the whole store — the property that lets one
-process serve multi-million-item stores.
+fanning the query block across shards — sequentially or on a thread
+pool (``workers=``, see :mod:`.parallel`) — and merging the per-shard
+partial results. Per-shard scoring runs through :class:`ItemMemory`'s
+blocked Hamming kernels, so the peak temporary is bounded by the kernel
+tile, not the store — the property that lets one process serve
+multi-million-item stores.
 
-Decision contract (the agreement suite pins this): for any shard count
-and either backend, every ``cleanup`` / ``topk`` decision is identical
-to a single :class:`ItemMemory` holding the same items in the same
-insertion order. That holds because
+The merge operates end-to-end in the **integer distance domain**: each
+shard's partial is a ``(uint Hamming distance, global insertion index)``
+pair per candidate, no per-shard float similarity row is materialized,
+and only the final merged top-k converts to float similarity
+(:func:`.parallel.distances_to_similarities` — the exact float
+expressions of the reference path). Real-valued queries on the dense
+backend fall back to float partials carrying ``(−similarity, index)``;
+both domains merge under the identical ascending contract.
 
-- per-item similarities are computed by the same kernels on the same
-  rows (exact integer dots / popcounts, so shard layout cannot change a
-  value), and
-- ties are merged under the shared contract: similarity descending,
-  then *global insertion order* ascending — which is exactly
-  ``ItemMemory``'s first-maximum / stable-sort behaviour.
+Decision contract (the agreement suite pins this): for any shard count,
+any worker count, and either backend, every ``cleanup`` / ``topk``
+decision is identical to a single :class:`ItemMemory` holding the same
+items in the same insertion order. That holds because
+
+- per-item distances/similarities are computed by the same kernels on
+  the same rows (exact integer popcounts / dots, so shard layout cannot
+  change a value),
+- ties merge under the shared contract of
+  :func:`repro.hdc.ordering.topk_order` — primary key ascending, then
+  *global insertion order* ascending — which is exactly ``ItemMemory``'s
+  first-maximum / stable-sort behaviour, and
+- the executor returns partials in shard order, so completion order
+  cannot reorder a merge.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..hypervector import is_bipolar
 from ..item_memory import ItemMemory
+from ..ordering import topk_order
+from .parallel import (
+    ShardExecutor,
+    distances_to_similarities,
+    shard_cleanup_floats,
+    shard_cleanup_ints,
+    shard_topk_floats,
+    shard_topk_ints,
+)
 from .routing import ROUTINGS, route_label
 
 __all__ = ["ShardedItemMemory", "DEFAULT_CHUNK_SIZE", "validate_batch"]
@@ -73,9 +96,14 @@ class ShardedItemMemory:
         Label-placement policy: ``"hash"`` (stable content hash) or
         ``"round_robin"`` (i-th item → shard ``i % N``). See
         :mod:`repro.hdc.store.routing`.
+    workers:
+        Thread-pool width for the per-shard query fan-out: an int ≥ 1
+        (``1`` = sequential) or ``"auto"`` for the CPU count. Worker
+        count never changes decisions, only wall-clock.
     """
 
-    def __init__(self, dim, num_shards=4, backend="dense", routing="hash"):
+    def __init__(self, dim, num_shards=4, backend="dense", routing="hash",
+                 workers=1):
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
         if routing not in ROUTINGS:
@@ -86,9 +114,14 @@ class ShardedItemMemory:
         self._labels = []  # global insertion order
         self._order = {}  # label -> global insertion index
         self._shard_of = {}  # label -> shard index
+        # Per-shard global insertion indices, in shard-row order; the
+        # cached int64 arrays are what query partials index into.
+        self._shard_orders = [[] for _ in range(num_shards)]
+        self._shard_order_arrays = [None] * num_shards
+        self._executor = ShardExecutor(workers)
 
     @classmethod
-    def from_shards(cls, shards, labels, routing="hash"):
+    def from_shards(cls, shards, labels, routing="hash", workers=1):
         """Rebuild a sharded memory around existing shards (persistence).
 
         ``shards`` are :class:`ItemMemory` instances of matching dim and
@@ -103,7 +136,7 @@ class ShardedItemMemory:
         if len(dims) != 1 or len(names) != 1:
             raise ValueError("shards must share one dim and one backend")
         memory = cls(shards[0].dim, num_shards=len(shards),
-                     backend=names.pop(), routing=routing)
+                     backend=names.pop(), routing=routing, workers=workers)
         memory._shards = shards
         labels = list(labels)
         if len(set(labels)) != len(labels):
@@ -121,6 +154,10 @@ class ShardedItemMemory:
         memory._labels = labels
         memory._order = {label: i for i, label in enumerate(labels)}
         memory._shard_of = shard_of
+        memory._shard_orders = [
+            [memory._order[label] for label in shard.labels] for shard in shards
+        ]
+        memory._shard_order_arrays = [None] * len(shards)
         return memory
 
     # -- introspection ----------------------------------------------------- #
@@ -133,6 +170,16 @@ class ShardedItemMemory:
     @property
     def num_shards(self):
         return len(self._shards)
+
+    @property
+    def workers(self):
+        """Thread-pool width of the query fan-out (settable)."""
+        return self._executor.workers
+
+    @workers.setter
+    def workers(self, value):
+        self._executor.close()
+        self._executor = ShardExecutor(value)
 
     @property
     def shards(self):
@@ -170,7 +217,7 @@ class ShardedItemMemory:
         return (
             f"ShardedItemMemory(n={len(self)}, dim={self.dim}, "
             f"shards={self.num_shards}, routing={self.routing!r}, "
-            f"backend={self.backend.name!r})"
+            f"backend={self.backend.name!r}, workers={self.workers})"
         )
 
     # -- ingestion --------------------------------------------------------- #
@@ -182,8 +229,23 @@ class ShardedItemMemory:
         index = route_label(label, len(self._labels), self.num_shards, self.routing)
         self._shards[index].add(label, vector)  # validates; raises before commit
         self._shard_of[label] = index
-        self._order[label] = len(self._labels)
+        self._commit_order(index, label)
+
+    def _commit_order(self, shard_index, label):
+        """Record one committed label's global order everywhere it lives."""
+        order = len(self._labels)
+        self._order[label] = order
         self._labels.append(label)
+        self._shard_orders[shard_index].append(order)
+        self._shard_order_arrays[shard_index] = None
+
+    def _orders_of(self, shard_index):
+        """Cached ``(n_shard,)`` int64 global-order array for one shard."""
+        cached = self._shard_order_arrays[shard_index]
+        if cached is None:
+            cached = np.asarray(self._shard_orders[shard_index], dtype=np.int64)
+            self._shard_order_arrays[shard_index] = cached
+        return cached
 
     def add_many(self, labels, vectors, chunk_size=DEFAULT_CHUNK_SIZE):
         """Stream a stack of vectors into the shards, ``chunk_size`` rows at a time.
@@ -228,8 +290,8 @@ class ShardedItemMemory:
             for label in shard_labels:
                 self._shard_of[label] = index
         for label in chunk_labels:
-            self._order[label] = len(self._labels)
-            self._labels.append(label)
+            index = self._shard_of[label]
+            self._commit_order(index, label)
 
     # -- queries ----------------------------------------------------------- #
 
@@ -242,7 +304,23 @@ class ShardedItemMemory:
         return queries
 
     def _active_shards(self):
-        return [shard for shard in self._shards if len(shard)]
+        """``(shard, global-order array)`` pairs for the non-empty shards."""
+        return [
+            (shard, self._orders_of(index))
+            for index, shard in enumerate(self._shards)
+            if len(shard)
+        ]
+
+    def _native_queries(self, queries):
+        """Queries in backend-native form for the integer-distance path,
+        or ``None`` when only the float path applies (real-valued dense
+        queries). The packed backend rejects non-bipolar queries with
+        the same error as :class:`ItemMemory`."""
+        if self.backend.name == "packed":
+            return self._shards[0]._pack_query(queries)
+        if is_bipolar(queries):
+            return self.backend.from_bipolar(queries)
+        return None
 
     def similarities_batch(self, queries):
         """Cosine similarities ``(B, n)`` with columns in global insertion order.
@@ -252,12 +330,12 @@ class ShardedItemMemory:
         """
         queries = self._check_queries(queries)
         out = np.empty((queries.shape[0], len(self._labels)), dtype=np.float64)
-        for shard in self._active_shards():
-            columns = np.fromiter(
-                (self._order[label] for label in shard.labels),
-                dtype=np.int64, count=len(shard),
-            )
-            out[:, columns] = shard.similarities_batch(queries)
+        partials = self._executor.map(
+            lambda pair: (pair[1], pair[0].similarities_batch(queries)),
+            self._active_shards(),
+        )
+        for columns, sims in partials:
+            out[:, columns] = sims
         return out
 
     def cleanup(self, query):
@@ -268,27 +346,36 @@ class ShardedItemMemory:
     def cleanup_batch(self, queries):
         """Batched cleanup across shards: ``(B, dim)`` → ``(labels, sims)``.
 
-        Each shard answers with its own best match (its ``cleanup_batch``
-        already prefers the earliest-inserted label on ties); the merge
-        keeps the highest similarity, breaking exact ties by global
-        insertion order — bit-identical to a single ``ItemMemory``.
+        Each shard answers with its own best ``(distance, global order)``
+        pair; the merge keeps the lexicographic minimum — smallest
+        distance, ties by earliest global insertion — and only then
+        converts to float similarity. Bit-identical to a single
+        ``ItemMemory``.
         """
         queries = self._check_queries(queries)
-        num = queries.shape[0]
-        best_sims = np.full(num, -np.inf)
-        best_orders = np.full(num, np.iinfo(np.int64).max, dtype=np.int64)
-        best_labels = [None] * num
-        for shard in self._active_shards():
-            labels, sims = shard.cleanup_batch(queries)
-            orders = np.fromiter(
-                (self._order[label] for label in labels), dtype=np.int64, count=num
+        shards = self._active_shards()
+        native = self._native_queries(queries)
+        if native is not None:
+            partials = self._executor.map(
+                lambda pair: shard_cleanup_ints(pair[0], native, pair[1]), shards
             )
-            better = (sims > best_sims) | ((sims == best_sims) & (orders < best_orders))
-            best_sims = np.where(better, sims, best_sims)
-            best_orders = np.where(better, orders, best_orders)
-            for i in np.nonzero(better)[0]:
-                best_labels[i] = labels[i]
-        return best_labels, best_sims
+        else:
+            partials = self._executor.map(
+                lambda pair: shard_cleanup_floats(pair[0], queries, pair[1]), shards
+            )
+        primary = np.stack([p for p, _ in partials])  # (S, B)
+        orders = np.stack([o for _, o in partials])  # (S, B)
+        best = np.lexsort((orders, primary), axis=0)[0]  # best shard per query
+        columns = np.arange(primary.shape[1])
+        best_orders = orders[best, columns]
+        best_primary = primary[best, columns]
+        if native is not None:
+            sims = distances_to_similarities(
+                best_primary, self.dim, self.backend.name, queries
+            )
+        else:
+            sims = -best_primary
+        return [self._labels[order] for order in best_orders], sims
 
     def topk(self, query, k=5):
         """Return the ``k`` best ``(label, similarity)`` pairs, best first."""
@@ -297,19 +384,41 @@ class ShardedItemMemory:
     def topk_batch(self, queries, k=5):
         """Batched top-k across shards: ``B`` ranked lists of ``(label, sim)``.
 
-        Each shard contributes its local top-``k`` (computed under the
-        shared tie-break contract), so merging at most ``shards × k``
-        candidates per query reproduces the global ranking exactly.
+        Each shard contributes its local top-``k`` as integer
+        ``(distance, global order)`` pairs (partition-accelerated, exact
+        ties included), so merging at most ``shards × k`` candidates per
+        query under the shared :func:`~repro.hdc.ordering.topk_order`
+        contract reproduces the global ranking exactly; the ``(B, k)``
+        merged winners are the only values converted to float.
         """
         queries = self._check_queries(queries)
         k = min(k, len(self._labels))
-        merged = [[] for _ in range(queries.shape[0])]
-        for shard in self._active_shards():
-            for row, ranked in zip(merged, shard.topk_batch(queries, k=k)):
-                row.extend(
-                    (-sim, self._order[label], label, sim) for label, sim in ranked
-                )
+        shards = self._active_shards()
+        native = self._native_queries(queries)
+        if native is not None:
+            partials = self._executor.map(
+                lambda pair: shard_topk_ints(pair[0], native, k, pair[1]), shards
+            )
+        else:
+            partials = self._executor.map(
+                lambda pair: shard_topk_floats(pair[0], queries, k, pair[1]), shards
+            )
+        primary = np.concatenate([p for p, _ in partials], axis=1)  # (B, Σk')
+        orders = np.concatenate([o for _, o in partials], axis=1)
+        selected = topk_order(primary, k, tiebreak=orders)
+        rows = np.arange(primary.shape[0])[:, None]
+        merged_orders = orders[rows, selected]
+        merged_primary = primary[rows, selected]
+        if native is not None:
+            sims = distances_to_similarities(
+                merged_primary, self.dim, self.backend.name, queries
+            )
+        else:
+            sims = -merged_primary
         return [
-            [(label, sim) for _, _, label, sim in sorted(row)[:k]]
-            for row in merged
+            [
+                (self._labels[order], float(sim))
+                for order, sim in zip(order_row, sim_row)
+            ]
+            for order_row, sim_row in zip(merged_orders, sims)
         ]

@@ -1,17 +1,26 @@
-"""Store round-trip smoke check: build → save → reopen → query, the
-reopen happening in a *fresh process* so any persistence-format drift
-(manifest schema, shard layout, bit convention) fails loudly — CI runs
+"""Store round-trip smoke check: build → save → reopen → append →
+compact → query, every reopen happening in a *fresh process* so any
+persistence-format drift (manifest schema, shard layout, segment
+journal, bit convention) fails loudly — CI runs
 ``python -m repro.hdc.store.smoke`` as a dedicated step.
 
-The parent process builds a sharded packed store, saves it, and records
-cleanup + top-k answers for a noisy query batch. A child interpreter —
-which shares no in-memory state, only the on-disk format — reopens the
-store via memmap and must reproduce the answers bit-for-bit.
+The parent process builds a sharded packed store with a multi-worker
+fan-out, saves it, and records cleanup + top-k answers for a noisy query
+batch. A child interpreter — which shares no in-memory state, only the
+on-disk format — reopens the store via memmap and must reproduce the
+answers bit-for-bit. The parent then *appends* rows through the journal
+(per-shard segment files) and a second child must answer for the grown
+store; after ``compact()`` a third child must still agree, from the
+rewritten contiguous layout.
+
+``STORE_SMOKE_ITEMS`` scales the store (default 400; the CI
+``store_scale`` step runs a larger pass).
 """
 
 from __future__ import annotations
 
 import json
+import os
 import subprocess
 import sys
 import tempfile
@@ -23,8 +32,10 @@ from ..hypervector import random_bipolar
 from .planner import AssociativeStore
 
 DIM = 512
-ITEMS = 400
+ITEMS = int(os.environ.get("STORE_SMOKE_ITEMS", 400))
+APPEND_ITEMS = max(8, ITEMS // 8)
 SHARDS = 3
+WORKERS = 2
 QUERIES = 16
 
 _CHILD = """
@@ -33,7 +44,7 @@ import numpy as np
 from repro.hdc.store import AssociativeStore
 
 path, query_path = sys.argv[1], sys.argv[2]
-store = AssociativeStore.open(path)  # memmap-backed
+store = AssociativeStore.open(path, workers=2)  # memmap-backed fan-out
 queries = np.load(query_path)
 labels, sims = store.cleanup_batch(queries)
 topk = store.topk_batch(queries, k=5)
@@ -47,51 +58,94 @@ print(json.dumps({
 """
 
 
-def main():
-    rng = np.random.default_rng(7)
-    vectors = random_bipolar(ITEMS, DIM, rng)
-    store = AssociativeStore(DIM, backend="packed", shards=SHARDS)
-    store.add_many([f"item{i}" for i in range(ITEMS)], vectors, chunk_size=128)
+def _expected(store, queries):
+    labels, sims = store.cleanup_batch(queries)
+    return {
+        "labels": labels,
+        "sims": [float(s) for s in sims],
+        "topk": [
+            [[label, float(sim)] for label, sim in row]
+            for row in store.topk_batch(queries, k=5)
+        ],
+        "items": len(store),
+        "shards": store.num_shards,
+    }
 
-    queries = vectors[rng.integers(0, ITEMS, size=QUERIES)].copy()
-    flips = rng.integers(0, DIM, size=(QUERIES, DIM // 8))
+
+def _child_answers(store_path, query_path):
+    child = subprocess.run(
+        [sys.executable, "-c", _CHILD, str(store_path), str(query_path)],
+        capture_output=True, text=True,
+    )
+    if child.returncode != 0:
+        print(child.stdout)
+        print(child.stderr, file=sys.stderr)
+        return None
+    return json.loads(child.stdout)
+
+
+def _noisy(vectors, rng, num):
+    queries = vectors[rng.integers(0, len(vectors), size=num)].copy()
+    flips = rng.integers(0, DIM, size=(num, DIM // 8))
     for row, columns in enumerate(flips):
         queries[row, columns] *= -1
+    return queries
 
-    expected_labels, expected_sims = store.cleanup_batch(queries)
-    expected_topk = store.topk_batch(queries, k=5)
+
+def main():
+    rng = np.random.default_rng(7)
+    vectors = random_bipolar(ITEMS + APPEND_ITEMS, DIM, rng)
+    store = AssociativeStore(DIM, backend="packed", shards=SHARDS, workers=WORKERS)
+    store.add_many([f"item{i}" for i in range(ITEMS)], vectors[:ITEMS],
+                   chunk_size=128)
+    queries = _noisy(vectors[:ITEMS], rng, QUERIES)
 
     with tempfile.TemporaryDirectory() as tmp:
         store_path = Path(tmp) / "store"
         query_path = Path(tmp) / "queries.npy"
         store.save(store_path)
         np.save(query_path, queries)
-        child = subprocess.run(
-            [sys.executable, "-c", _CHILD, str(store_path), str(query_path)],
-            capture_output=True, text=True,
-        )
-    if child.returncode != 0:
-        print(child.stdout)
-        print(child.stderr, file=sys.stderr)
-        print("SMOKE FAIL: fresh-process reopen crashed", file=sys.stderr)
-        return 1
 
-    answer = json.loads(child.stdout)
-    ok = (
-        answer["items"] == ITEMS
-        and answer["shards"] == SHARDS
-        and answer["labels"] == expected_labels
-        and answer["sims"] == [float(s) for s in expected_sims]
-        and answer["topk"]
-        == [[[label, float(sim)] for label, sim in row] for row in expected_topk]
-    )
-    if not ok:
-        print("SMOKE FAIL: reopened store answers differ from the in-memory store",
-              file=sys.stderr)
-        return 1
+        stages = []
+        # Stage 1: plain save → fresh-process memmap reopen.
+        stages.append(("saved", _expected(store, queries)))
+        answer = _child_answers(store_path, query_path)
+        if answer != stages[-1][1]:
+            print("SMOKE FAIL: reopened store answers differ from the "
+                  "in-memory store", file=sys.stderr)
+            return 1
+
+        # Stage 2: append through the journal; child must see the growth.
+        grown = AssociativeStore.open(store_path, workers=WORKERS)
+        grown.add_many(
+            [f"item{ITEMS + i}" for i in range(APPEND_ITEMS)],
+            vectors[ITEMS:],
+        )
+        queries = _noisy(vectors, rng, QUERIES)  # may now hit appended rows
+        np.save(query_path, queries)
+        stages.append(("appended", _expected(grown, queries)))
+        answer = _child_answers(store_path, query_path)
+        if answer != stages[-1][1]:
+            print("SMOKE FAIL: journaled append not reproduced after "
+                  "fresh-process reopen", file=sys.stderr)
+            return 1
+
+        # Stage 3: compact; the contiguous rewrite must change nothing.
+        grown.compact()
+        if list(store_path.glob("shard_*.seg*.npy")):
+            print("SMOKE FAIL: compact() left segment files behind",
+                  file=sys.stderr)
+            return 1
+        answer = _child_answers(store_path, query_path)
+        if answer != stages[-1][1]:
+            print("SMOKE FAIL: compacted store answers differ",
+                  file=sys.stderr)
+            return 1
+
     print(
-        f"store smoke OK: {ITEMS} items x {DIM} dims, {SHARDS} shards, "
-        f"{QUERIES} queries bit-identical after fresh-process memmap reopen"
+        f"store smoke OK: {ITEMS}+{APPEND_ITEMS} items x {DIM} dims, "
+        f"{SHARDS} shards, workers={WORKERS}, {QUERIES} queries bit-identical "
+        f"across save / append / compact fresh-process reopens"
     )
     return 0
 

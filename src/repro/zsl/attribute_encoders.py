@@ -80,13 +80,15 @@ class HDCAttributeEncoder(nn.Module):
         """Name of the HDC storage backend holding the codebooks."""
         return self.dictionary.backend.name
 
-    def attribute_store(self, shards=1, routing="hash", query_block=1024):
+    def attribute_store(self, shards=1, routing="hash", query_block=1024,
+                        workers=1):
         """The dictionary ``B`` as an :class:`~repro.hdc.store.AssociativeStore`.
 
         One labelled hypervector per attribute combination
         (``"group::value"``), on the encoder's storage backend — the
         attribute-level item memory a deployment cleans noisy attribute
-        estimates against. Sharding never changes decisions.
+        estimates against. Neither sharding nor the ``workers`` fan-out
+        width ever changes decisions.
         """
         from ..hdc.store import AssociativeStore
 
@@ -97,6 +99,7 @@ class HDCAttributeEncoder(nn.Module):
         return AssociativeStore.from_vectors(
             labels, self.dictionary.matrix(), backend=self.backend_name,
             shards=shards, routing=routing, query_block=query_block,
+            workers=workers,
         )
 
     def memory_report(self):

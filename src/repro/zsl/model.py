@@ -148,7 +148,8 @@ class HDCZSC(nn.Module):
         return np.concatenate(batches, axis=0)
 
     def class_store(self, class_attributes, labels=None, shards=1,
-                    routing="hash", backend=None, query_block=1024):
+                    routing="hash", backend=None, query_block=1024,
+                    workers=1):
         """Build the class-level item memory behind store-backed inference.
 
         Encodes ``class_attributes`` through φ(·), sign-binarizes the
@@ -158,7 +159,9 @@ class HDCZSC(nn.Module):
         associative cleanup of the binarized embedding against binarized
         class hypervectors. ``labels`` default to the row indices of
         ``class_attributes``; ``backend`` defaults to the HDC encoder's
-        storage backend (``"dense"`` for the MLP encoder).
+        storage backend (``"dense"`` for the MLP encoder); ``workers``
+        sets the sharded fan-out thread-pool width (decisions are
+        worker-invariant).
         """
         with self._stationary():
             class_embeddings = self.attribute_encoder(class_attributes).data
@@ -169,7 +172,7 @@ class HDCZSC(nn.Module):
             backend = getattr(self.attribute_encoder, "backend_name", "dense")
         return AssociativeStore.from_vectors(
             labels, prototypes, backend=backend, shards=shards,
-            routing=routing, query_block=query_block,
+            routing=routing, query_block=query_block, workers=workers,
         )
 
     def predict_store(self, images, store, batch_size=64):

@@ -1,0 +1,18 @@
+"""Store-test fixtures: the ``store_scale`` sizing knob.
+
+``store_scale``-marked tests exercise the store at 100k-item scale —
+too slow for tier-1, so the marker is deselected by default
+(``pytest.ini``) and CI runs them in a dedicated nightly-style step
+(``-m store_scale``). ``STORE_SCALE_ITEMS`` overrides the item count
+for quick local runs.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture
+def store_scale_items():
+    """Item count for ``store_scale`` tests (default 100k)."""
+    return int(os.environ.get("STORE_SCALE_ITEMS", 100_000))

@@ -1,0 +1,298 @@
+"""Append/compact lifecycle of persisted stores.
+
+Round-trips the full journal story — reopen → append → query → compact
+→ reopen — plus the format-version-1 (PR 2 layout) migration and the
+corrupted-segment failure cases, which must raise, never mis-answer.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.hdc import ItemMemory, random_bipolar
+from repro.hdc.store import (
+    FORMAT_VERSION,
+    MANIFEST_NAME,
+    AssociativeStore,
+    ShardedItemMemory,
+    append_rows,
+    open_store,
+    save_store,
+)
+
+
+def _reference(labels, vectors, backend="packed", dim=None):
+    memory = ItemMemory(dim or vectors.shape[1], backend=backend)
+    memory.add_many(labels, vectors)
+    return memory
+
+
+def _manifest(path):
+    return json.loads((path / MANIFEST_NAME).read_text())
+
+
+def _write_manifest(path, manifest):
+    (path / MANIFEST_NAME).write_text(json.dumps(manifest))
+
+
+def _downgrade_to_v1(path):
+    """Rewrite a saved manifest in the PR 2 (version 1) layout."""
+    manifest = _manifest(path)
+    assert all(not entry["segments"] for entry in manifest["shards"])
+    manifest["format_version"] = 1
+    manifest.pop("generation")
+    for entry in manifest["shards"]:
+        entry.pop("segments")
+    _write_manifest(path, manifest)
+
+
+class TestAppendRoundTrip:
+    @pytest.mark.parametrize("backend", ["dense", "packed"])
+    @pytest.mark.parametrize("shards", [1, 3])
+    def test_reopen_append_query_compact_reopen(self, backend, shards, tmp_path, rng):
+        dim = 256
+        vectors = random_bipolar(40, dim, rng)
+        labels = [f"item{i}" for i in range(40)]
+        store = AssociativeStore.from_vectors(labels[:25], vectors[:25],
+                                              backend=backend, shards=shards)
+        store.save(tmp_path / "store")
+
+        # reopen → append (journaled as segments) → query
+        reopened = AssociativeStore.open(tmp_path / "store", workers=2)
+        reopened.add_many(labels[25:37], vectors[25:37])
+        reopened.add(labels[37], vectors[37])
+        segments = list((tmp_path / "store").glob("shard_*.seg*.npy"))
+        assert segments, "appends must journal per-shard segment files"
+        reference = _reference(labels[:38], vectors[:38], backend=backend)
+        queries = vectors[:10]
+        assert reopened.cleanup_batch(queries)[0] == reference.cleanup_batch(queries)[0]
+        assert reopened.topk_batch(queries, k=7) == reference.topk_batch(queries, k=7)
+
+        # a *fresh* reopen reads base + segments in insertion order
+        fresh = AssociativeStore.open(tmp_path / "store")
+        assert fresh.labels == tuple(labels[:38])
+        ref_labels, ref_sims = reference.cleanup_batch(queries)
+        new_labels, new_sims = fresh.cleanup_batch(queries)
+        assert new_labels == ref_labels and np.array_equal(new_sims, ref_sims)
+
+        # compact → contiguous shards, journal gone, answers unchanged
+        generation_before = _manifest(tmp_path / "store")["generation"]
+        fresh.compact()
+        assert not list((tmp_path / "store").glob("shard_*.seg*.npy"))
+        manifest = _manifest(tmp_path / "store")
+        assert manifest["generation"] > generation_before
+        assert all(not entry["segments"] for entry in manifest["shards"])
+        compacted = AssociativeStore.open(tmp_path / "store")
+        assert compacted.labels == tuple(labels[:38])
+        assert compacted.topk_batch(queries, k=7) == reference.topk_batch(queries, k=7)
+
+    def test_multiple_append_rounds_accumulate_segments(self, tmp_path, rng):
+        dim = 128
+        vectors = random_bipolar(30, dim, rng)
+        labels = list(range(30))
+        AssociativeStore.from_vectors(labels[:10], vectors[:10], shards=2,
+                                      backend="packed").save(tmp_path / "store")
+        reopened = AssociativeStore.open(tmp_path / "store")
+        reopened.add_many(labels[10:20], vectors[10:20])
+        reopened.add_many(labels[20:], vectors[20:])
+        manifest = _manifest(tmp_path / "store")
+        assert manifest["generation"] == 2
+        assert sum(len(e["segments"]) for e in manifest["shards"]) >= 2
+        fresh = AssociativeStore.open(tmp_path / "store")
+        reference = _reference(labels, vectors)
+        assert fresh.labels == tuple(labels)
+        assert fresh.topk_batch(vectors[:6], k=5) == reference.topk_batch(
+            vectors[:6], k=5
+        )
+
+    def test_round_robin_appends_keep_routing_invariants(self, tmp_path, rng):
+        dim = 64
+        vectors = random_bipolar(16, dim, rng)
+        labels = [f"v{i}" for i in range(16)]
+        memory = ShardedItemMemory(dim, num_shards=4, routing="round_robin")
+        memory.add_many(labels[:8], vectors[:8])
+        save_store(memory, tmp_path / "store")
+        reopened = AssociativeStore.open(tmp_path / "store")
+        reopened.add_many(labels[8:], vectors[8:])
+        fresh = AssociativeStore.open(tmp_path / "store")
+        # i % 4 placement continues across the save/append boundary
+        assert fresh.memory.shard_sizes == (4, 4, 4, 4)
+        assert [fresh.memory.shard_of(label) for label in labels] == [
+            i % 4 for i in range(16)
+        ]
+
+    def test_append_duplicate_rejected_without_touching_disk(self, tmp_path, rng):
+        vectors = random_bipolar(4, 64, rng)
+        AssociativeStore.from_vectors(list("abcd"), vectors, shards=2,
+                                      backend="packed").save(tmp_path / "store")
+        reopened = AssociativeStore.open(tmp_path / "store")
+        before = _manifest(tmp_path / "store")
+        with pytest.raises(ValueError, match="already stored"):
+            reopened.add_many(["e", "a"], random_bipolar(2, 64, rng))
+        assert len(reopened) == 4  # nothing half-committed in memory
+        assert _manifest(tmp_path / "store") == before  # ... or on disk
+        assert not list((tmp_path / "store").glob("shard_*.seg*.npy"))
+
+    def test_unserializable_append_labels_rejected_before_commit(self, tmp_path, rng):
+        vectors = random_bipolar(2, 64, rng)
+        AssociativeStore.from_vectors(["a", "b"], vectors).save(tmp_path / "store")
+        reopened = AssociativeStore.open(tmp_path / "store")
+        with pytest.raises(TypeError, match="JSON-serializable"):
+            reopened.add_many([("tuple", "label")], random_bipolar(1, 64, rng))
+        assert len(reopened) == 2  # memory untouched too
+
+    def test_partial_batch_failure_commits_nothing_anywhere(self, tmp_path, rng):
+        """A late-chunk validation failure must not commit earlier chunks
+        to RAM either — the open handle and the disk stay in sync."""
+        dim = 64
+        vectors = random_bipolar(10, dim, rng).astype(np.float64)
+        AssociativeStore.from_vectors(list("abcd"), vectors[:4].astype(np.int8),
+                                      shards=2, backend="packed").save(
+            tmp_path / "store")
+        reopened = AssociativeStore.open(tmp_path / "store")
+        bad = vectors[4:]
+        bad[-1, 0] = 0.5  # last chunk is invalid
+        with pytest.raises(ValueError, match="bipolar"):
+            reopened.add_many([f"n{i}" for i in range(6)], bad, chunk_size=2)
+        assert len(reopened) == 4  # no partial in-memory commit
+        assert not list((tmp_path / "store").glob("shard_*.seg*.npy"))
+        reopened.add_many(["ok"], random_bipolar(1, dim, rng))  # still in sync
+        assert AssociativeStore.open(tmp_path / "store").labels == (
+            "a", "b", "c", "d", "ok"
+        )
+
+    def test_interrupted_compaction_leaves_an_openable_store(self, tmp_path, rng,
+                                                             monkeypatch):
+        """The manifest swap is the commit point: a crash during the data
+        writes of compact() must leave the previous generation intact."""
+        dim = 64
+        vectors = random_bipolar(12, dim, rng)
+        AssociativeStore.from_vectors(list("abcdefgh"), vectors[:8], shards=2,
+                                      backend="packed").save(tmp_path / "store")
+        reopened = AssociativeStore.open(tmp_path / "store")
+        reopened.add_many(["i", "j", "k", "l"], vectors[8:])
+        expected = AssociativeStore.open(tmp_path / "store").topk_batch(
+            vectors[:5], k=4
+        )
+
+        import repro.hdc.store.persistence as persistence_module
+
+        def crash(path, manifest):
+            raise RuntimeError("simulated crash before the manifest commit")
+
+        monkeypatch.setattr(persistence_module, "_write_manifest", crash)
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            reopened.compact()
+        monkeypatch.undo()
+        # The old manifest still fully describes existing files.
+        survivor = AssociativeStore.open(tmp_path / "store")
+        assert survivor.labels == tuple("abcdefghijkl")
+        assert survivor.topk_batch(vectors[:5], k=4) == expected
+
+    def test_compact_requires_a_persisted_store(self, rng):
+        store = AssociativeStore.from_vectors(["a"], random_bipolar(1, 64, rng))
+        with pytest.raises(ValueError, match="persisted"):
+            store.compact()
+
+    def test_append_rows_rejects_out_of_sync_manifest(self, tmp_path, rng):
+        vectors = random_bipolar(4, 64, rng)
+        AssociativeStore.from_vectors(list("abcd"), vectors, backend="packed").save(
+            tmp_path / "store"
+        )
+        stale = open_store(tmp_path / "store")  # plain memory, no journal
+        stale.add("extra", random_bipolar(1, 64, rng)[0])  # in-memory only
+        with pytest.raises(ValueError, match="out of sync"):
+            append_rows(stale, tmp_path / "store", ["f"], random_bipolar(1, 64, rng))
+
+
+class TestFormatMigration:
+    def test_version1_manifest_opens_and_answers(self, tmp_path, rng):
+        dim = 128
+        vectors = random_bipolar(20, dim, rng)
+        labels = [f"v{i}" for i in range(20)]
+        store = AssociativeStore.from_vectors(labels, vectors, shards=3,
+                                              backend="packed")
+        store.save(tmp_path / "store")
+        _downgrade_to_v1(tmp_path / "store")
+        reopened = AssociativeStore.open(tmp_path / "store")
+        assert reopened.labels == store.labels
+        queries = random_bipolar(5, dim, rng)
+        ref_labels, ref_sims = store.cleanup_batch(queries)
+        new_labels, new_sims = reopened.cleanup_batch(queries)
+        assert new_labels == ref_labels and np.array_equal(new_sims, ref_sims)
+
+    def test_appending_migrates_version1_to_current(self, tmp_path, rng):
+        dim = 64
+        vectors = random_bipolar(6, dim, rng)
+        AssociativeStore.from_vectors(list("abcd"), vectors[:4], shards=2,
+                                      backend="packed").save(tmp_path / "store")
+        _downgrade_to_v1(tmp_path / "store")
+        reopened = AssociativeStore.open(tmp_path / "store")
+        reopened.add_many(["e", "f"], vectors[4:])
+        manifest = _manifest(tmp_path / "store")
+        assert manifest["format_version"] == FORMAT_VERSION
+        fresh = AssociativeStore.open(tmp_path / "store")
+        assert fresh.labels == ("a", "b", "c", "d", "e", "f")
+
+    def test_future_version_still_refused(self, tmp_path, rng):
+        AssociativeStore.from_vectors(["a"], random_bipolar(1, 32, rng)).save(
+            tmp_path / "store"
+        )
+        manifest = _manifest(tmp_path / "store")
+        manifest["format_version"] = FORMAT_VERSION + 1
+        _write_manifest(tmp_path / "store", manifest)
+        with pytest.raises(ValueError, match="format version"):
+            open_store(tmp_path / "store")
+
+
+class TestCorruptedSegments:
+    def _saved_with_segment(self, tmp_path, rng, dim=64):
+        vectors = random_bipolar(8, dim, rng)
+        AssociativeStore.from_vectors(list("abcd"), vectors[:4], shards=2,
+                                      backend="packed").save(tmp_path / "store")
+        reopened = AssociativeStore.open(tmp_path / "store")
+        reopened.add_many(["e", "f", "g", "h"], vectors[4:])
+        segments = sorted((tmp_path / "store").glob("shard_*.seg*.npy"))
+        assert segments
+        return tmp_path / "store", segments
+
+    def test_segment_row_count_mismatch_raises(self, tmp_path, rng):
+        path, segments = self._saved_with_segment(tmp_path, rng)
+        matrix = np.load(segments[0])
+        np.save(segments[0], np.vstack([matrix, matrix[:1]]))  # extra ghost row
+        with pytest.raises(ValueError, match="rows"):
+            open_store(path)
+
+    def test_truncated_segment_file_raises(self, tmp_path, rng):
+        path, segments = self._saved_with_segment(tmp_path, rng)
+        payload = segments[0].read_bytes()
+        segments[0].write_bytes(payload[: len(payload) // 2])
+        with pytest.raises(ValueError, match="corrupted|rows"):
+            open_store(path)
+
+    def test_wrong_dtype_segment_raises(self, tmp_path, rng):
+        path, segments = self._saved_with_segment(tmp_path, rng)
+        matrix = np.load(segments[0])
+        np.save(segments[0], matrix.astype(np.int32))  # not the native dtype
+        with pytest.raises(ValueError, match="native"):
+            open_store(path)
+
+    def test_missing_segment_file_raises(self, tmp_path, rng):
+        path, segments = self._saved_with_segment(tmp_path, rng)
+        segments[0].unlink()
+        with pytest.raises(FileNotFoundError, match="segment"):
+            open_store(path)
+
+    def test_segment_label_collision_raises(self, tmp_path, rng):
+        """A journal claiming a label the base already holds must fail at
+        open, not shadow or duplicate the row."""
+        path, segments = self._saved_with_segment(tmp_path, rng)
+        manifest = _manifest(path)
+        for entry in manifest["shards"]:
+            if entry["segments"]:
+                entry["segments"][0]["labels"][0] = entry["labels"][0]
+                break
+        _write_manifest(path, manifest)
+        with pytest.raises(ValueError, match="already stored|do not match"):
+            open_store(path)

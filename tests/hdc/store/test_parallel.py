@@ -1,0 +1,244 @@
+"""Parallel fan-out agreement: workers × shards × backends vs ItemMemory.
+
+The decision contract of the parallel query path (in the spirit of
+``test_sharded.py``, which pins the layout dimension): for any worker
+count, any shard count, and both backends, every cleanup / top-k /
+top-k-batch decision must be *bit-identical* to the single-shard
+reference ``ItemMemory`` holding the same items in the same insertion
+order — including tie-heavy inputs where out-of-order shard completion
+would reorder a merge that keyed on anything but the global insertion
+index.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hdc import ItemMemory, random_bipolar
+from repro.hdc.store import AssociativeStore, ShardedItemMemory, resolve_workers
+from repro.hdc.store.parallel import ShardExecutor, distances_to_similarities
+
+WORKER_COUNTS = (1, 2, 7)
+SHARD_COUNTS = (1, 3, 8)
+BACKENDS = ("dense", "packed")
+
+
+def _noisy_queries(vectors, rng, num=6, flip_fraction=0.2):
+    dim = vectors.shape[1]
+    queries = vectors[rng.integers(0, len(vectors), size=num)].copy()
+    flips = rng.integers(0, dim, size=(num, int(dim * flip_fraction)))
+    for row, columns in enumerate(flips):
+        queries[row, columns] *= -1
+    return queries
+
+
+def _pair(dim, labels, vectors, backend, shards, workers, routing="hash"):
+    reference = ItemMemory(dim, backend=backend)
+    reference.add_many(labels, vectors)
+    sharded = ShardedItemMemory(dim, num_shards=shards, backend=backend,
+                                routing=routing, workers=workers)
+    sharded.add_many(labels, vectors, chunk_size=7)  # odd chunks on purpose
+    return reference, sharded
+
+
+class TestWorkerAgreement:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_cleanup_batch_bit_identical(self, backend, shards, workers, rng):
+        dim = 256
+        labels = [f"item{i}" for i in range(40)]
+        vectors = random_bipolar(40, dim, rng)
+        reference, sharded = _pair(dim, labels, vectors, backend, shards, workers)
+        queries = _noisy_queries(vectors, rng)
+        ref_labels, ref_sims = reference.cleanup_batch(queries)
+        sh_labels, sh_sims = sharded.cleanup_batch(queries)
+        assert sh_labels == ref_labels
+        assert np.array_equal(sh_sims, ref_sims)  # exact, not allclose
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_topk_and_topk_batch_bit_identical(self, backend, shards, workers, rng):
+        dim = 256
+        labels = [f"item{i}" for i in range(40)]
+        vectors = random_bipolar(40, dim, rng)
+        reference, sharded = _pair(dim, labels, vectors, backend, shards, workers)
+        queries = _noisy_queries(vectors, rng)
+        for k in (1, 5, 17, 100):  # 100 > store size
+            assert sharded.topk_batch(queries, k=k) == reference.topk_batch(
+                queries, k=k
+            )
+        assert sharded.topk(queries[0], k=9) == reference.topk(queries[0], k=9)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_tie_heavy_inputs_resolve_by_global_insertion_order(
+        self, backend, workers, rng
+    ):
+        """Many duplicate vectors spread across many shards: every shard
+        returns identical distances, so a merge keyed on completion order
+        (threads finish in any order) instead of insertion order would be
+        nondeterministic. Repeat the query to catch scheduling luck."""
+        dim = 128
+        base = random_bipolar(3, dim, rng)
+        labels = [f"dup{i}" for i in range(24)]
+        vectors = np.tile(base, (8, 1))  # 8 copies of each of 3 vectors
+        reference, sharded = _pair(dim, labels, vectors, backend, 8, workers)
+        queries = np.concatenate([base, base])
+        expected_topk = reference.topk_batch(queries, k=24)
+        expected_cleanup = reference.cleanup_batch(queries)
+        for _ in range(5):  # scheduling varies run to run
+            assert sharded.topk_batch(queries, k=24) == expected_topk
+            got_labels, got_sims = sharded.cleanup_batch(queries)
+            assert got_labels == expected_cleanup[0]
+            assert np.array_equal(got_sims, expected_cleanup[1])
+        # The winner is the globally earliest-inserted duplicate.
+        assert sharded.cleanup(base[0])[0] == "dup0"
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_real_valued_dense_queries_use_float_fallback(self, workers, rng):
+        """Non-bipolar queries have no integer distance; the float-partial
+        fallback must return the same *decisions*. (Sim values may differ
+        in the last ULP: BLAS accumulates a (B,d)@(d,n) matmul differently
+        for different n, so real-valued dots are not associativity-exact —
+        the same caveat the PR 2 sequential merge had. Bipolar queries are
+        exact-integer dots and stay bit-identical; see the other tests.)"""
+        dim = 192
+        labels = [f"v{i}" for i in range(30)]
+        vectors = random_bipolar(30, dim, rng)
+        reference, sharded = _pair(dim, labels, vectors, "dense", 5, workers)
+        queries = rng.normal(size=(7, dim))
+        ref_labels, ref_sims = reference.cleanup_batch(queries)
+        sh_labels, sh_sims = sharded.cleanup_batch(queries)
+        assert sh_labels == ref_labels
+        assert np.allclose(sh_sims, ref_sims, rtol=0, atol=1e-12)
+        ref_topk = reference.topk_batch(queries, k=6)
+        sh_topk = sharded.topk_batch(queries, k=6)
+        for ref_row, sh_row in zip(ref_topk, sh_topk):
+            assert [label for label, _ in sh_row] == [label for label, _ in ref_row]
+            assert np.allclose(
+                [sim for _, sim in sh_row], [sim for _, sim in ref_row],
+                rtol=0, atol=1e-12,
+            )
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_similarities_batch_in_global_order(self, workers, rng):
+        dim = 128
+        labels = [f"v{i}" for i in range(25)]
+        vectors = random_bipolar(25, dim, rng)
+        reference, sharded = _pair(dim, labels, vectors, "packed", 4, workers)
+        queries = random_bipolar(4, dim, rng)
+        assert np.array_equal(
+            sharded.similarities_batch(queries),
+            reference.similarities_batch(queries),
+        )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_append_history_never_changes_decisions(self, backend, rng):
+        """Incremental adds after the bulk load (the append history of a
+        persisted store) must leave decisions identical to one bulk
+        reference, for parallel workers too."""
+        dim = 128
+        labels = [f"v{i}" for i in range(30)]
+        vectors = random_bipolar(30, dim, rng)
+        reference = ItemMemory(dim, backend=backend)
+        reference.add_many(labels, vectors)
+        sharded = ShardedItemMemory(dim, num_shards=3, backend=backend, workers=2)
+        sharded.add_many(labels[:18], vectors[:18], chunk_size=5)
+        sharded.add_many(labels[18:27], vectors[18:27])
+        for label, vector in zip(labels[27:], vectors[27:]):
+            sharded.add(label, vector)
+        queries = _noisy_queries(vectors, rng)
+        assert sharded.cleanup_batch(queries)[0] == reference.cleanup_batch(queries)[0]
+        assert sharded.topk_batch(queries, k=8) == reference.topk_batch(queries, k=8)
+
+
+class TestFacadeAndExecutor:
+    def test_store_facade_threads_workers(self, rng):
+        vectors = random_bipolar(20, 128, rng)
+        labels = [f"v{i}" for i in range(20)]
+        store = AssociativeStore.from_vectors(labels, vectors, shards=4,
+                                              backend="packed", workers=3)
+        assert store.workers == 3
+        assert store.stats()["workers"] == 3
+        single = AssociativeStore.from_vectors(labels, vectors, workers=3)
+        assert single.workers == 1  # nothing to fan out
+        assert store.cleanup(vectors[7])[0] == "v7"
+
+    def test_workers_is_settable_on_a_live_memory(self, rng):
+        sharded = ShardedItemMemory(64, num_shards=3, workers=1)
+        sharded.add_many([f"v{i}" for i in range(9)], random_bipolar(9, 64, rng))
+        query = random_bipolar(2, 64, rng)
+        before = sharded.topk_batch(query, k=4)
+        sharded.workers = 4
+        assert sharded.workers == 4
+        assert sharded.topk_batch(query, k=4) == before
+
+    def test_resolve_workers(self):
+        assert resolve_workers(None) == 1
+        assert resolve_workers(1) == 1
+        assert resolve_workers(7) == 7
+        assert resolve_workers("auto") >= 1
+        with pytest.raises(ValueError, match="workers"):
+            resolve_workers(0)
+        with pytest.raises(ValueError, match="workers"):
+            resolve_workers("many")
+        with pytest.raises(ValueError, match="workers"):
+            ShardedItemMemory(64, num_shards=2, workers=-1)
+        with pytest.raises(ValueError, match="workers"):
+            AssociativeStore(64, shards=2, workers=0)
+
+    def test_executor_preserves_submission_order(self):
+        executor = ShardExecutor(workers=4)
+        try:
+            # Later items finish first; results must stay in order.
+            import time
+
+            def slow_identity(item):
+                time.sleep(0.02 * (4 - item))
+                return item
+
+            assert executor.map(slow_identity, range(4)) == [0, 1, 2, 3]
+        finally:
+            executor.close()
+
+    def test_distances_to_similarities_matches_reference_floats(self, rng):
+        dim = 192
+        vectors = random_bipolar(12, dim, rng)
+        queries = random_bipolar(3, dim, rng)
+        for backend in BACKENDS:
+            memory = ItemMemory(dim, backend=backend)
+            memory.add_many(list(range(12)), vectors)
+            distances = memory.distances_batch(queries)
+            sims = distances_to_similarities(distances, dim, backend, queries)
+            assert np.array_equal(sims, memory.similarities_batch(queries))
+
+    def test_distances_batch_rejects_non_bipolar(self, rng):
+        memory = ItemMemory(32, backend="dense")
+        memory.add("a", random_bipolar(1, 32, rng)[0])
+        with pytest.raises(ValueError, match="bipolar"):
+            memory.distances_batch(np.ones((1, 32)) * 0.5)
+
+
+@pytest.mark.store_scale
+class TestStoreScale:
+    """Slow large-store cases (run with ``-m store_scale``; CI nightly-style)."""
+
+    def test_agreement_at_scale(self, store_scale_items):
+        rng = np.random.default_rng(99)
+        dim = 512
+        items = store_scale_items
+        vectors = random_bipolar(items, dim, rng)
+        labels = list(range(items))
+        reference = ItemMemory(dim, backend="packed")
+        reference.add_many(labels, vectors)
+        sharded = ShardedItemMemory(dim, num_shards=8, backend="packed", workers=4)
+        sharded.add_many(labels, vectors)
+        queries = _noisy_queries(vectors, rng, num=16, flip_fraction=0.125)
+        ref_labels, ref_sims = reference.cleanup_batch(queries)
+        sh_labels, sh_sims = sharded.cleanup_batch(queries)
+        assert sh_labels == ref_labels
+        assert np.array_equal(sh_sims, ref_sims)
+        assert sharded.topk_batch(queries, k=10) == reference.topk_batch(
+            queries, k=10
+        )

@@ -75,9 +75,14 @@ class TestRoundTrip:
     def test_overwriting_with_fewer_shards_removes_stale_files(self, tmp_path, rng):
         save_store(_build_sharded(rng, shards=4), tmp_path / "store")
         save_store(_build_sharded(rng, shards=2), tmp_path / "store")
+        reopened = open_store(tmp_path / "store")
+        assert reopened.num_shards == 2
+        # Only the committed manifest's files survive: no stale shards
+        # from the wider layout, no previous generation's bases.
+        manifest = json.loads((tmp_path / "store" / MANIFEST_NAME).read_text())
         remaining = sorted(p.name for p in (tmp_path / "store").glob("shard_*.npy"))
-        assert remaining == ["shard_00000.npy", "shard_00001.npy"]
-        assert open_store(tmp_path / "store").num_shards == 2
+        assert remaining == sorted(entry["file"] for entry in manifest["shards"])
+        assert len(remaining) == 2
 
     def test_from_native_does_not_freeze_callers_array(self, rng):
         matrix = np.ascontiguousarray(random_bipolar(3, 32, rng))
@@ -121,7 +126,9 @@ class TestDriftGuards:
 
     def test_missing_shard_file_refused(self, tmp_path, rng):
         save_store(_build_sharded(rng), tmp_path / "store")
-        (tmp_path / "store" / "shard_00001.npy").unlink()
+        manifest = json.loads((tmp_path / "store" / MANIFEST_NAME).read_text())
+        victim = manifest["shards"][1]["file"]
+        (tmp_path / "store" / victim).unlink()
         with pytest.raises(FileNotFoundError, match="shard_00001"):
             open_store(tmp_path / "store")
 

@@ -1,0 +1,131 @@
+"""Direct pin of the shared top-k ordering / tie-break implementation.
+
+``repro.hdc.ordering.topk_order`` is the *single* tie-break the whole
+retrieval stack resolves through — ``ItemMemory.topk_batch`` and the
+sharded fan-out merge both call it, so this file is what keeps the two
+paths from ever drifting apart on ties.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hdc import ItemMemory, random_bipolar
+from repro.hdc.ordering import topk_order, topk_order_partitioned
+from repro.hdc.store import ShardedItemMemory
+
+
+class TestTopkOrder:
+    def test_ranks_primary_ascending(self):
+        assert topk_order(np.array([5, 1, 3]), 3).tolist() == [1, 2, 0]
+        assert topk_order(np.array([5, 1, 3]), 2).tolist() == [1, 2]
+
+    def test_default_tiebreak_is_position(self):
+        # equal keys keep their positions (= insertion order)
+        assert topk_order(np.array([2, 1, 2, 1, 1]), 5).tolist() == [1, 3, 4, 0, 2]
+
+    def test_explicit_tiebreak_overrides_position(self):
+        primary = np.array([1, 1, 1, 0])
+        tiebreak = np.array([30, 10, 20, 99])
+        assert topk_order(primary, 4, tiebreak=tiebreak).tolist() == [3, 1, 2, 0]
+
+    def test_explicit_tiebreak_matches_positional_when_monotone(self):
+        """The sharded merge passes global insertion indices; when those
+        are the positions themselves both forms must agree exactly."""
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 5, size=(6, 40))  # tie-heavy on purpose
+        positions = np.broadcast_to(np.arange(40), values.shape)
+        assert np.array_equal(
+            topk_order(values, 7),
+            topk_order(values, 7, tiebreak=positions),
+        )
+
+    def test_batched_rows_sort_independently(self):
+        values = np.array([[3, 1, 2], [1, 3, 2]])
+        assert topk_order(values, 2).tolist() == [[1, 2], [0, 2]]
+
+    def test_k_larger_than_axis_returns_everything(self):
+        assert topk_order(np.array([2, 1]), 100).shape == (2,)
+
+    def test_mismatched_tiebreak_shape_rejected(self):
+        with pytest.raises(ValueError, match="tiebreak"):
+            topk_order(np.zeros(4), 2, tiebreak=np.zeros(5))
+
+
+class TestTopkOrderPartitioned:
+    @pytest.mark.parametrize("k", [1, 3, 10, 50, 500])
+    def test_matches_full_sort_on_random_ints(self, k):
+        rng = np.random.default_rng(1)
+        row = rng.integers(0, 1000, size=997)
+        assert np.array_equal(topk_order_partitioned(row, k), topk_order(row, k))
+
+    @pytest.mark.parametrize("k", [1, 5, 20])
+    def test_matches_full_sort_on_tie_heavy_rows(self, k):
+        """Boundary ties are the partition trap: every entry equal to the
+        k-th smallest value must stay eligible, resolved by position."""
+        rng = np.random.default_rng(2)
+        row = rng.integers(0, 3, size=800)  # huge tie groups
+        assert np.array_equal(topk_order_partitioned(row, k), topk_order(row, k))
+        constant = np.zeros(100, dtype=np.int64)
+        assert topk_order_partitioned(constant, k).tolist() == list(range(k))
+
+    def test_rejects_batched_input(self):
+        with pytest.raises(ValueError, match="1-D"):
+            topk_order_partitioned(np.zeros((2, 3)), 1)
+
+
+class TestBothPathsRouteThroughIt:
+    """ItemMemory and the sharded merge must observe the pinned contract."""
+
+    def test_item_memory_topk_ties_follow_contract(self, rng):
+        dim = 64
+        base = random_bipolar(1, dim, rng)[0]
+        memory = ItemMemory(dim)
+        for i in range(6):
+            memory.add(f"dup{i}", base)
+        assert [label for label, _ in memory.topk(base, k=6)] == [
+            f"dup{i}" for i in range(6)
+        ]
+
+    def test_sharded_merge_ties_follow_contract(self, rng):
+        dim = 64
+        base = random_bipolar(1, dim, rng)[0]
+        sharded = ShardedItemMemory(dim, num_shards=5, workers=2)
+        for i in range(10):
+            sharded.add(f"dup{i}", base)
+        assert [label for label, _ in sharded.topk(base, k=10)] == [
+            f"dup{i}" for i in range(10)
+        ]
+
+    def test_monkeypatched_order_is_observed_by_both_paths(self, rng, monkeypatch):
+        """Swap the shared implementation for a reversed-tie variant: both
+        the reference and the sharded merge must change behaviour — proof
+        there is one copy, not two."""
+        import repro.hdc.item_memory as item_memory_module
+        import repro.hdc.store.sharded as sharded_module
+
+        def reversed_ties(primary, k, tiebreak=None):
+            primary = np.asarray(primary)
+            k = min(int(k), primary.shape[-1])
+            if tiebreak is None:
+                tiebreak = np.broadcast_to(
+                    -np.arange(primary.shape[-1]), primary.shape
+                )
+            else:
+                tiebreak = -np.asarray(tiebreak)
+            return np.lexsort((tiebreak, primary), axis=-1)[..., :k]
+
+        monkeypatch.setattr(item_memory_module, "topk_order", reversed_ties)
+        monkeypatch.setattr(sharded_module, "topk_order", reversed_ties)
+
+        dim = 64
+        base = random_bipolar(1, dim, rng)[0]
+        memory = ItemMemory(dim)
+        sharded = ShardedItemMemory(dim, num_shards=3)
+        for i in range(4):
+            memory.add(f"dup{i}", base)
+            sharded.add(f"dup{i}", base)
+        reversed_labels = [f"dup{i}" for i in reversed(range(4))]
+        assert [label for label, _ in memory.topk(base, k=4)] == reversed_labels
+        assert [
+            label for label, _ in sharded.topk(base, k=4)
+        ] == reversed_labels
