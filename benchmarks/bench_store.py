@@ -4,12 +4,16 @@ Streams synthetic packed hypervectors into a sharded
 :class:`~repro.hdc.store.AssociativeStore`, times ingestion and batched
 cleanup at each decade, and records the scaling curve in
 ``BENCH_store.json`` (linked from ROADMAP.md's perf-trajectory note).
-Also records the **parallel scaling surface** — query throughput across
-``workers × shards`` at 10k / 100k / 1M items (the integer-domain merge
-plus the thread-pool fan-out; compared against the recorded PR 2
-sequential baseline at 1M) — and times the persistence cycle at the
-largest size: save, lazy memmap open (milliseconds regardless of store
-size), and the first query that actually pages the data in.
+Also records the **executor × workers × size surface** — query
+throughput across both fan-out executors (thread pool / process pool
+with memmap-reopened shards) at 10k / 100k / 1M items, each point
+carrying its shard-pruning statistics, anchored against the recorded
+PR 2 sequential and PR 3 thread-pool baselines at 1M — plus a dedicated
+**pruning case** (a store with disjoint per-shard minus-count bands,
+where the early-exit bounds skip most shards outright) and the
+persistence cycle at the largest size: save, lazy memmap open
+(milliseconds regardless of store size), and the first query that
+actually pages the data in.
 
 The full sweep ends at one million items and takes a couple of minutes;
 it runs as a plain pytest test (``pytest benchmarks/bench_store.py``)
@@ -27,19 +31,23 @@ from pathlib import Path
 import numpy as np
 
 from repro.hdc import random_bipolar
-from repro.hdc.store import AssociativeStore
+from repro.hdc.store import AssociativeStore, ShardedItemMemory
 
 D = 1024  # divisible by 64: exactly 16 uint64 words per vector
 SIZES = (1_000, 10_000, 100_000, 1_000_000)
 SHARDS = 8
 QUERY_BATCH = 64
 CHUNK = 65536
-#: parallel scaling surface: workers swept at these sizes (shards fixed)
+#: executor scaling surface: executor × workers swept at these sizes
 PARALLEL_SIZES = (10_000, 100_000, 1_000_000)
 WORKER_COUNTS = (1, 2, 4, 8)
+EXECUTORS = ("thread", "process")
 #: the recorded PR 2 sequential path at 1M items (queries/s), kept as the
 #: comparison anchor for the integer-domain + fan-out rewrite
 PR2_SEQUENTIAL_1M_QPS = 9.994165507680195
+#: the recorded PR 3 thread-pool path at 1M items × 8 workers (queries/s) —
+#: the anchor the process-executor + early-exit rewrite is measured against
+PR3_THREADS_1M_QPS = 30.169503524608583
 
 
 def _build(num_items, shards, rng):
@@ -116,10 +124,13 @@ def test_store_scaling_json():
             "query_batch": QUERY_BATCH,
             "chunk": CHUNK,
             "workers_swept": list(WORKER_COUNTS),
+            "executors_swept": list(EXECUTORS),
             "pr2_sequential_1m_queries_per_second": PR2_SEQUENTIAL_1M_QPS,
+            "pr3_threads_1m_queries_per_second": PR3_THREADS_1M_QPS,
         },
         "curve": curve,
-        "parallel": parallel,
+        "executors": parallel,
+        "pruning": _pruning_case(),
         "persistence": persistence,
     }
     # Packed storage really is 1 bit per component at every size.
@@ -131,36 +142,98 @@ def test_store_scaling_json():
 
 
 def _worker_sweep(store, queries, num_items, repeats):
-    """Query the same store across worker counts (decisions must not move).
+    """Query the same store across executor × workers (decisions fixed).
 
-    One shared pool of CPU work, so the speedup column directly reads as
-    the thread fan-out's effect on the integer-domain query path; the
-    PR 2 comparison at 1M uses the recorded sequential baseline.
+    One shared pool of CPU work, so the speedup columns directly read as
+    the fan-out's effect on the early-exit integer-domain query path;
+    the 1M comparisons use the recorded PR 2 sequential and PR 3
+    thread-pool baselines. Every point carries the shard-pruning
+    statistics its measurement produced.
     """
     expected = store.cleanup_batch(queries)[0]
     points = []
     baseline_qps = None
-    for workers in WORKER_COUNTS:
-        store.memory.workers = workers
-        query_seconds = _best_of(lambda: store.cleanup_batch(queries), repeats)
-        assert store.cleanup_batch(queries)[0] == expected  # worker-invariant
-        qps = len(queries) / query_seconds
-        if baseline_qps is None:
-            baseline_qps = qps
-        point = {
-            "items": num_items,
-            "shards": store.num_shards,
-            "workers": workers,
-            "query_seconds": query_seconds,
-            "queries_per_second": qps,
-            "item_compares_per_second": num_items * len(queries) / query_seconds,
-            "speedup_vs_workers1": qps / baseline_qps,
-        }
-        if num_items == 1_000_000:
-            point["speedup_vs_pr2_sequential"] = qps / PR2_SEQUENTIAL_1M_QPS
-        points.append(point)
+    repeats = max(repeats, 2)  # process workers warm lazily; min-of-2 settles
+    for executor in EXECUTORS:
+        store.memory.executor = executor
+        for workers in WORKER_COUNTS:
+            store.memory.workers = workers
+            before = store.pruning_stats
+            query_seconds = _best_of(lambda: store.cleanup_batch(queries), repeats)
+            after = store.pruning_stats
+            assert store.cleanup_batch(queries)[0] == expected  # invariant
+            qps = len(queries) / query_seconds
+            if baseline_qps is None:
+                baseline_qps = qps  # thread × workers=1
+            tasks = after["tasks"] - before["tasks"]
+            skipped = after["skipped"] - before["skipped"]
+            point = {
+                "items": num_items,
+                "shards": store.num_shards,
+                "executor": executor,
+                "workers": workers,
+                "query_seconds": query_seconds,
+                "queries_per_second": qps,
+                "item_compares_per_second": num_items * len(queries) / query_seconds,
+                "speedup_vs_thread_workers1": qps / baseline_qps,
+                "pruning_shard_tasks": tasks,
+                "pruning_shards_skipped": skipped,
+                "pruning_hit_rate": skipped / tasks if tasks else 0.0,
+            }
+            if num_items == 1_000_000:
+                point["speedup_vs_pr2_sequential"] = qps / PR2_SEQUENTIAL_1M_QPS
+                point["speedup_vs_pr3_threads"] = qps / PR3_THREADS_1M_QPS
+            points.append(point)
+    store.memory.executor = "thread"
     store.memory.workers = 1
     return points
+
+
+def _pruning_case(items=100_000, shards=SHARDS, batch=QUERY_BATCH):
+    """Early-exit shard pruning on a minus-count-banded store.
+
+    Each shard holds vectors whose minus-counts live in a disjoint band
+    (round-robin placement of popcount-sorted vectors), the workload the
+    manifest bounds are built for: queries near one band pin the k-th
+    best early and every other shard is skipped outright. Records the
+    hit rate and the speedup against the same store with pruning off.
+    """
+    rng = np.random.default_rng(1234)
+    # Item i (routed round-robin to shard i % shards) gets a minus-count
+    # inside its shard's half-open band — shards end up with disjoint
+    # minus-count intervals, which is what the manifest bounds capture.
+    band_width = D // (shards + 1)
+    minus = (np.arange(items) % shards) * band_width + rng.integers(
+        0, band_width // 2, size=items
+    )
+    vectors = np.ones((items, D), dtype=np.int8)
+    vectors[np.arange(D)[None, :] < minus[:, None]] = -1
+    memory = ShardedItemMemory(D, num_shards=shards, backend="packed",
+                               routing="round_robin")
+    memory.add_many(range(items), vectors, chunk_size=CHUNK)
+    queries = vectors[::shards][:batch].copy()  # noisy copies, all band 0
+    flips = rng.integers(0, D, size=(batch, D // 64))
+    for row, columns in enumerate(flips):
+        queries[row, columns] *= -1
+    expected = memory.cleanup_batch(queries)[0]
+    memory.prune = False
+    off_seconds = _best_of(lambda: memory.cleanup_batch(queries), 3)
+    memory.prune = True
+    before = memory.pruning_stats
+    on_seconds = _best_of(lambda: memory.cleanup_batch(queries), 3)
+    after = memory.pruning_stats
+    assert memory.cleanup_batch(queries)[0] == expected  # prune-invariant
+    tasks = after["tasks"] - before["tasks"]
+    skipped = after["skipped"] - before["skipped"]
+    return {
+        "items": items,
+        "shards": shards,
+        "query_batch": batch,
+        "pruning_off_queries_per_second": batch / off_seconds,
+        "pruning_on_queries_per_second": batch / on_seconds,
+        "speedup_from_pruning": off_seconds / on_seconds,
+        "pruning_hit_rate": skipped / tasks if tasks else 0.0,
+    }
 
 
 def _persistence_cycle(store, queries, tmp_root=None):

@@ -17,10 +17,12 @@ Stated memory budget (d = 1024, N = 1,000,000, 8 shards):
   pairs, never float similarity rows — so the peak is bounded by the
   kernel tile for any store size.
 
-    python examples/million_item_store.py [num_items] [workers]
+    python examples/million_item_store.py [num_items] [workers] [executor]
 
-``workers`` (default 1) fans the per-shard kernels out on a thread
-pool; decisions are identical for any worker count.
+``workers`` (default 1) fans the per-shard kernels out and ``executor``
+picks the pool kind (``thread`` default / ``process`` — worker
+processes re-open the spilled shards via np.memmap); decisions are
+identical for any worker count and either executor.
 """
 
 import sys
@@ -37,14 +39,14 @@ CHUNK = 65536
 QUERY_BATCH = 64
 
 
-def main(num_items=1_000_000, workers=1):
+def main(num_items=1_000_000, workers=1, executor="thread"):
     store = AssociativeStore(DIM, backend="packed", shards=SHARDS,
-                             workers=workers)
+                             workers=workers, executor=executor)
     rng = np.random.default_rng(0)
 
     print(f"streaming {num_items:,} packed {DIM}-dim hypervectors "
           f"into {SHARDS} shards ({CHUNK:,} rows per chunk, "
-          f"workers={store.workers})...")
+          f"workers={store.workers}, executor={store.executor})...")
     queries = probe_labels = None
     tick = time.perf_counter()
     for start in range(0, num_items, CHUNK):
@@ -89,4 +91,5 @@ if __name__ == "__main__":
     main(
         int(sys.argv[1]) if len(sys.argv) > 1 else 1_000_000,
         int(sys.argv[2]) if len(sys.argv) > 2 else 1,
+        sys.argv[3] if len(sys.argv) > 3 else "thread",
     )

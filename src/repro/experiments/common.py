@@ -47,6 +47,7 @@ def pipeline_config(scale, seed=0, **overrides):
         hdc_backend=scale.hdc_backend,
         store_shards=scale.store_shards,
         store_workers=scale.store_workers,
+        store_executor=scale.store_executor,
         temperature=scale.temperature,
         seed=seed,
         pretrain_classes=scale.pretrain_classes,

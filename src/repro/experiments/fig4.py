@@ -36,7 +36,8 @@ from .config import get_scale
 __all__ = ["run_fig4", "format_fig4", "ascii_scatter", "main"]
 
 
-def run_fig4(scale="default", seed=0, backend=None, shards=None, workers=None):
+def run_fig4(scale="default", seed=0, backend=None, shards=None, workers=None,
+             executor=None):
     """Train all measured models; return a list of point dicts.
 
     ``backend`` overrides the scale's HDC codebook storage backend for
@@ -53,6 +54,8 @@ def run_fig4(scale="default", seed=0, backend=None, shards=None, workers=None):
         scale = scale.replace(store_shards=shards)
     if workers is not None:
         scale = scale.replace(store_workers=workers)
+    if executor is not None:
+        scale = scale.replace(store_executor=executor)
     dataset = build_dataset(scale, seed=seed)
     split = make_split(dataset, "ZS", seed=seed)
     test_attrs = dataset.class_attributes[split.test_classes]
@@ -174,9 +177,10 @@ def ascii_scatter(specs, width=64, height=18):
     return "\n".join(lines)
 
 
-def main(scale="default", seed=0, backend=None, shards=None, workers=None):
+def main(scale="default", seed=0, backend=None, shards=None, workers=None,
+             executor=None):
     points = run_fig4(scale=scale, seed=seed, backend=backend, shards=shards,
-                      workers=workers)
+                      workers=workers, executor=executor)
     catalog = paper_catalog()
     print(format_fig4(points, catalog))
     print()
@@ -202,4 +206,5 @@ if __name__ == "__main__":
         backend=sys.argv[2] if len(sys.argv) > 2 else None,
         shards=int(sys.argv[3]) if len(sys.argv) > 3 else None,
         workers=int(sys.argv[4]) if len(sys.argv) > 4 else None,
+        executor=sys.argv[5] if len(sys.argv) > 5 else None,
     )

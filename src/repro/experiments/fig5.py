@@ -51,7 +51,8 @@ def _restore(model, snapshot, temperature=None):
 
 
 def run_fig5(scale="default", seed=0, sweeps=None, max_epochs_cap=None, backend=None,
-             shards=None, workers=None):
+             shards=None, workers=None,
+             executor=None):
     """Run the one-factor-at-a-time sweep; returns {hyperparam: [(value, top1)]}.
 
     ``max_epochs_cap`` optionally truncates the epochs sweep (used by the
@@ -69,6 +70,8 @@ def run_fig5(scale="default", seed=0, sweeps=None, max_epochs_cap=None, backend=
         scale = scale.replace(store_shards=shards)
     if workers is not None:
         scale = scale.replace(store_workers=workers)
+    if executor is not None:
+        scale = scale.replace(store_executor=executor)
     sweeps = dict(sweeps or SWEEPS)
     if max_epochs_cap is not None:
         sweeps["epochs"] = tuple(e for e in sweeps["epochs"] if e <= max_epochs_cap)
@@ -147,9 +150,10 @@ def format_fig5(results):
     return "\n\n".join(blocks)
 
 
-def main(scale="default", seed=0, backend=None, shards=None, workers=None):
+def main(scale="default", seed=0, backend=None, shards=None, workers=None,
+             executor=None):
     results = run_fig5(scale=scale, seed=seed, backend=backend, shards=shards,
-                       workers=workers)
+                       workers=workers, executor=executor)
     print(format_fig5(results))
     epoch_series = dict(results).get("epochs", [])
     if epoch_series:
@@ -176,4 +180,5 @@ if __name__ == "__main__":
         backend=sys.argv[2] if len(sys.argv) > 2 else None,
         shards=int(sys.argv[3]) if len(sys.argv) > 3 else None,
         workers=int(sys.argv[4]) if len(sys.argv) > 4 else None,
+        executor=sys.argv[5] if len(sys.argv) > 5 else None,
     )

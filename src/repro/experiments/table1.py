@@ -30,7 +30,8 @@ from .config import get_scale
 __all__ = ["run_table1", "format_table1", "main"]
 
 
-def run_table1(scale="default", seed=0, backend=None, shards=None, workers=None):
+def run_table1(scale="default", seed=0, backend=None, shards=None, workers=None,
+             executor=None):
     """Train ours + both baselines once and return the per-group report.
 
     Returns a dict: ``group → {ours_wmap, finetag_wmap, ours_top1,
@@ -50,6 +51,8 @@ def run_table1(scale="default", seed=0, backend=None, shards=None, workers=None)
         scale = scale.replace(store_shards=shards)
     if workers is not None:
         scale = scale.replace(store_workers=workers)
+    if executor is not None:
+        scale = scale.replace(store_executor=executor)
     dataset = build_dataset(scale, seed=seed)
     split = make_split(dataset, "noZS", seed=seed)
 
@@ -64,7 +67,8 @@ def run_table1(scale="default", seed=0, backend=None, shards=None, workers=None)
 
     # --- the attribute-level item memory, through the store facade -------- #
     store = pipeline.model.attribute_encoder.attribute_store(
-        shards=scale.store_shards, workers=scale.store_workers
+        shards=scale.store_shards, workers=scale.store_workers,
+        executor=scale.store_executor,
     )
     recalled, _ = store.cleanup_batch(
         pipeline.model.attribute_encoder.dictionary.matrix()
@@ -143,9 +147,10 @@ def format_table1(report):
     )
 
 
-def main(scale="default", seed=0, backend=None, shards=None, workers=None):
+def main(scale="default", seed=0, backend=None, shards=None, workers=None,
+             executor=None):
     report = run_table1(scale=scale, seed=seed, backend=backend, shards=shards,
-                        workers=workers)
+                        workers=workers, executor=executor)
     print(format_table1(report))
     avg = report["average"]
     print(
@@ -172,4 +177,5 @@ if __name__ == "__main__":
         backend=sys.argv[2] if len(sys.argv) > 2 else None,
         shards=int(sys.argv[3]) if len(sys.argv) > 3 else None,
         workers=int(sys.argv[4]) if len(sys.argv) > 4 else None,
+        executor=sys.argv[5] if len(sys.argv) > 5 else None,
     )

@@ -34,7 +34,8 @@ def _mini_dim(scale, full_dim):
     return max(8, int(round(scale.embedding_dim * full_dim / 2048)))
 
 
-def run_table2(scale="default", seed=0, backend=None, shards=None, workers=None):
+def run_table2(scale="default", seed=0, backend=None, shards=None, workers=None,
+             executor=None):
     """Train all 8 (image encoder × attribute encoder) configurations.
 
     Returns ``[{label, d, hdc, hdc_store, mlp}]`` rows with top-1 %
@@ -53,6 +54,8 @@ def run_table2(scale="default", seed=0, backend=None, shards=None, workers=None)
         scale = scale.replace(store_shards=shards)
     if workers is not None:
         scale = scale.replace(store_workers=workers)
+    if executor is not None:
+        scale = scale.replace(store_executor=executor)
     dataset = build_dataset(scale, seed=seed)
     split = make_split(dataset, "ZS", seed=seed)
     rows = []
@@ -98,9 +101,10 @@ def format_table2(rows):
     )
 
 
-def main(scale="default", seed=0, backend=None, shards=None, workers=None):
+def main(scale="default", seed=0, backend=None, shards=None, workers=None,
+             executor=None):
     rows = run_table2(scale=scale, seed=seed, backend=backend, shards=shards,
-                      workers=workers)
+                      workers=workers, executor=executor)
     print(format_table2(rows))
     best = max(rows, key=lambda r: r["hdc"])
     print(f"\nBest HDC configuration: {best['label']} (paper: ResNet50+FC d=1536)")
@@ -115,4 +119,5 @@ if __name__ == "__main__":
         backend=sys.argv[2] if len(sys.argv) > 2 else None,
         shards=int(sys.argv[3]) if len(sys.argv) > 3 else None,
         workers=int(sys.argv[4]) if len(sys.argv) > 4 else None,
+        executor=sys.argv[5] if len(sys.argv) > 5 else None,
     )

@@ -31,6 +31,7 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
+from .ordering import topk_order_partitioned, topk_order_partitioned_batch
 from .hypervector import (
     WORD_BITS,
     pack_bipolar,
@@ -181,6 +182,44 @@ class HDCBackend(ABC):
     @abstractmethod
     def dot(self, a, b):
         """Pairwise bipolar dot products (``d − 2·hamming``)."""
+
+    def minus_counts(self, store):
+        """Per-row count of −1 components of a native ``(n, ·)`` store.
+
+        The popcount statistic behind the store layer's per-shard
+        pruning bounds: for bipolar vectors,
+        ``hamming(q, x) >= |minus_counts(q) - minus_counts(x)|``, so a
+        shard whose rows all have minus-counts far from the query's can
+        be skipped without scoring it.
+        """
+        store = np.asarray(store)
+        if store.ndim != 2:
+            raise ValueError(f"expected a native (n, ·) store, got {store.shape}")
+        return (self.to_bipolar(store) < 0).sum(axis=-1, dtype=np.int64)
+
+    def hamming_topk(self, queries, store, k, bounds=None):
+        """Exact ``(distances, indices)`` top-``k`` of queries vs store rows.
+
+        Both ``(A, k')`` int64 arrays with ``k' = min(k, n)``, each row
+        ranked by Hamming distance ascending with exact ties resolved to
+        the smaller store index — the retrieval stack's shared
+        :func:`~repro.hdc.ordering.topk_order` contract.
+
+        ``bounds`` (an ``(A,)`` array of integer distances) is a *pruning
+        permit*: entries whose distance strictly exceeds ``bounds[i]``
+        are irrelevant to the caller and may be replaced by sentinel
+        rows (distance ``dim + 1``, index ``-1``). Every item with
+        distance ``<= bounds[i]`` that belongs in the exact top-``k'``
+        is always returned in its exact rank. The reference
+        implementation ignores ``bounds`` (returning the full exact
+        top-``k'`` is always a valid answer); backends may use it to
+        skip work.
+        """
+        queries = np.atleast_2d(np.asarray(queries))
+        distances = np.atleast_2d(self.hamming(queries, store))
+        selected = topk_order_partitioned_batch(distances, k)
+        rows = np.arange(distances.shape[0])[:, None]
+        return distances[rows, selected], selected.astype(np.int64)
 
     def cosine(self, a, b):
         """Pairwise cosine similarity (bipolar norms are ``sqrt(d)``)."""
@@ -389,6 +428,139 @@ class PackedBackend(HDCBackend):
         if np.ndim(hamming):
             return (self.dim - 2 * hamming).astype(np.float64)
         return float(self.dim - 2 * hamming)
+
+    def minus_counts(self, store):
+        store = self._as_words(np.asarray(store))
+        if store.ndim != 2:
+            raise ValueError(f"expected a native (n, words) store, got {store.shape}")
+        return _popcount_sum(store)  # padding bits are zero, so they never count
+
+    #: early-exit top-k kernel tuning — items per word-major tile, items in
+    #: the bound-seeding probe block, and the survivor fraction above which
+    #: finishing the whole tile contiguously beats a gathered finish
+    _TOPK_TILE = 65536
+    _TOPK_PROBE = 2048
+    _TOPK_GATHER_FRACTION = 0.25
+
+    def hamming_topk(self, queries, store, k, bounds=None):
+        """Early-exit exact top-``k``: prefix distances prune the tail words.
+
+        Same contract as :meth:`HDCBackend.hamming_topk`, roughly half
+        the popcount work (or less) when queries have near matches:
+        each word-major tile first accumulates Hamming counts over only
+        the first half of the words; since the remaining words can only
+        *add* distance, any item whose prefix count already exceeds the
+        running k-th-best distance (or the caller's ``bounds``) is done
+        — only the survivors' tail words are ever counted.
+        A small fully-scored probe block seeds the running bound. Exact
+        ties survive: items are kept while the prefix is ``<=`` the
+        bound, and every candidate's final ranking uses its exact full
+        distance with the shared (distance, index) tie contract.
+        """
+        a2 = np.ascontiguousarray(np.atleast_2d(self._as_words(np.asarray(queries))))
+        b2 = self._as_words(np.asarray(store))
+        if b2.ndim != 2:
+            raise ValueError(f"expected a native (n, words) store, got {b2.shape}")
+        num_a, n = a2.shape[0], b2.shape[0]
+        k = min(int(k), n)
+        if k <= 0:
+            empty = np.empty((num_a, 0), dtype=np.int64)
+            return empty, empty.copy()
+        num_words = self.num_words
+        if (not _HAS_BITWISE_COUNT or num_words < 4
+                or n < 2 * self._TOPK_PROBE or 4 * k >= n):
+            # NumPy < 2.0 has no np.bitwise_count ufunc (and no out= LUT
+            # equivalent); the reference path runs on the LUT kernels.
+            return super().hamming_topk(a2, b2, k, bounds)
+        if bounds is not None:
+            bounds = np.asarray(bounds, dtype=np.int64)
+            if bounds.shape != (num_a,):
+                raise ValueError(
+                    f"bounds must have shape ({num_a},), got {bounds.shape}"
+                )
+        sentinel = self.dim + 1
+        acc_dtype = np.uint16 if sentinel <= np.iinfo(np.uint16).max else np.uint32
+        best_d = np.full((num_a, k), sentinel, dtype=np.int64)
+        best_i = np.full((num_a, k), -1, dtype=np.int64)
+        prefix = num_words // 2
+        tile = self._TOPK_TILE
+        xor = np.empty(tile, dtype=np.uint64)
+        cnt = np.empty(tile, dtype=np.uint8)
+        acc = np.empty(tile, dtype=acc_dtype)
+        start = 0
+        if bounds is None:
+            # No caller bound: fully score a small head block per query so
+            # the prefix filter has a tight bound from the first real tile.
+            start = min(self._TOPK_PROBE, n)
+            chunk = np.ascontiguousarray(b2[:start].T)
+            xv, cv, av = xor[:start], cnt[:start], acc[:start]
+            for qi in range(num_a):
+                row = a2[qi]
+                np.bitwise_xor(chunk[0], row[0], out=xv)
+                np.bitwise_count(xv, out=cv)
+                av[:] = cv
+                for word in range(1, num_words):
+                    np.bitwise_xor(chunk[word], row[word], out=xv)
+                    np.bitwise_count(xv, out=cv)
+                    np.add(av, cv, out=av)
+                local = topk_order_partitioned(av, k)
+                self._topk_merge(best_d[qi], best_i[qi],
+                                 av[local].astype(np.int64), local, k)
+        for b_start in range(start, n, tile):
+            b_tile = np.ascontiguousarray(b2[b_start : b_start + tile].T)
+            t = b_tile.shape[1]
+            xv, cv, av = xor[:t], cnt[:t], acc[:t]
+            for qi in range(num_a):
+                row = a2[qi]
+                kth = best_d[qi, k - 1]
+                if bounds is not None and bounds[qi] < kth:
+                    kth = bounds[qi]
+                eff = acc_dtype(kth)
+                np.bitwise_xor(b_tile[0], row[0], out=xv)
+                np.bitwise_count(xv, out=cv)
+                av[:] = cv
+                for word in range(1, prefix):
+                    np.bitwise_xor(b_tile[word], row[word], out=xv)
+                    np.bitwise_count(xv, out=cv)
+                    np.add(av, cv, out=av)
+                survivors = int(np.count_nonzero(av <= eff))
+                if survivors == 0:
+                    continue
+                if survivors > t * self._TOPK_GATHER_FRACTION:
+                    # Dense tile: finishing contiguously beats gathering.
+                    for word in range(prefix, num_words):
+                        np.bitwise_xor(b_tile[word], row[word], out=xv)
+                        np.bitwise_count(xv, out=cv)
+                        np.add(av, cv, out=av)
+                    local = topk_order_partitioned(av, k)
+                    cand_d = av[local].astype(np.int64)
+                    cand_i = local.astype(np.int64) + b_start
+                else:
+                    keep = np.flatnonzero(av <= eff)  # ascending store order
+                    cand_d = av[keep].astype(np.int64)
+                    for word in range(prefix, num_words):
+                        cand_d += np.bitwise_count(b_tile[word, keep] ^ row[word])
+                    if keep.size > k:
+                        local = topk_order_partitioned(cand_d, k)
+                        cand_d, keep = cand_d[local], keep[local]
+                    cand_i = keep.astype(np.int64) + b_start
+                self._topk_merge(best_d[qi], best_i[qi], cand_d, cand_i, k)
+        return best_d, best_i
+
+    @staticmethod
+    def _topk_merge(best_d_row, best_i_row, cand_d, cand_i, k):
+        """Merge tile candidates into one query's running top-``k`` in place.
+
+        ``np.lexsort`` on (index, distance) keys realizes the exact
+        shared tie contract: distance ascending, then store index
+        ascending. Sentinel rows (distance ``dim + 1``) always rank
+        behind real candidates.
+        """
+        merged_d = np.concatenate([best_d_row, cand_d])
+        merged_i = np.concatenate([best_i_row, cand_i])
+        order = np.lexsort((merged_i, merged_d))[:k]
+        best_d_row[:] = merged_d[order]
+        best_i_row[:] = merged_i[order]
 
 
 BACKENDS = {DenseBackend.name: DenseBackend, PackedBackend.name: PackedBackend}

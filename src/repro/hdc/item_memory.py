@@ -321,6 +321,25 @@ class ItemMemory:
         """Hamming distances of already-converted backend-native queries."""
         return self._backend.hamming(native_queries, self._native_matrix())
 
+    def topk_native(self, native_queries, k, bounds=None):
+        """Exact integer top-``k``: ``(B, k')`` distances + local row indices.
+
+        The sharded store's per-shard selection primitive: delegates to
+        the backend's :meth:`~repro.hdc.backend.HDCBackend.hamming_topk`
+        (packed: early-exit prefix pruning; dense: full reference
+        selection) over the contiguous native store. Rows are ranked by
+        distance ascending with exact ties resolved to the smaller row
+        index — insertion order, the shared tie-break contract.
+        ``bounds`` permits (never requires) the backend to replace
+        candidates whose distance strictly exceeds the caller's bound
+        with sentinel rows (distance ``dim + 1``, index ``-1``).
+        """
+        if not self._labels:
+            raise LookupError("item memory is empty")
+        return self._backend.hamming_topk(
+            native_queries, self._native_matrix(), k, bounds=bounds
+        )
+
     def extend_native(self, labels, matrix):
         """Append backend-native rows without converting through bipolar.
 

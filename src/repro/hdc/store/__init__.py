@@ -21,14 +21,24 @@ single-shard reference implementation the agreement suite pins the
 subsystem against.
 """
 
-from .parallel import ShardExecutor, resolve_workers
+from .parallel import (
+    EXECUTOR_KINDS,
+    BoundTracker,
+    ShardExecutor,
+    resolve_executor,
+    resolve_workers,
+)
 from .persistence import (
     FORMAT_NAME,
     FORMAT_VERSION,
     MANIFEST_NAME,
     SUPPORTED_VERSIONS,
+    WORKER_INDEX_NAME,
     append_rows,
+    load_shard,
+    load_worker_shard,
     open_store,
+    read_manifest,
     save_store,
 )
 from .planner import AssociativeStore
@@ -39,15 +49,22 @@ __all__ = [
     "AssociativeStore",
     "ShardedItemMemory",
     "ShardExecutor",
+    "BoundTracker",
     "resolve_workers",
+    "resolve_executor",
+    "EXECUTOR_KINDS",
     "DEFAULT_CHUNK_SIZE",
     "FORMAT_NAME",
     "FORMAT_VERSION",
     "SUPPORTED_VERSIONS",
     "MANIFEST_NAME",
+    "WORKER_INDEX_NAME",
     "save_store",
     "open_store",
     "append_rows",
+    "load_shard",
+    "load_worker_shard",
+    "read_manifest",
     "ROUTINGS",
     "hash_shard",
     "route_label",

@@ -1,50 +1,79 @@
-"""Thread-pool shard fan-out and integer-domain query partials.
+"""Shard fan-out executors and integer-domain query partials.
 
-The sharded store's query path has two independent scaling levers, both
-implemented here:
+The sharded store's query path has three independent scaling levers,
+all implemented here:
 
-- **Fan-out** — per-shard blocked Hamming kernels are independent, and
-  NumPy's popcount / matmul inner loops release the GIL, so a small
-  thread pool genuinely parallelizes them across cores.
-  :class:`ShardExecutor` maps a partial function over the shards —
-  sequentially for ``workers=1``, on a lazily created, reused
-  ``ThreadPoolExecutor`` otherwise — and always returns results in
-  shard order, so completion order can never reorder a merge.
+- **Fan-out** — per-shard Hamming kernels are independent, so
+  :class:`ShardExecutor` maps a partial function over the shards:
+  sequentially for ``workers=1``, on a reused ``ThreadPoolExecutor``
+  (NumPy's popcount / matmul inner loops release the GIL), or — with
+  ``kind="process"`` — on a ``ProcessPoolExecutor`` that sidesteps the
+  GIL entirely. Worker processes never receive pickled shard matrices:
+  tasks name a persisted store directory and a shard index, and each
+  worker re-opens its shard's ``.npy`` files via ``np.memmap``
+  (:func:`process_shard_task`) — zero-copy, shared through the page
+  cache, cached per ``(path, generation)`` inside the worker.
 - **Integer domain** — per-shard partials are ``(uint distance, global
   insertion index)`` pairs (:func:`shard_cleanup_ints` /
-  :func:`shard_topk_ints`): the blocked kernels already produce integer
-  Hamming distances, ranking by distance *ascending* is exactly ranking
-  by similarity *descending*, and the global insertion index is the
-  shared tie-break key. No per-shard float similarity row is ever
+  :func:`shard_topk_ints`): ranking by distance *ascending* is exactly
+  ranking by similarity *descending*, and the global insertion index is
+  the shared tie-break key. No per-shard float similarity row is ever
   materialized; only the final merged top-k converts, and
   :func:`distances_to_similarities` reproduces the reference backends'
   float expressions operand for operand, so the conversion is
   bit-identical to the single-shard ``ItemMemory`` path.
+- **Early-exit bounds** — :class:`BoundTracker` carries the current
+  k-th-best distance per query across the fan-out. Shards whose best
+  possible distance (from the per-shard minus-count bounds recorded at
+  ingest/compact time) already *exceeds* the tracked k-th-best are
+  skipped without running their kernel at all, and unskipped shards
+  receive the tracked bound so their kernels can prune internally
+  (``PackedBackend.hamming_topk``). Skipping is always strict
+  (``bound > k-th best``), so boundary ties — which resolve by global
+  insertion order — are never pruned and decisions stay bit-identical.
+
+Partials from bounded shards may contain *sentinel* rows (distance
+``dim + 1``, order :data:`ORDER_SENTINEL`) for candidates that provably
+cannot win; sentinels rank behind every real candidate under the shared
+ordering contract and are never selected by a merge.
 
 Real-valued queries on the dense backend have no integer distance; the
 float partials (:func:`shard_cleanup_floats` / :func:`shard_topk_floats`)
 carry ``(−similarity, global insertion index)`` instead, which merges
-through the identical ascending contract.
+through the identical ascending contract (and skips pruning).
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
 import numpy as np
 
-from ..ordering import topk_order_partitioned
+from ..ordering import topk_order
 
 __all__ = [
     "resolve_workers",
+    "resolve_executor",
+    "EXECUTOR_KINDS",
     "ShardExecutor",
+    "BoundTracker",
+    "ORDER_SENTINEL",
     "shard_cleanup_ints",
     "shard_topk_ints",
     "shard_cleanup_floats",
     "shard_topk_floats",
+    "process_shard_task",
     "distances_to_similarities",
 ]
+
+#: executor kinds accepted by :class:`ShardExecutor` and the store layer
+EXECUTOR_KINDS = ("thread", "process")
+
+#: tie-break key of sentinel partial entries — larger than any real global
+#: insertion index, so sentinels always lose the merge
+ORDER_SENTINEL = np.int64(2**62)
 
 
 def resolve_workers(workers):
@@ -62,67 +91,143 @@ def resolve_workers(workers):
     return workers
 
 
+def resolve_executor(kind):
+    """Normalize an executor kind: ``"thread"`` (default) or ``"process"``."""
+    if kind is None:
+        return "thread"
+    if kind not in EXECUTOR_KINDS:
+        raise ValueError(
+            f"unknown executor {kind!r}; available: {EXECUTOR_KINDS}"
+        )
+    return kind
+
+
 class ShardExecutor:
-    """Maps a function over shards, sequentially or on a thread pool.
+    """Maps a function over shards: sequentially, on threads, or on processes.
 
     Results come back in submission (shard) order regardless of
     completion order — the merge's tie-break correctness never depends
     on scheduling. The pool is created lazily on the first parallel map
     and reused across queries; :meth:`close` (also called on garbage
-    collection) shuts it down.
+    collection) shuts it down, cancelling any queued work, after which
+    :meth:`map` raises rather than silently rebuilding a pool.
+
+    ``kind="process"`` requires the mapped function and its items to be
+    picklable (the store layer sends :func:`process_shard_task` plus
+    plain task tuples); worker processes are forked where the platform
+    supports it, so a large parent store is never copied eagerly.
     """
 
-    def __init__(self, workers=1):
+    def __init__(self, workers=1, kind="thread"):
         self._pool = None  # before validation: __del__ must always find it
+        self._closed = False
+        self.kind = resolve_executor(kind)
         self.workers = resolve_workers(workers)
+
+    def _make_pool(self):
+        if self.kind == "process":
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context(
+                "fork" if "fork" in methods else None
+            )
+            return ProcessPoolExecutor(max_workers=self.workers, mp_context=context)
+        return ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-shard"
+        )
 
     def map(self, fn, items):
         items = list(items)
-        if self.workers == 1 or len(items) <= 1:
+        if self._closed:
+            raise RuntimeError(
+                "ShardExecutor is closed; create a new executor (or assign "
+                "memory.workers / memory.executor) instead of reusing it"
+            )
+        if self.kind == "thread" and (self.workers == 1 or len(items) <= 1):
             return [fn(item) for item in items]
         if self._pool is None:
-            self._pool = ThreadPoolExecutor(
-                max_workers=self.workers, thread_name_prefix="repro-shard"
-            )
+            self._pool = self._make_pool()
         return list(self._pool.map(fn, items))
 
     def close(self):
         pool, self._pool = self._pool, None
+        self._closed = True
         if pool is not None:
-            pool.shutdown(wait=False)
+            pool.shutdown(wait=False, cancel_futures=True)
 
     def __del__(self):
         self.close()
 
     def __repr__(self):
-        return f"ShardExecutor(workers={self.workers})"
+        return f"ShardExecutor(workers={self.workers}, kind={self.kind!r})"
+
+
+class BoundTracker:
+    """The fan-out's shared current k-th-best distance, per query.
+
+    Every completed partial feeds its distances in; :meth:`bounds`
+    hands the per-query k-th-best to the next shard's kernel, and
+    :meth:`can_skip` answers whether a shard's minus-count lower bounds
+    make it *provably* unable to contribute — strictly greater than the
+    k-th best for **every** query in the batch, so boundary ties (which
+    resolve by insertion order) always get scored.
+
+    Until ``k`` real candidates have been seen for a query, its
+    k-th-best is the sentinel (``dim + 1``), which no lower bound can
+    exceed — a shard can never be skipped on the strength of an
+    unfinished ranking.
+    """
+
+    def __init__(self, num_queries, k, sentinel):
+        self.k = max(1, int(k))
+        self.sentinel = int(sentinel)
+        self.best = np.full((num_queries, self.k), self.sentinel, dtype=np.int64)
+
+    def update(self, primary):
+        """Fold one partial's ``(B,)`` or ``(B, k')`` distances in."""
+        primary = np.asarray(primary)
+        if primary.ndim == 1:
+            primary = primary[:, None]
+        merged = np.concatenate([self.best, primary], axis=1)
+        merged.sort(axis=1)
+        self.best = merged[:, : self.k]
+
+    def bounds(self):
+        """Per-query current k-th-best distances, ``(B,)`` int64."""
+        return self.best[:, -1].copy()
+
+    def can_skip(self, lower_bounds):
+        """True when ``lower_bounds`` beat the k-th best for every query."""
+        return bool(np.all(lower_bounds > self.best[:, -1]))
 
 
 # -- per-shard partials: (primary ascending, global insertion index) ------- #
 
 
-def shard_cleanup_ints(shard, native_queries, orders):
+def _orders_with_sentinels(orders, rows):
+    """Map kernel row indices to global orders; sentinel rows (−1) map to
+    :data:`ORDER_SENTINEL`."""
+    valid = rows >= 0
+    return np.where(valid, orders[np.where(valid, rows, 0)], ORDER_SENTINEL)
+
+
+def shard_cleanup_ints(shard, native_queries, orders, bounds=None):
     """One shard's cleanup partial: per-query ``(distance, global order)``.
 
-    ``argmin`` returns the first minimum, and a shard receives its labels
-    in global insertion order, so the earliest local row is also the
-    earliest global row — the tie-break holds before the merge ever runs.
+    A shard receives its labels in global insertion order, so the
+    earliest local row is also the earliest global row — the kernel's
+    (distance, row) tie contract realizes the global tie-break before
+    the merge ever runs. ``bounds`` lets the kernel early-exit items
+    that provably lose to another shard; pruned slots come back as
+    sentinels.
     """
-    distances = shard._native_distances(native_queries)
-    local = np.argmin(distances, axis=1)
-    rows = np.arange(distances.shape[0])
-    return distances[rows, local], orders[local]
+    distances, rows = shard.topk_native(native_queries, 1, bounds=bounds)
+    return distances[:, 0], _orders_with_sentinels(orders, rows[:, 0])
 
 
-def shard_topk_ints(shard, native_queries, k, orders):
+def shard_topk_ints(shard, native_queries, k, orders, bounds=None):
     """One shard's top-k partial: ``(B, k')`` distances + global orders."""
-    distances = shard._native_distances(native_queries)
-    k = min(k, distances.shape[1])
-    selected = np.empty((distances.shape[0], k), dtype=np.int64)
-    for row, distance_row in enumerate(distances):
-        selected[row] = topk_order_partitioned(distance_row, k)
-    rows = np.arange(distances.shape[0])[:, None]
-    return distances[rows, selected], orders[selected]
+    distances, rows = shard.topk_native(native_queries, k, bounds=bounds)
+    return distances, _orders_with_sentinels(orders, rows)
 
 
 def shard_cleanup_floats(shard, queries, orders):
@@ -138,14 +243,96 @@ def shard_cleanup_floats(shard, queries, orders):
 
 
 def shard_topk_floats(shard, queries, k, orders):
-    """Float fallback of :func:`shard_topk_ints` (real-valued queries)."""
+    """Float fallback of :func:`shard_topk_ints` (real-valued queries).
+
+    One batched stable sort selects every row's top-k (``topk_order``
+    on the negated similarities) — no per-query Python loop — with the
+    identical (similarity descending, insertion ascending) contract.
+    """
     sims = shard.similarities_batch(queries)
     k = min(k, sims.shape[1])
-    selected = np.empty((sims.shape[0], k), dtype=np.int64)
-    for row, sim_row in enumerate(sims):
-        selected[row] = topk_order_partitioned(-sim_row, k)
+    selected = topk_order(-sims, k)
     rows = np.arange(sims.shape[0])[:, None]
     return -sims[rows, selected], orders[selected]
+
+
+# -- process-executor tasks --------------------------------------------------- #
+
+#: per-process cache of re-opened shards: {(path, generation): state}
+_WORKER_STORES = {}
+
+
+def _worker_shard(path, generation, shard_index):
+    """Re-open one shard (memmap) inside a worker process, with caching.
+
+    The cache is keyed by ``(path, generation)`` — an append or compact
+    bumps the generation, so workers pick up the new layout on the next
+    task and drop superseded entries for the same path. The fast path
+    attaches through the label-free worker index + orders sidecars
+    (O(1)); a missing or stale index falls back to the full manifest.
+    """
+    from .persistence import (  # deferred import: module cycle
+        load_shard,
+        load_worker_shard,
+        read_manifest,
+    )
+
+    key = (str(path), int(generation))
+    state = _WORKER_STORES.get(key)
+    if state is None:
+        for stale in [k for k in _WORKER_STORES if k[0] == key[0]]:
+            del _WORKER_STORES[stale]
+        state = {"manifest": None, "order_map": None, "shards": {}}
+        _WORKER_STORES[key] = state
+    if shard_index not in state["shards"]:
+        fast = load_worker_shard(path, shard_index, key[1])
+        if fast is not None:
+            state["shards"][shard_index] = fast
+        else:
+            if state["manifest"] is None:
+                manifest = read_manifest(path)
+                if int(manifest.get("generation", 0)) != key[1]:
+                    raise RuntimeError(
+                        f"store at {path} is at generation "
+                        f"{manifest.get('generation')} but the query expected "
+                        f"generation {key[1]}; the directory changed under "
+                        f"the open store — re-open it"
+                    )
+                state["manifest"] = manifest
+                state["order_map"] = {
+                    label: i for i, label in enumerate(manifest["labels"])
+                }
+            shard = load_shard(path, shard_index, manifest=state["manifest"])
+            orders = np.fromiter(
+                (state["order_map"][label] for label in shard.labels),
+                dtype=np.int64, count=len(shard),
+            )
+            state["shards"][shard_index] = (shard, orders)
+    return state["shards"][shard_index]
+
+
+def process_shard_task(task):
+    """Execute one shard's query partial inside a worker process.
+
+    ``task`` is a plain tuple ``(mode, path, generation, shard_index,
+    queries, k, bounds)`` — no shard matrix ever crosses the process
+    boundary; the worker re-opens the persisted shard lazily via
+    ``np.memmap`` and shares pages with every other worker through the
+    OS page cache.
+    """
+    mode, path, generation, shard_index, queries, k, bounds = task
+    shard, orders = _worker_shard(path, generation, shard_index)
+    if mode == "cleanup_ints":
+        return shard_cleanup_ints(shard, queries, orders, bounds=bounds)
+    if mode == "topk_ints":
+        return shard_topk_ints(shard, queries, k, orders, bounds=bounds)
+    if mode == "cleanup_floats":
+        return shard_cleanup_floats(shard, queries, orders)
+    if mode == "topk_floats":
+        return shard_topk_floats(shard, queries, k, orders)
+    if mode == "similarities":
+        return shard.similarities_batch(queries)
+    raise ValueError(f"unknown shard task mode {mode!r}")
 
 
 def distances_to_similarities(distances, dim, backend_name, queries):

@@ -63,9 +63,13 @@ __all__ = [
     "FORMAT_VERSION",
     "SUPPORTED_VERSIONS",
     "MANIFEST_NAME",
+    "WORKER_INDEX_NAME",
     "save_store",
     "open_store",
     "append_rows",
+    "read_manifest",
+    "load_shard",
+    "load_worker_shard",
 ]
 
 FORMAT_NAME = "repro.hdc.store"
@@ -73,6 +77,8 @@ FORMAT_VERSION = 2
 #: versions :func:`open_store` reads (1 = PR 2 layout, migrated on open)
 SUPPORTED_VERSIONS = (1, 2)
 MANIFEST_NAME = "manifest.json"
+#: label-free twin of the manifest for O(1) process-worker attach
+WORKER_INDEX_NAME = "worker_index.json"
 
 _LABEL_TYPES = (str, int, float, bool)
 
@@ -87,6 +93,11 @@ def _shard_filename(index, generation):
 
 def _segment_filename(index, generation):
     return f"shard_{index:05d}.seg{generation:05d}.npy"
+
+
+def _orders_filename(index, generation):
+    # Deliberately NOT matching the "shard_*.npy" cleanup glob.
+    return f"orders_{index:05d}.g{generation:05d}.npy"
 
 
 def _check_labels(labels):
@@ -135,6 +146,52 @@ def _write_manifest(path, manifest):
     return Path(path) / MANIFEST_NAME
 
 
+def _write_worker_index(path, manifest):
+    """Write the label-free worker index alongside a committed manifest.
+
+    A tiny JSON twin (file names, row counts, orders sidecars — no label
+    lists), so a process-executor worker attaches to a million-item
+    store without parsing a million labels. Written *after* the manifest
+    commit; a crash in between leaves a stale-generation index, which
+    workers detect and bypass by falling back to the manifest.
+    """
+    index = {
+        "format": manifest["format"],
+        "generation": manifest["generation"],
+        "kind": manifest["kind"],
+        "dim": manifest["dim"],
+        "backend": manifest["backend"],
+        "shards": [
+            {
+                "file": entry["file"],
+                "rows": entry["rows"],
+                "orders_file": entry.get("orders_file"),
+                "segments": [
+                    {"file": segment["file"], "rows": segment["rows"]}
+                    for segment in entry["segments"]
+                ],
+            }
+            for entry in manifest["shards"]
+        ],
+    }
+    _replace_with(
+        Path(path) / WORKER_INDEX_NAME,
+        lambda tmp: tmp.write_text(json.dumps(index) + "\n"),
+    )
+
+
+def _collect_stale_orders(path, manifest):
+    """Delete orders sidecars no committed shard entry references."""
+    current = {
+        entry.get("orders_file")
+        for entry in manifest["shards"]
+        if entry.get("orders_file")
+    }
+    for stale in Path(path).glob("orders_*.npy"):
+        if stale.name not in current:
+            stale.unlink()
+
+
 def _next_generation(path):
     """Generation for the next manifest written at ``path`` (0 if fresh)."""
     try:
@@ -167,6 +224,7 @@ def save_store(memory, path):
     path = Path(path)
     path.mkdir(parents=True, exist_ok=True)
     generation = _next_generation(path)
+    order_of = {label: i for i, label in enumerate(labels)}
     # Crash-safe ordering: (1) write this generation's data files under
     # names no earlier manifest references, (2) swap the manifest —
     # the commit point — then (3) garbage-collect files the committed
@@ -176,11 +234,26 @@ def save_store(memory, path):
     shard_entries = []
     for index, shard in enumerate(shards):
         filename = _shard_filename(index, generation)
-        _save_array(path / filename, shard.native_matrix())
-        shard_entries.append(
-            {"file": filename, "rows": len(shard), "labels": list(shard.labels),
-             "segments": []}
-        )
+        native = shard.native_matrix()
+        _save_array(path / filename, native)
+        entry = {"file": filename, "rows": len(shard), "labels": list(shard.labels),
+                 "segments": []}
+        if kind == "sharded":
+            # Per-shard global insertion orders as a sidecar .npy: process
+            # workers attach in O(1) — no manifest label parse per worker.
+            orders = np.fromiter((order_of[label] for label in shard.labels),
+                                 dtype=np.int64, count=len(shard))
+            entry["orders_file"] = _orders_filename(index, generation)
+            _save_array(path / entry["orders_file"], orders)
+        if len(shard):
+            # Exact per-shard minus-count bounds: the query planner's
+            # shard-skip lower bound (|minus(q) − minus(x)| ≤ hamming).
+            counts = shard.backend.minus_counts(native)
+            entry["minus_min"] = int(counts.min())
+            entry["minus_max"] = int(counts.max())
+        else:
+            entry["minus_min"], entry["minus_max"] = None, None
+        shard_entries.append(entry)
     manifest = {
         "format": FORMAT_NAME,
         "format_version": FORMAT_VERSION,
@@ -194,11 +267,26 @@ def save_store(memory, path):
         "shards": shard_entries,
     }
     manifest_path = _write_manifest(path, manifest)
+    _write_worker_index(path, manifest)
     current = {entry["file"] for entry in shard_entries}
     for stale in path.glob("shard_*.npy"):
         if stale.name not in current:
             stale.unlink()
+    _collect_stale_orders(path, manifest)
+    if isinstance(memory, ShardedItemMemory):
+        # The saved directory is now a faithful copy of this memory:
+        # process-executor workers may re-open it instead of spilling.
+        memory._attach(path, generation)
     return manifest_path
+
+
+def read_manifest(path):
+    """Read and validate the store manifest at ``path`` (public helper).
+
+    Used by process-executor workers to rebuild label order maps without
+    opening every shard; most callers want :func:`open_store` instead.
+    """
+    return _read_manifest(path)
 
 
 def _read_manifest(path):
@@ -266,15 +354,10 @@ def open_store(path, mmap=True):
     """
     path = Path(path)
     manifest = _read_manifest(path)
-    dim, backend = manifest["dim"], manifest["backend"]
-    shards = []
-    for entry in manifest["shards"]:
-        matrix = _load_matrix(path, entry, "shard", mmap)
-        shard = ItemMemory.from_native(dim, entry["labels"], matrix, backend=backend)
-        for segment in entry["segments"]:
-            segment_matrix = _load_matrix(path, segment, "segment", mmap)
-            shard.extend_native(segment["labels"], segment_matrix)
-        shards.append(shard)
+    shards = [
+        _load_shard_entry(path, entry, manifest, mmap)
+        for entry in manifest["shards"]
+    ]
     if manifest["kind"] == "single":
         memory = shards[0]
         if list(memory.labels) != list(manifest["labels"]):
@@ -282,9 +365,105 @@ def open_store(path, mmap=True):
                 "global labels do not match the shard's base+segment labels"
             )
         return memory
-    return ShardedItemMemory.from_shards(
-        shards, manifest["labels"], routing=manifest["routing"]
+    memory = ShardedItemMemory.from_shards(
+        shards, manifest["labels"], routing=manifest["routing"],
+        pop_bounds=[_entry_pop_bounds(entry) for entry in manifest["shards"]],
     )
+    memory._attach(path, manifest["generation"])
+    return memory
+
+
+def _entry_pop_bounds(entry):
+    """A manifest shard entry's minus-count bounds for the query planner.
+
+    ``None`` means unknown (a pre-bounds manifest) — the planner never
+    skips such a shard; a rowless shard is known-empty.
+    """
+    total_rows = entry["rows"] + sum(seg["rows"] for seg in entry["segments"])
+    if total_rows == 0:
+        return ShardedItemMemory.EMPTY_POP_BOUNDS
+    low, high = entry.get("minus_min"), entry.get("minus_max")
+    if low is None or high is None:
+        return None
+    return (int(low), int(high))
+
+
+def _load_shard_entry(path, entry, manifest, mmap):
+    matrix = _load_matrix(path, entry, "shard", mmap)
+    shard = ItemMemory.from_native(
+        manifest["dim"], entry["labels"], matrix, backend=manifest["backend"]
+    )
+    for segment in entry["segments"]:
+        segment_matrix = _load_matrix(path, segment, "segment", mmap)
+        shard.extend_native(segment["labels"], segment_matrix)
+    return shard
+
+
+def load_worker_shard(path, shard_index, generation, mmap=True):
+    """O(1) worker attach: one shard + its global-orders sidecar.
+
+    Reads the label-free :data:`WORKER_INDEX_NAME` twin instead of the
+    manifest, so attaching to a million-item store costs two small file
+    reads and a memmap — no million-label JSON parse. Returns
+    ``(ItemMemory, orders)`` or ``None`` whenever the index is missing,
+    stale (generation mismatch), or inconsistent — the caller then falls
+    back to :func:`load_shard` over the manifest. The returned shard
+    carries positional placeholder labels: query partials only ever use
+    distances plus the orders sidecar.
+    """
+    path = Path(path)
+    try:
+        index = json.loads((path / WORKER_INDEX_NAME).read_text())
+    except (OSError, ValueError):
+        return None
+    if index.get("format") != FORMAT_NAME or index.get("kind") != "sharded":
+        return None
+    if int(index.get("generation", -1)) != int(generation):
+        return None
+    entries = index.get("shards", [])
+    if not 0 <= shard_index < len(entries):
+        return None
+    entry = entries[shard_index]
+    if not entry.get("orders_file"):
+        return None
+    mode = "r" if mmap else None
+    try:
+        matrix = np.load(path / entry["file"], mmap_mode=mode)
+        orders = np.asarray(np.load(path / entry["orders_file"]), dtype=np.int64)
+        rows = int(entry["rows"])
+        shard = ItemMemory.from_native(
+            index["dim"], range(rows), matrix, backend=index["backend"]
+        )
+        for segment in entry["segments"]:
+            segment_matrix = np.load(path / segment["file"], mmap_mode=mode)
+            shard.extend_native(
+                range(rows, rows + int(segment["rows"])), segment_matrix
+            )
+            rows += int(segment["rows"])
+    except (OSError, ValueError, EOFError, KeyError):
+        return None  # torn/stale sidecars: use the validating manifest path
+    if orders.ndim != 1 or orders.shape[0] != len(shard):
+        return None
+    return shard, orders
+
+
+def load_shard(path, shard_index, manifest=None, mmap=True):
+    """Re-open a single shard of a saved store (base + journal segments).
+
+    The process-executor worker's entry point: each worker memmaps only
+    the shard files a task names, so a fan-out across W workers pages
+    the store in exactly once (the page cache is shared), and no shard
+    matrix is ever pickled across the process boundary.
+    """
+    path = Path(path)
+    if manifest is None:
+        manifest = _read_manifest(path)
+    if not 0 <= shard_index < len(manifest["shards"]):
+        raise ValueError(
+            f"shard index {shard_index} out of range for "
+            f"{len(manifest['shards'])} shards"
+        )
+    return _load_shard_entry(path, manifest["shards"][shard_index], manifest, mmap)
 
 
 def append_rows(memory, path, labels, vectors, chunk_size=DEFAULT_CHUNK_SIZE):
@@ -363,10 +542,32 @@ def append_rows(memory, path, labels, vectors, chunk_size=DEFAULT_CHUNK_SIZE):
         native = memory.backend.from_bipolar(np.asarray(vectors[offsets]))
         filename = _segment_filename(index, generation)
         _save_array(path / filename, native)
-        manifest["shards"][index]["segments"].append(
+        entry = manifest["shards"][index]
+        had_rows = entry["rows"] + sum(s["rows"] for s in entry["segments"])
+        entry["segments"].append(
             {"file": filename, "rows": len(offsets), "labels": segment_labels}
         )
+        if sharded:
+            # Refresh the shard's global-orders sidecar (base + segments).
+            entry["orders_file"] = _orders_filename(index, generation)
+            _save_array(path / entry["orders_file"],
+                        np.asarray(memory._orders_of(index), dtype=np.int64))
+        counts = memory.backend.minus_counts(native)
+        low, high = int(counts.min()), int(counts.max())
+        if entry.get("minus_min") is not None:
+            entry["minus_min"] = min(int(entry["minus_min"]), low)
+            entry["minus_max"] = max(int(entry["minus_max"]), high)
+        elif had_rows == 0:
+            # A previously-empty shard's bounds are exactly this batch's.
+            entry["minus_min"], entry["minus_max"] = low, high
+        # else: pre-bounds manifest with unknown base rows — stays unknown
+        # until the next compact() recomputes exact bounds.
     manifest["labels"] = list(memory.labels)
     manifest["generation"] = generation
     manifest["format_version"] = FORMAT_VERSION  # appending migrates v1 stores
-    return _write_manifest(path, manifest)
+    manifest_path = _write_manifest(path, manifest)
+    _write_worker_index(path, manifest)
+    _collect_stale_orders(path, manifest)
+    if sharded:
+        memory._attach(path, generation)
+    return manifest_path

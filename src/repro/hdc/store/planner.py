@@ -31,7 +31,7 @@ from pathlib import Path
 import numpy as np
 
 from ..item_memory import ItemMemory
-from .parallel import resolve_workers
+from .parallel import resolve_executor, resolve_workers
 from .persistence import append_rows, open_store, save_store
 from .sharded import DEFAULT_CHUNK_SIZE, ShardedItemMemory, validate_batch
 
@@ -55,27 +55,34 @@ class AssociativeStore:
         Max queries scored per underlying call — bounds the similarity
         temporary at ``query_block × largest-shard`` entries.
     workers:
-        Thread-pool width of the sharded query fan-out (int ≥ 1 or
+        Pool width of the sharded query fan-out (int ≥ 1 or
         ``"auto"``); never changes decisions, only wall-clock. With one
         shard there is nothing to fan out and the value is ignored.
+    executor:
+        Fan-out executor kind: ``"thread"`` (default) or ``"process"``
+        (true multi-core; persisted shards re-open via ``np.memmap``
+        inside each worker, in-memory shards spill to a temp store
+        directory on the first process query). Never changes decisions.
     """
 
     def __init__(self, dim, backend="dense", shards=1, routing="hash",
-                 query_block=1024, workers=1):
+                 query_block=1024, workers=1, executor="thread"):
         if shards < 1:
             raise ValueError("shards must be >= 1")
         if query_block < 1:
             raise ValueError("query_block must be >= 1")
         resolve_workers(workers)  # validate even when ignored below
+        resolve_executor(executor)
         if shards == 1:
             memory = ItemMemory(dim, backend=backend)
         else:
             memory = ShardedItemMemory(
                 dim, num_shards=shards, backend=backend, routing=routing,
-                workers=workers,
+                workers=workers, executor=executor,
             )
         self._memory = memory
         self._path = None
+        self._auto_compact_segments = None
         self.query_block = int(query_block)
 
     @classmethod
@@ -86,38 +93,51 @@ class AssociativeStore:
         store = cls.__new__(cls)
         store._memory = memory
         store._path = None
+        store._auto_compact_segments = None
         store.query_block = int(query_block)
         return store
 
     @classmethod
     def from_vectors(cls, labels, vectors, backend="dense", shards=1,
                      routing="hash", query_block=1024, workers=1,
-                     chunk_size=DEFAULT_CHUNK_SIZE):
+                     executor="thread", chunk_size=DEFAULT_CHUNK_SIZE):
         """Build a store directly from a labelled ``(n, dim)`` stack."""
         vectors = np.asarray(vectors)
         if vectors.ndim != 2:
             raise ValueError(f"expected an (n, dim) stack, got {vectors.shape}")
         store = cls(vectors.shape[1], backend=backend, shards=shards,
-                    routing=routing, query_block=query_block, workers=workers)
+                    routing=routing, query_block=query_block, workers=workers,
+                    executor=executor)
         store.add_many(labels, vectors, chunk_size=chunk_size)
         return store
 
     @classmethod
-    def open(cls, path, mmap=True, query_block=1024, workers=1):
+    def open(cls, path, mmap=True, query_block=1024, workers=1,
+             executor="thread", auto_compact_segments=None):
         """Reopen a saved store (lazily memmapped by default).
 
         The returned store is attached to ``path``: subsequent
         ``add``/``add_many`` calls journal the rows to per-shard segment
-        files and :meth:`compact` rewrites contiguous shards. ``workers``
-        sets the sharded fan-out width (ignored for single-shard stores).
+        files and :meth:`compact` rewrites contiguous shards.
+        ``workers``/``executor`` set the sharded fan-out (ignored for
+        single-shard stores). ``auto_compact_segments=N`` makes the
+        handle :meth:`compact` itself whenever an append leaves the
+        journal holding more than ``N`` segment files — bounded journal
+        growth without explicit compaction calls.
         """
+        if auto_compact_segments is not None and int(auto_compact_segments) < 1:
+            raise ValueError("auto_compact_segments must be >= 1 (or None)")
         memory = open_store(path, mmap=mmap)
         if isinstance(memory, ShardedItemMemory):
+            memory.executor = executor
             memory.workers = workers
         else:
             resolve_workers(workers)
+            resolve_executor(executor)
         store = cls._wrap(memory, query_block=query_block)
         store._path = Path(path)
+        if auto_compact_segments is not None:
+            store._auto_compact_segments = int(auto_compact_segments)
         return store
 
     # -- introspection ----------------------------------------------------- #
@@ -147,9 +167,26 @@ class AssociativeStore:
 
     @property
     def workers(self):
-        """Fan-out thread-pool width (1 for single-shard stores)."""
+        """Fan-out pool width (1 for single-shard stores)."""
         memory = self._memory
         return memory.workers if isinstance(memory, ShardedItemMemory) else 1
+
+    @property
+    def executor(self):
+        """Fan-out executor kind (``"thread"`` for single-shard stores)."""
+        memory = self._memory
+        return memory.executor if isinstance(memory, ShardedItemMemory) else "thread"
+
+    @property
+    def auto_compact_segments(self):
+        """Journal segment-count threshold for automatic compaction."""
+        return self._auto_compact_segments
+
+    @property
+    def pruning_stats(self):
+        """Shard-skip counters of the bounded fan-out (``None`` unsharded)."""
+        memory = self._memory
+        return memory.pruning_stats if isinstance(memory, ShardedItemMemory) else None
 
     @property
     def path(self):
@@ -182,6 +219,7 @@ class AssociativeStore:
             "shards": self.num_shards,
             "routing": self.routing,
             "workers": self.workers,
+            "executor": self.executor,
             "bytes": self.measured_bytes(),
         }
 
@@ -215,6 +253,7 @@ class AssociativeStore:
         if self._path is not None:
             append_rows(self._memory, self._path, labels, vectors,
                         chunk_size=chunk_size)
+            self._maybe_auto_compact()
             return
         memory = self._memory
         if isinstance(memory, ShardedItemMemory):
@@ -270,6 +309,20 @@ class AssociativeStore:
         return out
 
     # -- persistence -------------------------------------------------------- #
+
+    def _maybe_auto_compact(self):
+        """Compact when the append journal exceeds the configured size.
+
+        The auto-compaction policy of :meth:`open`'s
+        ``auto_compact_segments=N``: counting actual ``shard_*.seg*.npy``
+        files keeps the trigger exact across handles and generations.
+        """
+        limit = self._auto_compact_segments
+        if limit is None:
+            return
+        segments = len(list(self._path.glob("shard_*.seg*.npy")))
+        if segments > limit:
+            self.compact()
 
     def save(self, path):
         """Write the store (contiguous shard matrices + manifest) to ``path``.

@@ -2,12 +2,19 @@
 
 ``ShardedItemMemory`` routes labels to shards (:mod:`.routing`), ingests
 in streaming chunks, and answers batched cleanup / top-k queries by
-fanning the query block across shards — sequentially or on a thread
-pool (``workers=``, see :mod:`.parallel`) — and merging the per-shard
-partial results. Per-shard scoring runs through :class:`ItemMemory`'s
-blocked Hamming kernels, so the peak temporary is bounded by the kernel
-tile, not the store — the property that lets one process serve
-multi-million-item stores.
+fanning the query block across shards — sequentially, on a thread pool,
+or on a process pool (``workers=`` / ``executor=``, see
+:mod:`.parallel`; process workers re-open persisted shards via
+``np.memmap``, and an in-memory store spills to a temp store directory
+on its first process query) — and merging the per-shard partial
+results. The fan-out runs in waves (capped at the visible cores) so
+every completed shard tightens a shared k-th-best bound: shards whose
+recorded minus-count interval provably cannot beat it are skipped
+outright, and dispatched shards pass the bound into the kernels'
+prefix-Hamming early exit. Per-shard scoring runs through
+:class:`ItemMemory`'s blocked Hamming kernels, so the peak temporary is
+bounded by the kernel tile, not the store — the property that lets one
+process serve multi-million-item stores.
 
 The merge operates end-to-end in the **integer distance domain**: each
 shard's partial is a ``(uint Hamming distance, global insertion index)``
@@ -36,14 +43,19 @@ items in the same insertion order. That holds because
 
 from __future__ import annotations
 
+import os
+import tempfile
+
 import numpy as np
 
 from ..hypervector import is_bipolar
 from ..item_memory import ItemMemory
 from ..ordering import topk_order
 from .parallel import (
+    BoundTracker,
     ShardExecutor,
     distances_to_similarities,
+    process_shard_task,
     shard_cleanup_floats,
     shard_cleanup_ints,
     shard_topk_floats,
@@ -97,13 +109,24 @@ class ShardedItemMemory:
         ``"round_robin"`` (i-th item → shard ``i % N``). See
         :mod:`repro.hdc.store.routing`.
     workers:
-        Thread-pool width for the per-shard query fan-out: an int ≥ 1
-        (``1`` = sequential) or ``"auto"`` for the CPU count. Worker
-        count never changes decisions, only wall-clock.
+        Pool width for the per-shard query fan-out: an int ≥ 1
+        (``1`` = sequential for threads) or ``"auto"`` for the CPU
+        count. Worker count never changes decisions, only wall-clock.
+    executor:
+        Fan-out executor kind: ``"thread"`` (default; NumPy kernels
+        release the GIL) or ``"process"`` (a true multi-core pool —
+        worker processes re-open persisted shards via ``np.memmap``;
+        an in-memory store spills its shards to a temp store directory
+        on the first process query, so labels must then be
+        JSON-serializable). Executor choice never changes decisions.
     """
 
+    #: minus-count bounds of a shard known to hold zero rows — any real
+    #: row update (min/max merge) collapses it to that row's counts
+    EMPTY_POP_BOUNDS = (2**62, -1)
+
     def __init__(self, dim, num_shards=4, backend="dense", routing="hash",
-                 workers=1):
+                 workers=1, executor="thread"):
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
         if routing not in ROUTINGS:
@@ -118,15 +141,29 @@ class ShardedItemMemory:
         # cached int64 arrays are what query partials index into.
         self._shard_orders = [[] for _ in range(num_shards)]
         self._shard_order_arrays = [None] * num_shards
-        self._executor = ShardExecutor(workers)
+        # Per-shard minus-count bounds (pruning): (min, max) when known
+        # exactly, None when unknown (a pre-bounds persisted store).
+        self._pop_bounds = [self.EMPTY_POP_BOUNDS] * num_shards
+        #: skip shards whose bounds beat the current k-th best (settable;
+        #: pruning never changes decisions, only work)
+        self.prune = True
+        self._pruning = {"batches": 0, "tasks": 0, "skipped": 0, "bounded": 0}
+        # Persisted twin for process-executor workers: (path, generation,
+        # rows-at-attach). None until saved/opened/spilled.
+        self._attachment = None
+        self._spill_dir = None  # TemporaryDirectory owning a spilled twin
+        self._executor = ShardExecutor(workers, kind=executor)
 
     @classmethod
-    def from_shards(cls, shards, labels, routing="hash", workers=1):
+    def from_shards(cls, shards, labels, routing="hash", workers=1,
+                    executor="thread", pop_bounds=None):
         """Rebuild a sharded memory around existing shards (persistence).
 
         ``shards`` are :class:`ItemMemory` instances of matching dim and
         backend; ``labels`` is the *global* insertion order, which must be
-        exactly the disjoint union of the shards' labels.
+        exactly the disjoint union of the shards' labels. ``pop_bounds``
+        carries the manifest's per-shard minus-count bounds (``None``
+        entries disable pruning for that shard).
         """
         shards = list(shards)
         if not shards:
@@ -136,8 +173,25 @@ class ShardedItemMemory:
         if len(dims) != 1 or len(names) != 1:
             raise ValueError("shards must share one dim and one backend")
         memory = cls(shards[0].dim, num_shards=len(shards),
-                     backend=names.pop(), routing=routing, workers=workers)
+                     backend=names.pop(), routing=routing, workers=workers,
+                     executor=executor)
         memory._shards = shards
+        if pop_bounds is None:
+            memory._pop_bounds = [
+                cls.EMPTY_POP_BOUNDS if not len(shard) else None
+                for shard in shards
+            ]
+        else:
+            pop_bounds = list(pop_bounds)
+            if len(pop_bounds) != len(shards):
+                raise ValueError(
+                    f"pop_bounds must have one entry per shard "
+                    f"({len(pop_bounds)} for {len(shards)} shards)"
+                )
+            memory._pop_bounds = [
+                None if bounds is None else (int(bounds[0]), int(bounds[1]))
+                for bounds in pop_bounds
+            ]
         labels = list(labels)
         if len(set(labels)) != len(labels):
             raise ValueError("duplicate labels in global label list")
@@ -173,13 +227,48 @@ class ShardedItemMemory:
 
     @property
     def workers(self):
-        """Thread-pool width of the query fan-out (settable)."""
+        """Pool width of the query fan-out (settable; kind preserved)."""
         return self._executor.workers
 
     @workers.setter
     def workers(self, value):
+        kind = self._executor.kind
         self._executor.close()
-        self._executor = ShardExecutor(value)
+        self._executor = ShardExecutor(value, kind=kind)
+
+    @property
+    def executor(self):
+        """Fan-out executor kind, ``"thread"`` / ``"process"`` (settable)."""
+        return self._executor.kind
+
+    @executor.setter
+    def executor(self, kind):
+        workers = self._executor.workers
+        self._executor.close()
+        self._executor = ShardExecutor(workers, kind=kind)
+
+    def close(self):
+        """Shut the executor pool down and drop any spilled twin directory."""
+        self._executor.close()
+        spill, self._spill_dir = self._spill_dir, None
+        if spill is not None:
+            self._attachment = None
+            spill.cleanup()
+
+    @property
+    def pruning_stats(self):
+        """Shard-skip counters of the bounded fan-out (cumulative).
+
+        ``tasks`` counts shard queries the fan-out considered, ``skipped``
+        those answered purely from the minus-count bounds (kernel never
+        ran), ``bounded`` those dispatched with a finite k-th-best bound,
+        and ``skip_rate`` is ``skipped / tasks``.
+        """
+        stats = dict(self._pruning)
+        stats["skip_rate"] = (
+            stats["skipped"] / stats["tasks"] if stats["tasks"] else 0.0
+        )
+        return stats
 
     @property
     def shards(self):
@@ -217,7 +306,8 @@ class ShardedItemMemory:
         return (
             f"ShardedItemMemory(n={len(self)}, dim={self.dim}, "
             f"shards={self.num_shards}, routing={self.routing!r}, "
-            f"backend={self.backend.name!r}, workers={self.workers})"
+            f"backend={self.backend.name!r}, workers={self.workers}, "
+            f"executor={self.executor!r})"
         )
 
     # -- ingestion --------------------------------------------------------- #
@@ -229,7 +319,19 @@ class ShardedItemMemory:
         index = route_label(label, len(self._labels), self.num_shards, self.routing)
         self._shards[index].add(label, vector)  # validates; raises before commit
         self._shard_of[label] = index
+        self._note_popcounts(index, np.asarray(vector)[None])
         self._commit_order(index, label)
+
+    def _note_popcounts(self, shard_index, rows):
+        """Fold committed bipolar rows into one shard's minus-count bounds."""
+        bounds = self._pop_bounds[shard_index]
+        if bounds is None:
+            return  # unknown base rows (pre-bounds store) stay unknown
+        counts = (np.asarray(rows) < 0).sum(axis=1)
+        self._pop_bounds[shard_index] = (
+            min(bounds[0], int(counts.min())),
+            max(bounds[1], int(counts.max())),
+        )
 
     def _commit_order(self, shard_index, label):
         """Record one committed label's global order everywhere it lives."""
@@ -287,6 +389,7 @@ class ShardedItemMemory:
             plan.append((index, shard_labels, shard_rows))
         for index, shard_labels, shard_rows in plan:
             self._shards[index].add_many(shard_labels, shard_rows)
+            self._note_popcounts(index, shard_rows)
             for label in shard_labels:
                 self._shard_of[label] = index
         for label in chunk_labels:
@@ -304,12 +407,175 @@ class ShardedItemMemory:
         return queries
 
     def _active_shards(self):
-        """``(shard, global-order array)`` pairs for the non-empty shards."""
-        return [
-            (shard, self._orders_of(index))
-            for index, shard in enumerate(self._shards)
-            if len(shard)
-        ]
+        """Indices of the non-empty shards."""
+        return [index for index, shard in enumerate(self._shards) if len(shard)]
+
+    def _attach(self, path, generation):
+        """Record a persisted twin directory process workers may re-open.
+
+        Called by the persistence layer after every successful
+        save/open/append/compact; the attachment is only trusted while
+        the row count still matches (in-memory growth past the persisted
+        state forces a fresh spill).
+        """
+        self._attachment = (str(path), int(generation), len(self._labels))
+
+    def _ensure_process_store(self):
+        """``(path, generation)`` of a persisted twin of this memory.
+
+        A valid attachment (saved/opened/appended store) is reused as
+        is — worker processes re-open its shard files via ``np.memmap``.
+        An unsaved in-memory store spills its shards to a fresh temp
+        store directory on the first process query (``save_store``
+        attaches it); the spill lives until the memory is closed,
+        collected, or re-spilled after further in-memory growth.
+        """
+        attachment = self._attachment
+        if attachment is not None and attachment[2] == len(self._labels):
+            return attachment[0], attachment[1]
+        from .persistence import save_store  # deferred import (module cycle)
+
+        spill = tempfile.TemporaryDirectory(prefix="repro-store-spill-")
+        try:
+            save_store(self, spill.name)
+        except TypeError as exc:
+            spill.cleanup()
+            raise TypeError(
+                "executor='process' needs a persistable store: labels must "
+                "be JSON-serializable scalars (str/int/float/bool) so "
+                "in-memory shards can spill to a temp store directory"
+            ) from exc
+        old, self._spill_dir = self._spill_dir, spill
+        if old is not None:
+            # Workers still holding memmaps of the old spill keep reading
+            # the unlinked inodes; new tasks name the new directory.
+            old.cleanup()
+        attachment = self._attachment
+        return attachment[0], attachment[1]
+
+    def _shard_lower_bounds(self, shard_index, query_minus):
+        """Per-query Hamming lower bounds for one shard, or ``None``.
+
+        ``hamming(q, x) >= |minus(q) - minus(x)|`` for bipolar vectors,
+        so the distance from the query's minus-count to the shard's
+        recorded ``[min, max]`` interval bounds every item in the shard.
+        Unknown bounds (pre-bounds persisted stores) return ``None`` —
+        such shards are never skipped.
+        """
+        bounds = self._pop_bounds[shard_index]
+        if bounds is None or bounds[1] < bounds[0]:
+            return None
+        low, high = bounds
+        return np.maximum(0, np.maximum(low - query_minus, query_minus - high))
+
+    def _fanout_ints(self, mode, native, k):
+        """Bounded integer-domain fan-out; returns the partial list.
+
+        Shards run in waves of the executor width, cheapest lower bound
+        first: every completed partial tightens the shared
+        :class:`~repro.hdc.store.parallel.BoundTracker`, later waves
+        skip shards whose lower bound strictly beats the current
+        k-th-best for every query (the kernel never runs), and
+        dispatched shards carry the current bound so their kernels can
+        early-exit internally. Skips are strict, so decisions are
+        bit-identical with pruning on or off.
+        """
+        active = self._active_shards()
+        process = self._executor.kind == "process"
+        store_ref = self._ensure_process_store() if process else None
+        tracker = BoundTracker(
+            native.shape[0], 1 if mode == "cleanup_ints" else k, self.dim + 1
+        )
+        lower = {}
+        if self.prune:
+            query_minus = self.backend.minus_counts(native)
+            lower = {
+                index: self._shard_lower_bounds(index, query_minus)
+                for index in active
+            }
+        order = sorted(
+            active,
+            key=lambda i: -1 if lower.get(i) is None else int(lower[i].min()),
+        )
+        # Wave width: the pool size, capped at the cores this process may
+        # actually run on — extra workers beyond that only time-slice one
+        # core and thrash the kernels' cache-sized tiles, while narrower
+        # waves tighten the shared bound more often. (Pool width above the
+        # cap still helps absorb worker startup/page-in latency.)
+        if hasattr(os, "sched_getaffinity"):
+            cores = len(os.sched_getaffinity(0))
+        else:  # pragma: no cover - non-Linux fallback
+            cores = os.cpu_count() or 1
+        wave = max(1, min(self._executor.workers, cores))
+        # Seed wave: the single most-promising shard (smallest lower bound)
+        # runs alone so every subsequent wave — including the first full-width
+        # one — carries a real k-th-best bound into its kernels. Costs one
+        # shard of serial latency, saves each later shard its probe pass and
+        # arms the skip test as early as possible.
+        waves = [order[:1]] if len(order) > 1 else [order]
+        for start in range(len(waves[0]), len(order), wave):
+            waves.append(order[start : start + wave])
+        partials = []
+        first_wave = True
+        for current in waves:
+            dispatch = []
+            for index in current:
+                self._pruning["tasks"] += 1
+                bound_row = lower.get(index)
+                if bound_row is not None and tracker.can_skip(bound_row):
+                    self._pruning["skipped"] += 1
+                    continue
+                bounds = None if first_wave else tracker.bounds()
+                if bounds is not None:
+                    self._pruning["bounded"] += 1
+                dispatch.append((index, bounds))
+            first_wave = False
+            if not dispatch:
+                continue
+            if process:
+                path, generation = store_ref
+                results = self._executor.map(
+                    process_shard_task,
+                    [
+                        (mode, path, generation, index, native, k, bounds)
+                        for index, bounds in dispatch
+                    ],
+                )
+            else:
+                def run(task):
+                    index, bounds = task
+                    shard, orders = self._shards[index], self._orders_of(index)
+                    if mode == "cleanup_ints":
+                        return shard_cleanup_ints(shard, native, orders,
+                                                  bounds=bounds)
+                    return shard_topk_ints(shard, native, k, orders,
+                                           bounds=bounds)
+
+                results = self._executor.map(run, dispatch)
+            for primary, orders_part in results:
+                tracker.update(primary)
+                partials.append((primary, orders_part))
+        self._pruning["batches"] += 1
+        return partials
+
+    def _fanout_floats(self, mode, queries, k):
+        """Unbounded float fan-out (real-valued dense queries)."""
+        active = self._active_shards()
+        if self._executor.kind == "process":
+            path, generation = self._ensure_process_store()
+            return self._executor.map(
+                process_shard_task,
+                [(mode, path, generation, index, queries, k, None)
+                 for index in active],
+            )
+
+        def run(index):
+            shard, orders = self._shards[index], self._orders_of(index)
+            if mode == "cleanup_floats":
+                return shard_cleanup_floats(shard, queries, orders)
+            return shard_topk_floats(shard, queries, k, orders)
+
+        return self._executor.map(run, active)
 
     def _native_queries(self, queries):
         """Queries in backend-native form for the integer-distance path,
@@ -330,12 +596,21 @@ class ShardedItemMemory:
         """
         queries = self._check_queries(queries)
         out = np.empty((queries.shape[0], len(self._labels)), dtype=np.float64)
-        partials = self._executor.map(
-            lambda pair: (pair[1], pair[0].similarities_batch(queries)),
-            self._active_shards(),
-        )
-        for columns, sims in partials:
-            out[:, columns] = sims
+        active = self._active_shards()
+        if self._executor.kind == "process":
+            path, generation = self._ensure_process_store()
+            results = self._executor.map(
+                process_shard_task,
+                [("similarities", path, generation, index, queries, None, None)
+                 for index in active],
+            )
+        else:
+            results = self._executor.map(
+                lambda index: self._shards[index].similarities_batch(queries),
+                active,
+            )
+        for index, sims in zip(active, results):
+            out[:, self._orders_of(index)] = sims
         return out
 
     def cleanup(self, query):
@@ -353,17 +628,12 @@ class ShardedItemMemory:
         ``ItemMemory``.
         """
         queries = self._check_queries(queries)
-        shards = self._active_shards()
         native = self._native_queries(queries)
         if native is not None:
-            partials = self._executor.map(
-                lambda pair: shard_cleanup_ints(pair[0], native, pair[1]), shards
-            )
+            partials = self._fanout_ints("cleanup_ints", native, 1)
         else:
-            partials = self._executor.map(
-                lambda pair: shard_cleanup_floats(pair[0], queries, pair[1]), shards
-            )
-        primary = np.stack([p for p, _ in partials])  # (S, B)
+            partials = self._fanout_floats("cleanup_floats", queries, 1)
+        primary = np.stack([p for p, _ in partials])  # (S', B)
         orders = np.stack([o for _, o in partials])  # (S, B)
         best = np.lexsort((orders, primary), axis=0)[0]  # best shard per query
         columns = np.arange(primary.shape[1])
@@ -393,16 +663,11 @@ class ShardedItemMemory:
         """
         queries = self._check_queries(queries)
         k = min(k, len(self._labels))
-        shards = self._active_shards()
         native = self._native_queries(queries)
         if native is not None:
-            partials = self._executor.map(
-                lambda pair: shard_topk_ints(pair[0], native, k, pair[1]), shards
-            )
+            partials = self._fanout_ints("topk_ints", native, k)
         else:
-            partials = self._executor.map(
-                lambda pair: shard_topk_floats(pair[0], queries, k, pair[1]), shards
-            )
+            partials = self._fanout_floats("topk_floats", queries, k)
         primary = np.concatenate([p for p, _ in partials], axis=1)  # (B, Σk')
         orders = np.concatenate([o for _, o in partials], axis=1)
         selected = topk_order(primary, k, tiebreak=orders)

@@ -14,7 +14,10 @@ store; after ``compact()`` a third child must still agree, from the
 rewritten contiguous layout.
 
 ``STORE_SMOKE_ITEMS`` scales the store (default 400; the CI
-``store_scale`` step runs a larger pass).
+``store_scale`` step runs a larger pass) and ``STORE_SMOKE_EXECUTOR``
+selects the fan-out executor (``thread`` default / ``process`` — CI
+runs a dedicated process-executor smoke step, so the memmap-reopening
+worker path is format-drift-guarded too).
 """
 
 from __future__ import annotations
@@ -36,15 +39,17 @@ ITEMS = int(os.environ.get("STORE_SMOKE_ITEMS", 400))
 APPEND_ITEMS = max(8, ITEMS // 8)
 SHARDS = 3
 WORKERS = 2
+EXECUTOR = os.environ.get("STORE_SMOKE_EXECUTOR", "thread")
 QUERIES = 16
 
 _CHILD = """
-import json, sys
+import json, os, sys
 import numpy as np
 from repro.hdc.store import AssociativeStore
 
 path, query_path = sys.argv[1], sys.argv[2]
-store = AssociativeStore.open(path, workers=2)  # memmap-backed fan-out
+executor = os.environ.get("STORE_SMOKE_EXECUTOR", "thread")
+store = AssociativeStore.open(path, workers=2, executor=executor)
 queries = np.load(query_path)
 labels, sims = store.cleanup_batch(queries)
 topk = store.topk_batch(queries, k=5)
@@ -95,7 +100,8 @@ def _noisy(vectors, rng, num):
 def main():
     rng = np.random.default_rng(7)
     vectors = random_bipolar(ITEMS + APPEND_ITEMS, DIM, rng)
-    store = AssociativeStore(DIM, backend="packed", shards=SHARDS, workers=WORKERS)
+    store = AssociativeStore(DIM, backend="packed", shards=SHARDS,
+                             workers=WORKERS, executor=EXECUTOR)
     store.add_many([f"item{i}" for i in range(ITEMS)], vectors[:ITEMS],
                    chunk_size=128)
     queries = _noisy(vectors[:ITEMS], rng, QUERIES)
@@ -144,8 +150,9 @@ def main():
 
     print(
         f"store smoke OK: {ITEMS}+{APPEND_ITEMS} items x {DIM} dims, "
-        f"{SHARDS} shards, workers={WORKERS}, {QUERIES} queries bit-identical "
-        f"across save / append / compact fresh-process reopens"
+        f"{SHARDS} shards, workers={WORKERS}, executor={EXECUTOR}, "
+        f"{QUERIES} queries bit-identical across save / append / compact "
+        f"fresh-process reopens"
     )
     return 0
 

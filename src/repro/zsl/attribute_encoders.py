@@ -81,7 +81,7 @@ class HDCAttributeEncoder(nn.Module):
         return self.dictionary.backend.name
 
     def attribute_store(self, shards=1, routing="hash", query_block=1024,
-                        workers=1):
+                        workers=1, executor="thread"):
         """The dictionary ``B`` as an :class:`~repro.hdc.store.AssociativeStore`.
 
         One labelled hypervector per attribute combination
@@ -99,7 +99,7 @@ class HDCAttributeEncoder(nn.Module):
         return AssociativeStore.from_vectors(
             labels, self.dictionary.matrix(), backend=self.backend_name,
             shards=shards, routing=routing, query_block=query_block,
-            workers=workers,
+            workers=workers, executor=executor,
         )
 
     def memory_report(self):

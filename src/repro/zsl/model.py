@@ -149,7 +149,7 @@ class HDCZSC(nn.Module):
 
     def class_store(self, class_attributes, labels=None, shards=1,
                     routing="hash", backend=None, query_block=1024,
-                    workers=1):
+                    workers=1, executor="thread"):
         """Build the class-level item memory behind store-backed inference.
 
         Encodes ``class_attributes`` through φ(·), sign-binarizes the
@@ -160,8 +160,8 @@ class HDCZSC(nn.Module):
         class hypervectors. ``labels`` default to the row indices of
         ``class_attributes``; ``backend`` defaults to the HDC encoder's
         storage backend (``"dense"`` for the MLP encoder); ``workers``
-        sets the sharded fan-out thread-pool width (decisions are
-        worker-invariant).
+        and ``executor`` set the sharded fan-out pool (decisions are
+        worker- and executor-invariant).
         """
         with self._stationary():
             class_embeddings = self.attribute_encoder(class_attributes).data
@@ -173,6 +173,7 @@ class HDCZSC(nn.Module):
         return AssociativeStore.from_vectors(
             labels, prototypes, backend=backend, shards=shards,
             routing=routing, query_block=query_block, workers=workers,
+            executor=executor,
         )
 
     def predict_store(self, images, store, batch_size=64):

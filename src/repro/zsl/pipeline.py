@@ -44,9 +44,12 @@ class PipelineConfig:
     #: sharding changes layout and scalability, never decisions.
     store_shards: int = 1
     store_routing: str = "hash"  # "hash" | "round_robin"
-    #: thread-pool width of the store's per-shard query fan-out;
+    #: pool width of the store's per-shard query fan-out;
     #: parallelism changes wall-clock, never decisions.
     store_workers: int = 1
+    #: fan-out executor kind ("thread" | "process"); the process pool
+    #: re-opens persisted shards via np.memmap inside each worker.
+    store_executor: str = "thread"
     temperature: float = 0.03
     seed: int = 0
     pretrain_classes: int = 20
@@ -165,16 +168,17 @@ class ZSLPipeline:
             test_class_attributes,
         )
 
-    def deployment_store(self, shards=None, routing=None, workers=None):
+    def deployment_store(self, shards=None, routing=None, workers=None,
+                         executor=None):
         """The class-level item memory for stationary inference.
 
         Binarized prototypes of the split's *test* (unseen) classes,
         loaded into an :class:`~repro.hdc.store.AssociativeStore`;
-        ``shards``/``routing``/``workers`` default to the pipeline
-        config (``store_shards`` / ``store_routing`` /
-        ``store_workers``). Labels are the class positions used by
-        :meth:`evaluate`, so store decisions compare directly against
-        ``split.test_targets``.
+        ``shards``/``routing``/``workers``/``executor`` default to the
+        pipeline config (``store_shards`` / ``store_routing`` /
+        ``store_workers`` / ``store_executor``). Labels are the class
+        positions used by :meth:`evaluate`, so store decisions compare
+        directly against ``split.test_targets``.
         """
         test_class_attributes = self.dataset.class_attributes[self.split.test_classes]
         return self.model.class_store(
@@ -182,9 +186,11 @@ class ZSLPipeline:
             shards=self.config.store_shards if shards is None else shards,
             routing=routing or self.config.store_routing,
             workers=self.config.store_workers if workers is None else workers,
+            executor=executor or self.config.store_executor,
         )
 
-    def evaluate_store(self, shards=None, routing=None, store=None, workers=None):
+    def evaluate_store(self, shards=None, routing=None, store=None, workers=None,
+                       executor=None):
         """Zero-shot metrics along the store-backed deployment path.
 
         Predictions are associative cleanups of binarized embeddings
@@ -196,7 +202,7 @@ class ZSLPipeline:
         """
         if store is None:
             store = self.deployment_store(shards=shards, routing=routing,
-                                          workers=workers)
+                                          workers=workers, executor=executor)
         queries = self.model.binary_embeddings(self.split.test_images)
         ranked = store.topk_batch(queries, k=min(5, len(store)))
         targets = np.asarray(self.split.test_targets)

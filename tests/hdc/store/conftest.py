@@ -16,3 +16,9 @@ import pytest
 def store_scale_items():
     """Item count for ``store_scale`` tests (default 100k)."""
     return int(os.environ.get("STORE_SCALE_ITEMS", 100_000))
+
+
+@pytest.fixture
+def store_scale_executor():
+    """Fan-out executor for ``store_scale`` tests (CI runs both kinds)."""
+    return os.environ.get("STORE_SCALE_EXECUTOR", "thread")

@@ -296,3 +296,61 @@ class TestCorruptedSegments:
         _write_manifest(path, manifest)
         with pytest.raises(ValueError, match="already stored|do not match"):
             open_store(path)
+
+
+class TestAutoCompaction:
+    """``AssociativeStore.open(..., auto_compact_segments=N)``: the journal
+    folds itself once it grows past N segment files."""
+
+    def _segments(self, path):
+        return sorted(p.name for p in path.glob("shard_*.seg*.npy"))
+
+    def test_appends_past_threshold_trigger_one_compacted_generation(
+        self, tmp_path, rng
+    ):
+        dim = 64
+        vectors = random_bipolar(40, dim, rng)
+        labels = [f"v{i}" for i in range(40)]
+        store = AssociativeStore.from_vectors(
+            labels[:20], vectors[:20], backend="packed", shards=3)
+        store.save(tmp_path / "s")
+        opened = AssociativeStore.open(tmp_path / "s", auto_compact_segments=4)
+        assert opened.auto_compact_segments == 4
+        # Append one row at a time until the journal crosses the threshold;
+        # each single-label append journals exactly one segment file.
+        appended = 0
+        for i in range(20, 40):
+            opened.add(labels[i], vectors[i])
+            appended += 1
+            segments = self._segments(tmp_path / "s")
+            assert len(segments) <= 4, "journal must never exceed the threshold"
+            if not segments and appended >= 5:
+                break  # a compaction ran
+        else:
+            pytest.fail("auto-compaction never triggered")
+        manifest = _manifest(tmp_path / "s")
+        assert all(not entry["segments"] for entry in manifest["shards"])
+        # the handle keeps answering and a fresh open agrees bit-for-bit
+        reference = _reference(labels[: 20 + appended], vectors[: 20 + appended])
+        queries = vectors[: 20 + appended]
+        assert opened.cleanup_batch(queries)[0] == reference.cleanup_batch(queries)[0]
+        reopened = AssociativeStore.open(tmp_path / "s")
+        assert reopened.cleanup_batch(queries)[0] == reference.cleanup_batch(queries)[0]
+
+    def test_below_threshold_journal_persists(self, tmp_path, rng):
+        dim = 64
+        vectors = random_bipolar(24, dim, rng)
+        labels = [f"v{i}" for i in range(24)]
+        store = AssociativeStore.from_vectors(
+            labels[:20], vectors[:20], backend="packed", shards=2)
+        store.save(tmp_path / "s")
+        opened = AssociativeStore.open(tmp_path / "s", auto_compact_segments=50)
+        opened.add_many(labels[20:], vectors[20:])
+        assert self._segments(tmp_path / "s")  # journal kept
+
+    def test_invalid_threshold_rejected(self, tmp_path, rng):
+        vectors = random_bipolar(4, 64, rng)
+        store = AssociativeStore.from_vectors(["a", "b", "c", "d"], vectors)
+        store.save(tmp_path / "s")
+        with pytest.raises(ValueError, match="auto_compact_segments"):
+            AssociativeStore.open(tmp_path / "s", auto_compact_segments=0)

@@ -1,13 +1,14 @@
-"""Parallel fan-out agreement: workers × shards × backends vs ItemMemory.
+"""Parallel fan-out agreement: executor × workers × shards × backends.
 
 The decision contract of the parallel query path (in the spirit of
-``test_sharded.py``, which pins the layout dimension): for any worker
-count, any shard count, and both backends, every cleanup / top-k /
-top-k-batch decision must be *bit-identical* to the single-shard
-reference ``ItemMemory`` holding the same items in the same insertion
-order — including tie-heavy inputs where out-of-order shard completion
-would reorder a merge that keyed on anything but the global insertion
-index.
+``test_sharded.py``, which pins the layout dimension): for any executor
+kind (thread pool / process pool), any worker count, any shard count,
+and both backends, every cleanup / top-k / top-k-batch decision must be
+*bit-identical* to the single-shard reference ``ItemMemory`` holding the
+same items in the same insertion order — including tie-heavy inputs
+where out-of-order shard completion would reorder a merge that keyed on
+anything but the global insertion index, and including the early-exit
+pruning bounds (strict skips can never drop a boundary tie).
 """
 
 import numpy as np
@@ -17,9 +18,10 @@ from repro.hdc import ItemMemory, random_bipolar
 from repro.hdc.store import AssociativeStore, ShardedItemMemory, resolve_workers
 from repro.hdc.store.parallel import ShardExecutor, distances_to_similarities
 
-WORKER_COUNTS = (1, 2, 7)
+WORKER_COUNTS = (1, 2)
 SHARD_COUNTS = (1, 3, 8)
 BACKENDS = ("dense", "packed")
+EXECUTORS = ("thread", "process")
 
 
 def _noisy_queries(vectors, rng, num=6, flip_fraction=0.2):
@@ -31,11 +33,13 @@ def _noisy_queries(vectors, rng, num=6, flip_fraction=0.2):
     return queries
 
 
-def _pair(dim, labels, vectors, backend, shards, workers, routing="hash"):
+def _pair(dim, labels, vectors, backend, shards, workers, routing="hash",
+          executor="thread"):
     reference = ItemMemory(dim, backend=backend)
     reference.add_many(labels, vectors)
     sharded = ShardedItemMemory(dim, num_shards=shards, backend=backend,
-                                routing=routing, workers=workers)
+                                routing=routing, workers=workers,
+                                executor=executor)
     sharded.add_many(labels, vectors, chunk_size=7)  # odd chunks on purpose
     return reference, sharded
 
@@ -44,36 +48,56 @@ class TestWorkerAgreement:
     @pytest.mark.parametrize("backend", BACKENDS)
     @pytest.mark.parametrize("shards", SHARD_COUNTS)
     @pytest.mark.parametrize("workers", WORKER_COUNTS)
-    def test_cleanup_batch_bit_identical(self, backend, shards, workers, rng):
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_cleanup_batch_bit_identical(self, backend, shards, workers,
+                                         executor, rng):
         dim = 256
         labels = [f"item{i}" for i in range(40)]
         vectors = random_bipolar(40, dim, rng)
-        reference, sharded = _pair(dim, labels, vectors, backend, shards, workers)
+        reference, sharded = _pair(dim, labels, vectors, backend, shards,
+                                   workers, executor=executor)
         queries = _noisy_queries(vectors, rng)
         ref_labels, ref_sims = reference.cleanup_batch(queries)
         sh_labels, sh_sims = sharded.cleanup_batch(queries)
         assert sh_labels == ref_labels
         assert np.array_equal(sh_sims, ref_sims)  # exact, not allclose
+        sharded.close()
 
     @pytest.mark.parametrize("backend", BACKENDS)
     @pytest.mark.parametrize("shards", SHARD_COUNTS)
     @pytest.mark.parametrize("workers", WORKER_COUNTS)
-    def test_topk_and_topk_batch_bit_identical(self, backend, shards, workers, rng):
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_topk_and_topk_batch_bit_identical(self, backend, shards, workers,
+                                               executor, rng):
         dim = 256
         labels = [f"item{i}" for i in range(40)]
         vectors = random_bipolar(40, dim, rng)
-        reference, sharded = _pair(dim, labels, vectors, backend, shards, workers)
+        reference, sharded = _pair(dim, labels, vectors, backend, shards,
+                                   workers, executor=executor)
         queries = _noisy_queries(vectors, rng)
         for k in (1, 5, 17, 100):  # 100 > store size
             assert sharded.topk_batch(queries, k=k) == reference.topk_batch(
                 queries, k=k
             )
         assert sharded.topk(queries[0], k=9) == reference.topk(queries[0], k=9)
+        sharded.close()
+
+    @pytest.mark.parametrize("workers", (1, 7))
+    def test_wide_thread_pools_stay_bit_identical(self, workers, rng):
+        """More workers than shards (the PR 3 grid's widest point)."""
+        dim = 256
+        labels = [f"item{i}" for i in range(40)]
+        vectors = random_bipolar(40, dim, rng)
+        reference, sharded = _pair(dim, labels, vectors, "packed", 3, workers)
+        queries = _noisy_queries(vectors, rng)
+        assert sharded.cleanup_batch(queries)[0] == reference.cleanup_batch(queries)[0]
+        assert sharded.topk_batch(queries, k=6) == reference.topk_batch(queries, k=6)
 
     @pytest.mark.parametrize("backend", BACKENDS)
     @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("executor", EXECUTORS)
     def test_tie_heavy_inputs_resolve_by_global_insertion_order(
-        self, backend, workers, rng
+        self, backend, workers, executor, rng
     ):
         """Many duplicate vectors spread across many shards: every shard
         returns identical distances, so a merge keyed on completion order
@@ -83,7 +107,8 @@ class TestWorkerAgreement:
         base = random_bipolar(3, dim, rng)
         labels = [f"dup{i}" for i in range(24)]
         vectors = np.tile(base, (8, 1))  # 8 copies of each of 3 vectors
-        reference, sharded = _pair(dim, labels, vectors, backend, 8, workers)
+        reference, sharded = _pair(dim, labels, vectors, backend, 8, workers,
+                                   executor=executor)
         queries = np.concatenate([base, base])
         expected_topk = reference.topk_batch(queries, k=24)
         expected_cleanup = reference.cleanup_batch(queries)
@@ -94,6 +119,7 @@ class TestWorkerAgreement:
             assert np.array_equal(got_sims, expected_cleanup[1])
         # The winner is the globally earliest-inserted duplicate.
         assert sharded.cleanup(base[0])[0] == "dup0"
+        sharded.close()
 
     @pytest.mark.parametrize("workers", WORKER_COUNTS)
     def test_real_valued_dense_queries_use_float_fallback(self, workers, rng):
@@ -122,16 +148,19 @@ class TestWorkerAgreement:
             )
 
     @pytest.mark.parametrize("workers", WORKER_COUNTS)
-    def test_similarities_batch_in_global_order(self, workers, rng):
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_similarities_batch_in_global_order(self, workers, executor, rng):
         dim = 128
         labels = [f"v{i}" for i in range(25)]
         vectors = random_bipolar(25, dim, rng)
-        reference, sharded = _pair(dim, labels, vectors, "packed", 4, workers)
+        reference, sharded = _pair(dim, labels, vectors, "packed", 4, workers,
+                                   executor=executor)
         queries = random_bipolar(4, dim, rng)
         assert np.array_equal(
             sharded.similarities_batch(queries),
             reference.similarities_batch(queries),
         )
+        sharded.close()
 
     @pytest.mark.parametrize("backend", BACKENDS)
     def test_append_history_never_changes_decisions(self, backend, rng):
@@ -219,12 +248,232 @@ class TestFacadeAndExecutor:
         with pytest.raises(ValueError, match="bipolar"):
             memory.distances_batch(np.ones((1, 32)) * 0.5)
 
+    def test_map_after_close_raises_instead_of_rebuilding(self):
+        """Regression: close() used to silently rebuild a pool on the next
+        map; a closed executor must refuse work, for every width/kind."""
+        for workers, kind in ((1, "thread"), (3, "thread"), (2, "process")):
+            executor = ShardExecutor(workers=workers, kind=kind)
+            if kind == "thread":
+                assert executor.map(lambda x: x * 2, [1, 2]) == [2, 4]
+            executor.close()
+            with pytest.raises(RuntimeError, match="closed"):
+                executor.map(lambda x: x, [1])
+            executor.close()  # idempotent
+            assert executor._pool is None
+
+    def test_resolve_executor_and_invalid_kind(self):
+        from repro.hdc.store import resolve_executor
+
+        assert resolve_executor(None) == "thread"
+        assert resolve_executor("thread") == "thread"
+        assert resolve_executor("process") == "process"
+        with pytest.raises(ValueError, match="executor"):
+            resolve_executor("fibers")
+        with pytest.raises(ValueError, match="executor"):
+            ShardedItemMemory(64, num_shards=2, executor="fibers")
+        with pytest.raises(ValueError, match="executor"):
+            AssociativeStore(64, shards=2, executor="fibers")
+
+    def test_executor_and_workers_setters_preserve_each_other(self, rng):
+        sharded = ShardedItemMemory(64, num_shards=3, workers=2,
+                                    executor="process")
+        sharded.add_many([f"v{i}" for i in range(9)], random_bipolar(9, 64, rng))
+        query = random_bipolar(2, 64, rng)
+        before = sharded.topk_batch(query, k=4)
+        sharded.workers = 4
+        assert sharded.executor == "process"
+        sharded.executor = "thread"
+        assert sharded.workers == 4
+        assert sharded.topk_batch(query, k=4) == before
+        sharded.close()
+
+    def test_process_spill_requires_json_labels(self, rng):
+        sharded = ShardedItemMemory(64, num_shards=2, executor="process")
+        sharded.add(("tuple", "label"), random_bipolar(1, 64, rng)[0])
+        with pytest.raises(TypeError, match="JSON-serializable"):
+            sharded.cleanup_batch(random_bipolar(1, 64, rng))
+        sharded.close()
+
+
+class TestEarlyExitPruning:
+    """Shard-skip pruning must never change a decision, only skip work."""
+
+    def _banded_pair(self, rng, dim=128, shards=8, per_shard=4, backend="packed",
+                     executor="thread", workers=1):
+        """Round-robin store whose shards hold disjoint minus-count bands:
+        shard s's vectors all have exactly s * dim // shards minus-ones,
+        so for a query in one band every other shard's lower bound is
+        positive — skippable once an exact match pins the k-th best."""
+        vectors = []
+        for i in range(shards * per_shard):
+            shard = i % shards
+            minus = shard * (dim // shards)
+            row = np.ones(dim, dtype=np.int8)
+            row[:minus] = -1
+            vectors.append(row)
+        vectors = np.stack(vectors)
+        labels = [f"v{i}" for i in range(len(vectors))]
+        reference = ItemMemory(dim, backend=backend)
+        reference.add_many(labels, vectors)
+        sharded = ShardedItemMemory(dim, num_shards=shards, backend=backend,
+                                    routing="round_robin", workers=workers,
+                                    executor=executor)
+        sharded.add_many(labels, vectors)
+        return reference, sharded, vectors
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_skippable_shards_are_skipped_and_decisions_hold(
+        self, backend, executor, rng
+    ):
+        """Every shard but the query's own band is skippable: the exact
+        match pins the k-th best at 0, every other band's bound is > 0."""
+        reference, sharded, vectors = self._banded_pair(
+            rng, backend=backend, executor=executor)
+        # exact copies from shard 0's band (items 0 and 8 both live there)
+        queries = np.stack([vectors[0], vectors[8]])
+        ref_labels, ref_sims = reference.cleanup_batch(queries)
+        sh_labels, sh_sims = sharded.cleanup_batch(queries)
+        assert sh_labels == ref_labels
+        assert np.array_equal(sh_sims, ref_sims)
+        stats = sharded.pruning_stats
+        assert stats["skipped"] == 7  # all bands but the query's own
+        assert stats["tasks"] == 8
+        assert 0 < stats["skip_rate"] < 1
+        assert sharded.topk_batch(queries, k=3) == reference.topk_batch(
+            queries, k=3)
+        sharded.close()
+
+    def test_pruning_toggle_is_bit_identical(self, rng):
+        reference, sharded, vectors = self._banded_pair(rng)
+        queries = np.concatenate([vectors[:2], _noisy_queries(vectors, rng)])
+        pruned_cleanup = sharded.cleanup_batch(queries)
+        pruned_topk = sharded.topk_batch(queries, k=5)
+        sharded.prune = False
+        assert sharded.cleanup_batch(queries)[0] == pruned_cleanup[0]
+        assert np.array_equal(sharded.cleanup_batch(queries)[1], pruned_cleanup[1])
+        assert sharded.topk_batch(queries, k=5) == pruned_topk
+        assert sharded.cleanup_batch(queries)[0] == reference.cleanup_batch(queries)[0]
+        sharded.close()
+
+    def test_boundary_ties_are_never_pruned(self, rng):
+        """A duplicate of the query's best match living in another shard
+        ties exactly at the k-th-best distance; the strict skip rule must
+        keep that shard scored so insertion order decides."""
+        dim = 128
+        row = np.ones(dim, dtype=np.int8)
+        # two identical vectors routed to different shards (round robin)
+        sharded = ShardedItemMemory(dim, num_shards=2, backend="packed",
+                                    routing="round_robin")
+        sharded.add_many(["first", "second"], np.stack([row, row]))
+        label, sim = sharded.cleanup(row)
+        assert label == "first" and sim == 1.0
+        ranked = sharded.topk(row, k=2)
+        assert [name for name, _ in ranked] == ["first", "second"]
+
+    def test_facade_surfaces_pruning_stats(self, rng):
+        vectors = random_bipolar(12, 64, rng)
+        store = AssociativeStore.from_vectors(
+            [f"v{i}" for i in range(12)], vectors, shards=3, backend="packed")
+        store.cleanup_batch(vectors[:2])
+        stats = store.pruning_stats
+        assert stats is not None and stats["batches"] >= 1
+        single = AssociativeStore.from_vectors(["a"], vectors[:1])
+        assert single.pruning_stats is None
+
+    def test_opened_pre_bounds_store_never_skips(self, rng, tmp_path):
+        """A manifest without minus-count bounds (simulating a pre-bounds
+        store) must disable skipping but answer identically."""
+        import json
+
+        reference, sharded, vectors = self._banded_pair(rng)
+        from repro.hdc.store import save_store, open_store, MANIFEST_NAME
+        save_store(sharded, tmp_path / "s")
+        manifest_path = tmp_path / "s" / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        for entry in manifest["shards"]:
+            entry.pop("minus_min", None)
+            entry.pop("minus_max", None)
+        manifest_path.write_text(json.dumps(manifest))
+        reopened = open_store(tmp_path / "s")
+        queries = vectors[:2].copy()
+        assert reopened.cleanup_batch(queries)[0] == reference.cleanup_batch(queries)[0]
+        assert reopened.pruning_stats["skipped"] == 0
+        sharded.close()
+
+
+class TestProcessPersistedLifecycle:
+    """The process executor across the save → open → append → compact cycle."""
+
+    def test_open_query_append_query_compact_query(self, rng, tmp_path):
+        dim = 128
+        vectors = random_bipolar(40, dim, rng)
+        labels = [f"v{i}" for i in range(40)]
+        store = AssociativeStore.from_vectors(
+            labels[:30], vectors[:30], backend="packed", shards=3)
+        store.save(tmp_path / "s")
+        opened = AssociativeStore.open(tmp_path / "s", workers=2,
+                                       executor="process")
+        assert opened.executor == "process"
+        reference = ItemMemory(dim, backend="packed")
+        reference.add_many(labels[:30], vectors[:30])
+        queries = _noisy_queries(vectors[:30], rng)
+        assert opened.cleanup_batch(queries)[0] == reference.cleanup_batch(queries)[0]
+        # journaled append bumps the generation; workers must follow
+        opened.add_many(labels[30:], vectors[30:])
+        reference.add_many(labels[30:], vectors[30:])
+        queries = _noisy_queries(vectors, rng)
+        assert opened.cleanup_batch(queries)[0] == reference.cleanup_batch(queries)[0]
+        assert opened.topk_batch(queries, k=6) == reference.topk_batch(queries, k=6)
+        opened.compact()
+        assert opened.topk_batch(queries, k=6) == reference.topk_batch(queries, k=6)
+        opened.memory.close()
+
+    def test_missing_worker_index_falls_back_to_manifest(self, rng, tmp_path):
+        """The O(1) worker-attach sidecars are an optimization: deleting
+        them (or the index) must leave process queries bit-identical via
+        the manifest fallback."""
+        dim = 128
+        vectors = random_bipolar(30, dim, rng)
+        labels = [f"v{i}" for i in range(30)]
+        store = AssociativeStore.from_vectors(labels, vectors,
+                                              backend="packed", shards=3)
+        store.save(tmp_path / "s")
+        from repro.hdc.store import WORKER_INDEX_NAME
+        (tmp_path / "s" / WORKER_INDEX_NAME).unlink()
+        for orders_file in (tmp_path / "s").glob("orders_*.npy"):
+            orders_file.unlink()
+        opened = AssociativeStore.open(tmp_path / "s", executor="process")
+        reference = ItemMemory(dim, backend="packed")
+        reference.add_many(labels, vectors)
+        queries = _noisy_queries(vectors, rng)
+        assert opened.cleanup_batch(queries)[0] == reference.cleanup_batch(queries)[0]
+        assert opened.topk_batch(queries, k=4) == reference.topk_batch(queries, k=4)
+        opened.memory.close()
+
+    def test_in_memory_growth_respills(self, rng):
+        dim = 64
+        vectors = random_bipolar(12, dim, rng)
+        sharded = ShardedItemMemory(dim, num_shards=2, backend="packed",
+                                    executor="process")
+        sharded.add_many([f"v{i}" for i in range(8)], vectors[:8])
+        assert sharded.cleanup(vectors[3])[0] == "v3"
+        first_spill = sharded._attachment
+        sharded.add_many([f"v{i}" for i in range(8, 12)], vectors[8:])
+        assert sharded.cleanup(vectors[10])[0] == "v10"  # sees new rows
+        assert sharded._attachment != first_spill
+        sharded.close()
+
 
 @pytest.mark.store_scale
 class TestStoreScale:
-    """Slow large-store cases (run with ``-m store_scale``; CI nightly-style)."""
+    """Slow large-store cases (run with ``-m store_scale``; CI nightly-style).
 
-    def test_agreement_at_scale(self, store_scale_items):
+    ``STORE_SCALE_EXECUTOR=process`` runs the same agreement pass over
+    the process executor (CI runs both).
+    """
+
+    def test_agreement_at_scale(self, store_scale_items, store_scale_executor):
         rng = np.random.default_rng(99)
         dim = 512
         items = store_scale_items
@@ -232,7 +481,8 @@ class TestStoreScale:
         labels = list(range(items))
         reference = ItemMemory(dim, backend="packed")
         reference.add_many(labels, vectors)
-        sharded = ShardedItemMemory(dim, num_shards=8, backend="packed", workers=4)
+        sharded = ShardedItemMemory(dim, num_shards=8, backend="packed", workers=4,
+                                    executor=store_scale_executor)
         sharded.add_many(labels, vectors)
         queries = _noisy_queries(vectors, rng, num=16, flip_fraction=0.125)
         ref_labels, ref_sims = reference.cleanup_batch(queries)

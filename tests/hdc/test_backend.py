@@ -203,3 +203,105 @@ class TestBackendContract:
         assert packed.hamming(a, b[0]).shape == (3,)
         assert isinstance(packed.hamming(a[0], b[0]), int)
         assert isinstance(packed.cosine(a[0], b[0]), float)
+
+
+class TestHammingTopk:
+    """The bound-aware exact top-k kernel (the store fan-out's primitive)."""
+
+    def _reference(self, dense, nq, nd, k):
+        from repro.hdc.ordering import topk_order
+
+        distances = dense.hamming(nq, nd)
+        selected = topk_order(distances, min(k, nd.shape[0]))
+        rows = np.arange(distances.shape[0])[:, None]
+        return distances[rows, selected], selected
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 2**16),
+           dim=st.sampled_from([64, 128, 200, 1024]),
+           n=st.sampled_from([5, 300, 5000]),
+           k=st.sampled_from([1, 4, 23]))
+    def test_backends_match_full_sort_reference(self, seed, dim, n, k):
+        dense, packed = backends(dim)
+        rng = np.random.default_rng(seed)
+        vectors = random_bipolar(n, dim, rng)
+        # duplicate half the store: exact ties must resolve to smaller index
+        vectors[n // 2 :] = vectors[: n - n // 2]
+        queries = vectors[rng.integers(0, n, size=4)].copy()
+        flips = rng.integers(0, dim, size=(4, max(1, dim // 10)))
+        for row, columns in enumerate(flips):
+            queries[row, columns] *= -1
+        nd, nq = dense.from_bipolar(vectors), dense.from_bipolar(queries)
+        expected_d, expected_i = self._reference(dense, nq, nd, k)
+        for backend, store, qs in ((dense, nd, nq),
+                                   (packed, packed.from_bipolar(vectors),
+                                    packed.from_bipolar(queries))):
+            got_d, got_i = backend.hamming_topk(qs, store, k)
+            assert np.array_equal(got_d, expected_d), backend.name
+            assert np.array_equal(got_i, expected_i), backend.name
+
+    def test_bounds_preserve_everything_at_or_below_the_bound(self, rng):
+        """Entries with distance <= bound must appear in exact rank; only
+        strictly-worse entries may become sentinels (distance dim+1)."""
+        dim, n, k = 512, 9000, 6
+        dense, packed = backends(dim)
+        vectors = random_bipolar(n, dim, rng)
+        queries = vectors[rng.integers(0, n, size=5)].copy()
+        flips = rng.integers(0, dim, size=(5, dim // 8))
+        for row, columns in enumerate(flips):
+            queries[row, columns] *= -1
+        nd, nq = dense.from_bipolar(vectors), dense.from_bipolar(queries)
+        expected_d, expected_i = self._reference(dense, nq, nd, k)
+        store, qs = packed.from_bipolar(vectors), packed.from_bipolar(queries)
+        for bound_col in (0, 2, k - 1):
+            bounds = expected_d[:, bound_col].copy()
+            got_d, got_i = packed.hamming_topk(qs, store, k, bounds=bounds)
+            for qi in range(5):
+                ok = expected_d[qi] <= bounds[qi]
+                assert np.array_equal(got_d[qi][ok], expected_d[qi][ok])
+                assert np.array_equal(got_i[qi][ok], expected_i[qi][ok])
+                # pruned slots carry the documented sentinels or real
+                # strictly-worse candidates — never anything better
+                beyond = got_d[qi][~ok]
+                assert (beyond > bounds[qi]).all()
+
+    def test_zero_bound_forces_sentinels_for_far_queries(self, rng):
+        dim, n = 256, 5000
+        packed = PackedBackend(dim)
+        vectors = random_bipolar(n, dim, rng)
+        query = random_bipolar(1, dim, rng)  # ~dim/2 away from everything
+        store, qs = packed.from_bipolar(vectors), packed.from_bipolar(query)
+        got_d, got_i = packed.hamming_topk(qs, store, 3,
+                                           bounds=np.zeros(1, dtype=np.int64))
+        assert (got_d[0] == dim + 1).all()
+        assert (got_i[0] == -1).all()
+
+    def test_small_stores_and_k_overflow(self, rng):
+        dim = 128
+        dense, packed = backends(dim)
+        vectors = random_bipolar(3, dim, rng)
+        nd = dense.from_bipolar(vectors)
+        store = packed.from_bipolar(vectors)
+        qs = packed.from_bipolar(vectors[:1])
+        expected_d, expected_i = self._reference(dense, nd[:1], nd, 99)
+        got_d, got_i = packed.hamming_topk(qs, store, 99)
+        assert np.array_equal(got_d, expected_d)
+        assert np.array_equal(got_i, expected_i)
+        assert got_d.shape == (1, 3)
+
+    def test_minus_counts_agree_across_backends(self, rng):
+        for dim in (63, 64, 200, 1024):
+            dense, packed = backends(dim)
+            vectors = random_bipolar(20, dim, rng)
+            expected = (vectors < 0).sum(axis=1)
+            assert np.array_equal(
+                dense.minus_counts(dense.from_bipolar(vectors)), expected)
+            assert np.array_equal(
+                packed.minus_counts(packed.from_bipolar(vectors)), expected)
+
+    def test_bad_bounds_shape_rejected(self, rng):
+        packed = PackedBackend(256)
+        store = packed.from_bipolar(random_bipolar(5000, 256, rng))
+        qs = packed.from_bipolar(random_bipolar(2, 256, rng))
+        with pytest.raises(ValueError, match="bounds"):
+            packed.hamming_topk(qs, store, 2, bounds=np.zeros(3, dtype=np.int64))

@@ -10,7 +10,11 @@ import numpy as np
 import pytest
 
 from repro.hdc import ItemMemory, random_bipolar
-from repro.hdc.ordering import topk_order, topk_order_partitioned
+from repro.hdc.ordering import (
+    topk_order,
+    topk_order_partitioned,
+    topk_order_partitioned_batch,
+)
 from repro.hdc.store import ShardedItemMemory
 
 
@@ -71,6 +75,43 @@ class TestTopkOrderPartitioned:
     def test_rejects_batched_input(self):
         with pytest.raises(ValueError, match="1-D"):
             topk_order_partitioned(np.zeros((2, 3)), 1)
+
+
+class TestTopkOrderPartitionedBatch:
+    """The vectorized row-batch twin must match the per-row selection."""
+
+    @pytest.mark.parametrize("k", [1, 3, 10, 50, 500])
+    def test_matches_per_row_on_random_ints(self, k):
+        rng = np.random.default_rng(3)
+        batch = rng.integers(0, 1000, size=(7, 997))
+        expected = np.stack([topk_order_partitioned(row, k) for row in batch])
+        assert np.array_equal(topk_order_partitioned_batch(batch, k), expected)
+
+    @pytest.mark.parametrize("k", [1, 5, 20])
+    def test_matches_per_row_on_tie_heavy_rows(self, k):
+        rng = np.random.default_rng(4)
+        batch = rng.integers(0, 3, size=(5, 800))  # huge tie groups
+        batch[2] = 0  # one fully constant row
+        expected = np.stack([topk_order_partitioned(row, k) for row in batch])
+        assert np.array_equal(topk_order_partitioned_batch(batch, k), expected)
+
+    def test_float_rows_fall_back_to_stable_sort(self):
+        rng = np.random.default_rng(5)
+        batch = rng.normal(size=(4, 300)).round(1)  # rounded: real ties
+        expected = np.stack([topk_order_partitioned(row, 9) for row in batch])
+        assert np.array_equal(topk_order_partitioned_batch(batch, 9), expected)
+
+    def test_extreme_values_avoid_composite_overflow(self):
+        huge = np.full((1, 100), np.iinfo(np.int64).max - 1)
+        huge[0, 41] = np.iinfo(np.int64).min + 1
+        huge[0, 7] = 0
+        assert topk_order_partitioned_batch(huge, 3).tolist() == [[41, 7, 0]]
+
+    def test_k_bounds_and_shape_checks(self):
+        assert topk_order_partitioned_batch(np.zeros((2, 3), dtype=int), 0).shape == (2, 0)
+        assert topk_order_partitioned_batch(np.zeros((2, 3), dtype=int), 99).shape == (2, 3)
+        with pytest.raises(ValueError, match="batch"):
+            topk_order_partitioned_batch(np.zeros(3), 1)
 
 
 class TestBothPathsRouteThroughIt:
