@@ -21,6 +21,13 @@ but is deliberately not part of the tier-1 suite. Set
 ``BENCH_STORE_MAX_ITEMS`` to cap the sweep (e.g. ``100000``) for a quick
 look — the JSON is only (re)written when the sweep ran to the full
 million so a capped run never truncates the recorded curve.
+
+Two pruning cases bracket the bound hierarchy: the **banded** case
+(disjoint per-shard minus-count bands — the interval bound's home turf)
+and the **unbanded** case (a million clustered items whose popcounts all
+overlap: only the geometric centroid + radius bound can prune there;
+its per-layer hit rates and speedup-vs-prune-off are recorded, and the
+case asserts the ≥1.2x the ladder promises on data nobody banded).
 """
 
 import json
@@ -131,6 +138,9 @@ def test_store_scaling_json():
         "curve": curve,
         "executors": parallel,
         "pruning": _pruning_case(),
+        "pruning_unbanded": _unbanded_pruning_case(
+            items=min(max_items, SIZES[-1])
+        ),
         "persistence": persistence,
     }
     # Packed storage really is 1 bit per component at every size.
@@ -213,18 +223,22 @@ def _pruning_case(items=100_000, shards=SHARDS, batch=QUERY_BATCH):
     memory.add_many(range(items), vectors, chunk_size=CHUNK)
     queries = vectors[::shards][:batch].copy()  # noisy copies, all band 0
     flips = rng.integers(0, D, size=(batch, D // 64))
-    for row, columns in enumerate(flips):
-        queries[row, columns] *= -1
+    rows = np.repeat(np.arange(batch), flips.shape[1])
+    queries[rows, flips.ravel()] *= -1
+    return _measure_pruning(memory, queries, items, shards, batch)
+
+
+def _measure_pruning(memory, queries, items, shards, batch, repeats=3):
+    """Prune-off vs prune-on on one store, with per-layer hit rates."""
     expected = memory.cleanup_batch(queries)[0]
     memory.prune = False
-    off_seconds = _best_of(lambda: memory.cleanup_batch(queries), 3)
+    off_seconds = _best_of(lambda: memory.cleanup_batch(queries), repeats)
     memory.prune = True
-    before = memory.pruning_stats
-    on_seconds = _best_of(lambda: memory.cleanup_batch(queries), 3)
-    after = memory.pruning_stats
+    memory.reset_pruning_stats()
+    on_seconds = _best_of(lambda: memory.cleanup_batch(queries), repeats)
+    stats = memory.pruning_stats
     assert memory.cleanup_batch(queries)[0] == expected  # prune-invariant
-    tasks = after["tasks"] - before["tasks"]
-    skipped = after["skipped"] - before["skipped"]
+    tasks = stats["tasks"]
     return {
         "items": items,
         "shards": shards,
@@ -232,8 +246,53 @@ def _pruning_case(items=100_000, shards=SHARDS, batch=QUERY_BATCH):
         "pruning_off_queries_per_second": batch / off_seconds,
         "pruning_on_queries_per_second": batch / on_seconds,
         "speedup_from_pruning": off_seconds / on_seconds,
-        "pruning_hit_rate": skipped / tasks if tasks else 0.0,
+        "pruning_hit_rate": stats["skip_rate"],
+        "minus_layer_hit_rate": stats["skipped_minus"] / tasks if tasks else 0.0,
+        "centroid_layer_hit_rate": (
+            stats["skipped_centroid"] / tasks if tasks else 0.0
+        ),
     }
+
+
+def _unbanded_pruning_case(items=1_000_000, shards=SHARDS, batch=QUERY_BATCH):
+    """Geometric shard pruning on clustered but popcount-*unbanded* data.
+
+    One random prototype per shard (all popcounts ~D/2, so every shard's
+    minus-count interval overlaps every other's and the interval bound
+    can never skip), a million noisy cluster members placed shard-pure
+    by round robin — the workload the centroid + radius bound exists
+    for: queries near one cluster pin the k-th best inside their own
+    shard and every other shard's ball is provably out of reach. This is
+    the "pruning pays on data you didn't arrange" rung: the skip rate
+    must come entirely from the centroid layer, with ≥1.2x throughput
+    over the same store with shard pruning off.
+    """
+    rng = np.random.default_rng(4321)
+    prototypes = random_bipolar(shards, D, rng)
+    memory = ShardedItemMemory(D, num_shards=shards, backend="packed",
+                               routing="round_robin")
+    noise_bits = D // 16
+    for start in range(0, items, CHUNK):
+        rows = min(CHUNK, items - start)
+        chunk = prototypes[(start + np.arange(rows)) % shards].copy()
+        flips = rng.integers(0, D, size=(rows, noise_bits))
+        flat = np.repeat(np.arange(rows), noise_bits)
+        chunk[flat, flips.ravel()] *= -1
+        memory.add_many(range(start, start + rows), chunk, chunk_size=CHUNK)
+    queries = np.broadcast_to(prototypes[0], (batch, D)).copy()  # cluster 0
+    flips = rng.integers(0, D, size=(batch, noise_bits))
+    rows = np.repeat(np.arange(batch), noise_bits)
+    queries[rows, flips.ravel()] *= -1
+    result = _measure_pruning(memory, queries, items, shards, batch,
+                              repeats=2 if items >= 1_000_000 else 3)
+    assert result["centroid_layer_hit_rate"] > 0, (
+        "the geometric bound must carry the unbanded case"
+    )
+    assert result["minus_layer_hit_rate"] == 0, (
+        "popcount-overlapping clusters must not be minus-skippable"
+    )
+    assert result["speedup_from_pruning"] >= 1.2, result
+    return result
 
 
 def _persistence_cycle(store, queries, tmp_root=None):

@@ -197,6 +197,47 @@ class HDCBackend(ABC):
             raise ValueError(f"expected a native (n, ·) store, got {store.shape}")
         return (self.to_bipolar(store) < 0).sum(axis=-1, dtype=np.int64)
 
+    #: rows per block of the column-count sweep (bounds the dense temporary)
+    _COLUMN_COUNT_BLOCK = 4096
+
+    def column_minus_counts(self, store):
+        """Per-*column* count of −1 components of a native ``(n, ·)`` store.
+
+        The ``(dim,)`` int64 column statistic behind the store layer's
+        geometric pruning bounds: the per-bit majority of these counts
+        is the shard's Hamming-space centroid (:meth:`centroid`).
+        Computed in bounded row blocks, so a memmapped million-row store
+        never materializes more than one block of bipolar components.
+        """
+        store = np.asarray(store)
+        if store.ndim != 2:
+            raise ValueError(f"expected a native (n, ·) store, got {store.shape}")
+        counts = np.zeros(self.dim, dtype=np.int64)
+        for start in range(0, store.shape[0], self._COLUMN_COUNT_BLOCK):
+            block = self.to_bipolar(store[start : start + self._COLUMN_COUNT_BLOCK])
+            counts += (block < 0).sum(axis=0, dtype=np.int64)
+        return counts
+
+    def centroid(self, column_minus_counts, rows):
+        """Native majority-vote centroid row from per-column −1 counts.
+
+        The Hamming-space 1-medoid surrogate the geometric shard bounds
+        use: component ``i`` is −1 when strictly more than half of the
+        ``rows`` stored rows are −1 there, +1 otherwise (exact-half ties
+        resolve to +1, deterministically — the same convention as
+        :func:`_majority_bits` without an rng, so every backend derives
+        the identical centroid from the same counts). Any fixed centroid
+        yields a *correct* lower bound ``max(0, d(q, c) − radius)``; the
+        majority vote is simply the count-minimizing choice.
+        """
+        counts = np.asarray(column_minus_counts, dtype=np.int64)
+        if counts.shape != (self.dim,):
+            raise ValueError(
+                f"expected ({self.dim},) column counts, got {counts.shape}"
+            )
+        bits = _majority_bits(counts, int(rows), None)
+        return self.from_bipolar((1 - 2 * bits.astype(np.int8)).astype(np.int8))
+
     def hamming_topk(self, queries, store, k, bounds=None):
         """Exact ``(distances, indices)`` top-``k`` of queries vs store rows.
 
@@ -211,15 +252,30 @@ class HDCBackend(ABC):
         rows (distance ``dim + 1``, index ``-1``). Every item with
         distance ``<= bounds[i]`` that belongs in the exact top-``k'``
         is always returned in its exact rank. The reference
-        implementation ignores ``bounds`` (returning the full exact
-        top-``k'`` is always a valid answer); backends may use it to
-        skip work.
+        implementation computes the full exact top-``k'`` through the
+        partitioned selection (:func:`topk_order_partitioned_batch`) and
+        then *applies* the permit — out-of-bound slots come back as
+        sentinels, so the sentinel-merge path behaves identically on
+        every backend; subclasses may instead use ``bounds`` to skip
+        work (``PackedBackend``'s adaptive prefix schedule).
         """
         queries = np.atleast_2d(np.asarray(queries))
         distances = np.atleast_2d(self.hamming(queries, store))
         selected = topk_order_partitioned_batch(distances, k)
         rows = np.arange(distances.shape[0])[:, None]
-        return distances[rows, selected], selected.astype(np.int64)
+        out_d = distances[rows, selected]
+        out_i = selected.astype(np.int64)
+        if bounds is not None:
+            bounds = np.asarray(bounds, dtype=np.int64)
+            if bounds.shape != (out_d.shape[0],):
+                raise ValueError(
+                    f"bounds must have shape ({out_d.shape[0]},), "
+                    f"got {bounds.shape}"
+                )
+            pruned = out_d > bounds[:, None]
+            out_d = np.where(pruned, np.int64(self.dim + 1), out_d)
+            out_i = np.where(pruned, np.int64(-1), out_i)
+        return out_d, out_i
 
     def cosine(self, a, b):
         """Pairwise cosine similarity (bipolar norms are ``sqrt(d)``)."""
@@ -442,20 +498,44 @@ class PackedBackend(HDCBackend):
     _TOPK_PROBE = 2048
     _TOPK_GATHER_FRACTION = 0.25
 
+    def _first_checkpoint(self, bound):
+        """Words to accumulate before the first early-exit filter pass.
+
+        Adaptive prefix schedule: a uniformly-random far item mismatches
+        ~``WORD_BITS/2`` bits per word, so its running count is expected
+        to cross ``bound`` after about ``bound / (WORD_BITS/2)`` words —
+        filtering much earlier buys nothing (almost everything survives)
+        and filtering much later wastes popcounts on items that were
+        already provably out. A tight bound therefore checkpoints after
+        one or two words; a loose bound (``>= dim/2``-ish) pushes the
+        first checkpoint past the last word, collapsing the kernel to a
+        single contiguous pass — no two-pass tax when pruning cannot
+        pay. Clamped to ``[1, num_words]``; ``num_words`` means "no
+        filtering".
+        """
+        if bound >= self.dim:
+            return self.num_words  # every prefix count passes; skip filtering
+        words = int(bound) // (WORD_BITS // 2) + 1
+        return max(1, min(self.num_words, words))
+
     def hamming_topk(self, queries, store, k, bounds=None):
         """Early-exit exact top-``k``: prefix distances prune the tail words.
 
-        Same contract as :meth:`HDCBackend.hamming_topk`, roughly half
-        the popcount work (or less) when queries have near matches:
-        each word-major tile first accumulates Hamming counts over only
-        the first half of the words; since the remaining words can only
-        *add* distance, any item whose prefix count already exceeds the
-        running k-th-best distance (or the caller's ``bounds``) is done
-        — only the survivors' tail words are ever counted.
-        A small fully-scored probe block seeds the running bound. Exact
-        ties survive: items are kept while the prefix is ``<=`` the
-        bound, and every candidate's final ranking uses its exact full
-        distance with the shared (distance, index) tie contract.
+        Same contract as :meth:`HDCBackend.hamming_topk`, with an
+        *adaptive* prefix schedule: each word-major tile accumulates
+        Hamming counts up to a first checkpoint chosen from the running
+        bound (:meth:`_first_checkpoint` — tight bounds checkpoint after
+        a word or two, loose bounds degrade gracefully to one contiguous
+        pass); since the remaining words can only *add* distance, any
+        item whose prefix count already exceeds the running k-th-best
+        distance (or the caller's ``bounds``) is done. Sparse survivor
+        sets are gathered and re-filtered at escalating (doubling)
+        word-block checkpoints, so a near-match workload pays popcounts
+        for little more than the true candidates. A small fully-scored
+        probe block seeds the running bound when the caller brings none.
+        Exact ties survive: items are kept while the prefix is ``<=``
+        the bound, and every candidate's final ranking uses its exact
+        full distance with the shared (distance, index) tie contract.
         """
         a2 = np.ascontiguousarray(np.atleast_2d(self._as_words(np.asarray(queries))))
         b2 = self._as_words(np.asarray(store))
@@ -482,7 +562,6 @@ class PackedBackend(HDCBackend):
         acc_dtype = np.uint16 if sentinel <= np.iinfo(np.uint16).max else np.uint32
         best_d = np.full((num_a, k), sentinel, dtype=np.int64)
         best_i = np.full((num_a, k), -1, dtype=np.int64)
-        prefix = num_words // 2
         tile = self._TOPK_TILE
         xor = np.empty(tile, dtype=np.uint64)
         cnt = np.empty(tile, dtype=np.uint8)
@@ -515,20 +594,29 @@ class PackedBackend(HDCBackend):
                 kth = best_d[qi, k - 1]
                 if bounds is not None and bounds[qi] < kth:
                     kth = bounds[qi]
-                eff = acc_dtype(kth)
+                eff = int(kth)
+                first = self._first_checkpoint(eff)
                 np.bitwise_xor(b_tile[0], row[0], out=xv)
                 np.bitwise_count(xv, out=cv)
                 av[:] = cv
-                for word in range(1, prefix):
+                for word in range(1, first):
                     np.bitwise_xor(b_tile[word], row[word], out=xv)
                     np.bitwise_count(xv, out=cv)
                     np.add(av, cv, out=av)
+                if first == num_words:
+                    # Loose bound: the schedule collapsed to one contiguous
+                    # pass — select straight from the fully-summed tile.
+                    local = topk_order_partitioned(av, k)
+                    self._topk_merge(best_d[qi], best_i[qi],
+                                     av[local].astype(np.int64),
+                                     local.astype(np.int64) + b_start, k)
+                    continue
                 survivors = int(np.count_nonzero(av <= eff))
                 if survivors == 0:
                     continue
                 if survivors > t * self._TOPK_GATHER_FRACTION:
                     # Dense tile: finishing contiguously beats gathering.
-                    for word in range(prefix, num_words):
+                    for word in range(first, num_words):
                         np.bitwise_xor(b_tile[word], row[word], out=xv)
                         np.bitwise_count(xv, out=cv)
                         np.add(av, cv, out=av)
@@ -536,10 +624,24 @@ class PackedBackend(HDCBackend):
                     cand_d = av[local].astype(np.int64)
                     cand_i = local.astype(np.int64) + b_start
                 else:
+                    # Gathered finish with escalating (doubling) word-block
+                    # checkpoints: survivors re-filter against the bound
+                    # after each block, so far items stop accumulating as
+                    # soon as they provably cannot matter.
                     keep = np.flatnonzero(av <= eff)  # ascending store order
                     cand_d = av[keep].astype(np.int64)
-                    for word in range(prefix, num_words):
-                        cand_d += np.bitwise_count(b_tile[word, keep] ^ row[word])
+                    word, span = first, max(1, first)
+                    while word < num_words and keep.size:
+                        stop = min(num_words, word + span)
+                        for w in range(word, stop):
+                            cand_d += np.bitwise_count(b_tile[w, keep] ^ row[w])
+                        word, span = stop, span * 2
+                        if word < num_words:
+                            alive = cand_d <= eff
+                            if not alive.all():
+                                keep, cand_d = keep[alive], cand_d[alive]
+                    if keep.size == 0:
+                        continue
                     if keep.size > k:
                         local = topk_order_partitioned(cand_d, k)
                         cand_d, keep = cand_d[local], keep[local]

@@ -24,13 +24,16 @@ all implemented here:
   bit-identical to the single-shard ``ItemMemory`` path.
 - **Early-exit bounds** — :class:`BoundTracker` carries the current
   k-th-best distance per query across the fan-out. Shards whose best
-  possible distance (from the per-shard minus-count bounds recorded at
-  ingest/compact time) already *exceeds* the tracked k-th-best are
-  skipped without running their kernel at all, and unskipped shards
-  receive the tracked bound so their kernels can prune internally
-  (``PackedBackend.hamming_topk``). Skipping is always strict
-  (``bound > k-th best``), so boundary ties — which resolve by global
-  insertion order — are never pruned and decisions stay bit-identical.
+  possible distance — lower-bounded by *two* independent layers
+  recorded at ingest/append/compact time, the minus-count interval
+  (``hamming >= |minus(q) − band|``) and the geometric centroid ball
+  (``hamming >= d(q, centroid) − radius``) — already *exceeds* the
+  tracked k-th-best are skipped without running their kernel at all,
+  and unskipped shards receive the tracked bound so their kernels can
+  prune internally (``PackedBackend.hamming_topk``'s adaptive prefix
+  schedule). Skipping is always strict (``bound > k-th best``), so
+  boundary ties — which resolve by global insertion order — are never
+  pruned and decisions stay bit-identical.
 
 Partials from bounded shards may contain *sentinel* rows (distance
 ``dim + 1``, order :data:`ORDER_SENTINEL`) for candidates that provably
@@ -116,6 +119,13 @@ class ShardExecutor:
     picklable (the store layer sends :func:`process_shard_task` plus
     plain task tuples); worker processes are forked where the platform
     supports it, so a large parent store is never copied eagerly.
+
+    **Determinism**: submission-order results make the executor
+    transparent to the merge — pool width, kind, and completion order
+    never change decisions. **Safety**: :meth:`map` may be called from
+    concurrent threads (the underlying pools are thread-safe), but
+    :meth:`close` must not race in-flight maps; after ``close`` every
+    ``map`` raises rather than silently rebuilding a pool.
     """
 
     def __init__(self, workers=1, kind="thread"):

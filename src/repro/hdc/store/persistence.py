@@ -37,12 +37,26 @@ Labels must be JSON-serializable scalars (``str`` / ``int`` / ``float`` /
 per segment, *and* in global insertion order, which is what preserves
 the documented tie-breaking across save/open/append cycles.
 
+**Pruning bounds** (format version 3): every shard entry carries a
+``bounds`` block — the exact per-shard minus-count interval
+(``minus_min``/``minus_max``) plus the geometric ball: a bit-packed
+majority ``centroid`` (hex-encoded little-endian uint64 words) and the
+exact max Hamming ``radius`` of the shard's rows around it. Save and
+compact recompute both layers exactly from the full matrices; appends
+fold new rows in exactly *with respect to the persisted centroid*
+(folding keeps the bound strict — only compaction re-tightens the
+centroid itself). Version-1/2 manifests predate the block and migrate
+with unknown (never-skipping) geometric bounds, which they gain on
+their first compact. The normative field-by-field spec lives in
+``docs/STORE_FORMAT.md``.
+
 ``format_version`` is bumped on any incompatible layout change; version
-1 (the pre-append format, no ``segments``/``generation``) is still read
-and migrated on open. :func:`open_store` refuses versions it does not
-understand, and a CI smoke step (``python -m repro.hdc.store.smoke``)
-re-opens — and appends to, and compacts — a freshly saved store in new
-processes so format drift fails the build.
+1 (the pre-append format, no ``segments``/``generation``) and version 2
+(no ``bounds`` block) are still read and migrated on open.
+:func:`open_store` refuses versions it does not understand, and a CI
+smoke step (``python -m repro.hdc.store.smoke``) re-opens — and appends
+to, and compacts — a freshly saved store in new processes so format
+drift fails the build.
 """
 
 from __future__ import annotations
@@ -54,6 +68,7 @@ from pathlib import Path
 
 import numpy as np
 
+from ..hypervector import pack_bipolar, unpack_bipolar
 from ..item_memory import ItemMemory
 from .routing import ROUTINGS, route_label
 from .sharded import DEFAULT_CHUNK_SIZE, ShardedItemMemory, validate_batch
@@ -73,9 +88,10 @@ __all__ = [
 ]
 
 FORMAT_NAME = "repro.hdc.store"
-FORMAT_VERSION = 2
-#: versions :func:`open_store` reads (1 = PR 2 layout, migrated on open)
-SUPPORTED_VERSIONS = (1, 2)
+FORMAT_VERSION = 3
+#: versions :func:`open_store` reads (1 = PR 2 layout, 2 = pre-geometric
+#: bounds; both migrated on open)
+SUPPORTED_VERSIONS = (1, 2, 3)
 MANIFEST_NAME = "manifest.json"
 #: label-free twin of the manifest for O(1) process-worker attach
 WORKER_INDEX_NAME = "worker_index.json"
@@ -192,6 +208,55 @@ def _collect_stale_orders(path, manifest):
             stale.unlink()
 
 
+def _centroid_to_hex(backend, native_centroid):
+    """Encode a backend-native centroid row as portable hex.
+
+    The manifest encoding is backend-independent: the centroid's
+    *bit-packed* form (bit 1 ↔ bipolar −1, component ``i`` in word
+    ``i // 64`` at bit ``i % 64``), serialized as little-endian uint64
+    words — ``dim/4`` hex characters regardless of the store backend,
+    so a dense store's manifest is byte-identical to its packed twin's.
+    """
+    bipolar = backend.to_bipolar(np.asarray(native_centroid))
+    return pack_bipolar(bipolar).astype("<u8").tobytes().hex()
+
+
+def _centroid_from_hex(backend, text):
+    """Decode a manifest centroid back into the backend's native row."""
+    words = np.frombuffer(bytes.fromhex(text), dtype="<u8").astype(np.uint64)
+    expected = (backend.dim + 63) // 64
+    if words.shape != (expected,):
+        raise ValueError(
+            f"centroid encodes {words.shape[0]} words, expected {expected} "
+            f"for dim {backend.dim}"
+        )
+    return backend.from_bipolar(unpack_bipolar(words, backend.dim))
+
+
+def _exact_bounds(backend, native):
+    """Both pruning layers of a native matrix, recomputed exactly.
+
+    Returns the manifest ``bounds`` block for a shard holding ``native``
+    (which must be non-empty): the per-row minus-count interval and the
+    majority centroid + max-radius ball. One extra bounded-memory pass
+    per layer at save/compact time buys every later query its skip test.
+    """
+    counts = backend.minus_counts(native)
+    centroid = backend.centroid(backend.column_minus_counts(native),
+                                native.shape[0])
+    radius = int(np.max(np.atleast_1d(backend.hamming(centroid, native))))
+    return {
+        "minus_min": int(counts.min()),
+        "minus_max": int(counts.max()),
+        "centroid": _centroid_to_hex(backend, centroid),
+        "radius": radius,
+    }, centroid
+
+
+_EMPTY_BOUNDS = {"minus_min": None, "minus_max": None,
+                 "centroid": None, "radius": None}
+
+
 def _next_generation(path):
     """Generation for the next manifest written at ``path`` (0 if fresh)."""
     try:
@@ -232,6 +297,7 @@ def save_store(memory, path):
     # append segments, previous generations). A crash at any point
     # leaves a directory whose manifest fully describes existing files.
     shard_entries = []
+    fresh_geo = []
     for index, shard in enumerate(shards):
         filename = _shard_filename(index, generation)
         native = shard.native_matrix()
@@ -246,13 +312,16 @@ def save_store(memory, path):
             entry["orders_file"] = _orders_filename(index, generation)
             _save_array(path / entry["orders_file"], orders)
         if len(shard):
-            # Exact per-shard minus-count bounds: the query planner's
-            # shard-skip lower bound (|minus(q) − minus(x)| ≤ hamming).
-            counts = shard.backend.minus_counts(native)
-            entry["minus_min"] = int(counts.min())
-            entry["minus_max"] = int(counts.max())
+            # Exact per-shard pruning bounds, both layers recomputed from
+            # the full matrix: the minus-count interval
+            # (|minus(q) − minus(x)| ≤ hamming) and the geometric ball
+            # (d(q, x) ≥ d(q, centroid) − radius). Save/compact is the
+            # point where the centroid re-tightens to the true majority.
+            entry["bounds"], centroid = _exact_bounds(shard.backend, native)
+            fresh_geo.append((centroid, entry["bounds"]["radius"]))
         else:
-            entry["minus_min"], entry["minus_max"] = None, None
+            entry["bounds"] = dict(_EMPTY_BOUNDS)
+            fresh_geo.append(None)
         shard_entries.append(entry)
     manifest = {
         "format": FORMAT_NAME,
@@ -276,7 +345,18 @@ def save_store(memory, path):
     if isinstance(memory, ShardedItemMemory):
         # The saved directory is now a faithful copy of this memory:
         # process-executor workers may re-open it instead of spilling.
+        # Adopt the freshly recomputed bounds in memory too, so the open
+        # handle prunes with the same (possibly tighter) bounds a fresh
+        # reopen would see — compact() is how a pre-bounds store starts
+        # skipping without a round trip through open().
         memory._attach(path, generation)
+        memory._pop_bounds = [_entry_pop_bounds(entry) for entry in shard_entries]
+        memory._geo_centroid = [
+            None if geo is None else geo[0] for geo in fresh_geo
+        ]
+        memory._geo_radius = [
+            None if geo is None else int(geo[1]) for geo in fresh_geo
+        ]
     return manifest_path
 
 
@@ -311,10 +391,20 @@ def _read_manifest(path):
         raise ValueError(f"unknown routing policy {manifest.get('routing')!r}")
     if len(manifest["shards"]) != manifest["num_shards"]:
         raise ValueError("manifest shard count does not match shard entries")
-    # Version-1 manifests predate the append journal: migrate in place.
+    # Version-1 manifests predate the append journal, version-1/2 the
+    # bounds block: migrate in place. Legacy top-level minus_min/max
+    # keys (the v2 layout) fold into the block; geometric bounds are
+    # unknown until the store's first compact.
     manifest.setdefault("generation", 0)
     for entry in manifest["shards"]:
         entry.setdefault("segments", [])
+        bounds = entry.get("bounds")
+        if not isinstance(bounds, dict):
+            bounds = {"minus_min": entry.pop("minus_min", None),
+                      "minus_max": entry.pop("minus_max", None)}
+            entry["bounds"] = bounds
+        for key in _EMPTY_BOUNDS:
+            bounds.setdefault(key, None)
     return manifest
 
 
@@ -368,9 +458,17 @@ def open_store(path, mmap=True):
     memory = ShardedItemMemory.from_shards(
         shards, manifest["labels"], routing=manifest["routing"],
         pop_bounds=[_entry_pop_bounds(entry) for entry in manifest["shards"]],
+        geo_bounds=[
+            _entry_geo_bounds(entry, shards[0].backend)
+            for entry in manifest["shards"]
+        ],
     )
     memory._attach(path, manifest["generation"])
     return memory
+
+
+def _entry_total_rows(entry):
+    return entry["rows"] + sum(seg["rows"] for seg in entry["segments"])
 
 
 def _entry_pop_bounds(entry):
@@ -379,13 +477,28 @@ def _entry_pop_bounds(entry):
     ``None`` means unknown (a pre-bounds manifest) — the planner never
     skips such a shard; a rowless shard is known-empty.
     """
-    total_rows = entry["rows"] + sum(seg["rows"] for seg in entry["segments"])
-    if total_rows == 0:
+    if _entry_total_rows(entry) == 0:
         return ShardedItemMemory.EMPTY_POP_BOUNDS
-    low, high = entry.get("minus_min"), entry.get("minus_max")
+    low, high = entry["bounds"].get("minus_min"), entry["bounds"].get("minus_max")
     if low is None or high is None:
         return None
     return (int(low), int(high))
+
+
+def _entry_geo_bounds(entry, backend):
+    """A shard entry's geometric ``(native centroid, radius)``, or ``None``.
+
+    ``None`` means unknown (a v1/v2 manifest, or an empty shard — whose
+    centroid establishes from its first ingested batch); the planner
+    never skips such a shard on the geometric layer. The persisted
+    radius always covers base *and* journaled segment rows, because
+    :func:`append_rows` folds every segment in at commit time.
+    """
+    bounds = entry["bounds"]
+    if _entry_total_rows(entry) == 0 or bounds.get("centroid") is None \
+            or bounds.get("radius") is None:
+        return None
+    return _centroid_from_hex(backend, bounds["centroid"]), int(bounds["radius"])
 
 
 def _load_shard_entry(path, entry, manifest, mmap):
@@ -552,19 +665,43 @@ def append_rows(memory, path, labels, vectors, chunk_size=DEFAULT_CHUNK_SIZE):
             entry["orders_file"] = _orders_filename(index, generation)
             _save_array(path / entry["orders_file"],
                         np.asarray(memory._orders_of(index), dtype=np.int64))
+        bounds = entry["bounds"]
         counts = memory.backend.minus_counts(native)
         low, high = int(counts.min()), int(counts.max())
-        if entry.get("minus_min") is not None:
-            entry["minus_min"] = min(int(entry["minus_min"]), low)
-            entry["minus_max"] = max(int(entry["minus_max"]), high)
+        if bounds.get("minus_min") is not None:
+            bounds["minus_min"] = min(int(bounds["minus_min"]), low)
+            bounds["minus_max"] = max(int(bounds["minus_max"]), high)
         elif had_rows == 0:
             # A previously-empty shard's bounds are exactly this batch's.
-            entry["minus_min"], entry["minus_max"] = low, high
+            bounds["minus_min"], bounds["minus_max"] = low, high
         # else: pre-bounds manifest with unknown base rows — stays unknown
         # until the next compact() recomputes exact bounds.
+        if sharded:
+            # Mirror the open memory's geometric state: the in-memory
+            # ingest just folded these exact rows against its (fixed)
+            # centroid, and memory content == disk content here, so the
+            # mirrored (centroid, radius) is exact for the disk rows too.
+            centroid = memory._geo_centroid[index]
+            radius = memory._geo_radius[index]
+            bounds["centroid"] = (
+                None if centroid is None
+                else _centroid_to_hex(memory.backend, centroid)
+            )
+            bounds["radius"] = None if radius is None else int(radius)
+        elif bounds.get("centroid") is not None \
+                and bounds.get("radius") is not None:
+            # Single-shard store: fold the segment against the persisted
+            # centroid (exact w.r.t. that fixed centroid).
+            centroid = _centroid_from_hex(memory.backend, bounds["centroid"])
+            segment_radius = int(np.max(np.atleast_1d(
+                memory.backend.hamming(centroid, native))))
+            bounds["radius"] = max(int(bounds["radius"]), segment_radius)
+        elif had_rows == 0:
+            # A previously-empty single shard establishes its ball here.
+            bounds.update(_exact_bounds(memory.backend, native)[0])
     manifest["labels"] = list(memory.labels)
     manifest["generation"] = generation
-    manifest["format_version"] = FORMAT_VERSION  # appending migrates v1 stores
+    manifest["format_version"] = FORMAT_VERSION  # appending migrates v1/v2 stores
     manifest_path = _write_manifest(path, manifest)
     _write_worker_index(path, manifest)
     _collect_stale_orders(path, manifest)

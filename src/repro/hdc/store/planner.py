@@ -41,6 +41,23 @@ __all__ = ["AssociativeStore"]
 class AssociativeStore:
     """Facade over the single-shard and sharded associative memories.
 
+    **Determinism contract**: every query decision — labels, ranks, and
+    float similarity values — is bit-identical across all construction
+    choices (``shards``, ``routing``, ``workers``, ``executor``,
+    ``query_block``) and across the persistence lifecycle
+    (save → open → append → compact), on both backends; exact similarity
+    ties resolve to the earliest-inserted label. Layout and parallelism
+    tune cost, never answers (pinned by the agreement suites under
+    ``tests/hdc/store/``).
+
+    **Thread/process-safety**: same single-controller rule as the
+    memories it wraps — concurrent read-only queries are safe, but
+    mutation (``add``/``add_many``/``save``/``compact``) must not race
+    queries or other mutations; a persisted store directory must have
+    at most one *writing* handle at a time (writers commit via atomic
+    manifest swaps, so concurrent readers in other processes stay
+    consistent).
+
     Parameters
     ----------
     dim:
@@ -184,9 +201,31 @@ class AssociativeStore:
 
     @property
     def pruning_stats(self):
-        """Shard-skip counters of the bounded fan-out (``None`` unsharded)."""
+        """Shard-skip counters of the bounded fan-out (``None`` unsharded).
+
+        **Cumulative** across every query since construction (or the
+        last :meth:`reset_pruning_stats`) — lifetime telemetry, not
+        per-query numbers. See
+        :attr:`ShardedItemMemory.pruning_stats
+        <repro.hdc.store.sharded.ShardedItemMemory.pruning_stats>` for
+        the per-layer key breakdown (``skipped_minus`` /
+        ``skipped_centroid``). Single-shard stores have no fan-out to
+        prune and return ``None``.
+        """
         memory = self._memory
         return memory.pruning_stats if isinstance(memory, ShardedItemMemory) else None
+
+    def reset_pruning_stats(self):
+        """Zero the cumulative pruning counters; returns the final snapshot.
+
+        The documented way to scope :attr:`pruning_stats` to a workload:
+        reset, run the queries, read. Returns ``None`` on single-shard
+        stores (there are no counters). Never changes decisions.
+        """
+        memory = self._memory
+        if isinstance(memory, ShardedItemMemory):
+            return memory.reset_pruning_stats()
+        return None
 
     @property
     def path(self):
@@ -289,7 +328,12 @@ class AssociativeStore:
         return self._memory.cleanup(query)
 
     def cleanup_batch(self, queries):
-        """Best match per query, executed in bounded query blocks."""
+        """Best match per query, executed in bounded query blocks.
+
+        Block boundaries are invisible: answers (and tie-breaks — ties
+        go to the earliest-inserted label) are bit-identical for any
+        ``query_block``. Safe concurrently with other queries.
+        """
         labels, sims = [], []
         for block in self._blocks(queries):
             block_labels, block_sims = self._memory.cleanup_batch(block)
@@ -302,7 +346,12 @@ class AssociativeStore:
         return self._memory.topk(query, k=k)
 
     def topk_batch(self, queries, k=5):
-        """Ranked lists per query, executed in bounded query blocks."""
+        """Ranked lists per query, executed in bounded query blocks.
+
+        Ordering contract: similarity descending, exact ties by
+        insertion order ascending; bit-identical for any ``query_block``
+        and store layout. Safe concurrently with other queries.
+        """
         out = []
         for block in self._blocks(queries):
             out.extend(self._memory.topk_batch(block, k=k))

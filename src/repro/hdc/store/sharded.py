@@ -9,9 +9,11 @@ or on a process pool (``workers=`` / ``executor=``, see
 on its first process query) — and merging the per-shard partial
 results. The fan-out runs in waves (capped at the visible cores) so
 every completed shard tightens a shared k-th-best bound: shards whose
-recorded minus-count interval provably cannot beat it are skipped
+recorded bounds — the minus-count interval *or* the geometric
+centroid + radius ball (``d(q, x) >= max(|minus(q) − band|,
+d(q, centroid) − radius)``) — provably cannot beat it are skipped
 outright, and dispatched shards pass the bound into the kernels'
-prefix-Hamming early exit. Per-shard scoring runs through
+adaptive prefix-Hamming early exit. Per-shard scoring runs through
 :class:`ItemMemory`'s blocked Hamming kernels, so the peak temporary is
 bounded by the kernel tile, not the store — the property that lets one
 process serve multi-million-item stores.
@@ -95,6 +97,25 @@ def validate_batch(labels, vectors, store):
 class ShardedItemMemory:
     """Associative memory over labelled hypervectors, split into shards.
 
+    **Determinism contract** (pinned by the agreement suites): every
+    ``cleanup`` / ``topk`` / ``topk_batch`` decision — labels, ranks,
+    and float similarity values — is bit-identical to a single
+    :class:`~repro.hdc.item_memory.ItemMemory` holding the same items
+    in the same insertion order, for any shard count, routing policy,
+    worker count, executor kind, pruning toggle, and append history, on
+    both backends. Exact similarity ties resolve to the earliest
+    *globally* inserted label (:func:`repro.hdc.ordering.topk_order`).
+
+    **Thread/process-safety**: queries may run internally on a thread
+    or process pool, but the object itself is single-controller —
+    concurrent *mutation* (``add``/``add_many``/``workers=``/
+    ``executor=``/``close``) from multiple threads is not supported,
+    and a query concurrent with a mutation may observe a torn label
+    map. Concurrent read-only queries from multiple threads are safe
+    apart from the :attr:`pruning_stats` counters, which are best-effort
+    under races (decisions are unaffected). Worker processes only ever
+    read persisted shard files.
+
     Parameters
     ----------
     dim:
@@ -144,10 +165,21 @@ class ShardedItemMemory:
         # Per-shard minus-count bounds (pruning): (min, max) when known
         # exactly, None when unknown (a pre-bounds persisted store).
         self._pop_bounds = [self.EMPTY_POP_BOUNDS] * num_shards
+        # Per-shard geometric bounds (pruning layer 2): a backend-native
+        # majority centroid row plus the exact max Hamming radius of the
+        # shard's rows around it. None/None = unknown (a store persisted
+        # before bounds existed) — such shards are never skipped on this
+        # layer. The centroid is fixed between compactions; appends fold
+        # the radius exactly with respect to it (see _note_geometry).
+        self._geo_centroid = [None] * num_shards
+        self._geo_radius = [None] * num_shards
         #: skip shards whose bounds beat the current k-th best (settable;
         #: pruning never changes decisions, only work)
         self.prune = True
-        self._pruning = {"batches": 0, "tasks": 0, "skipped": 0, "bounded": 0}
+        self._pruning = dict.fromkeys(
+            ("batches", "tasks", "skipped", "skipped_minus",
+             "skipped_centroid", "bounded"), 0,
+        )
         # Persisted twin for process-executor workers: (path, generation,
         # rows-at-attach). None until saved/opened/spilled.
         self._attachment = None
@@ -156,14 +188,17 @@ class ShardedItemMemory:
 
     @classmethod
     def from_shards(cls, shards, labels, routing="hash", workers=1,
-                    executor="thread", pop_bounds=None):
+                    executor="thread", pop_bounds=None, geo_bounds=None):
         """Rebuild a sharded memory around existing shards (persistence).
 
         ``shards`` are :class:`ItemMemory` instances of matching dim and
         backend; ``labels`` is the *global* insertion order, which must be
         exactly the disjoint union of the shards' labels. ``pop_bounds``
-        carries the manifest's per-shard minus-count bounds (``None``
-        entries disable pruning for that shard).
+        carries the manifest's per-shard minus-count bounds and
+        ``geo_bounds`` its ``(native centroid row, radius)`` geometric
+        bounds (``None`` entries disable that pruning layer for the
+        shard — the store still answers identically, it just never skips
+        on an unknown bound).
         """
         shards = list(shards)
         if not shards:
@@ -192,6 +227,19 @@ class ShardedItemMemory:
                 None if bounds is None else (int(bounds[0]), int(bounds[1]))
                 for bounds in pop_bounds
             ]
+        if geo_bounds is not None:
+            geo_bounds = list(geo_bounds)
+            if len(geo_bounds) != len(shards):
+                raise ValueError(
+                    f"geo_bounds must have one entry per shard "
+                    f"({len(geo_bounds)} for {len(shards)} shards)"
+                )
+            for index, bounds in enumerate(geo_bounds):
+                if bounds is None:
+                    continue
+                centroid, radius = bounds
+                memory._geo_centroid[index] = np.asarray(centroid)
+                memory._geo_radius[index] = int(radius)
         labels = list(labels)
         if len(set(labels)) != len(labels):
             raise ValueError("duplicate labels in global label list")
@@ -257,18 +305,44 @@ class ShardedItemMemory:
 
     @property
     def pruning_stats(self):
-        """Shard-skip counters of the bounded fan-out (cumulative).
+        """Shard-skip counters of the bounded fan-out, **cumulative**.
 
-        ``tasks`` counts shard queries the fan-out considered, ``skipped``
-        those answered purely from the minus-count bounds (kernel never
-        ran), ``bounded`` those dispatched with a finite k-th-best bound,
-        and ``skip_rate`` is ``skipped / tasks``.
+        Counters accumulate across every query since construction (or
+        the last :meth:`reset_pruning_stats`) — they are lifetime
+        telemetry, not per-query numbers; snapshot before/after a query
+        block or call :meth:`reset_pruning_stats` to measure one
+        workload. Keys:
+
+        - ``batches`` — query batches the bounded fan-out executed;
+        - ``tasks`` — shard queries the fan-out considered;
+        - ``skipped`` — shards answered purely from their persisted
+          bounds (the kernel never ran), split by the bound layer that
+          proved the skip: ``skipped_minus`` (the minus-count interval
+          alone sufficed) + ``skipped_centroid`` (the centroid + radius
+          bound was needed);
+        - ``bounded`` — shards dispatched carrying a finite k-th-best
+          bound into their kernel's early-exit schedule;
+        - ``skip_rate`` — ``skipped / tasks`` (derived).
+
+        Reading is thread-safe; decisions never depend on these values.
         """
         stats = dict(self._pruning)
         stats["skip_rate"] = (
             stats["skipped"] / stats["tasks"] if stats["tasks"] else 0.0
         )
         return stats
+
+    def reset_pruning_stats(self):
+        """Zero the cumulative pruning counters; returns the final snapshot.
+
+        The documented way to scope :attr:`pruning_stats` to a workload:
+        reset, run the queries, read. The returned dict is the pre-reset
+        snapshot (including ``skip_rate``), so callers can log the old
+        epoch while starting a new one. Never changes decisions.
+        """
+        snapshot = self.pruning_stats
+        self._pruning = dict.fromkeys(self._pruning, 0)
+        return snapshot
 
     @property
     def shards(self):
@@ -313,13 +387,21 @@ class ShardedItemMemory:
     # -- ingestion --------------------------------------------------------- #
 
     def add(self, label, vector):
-        """Store ``vector`` under ``label`` in its routed shard."""
+        """Store ``vector`` under ``label`` in its routed shard.
+
+        Deterministic placement (:mod:`.routing`) and atomic: a rejected
+        vector (duplicate label, wrong shape, non-bipolar) leaves every
+        map untouched. Not safe to call concurrently with queries or
+        other mutations. Placement never changes decisions.
+        """
         if label in self._order:
             raise ValueError(f"label {label!r} already stored")
         index = route_label(label, len(self._labels), self.num_shards, self.routing)
         self._shards[index].add(label, vector)  # validates; raises before commit
         self._shard_of[label] = index
-        self._note_popcounts(index, np.asarray(vector)[None])
+        rows = np.asarray(vector)[None]
+        self._note_popcounts(index, rows)
+        self._note_geometry(index, rows)
         self._commit_order(index, label)
 
     def _note_popcounts(self, shard_index, rows):
@@ -331,6 +413,36 @@ class ShardedItemMemory:
         self._pop_bounds[shard_index] = (
             min(bounds[0], int(counts.min())),
             max(bounds[1], int(counts.max())),
+        )
+
+    def _note_geometry(self, shard_index, rows):
+        """Fold committed bipolar rows into one shard's centroid + radius.
+
+        Called *after* the rows landed in the shard. The centroid is
+        established exactly once per shard — the majority vote of the
+        first committed batch — and stays fixed until a compaction
+        recomputes it from the full matrix (persistence layer); the
+        radius is folded as the exact max Hamming distance of every
+        committed row to that fixed centroid. Any fixed centroid keeps
+        the lower bound ``max(0, d(q, c) − radius)`` strict, so freshness
+        of the majority vote affects only tightness, never correctness.
+        A shard whose base rows predate bounds tracking (an opened
+        pre-bounds store) stays unknown until the next compact.
+        """
+        rows = np.asarray(rows)
+        centroid = self._geo_centroid[shard_index]
+        if centroid is None:
+            if len(self._shards[shard_index]) != rows.shape[0]:
+                return  # unknown base rows (pre-bounds store) stay unknown
+            counts = (rows < 0).sum(axis=0, dtype=np.int64)
+            centroid = self.backend.centroid(counts, rows.shape[0])
+            self._geo_centroid[shard_index] = centroid
+            self._geo_radius[shard_index] = None
+        native = self.backend.from_bipolar(rows)
+        radius = int(np.max(np.atleast_1d(self.backend.hamming(centroid, native))))
+        previous = self._geo_radius[shard_index]
+        self._geo_radius[shard_index] = (
+            radius if previous is None else max(previous, radius)
         )
 
     def _commit_order(self, shard_index, label):
@@ -358,7 +470,10 @@ class ShardedItemMemory:
         duplicates up front and every chunk is shape/bipolarity-checked
         before any of it commits, so a failure cannot leave the global
         label maps and the shards disagreeing; chunks before the failing
-        one remain ingested (streaming semantics).
+        one remain ingested (streaming semantics). Ingestion is
+        single-controller: do not call concurrently with queries or
+        other mutations. Chunk size never changes decisions — only the
+        shard bound tightness an eventual compact() re-tightens.
         """
         if chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
@@ -390,6 +505,7 @@ class ShardedItemMemory:
         for index, shard_labels, shard_rows in plan:
             self._shards[index].add_many(shard_labels, shard_rows)
             self._note_popcounts(index, shard_rows)
+            self._note_geometry(index, shard_rows)
             for label in shard_labels:
                 self._shard_of[label] = index
         for label in chunk_labels:
@@ -468,17 +584,44 @@ class ShardedItemMemory:
         low, high = bounds
         return np.maximum(0, np.maximum(low - query_minus, query_minus - high))
 
+    def _geo_lower_bounds(self, active, native):
+        """Per-query geometric lower bounds per shard: ``{index: (B,)}``.
+
+        Triangle inequality in Hamming space: every row ``x`` of shard
+        ``s`` satisfies ``d(q, x) >= d(q, centroid_s) − radius_s``, so
+        one batched Hamming call against the stacked centroids lower-
+        bounds every shard's best possible distance at once. Shards with
+        unknown bounds are absent from the dict (never skipped on this
+        layer).
+        """
+        indices = [
+            index for index in active
+            if self._geo_centroid[index] is not None
+            and self._geo_radius[index] is not None
+        ]
+        if not indices:
+            return {}
+        centroids = np.stack([self._geo_centroid[index] for index in indices])
+        distances = np.atleast_2d(self.backend.hamming(native, centroids))
+        return {
+            index: np.maximum(0, distances[:, j] - self._geo_radius[index])
+            for j, index in enumerate(indices)
+        }
+
     def _fanout_ints(self, mode, native, k):
         """Bounded integer-domain fan-out; returns the partial list.
 
         Shards run in waves of the executor width, cheapest lower bound
         first: every completed partial tightens the shared
         :class:`~repro.hdc.store.parallel.BoundTracker`, later waves
-        skip shards whose lower bound strictly beats the current
-        k-th-best for every query (the kernel never runs), and
-        dispatched shards carry the current bound so their kernels can
-        early-exit internally. Skips are strict, so decisions are
-        bit-identical with pruning on or off.
+        skip shards whose lower bound — the elementwise max of the
+        minus-count interval bound and the centroid + radius geometric
+        bound — strictly beats the current k-th-best for every query
+        (the kernel never runs; :attr:`pruning_stats` attributes the
+        skip to the layer that proved it), and dispatched shards carry
+        the current bound so their kernels can early-exit internally.
+        Skips are strict, so decisions are bit-identical with pruning on
+        or off.
         """
         active = self._active_shards()
         process = self._executor.kind == "process"
@@ -486,13 +629,18 @@ class ShardedItemMemory:
         tracker = BoundTracker(
             native.shape[0], 1 if mode == "cleanup_ints" else k, self.dim + 1
         )
-        lower = {}
+        lower, minus_lower = {}, {}
         if self.prune:
             query_minus = self.backend.minus_counts(native)
-            lower = {
-                index: self._shard_lower_bounds(index, query_minus)
-                for index in active
-            }
+            geo_lower = self._geo_lower_bounds(active, native)
+            for index in active:
+                minus_row = self._shard_lower_bounds(index, query_minus)
+                geo_row = geo_lower.get(index)
+                minus_lower[index] = minus_row
+                if minus_row is None or geo_row is None:
+                    lower[index] = geo_row if minus_row is None else minus_row
+                else:
+                    lower[index] = np.maximum(minus_row, geo_row)
         order = sorted(
             active,
             key=lambda i: -1 if lower.get(i) is None else int(lower[i].min()),
@@ -524,6 +672,12 @@ class ShardedItemMemory:
                 bound_row = lower.get(index)
                 if bound_row is not None and tracker.can_skip(bound_row):
                     self._pruning["skipped"] += 1
+                    minus_row = minus_lower.get(index)
+                    if minus_row is not None and tracker.can_skip(minus_row):
+                        self._pruning["skipped_minus"] += 1
+                    else:  # the minus interval alone could not prove it:
+                        # the geometric bound was needed (alone or jointly)
+                        self._pruning["skipped_centroid"] += 1
                     continue
                 bounds = None if first_wave else tracker.bounds()
                 if bounds is not None:
@@ -614,7 +768,13 @@ class ShardedItemMemory:
         return out
 
     def cleanup(self, query):
-        """Return ``(label, similarity)`` of the best-matching stored item."""
+        """Return ``(label, similarity)`` of the best-matching stored item.
+
+        Ties resolve to the earliest globally inserted label;
+        bit-identical to ``ItemMemory.cleanup`` under any layout,
+        executor, or pruning setting. Safe to call concurrently with
+        other queries (not with mutations).
+        """
         labels, sims = self.cleanup_batch(np.asarray(query)[None])
         return labels[0], float(sims[0])
 
@@ -648,7 +808,13 @@ class ShardedItemMemory:
         return [self._labels[order] for order in best_orders], sims
 
     def topk(self, query, k=5):
-        """Return the ``k`` best ``(label, similarity)`` pairs, best first."""
+        """Return the ``k`` best ``(label, similarity)`` pairs, best first.
+
+        Ordering contract: similarity descending, exact ties by global
+        insertion order ascending — bit-identical to ``ItemMemory.topk``
+        under any layout/executor/pruning setting. Safe concurrently
+        with other queries (not with mutations).
+        """
         return self.topk_batch(np.asarray(query)[None], k=k)[0]
 
     def topk_batch(self, queries, k=5):

@@ -44,6 +44,7 @@ def _downgrade_to_v1(path):
     manifest.pop("generation")
     for entry in manifest["shards"]:
         entry.pop("segments")
+        entry.pop("bounds")  # v1 predates the pruning-bounds block too
     _write_manifest(path, manifest)
 
 

@@ -1,0 +1,380 @@
+"""Geometric (centroid + radius) shard bounds: pruning, exactness, migration.
+
+The second pruning layer's contract, three ways:
+
+- **decisions never move** — on cluster-sharded stores whose per-shard
+  minus-count intervals fully overlap (the workload the minus bound
+  cannot prune), the geometric bound skips shards while every answer
+  stays bit-identical to the single-shard reference, pruned or not;
+- **bounds stay exact** — the persisted radius is exactly
+  ``max_row d(row, centroid)`` for the persisted centroid, through
+  chunked ingest, journaled appends, compaction, and a fresh-process
+  reopen;
+- **old stores migrate** — a v2 manifest (no ``bounds`` block) opens,
+  never skips on the geometric layer, and gains exact bounds on its
+  first ``compact()``.
+"""
+
+import json
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.hdc import ItemMemory, random_bipolar
+from repro.hdc.store import (
+    AssociativeStore,
+    ShardedItemMemory,
+    open_store,
+    read_manifest,
+    save_store,
+)
+from repro.hdc.store.persistence import _centroid_from_hex
+
+BACKENDS = ("dense", "packed")
+EXECUTORS = ("thread", "process")
+
+
+def _cluster_store(rng, dim=128, shards=4, per_shard=20, backend="packed",
+                   executor="thread", noise_bits=8):
+    """Cluster-sharded but popcount-*unbanded* data.
+
+    One random prototype per shard (popcounts all ~dim/2, so the
+    per-shard minus-count intervals overlap and that bound prunes
+    nothing), items are noisy copies routed shard-pure via round robin —
+    shards are geometrically tight balls, exactly what the centroid +
+    radius bound captures.
+    """
+    prototypes = random_bipolar(shards, dim, rng)
+    items = shards * per_shard
+    vectors = prototypes[np.arange(items) % shards].copy()
+    flips = rng.integers(0, dim, size=(items, noise_bits))
+    for row, columns in enumerate(flips):
+        vectors[row, columns] *= -1
+    labels = [f"v{i}" for i in range(items)]
+    reference = ItemMemory(dim, backend=backend)
+    reference.add_many(labels, vectors)
+    sharded = ShardedItemMemory(dim, num_shards=shards, backend=backend,
+                                routing="round_robin", executor=executor)
+    sharded.add_many(labels, vectors, chunk_size=13)
+    queries = prototypes[:1].copy()  # near shard 0's ball, far from the rest
+    queries[0, rng.integers(0, dim, size=4)] *= -1
+    return reference, sharded, vectors, queries
+
+
+def _assert_memory_bounds_exact(memory):
+    """In-memory invariant: radius == max d(row, centroid), per shard."""
+    for index, shard in enumerate(memory.shards):
+        centroid = memory._geo_centroid[index]
+        radius = memory._geo_radius[index]
+        if centroid is None:
+            assert radius is None
+            continue
+        distances = np.atleast_1d(
+            memory.backend.hamming(centroid, shard.native_matrix())
+        )
+        assert int(distances.max()) == radius, f"shard {index}"
+
+
+def _assert_manifest_bounds_exact(path):
+    """Persisted invariant: each entry's radius covers base + segments
+    exactly, and the minus interval is the exact per-row min/max."""
+    manifest = read_manifest(path)
+    memory = open_store(path, mmap=False)
+    shards = memory.shards if isinstance(memory, ShardedItemMemory) else [memory]
+    for index, (entry, shard) in enumerate(zip(manifest["shards"], shards)):
+        bounds = entry["bounds"]
+        if not len(shard):
+            continue
+        native = shard.native_matrix()  # base + folded segments
+        minus = shard.backend.minus_counts(native)
+        assert bounds["minus_min"] == int(minus.min()), f"shard {index}"
+        assert bounds["minus_max"] == int(minus.max()), f"shard {index}"
+        if bounds["centroid"] is None:
+            continue
+        centroid = _centroid_from_hex(shard.backend, bounds["centroid"])
+        distances = np.atleast_1d(shard.backend.hamming(centroid, native))
+        assert int(distances.max()) == int(bounds["radius"]), f"shard {index}"
+
+
+class TestGeometricPruning:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_centroid_layer_skips_where_minus_cannot(self, backend, executor,
+                                                     rng):
+        reference, sharded, _, queries = _cluster_store(
+            rng, backend=backend, executor=executor)
+        ref_labels, ref_sims = reference.cleanup_batch(queries)
+        got_labels, got_sims = sharded.cleanup_batch(queries)
+        assert got_labels == ref_labels
+        assert np.array_equal(got_sims, ref_sims)
+        assert sharded.topk_batch(queries, k=7) == reference.topk_batch(
+            queries, k=7)
+        stats = sharded.pruning_stats
+        assert stats["skipped_centroid"] > 0  # the new layer carries it
+        assert stats["skipped_minus"] == 0  # popcounts can't tell shards apart
+        assert stats["skipped"] == (
+            stats["skipped_minus"] + stats["skipped_centroid"]
+        )
+        sharded.close()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_toggle_is_bit_identical_on_cluster_store(self, backend, rng):
+        reference, sharded, vectors, queries = _cluster_store(rng,
+                                                              backend=backend)
+        mixed = np.concatenate([queries, vectors[:3]])
+        pruned_cleanup = sharded.cleanup_batch(mixed)
+        pruned_topk = sharded.topk_batch(mixed, k=6)
+        sharded.prune = False
+        assert sharded.cleanup_batch(mixed)[0] == pruned_cleanup[0]
+        assert np.array_equal(sharded.cleanup_batch(mixed)[1],
+                              pruned_cleanup[1])
+        assert sharded.topk_batch(mixed, k=6) == pruned_topk
+        assert sharded.topk_batch(mixed, k=6) == reference.topk_batch(mixed,
+                                                                      k=6)
+
+    def test_boundary_tie_in_a_skippable_looking_shard_survives(self, rng):
+        """A duplicate of the best match living in a *geometrically tight*
+        other shard ties exactly at the k-th best; the strict skip rule
+        must score that shard so insertion order decides."""
+        dim = 128
+        row = np.ones(dim, dtype=np.int8)
+        sharded = ShardedItemMemory(dim, num_shards=2, backend="packed",
+                                    routing="round_robin")
+        # shard 0: "first"; shard 1: identical "second" (radius 0 balls,
+        # lower bound exactly equal to the k-th best — never skippable)
+        sharded.add_many(["first", "second"], np.stack([row, row]))
+        label, sim = sharded.cleanup(row)
+        assert label == "first" and sim == 1.0
+        assert [name for name, _ in sharded.topk(row, k=2)] == [
+            "first", "second"]
+
+    def test_banded_store_attributes_skips_to_the_minus_layer(self, rng):
+        """On the PR 4 banded workload the interval bound alone proves the
+        skip — attribution must say so."""
+        dim, shards, per_shard = 128, 8, 4
+        vectors = []
+        for i in range(shards * per_shard):
+            minus = (i % shards) * (dim // shards)
+            row = np.ones(dim, dtype=np.int8)
+            row[:minus] = -1
+            vectors.append(row)
+        vectors = np.stack(vectors)
+        sharded = ShardedItemMemory(dim, num_shards=shards, backend="packed",
+                                    routing="round_robin")
+        sharded.add_many([f"v{i}" for i in range(len(vectors))], vectors)
+        sharded.cleanup_batch(np.stack([vectors[0], vectors[8]]))
+        stats = sharded.pruning_stats
+        assert stats["skipped"] == 7
+        assert stats["skipped_minus"] == 7
+        assert stats["skipped_centroid"] == 0
+
+
+class TestResetPruningStats:
+    def test_counters_accumulate_until_reset_and_snapshot_returned(self, rng):
+        _, sharded, _, queries = _cluster_store(rng)
+        sharded.cleanup_batch(queries)
+        once = sharded.pruning_stats
+        sharded.cleanup_batch(queries)
+        twice = sharded.pruning_stats
+        assert twice["tasks"] == 2 * once["tasks"]  # cumulative by contract
+        assert twice["batches"] == 2 * once["batches"]
+        snapshot = sharded.reset_pruning_stats()
+        assert snapshot == twice  # the pre-reset epoch comes back
+        zeroed = sharded.pruning_stats
+        assert all(zeroed[key] == 0 for key in
+                   ("batches", "tasks", "skipped", "skipped_minus",
+                    "skipped_centroid", "bounded"))
+        sharded.cleanup_batch(queries)
+        assert sharded.pruning_stats["tasks"] == once["tasks"]  # fresh epoch
+
+    def test_facade_reset_delegates_and_single_shard_returns_none(self, rng):
+        vectors = random_bipolar(12, 64, rng)
+        store = AssociativeStore.from_vectors(
+            [f"v{i}" for i in range(12)], vectors, shards=3, backend="packed")
+        store.cleanup_batch(vectors[:2])
+        snapshot = store.reset_pruning_stats()
+        assert snapshot["batches"] >= 1
+        assert store.pruning_stats["batches"] == 0
+        single = AssociativeStore.from_vectors(["a"], vectors[:1])
+        assert single.reset_pruning_stats() is None
+        assert single.pruning_stats is None
+
+
+_CHILD = """
+import json, sys
+import numpy as np
+from repro.hdc.store import ShardedItemMemory, open_store, read_manifest
+from repro.hdc.store.persistence import _centroid_from_hex
+
+path, query_path = sys.argv[1], sys.argv[2]
+memory = open_store(path)
+manifest = read_manifest(path)
+shards = memory.shards if isinstance(memory, ShardedItemMemory) else [memory]
+radii_exact = []
+for entry, shard in zip(manifest["shards"], shards):
+    bounds = entry["bounds"]
+    if bounds["centroid"] is None or not len(shard):
+        radii_exact.append(None)
+        continue
+    centroid = _centroid_from_hex(shard.backend, bounds["centroid"])
+    distances = np.atleast_1d(shard.backend.hamming(centroid,
+                                                    shard.native_matrix()))
+    radii_exact.append(bool(int(distances.max()) == int(bounds["radius"])))
+labels, _ = memory.cleanup_batch(np.load(query_path))
+print(json.dumps({"radii_exact": radii_exact, "labels": labels,
+                  "stats": memory.pruning_stats}))
+"""
+
+
+class TestBoundsExactness:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_in_memory_bounds_exact_after_chunked_ingest(self, backend, rng):
+        _, sharded, vectors, _ = _cluster_store(rng, backend=backend)
+        _assert_memory_bounds_exact(sharded)
+        sharded.add("late", vectors[0])  # single-row path folds too
+        _assert_memory_bounds_exact(sharded)
+
+    def test_bounds_exact_across_append_compact_and_fresh_process(
+        self, tmp_path, rng
+    ):
+        """The satellite's full lifecycle: save → append (journaled) →
+        compact → reopen in a *fresh process*, the persisted radius
+        exact at every stage and skips intact at the end."""
+        dim, shards = 128, 3
+        reference, sharded, vectors, queries = _cluster_store(
+            rng, dim=dim, shards=shards)
+        store_path = tmp_path / "store"
+        save_store(sharded, store_path)
+        _assert_manifest_bounds_exact(store_path)
+
+        opened = AssociativeStore.open(store_path)
+        prototypes = vectors[:shards]  # row i is shard i's prototype copy
+        extra = prototypes[np.arange(10) % shards].copy()
+        flips = rng.integers(0, dim, size=(10, 6))
+        for row, columns in enumerate(flips):
+            extra[row, columns] *= -1
+        opened.add_many([f"late{i}" for i in range(10)], extra)
+        reference.add_many([f"late{i}" for i in range(10)], extra)
+        _assert_manifest_bounds_exact(store_path)  # append folded exactly
+        _assert_memory_bounds_exact(opened.memory)  # disk mirrors memory
+
+        opened.compact()
+        _assert_manifest_bounds_exact(store_path)  # recomputed, tight again
+        _assert_memory_bounds_exact(opened.memory)
+
+        query_path = tmp_path / "queries.npy"
+        np.save(query_path, queries)
+        child = subprocess.run(
+            [sys.executable, "-c", _CHILD, str(store_path), str(query_path)],
+            capture_output=True, text=True, check=True,
+        )
+        report = json.loads(child.stdout)
+        assert all(flag for flag in report["radii_exact"]
+                   if flag is not None)
+        assert any(flag for flag in report["radii_exact"])  # bounds exist
+        assert report["labels"] == reference.cleanup_batch(queries)[0]
+        assert report["stats"]["skipped_centroid"] > 0  # and they skip
+
+
+class TestManifestMigration:
+    def _downgrade_to_v2(self, path):
+        """Rewrite a saved manifest in the PR 4 (version 2) layout: no
+        ``bounds`` block, minus bounds at the entry's top level."""
+        manifest_path = path / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format_version"] = 2
+        for entry in manifest["shards"]:
+            bounds = entry.pop("bounds")
+            entry["minus_min"] = bounds["minus_min"]
+            entry["minus_max"] = bounds["minus_max"]
+        manifest_path.write_text(json.dumps(manifest))
+
+    def test_v2_store_opens_never_geo_skips_gains_bounds_on_compact(
+        self, tmp_path, rng
+    ):
+        reference, sharded, _, queries = _cluster_store(rng)
+        save_store(sharded, tmp_path / "s")
+        self._downgrade_to_v2(tmp_path / "s")
+
+        opened = AssociativeStore.open(tmp_path / "s")
+        assert opened.cleanup_batch(queries)[0] == reference.cleanup_batch(
+            queries)[0]
+        stats = opened.pruning_stats
+        assert stats["skipped_centroid"] == 0  # geometric layer unknown
+        # the minus layer migrated and may skip where it can; on this
+        # cluster store it can't, so nothing is skipped at all
+        assert stats["skipped"] == 0
+
+        opened.compact()  # first compact recomputes both layers exactly
+        manifest = read_manifest(tmp_path / "s")
+        assert manifest["format_version"] == 3
+        assert all(entry["bounds"]["centroid"] is not None
+                   for entry in manifest["shards"])
+        _assert_manifest_bounds_exact(tmp_path / "s")
+        opened.reset_pruning_stats()
+        assert opened.cleanup_batch(queries)[0] == reference.cleanup_batch(
+            queries)[0]
+        assert opened.pruning_stats["skipped_centroid"] > 0  # skips now
+        # ... and a fresh reopen sees the same bounds
+        fresh = AssociativeStore.open(tmp_path / "s")
+        fresh.cleanup_batch(queries)
+        assert fresh.pruning_stats["skipped_centroid"] > 0
+
+    def test_appending_to_v2_store_keeps_geo_unknown_until_compact(
+        self, tmp_path, rng
+    ):
+        reference, sharded, vectors, queries = _cluster_store(rng)
+        save_store(sharded, tmp_path / "s")
+        self._downgrade_to_v2(tmp_path / "s")
+        opened = AssociativeStore.open(tmp_path / "s")
+        extra = random_bipolar(5, 128, rng)
+        opened.add_many([f"late{i}" for i in range(5)], extra)
+        reference.add_many([f"late{i}" for i in range(5)], extra)
+        manifest = read_manifest(tmp_path / "s")
+        assert manifest["format_version"] == 3  # appending migrates
+        # base rows predate bounds tracking: the ball must stay unknown
+        # (a first-batch centroid would not cover the unseen base rows)
+        assert all(entry["bounds"]["centroid"] is None
+                   for entry in manifest["shards"]
+                   if entry["rows"])
+        assert opened.cleanup_batch(queries)[0] == reference.cleanup_batch(
+            queries)[0]
+        assert opened.pruning_stats["skipped_centroid"] == 0
+
+    def test_append_into_empty_shard_of_v2_store_establishes_exact_bounds(
+        self, tmp_path, rng
+    ):
+        """A v2 store with a still-empty shard: rows appended there have
+        no unknown base to cover, so the ball establishes immediately."""
+        dim = 64
+        memory = ShardedItemMemory(dim, num_shards=3, backend="packed",
+                                   routing="round_robin")
+        memory.add_many(["a", "b"], random_bipolar(2, dim, rng))  # shard 2 empty
+        save_store(memory, tmp_path / "s")
+        self._downgrade_to_v2(tmp_path / "s")
+        opened = AssociativeStore.open(tmp_path / "s")
+        opened.add_many(["c"], random_bipolar(1, dim, rng))  # routes to shard 2
+        manifest = read_manifest(tmp_path / "s")
+        entries = manifest["shards"]
+        assert entries[2]["bounds"]["centroid"] is not None
+        assert entries[2]["bounds"]["radius"] == 0  # one row: radius zero
+        assert entries[0]["bounds"]["centroid"] is None  # base rows unknown
+        _assert_manifest_bounds_exact(tmp_path / "s")
+
+    def test_v1_store_still_opens_with_unknown_bounds(self, tmp_path, rng):
+        reference, sharded, _, queries = _cluster_store(rng)
+        save_store(sharded, tmp_path / "s")
+        manifest_path = tmp_path / "s" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format_version"] = 1
+        manifest.pop("generation")
+        for entry in manifest["shards"]:
+            entry.pop("segments")
+            entry.pop("bounds")
+        manifest_path.write_text(json.dumps(manifest))
+        opened = AssociativeStore.open(tmp_path / "s")
+        assert opened.cleanup_batch(queries)[0] == reference.cleanup_batch(
+            queries)[0]
+        assert opened.pruning_stats["skipped"] == 0

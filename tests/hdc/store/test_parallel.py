@@ -382,8 +382,9 @@ class TestEarlyExitPruning:
         assert single.pruning_stats is None
 
     def test_opened_pre_bounds_store_never_skips(self, rng, tmp_path):
-        """A manifest without minus-count bounds (simulating a pre-bounds
-        store) must disable skipping but answer identically."""
+        """A v2-style manifest without a ``bounds`` block (a pre-bounds
+        store) must disable skipping on *both* layers but answer
+        identically."""
         import json
 
         reference, sharded, vectors = self._banded_pair(rng)
@@ -391,9 +392,9 @@ class TestEarlyExitPruning:
         save_store(sharded, tmp_path / "s")
         manifest_path = tmp_path / "s" / MANIFEST_NAME
         manifest = json.loads(manifest_path.read_text())
+        manifest["format_version"] = 2
         for entry in manifest["shards"]:
-            entry.pop("minus_min", None)
-            entry.pop("minus_max", None)
+            entry.pop("bounds", None)
         manifest_path.write_text(json.dumps(manifest))
         reopened = open_store(tmp_path / "s")
         queries = vectors[:2].copy()

@@ -299,6 +299,88 @@ class TestHammingTopk:
             assert np.array_equal(
                 packed.minus_counts(packed.from_bipolar(vectors)), expected)
 
+    def test_adaptive_schedule_tracks_the_bound(self):
+        """Tight bounds checkpoint after a couple of words; loose bounds
+        collapse to a single contiguous pass (no two-pass tax)."""
+        from repro.hdc.backend import PackedBackend
+
+        packed = PackedBackend(1024)  # 16 words
+        assert packed._first_checkpoint(0) == 1
+        assert packed._first_checkpoint(31) == 1
+        assert packed._first_checkpoint(32) == 2
+        assert packed._first_checkpoint(100) == 4
+        checkpoints = [packed._first_checkpoint(b) for b in range(0, 1025, 32)]
+        assert checkpoints == sorted(checkpoints)  # monotone in the bound
+        assert packed._first_checkpoint(512) == 16  # ~dim/2: single pass
+        assert packed._first_checkpoint(1024) == 16
+        assert packed._first_checkpoint(1025) == 16  # the dim+1 sentinel
+
+    def test_loose_bounds_take_the_single_pass_and_stay_exact(self, rng):
+        """bounds = dim makes every prefix count survive — the schedule
+        must degrade to one contiguous pass with the reference answer."""
+        dim, n, k = 512, 9000, 5
+        dense, packed = backends(dim)
+        vectors = random_bipolar(n, dim, rng)
+        queries = random_bipolar(3, dim, rng)
+        nd, nq = dense.from_bipolar(vectors), dense.from_bipolar(queries)
+        expected_d, expected_i = self._reference(dense, nq, nd, k)
+        got_d, got_i = packed.hamming_topk(
+            packed.from_bipolar(queries), packed.from_bipolar(vectors), k,
+            bounds=np.full(3, dim, dtype=np.int64),
+        )
+        assert np.array_equal(got_d, expected_d)
+        assert np.array_equal(got_i, expected_i)
+
+    def test_dense_reference_applies_the_bounds_permit(self, rng):
+        """The base kernel now realizes the sentinel contract too, so the
+        sharded merge sees identical pruned-partial shapes on dense."""
+        dim, n, k = 256, 400, 4
+        dense, _ = backends(dim)
+        vectors = random_bipolar(n, dim, rng)
+        queries = vectors[:3].copy()
+        nd, nq = dense.from_bipolar(vectors), dense.from_bipolar(queries)
+        expected_d, expected_i = self._reference(dense, nq, nd, k)
+        bounds = expected_d[:, 1].copy()  # keep ranks 0..1, prune the rest
+        got_d, got_i = dense.hamming_topk(nq, nd, k, bounds=bounds)
+        for qi in range(3):
+            ok = expected_d[qi] <= bounds[qi]
+            assert np.array_equal(got_d[qi][ok], expected_d[qi][ok])
+            assert np.array_equal(got_i[qi][ok], expected_i[qi][ok])
+            assert (got_d[qi][~ok] == dim + 1).all()
+            assert (got_i[qi][~ok] == -1).all()
+
+    def test_column_minus_counts_and_centroid_agree_across_backends(self, rng):
+        for dim in (63, 64, 200, 1024):
+            dense, packed = backends(dim)
+            vectors = random_bipolar(33, dim, rng)
+            expected = (vectors < 0).sum(axis=0)
+            dense_counts = dense.column_minus_counts(dense.from_bipolar(vectors))
+            packed_counts = packed.column_minus_counts(
+                packed.from_bipolar(vectors))
+            assert np.array_equal(dense_counts, expected)
+            assert np.array_equal(packed_counts, expected)
+            # identical majority centroid (exact-half ties resolve to +1)
+            dense_centroid = dense.to_bipolar(dense.centroid(dense_counts, 33))
+            packed_centroid = packed.to_bipolar(
+                packed.centroid(packed_counts, 33))
+            assert np.array_equal(dense_centroid, packed_centroid)
+            majority = np.where(2 * expected > 33, -1, 1).astype(np.int8)
+            assert np.array_equal(dense_centroid, majority)
+
+    def test_column_minus_counts_blocked_sweep_is_exact(self, rng):
+        """More rows than one block: the accumulation must still be exact."""
+        from repro.hdc.backend import PackedBackend
+
+        dim = 64
+        dense, packed = backends(dim)
+        rows = PackedBackend._COLUMN_COUNT_BLOCK + 37
+        vectors = random_bipolar(rows, dim, rng)
+        expected = (vectors < 0).sum(axis=0)
+        assert np.array_equal(
+            packed.column_minus_counts(packed.from_bipolar(vectors)), expected)
+        assert np.array_equal(
+            dense.column_minus_counts(dense.from_bipolar(vectors)), expected)
+
     def test_bad_bounds_shape_rejected(self, rng):
         packed = PackedBackend(256)
         store = packed.from_bipolar(random_bipolar(5000, 256, rng))
