@@ -148,7 +148,13 @@ def test_store_scaling_json():
         assert point["bytes_per_item"] == D // 8
     if sizes[-1] == SIZES[-1]:  # only a full sweep may update the record
         out_path = Path(__file__).parent / "BENCH_store.json"
-        out_path.write_text(json.dumps(result, indent=2) + "\n")
+        # Read-modify-write: surfaces recorded by other harnesses (e.g.
+        # "serving" from bench_serving.py) must survive a scaling re-run.
+        record = {}
+        if out_path.exists():
+            record = json.loads(out_path.read_text())
+        record.update(result)
+        out_path.write_text(json.dumps(record, indent=2) + "\n")
 
 
 def _worker_sweep(store, queries, num_items, repeats):

@@ -1,0 +1,145 @@
+"""Open-loop load generator against the async serving layer.
+
+Builds a 100k-item packed sharded store, wraps it in a
+:class:`StoreServer`, and fires independently-timed ``cleanup`` requests
+at a configurable *offered* rate — arrivals follow the schedule whether
+or not earlier requests finished, the honest way to load-test a server
+(a closed loop would slow its own arrivals down and hide queueing).
+Each request records its own latency from scheduled arrival to
+resolution, so queueing delay under overload is *included*.
+
+Prints a latency histogram with p50/p90/p99, the achieved vs offered
+rate, and the server's own stats — waves, mean batch size, flush-trigger
+attribution (size vs deadline), queue high-water — which together show
+where the configured ``max_wait_ms`` / ``max_batch`` put you on the
+latency/throughput trade-off. Try a rate below and above the store's
+single-request capacity (~130 q/s for 100k × 1024 on one core) to watch
+micro-batching absorb the difference.
+
+    python examples/serving_demo.py [num_items] [offered_qps] \\
+        [max_wait_ms] [max_batch] [num_requests]
+
+Answers are bit-identical to direct ``store.cleanup`` calls no matter
+how requests coalesce — the demo spot-checks a sample at the end.
+"""
+
+import asyncio
+import sys
+import time
+
+import numpy as np
+
+from repro.hdc import random_bipolar
+from repro.hdc.store import AssociativeStore, StoreServer
+
+DIM = 1024
+SHARDS = 8
+QUERY_POOL = 256
+
+
+def build_store(num_items, rng):
+    """Stream the store in; keep a noisy query pool from the first chunk."""
+    print(f"building {num_items:,}-item packed store "
+          f"({DIM} dims, {SHARDS} shards)...")
+    store = AssociativeStore(DIM, backend="packed", shards=SHARDS)
+    chunk = 65536
+    queries = None
+    for start in range(0, num_items, chunk):
+        rows = min(chunk, num_items - start)
+        vectors = random_bipolar(rows, DIM, rng)
+        if queries is None:
+            queries = vectors[:QUERY_POOL].copy()
+            flips = rng.integers(0, DIM, size=(len(queries), DIM // 8))
+            for row, columns in enumerate(flips):
+                queries[row, columns] *= -1
+        store.add_many((f"item{i}" for i in range(start, start + rows)),
+                       vectors)
+    return store, queries
+
+
+async def offered_load(server, queries, offered_qps, num_requests):
+    """Fire requests on an open-loop schedule; return per-request latency."""
+    period = 1.0 / offered_qps
+    loop = asyncio.get_running_loop()
+    start = loop.time()
+    latencies = [None] * num_requests
+    answers = [None] * num_requests
+
+    async def one(index):
+        scheduled = start + index * period
+        delay = scheduled - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        answers[index] = await server.cleanup(queries[index % len(queries)])
+        latencies[index] = loop.time() - scheduled
+
+    await asyncio.gather(*[one(i) for i in range(num_requests)])
+    elapsed = loop.time() - start
+    return np.asarray(latencies) * 1000.0, answers, elapsed
+
+
+def print_histogram(latencies_ms, bins=12):
+    edges = np.logspace(np.log10(max(latencies_ms.min(), 0.05)),
+                        np.log10(latencies_ms.max() + 1e-9), bins + 1)
+    counts, _ = np.histogram(latencies_ms, bins=edges)
+    peak = max(counts.max(), 1)
+    print("\nlatency histogram (scheduled arrival -> resolution):")
+    for lo, hi, count in zip(edges[:-1], edges[1:], counts):
+        bar = "#" * max(1 if count else 0, round(40 * count / peak))
+        print(f"  {lo:8.2f}-{hi:8.2f} ms  {count:6d}  {bar}")
+
+
+async def run(store, queries, offered_qps, max_wait_ms, max_batch,
+              num_requests):
+    async with StoreServer(store, max_batch=max_batch,
+                           max_wait_ms=max_wait_ms) as server:
+        print(f"\noffering {offered_qps:.0f} q/s "
+              f"({num_requests} requests, max_wait_ms={max_wait_ms}, "
+              f"max_batch={max_batch})...")
+        latencies, answers, elapsed = await offered_load(
+            server, queries, offered_qps, num_requests)
+        stats = server.stats
+    return latencies, answers, elapsed, stats
+
+
+def main(num_items=100_000, offered_qps=200.0, max_wait_ms=5.0,
+         max_batch=64, num_requests=400):
+    rng = np.random.default_rng(0)
+    store, queries = build_store(num_items, rng)
+
+    latencies, answers, elapsed, stats = asyncio.run(
+        run(store, queries, offered_qps, max_wait_ms, max_batch,
+            num_requests))
+
+    p50, p90, p99 = np.percentile(latencies, [50, 90, 99])
+    print(f"\nachieved {num_requests / elapsed:,.0f} q/s "
+          f"(offered {offered_qps:,.0f})")
+    print(f"latency p50 {p50:.2f} ms   p90 {p90:.2f} ms   p99 {p99:.2f} ms")
+    print_histogram(latencies)
+
+    print("\nserver stats:")
+    for key in ("requests", "waves", "mean_batch_size", "flushed_size",
+                "flushed_deadline", "flushed_drain", "queue_high_water"):
+        value = stats[key]
+        value = f"{value:.2f}" if isinstance(value, float) else value
+        print(f"  {key:>18}: {value}")
+
+    print("\nspot-checking a sample against direct store.cleanup calls...")
+    tick = time.perf_counter()
+    sample = range(0, num_requests, max(1, num_requests // 16))
+    assert all(
+        answers[i] == store.cleanup(queries[i % len(queries)])
+        for i in sample
+    ), "served answer diverged from a direct call"
+    print(f"  {len(list(sample))} served answers bit-identical "
+          f"({time.perf_counter() - tick:.2f}s)")
+
+
+if __name__ == "__main__":
+    main(
+        int(sys.argv[1]) if len(sys.argv) > 1 else 100_000,
+        float(sys.argv[2]) if len(sys.argv) > 2 else 200.0,
+        float(sys.argv[3]) if len(sys.argv) > 3 else 5.0,
+        int(sys.argv[4]) if len(sys.argv) > 4 else 64,
+        int(sys.argv[5]) if len(sys.argv) > 5 else 400,
+    )

@@ -5,7 +5,8 @@ the bipolar/binary algebra (bind ⊙ / bundle + / permute ρ / unbind ⊘),
 pluggable dense/bit-packed storage backends, codebooks, associative item
 memory with batched cleanup, the sharded store subsystem
 (:mod:`repro.hdc.store`: ``AssociativeStore`` facade, label-routed
-shards, memmap persistence), the two-codebook attribute dictionary
+shards, memmap persistence, the ``StoreServer`` async micro-batching
+front-end), the two-codebook attribute dictionary
 ``b_x = g_y ⊙ v_z``, quasi-orthogonality analytics and the memory
 footprint accounting behind the 17 KB / 71 % claims.
 """
@@ -31,7 +32,15 @@ from .hypervector import (
 )
 from .item_memory import ItemMemory
 from .ordering import topk_order, topk_order_partitioned
-from .store import AssociativeStore, ShardedItemMemory, open_store, save_store
+from .store import (
+    AssociativeStore,
+    ServerClosed,
+    ServerOverloaded,
+    ShardedItemMemory,
+    StoreServer,
+    open_store,
+    save_store,
+)
 from .ops import (
     bind,
     bind_binary,
@@ -82,6 +91,9 @@ __all__ = [
     "topk_order",
     "topk_order_partitioned",
     "AssociativeStore",
+    "StoreServer",
+    "ServerClosed",
+    "ServerOverloaded",
     "ShardedItemMemory",
     "save_store",
     "open_store",

@@ -7,6 +7,10 @@ into a layered subsystem (see ``docs/ARCHITECTURE.md``, "Store layer"):
   consumer uses: one query surface (``cleanup`` / ``cleanup_batch`` /
   ``topk`` / ``topk_batch``), bounded query blocking, ``save``/``open``
   plus the append/compact lifecycle of persisted stores.
+- :class:`StoreServer` (:mod:`.serving`) — the asyncio front-end for
+  concurrent *single* requests: deadline/size-triggered micro-batching
+  into the facade's batch kernels, admission control, graceful drain —
+  served answers bit-identical to direct calls.
 - :class:`ShardedItemMemory` (:mod:`.sharded`) — label-routed shards
   with streaming ingestion and fan-out/merge queries, decision-identical
   to a single ``ItemMemory`` for any shard *and worker* count.
@@ -43,10 +47,22 @@ from .persistence import (
 )
 from .planner import AssociativeStore
 from .routing import ROUTINGS, hash_shard, route_label
+from .serving import (
+    ADMISSION_POLICIES,
+    FLUSH_TRIGGERS,
+    ServerClosed,
+    ServerOverloaded,
+    StoreServer,
+)
 from .sharded import DEFAULT_CHUNK_SIZE, ShardedItemMemory
 
 __all__ = [
     "AssociativeStore",
+    "StoreServer",
+    "ServerClosed",
+    "ServerOverloaded",
+    "ADMISSION_POLICIES",
+    "FLUSH_TRIGGERS",
     "ShardedItemMemory",
     "ShardExecutor",
     "BoundTracker",

@@ -50,6 +50,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
 import numpy as np
@@ -123,14 +124,20 @@ class ShardExecutor:
     **Determinism**: submission-order results make the executor
     transparent to the merge — pool width, kind, and completion order
     never change decisions. **Safety**: :meth:`map` may be called from
-    concurrent threads (the underlying pools are thread-safe), but
-    :meth:`close` must not race in-flight maps; after ``close`` every
-    ``map`` raises rather than silently rebuilding a pool.
+    concurrent threads (the underlying pools are thread-safe), and
+    :meth:`close` is idempotent and safe to call from any thread — even
+    one that never ran a query (the serving layer's event loop hands the
+    store between threads): a lock serializes pool creation against
+    shutdown, so a racing ``map`` either runs on the live pool (its
+    in-flight work may then be cancelled by the shutdown) or raises.
+    After ``close`` every ``map`` raises rather than silently rebuilding
+    a pool.
     """
 
     def __init__(self, workers=1, kind="thread"):
         self._pool = None  # before validation: __del__ must always find it
         self._closed = False
+        self._lock = threading.Lock()  # pool creation vs close, any thread
         self.kind = resolve_executor(kind)
         self.workers = resolve_workers(workers)
 
@@ -147,20 +154,34 @@ class ShardExecutor:
 
     def map(self, fn, items):
         items = list(items)
-        if self._closed:
-            raise RuntimeError(
-                "ShardExecutor is closed; create a new executor (or assign "
-                "memory.workers / memory.executor) instead of reusing it"
-            )
-        if self.kind == "thread" and (self.workers == 1 or len(items) <= 1):
+        sequential = self.kind == "thread" and (
+            self.workers == 1 or len(items) <= 1
+        )
+        with self._lock:
+            if self._closed:
+                raise RuntimeError(
+                    "ShardExecutor is closed; create a new executor (or assign "
+                    "memory.workers / memory.executor) instead of reusing it"
+                )
+            if not sequential and self._pool is None:
+                self._pool = self._make_pool()
+            pool = self._pool
+        if sequential:
             return [fn(item) for item in items]
-        if self._pool is None:
-            self._pool = self._make_pool()
-        return list(self._pool.map(fn, items))
+        return list(pool.map(fn, items))
 
     def close(self):
-        pool, self._pool = self._pool, None
-        self._closed = True
+        """Shut the pool down (idempotent; callable from any thread).
+
+        Queued work is cancelled and in-flight futures of a racing
+        :meth:`map` may raise ``CancelledError`` — close concurrently
+        with maps only when abandoning their results (the store layer's
+        own contract: mutation must not race queries). Subsequent
+        :meth:`map` calls raise.
+        """
+        with self._lock:
+            pool, self._pool = self._pool, None
+            self._closed = True
         if pool is not None:
             pool.shutdown(wait=False, cancel_futures=True)
 

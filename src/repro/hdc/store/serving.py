@@ -1,0 +1,450 @@
+"""Async serving front-end: deadline-based micro-batching over the store.
+
+Everything below the facade is built for *batches* — the per-call fixed
+cost (query packing, shard fan-out dispatch, bound tracking, merge) is
+paid once per batch and the kernels amortize it across rows. User-facing
+traffic is the opposite shape: many concurrent *single* queries, each of
+which would pay the whole fan-out alone. :class:`StoreServer` converts
+one shape into the other:
+
+- **Coalescing** — awaitable single requests (:meth:`StoreServer.cleanup`
+  / :meth:`~StoreServer.topk` / :meth:`~StoreServer.similarities`) queue
+  into per-kind groups (top-k requests batch per ``k``);
+- **Flush triggers** — a group is flushed into one *wave* when it
+  reaches ``max_batch`` rows (**size** trigger) or when its oldest
+  request has waited ``max_wait_ms`` (**deadline** trigger); shutdown
+  flushes the remainder (**drain** trigger);
+- **Dispatch** — each wave stacks its query rows and runs the store's
+  batch kernel (``cleanup_batch`` / ``topk_batch`` /
+  ``similarities_batch``) on a dispatch thread pool via
+  ``loop.run_in_executor``, so the event loop never blocks on NumPy;
+  the store's own ``workers=``/``executor=`` fan-out applies inside the
+  wave unchanged;
+- **Demultiplexing** — per-row results resolve each caller's future;
+  a request cancelled mid-wave is simply skipped (the wave still
+  completes for everyone else).
+
+**Decision contract**: a request served through a wave is bit-identical
+to the same request issued alone against the store — rows of a batched
+kernel call are scored independently, and the store's own agreement
+suites pin batch-composition invariance (``query_block`` blocking,
+strict pruning skips). The serving agreement suite
+(``tests/hdc/store/test_serving.py``) pins it end to end across
+executors × backends, under cancellation and backpressure. (Bipolar
+queries are exact-integer dots and therefore exact; real-valued dense
+queries carry the same last-ULP BLAS caveat as the store's own batched
+float path.)
+
+**Admission control / backpressure**: at most ``max_pending`` requests
+may be *inside* the server (queued or in a dispatched, unfinished
+wave). Beyond that, ``admission="wait"`` (default) parks new callers on
+a FIFO of waiters that wake as slots free; ``admission="reject"`` fails
+them immediately with :exc:`ServerOverloaded`. Either way the server's
+memory is bounded and the latency cost of overload is explicit.
+
+**Shutdown**: :meth:`StoreServer.stop` (or leaving the ``async with``
+block) stops admission — new requests and parked waiters fail with
+:exc:`ServerClosed` — then flushes every queued group as a drain wave
+and awaits all in-flight waves, so accepted requests always resolve.
+
+**Threading**: the coalescing state (groups, counters, waiters) is
+touched only from the event-loop thread — no locks. Only the store's
+batch kernels run on the dispatch pool; with ``dispatch_workers > 1``
+several waves may query the store concurrently, which the store layer
+documents as safe (read-only queries; :attr:`pruning_stats` counters
+are lock-guarded).
+
+Stats follow the ``pruning_stats`` pattern: :attr:`StoreServer.stats`
+is cumulative telemetry (requests, waves, mean batch size, flush-trigger
+attribution, queue-depth high-water mark) and
+:meth:`StoreServer.reset_stats` scopes it to a workload.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+__all__ = [
+    "StoreServer",
+    "ServerClosed",
+    "ServerOverloaded",
+    "ADMISSION_POLICIES",
+    "FLUSH_TRIGGERS",
+]
+
+#: what happens to a request arriving with ``max_pending`` already inside
+#: the server: ``"wait"`` parks it (FIFO) until a slot frees, ``"reject"``
+#: raises :exc:`ServerOverloaded` immediately
+ADMISSION_POLICIES = ("wait", "reject")
+
+#: why a wave left the queue: it filled (``size``), its oldest request's
+#: deadline expired (``deadline``), or the server drained it at shutdown
+FLUSH_TRIGGERS = ("size", "deadline", "drain")
+
+
+class ServerClosed(RuntimeError):
+    """The server is stopping/stopped and no longer admits requests."""
+
+
+class ServerOverloaded(RuntimeError):
+    """Admission control rejected the request (``admission="reject"``)."""
+
+
+class StoreServer:
+    """Asyncio micro-batching server over an :class:`AssociativeStore`.
+
+    Accepts concurrent single ``cleanup`` / ``topk`` / ``similarities``
+    requests as awaitables, coalesces them into batched waves (flushed
+    on a deadline or a size trigger), dispatches each wave through the
+    store's batch kernels off the event loop, and demultiplexes per-row
+    results — bit-identical to issuing each request alone (see the
+    module docstring for the full contract).
+
+    Use it as an async context manager, inside a running event loop::
+
+        async with StoreServer(store, max_batch=64, max_wait_ms=2.0) as srv:
+            label, sim = await srv.cleanup(query)
+
+    The server owns no store state: the wrapped ``store`` (anything with
+    ``dim``, ``cleanup_batch``, ``topk_batch``, ``similarities_batch``)
+    is queried read-only and is *not* closed by :meth:`stop`. Do not
+    mutate the store while the server is running.
+
+    Parameters
+    ----------
+    store:
+        The query target, typically an :class:`AssociativeStore`.
+    max_batch:
+        Size flush trigger: a group reaching this many queued rows is
+        dispatched immediately. ``1`` disables coalescing (every request
+        is its own wave — the naive baseline the benchmark anchors on).
+    max_wait_ms:
+        Deadline flush trigger: the oldest request of a group waits at
+        most this long before the group is dispatched regardless of
+        size. ``0`` flushes on the next event-loop tick (still
+        coalescing whatever arrived in the same tick).
+    max_pending:
+        Admission-control bound on requests inside the server (queued
+        plus dispatched-but-unfinished).
+    admission:
+        Over-capacity policy: ``"wait"`` (park FIFO) or ``"reject"``
+        (raise :exc:`ServerOverloaded`). See :data:`ADMISSION_POLICIES`.
+    dispatch_workers:
+        Threads executing waves. ``1`` (default) serializes waves —
+        the store sees one batch query at a time; more lets waves of
+        different kinds overlap.
+    """
+
+    def __init__(self, store, max_batch=64, max_wait_ms=2.0, max_pending=4096,
+                 admission="wait", dispatch_workers=1):
+        if int(max_batch) < 1:
+            raise ValueError("max_batch must be >= 1")
+        if float(max_wait_ms) < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        if int(max_pending) < int(max_batch):
+            raise ValueError(
+                f"max_pending ({max_pending}) must be >= max_batch "
+                f"({max_batch}), or no wave could ever fill"
+            )
+        if admission not in ADMISSION_POLICIES:
+            raise ValueError(
+                f"unknown admission policy {admission!r}; "
+                f"available: {ADMISSION_POLICIES}"
+            )
+        if int(dispatch_workers) < 1:
+            raise ValueError("dispatch_workers must be >= 1")
+        self._store = store
+        self.max_batch = int(max_batch)
+        self.max_wait_ms = float(max_wait_ms)
+        self.max_pending = int(max_pending)
+        self.admission = admission
+        self.dispatch_workers = int(dispatch_workers)
+        self._loop = None
+        self._pool = None
+        self._started = False
+        self._closed = False
+        #: key -> {"futures": [...], "queries": [...], "timer": handle};
+        #: keys are ("cleanup",) / ("topk", k) / ("similarities",)
+        self._groups = {}
+        self._pending = 0  # admitted requests not yet resolved
+        self._waiters = deque()  # admission="wait" FIFO
+        self._inflight = set()  # running wave tasks
+        self._stats = self._zero_stats()
+
+    @staticmethod
+    def _zero_stats():
+        return dict.fromkeys(
+            ("requests", "rejected", "cancelled", "waves", "batched_requests",
+             "flushed_size", "flushed_deadline", "flushed_drain",
+             "queue_high_water"), 0,
+        )
+
+    # -- lifecycle ---------------------------------------------------------- #
+
+    async def start(self):
+        """Bind to the running event loop and start the dispatch pool.
+
+        Must be awaited inside the loop that will issue requests (the
+        async-context-manager form does this for you). Starting twice or
+        after :meth:`stop` raises.
+        """
+        if self._closed:
+            raise ServerClosed("StoreServer was stopped; build a new one")
+        if self._started:
+            raise RuntimeError("StoreServer is already started")
+        self._loop = asyncio.get_running_loop()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.dispatch_workers, thread_name_prefix="repro-serve"
+        )
+        self._started = True
+        return self
+
+    async def stop(self):
+        """Graceful shutdown: stop admitting, drain queues, await waves.
+
+        Every request admitted before the call still resolves (queued
+        groups are flushed as ``drain`` waves); parked admission waiters
+        fail with :exc:`ServerClosed`. Idempotent. The wrapped store is
+        left open.
+        """
+        self._closed = True
+        if not self._started:
+            return
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.done():
+                waiter.set_exception(
+                    ServerClosed("StoreServer stopped while awaiting admission")
+                )
+        for key in list(self._groups):
+            self._flush(key, "drain")
+        while self._inflight:
+            await asyncio.gather(*list(self._inflight), return_exceptions=True)
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    async def __aenter__(self):
+        return await self.start()
+
+    async def __aexit__(self, *exc_info):
+        await self.stop()
+
+    # -- introspection ------------------------------------------------------ #
+
+    @property
+    def store(self):
+        """The wrapped query target (read-only use)."""
+        return self._store
+
+    @property
+    def pending(self):
+        """Requests currently inside the server (queued + in waves)."""
+        return self._pending
+
+    @property
+    def stats(self):
+        """Cumulative serving telemetry (the ``pruning_stats`` pattern).
+
+        Counters accumulate since construction or the last
+        :meth:`reset_stats`:
+
+        - ``requests`` — requests admitted past validation (including
+          later-cancelled ones); ``rejected`` / ``cancelled`` count
+          admission rejections and caller cancellations;
+        - ``waves`` — batched kernel dispatches; ``batched_requests`` —
+          rows those waves carried (``mean_batch_size`` is the derived
+          amortization actually achieved);
+        - ``flushed_size`` / ``flushed_deadline`` / ``flushed_drain`` —
+          flush-trigger attribution, one per wave;
+        - ``queue_high_water`` — max simultaneous in-server requests
+          observed (the backpressure headroom that was actually used);
+        - ``queue_depth`` — current :attr:`pending` (derived, not
+          cumulative).
+
+        Decisions never depend on these values.
+        """
+        stats = dict(self._stats)
+        stats["mean_batch_size"] = (
+            stats["batched_requests"] / stats["waves"] if stats["waves"] else 0.0
+        )
+        stats["queue_depth"] = self._pending
+        return stats
+
+    def reset_stats(self):
+        """Zero the cumulative counters; returns the closing snapshot."""
+        snapshot = self.stats
+        self._stats = self._zero_stats()
+        return snapshot
+
+    def __repr__(self):
+        return (
+            f"StoreServer(store={self._store!r}, max_batch={self.max_batch}, "
+            f"max_wait_ms={self.max_wait_ms}, max_pending={self.max_pending}, "
+            f"admission={self.admission!r}, pending={self._pending})"
+        )
+
+    # -- request surface ---------------------------------------------------- #
+
+    async def cleanup(self, query):
+        """Await the best ``(label, similarity)`` for one query row.
+
+        Equal to ``store.cleanup(query)`` bit for bit, however the
+        request was batched.
+        """
+        return await self._submit(("cleanup",), query)
+
+    async def topk(self, query, k=5):
+        """Await the ranked ``(label, similarity)`` list for one query.
+
+        Requests batch per ``k`` (rows of one kernel call must share a
+        ``k``); equal to ``store.topk(query, k=k)`` bit for bit.
+        """
+        if int(k) < 1:
+            raise ValueError("k must be >= 1")
+        return await self._submit(("topk", int(k)), query)
+
+    async def similarities(self, query):
+        """Await the full ``(n,)`` similarity row for one query."""
+        return await self._submit(("similarities",), query)
+
+    async def _submit(self, key, query):
+        if not self._started:
+            raise RuntimeError(
+                "StoreServer is not started; use 'async with StoreServer(...)'"
+                " or await server.start() first"
+            )
+        if self._closed:
+            raise ServerClosed("StoreServer is stopped")
+        row = np.asarray(query)
+        if row.ndim != 1 or row.shape[0] != self._store.dim:
+            raise ValueError(
+                f"expected a ({self._store.dim},) query row, got {row.shape}"
+            )
+        await self._admit()
+        self._stats["requests"] += 1
+        self._pending += 1
+        if self._pending > self._stats["queue_high_water"]:
+            self._stats["queue_high_water"] = self._pending
+        group = self._groups.get(key)
+        if group is None:
+            group = self._groups[key] = {"futures": [], "queries": [], "timer": None}
+            group["timer"] = self._loop.call_later(
+                self.max_wait_ms / 1000.0, self._flush, key, "deadline"
+            )
+        future = self._loop.create_future()
+        group["futures"].append(future)
+        group["queries"].append(row)
+        if len(group["futures"]) >= self.max_batch:
+            self._flush(key, "size")
+        try:
+            return await future
+        except asyncio.CancelledError:
+            self._stats["cancelled"] += 1
+            self._discard_queued(key, future)
+            raise
+
+    async def _admit(self):
+        """Block (or reject) until the server is under ``max_pending``."""
+        while self._pending >= self.max_pending:
+            if self.admission == "reject":
+                self._stats["rejected"] += 1
+                raise ServerOverloaded(
+                    f"StoreServer has {self._pending} pending requests "
+                    f"(max_pending={self.max_pending})"
+                )
+            waiter = self._loop.create_future()
+            self._waiters.append(waiter)
+            try:
+                await waiter
+            except asyncio.CancelledError:
+                if waiter in self._waiters:
+                    self._waiters.remove(waiter)
+                raise
+            if self._closed:
+                raise ServerClosed("StoreServer stopped while awaiting admission")
+
+    def _discard_queued(self, key, future):
+        """Drop a cancelled request that is still queued (frees its slot).
+
+        A request already dispatched in a wave is not here anymore; its
+        wave completes normally and skips the cancelled future.
+        """
+        group = self._groups.get(key)
+        if group is None or future not in group["futures"]:
+            return
+        index = group["futures"].index(future)
+        del group["futures"][index]
+        del group["queries"][index]
+        if not group["futures"]:
+            group["timer"].cancel()
+            del self._groups[key]
+        self._release(1)
+
+    # -- coalescing core ---------------------------------------------------- #
+
+    def _flush(self, key, trigger):
+        """Move one group out of the queue and dispatch it as a wave."""
+        group = self._groups.pop(key, None)
+        if group is None:
+            return  # size-flushed before its deadline timer fired
+        group["timer"].cancel()
+        live = [
+            (future, row)
+            for future, row in zip(group["futures"], group["queries"])
+            if not future.done()
+        ]
+        dead = len(group["futures"]) - len(live)
+        if dead:
+            self._release(dead)
+        if not live:
+            return
+        self._stats["waves"] += 1
+        self._stats["flushed_" + trigger] += 1
+        self._stats["batched_requests"] += len(live)
+        task = self._loop.create_task(self._run_wave(key, live))
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+
+    async def _run_wave(self, key, live):
+        """Execute one wave off-loop and demultiplex per-row results."""
+        futures = [future for future, _ in live]
+        batch = np.stack([row for _, row in live])
+        try:
+            results = await self._loop.run_in_executor(
+                self._pool, self._execute, key, batch
+            )
+        except Exception as exc:  # demux the failure to every caller
+            for future in futures:
+                if not future.done():
+                    future.set_exception(exc)
+        else:
+            for future, result in zip(futures, results):
+                if not future.done():  # cancelled mid-wave: skip
+                    future.set_result(result)
+        finally:
+            self._release(len(live))
+
+    def _execute(self, key, batch):
+        """One batched kernel call (dispatch-pool thread); returns rows."""
+        kind = key[0]
+        if kind == "cleanup":
+            labels, sims = self._store.cleanup_batch(batch)
+            return [(label, float(sim)) for label, sim in zip(labels, sims)]
+        if kind == "topk":
+            return self._store.topk_batch(batch, k=key[1])
+        return list(self._store.similarities_batch(batch))
+
+    def _release(self, count):
+        """Free ``count`` pending slots and wake that many parked waiters."""
+        self._pending -= count
+        free = self.max_pending - self._pending
+        while self._waiters and free > 0:
+            waiter = self._waiters.popleft()
+            if not waiter.done():
+                waiter.set_result(None)
+                free -= 1

@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import os
 import tempfile
+import threading
 
 import numpy as np
 
@@ -111,10 +112,11 @@ class ShardedItemMemory:
     concurrent *mutation* (``add``/``add_many``/``workers=``/
     ``executor=``/``close``) from multiple threads is not supported,
     and a query concurrent with a mutation may observe a torn label
-    map. Concurrent read-only queries from multiple threads are safe
-    apart from the :attr:`pruning_stats` counters, which are best-effort
-    under races (decisions are unaffected). Worker processes only ever
-    read persisted shard files.
+    map. Concurrent read-only queries from multiple threads are safe,
+    including the :attr:`pruning_stats` counters: each query folds its
+    counts in atomically under a lock (see :attr:`pruning_stats` for
+    the exact contract), so concurrent batches never lose increments.
+    Worker processes only ever read persisted shard files.
 
     Parameters
     ----------
@@ -180,6 +182,9 @@ class ShardedItemMemory:
             ("batches", "tasks", "skipped", "skipped_minus",
              "skipped_centroid", "bounded"), 0,
         )
+        # Guards _pruning against concurrent batched queries: each
+        # query accumulates privately and folds in under this lock.
+        self._stats_lock = threading.Lock()
         # Persisted twin for process-executor workers: (path, generation,
         # rows-at-attach). None until saved/opened/spilled.
         self._attachment = None
@@ -324,9 +329,19 @@ class ShardedItemMemory:
           bound into their kernel's early-exit schedule;
         - ``skip_rate`` — ``skipped / tasks`` (derived).
 
-        Reading is thread-safe; decisions never depend on these values.
+        **Thread-safety contract** (pinned by the concurrent suite in
+        ``tests/hdc/store/test_parallel.py``): each batched query
+        accumulates its counts privately and folds them in *atomically,
+        once, at batch end* under an internal lock — per-query
+        isolation. Two batches racing through the same memory (the
+        serving layer's ``dispatch_workers > 1``) therefore never lose
+        increments, and any read observes a consistent state in which
+        every completed batch is counted exactly once (a batch still in
+        flight is not counted yet). Decisions never depend on these
+        values.
         """
-        stats = dict(self._pruning)
+        with self._stats_lock:
+            stats = dict(self._pruning)
         stats["skip_rate"] = (
             stats["skipped"] / stats["tasks"] if stats["tasks"] else 0.0
         )
@@ -340,9 +355,13 @@ class ShardedItemMemory:
         snapshot (including ``skip_rate``), so callers can log the old
         epoch while starting a new one. Never changes decisions.
         """
-        snapshot = self.pruning_stats
-        self._pruning = dict.fromkeys(self._pruning, 0)
-        return snapshot
+        with self._stats_lock:
+            stats = dict(self._pruning)
+            self._pruning = dict.fromkeys(self._pruning, 0)
+        stats["skip_rate"] = (
+            stats["skipped"] / stats["tasks"] if stats["tasks"] else 0.0
+        )
+        return stats
 
     @property
     def shards(self):
@@ -621,8 +640,14 @@ class ShardedItemMemory:
         skip to the layer that proved it), and dispatched shards carry
         the current bound so their kernels can early-exit internally.
         Skips are strict, so decisions are bit-identical with pruning on
-        or off.
+        or off. Pruning counters accumulate in batch-local variables and
+        fold into :attr:`pruning_stats` once, under the stats lock, when
+        the batch completes — concurrent batches stay exact.
         """
+        counts = dict.fromkeys(
+            ("tasks", "skipped", "skipped_minus", "skipped_centroid",
+             "bounded"), 0,
+        )
         active = self._active_shards()
         process = self._executor.kind == "process"
         store_ref = self._ensure_process_store() if process else None
@@ -668,20 +693,20 @@ class ShardedItemMemory:
         for current in waves:
             dispatch = []
             for index in current:
-                self._pruning["tasks"] += 1
+                counts["tasks"] += 1
                 bound_row = lower.get(index)
                 if bound_row is not None and tracker.can_skip(bound_row):
-                    self._pruning["skipped"] += 1
+                    counts["skipped"] += 1
                     minus_row = minus_lower.get(index)
                     if minus_row is not None and tracker.can_skip(minus_row):
-                        self._pruning["skipped_minus"] += 1
+                        counts["skipped_minus"] += 1
                     else:  # the minus interval alone could not prove it:
                         # the geometric bound was needed (alone or jointly)
-                        self._pruning["skipped_centroid"] += 1
+                        counts["skipped_centroid"] += 1
                     continue
                 bounds = None if first_wave else tracker.bounds()
                 if bounds is not None:
-                    self._pruning["bounded"] += 1
+                    counts["bounded"] += 1
                 dispatch.append((index, bounds))
             first_wave = False
             if not dispatch:
@@ -709,7 +734,10 @@ class ShardedItemMemory:
             for primary, orders_part in results:
                 tracker.update(primary)
                 partials.append((primary, orders_part))
-        self._pruning["batches"] += 1
+        with self._stats_lock:
+            self._pruning["batches"] += 1
+            for key, value in counts.items():
+                self._pruning[key] += value
         return partials
 
     def _fanout_floats(self, mode, queries, k):

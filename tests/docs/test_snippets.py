@@ -1,7 +1,7 @@
 """Docs-consistency guard: the documented API must actually run.
 
-Extracts every fenced ```python block from the README and the normative
-store-format spec and executes them *in document order, in one shared
+Extracts every fenced ```python block from the README, the normative
+store-format spec and the architecture tour and executes them *in document order, in one shared
 namespace per document* (later blocks may build on earlier ones, exactly
 as a reader would paste them), inside a temp working directory so
 snippets that save stores never touch the repository. A snippet that
@@ -20,7 +20,7 @@ import pytest
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
 #: documents whose python snippets are part of the executable contract
-CHECKED_DOCS = ("README.md", "docs/STORE_FORMAT.md")
+CHECKED_DOCS = ("README.md", "docs/STORE_FORMAT.md", "docs/ARCHITECTURE.md")
 
 _BLOCK = re.compile(r"^```python\n(.*?)^```", re.DOTALL | re.MULTILINE)
 

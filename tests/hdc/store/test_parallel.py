@@ -261,6 +261,53 @@ class TestFacadeAndExecutor:
             executor.close()  # idempotent
             assert executor._pool is None
 
+    def test_close_is_idempotent_from_a_non_owning_thread(self):
+        """Regression: the serving layer's event loop hands the store to a
+        dispatch thread, so close() may come from a thread that never ran
+        a map. Many racing closers (plus the owner) must each return
+        cleanly, the pool must be shut down exactly once, and a later map
+        must raise rather than rebuild a pool."""
+        import threading
+
+        for kind in ("thread", "process"):
+            executor = ShardExecutor(workers=2, kind=kind)
+            if kind == "thread":  # materialize the pool from the owner
+                assert executor.map(lambda x: x + 1, [1, 2]) == [2, 3]
+            closers = [threading.Thread(target=executor.close) for _ in range(8)]
+            for thread in closers:
+                thread.start()
+            executor.close()  # the owner joins the race too
+            for thread in closers:
+                thread.join()
+            assert executor._pool is None
+            with pytest.raises(RuntimeError, match="closed"):
+                executor.map(lambda x: x, [1])
+
+    def test_close_racing_map_never_rebuilds_a_pool(self):
+        """A map racing close() must either complete or raise — it can
+        never leave a fresh pool behind on a closed executor."""
+        import threading
+
+        for _ in range(20):
+            executor = ShardExecutor(workers=2, kind="thread")
+            started = threading.Event()
+
+            def mapper(executor=executor, started=started):
+                started.set()
+                try:
+                    executor.map(lambda x: x, range(8))
+                except RuntimeError:
+                    pass  # closed first: the documented outcome
+                except Exception:
+                    pass  # cancelled mid-flight by the shutdown: also fine
+
+            thread = threading.Thread(target=mapper)
+            thread.start()
+            started.wait()
+            executor.close()
+            thread.join()
+            assert executor._pool is None  # never rebuilt after close
+
     def test_resolve_executor_and_invalid_kind(self):
         from repro.hdc.store import resolve_executor
 
@@ -400,6 +447,57 @@ class TestEarlyExitPruning:
         queries = vectors[:2].copy()
         assert reopened.cleanup_batch(queries)[0] == reference.cleanup_batch(queries)[0]
         assert reopened.pruning_stats["skipped"] == 0
+        sharded.close()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_concurrent_batches_keep_stats_exact_and_decisions_fixed(
+        self, backend, rng
+    ):
+        """The pruning_stats thread-safety contract: two tie-heavy batched
+        queries racing through one ShardedItemMemory (the serving layer's
+        dispatch_workers > 1 shape) must (a) answer bit-identically to the
+        sequential reference on every run and (b) lose no stat
+        increments — each batch folds in atomically, so the totals are
+        exactly batches x active-shard tasks."""
+        import threading
+
+        dim = 128
+        base = random_bipolar(2, dim, rng)
+        vectors = np.tile(base, (8, 1))  # tie-heavy: 8 copies of each
+        labels = [f"dup{i}" for i in range(16)]
+        reference = ItemMemory(dim, backend=backend)
+        reference.add_many(labels, vectors)
+        sharded = ShardedItemMemory(dim, num_shards=4, backend=backend,
+                                    routing="round_robin", workers=2)
+        sharded.add_many(labels, vectors)
+        queries = np.concatenate([base, base, base])
+        expected_cleanup = reference.cleanup_batch(queries)
+        expected_topk = reference.topk_batch(queries, k=16)
+        sharded.reset_pruning_stats()
+        runs_per_thread, num_threads = 10, 4
+        failures = []
+
+        def worker():
+            try:
+                for _ in range(runs_per_thread):
+                    got_labels, got_sims = sharded.cleanup_batch(queries)
+                    assert got_labels == expected_cleanup[0]
+                    assert np.array_equal(got_sims, expected_cleanup[1])
+                    assert sharded.topk_batch(queries, k=16) == expected_topk
+            except Exception as exc:  # surface across the thread boundary
+                failures.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(num_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures, failures
+        stats = sharded.pruning_stats
+        batches = 2 * runs_per_thread * num_threads  # cleanup + topk each run
+        assert stats["batches"] == batches
+        assert stats["tasks"] == batches * 4  # every active shard, every batch
+        assert stats["skipped"] == stats["skipped_minus"] + stats["skipped_centroid"]
         sharded.close()
 
 

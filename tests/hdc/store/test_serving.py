@@ -1,0 +1,456 @@
+"""Serving-layer agreement: micro-batched answers are direct answers.
+
+The decision contract of :class:`repro.hdc.store.serving.StoreServer`
+(the serving rung of the store ladder): a request served through a
+coalesced wave must be *bit-identical* to the same request issued alone
+against the :class:`AssociativeStore` — across executor kinds, backends,
+batch compositions, tie-heavy inputs, cancellation mid-wave, and
+backpressure. The suite also pins the server's operational semantics:
+flush-trigger attribution, admission control (wait and reject), graceful
+drain on shutdown, and slot accounting under cancellation.
+
+No pytest-asyncio: each test drives its own ``asyncio.run``.
+"""
+
+import asyncio
+import threading
+
+import numpy as np
+import pytest
+
+from repro.hdc import ItemMemory, random_bipolar
+from repro.hdc.store import (
+    AssociativeStore,
+    ServerClosed,
+    ServerOverloaded,
+    StoreServer,
+)
+
+BACKENDS = ("dense", "packed")
+EXECUTORS = ("thread", "process")
+
+
+def _noisy_queries(vectors, rng, num=24, flip_fraction=0.15):
+    dim = vectors.shape[1]
+    queries = vectors[rng.integers(0, len(vectors), size=num)].copy()
+    flips = rng.integers(0, dim, size=(num, int(dim * flip_fraction)))
+    for row, columns in enumerate(flips):
+        queries[row, columns] *= -1
+    return queries
+
+
+def _store(rng, backend="packed", shards=3, executor="thread", dim=256,
+           items=48):
+    labels = [f"item{i}" for i in range(items)]
+    vectors = random_bipolar(items, dim, rng)
+    store = AssociativeStore.from_vectors(
+        labels, vectors, backend=backend, shards=shards, workers=2,
+        executor=executor,
+    )
+    return store, vectors
+
+
+class _GatedStore:
+    """Duck-typed store whose batch kernels block until released.
+
+    Lets a test hold a wave *mid-dispatch* deterministically: the wave's
+    executor thread parks on ``release`` and the test observes ``entered``
+    before cancelling / stopping / overflowing the queue.
+    """
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.entered = threading.Event()
+        self.release = threading.Event()
+
+    @property
+    def dim(self):
+        return self._inner.dim
+
+    def _gate(self):
+        self.entered.set()
+        assert self.release.wait(timeout=10), "test never released the gate"
+
+    def cleanup_batch(self, queries):
+        self._gate()
+        return self._inner.cleanup_batch(queries)
+
+    def topk_batch(self, queries, k=5):
+        self._gate()
+        return self._inner.topk_batch(queries, k=k)
+
+    def similarities_batch(self, queries):
+        self._gate()
+        return self._inner.similarities_batch(queries)
+
+
+class TestServedAgreement:
+    """Concurrent single requests == sequential direct calls, bit for bit."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_concurrent_requests_bit_identical(self, backend, executor, rng):
+        store, vectors = _store(rng, backend=backend, executor=executor)
+        queries = _noisy_queries(vectors, rng)
+        expected_cleanup = [store.cleanup(q) for q in queries]
+        expected_topk = [store.topk(q, k=5) for q in queries]
+        expected_sims = [store.similarities(q) for q in queries]
+
+        async def main():
+            async with StoreServer(store, max_batch=8, max_wait_ms=1.0) as srv:
+                cleanup = asyncio.gather(*[srv.cleanup(q) for q in queries])
+                topk = asyncio.gather(*[srv.topk(q, k=5) for q in queries])
+                sims = asyncio.gather(*[srv.similarities(q) for q in queries])
+                return await cleanup, await topk, await sims, srv.stats
+
+        got_cleanup, got_topk, got_sims, stats = asyncio.run(main())
+        assert got_cleanup == expected_cleanup
+        assert got_topk == expected_topk
+        for got, expected in zip(got_sims, expected_sims):
+            assert np.array_equal(got, expected)
+        # Coalescing actually happened and every request was counted.
+        assert stats["requests"] == 3 * len(queries)
+        assert stats["batched_requests"] == stats["requests"]
+        assert 0 < stats["waves"] < stats["requests"]
+        assert stats["mean_batch_size"] > 1.0
+        assert (
+            stats["flushed_size"] + stats["flushed_deadline"]
+            + stats["flushed_drain"] == stats["waves"]
+        )
+        if store.num_shards > 1:
+            store.memory.close()
+
+    def test_single_shard_store_serves_identically(self, rng):
+        """The facade's ItemMemory path (shards=1) through the server."""
+        store, vectors = _store(rng, shards=1)
+        queries = _noisy_queries(vectors, rng, num=12)
+        expected = [store.cleanup(q) for q in queries]
+
+        async def main():
+            async with StoreServer(store, max_batch=4, max_wait_ms=0.5) as srv:
+                return await asyncio.gather(*[srv.cleanup(q) for q in queries])
+
+        assert asyncio.run(main()) == expected
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_tie_heavy_duplicates_resolve_identically(self, executor, rng):
+        """Duplicate vectors across shards: every wave composition must
+        reproduce the global insertion-order tie-break, repeatedly."""
+        dim = 128
+        base = random_bipolar(3, dim, rng)
+        labels = [f"dup{i}" for i in range(24)]
+        vectors = np.tile(base, (8, 1))
+        store = AssociativeStore.from_vectors(
+            labels, vectors, backend="packed", shards=8, workers=2,
+            executor=executor,
+        )
+        reference = ItemMemory(dim, backend="packed")
+        reference.add_many(labels, vectors)
+        queries = np.concatenate([base, base])
+        expected_cleanup = [reference.cleanup(q) for q in queries]
+        expected_topk = [reference.topk(q, k=24) for q in queries]
+
+        async def main():
+            async with StoreServer(store, max_batch=4, max_wait_ms=0.5) as srv:
+                for _ in range(5):  # scheduling varies run to run
+                    cleanup = await asyncio.gather(
+                        *[srv.cleanup(q) for q in queries])
+                    topk = await asyncio.gather(
+                        *[srv.topk(q, k=24) for q in queries])
+                    assert cleanup == expected_cleanup
+                    assert topk == expected_topk
+
+        asyncio.run(main())
+        store.memory.close()
+
+    def test_mixed_kinds_and_ks_batch_separately_but_agree(self, rng):
+        """Interleaved cleanup / topk(k=3) / topk(k=7) / similarities:
+        groups must never mix kinds or ks, and all answers must agree."""
+        store, vectors = _store(rng)
+        queries = _noisy_queries(vectors, rng, num=8)
+
+        async def main():
+            async with StoreServer(store, max_batch=32, max_wait_ms=1.0) as srv:
+                jobs = []
+                for q in queries:
+                    jobs.append(srv.cleanup(q))
+                    jobs.append(srv.topk(q, k=3))
+                    jobs.append(srv.topk(q, k=7))
+                    jobs.append(srv.similarities(q))
+                return await asyncio.gather(*jobs), srv.stats
+
+        results, stats = asyncio.run(main())
+        for i, q in enumerate(queries):
+            assert results[4 * i] == store.cleanup(q)
+            assert results[4 * i + 1] == store.topk(q, k=3)
+            assert results[4 * i + 2] == store.topk(q, k=7)
+            assert np.array_equal(results[4 * i + 3], store.similarities(q))
+        assert stats["waves"] >= 4  # one per (kind, k) group at least
+        store.memory.close()
+
+
+class TestCancellation:
+    def test_cancel_mid_wave_leaves_the_rest_of_the_wave_intact(self, rng):
+        """A request cancelled after its wave dispatched: the wave still
+        completes, every other request gets its exact answer, the
+        cancelled caller sees CancelledError, and the slots drain."""
+        store, vectors = _store(rng)
+        gated = _GatedStore(store)
+        queries = _noisy_queries(vectors, rng, num=3)
+        expected = [store.cleanup(q) for q in queries]
+
+        async def main():
+            async with StoreServer(gated, max_batch=3, max_wait_ms=50.0) as srv:
+                tasks = [asyncio.ensure_future(srv.cleanup(q)) for q in queries]
+                # size trigger fires at 3: wait for the wave to enter the
+                # kernel, then cancel the middle request mid-wave
+                while not gated.entered.is_set():
+                    await asyncio.sleep(0.001)
+                tasks[1].cancel()
+                gated.release.set()
+                results = await asyncio.gather(*tasks, return_exceptions=True)
+                assert srv.pending == 0  # cancelled slot was released too
+                return results, srv.stats
+
+        results, stats = asyncio.run(main())
+        assert results[0] == expected[0]
+        assert isinstance(results[1], asyncio.CancelledError)
+        assert results[2] == expected[2]
+        assert stats["cancelled"] == 1
+        assert stats["flushed_size"] == 1
+        store.memory.close()
+
+    def test_cancel_while_queued_frees_the_slot_before_the_flush(self, rng):
+        """A request cancelled before its deadline flush leaves the queue
+        immediately; the survivors flush by deadline and answer exactly."""
+        store, vectors = _store(rng)
+        queries = _noisy_queries(vectors, rng, num=3)
+        expected = [store.cleanup(q) for q in queries]
+
+        async def main():
+            async with StoreServer(store, max_batch=64, max_wait_ms=30.0) as srv:
+                tasks = [asyncio.ensure_future(srv.cleanup(q)) for q in queries]
+                await asyncio.sleep(0)  # let all three enqueue
+                assert srv.pending == 3
+                tasks[0].cancel()
+                await asyncio.sleep(0)  # cancellation lands before any flush
+                assert srv.pending == 2
+                results = await asyncio.gather(*tasks, return_exceptions=True)
+                return results, srv.stats
+
+        results, stats = asyncio.run(main())
+        assert isinstance(results[0], asyncio.CancelledError)
+        assert results[1:] == expected[1:]
+        assert stats["cancelled"] == 1
+        assert stats["flushed_deadline"] == 1
+        assert stats["batched_requests"] == 2  # the cancelled row never ran
+        store.memory.close()
+
+    def test_cancelling_every_queued_request_dissolves_the_group(self, rng):
+        store, vectors = _store(rng)
+
+        async def main():
+            async with StoreServer(store, max_batch=64, max_wait_ms=30.0) as srv:
+                task = asyncio.ensure_future(srv.cleanup(vectors[0]))
+                await asyncio.sleep(0)
+                task.cancel()
+                await asyncio.sleep(0)
+                assert srv.pending == 0
+                assert srv.stats["waves"] == 0  # nothing left to dispatch
+                # ...and the server still serves fresh requests afterwards
+                assert await srv.cleanup(vectors[1]) == store.cleanup(vectors[1])
+
+        asyncio.run(main())
+        store.memory.close()
+
+
+class TestBackpressure:
+    def test_wait_admission_bounds_the_queue_and_loses_nothing(self, rng):
+        """admission='wait': a burst far over max_pending completes in
+        full, bit-identically, with the high-water mark respecting the
+        bound."""
+        store, vectors = _store(rng)
+        queries = _noisy_queries(vectors, rng, num=64)
+        expected = [store.cleanup(q) for q in queries]
+
+        async def main():
+            async with StoreServer(store, max_batch=4, max_wait_ms=0.5,
+                                   max_pending=8) as srv:
+                results = await asyncio.gather(
+                    *[srv.cleanup(q) for q in queries])
+                return results, srv.stats
+
+        results, stats = asyncio.run(main())
+        assert results == expected
+        assert stats["queue_high_water"] <= 8
+        assert stats["rejected"] == 0
+        store.memory.close()
+
+    def test_reject_admission_raises_overloaded_and_recovers(self, rng):
+        """admission='reject': requests beyond max_pending fail fast with
+        ServerOverloaded while admitted ones still answer exactly."""
+        store, vectors = _store(rng)
+        gated = _GatedStore(store)
+        queries = _noisy_queries(vectors, rng, num=6)
+        expected = [store.cleanup(q) for q in queries]
+
+        async def main():
+            async with StoreServer(gated, max_batch=2, max_wait_ms=0.5,
+                                   max_pending=4, admission="reject") as srv:
+                tasks = [asyncio.ensure_future(srv.cleanup(q))
+                         for q in queries[:4]]
+                while not gated.entered.is_set():  # first wave is in flight
+                    await asyncio.sleep(0.001)
+                with pytest.raises(ServerOverloaded):
+                    await srv.cleanup(queries[4])
+                assert srv.stats["rejected"] == 1
+                gated.release.set()
+                admitted = await asyncio.gather(*tasks)
+                # capacity is back: the previously rejected query now fits
+                retried = await srv.cleanup(queries[4])
+                return admitted, retried
+
+        admitted, retried = asyncio.run(main())
+        assert admitted == expected[:4]
+        assert retried == expected[4]
+        store.memory.close()
+
+
+class TestShutdown:
+    def test_stop_drains_queued_and_inflight_requests(self, rng):
+        """Graceful shutdown: accepted requests all resolve (drain wave),
+        and requests after stop() raise ServerClosed."""
+        store, vectors = _store(rng)
+        gated = _GatedStore(store)
+        queries = _noisy_queries(vectors, rng, num=5)
+        expected = [store.cleanup(q) for q in queries]
+
+        async def main():
+            srv = await StoreServer(gated, max_batch=3, max_wait_ms=60.0).start()
+            tasks = [asyncio.ensure_future(srv.cleanup(q)) for q in queries]
+            while not gated.entered.is_set():  # wave of 3 dispatched, 2 queued
+                await asyncio.sleep(0.001)
+            stopper = asyncio.ensure_future(srv.stop())
+            await asyncio.sleep(0)  # stop() flushed the drain wave
+            gated.release.set()
+            results = await asyncio.gather(*tasks)
+            await stopper
+            assert srv.stats["flushed_drain"] == 1
+            with pytest.raises(ServerClosed):
+                await srv.cleanup(queries[0])
+            return results
+
+        assert asyncio.run(main()) == expected
+        store.memory.close()
+
+    def test_stop_fails_parked_admission_waiters(self, rng):
+        """A caller parked on admission when the server stops gets
+        ServerClosed — never a hang, never a silent drop."""
+        store, vectors = _store(rng)
+        gated = _GatedStore(store)
+
+        async def main():
+            async with StoreServer(gated, max_batch=1, max_wait_ms=0.0,
+                                   max_pending=1) as srv:
+                first = asyncio.ensure_future(srv.cleanup(vectors[0]))
+                while not gated.entered.is_set():
+                    await asyncio.sleep(0.001)
+                parked = asyncio.ensure_future(srv.cleanup(vectors[1]))
+                await asyncio.sleep(0)  # parked on the admission FIFO
+                stopper = asyncio.ensure_future(srv.stop())
+                gated.release.set()
+                results = await asyncio.gather(first, parked, stopper,
+                                               return_exceptions=True)
+                return results
+
+        first, parked, _ = asyncio.run(main())
+        assert first == store.cleanup(vectors[0])
+        assert isinstance(parked, ServerClosed)
+        store.memory.close()
+
+    def test_stop_is_idempotent_and_start_after_stop_refuses(self, rng):
+        store, _ = _store(rng, shards=1, items=4)
+
+        async def main():
+            srv = StoreServer(store)
+            await srv.start()
+            await srv.stop()
+            await srv.stop()  # idempotent
+            with pytest.raises(ServerClosed):
+                await srv.start()
+
+        asyncio.run(main())
+
+
+class TestValidationAndStats:
+    def test_constructor_validation(self, rng):
+        store, _ = _store(rng, shards=1, items=4)
+        with pytest.raises(ValueError, match="max_batch"):
+            StoreServer(store, max_batch=0)
+        with pytest.raises(ValueError, match="max_wait_ms"):
+            StoreServer(store, max_wait_ms=-1)
+        with pytest.raises(ValueError, match="max_pending"):
+            StoreServer(store, max_batch=8, max_pending=4)
+        with pytest.raises(ValueError, match="admission"):
+            StoreServer(store, admission="drop-newest")
+        with pytest.raises(ValueError, match="dispatch_workers"):
+            StoreServer(store, dispatch_workers=0)
+
+    def test_requests_validate_before_queueing(self, rng):
+        store, vectors = _store(rng, shards=1, items=4)
+
+        async def main():
+            async with StoreServer(store) as srv:
+                with pytest.raises(ValueError, match="query row"):
+                    await srv.cleanup(vectors[:2])  # a batch, not a row
+                with pytest.raises(ValueError, match="query row"):
+                    await srv.cleanup(vectors[0][:-1])  # wrong dim
+                with pytest.raises(ValueError, match="k"):
+                    await srv.topk(vectors[0], k=0)
+                assert srv.pending == 0  # nothing leaked into the queue
+                assert srv.stats["requests"] == 0
+
+        asyncio.run(main())
+
+    def test_unstarted_server_refuses_requests(self, rng):
+        store, vectors = _store(rng, shards=1, items=4)
+        srv = StoreServer(store)
+
+        async def main():
+            with pytest.raises(RuntimeError, match="not started"):
+                await srv.cleanup(vectors[0])
+
+        asyncio.run(main())
+
+    def test_reset_stats_scopes_a_workload(self, rng):
+        store, vectors = _store(rng, shards=1, items=8)
+
+        async def main():
+            async with StoreServer(store, max_batch=4, max_wait_ms=0.5) as srv:
+                await asyncio.gather(*[srv.cleanup(q) for q in vectors])
+                snapshot = srv.reset_stats()
+                assert snapshot["requests"] == len(vectors)
+                assert srv.stats["requests"] == 0
+                await srv.cleanup(vectors[0])
+                assert srv.stats["requests"] == 1
+
+        asyncio.run(main())
+
+    def test_dispatch_workers_overlap_waves_and_stay_exact(self, rng):
+        """dispatch_workers=2: concurrent waves through one store — the
+        lock-guarded pruning counters and the agreement contract hold."""
+        store, vectors = _store(rng, backend="packed", shards=4)
+        queries = _noisy_queries(vectors, rng, num=32)
+        expected = [store.cleanup(q) for q in queries]
+        store.reset_pruning_stats()
+
+        async def main():
+            async with StoreServer(store, max_batch=4, max_wait_ms=0.5,
+                                   dispatch_workers=2) as srv:
+                return await asyncio.gather(*[srv.cleanup(q) for q in queries])
+
+        assert asyncio.run(main()) == expected
+        stats = store.pruning_stats
+        assert stats["batches"] > 0
+        assert stats["tasks"] == stats["batches"] * 4  # no lost increments
+        store.memory.close()
