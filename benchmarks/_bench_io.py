@@ -1,0 +1,31 @@
+"""Shared read-modify-write for the recorded benchmark JSON files.
+
+Several harnesses record surfaces into the same ``BENCH_store.json`` —
+the scaling curve from ``bench_store.py``, the ``serving`` surface from
+``bench_serving.py``, the ``append`` surface from ``bench_append.py``.
+Each must merge its own keys and leave every other harness's record
+intact, so the merge lives here instead of being re-implemented (and
+eventually diverging) in each file.
+"""
+
+import json
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).parent
+
+
+def merge_bench_record(filename, updates):
+    """Merge ``updates`` into ``benchmarks/<filename>`` and rewrite it.
+
+    Read-modify-write: the existing record is loaded (empty when the
+    file does not exist yet), the top-level keys in ``updates`` replace
+    their counterparts, everything else survives. Returns the merged
+    record.
+    """
+    out_path = BENCH_DIR / filename
+    record = {}
+    if out_path.exists():
+        record = json.loads(out_path.read_text())
+    record.update(updates)
+    out_path.write_text(json.dumps(record, indent=2) + "\n")
+    return record

@@ -29,13 +29,12 @@ Run: ``PYTHONPATH=src python -m pytest benchmarks/bench_serving.py -q``
 """
 
 import asyncio
-import json
 import os
 import time
-from pathlib import Path
 
 import numpy as np
 
+from _bench_io import merge_bench_record
 from repro.hdc import random_bipolar
 from repro.hdc.store import AssociativeStore, StoreServer
 
@@ -209,9 +208,4 @@ def test_serving_surface_json():
             f"(naive {naive_by_size[100_000]:.0f} q/s, best batched "
             f"{best_by_size[100_000]:.0f} q/s); ISSUE 6 requires >= 3x"
         )
-        out_path = Path(__file__).parent / "BENCH_store.json"
-        record = {}
-        if out_path.exists():
-            record = json.loads(out_path.read_text())
-        record["serving"] = surface
-        out_path.write_text(json.dumps(record, indent=2) + "\n")
+        merge_bench_record("BENCH_store.json", {"serving": surface})

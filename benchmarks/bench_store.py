@@ -30,13 +30,13 @@ its per-layer hit rates and speedup-vs-prune-off are recorded, and the
 case asserts the ≥1.2x the ladder promises on data nobody banded).
 """
 
-import json
 import os
 import time
 from pathlib import Path
 
 import numpy as np
 
+from _bench_io import merge_bench_record
 from repro.hdc import random_bipolar
 from repro.hdc.store import AssociativeStore, ShardedItemMemory
 
@@ -147,14 +147,7 @@ def test_store_scaling_json():
     for point in curve:
         assert point["bytes_per_item"] == D // 8
     if sizes[-1] == SIZES[-1]:  # only a full sweep may update the record
-        out_path = Path(__file__).parent / "BENCH_store.json"
-        # Read-modify-write: surfaces recorded by other harnesses (e.g.
-        # "serving" from bench_serving.py) must survive a scaling re-run.
-        record = {}
-        if out_path.exists():
-            record = json.loads(out_path.read_text())
-        record.update(result)
-        out_path.write_text(json.dumps(record, indent=2) + "\n")
+        merge_bench_record("BENCH_store.json", result)
 
 
 def _worker_sweep(store, queries, num_items, repeats):

@@ -140,6 +140,14 @@ class ShardExecutor:
         self._lock = threading.Lock()  # pool creation vs close, any thread
         self.kind = resolve_executor(kind)
         self.workers = resolve_workers(workers)
+        #: cores this process may run on, probed once per executor — the
+        #: store layer caps its fan-out wave width at this, and a
+        #: per-query ``sched_getaffinity`` syscall would be pure
+        #: overhead on the hot path
+        if hasattr(os, "sched_getaffinity"):
+            self.cores = len(os.sched_getaffinity(0))
+        else:  # pragma: no cover - non-Linux fallback
+            self.cores = os.cpu_count() or 1
 
     def _make_pool(self):
         if self.kind == "process":

@@ -4,10 +4,16 @@ On-disk layout (one directory per store)::
 
     <path>/
       manifest.json            format version, dim, backend, routing,
-                               generation, labels, and the shard map
-      shard_00000.npy          shard 0's contiguous backend-native matrix
+                               generation, and the shard map (no label
+                               lists — those live in the sidecars below)
+      labels.g00000.json       global insertion-order label list, written
+                               at save/compact only
+      delta.g00002.json        one append commit's labels + global orders
+                               + per-segment bounds (the journal chain)
+      shard_00000.g00000.npy   shard 0's contiguous backend-native matrix
       shard_00000.seg00002.npy shard 0's first appended segment (journal)
-      shard_00001.npy          ...
+      orders_00000.g00000.npy  shard 0's base rows' global orders
+      shard_00001.g00000.npy   ...
 
 Each shard's base file is a plain ``.npy`` of the shard's native store
 (dense: ``(n, dim)`` int8; packed: ``(n, ⌈dim/64⌉)`` uint64) written
@@ -18,41 +24,56 @@ the vector data stays on disk until a query touches it — and queries
 against the memmap are bit-identical to the in-memory store (same
 kernels over the same words/bytes).
 
-**Append/compact lifecycle** (format version 2): :func:`append_rows`
-journals rows added to a reopened store as per-shard *segment* files —
-the base matrices are never rewritten, one segment per touched shard per
-append, committed by a manifest rewrite (the manifest is the commit
-point; an orphaned segment from an interrupted append is simply never
-read). A reopened store folds each shard's segments in behind its base
-matrix in insertion order. Compaction (:func:`save_store` on the same
-path, via ``AssociativeStore.compact()``) rewrites contiguous shard
-files under a bumped ``generation``, deletes the journal, and restores
-the one-lazy-file-per-shard property. All file writes go through a
+**Append/compact lifecycle** (format version 2, made O(batch) by
+version 4): :func:`append_rows` journals rows added to a reopened store
+as per-shard *segment* files — the base matrices are never rewritten,
+one segment per touched shard per append, committed by a manifest
+rewrite (the manifest is the commit point; an orphaned segment or delta
+sidecar from an interrupted append is simply never read). A reopened
+store folds each shard's segments in behind its base matrix in
+insertion order. Compaction (:func:`save_store` on the same path, via
+``AssociativeStore.compact()``) rewrites contiguous shard files under a
+bumped ``generation``, deletes the journal, and restores the
+one-lazy-file-per-shard property. All file writes go through a
 temp-file + ``os.replace`` swap, so live memmaps of the previous
 generation stay valid and a crash never leaves a half-written file
 behind.
 
 Labels must be JSON-serializable scalars (``str`` / ``int`` / ``float`` /
-``bool``) and round-trip exactly; the manifest records them per shard,
-per segment, *and* in global insertion order, which is what preserves
-the documented tie-breaking across save/open/append cycles.
+``bool``) and round-trip exactly. Since format version 4 the manifest
+no longer inlines them: the global insertion-order list lives in a
+``labels.g<gen>.json`` sidecar rewritten only at save/compact, each
+shard's base labels are recovered through its normative
+``orders_*.npy`` sidecar (``shard labels = global[orders]``), and each
+append commit writes one ``delta.g<gen>.json`` sidecar carrying *only
+the batch's* labels + global orders. An append therefore writes
+O(batch) bytes — the segment files, one delta, and a small constant-size
+manifest — instead of rewriting full label maps; :func:`open_store`
+replays the delta chain (validating truncation, label collisions, and
+row-count drift — a corrupted chain raises, never mis-answers) and the
+documented tie-breaking is preserved across save/open/append cycles.
 
-**Pruning bounds** (format version 3): every shard entry carries a
-``bounds`` block — the exact per-shard minus-count interval
-(``minus_min``/``minus_max``) plus the geometric ball: a bit-packed
-majority ``centroid`` (hex-encoded little-endian uint64 words) and the
-exact max Hamming ``radius`` of the shard's rows around it. Save and
-compact recompute both layers exactly from the full matrices; appends
-fold new rows in exactly *with respect to the persisted centroid*
-(folding keeps the bound strict — only compaction re-tightens the
-centroid itself). Version-1/2 manifests predate the block and migrate
-with unknown (never-skipping) geometric bounds, which they gain on
-their first compact. The normative field-by-field spec lives in
-``docs/STORE_FORMAT.md``.
+**Pruning bounds** (format version 3, made per-segment by version 4):
+every shard entry carries a ``bounds`` block — the exact per-shard
+minus-count interval (``minus_min``/``minus_max``) plus the geometric
+ball: a bit-packed majority ``centroid`` (hex-encoded little-endian
+uint64 words) and the exact max Hamming ``radius`` of the shard's rows
+around it. Save and compact recompute both layers exactly from the full
+matrices; since version 4 the shard entry's block covers the *base*
+rows only and every journaled segment carries its own exact block in
+its delta sidecar (computed from just the batch), so appends tighten
+pruning — the planner lower-bounds a shard by the min over its base +
+segment balls — instead of only widening a single shard ball.
+Version-1/2 manifests predate the block and migrate with unknown
+(never-skipping) geometric bounds. The first append to a v1–v3 store
+performs one implicit compact to migrate it (O(store), once); after
+that every commit is O(batch). The normative field-by-field spec lives
+in ``docs/STORE_FORMAT.md``.
 
 ``format_version`` is bumped on any incompatible layout change; version
-1 (the pre-append format, no ``segments``/``generation``) and version 2
-(no ``bounds`` block) are still read and migrated on open.
+1 (the pre-append format, no ``segments``/``generation``), version 2
+(no ``bounds`` block), and version 3 (inline label maps, single
+base+segments ball per shard) are still read and migrated on open.
 :func:`open_store` refuses versions it does not understand, and a CI
 smoke step (``python -m repro.hdc.store.smoke``) re-opens — and appends
 to, and compacts — a freshly saved store in new processes so format
@@ -88,10 +109,11 @@ __all__ = [
 ]
 
 FORMAT_NAME = "repro.hdc.store"
-FORMAT_VERSION = 3
+FORMAT_VERSION = 4
 #: versions :func:`open_store` reads (1 = PR 2 layout, 2 = pre-geometric
-#: bounds; both migrated on open)
-SUPPORTED_VERSIONS = (1, 2, 3)
+#: bounds, 3 = inline label maps + single base+segments ball per shard;
+#: all migrated on open)
+SUPPORTED_VERSIONS = (1, 2, 3, 4)
 MANIFEST_NAME = "manifest.json"
 #: label-free twin of the manifest for O(1) process-worker attach
 WORKER_INDEX_NAME = "worker_index.json"
@@ -114,6 +136,17 @@ def _segment_filename(index, generation):
 def _orders_filename(index, generation):
     # Deliberately NOT matching the "shard_*.npy" cleanup glob.
     return f"orders_{index:05d}.g{generation:05d}.npy"
+
+
+def _labels_filename(generation):
+    # The global insertion-order label list, rewritten at save/compact
+    # only — appends never touch it (that is what makes them O(batch)).
+    return f"labels.g{generation:05d}.json"
+
+
+def _delta_filename(generation):
+    # One append commit's label/order/bounds sidecar.
+    return f"delta.g{generation:05d}.json"
 
 
 def _check_labels(labels):
@@ -154,12 +187,47 @@ def _save_array(path, array):
     _replace_with(path, writer)
 
 
+def _write_json(path, payload):
+    _replace_with(path, lambda tmp: tmp.write_text(json.dumps(payload) + "\n"))
+
+
 def _write_manifest(path, manifest):
     _replace_with(
         Path(path) / MANIFEST_NAME,
         lambda tmp: tmp.write_text(json.dumps(manifest) + "\n"),
     )
     return Path(path) / MANIFEST_NAME
+
+
+#: segment fields that persist in the manifest itself — labels, orders,
+#: and bounds are *materialized* onto segments by :func:`_read_manifest`
+#: (from the delta sidecars) and must never be inlined back
+_SEGMENT_DISK_KEYS = ("file", "rows", "delta_file")
+
+
+def _manifest_to_disk(manifest):
+    """The serializable v4 manifest: strip every materialized field.
+
+    :func:`_read_manifest` materializes the global ``labels`` list, each
+    shard entry's ``labels``, and each segment's ``labels`` / ``orders``
+    / ``bounds`` into the returned dict so in-process callers see one
+    uniform shape. On disk those belong to the label/orders/delta
+    sidecars — inlining them back would make every commit O(store)
+    again, which is exactly what v4 exists to avoid.
+    """
+    out = {key: value for key, value in manifest.items() if key != "labels"}
+    out["shards"] = [
+        {
+            **{key: value for key, value in entry.items() if key != "labels"},
+            "segments": [
+                {key: segment[key] for key in _SEGMENT_DISK_KEYS
+                 if key in segment}
+                for segment in entry["segments"]
+            ],
+        }
+        for entry in manifest["shards"]
+    ]
+    return out
 
 
 def _write_worker_index(path, manifest):
@@ -183,7 +251,8 @@ def _write_worker_index(path, manifest):
                 "rows": entry["rows"],
                 "orders_file": entry.get("orders_file"),
                 "segments": [
-                    {"file": segment["file"], "rows": segment["rows"]}
+                    {"file": segment["file"], "rows": segment["rows"],
+                     "delta_file": segment.get("delta_file")}
                     for segment in entry["segments"]
                 ],
             }
@@ -196,15 +265,30 @@ def _write_worker_index(path, manifest):
     )
 
 
-def _collect_stale_orders(path, manifest):
-    """Delete orders sidecars no committed shard entry references."""
-    current = {
+def _collect_stale_sidecars(path, manifest):
+    """Delete label/orders/delta sidecars the committed manifest no
+    longer references (previous generations, folded journal chains)."""
+    path = Path(path)
+    orders = {
         entry.get("orders_file")
         for entry in manifest["shards"]
         if entry.get("orders_file")
     }
-    for stale in Path(path).glob("orders_*.npy"):
-        if stale.name not in current:
+    for stale in path.glob("orders_*.npy"):
+        if stale.name not in orders:
+            stale.unlink()
+    labels = {manifest.get("labels_file")}
+    for stale in path.glob("labels.g*.json"):
+        if stale.name not in labels:
+            stale.unlink()
+    deltas = {
+        segment.get("delta_file")
+        for entry in manifest["shards"]
+        for segment in entry["segments"]
+        if segment.get("delta_file")
+    }
+    for stale in path.glob("delta.g*.json"):
+        if stale.name not in deltas:
             stale.unlink()
 
 
@@ -258,10 +342,16 @@ _EMPTY_BOUNDS = {"minus_min": None, "minus_max": None,
 
 
 def _next_generation(path):
-    """Generation for the next manifest written at ``path`` (0 if fresh)."""
+    """Generation for the next manifest written at ``path`` (0 if fresh).
+
+    Reads the raw manifest JSON only — no sidecar materialization — so
+    saving over a large (or partially corrupted) store never pays, or
+    trips over, a delta-chain replay just to bump a counter.
+    """
     try:
-        return int(_read_manifest(path).get("generation", 0)) + 1
-    except (FileNotFoundError, ValueError, TypeError, KeyError):
+        raw = json.loads((Path(path) / MANIFEST_NAME).read_text())
+        return int(raw.get("generation", 0)) + 1
+    except (OSError, ValueError, TypeError, KeyError, AttributeError):
         return 0
 
 
@@ -305,8 +395,10 @@ def save_store(memory, path):
         entry = {"file": filename, "rows": len(shard), "labels": list(shard.labels),
                  "segments": []}
         if kind == "sharded":
-            # Per-shard global insertion orders as a sidecar .npy: process
-            # workers attach in O(1) — no manifest label parse per worker.
+            # Per-shard global insertion orders as a sidecar .npy —
+            # normative since v4 (shard labels = global labels[orders]);
+            # process workers also attach through it in O(1), no
+            # manifest label parse per worker.
             orders = np.fromiter((order_of[label] for label in shard.labels),
                                  dtype=np.int64, count=len(shard))
             entry["orders_file"] = _orders_filename(index, generation)
@@ -323,6 +415,10 @@ def save_store(memory, path):
             entry["bounds"] = dict(_EMPTY_BOUNDS)
             fresh_geo.append(None)
         shard_entries.append(entry)
+    # The global label list is a sidecar since v4: save/compact is the
+    # only point that rewrites it, so appends stay O(batch).
+    labels_name = _labels_filename(generation)
+    _write_json(path / labels_name, labels)
     manifest = {
         "format": FORMAT_NAME,
         "format_version": FORMAT_VERSION,
@@ -332,23 +428,27 @@ def save_store(memory, path):
         "routing": routing,
         "num_shards": len(shards),
         "generation": generation,
+        "rows": len(labels),
+        "labels_file": labels_name,
         "labels": labels,
         "shards": shard_entries,
     }
-    manifest_path = _write_manifest(path, manifest)
+    manifest_path = _write_manifest(path, _manifest_to_disk(manifest))
     _write_worker_index(path, manifest)
     current = {entry["file"] for entry in shard_entries}
     for stale in path.glob("shard_*.npy"):
         if stale.name not in current:
             stale.unlink()
-    _collect_stale_orders(path, manifest)
+    _collect_stale_sidecars(path, manifest)
     if isinstance(memory, ShardedItemMemory):
         # The saved directory is now a faithful copy of this memory:
         # process-executor workers may re-open it instead of spilling.
         # Adopt the freshly recomputed bounds in memory too, so the open
         # handle prunes with the same (possibly tighter) bounds a fresh
         # reopen would see — compact() is how a pre-bounds store starts
-        # skipping without a round trip through open().
+        # skipping without a round trip through open(). The journaled
+        # segment groups folded into the fresh base bounds, so they
+        # reset alongside.
         memory._attach(path, generation)
         memory._pop_bounds = [_entry_pop_bounds(entry) for entry in shard_entries]
         memory._geo_centroid = [
@@ -357,6 +457,8 @@ def save_store(memory, path):
         memory._geo_radius = [
             None if geo is None else int(geo[1]) for geo in fresh_geo
         ]
+        memory._segment_groups = [[] for _ in shard_entries]
+        memory._invalidate_bound_state()
     return manifest_path
 
 
@@ -405,7 +507,213 @@ def _read_manifest(path):
             entry["bounds"] = bounds
         for key in _EMPTY_BOUNDS:
             bounds.setdefault(key, None)
+    if version >= 4:
+        _materialize_v4(Path(path), manifest)
     return manifest
+
+
+def _cached_manifest(memory, path):
+    """The handle's materialized manifest from its last commit at ``path``,
+    reusable iff the directory's generation still matches.
+
+    Materializing a v4 manifest is O(store) — the label sidecar parse
+    plus the orders/delta replay — and a handle doing high-rate appends
+    would otherwise pay it once per commit. Each successful append
+    therefore leaves its materialized manifest dict (bit-identical to
+    what a fresh :func:`_read_manifest` would produce) on the handle;
+    the next commit reuses it after one cheap raw read confirms the
+    on-disk ``generation`` is unchanged. Any foreign commit — another
+    handle's append, a compact, a directory swap — bumps the generation
+    and misses the cache, and the out-of-sync labels check in
+    :func:`append_rows` still runs against the cached copy, so a
+    diverged handle is refused exactly as before.
+    """
+    cached = getattr(memory, "_manifest_cache", None)
+    if cached is None or cached[0] != path:
+        return None
+    manifest = cached[1]
+    try:
+        raw = json.loads((Path(path) / MANIFEST_NAME).read_text())
+        current = (raw.get("generation"), raw.get("format_version"))
+    except (OSError, ValueError, AttributeError):
+        return None
+    if current != (manifest["generation"], FORMAT_VERSION):
+        return None
+    return manifest
+
+
+def _bounds_block(raw):
+    """Normalize a serialized bounds block; missing layers stay unknown."""
+    bounds = dict(raw) if isinstance(raw, dict) else {}
+    for key in _EMPTY_BOUNDS:
+        bounds.setdefault(key, None)
+    return bounds
+
+
+def _materialize_v4(path, manifest):
+    """Rebuild the in-memory label/orders/bounds view of a v4 manifest.
+
+    Loads the global label sidecar, recovers each shard's base labels
+    through its normative orders sidecar, then replays the append delta
+    chain in generation order. Every structural inconsistency —
+    truncated or missing sidecars, orders that do not partition the base
+    rows, a delta that chains from the wrong row count, insertion orders
+    that are not the contiguous next block, a journaled segment without
+    its delta record — raises: a corrupted store must fail to open, not
+    mis-answer. The materialized fields (``manifest["labels"]``, entry
+    ``labels``, segment ``labels``/``orders``/``bounds``) exist only in
+    the returned dict; :func:`_manifest_to_disk` strips them on write.
+    """
+    labels_name = manifest.get("labels_file")
+    if not isinstance(labels_name, str):
+        raise ValueError("v4 manifest does not name a labels_file")
+    labels_path = path / labels_name
+    if not labels_path.is_file():
+        raise FileNotFoundError(f"missing labels file {labels_path}")
+    try:
+        labels = json.loads(labels_path.read_text())
+    except ValueError as exc:
+        raise ValueError(f"corrupted labels file {labels_path}: {exc}") from exc
+    if not isinstance(labels, list):
+        raise ValueError(f"labels file {labels_path} does not hold a JSON list")
+    base_rows = sum(int(entry["rows"]) for entry in manifest["shards"])
+    if len(labels) != base_rows:
+        raise ValueError(
+            f"labels file {labels_path} holds {len(labels)} labels but the "
+            f"manifest's shard entries record {base_rows} base rows"
+        )
+    if manifest["kind"] == "single":
+        manifest["shards"][0]["labels"] = list(labels)
+    else:
+        assigned = np.zeros(len(labels), dtype=bool)
+        for index, entry in enumerate(manifest["shards"]):
+            orders = _load_base_orders(path, index, entry, len(labels))
+            if orders.size:
+                if bool(assigned[orders].any()):
+                    raise ValueError(
+                        f"orders sidecars assign a global row to shard {index} "
+                        f"and to an earlier shard"
+                    )
+                assigned[orders] = True
+            entry["labels"] = [labels[order] for order in orders]
+        if not bool(assigned.all()):
+            raise ValueError(
+                "orders sidecars do not cover every row of the labels file"
+            )
+    _replay_deltas(path, manifest, labels)
+    manifest["labels"] = labels
+    total = manifest.get("rows")
+    if total is not None and int(total) != len(labels):
+        raise ValueError(
+            f"manifest records {total} rows but its label sidecars and delta "
+            f"chain reconstruct {len(labels)} (row-count drift)"
+        )
+
+
+def _load_base_orders(path, index, entry, num_labels):
+    """One shard entry's validated base global-orders array (v4)."""
+    orders_name = entry.get("orders_file")
+    if not isinstance(orders_name, str):
+        raise ValueError(f"v4 shard entry {index} does not name an orders_file")
+    orders_path = path / orders_name
+    if not orders_path.is_file():
+        raise FileNotFoundError(f"missing orders file {orders_path}")
+    try:
+        orders = np.asarray(np.load(orders_path), dtype=np.int64)
+    except (ValueError, EOFError, OSError) as exc:
+        raise ValueError(f"corrupted orders file {orders_path}: {exc}") from exc
+    if orders.ndim != 1 or orders.shape[0] != int(entry["rows"]):
+        raise ValueError(
+            f"{orders_path} holds {orders.shape} orders but the manifest "
+            f"records {entry['rows']} base rows for shard {index}"
+        )
+    if orders.size and (int(orders.min()) < 0 or int(orders.max()) >= num_labels):
+        raise ValueError(
+            f"{orders_path} references global rows outside the "
+            f"{num_labels}-row labels file"
+        )
+    return orders
+
+
+def _replay_deltas(path, manifest, labels):
+    """Replay the append delta chain, extending ``labels`` in place.
+
+    Deltas are replayed in generation order (their zero-padded file
+    names sort chronologically). Each delta must chain from exactly the
+    row count the prior state reconstructs, cover exactly the journaled
+    segments that reference it, and assign the contiguous next block of
+    global insertion orders; each covered segment gains its materialized
+    ``labels``, ``orders``, and per-segment ``bounds``.
+    """
+    by_delta = {}
+    for index, entry in enumerate(manifest["shards"]):
+        for segment in entry["segments"]:
+            name = segment.get("delta_file")
+            if not isinstance(name, str):
+                raise ValueError(
+                    f"journaled segment {segment.get('file')!r} names no "
+                    f"delta sidecar"
+                )
+            by_delta.setdefault(name, {})[(index, segment["file"])] = segment
+    for name in sorted(by_delta):
+        delta_path = path / name
+        if not delta_path.is_file():
+            raise FileNotFoundError(f"missing delta sidecar {delta_path}")
+        try:
+            delta = json.loads(delta_path.read_text())
+        except ValueError as exc:
+            raise ValueError(
+                f"corrupted delta sidecar {delta_path}: {exc}"
+            ) from exc
+        if not isinstance(delta, dict) or delta.get("format") != FORMAT_NAME:
+            raise ValueError(f"{delta_path} is not a {FORMAT_NAME} delta sidecar")
+        if int(delta.get("base_rows", -1)) != len(labels):
+            raise ValueError(
+                f"{delta_path} chains from {delta.get('base_rows')} rows but "
+                f"{len(labels)} rows precede it (row-count drift)"
+            )
+        pending = dict(by_delta[name])
+        batch = {}
+        for part in delta.get("entries", ()):
+            key = (int(part["shard"]), part["file"])
+            segment = pending.pop(key, None)
+            if segment is None:
+                raise ValueError(
+                    f"{delta_path} records segment {part['file']!r} of shard "
+                    f"{part['shard']} that the manifest does not journal"
+                )
+            part_labels, part_orders = part.get("labels"), part.get("orders")
+            if not isinstance(part_labels, list) \
+                    or not isinstance(part_orders, list) \
+                    or len(part_labels) != len(part_orders) \
+                    or len(part_labels) != int(segment["rows"]):
+                raise ValueError(
+                    f"{delta_path} labels/orders for segment {part['file']!r} "
+                    f"do not match its {segment['rows']} manifest rows"
+                )
+            for label, order in zip(part_labels, part_orders):
+                order = int(order)
+                if order in batch:
+                    raise ValueError(
+                        f"{delta_path} assigns global insertion order {order} "
+                        f"twice"
+                    )
+                batch[order] = label
+            segment["labels"] = list(part_labels)
+            segment["orders"] = [int(order) for order in part_orders]
+            segment["bounds"] = _bounds_block(part.get("bounds"))
+        if pending:
+            missing = ", ".join(
+                f"{file!r} (shard {shard})" for shard, file in sorted(pending)
+            )
+            raise ValueError(f"{delta_path} does not cover segment(s) {missing}")
+        expected = range(len(labels), len(labels) + len(batch))
+        if sorted(batch) != list(expected):
+            raise ValueError(
+                f"{delta_path} insertion orders are not the contiguous block "
+                f"[{expected.start}, {expected.stop}) (row-count drift)"
+            )
+        labels.extend(batch[order] for order in expected)
 
 
 def _load_matrix(path, entry, what, mmap):
@@ -462,6 +770,10 @@ def open_store(path, mmap=True):
             _entry_geo_bounds(entry, shards[0].backend)
             for entry in manifest["shards"]
         ],
+        segment_bounds=[
+            _entry_segment_bounds(entry, shards[0].backend)
+            for entry in manifest["shards"]
+        ],
     )
     memory._attach(path, manifest["generation"])
     return memory
@@ -490,15 +802,44 @@ def _entry_geo_bounds(entry, backend):
 
     ``None`` means unknown (a v1/v2 manifest, or an empty shard — whose
     centroid establishes from its first ingested batch); the planner
-    never skips such a shard on the geometric layer. The persisted
-    radius always covers base *and* journaled segment rows, because
-    :func:`append_rows` folds every segment in at commit time.
+    never skips such a shard on the geometric layer. In a v4 manifest
+    the entry's ball covers the *base* rows only (each journaled segment
+    carries its own ball in its delta sidecar); in v1–v3 manifests it
+    covers base and segments jointly, because the legacy
+    :func:`append_rows` folded every segment in at commit time.
     """
     bounds = entry["bounds"]
     if _entry_total_rows(entry) == 0 or bounds.get("centroid") is None \
             or bounds.get("radius") is None:
         return None
     return _centroid_from_hex(backend, bounds["centroid"]), int(bounds["radius"])
+
+
+def _entry_segment_bounds(entry, backend):
+    """Per-segment bound groups of one shard entry: ``(rows, pop, geo)``.
+
+    One tuple per journaled segment that carries a materialized (v4)
+    ``bounds`` block — ``pop`` is the minus-count interval or ``None``,
+    ``geo`` the ``(native centroid, radius)`` ball or ``None``. A v1–v3
+    journal returns no groups: its shard-level bounds already cover base
+    *and* segments, so the planner treats every row as base there.
+    """
+    groups = []
+    for segment in entry["segments"]:
+        bounds = segment.get("bounds")
+        if bounds is None:
+            continue  # legacy journal: folded into the shard-level ball
+        pop = None
+        if bounds.get("minus_min") is not None \
+                and bounds.get("minus_max") is not None:
+            pop = (int(bounds["minus_min"]), int(bounds["minus_max"]))
+        geo = None
+        if bounds.get("centroid") is not None \
+                and bounds.get("radius") is not None:
+            geo = (_centroid_from_hex(backend, bounds["centroid"]),
+                   int(bounds["radius"]))
+        groups.append((int(segment["rows"]), pop, geo))
+    return groups
 
 
 def _load_shard_entry(path, entry, manifest, mmap):
@@ -547,13 +888,38 @@ def load_worker_shard(path, shard_index, generation, mmap=True):
         shard = ItemMemory.from_native(
             index["dim"], range(rows), matrix, backend=index["backend"]
         )
+        # v4 journals: the base orders sidecar covers base rows only and
+        # each segment's global orders ride its (O(batch)-sized) delta
+        # sidecar — concatenating them is O(appended rows), never
+        # O(store). Legacy (v3) indexes carry no delta_file: there the
+        # orders sidecar already covers base + segments, so nothing is
+        # appended and the final length check still validates.
+        extra, deltas = [], {}
         for segment in entry["segments"]:
             segment_matrix = np.load(path / segment["file"], mmap_mode=mode)
             shard.extend_native(
                 range(rows, rows + int(segment["rows"])), segment_matrix
             )
             rows += int(segment["rows"])
-    except (OSError, ValueError, EOFError, KeyError):
+            delta_name = segment.get("delta_file")
+            if not delta_name:
+                continue
+            delta = deltas.get(delta_name)
+            if delta is None:
+                delta = json.loads((path / delta_name).read_text())
+                deltas[delta_name] = delta
+            part = next(
+                (part for part in delta.get("entries", ())
+                 if int(part["shard"]) == shard_index
+                 and part["file"] == segment["file"]),
+                None,
+            )
+            if part is None:
+                return None
+            extra.append(np.asarray(part["orders"], dtype=np.int64))
+        if extra:
+            orders = np.concatenate([orders] + extra)
+    except (OSError, ValueError, EOFError, KeyError, TypeError):
         return None  # torn/stale sidecars: use the validating manifest path
     if orders.ndim != 1 or orders.shape[0] != len(shard):
         return None
@@ -586,18 +952,25 @@ def append_rows(memory, path, labels, vectors, chunk_size=DEFAULT_CHUNK_SIZE):
     up front (labels, alignment, duplicates, shape, bipolarity — a
     rejected batch touches neither RAM nor disk), new rows route exactly
     as the in-memory ingest routes them, land in ``memory``, and are
-    then journaled as one native-layout segment file per touched shard,
-    committed by a single manifest rewrite under a bumped
-    ``generation``. Returns the manifest path.
+    then journaled as one native-layout segment file per touched shard
+    plus one ``delta.g<gen>.json`` sidecar (the batch's labels, global
+    insertion orders, and exact per-segment bounds), committed by a
+    small constant-size manifest rewrite under a bumped ``generation``.
+    Returns the manifest path.
 
-    Cost note: the manifest commit rewrites the full label maps, so one
-    append call is O(batch + total labels) — batch your appends; a loop
-    of single-row ``add`` calls on a large persisted store pays the
-    full-manifest rewrite (and one segment file per touched shard) per
-    row. O(batch) manifest deltas are a ROADMAP rung.
+    Cost note: one append commit writes O(batch) bytes — the segment
+    files, the delta sidecar, and a manifest whose size is independent
+    of the store (label maps live in sidecars since format v4). The
+    first append to a legacy (v1–v3) store performs one implicit
+    compact to migrate it — O(store), once — after which every commit
+    is O(batch). Batching appends still amortizes the per-commit file
+    count (one segment per touched shard per call).
     """
     path = Path(path)
-    manifest = _read_manifest(path)
+    manifest = _cached_manifest(memory, path)
+    trusted = manifest is not None
+    if not trusted:
+        manifest = _read_manifest(path)
     sharded = isinstance(memory, ShardedItemMemory)
     kind = "sharded" if sharded else "single"
     if manifest["kind"] != kind:
@@ -610,13 +983,34 @@ def append_rows(memory, path, labels, vectors, chunk_size=DEFAULT_CHUNK_SIZE):
             f"not match the manifest (dim={manifest['dim']}, "
             f"backend={manifest['backend']!r})"
         )
-    if list(manifest["labels"]) != list(memory.labels):
+    # Out-of-sync guard. On a cache hit this handle's own last commit
+    # left manifest["labels"] equal to memory.labels, and labels are
+    # append-only, so equal *lengths* prove equality in O(1) — keeping
+    # the steady-state commit O(batch). A cold manifest gets the full
+    # element-wise comparison.
+    synced = (
+        len(manifest["labels"]) == len(memory)
+        if trusted
+        else list(manifest["labels"]) == list(memory.labels)
+    )
+    if not synced:
         raise ValueError(
             "on-disk manifest is out of sync with the open store; "
             "re-open or compact() before appending"
         )
     labels = list(labels)
     _check_labels(labels)  # journalable before anything commits
+
+    if int(manifest["format_version"]) != FORMAT_VERSION:
+        # Legacy (v1–v3) layouts inline full label maps in the manifest
+        # and fold appends into a single shard-level ball; delta
+        # sidecars cannot reference rows those manifests own. One
+        # implicit compact migrates the store to v4 — O(store), once —
+        # and every subsequent commit is O(batch). memory == disk was
+        # just validated, so the compact is a faithful rewrite.
+        save_store(memory, path)
+        manifest = _read_manifest(path)
+
     base = len(memory)
 
     # Validate the *whole* batch up front — labels (alignment,
@@ -643,68 +1037,68 @@ def append_rows(memory, path, labels, vectors, chunk_size=DEFAULT_CHUNK_SIZE):
             index = route_label(label, base + offset, memory.num_shards,
                                 memory.routing)
             groups.setdefault(index, []).append(offset)
-        memory.add_many(labels, vectors, chunk_size=chunk_size)
+        # Journaled rows get their own exact per-segment bound groups
+        # below instead of folding into the shard-level base bounds —
+        # that is what lets appends *tighten* pruning.
+        memory._suspend_bound_folds = True
+        try:
+            memory.add_many(labels, vectors, chunk_size=chunk_size)
+        finally:
+            memory._suspend_bound_folds = False
     else:
         groups = {0: list(range(len(labels)))}
         memory.add_many(labels, vectors)
 
     generation = int(manifest["generation"]) + 1
+    delta_name = _delta_filename(generation)
+    delta_entries = []
     for index in sorted(groups):
         offsets = groups[index]
         segment_labels = [labels[o] for o in offsets]
         native = memory.backend.from_bipolar(np.asarray(vectors[offsets]))
         filename = _segment_filename(index, generation)
         _save_array(path / filename, native)
-        entry = manifest["shards"][index]
-        had_rows = entry["rows"] + sum(s["rows"] for s in entry["segments"])
-        entry["segments"].append(
-            {"file": filename, "rows": len(offsets), "labels": segment_labels}
-        )
+        # Exact bounds of just this batch: the segment's own minus-count
+        # interval and centroid + radius ball, recorded in the delta
+        # sidecar (the shard entry's base bounds are never touched).
+        bounds, centroid = _exact_bounds(memory.backend, native)
+        orders = [base + offset for offset in offsets]
+        manifest["shards"][index]["segments"].append({
+            "file": filename, "rows": len(offsets), "delta_file": delta_name,
+            "labels": segment_labels, "orders": orders, "bounds": bounds,
+        })
+        delta_entries.append({
+            "shard": index, "file": filename, "rows": len(offsets),
+            "labels": segment_labels, "orders": orders, "bounds": bounds,
+        })
         if sharded:
-            # Refresh the shard's global-orders sidecar (base + segments).
-            entry["orders_file"] = _orders_filename(index, generation)
-            _save_array(path / entry["orders_file"],
-                        np.asarray(memory._orders_of(index), dtype=np.int64))
-        bounds = entry["bounds"]
-        counts = memory.backend.minus_counts(native)
-        low, high = int(counts.min()), int(counts.max())
-        if bounds.get("minus_min") is not None:
-            bounds["minus_min"] = min(int(bounds["minus_min"]), low)
-            bounds["minus_max"] = max(int(bounds["minus_max"]), high)
-        elif had_rows == 0:
-            # A previously-empty shard's bounds are exactly this batch's.
-            bounds["minus_min"], bounds["minus_max"] = low, high
-        # else: pre-bounds manifest with unknown base rows — stays unknown
-        # until the next compact() recomputes exact bounds.
-        if sharded:
-            # Mirror the open memory's geometric state: the in-memory
-            # ingest just folded these exact rows against its (fixed)
-            # centroid, and memory content == disk content here, so the
-            # mirrored (centroid, radius) is exact for the disk rows too.
-            centroid = memory._geo_centroid[index]
-            radius = memory._geo_radius[index]
-            bounds["centroid"] = (
-                None if centroid is None
-                else _centroid_to_hex(memory.backend, centroid)
+            memory._push_segment_bounds(
+                index, len(offsets),
+                (bounds["minus_min"], bounds["minus_max"]),
+                centroid, bounds["radius"],
             )
-            bounds["radius"] = None if radius is None else int(radius)
-        elif bounds.get("centroid") is not None \
-                and bounds.get("radius") is not None:
-            # Single-shard store: fold the segment against the persisted
-            # centroid (exact w.r.t. that fixed centroid).
-            centroid = _centroid_from_hex(memory.backend, bounds["centroid"])
-            segment_radius = int(np.max(np.atleast_1d(
-                memory.backend.hamming(centroid, native))))
-            bounds["radius"] = max(int(bounds["radius"]), segment_radius)
-        elif had_rows == 0:
-            # A previously-empty single shard establishes its ball here.
-            bounds.update(_exact_bounds(memory.backend, native)[0])
-    manifest["labels"] = list(memory.labels)
+    _write_json(path / delta_name, {
+        "format": FORMAT_NAME,
+        "format_version": FORMAT_VERSION,
+        "generation": generation,
+        "base_rows": base,
+        "entries": delta_entries,
+    })
+    # add_many appended the batch labels in global insertion order, and a
+    # trusted manifest was label-equal before the batch — extending keeps
+    # the commit O(batch) instead of copying the full map. (The legacy
+    # migration above re-reads the manifest, so it is never `trusted`.)
+    if trusted:
+        manifest["labels"].extend(labels)
+    else:
+        manifest["labels"] = list(memory.labels)
+    manifest["rows"] = len(memory)
     manifest["generation"] = generation
-    manifest["format_version"] = FORMAT_VERSION  # appending migrates v1/v2 stores
-    manifest_path = _write_manifest(path, manifest)
+    manifest_path = _write_manifest(path, _manifest_to_disk(manifest))
     _write_worker_index(path, manifest)
-    _collect_stale_orders(path, manifest)
+    # The materialized dict now mirrors the directory exactly: keep it on
+    # the handle so the next commit skips the O(store) re-materialization.
+    memory._manifest_cache = (path, manifest)
     if sharded:
         memory._attach(path, generation)
     return manifest_path

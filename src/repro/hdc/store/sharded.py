@@ -45,7 +45,6 @@ items in the same insertion order. That holds because
 
 from __future__ import annotations
 
-import os
 import tempfile
 import threading
 
@@ -171,10 +170,28 @@ class ShardedItemMemory:
         # majority centroid row plus the exact max Hamming radius of the
         # shard's rows around it. None/None = unknown (a store persisted
         # before bounds existed) — such shards are never skipped on this
-        # layer. The centroid is fixed between compactions; appends fold
-        # the radius exactly with respect to it (see _note_geometry).
+        # layer. The centroid is fixed between compactions; in-memory
+        # ingest folds the radius exactly with respect to it (see
+        # _note_geometry). Together with _pop_bounds this is the shard's
+        # *base* bound group, covering every row that is not part of a
+        # journaled segment group below.
         self._geo_centroid = [None] * num_shards
         self._geo_radius = [None] * num_shards
+        # Per-shard journaled segment bound groups: each persisted
+        # append pushes one {rows, pop, centroid, radius} group per
+        # touched shard (exact for just that batch), and the planner
+        # lower-bounds the shard by the min over its base + segment
+        # groups — appends tighten pruning instead of widening one ball.
+        # Compaction folds the groups back into fresh exact base bounds.
+        self._segment_groups = [[] for _ in range(num_shards)]
+        # While the persistence layer journals an append it suspends the
+        # base-bound folds (_note_popcounts/_note_geometry) — the rows
+        # are covered by the exact segment groups it pushes instead.
+        self._suspend_bound_folds = False
+        # Lazily built pruning-bound state (stacked centroid matrix +
+        # per-group interval/ball tables); invalidated by every mutation
+        # so a stale matrix can never produce a wrong bound.
+        self._bound_state_cache = None
         #: skip shards whose bounds beat the current k-th best (settable;
         #: pruning never changes decisions, only work)
         self.prune = True
@@ -193,7 +210,8 @@ class ShardedItemMemory:
 
     @classmethod
     def from_shards(cls, shards, labels, routing="hash", workers=1,
-                    executor="thread", pop_bounds=None, geo_bounds=None):
+                    executor="thread", pop_bounds=None, geo_bounds=None,
+                    segment_bounds=None):
         """Rebuild a sharded memory around existing shards (persistence).
 
         ``shards`` are :class:`ItemMemory` instances of matching dim and
@@ -201,9 +219,14 @@ class ShardedItemMemory:
         exactly the disjoint union of the shards' labels. ``pop_bounds``
         carries the manifest's per-shard minus-count bounds and
         ``geo_bounds`` its ``(native centroid row, radius)`` geometric
-        bounds (``None`` entries disable that pruning layer for the
-        shard — the store still answers identically, it just never skips
-        on an unknown bound).
+        bounds — both describing the shard's *base* rows (``None``
+        entries disable that pruning layer for the shard — the store
+        still answers identically, it just never skips on an unknown
+        bound). ``segment_bounds`` carries one list per shard of
+        ``(rows, pop, geo)`` journaled segment groups (v4 manifests);
+        the last ``rows`` of each shard, in order, are attributed to its
+        groups and the base bounds are taken to cover only the rows
+        before them.
         """
         shards = list(shards)
         if not shards:
@@ -245,6 +268,21 @@ class ShardedItemMemory:
                 centroid, radius = bounds
                 memory._geo_centroid[index] = np.asarray(centroid)
                 memory._geo_radius[index] = int(radius)
+        if segment_bounds is not None:
+            segment_bounds = list(segment_bounds)
+            if len(segment_bounds) != len(shards):
+                raise ValueError(
+                    f"segment_bounds must have one entry per shard "
+                    f"({len(segment_bounds)} for {len(shards)} shards)"
+                )
+            for index, groups in enumerate(segment_bounds):
+                for rows, pop, geo in groups or ():
+                    memory._push_segment_bounds(
+                        index, rows,
+                        pop,
+                        None if geo is None else geo[0],
+                        None if geo is None else geo[1],
+                    )
         labels = list(labels)
         if len(set(labels)) != len(labels):
             raise ValueError("duplicate labels in global label list")
@@ -423,8 +461,37 @@ class ShardedItemMemory:
         self._note_geometry(index, rows)
         self._commit_order(index, label)
 
+    def _segment_rows(self, shard_index):
+        """Rows of one shard covered by journaled segment bound groups."""
+        return sum(group["rows"] for group in self._segment_groups[shard_index])
+
+    def _push_segment_bounds(self, shard_index, rows, pop, centroid, radius):
+        """Append one journaled segment's exact bound group to a shard.
+
+        Called by the persistence layer when an append commits: the
+        group covers the shard's next ``rows`` rows with its own
+        minus-count interval (``pop``) and centroid + radius ball —
+        ``None`` layers stay unknown (never skip on them). Invalidates
+        the cached bound state.
+        """
+        self._segment_groups[shard_index].append({
+            "rows": int(rows),
+            "pop": None if pop is None else (int(pop[0]), int(pop[1])),
+            "centroid": None if centroid is None else np.asarray(centroid),
+            "radius": None if radius is None else int(radius),
+        })
+        self._invalidate_bound_state()
+
+    def _invalidate_bound_state(self):
+        """Drop the cached stacked-centroid/bound tables (any mutation)."""
+        self._bound_state_cache = None
+
     def _note_popcounts(self, shard_index, rows):
-        """Fold committed bipolar rows into one shard's minus-count bounds."""
+        """Fold committed bipolar rows into one shard's *base* minus-count
+        bounds (skipped while the persistence layer journals an append —
+        those rows get their own exact segment group instead)."""
+        if self._suspend_bound_folds:
+            return
         bounds = self._pop_bounds[shard_index]
         if bounds is None:
             return  # unknown base rows (pre-bounds store) stay unknown
@@ -435,23 +502,32 @@ class ShardedItemMemory:
         )
 
     def _note_geometry(self, shard_index, rows):
-        """Fold committed bipolar rows into one shard's centroid + radius.
+        """Fold committed bipolar rows into one shard's *base* centroid +
+        radius.
 
         Called *after* the rows landed in the shard. The centroid is
-        established exactly once per shard — the majority vote of the
-        first committed batch — and stays fixed until a compaction
-        recomputes it from the full matrix (persistence layer); the
-        radius is folded as the exact max Hamming distance of every
-        committed row to that fixed centroid. Any fixed centroid keeps
-        the lower bound ``max(0, d(q, c) − radius)`` strict, so freshness
-        of the majority vote affects only tightness, never correctness.
-        A shard whose base rows predate bounds tracking (an opened
-        pre-bounds store) stays unknown until the next compact.
+        established exactly once per base group — the majority vote of
+        the first batch that *is* the whole base group — and stays fixed
+        until a compaction recomputes it from the full matrix
+        (persistence layer); the radius is folded as the exact max
+        Hamming distance of every committed row to that fixed centroid.
+        Any fixed centroid keeps the lower bound
+        ``max(0, d(q, c) − radius)`` strict, so freshness of the
+        majority vote affects only tightness, never correctness. A shard
+        whose base rows predate bounds tracking (an opened pre-bounds
+        store) stays unknown until the next compact. Skipped while the
+        persistence layer journals an append (segment groups cover those
+        rows).
         """
+        if self._suspend_bound_folds:
+            return
         rows = np.asarray(rows)
         centroid = self._geo_centroid[shard_index]
         if centroid is None:
-            if len(self._shards[shard_index]) != rows.shape[0]:
+            base_rows = (
+                len(self._shards[shard_index]) - self._segment_rows(shard_index)
+            )
+            if base_rows != rows.shape[0]:
                 return  # unknown base rows (pre-bounds store) stay unknown
             counts = (rows < 0).sum(axis=0, dtype=np.int64)
             centroid = self.backend.centroid(counts, rows.shape[0])
@@ -471,6 +547,7 @@ class ShardedItemMemory:
         self._labels.append(label)
         self._shard_orders[shard_index].append(order)
         self._shard_order_arrays[shard_index] = None
+        self._invalidate_bound_state()
 
     def _orders_of(self, shard_index):
         """Cached ``(n_shard,)`` int64 global-order array for one shard."""
@@ -588,44 +665,119 @@ class ShardedItemMemory:
         attachment = self._attachment
         return attachment[0], attachment[1]
 
-    def _shard_lower_bounds(self, shard_index, query_minus):
-        """Per-query Hamming lower bounds for one shard, or ``None``.
+    def _bound_state(self):
+        """Cached per-group bound tables for the planner, built lazily.
 
-        ``hamming(q, x) >= |minus(q) - minus(x)|`` for bipolar vectors,
-        so the distance from the query's minus-count to the shard's
-        recorded ``[min, max]`` interval bounds every item in the shard.
-        Unknown bounds (pre-bounds persisted stores) return ``None`` —
-        such shards are never skipped.
+        Returns ``{"groups", "centroids", "radii"}``: per shard, the
+        list of its nonempty bound groups as ``(pop interval or None,
+        ball slot or None)`` pairs — the base group (rows not covered by
+        a journaled segment group) followed by the segment groups — plus
+        the stacked backend-native centroid matrix and radius vector all
+        ball slots index into, so one batched Hamming call bounds every
+        ball of every shard at once. The cache is invalidated by every
+        mutation (:meth:`_invalidate_bound_state` via ``_commit_order``,
+        ``_push_segment_bounds``, and the persistence layer's compact
+        adoption); a stale stack can therefore never bound fresh rows.
         """
-        bounds = self._pop_bounds[shard_index]
-        if bounds is None or bounds[1] < bounds[0]:
-            return None
-        low, high = bounds
-        return np.maximum(0, np.maximum(low - query_minus, query_minus - high))
-
-    def _geo_lower_bounds(self, active, native):
-        """Per-query geometric lower bounds per shard: ``{index: (B,)}``.
-
-        Triangle inequality in Hamming space: every row ``x`` of shard
-        ``s`` satisfies ``d(q, x) >= d(q, centroid_s) − radius_s``, so
-        one batched Hamming call against the stacked centroids lower-
-        bounds every shard's best possible distance at once. Shards with
-        unknown bounds are absent from the dict (never skipped on this
-        layer).
-        """
-        indices = [
-            index for index in active
-            if self._geo_centroid[index] is not None
-            and self._geo_radius[index] is not None
-        ]
-        if not indices:
-            return {}
-        centroids = np.stack([self._geo_centroid[index] for index in indices])
-        distances = np.atleast_2d(self.backend.hamming(native, centroids))
-        return {
-            index: np.maximum(0, distances[:, j] - self._geo_radius[index])
-            for j, index in enumerate(indices)
+        state = self._bound_state_cache
+        if state is not None:
+            return state
+        groups = []
+        centroids, radii = [], []
+        for index in range(self.num_shards):
+            shard_groups = []
+            base_rows = len(self._shards[index]) - self._segment_rows(index)
+            if base_rows > 0:
+                pop = self._pop_bounds[index]
+                if pop is not None and pop[1] < pop[0]:
+                    pop = None  # empty-sentinel bounds on a nonempty group
+                ball = None
+                if self._geo_centroid[index] is not None \
+                        and self._geo_radius[index] is not None:
+                    ball = len(centroids)
+                    centroids.append(np.asarray(self._geo_centroid[index]))
+                    radii.append(int(self._geo_radius[index]))
+                shard_groups.append((pop, ball))
+            for group in self._segment_groups[index]:
+                if group["rows"] <= 0:
+                    continue
+                ball = None
+                if group["centroid"] is not None and group["radius"] is not None:
+                    ball = len(centroids)
+                    centroids.append(group["centroid"])
+                    radii.append(group["radius"])
+                shard_groups.append((group["pop"], ball))
+            groups.append(shard_groups)
+        state = {
+            "groups": groups,
+            "centroids": np.stack(centroids) if centroids else None,
+            "radii": np.asarray(radii, dtype=np.int64),
         }
+        self._bound_state_cache = state
+        return state
+
+    def _lower_bounds(self, active, native, query_minus):
+        """Per-query Hamming lower bounds per shard: ``(lower, minus)``.
+
+        Every row of a shard belongs to exactly one bound group — the
+        base group or a journaled segment group — so the shard's best
+        possible distance is lower-bounded by the **min over its groups**
+        of each group's bound, and each group's bound is the elementwise
+        max of its two layers: the minus-count interval
+        (``hamming(q, x) >= |minus(q) − band|``) and the geometric ball
+        (triangle inequality: ``d(q, x) >= d(q, centroid) − radius``,
+        evaluated for all balls of all shards in one batched Hamming
+        call against the cached stacked centroids). Per-segment groups
+        are what let an append *tighten* a shard's bound: a far-away
+        batch contributes its own distant ball instead of widening the
+        base ball.
+
+        Returns two dicts keyed by shard index: ``lower`` (the combined
+        bound; a shard is absent when any of its groups has both layers
+        unknown) and ``minus`` (the minus-layer-only bound, ``None``
+        when any group's interval is unknown — used to attribute skips
+        to the layer that proved them).
+        """
+        state = self._bound_state()
+        ball_lower = None
+        if state["centroids"] is not None:
+            distances = np.atleast_2d(
+                self.backend.hamming(native, state["centroids"])
+            )
+            ball_lower = np.maximum(0, distances - state["radii"][None, :])
+        lower, minus_lower = {}, {}
+        for index in active:
+            combined = minus_only = None
+            combined_known = minus_known = True
+            for pop, ball in state["groups"][index]:
+                row_minus = None
+                if pop is not None:
+                    low, high = pop
+                    row_minus = np.maximum(
+                        0, np.maximum(low - query_minus, query_minus - high)
+                    )
+                else:
+                    minus_known = False
+                row_geo = None if ball is None else ball_lower[:, ball]
+                if row_minus is None and row_geo is None:
+                    combined_known = False
+                    break  # an unbounded group: the shard can never skip
+                if row_minus is None:
+                    row = row_geo
+                elif row_geo is None:
+                    row = row_minus
+                else:
+                    row = np.maximum(row_minus, row_geo)
+                combined = row if combined is None else np.minimum(combined, row)
+                if minus_known:
+                    minus_only = (
+                        row_minus if minus_only is None
+                        else np.minimum(minus_only, row_minus)
+                    )
+            if combined_known and combined is not None:
+                lower[index] = combined
+                minus_lower[index] = minus_only if minus_known else None
+        return lower, minus_lower
 
     def _fanout_ints(self, mode, native, k):
         """Bounded integer-domain fan-out; returns the partial list.
@@ -633,9 +785,11 @@ class ShardedItemMemory:
         Shards run in waves of the executor width, cheapest lower bound
         first: every completed partial tightens the shared
         :class:`~repro.hdc.store.parallel.BoundTracker`, later waves
-        skip shards whose lower bound — the elementwise max of the
-        minus-count interval bound and the centroid + radius geometric
-        bound — strictly beats the current k-th-best for every query
+        skip shards whose lower bound — the min over the shard's bound
+        groups (base + journaled segments) of each group's elementwise
+        max of the minus-count interval bound and the centroid + radius
+        geometric bound (:meth:`_lower_bounds`)
+        — strictly beats the current k-th-best for every query
         (the kernel never runs; :attr:`pruning_stats` attributes the
         skip to the layer that proved it), and dispatched shards carry
         the current bound so their kernels can early-exit internally.
@@ -657,15 +811,7 @@ class ShardedItemMemory:
         lower, minus_lower = {}, {}
         if self.prune:
             query_minus = self.backend.minus_counts(native)
-            geo_lower = self._geo_lower_bounds(active, native)
-            for index in active:
-                minus_row = self._shard_lower_bounds(index, query_minus)
-                geo_row = geo_lower.get(index)
-                minus_lower[index] = minus_row
-                if minus_row is None or geo_row is None:
-                    lower[index] = geo_row if minus_row is None else minus_row
-                else:
-                    lower[index] = np.maximum(minus_row, geo_row)
+            lower, minus_lower = self._lower_bounds(active, native, query_minus)
         order = sorted(
             active,
             key=lambda i: -1 if lower.get(i) is None else int(lower[i].min()),
@@ -674,12 +820,9 @@ class ShardedItemMemory:
         # actually run on — extra workers beyond that only time-slice one
         # core and thrash the kernels' cache-sized tiles, while narrower
         # waves tighten the shared bound more often. (Pool width above the
-        # cap still helps absorb worker startup/page-in latency.)
-        if hasattr(os, "sched_getaffinity"):
-            cores = len(os.sched_getaffinity(0))
-        else:  # pragma: no cover - non-Linux fallback
-            cores = os.cpu_count() or 1
-        wave = max(1, min(self._executor.workers, cores))
+        # cap still helps absorb worker startup/page-in latency. The core
+        # count is probed once per executor, not per batch.)
+        wave = max(1, min(self._executor.workers, self._executor.cores))
         # Seed wave: the single most-promising shard (smallest lower bound)
         # runs alone so every subsequent wave — including the first full-width
         # one — carries a real k-th-best bound into its kernels. Costs one

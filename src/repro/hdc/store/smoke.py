@@ -9,9 +9,12 @@ fan-out, saves it, and records cleanup + top-k answers for a noisy query
 batch. A child interpreter — which shares no in-memory state, only the
 on-disk format — reopens the store via memmap and must reproduce the
 answers bit-for-bit. The parent then *appends* rows through the journal
-(per-shard segment files) and a second child must answer for the grown
-store; after ``compact()`` a third child must still agree, from the
-rewritten contiguous layout.
+as a run of many small commits — each one a segment + delta-sidecar +
+manifest-swap cycle, the high-rate-ingest shape the O(batch) commit
+path exists for — verifying after every commit that a fresh reopen
+answers bit-identically through the delta chain; a second child must
+answer for the fully grown store; after ``compact()`` a third child
+must still agree, from the rewritten contiguous layout.
 
 ``STORE_SMOKE_ITEMS`` scales the store (default 400; the CI
 ``store_scale`` step runs a larger pass) and ``STORE_SMOKE_EXECUTOR``
@@ -37,6 +40,7 @@ from .planner import AssociativeStore
 DIM = 512
 ITEMS = int(os.environ.get("STORE_SMOKE_ITEMS", 400))
 APPEND_ITEMS = max(8, ITEMS // 8)
+APPEND_COMMITS = 8  # stage 2 journals this many small commits
 SHARDS = 3
 WORKERS = 2
 EXECUTOR = os.environ.get("STORE_SMOKE_EXECUTOR", "thread")
@@ -121,12 +125,26 @@ def main():
                   "in-memory store", file=sys.stderr)
             return 1
 
-        # Stage 2: append through the journal; child must see the growth.
+        # Stage 2: many small appends through the journal — the
+        # high-rate-ingest shape (commit after commit of a few rows,
+        # each a segment + delta sidecar + constant-size manifest swap).
+        # After every commit a *fresh* handle must answer for the just-
+        # appended row through the delta chain; the child then checks
+        # the fully grown store from a fresh process.
         grown = AssociativeStore.open(store_path, workers=WORKERS)
-        grown.add_many(
-            [f"item{ITEMS + i}" for i in range(APPEND_ITEMS)],
-            vectors[ITEMS:],
-        )
+        step = max(1, APPEND_ITEMS // APPEND_COMMITS)
+        for start in range(0, APPEND_ITEMS, step):
+            rows = min(step, APPEND_ITEMS - start)
+            grown.add_many(
+                [f"item{ITEMS + start + i}" for i in range(rows)],
+                vectors[ITEMS + start:ITEMS + start + rows],
+            )
+            probe = vectors[ITEMS + start + rows - 1]
+            expected = grown.cleanup(probe)
+            if AssociativeStore.open(store_path).cleanup(probe) != expected:
+                print(f"SMOKE FAIL: commit at row {ITEMS + start} not "
+                      "answered by a fresh reopen", file=sys.stderr)
+                return 1
         queries = _noisy(vectors, rng, QUERIES)  # may now hit appended rows
         np.save(query_path, queries)
         stages.append(("appended", _expected(grown, queries)))
@@ -151,8 +169,8 @@ def main():
     print(
         f"store smoke OK: {ITEMS}+{APPEND_ITEMS} items x {DIM} dims, "
         f"{SHARDS} shards, workers={WORKERS}, executor={EXECUTOR}, "
-        f"{QUERIES} queries bit-identical across save / append / compact "
-        f"fresh-process reopens"
+        f"{QUERIES} queries bit-identical across save / "
+        f"{APPEND_COMMITS}-commit append run / compact fresh-process reopens"
     )
     return 0
 

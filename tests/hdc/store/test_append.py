@@ -18,6 +18,7 @@ from repro.hdc.store import (
     ShardedItemMemory,
     append_rows,
     open_store,
+    read_manifest,
     save_store,
 )
 
@@ -37,14 +38,22 @@ def _write_manifest(path, manifest):
 
 
 def _downgrade_to_v1(path):
-    """Rewrite a saved manifest in the PR 2 (version 1) layout."""
-    manifest = _manifest(path)
+    """Rewrite a saved manifest in the PR 2 (version 1) layout.
+
+    v1 manifests inline every label map (the v4 label/orders sidecars
+    did not exist), so the downgrade materializes them back through
+    ``read_manifest`` before stripping the newer fields.
+    """
+    manifest = read_manifest(path)  # materialized: inline labels everywhere
     assert all(not entry["segments"] for entry in manifest["shards"])
     manifest["format_version"] = 1
     manifest.pop("generation")
+    manifest.pop("labels_file", None)
+    manifest.pop("rows", None)
     for entry in manifest["shards"]:
         entry.pop("segments")
         entry.pop("bounds")  # v1 predates the pruning-bounds block too
+        entry.pop("orders_file", None)
     _write_manifest(path, manifest)
 
 
@@ -287,16 +296,101 @@ class TestCorruptedSegments:
 
     def test_segment_label_collision_raises(self, tmp_path, rng):
         """A journal claiming a label the base already holds must fail at
-        open, not shadow or duplicate the row."""
+        open, not shadow or duplicate the row. (v4 journal labels live in
+        the delta sidecar, so that is where the corruption lands.)"""
         path, segments = self._saved_with_segment(tmp_path, rng)
-        manifest = _manifest(path)
-        for entry in manifest["shards"]:
+        manifest = read_manifest(path)  # materialized labels
+        for index, entry in enumerate(manifest["shards"]):
             if entry["segments"]:
-                entry["segments"][0]["labels"][0] = entry["labels"][0]
+                delta_path = path / entry["segments"][0]["delta_file"]
+                delta = json.loads(delta_path.read_text())
+                part = next(p for p in delta["entries"] if p["shard"] == index)
+                collision = (entry["labels"] or manifest["labels"])[0]
+                part["labels"][0] = collision
+                delta_path.write_text(json.dumps(delta))
                 break
-        _write_manifest(path, manifest)
-        with pytest.raises(ValueError, match="already stored|do not match"):
+        with pytest.raises(ValueError,
+                           match="already stored|do not match|duplicate"):
             open_store(path)
+
+
+class TestCrashConsistency:
+    """The manifest swap is an append commit's *sole* commit point: a
+    crash anywhere around it leaves a store that opens and answers
+    bit-identically to one of the two legal generations."""
+
+    def _store_with_pending_append(self, tmp_path, rng):
+        dim = 64
+        vectors = random_bipolar(12, dim, rng)
+        labels = [f"v{i}" for i in range(12)]
+        AssociativeStore.from_vectors(labels[:8], vectors[:8], shards=2,
+                                      backend="packed").save(tmp_path / "s")
+        return tmp_path / "s", labels, vectors
+
+    def test_crash_between_delta_write_and_swap_keeps_the_old_generation(
+        self, tmp_path, rng, monkeypatch
+    ):
+        path, labels, vectors = self._store_with_pending_append(tmp_path, rng)
+        queries = vectors[:6]
+        expected = AssociativeStore.open(path).topk_batch(queries, k=4)
+
+        import repro.hdc.store.persistence as persistence_module
+
+        def crash(target, manifest):
+            raise RuntimeError("simulated crash before the manifest swap")
+
+        monkeypatch.setattr(persistence_module, "_write_manifest", crash)
+        opened = AssociativeStore.open(path)
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            opened.add_many(labels[8:], vectors[8:])
+        monkeypatch.undo()
+
+        # The delta sidecar and segment files are orphaned on disk, but
+        # the surviving manifest never references them: the store opens
+        # as the pre-append generation, the orphans are never read.
+        assert list((path).glob("delta.g*.json"))
+        assert list((path).glob("shard_*.seg*.npy"))
+        survivor = AssociativeStore.open(path)
+        assert survivor.labels == tuple(labels[:8])
+        assert survivor.topk_batch(queries, k=4) == expected
+
+        # Retrying on a fresh handle reuses the generation number, so the
+        # retry *overwrites* the orphans and commits cleanly.
+        retry = AssociativeStore.open(path)
+        retry.add_many(labels[8:], vectors[8:])
+        reference = _reference(labels, vectors)
+        fresh = AssociativeStore.open(path)
+        assert fresh.labels == tuple(labels)
+        assert fresh.topk_batch(queries, k=4) == reference.topk_batch(
+            queries, k=4)
+
+    def test_crash_between_swap_and_cleanup_keeps_the_new_generation(
+        self, tmp_path, rng, monkeypatch
+    ):
+        path, labels, vectors = self._store_with_pending_append(tmp_path, rng)
+        queries = vectors[:6]
+
+        import repro.hdc.store.persistence as persistence_module
+
+        def crash(*args, **kwargs):
+            raise RuntimeError("simulated crash after the manifest swap")
+
+        monkeypatch.setattr(persistence_module, "_write_worker_index", crash)
+        opened = AssociativeStore.open(path)
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            opened.add_many(labels[8:], vectors[8:])
+        monkeypatch.undo()
+
+        # The manifest swap already happened, so the append is durable;
+        # the stale worker index is an optimization only — the process
+        # executor's workers detect it and fall back to the manifest.
+        reference = _reference(labels, vectors)
+        for executor in ("thread", "process"):
+            survivor = AssociativeStore.open(path, executor=executor)
+            assert survivor.labels == tuple(labels)
+            assert survivor.topk_batch(queries, k=4) == reference.topk_batch(
+                queries, k=4)
+            survivor.memory.close()
 
 
 class TestAutoCompaction:

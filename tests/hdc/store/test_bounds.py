@@ -25,6 +25,7 @@ import pytest
 from repro.hdc import ItemMemory, random_bipolar
 from repro.hdc.store import (
     AssociativeStore,
+    FORMAT_VERSION,
     ShardedItemMemory,
     open_store,
     read_manifest,
@@ -64,38 +65,61 @@ def _cluster_store(rng, dim=128, shards=4, per_shard=20, backend="packed",
 
 
 def _assert_memory_bounds_exact(memory):
-    """In-memory invariant: radius == max d(row, centroid), per shard."""
+    """In-memory invariant: every bound group's radius is exactly
+    ``max d(row, centroid)`` over the rows *it* covers — the base group
+    over the base rows, each journaled segment group over its block."""
     for index, shard in enumerate(memory.shards):
-        centroid = memory._geo_centroid[index]
-        radius = memory._geo_radius[index]
-        if centroid is None:
-            assert radius is None
-            continue
-        distances = np.atleast_1d(
-            memory.backend.hamming(centroid, shard.native_matrix())
-        )
-        assert int(distances.max()) == radius, f"shard {index}"
+        native = shard.native_matrix()
+        segments = memory._segment_groups[index]
+        base_rows = len(shard) - sum(group["rows"] for group in segments)
+        blocks = [(memory._geo_centroid[index], memory._geo_radius[index],
+                   native[:base_rows])]
+        offset = base_rows
+        for group in segments:
+            blocks.append((group["centroid"], group["radius"],
+                           native[offset:offset + group["rows"]]))
+            offset += group["rows"]
+        for block, (centroid, radius, rows) in enumerate(blocks):
+            if centroid is None:
+                assert radius is None, f"shard {index} block {block}"
+                continue
+            if not rows.shape[0]:
+                continue
+            distances = np.atleast_1d(memory.backend.hamming(centroid, rows))
+            assert int(distances.max()) == radius, f"shard {index} block {block}"
 
 
 def _assert_manifest_bounds_exact(path):
-    """Persisted invariant: each entry's radius covers base + segments
-    exactly, and the minus interval is the exact per-row min/max."""
+    """Persisted invariant: each bound block — the entry's (base rows)
+    and every journaled segment's — is exact over *its own* rows: the
+    minus interval is the per-row min/max and the radius is
+    ``max_row d(row, centroid)``."""
     manifest = read_manifest(path)
     memory = open_store(path, mmap=False)
     shards = memory.shards if isinstance(memory, ShardedItemMemory) else [memory]
     for index, (entry, shard) in enumerate(zip(manifest["shards"], shards)):
-        bounds = entry["bounds"]
         if not len(shard):
             continue
-        native = shard.native_matrix()  # base + folded segments
-        minus = shard.backend.minus_counts(native)
-        assert bounds["minus_min"] == int(minus.min()), f"shard {index}"
-        assert bounds["minus_max"] == int(minus.max()), f"shard {index}"
-        if bounds["centroid"] is None:
-            continue
-        centroid = _centroid_from_hex(shard.backend, bounds["centroid"])
-        distances = np.atleast_1d(shard.backend.hamming(centroid, native))
-        assert int(distances.max()) == int(bounds["radius"]), f"shard {index}"
+        native = shard.native_matrix()  # base rows, then segments in order
+        blocks = [(entry["bounds"], native[: entry["rows"]])]
+        offset = entry["rows"]
+        for segment in entry.get("segments", ()):
+            blocks.append(
+                (segment["bounds"], native[offset:offset + segment["rows"]]))
+            offset += segment["rows"]
+        assert offset == len(shard), f"shard {index}"
+        for block, (bounds, rows) in enumerate(blocks):
+            if not rows.shape[0]:
+                continue
+            where = f"shard {index} block {block}"
+            minus = shard.backend.minus_counts(rows)
+            assert bounds["minus_min"] == int(minus.min()), where
+            assert bounds["minus_max"] == int(minus.max()), where
+            if bounds["centroid"] is None:
+                continue
+            centroid = _centroid_from_hex(shard.backend, bounds["centroid"])
+            distances = np.atleast_1d(shard.backend.hamming(centroid, rows))
+            assert int(distances.max()) == int(bounds["radius"]), where
 
 
 class TestGeometricPruning:
@@ -169,6 +193,95 @@ class TestGeometricPruning:
         assert stats["skipped"] == 7
         assert stats["skipped_minus"] == 7
         assert stats["skipped_centroid"] == 0
+
+
+class TestSegmentBounds:
+    def test_append_segment_ball_skips_where_a_widened_ball_could_not(
+        self, tmp_path, rng
+    ):
+        """Pre-v4, an append widened the shard's single ball to cover the
+        new rows, so a far-away batch drowned a tight base ball and the
+        geometric layer went blind. v4 journals the batch with its own
+        exact ball: the planner's min-over-groups bound still skips —
+        and the old widened single ball provably could not have."""
+        dim = 128
+        reference, sharded, vectors, queries = _cluster_store(rng, dim=dim)
+        save_store(sharded, tmp_path / "s")
+        opened = AssociativeStore.open(tmp_path / "s")
+
+        # Round-robin routing sends appended row j to shard j % 4, so
+        # give each shard a tight batch at the *antipode* of its own
+        # prototype: maximally far from the base ball (the widened
+        # radius blows up to ~dim) yet still ~dim/2 from the query.
+        extra = -vectors[np.arange(8) % 4].copy()
+        flips = rng.integers(0, dim, size=(8, 3))
+        for row, columns in enumerate(flips):
+            extra[row, columns] *= -1
+        opened.add_many([f"far{i}" for i in range(8)], extra)
+        reference.add_many([f"far{i}" for i in range(8)], extra)
+
+        ref_labels, ref_sims = reference.cleanup_batch(queries)
+        got_labels, got_sims = opened.cleanup_batch(queries)
+        assert got_labels == ref_labels
+        assert np.array_equal(got_sims, ref_sims)
+        assert opened.pruning_stats["skipped_centroid"] > 0
+
+        # Reconstruct what the retired design would have bounded with:
+        # the base centroid, radius widened over the appended rows. That
+        # single ball's lower bound never strictly beats the best
+        # distance — no shard could have geo-skipped.
+        memory = opened.memory
+        backend = memory.backend
+        q_native = backend.from_bipolar(queries)
+        best = min(
+            int(np.atleast_1d(
+                backend.hamming(q_native[0], shard.native_matrix())).min())
+            for shard in memory.shards
+        )
+        for index, shard in enumerate(memory.shards):
+            segments = memory._segment_groups[index]
+            assert segments, f"shard {index} journaled no appended rows"
+            base_rows = len(shard) - sum(g["rows"] for g in segments)
+            centroid = memory._geo_centroid[index]
+            native = shard.native_matrix()
+            widened = max(
+                int(memory._geo_radius[index]),
+                int(np.atleast_1d(
+                    backend.hamming(centroid, native[base_rows:])).max()),
+            )
+            to_centroid = int(np.atleast_1d(
+                backend.hamming(centroid, q_native)).max())
+            assert to_centroid - widened <= best, f"shard {index}"
+
+
+class TestBoundStateCache:
+    def test_cache_never_survives_a_mutation(self, tmp_path, rng):
+        """The stacked-centroid/bound tables are cached between queries
+        and must be dropped by *every* mutation — add, journaled
+        append, and compact — so a stale stack can never bound fresh
+        rows."""
+        _, sharded, vectors, queries = _cluster_store(rng)
+        sharded.cleanup_batch(queries)
+        state = sharded._bound_state()
+        assert sharded._bound_state() is state  # reused across queries
+        sharded.add("late", vectors[0])
+        assert sharded._bound_state_cache is None  # add() invalidates
+        assert sharded._bound_state() is not state
+
+        save_store(sharded, tmp_path / "s")
+        opened = AssociativeStore.open(tmp_path / "s")
+        memory = opened.memory
+        memory.cleanup_batch(queries)
+        cached = memory._bound_state()
+        opened.add_many(["x1", "x2"], random_bipolar(2, 128, rng))
+        assert memory._bound_state_cache is None  # journaled append too
+        rebuilt = memory._bound_state()
+        assert rebuilt is not cached
+        # ... and the rebuilt stack actually carries the new segment balls
+        assert rebuilt["centroids"].shape[0] > cached["centroids"].shape[0]
+
+        opened.compact()
+        assert memory._bound_state_cache is None  # compact adoption too
 
 
 class TestResetPruningStats:
@@ -280,16 +393,20 @@ class TestBoundsExactness:
 
 class TestManifestMigration:
     def _downgrade_to_v2(self, path):
-        """Rewrite a saved manifest in the PR 4 (version 2) layout: no
-        ``bounds`` block, minus bounds at the entry's top level."""
-        manifest_path = path / "manifest.json"
-        manifest = json.loads(manifest_path.read_text())
+        """Rewrite a saved manifest in the PR 4 (version 2) layout: label
+        maps inlined, no ``bounds`` block, minus bounds at the entry's
+        top level, no label/orders sidecar references."""
+        manifest = read_manifest(path)  # materialize the v4 sidecars
         manifest["format_version"] = 2
+        manifest.pop("labels_file", None)
+        manifest.pop("rows", None)
         for entry in manifest["shards"]:
             bounds = entry.pop("bounds")
             entry["minus_min"] = bounds["minus_min"]
             entry["minus_max"] = bounds["minus_max"]
-        manifest_path.write_text(json.dumps(manifest))
+            entry.pop("orders_file", None)
+            entry["segments"] = []
+        (path / "manifest.json").write_text(json.dumps(manifest))
 
     def test_v2_store_opens_never_geo_skips_gains_bounds_on_compact(
         self, tmp_path, rng
@@ -309,7 +426,7 @@ class TestManifestMigration:
 
         opened.compact()  # first compact recomputes both layers exactly
         manifest = read_manifest(tmp_path / "s")
-        assert manifest["format_version"] == 3
+        assert manifest["format_version"] == FORMAT_VERSION
         assert all(entry["bounds"]["centroid"] is not None
                    for entry in manifest["shards"])
         _assert_manifest_bounds_exact(tmp_path / "s")
@@ -322,9 +439,12 @@ class TestManifestMigration:
         fresh.cleanup_batch(queries)
         assert fresh.pruning_stats["skipped_centroid"] > 0
 
-    def test_appending_to_v2_store_keeps_geo_unknown_until_compact(
+    def test_appending_to_v2_store_compacts_once_and_gains_exact_bounds(
         self, tmp_path, rng
     ):
+        """The first append to a pre-v4 store pays one implicit compact
+        (the O(store) migration toll), after which base bounds are exact
+        and the new rows journal as a segment with its own exact ball."""
         reference, sharded, vectors, queries = _cluster_store(rng)
         save_store(sharded, tmp_path / "s")
         self._downgrade_to_v2(tmp_path / "s")
@@ -333,21 +453,23 @@ class TestManifestMigration:
         opened.add_many([f"late{i}" for i in range(5)], extra)
         reference.add_many([f"late{i}" for i in range(5)], extra)
         manifest = read_manifest(tmp_path / "s")
-        assert manifest["format_version"] == 3  # appending migrates
-        # base rows predate bounds tracking: the ball must stay unknown
-        # (a first-batch centroid would not cover the unseen base rows)
-        assert all(entry["bounds"]["centroid"] is None
+        assert manifest["format_version"] == FORMAT_VERSION  # migrated
+        assert all(entry["bounds"]["centroid"] is not None
                    for entry in manifest["shards"]
                    if entry["rows"])
+        assert any(segment["bounds"]["centroid"] is not None
+                   for entry in manifest["shards"]
+                   for segment in entry["segments"])
+        _assert_manifest_bounds_exact(tmp_path / "s")
         assert opened.cleanup_batch(queries)[0] == reference.cleanup_batch(
             queries)[0]
-        assert opened.pruning_stats["skipped_centroid"] == 0
 
     def test_append_into_empty_shard_of_v2_store_establishes_exact_bounds(
         self, tmp_path, rng
     ):
-        """A v2 store with a still-empty shard: rows appended there have
-        no unknown base to cover, so the ball establishes immediately."""
+        """A v2 store with a still-empty shard: the append's implicit
+        migration compact makes every base ball exact, and the one row
+        landing in the empty shard journals as a radius-zero segment."""
         dim = 64
         memory = ShardedItemMemory(dim, num_shards=3, backend="packed",
                                    routing="round_robin")
@@ -358,22 +480,26 @@ class TestManifestMigration:
         opened.add_many(["c"], random_bipolar(1, dim, rng))  # routes to shard 2
         manifest = read_manifest(tmp_path / "s")
         entries = manifest["shards"]
-        assert entries[2]["bounds"]["centroid"] is not None
-        assert entries[2]["bounds"]["radius"] == 0  # one row: radius zero
-        assert entries[0]["bounds"]["centroid"] is None  # base rows unknown
+        assert entries[2]["rows"] == 0  # base stays empty; the row journals
+        (segment,) = entries[2]["segments"]
+        assert segment["bounds"]["centroid"] is not None
+        assert segment["bounds"]["radius"] == 0  # one row: radius zero
+        assert entries[0]["bounds"]["centroid"] is not None  # compacted exact
         _assert_manifest_bounds_exact(tmp_path / "s")
 
     def test_v1_store_still_opens_with_unknown_bounds(self, tmp_path, rng):
         reference, sharded, _, queries = _cluster_store(rng)
         save_store(sharded, tmp_path / "s")
-        manifest_path = tmp_path / "s" / "manifest.json"
-        manifest = json.loads(manifest_path.read_text())
+        manifest = read_manifest(tmp_path / "s")  # materialize sidecars
         manifest["format_version"] = 1
         manifest.pop("generation")
+        manifest.pop("labels_file", None)
+        manifest.pop("rows", None)
         for entry in manifest["shards"]:
             entry.pop("segments")
             entry.pop("bounds")
-        manifest_path.write_text(json.dumps(manifest))
+            entry.pop("orders_file", None)
+        (tmp_path / "s" / "manifest.json").write_text(json.dumps(manifest))
         opened = AssociativeStore.open(tmp_path / "s")
         assert opened.cleanup_batch(queries)[0] == reference.cleanup_batch(
             queries)[0]

@@ -435,14 +435,18 @@ class TestEarlyExitPruning:
         import json
 
         reference, sharded, vectors = self._banded_pair(rng)
-        from repro.hdc.store import save_store, open_store, MANIFEST_NAME
+        from repro.hdc.store import (
+            save_store, open_store, read_manifest, MANIFEST_NAME)
         save_store(sharded, tmp_path / "s")
-        manifest_path = tmp_path / "s" / MANIFEST_NAME
-        manifest = json.loads(manifest_path.read_text())
+        manifest = read_manifest(tmp_path / "s")  # materialize v4 sidecars
         manifest["format_version"] = 2
+        manifest.pop("labels_file", None)
+        manifest.pop("rows", None)
         for entry in manifest["shards"]:
             entry.pop("bounds", None)
-        manifest_path.write_text(json.dumps(manifest))
+            entry.pop("orders_file", None)
+            entry["segments"] = []
+        (tmp_path / "s" / MANIFEST_NAME).write_text(json.dumps(manifest))
         reopened = open_store(tmp_path / "s")
         queries = vectors[:2].copy()
         assert reopened.cleanup_batch(queries)[0] == reference.cleanup_batch(queries)[0]
@@ -529,9 +533,10 @@ class TestProcessPersistedLifecycle:
         opened.memory.close()
 
     def test_missing_worker_index_falls_back_to_manifest(self, rng, tmp_path):
-        """The O(1) worker-attach sidecars are an optimization: deleting
-        them (or the index) must leave process queries bit-identical via
-        the manifest fallback."""
+        """The worker index is an optimization: deleting it must leave
+        process queries bit-identical via the manifest fallback. (The
+        orders sidecars are *normative* in v4 — deleting those is
+        corruption and refuses to open, covered in the drift guards.)"""
         dim = 128
         vectors = random_bipolar(30, dim, rng)
         labels = [f"v{i}" for i in range(30)]
@@ -540,8 +545,6 @@ class TestProcessPersistedLifecycle:
         store.save(tmp_path / "s")
         from repro.hdc.store import WORKER_INDEX_NAME
         (tmp_path / "s" / WORKER_INDEX_NAME).unlink()
-        for orders_file in (tmp_path / "s").glob("orders_*.npy"):
-            orders_file.unlink()
         opened = AssociativeStore.open(tmp_path / "s", executor="process")
         reference = ItemMemory(dim, backend="packed")
         reference.add_many(labels, vectors)
@@ -591,3 +594,42 @@ class TestStoreScale:
         assert sharded.topk_batch(queries, k=10) == reference.topk_batch(
             queries, k=10
         )
+
+    def test_append_at_scale(self, store_scale_items, store_scale_executor,
+                             tmp_path):
+        """Journaled appends against a large persisted store stay
+        bit-identical to the reference under either executor — each of a
+        run of small commits must answer through the delta chain, and
+        ``compact()`` must fold them without changing a decision."""
+        rng = np.random.default_rng(101)
+        dim = 512
+        items = store_scale_items
+        batch, commits = 64, 4
+        vectors = random_bipolar(items + batch * commits, dim, rng)
+        labels = list(range(items + batch * commits))
+        reference = ItemMemory(dim, backend="packed")
+        reference.add_many(labels[:items], vectors[:items])
+        store = AssociativeStore(dim, backend="packed", shards=8)
+        store.add_many(labels[:items], vectors[:items])
+        store.save(tmp_path / "store")
+        del store
+
+        opened = AssociativeStore.open(tmp_path / "store", workers=4,
+                                       executor=store_scale_executor)
+        for commit in range(commits):
+            lo = items + commit * batch
+            reference.add_many(labels[lo:lo + batch], vectors[lo:lo + batch])
+            opened.add_many(labels[lo:lo + batch], vectors[lo:lo + batch])
+            probe = vectors[lo + batch - 1]
+            assert opened.cleanup(probe) == reference.cleanup(probe)
+        queries = _noisy_queries(vectors, rng, num=16, flip_fraction=0.125)
+        ref_labels, ref_sims = reference.cleanup_batch(queries)
+        sh_labels, sh_sims = opened.cleanup_batch(queries)
+        assert sh_labels == ref_labels
+        assert np.array_equal(sh_sims, ref_sims)
+        opened.compact()
+        assert opened.cleanup_batch(queries)[0] == ref_labels
+        assert opened.topk_batch(queries, k=10) == reference.topk_batch(
+            queries, k=10
+        )
+        opened.memory.close()

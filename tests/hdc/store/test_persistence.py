@@ -99,10 +99,19 @@ class TestRoundTrip:
         assert manifest["dim"] == memory.dim
         assert manifest["backend"] == "packed"
         assert manifest["num_shards"] == 4
-        assert len(manifest["labels"]) == len(memory)
-        for entry in manifest["shards"]:
+        # v4: the manifest inlines no label maps — the global list lives
+        # in the labels sidecar, shard labels in the orders sidecars.
+        assert "labels" not in manifest
+        labels = json.loads((tmp_path / "store" / manifest["labels_file"]).read_text())
+        assert labels == list(memory.labels)
+        assert manifest["rows"] == len(memory)
+        for index, entry in enumerate(manifest["shards"]):
+            assert "labels" not in entry
             assert (tmp_path / "store" / entry["file"]).is_file()
-            assert entry["rows"] == len(entry["labels"])
+            orders = np.load(tmp_path / "store" / entry["orders_file"])
+            assert orders.shape == (entry["rows"],)
+            assert [labels[order] for order in orders] \
+                == list(memory.shards[index].labels)
 
 
 class TestDriftGuards:
@@ -132,13 +141,20 @@ class TestDriftGuards:
         with pytest.raises(FileNotFoundError, match="shard_00001"):
             open_store(tmp_path / "store")
 
+    def test_missing_orders_sidecar_refused(self, tmp_path, rng):
+        """v4 shard labels live in global_labels[orders]: without the
+        orders sidecar the shard's rows are unlabelable — refuse."""
+        save_store(_build_sharded(rng), tmp_path / "store")
+        manifest = json.loads((tmp_path / "store" / MANIFEST_NAME).read_text())
+        (tmp_path / "store" / manifest["shards"][1]["orders_file"]).unlink()
+        with pytest.raises(FileNotFoundError, match="orders"):
+            open_store(tmp_path / "store")
+
     def test_row_count_mismatch_refused(self, tmp_path, rng):
         save_store(_build_sharded(rng), tmp_path / "store")
         manifest_path = tmp_path / "store" / MANIFEST_NAME
         manifest = json.loads(manifest_path.read_text())
         manifest["shards"][0]["rows"] += 1
-        manifest["shards"][0]["labels"].append("ghost")
-        manifest["labels"].append("ghost")
         manifest_path.write_text(json.dumps(manifest))
         with pytest.raises(ValueError, match="rows"):
             open_store(tmp_path / "store")
@@ -158,19 +174,19 @@ class TestDriftGuards:
             save_store(memory, tmp_path / "store")
 
     def test_label_duplicated_across_shards_refused(self, tmp_path, rng):
-        """A manifest whose shards both hold a label (listed once globally)
-        must fail at open, not answer queries from an orphaned row."""
+        """A store whose orders sidecars hand the same global row to two
+        shards must fail at open, not answer queries from an orphaned
+        row. (v4 shard labels are global_labels[orders], so a cross-shard
+        duplicate *is* a doubly-assigned global order.)"""
         memory = _build_sharded(rng, shards=2)
         save_store(memory, tmp_path / "store")
-        manifest_path = tmp_path / "store" / MANIFEST_NAME
-        manifest = json.loads(manifest_path.read_text())
-        dup = manifest["shards"][0]["labels"][0]
-        target = tmp_path / "store" / manifest["shards"][1]["file"]
-        matrix = np.load(target)
-        np.save(target, np.vstack([matrix, matrix[:1]]))
-        manifest["shards"][1]["labels"].append(dup)
-        manifest["shards"][1]["rows"] += 1
-        manifest_path.write_text(json.dumps(manifest))
+        manifest = json.loads((tmp_path / "store" / MANIFEST_NAME).read_text())
+        orders_path = tmp_path / "store" / manifest["shards"][0]["orders_file"]
+        dup_order = int(np.load(orders_path)[0])
+        orders_path = tmp_path / "store" / manifest["shards"][1]["orders_file"]
+        orders = np.load(orders_path)
+        orders[0] = dup_order
+        np.save(orders_path, orders)
         with pytest.raises(ValueError):
             open_store(tmp_path / "store")
 
