@@ -9,6 +9,7 @@ eventually diverging) in each file.
 """
 
 import json
+import os
 from pathlib import Path
 
 BENCH_DIR = Path(__file__).parent
@@ -19,13 +20,29 @@ def merge_bench_record(filename, updates):
 
     Read-modify-write: the existing record is loaded (empty when the
     file does not exist yet), the top-level keys in ``updates`` replace
-    their counterparts, everything else survives. Returns the merged
-    record.
+    their counterparts, everything else survives. The rewrite goes
+    through a sibling temp file swapped in with ``os.replace`` — the
+    store persistence idiom — so a harness killed mid-write can never
+    leave a torn file that silently eats every *other* harness's
+    surfaces on the next merge. A pre-existing corrupt file fails
+    loudly, naming itself, instead of surfacing as a bare
+    ``JSONDecodeError``. Returns the merged record.
     """
     out_path = BENCH_DIR / filename
     record = {}
     if out_path.exists():
-        record = json.loads(out_path.read_text())
+        try:
+            record = json.loads(out_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"benchmark record {out_path} holds invalid JSON ({exc}); "
+                f"delete or repair it before recording new surfaces"
+            ) from exc
     record.update(updates)
-    out_path.write_text(json.dumps(record, indent=2) + "\n")
+    tmp_path = out_path.with_name(out_path.name + ".tmp")
+    try:
+        tmp_path.write_text(json.dumps(record, indent=2) + "\n")
+        os.replace(tmp_path, out_path)
+    finally:
+        tmp_path.unlink(missing_ok=True)
     return record

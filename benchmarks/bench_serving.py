@@ -19,11 +19,16 @@ owns its keys and preserves the others'):
 - **amortization**: per-query cost of ``cleanup_batch`` vs batch size —
   the kernel-side curve the server's coalescing converts into serving
   throughput.
+- **wire**: the same settings driven over real HTTP sockets — closed-
+  loop throughput plus per-request p50/p99 across
+  ``HTTP_CONNECTIONS`` keep-alive :class:`JSONHTTPClient` connections,
+  each point carrying its matched in-process number so the transport
+  overhead (``wire_overhead_multiple``) is explicit.
 
 ``BENCH_SERVING_MAX_ITEMS`` caps the store sizes for a quick pass; the
 JSON record and the 3× assertion only engage on a full sweep. Decisions
 are spot-checked against direct calls in every burst — the speed being
-measured is of *bit-identical* answers.
+measured is of *bit-identical* answers (over the wire too).
 
 Run: ``PYTHONPATH=src python -m pytest benchmarks/bench_serving.py -q``
 """
@@ -36,7 +41,13 @@ import numpy as np
 
 from _bench_io import merge_bench_record
 from repro.hdc import random_bipolar
-from repro.hdc.store import AssociativeStore, StoreServer
+from repro.hdc.store import (
+    AssociativeStore,
+    JSONHTTPClient,
+    StoreHTTPServer,
+    StoreServer,
+    jsonable_result,
+)
 
 D = 1024
 SHARDS = 8
@@ -49,6 +60,8 @@ SETTINGS = ((0.0, 1), (1.0, 16), (2.0, 64), (5.0, 256))
 AMORTIZATION_BATCHES = (1, 2, 4, 8, 16, 32, 64, 128, 256)
 #: offered rates for the latency sweep, as multiples of naive capacity
 OFFERED_MULTIPLES = (0.5, 1.0, 2.0)
+#: keep-alive connections driving the wire (HTTP) surface
+HTTP_CONNECTIONS = 16
 
 
 def _build(num_items, rng):
@@ -112,6 +125,51 @@ async def _offered_load(store, max_wait_ms, max_batch, queries, offered_qps):
             "p99_ms": float(p99)}
 
 
+async def _http_burst(store, max_wait_ms, max_batch, queries, expected):
+    """Closed-loop wire throughput/latency: keep-alive clients stream
+    their share of the burst sequentially; latency is per request (so
+    it includes the coalescing wait), throughput is wall-clock."""
+    wire_queries = [[int(v) for v in q] for q in queries]
+    expected_json = [jsonable_result("cleanup", e) for e in expected]
+    server = StoreServer(store, max_batch=max_batch, max_wait_ms=max_wait_ms,
+                         max_pending=max(4096, max_batch))
+    async with StoreHTTPServer(server) as http:
+        clients = await asyncio.gather(*[
+            JSONHTTPClient.connect(http.host, http.port)
+            for _ in range(HTTP_CONNECTIONS)])
+        loop = asyncio.get_running_loop()
+        latencies = []
+
+        async def drive(client, indices):
+            for index in indices:
+                payload = {"query": wire_queries[index % len(wire_queries)]}
+                tick = loop.time()
+                status, answer = await client.request(
+                    "POST", "/v1/cleanup", payload)
+                latencies.append(loop.time() - tick)
+                if index % 37 == 0:  # bit-identity spot check, on the wire
+                    assert status == 200
+                    assert answer == expected_json[index % len(expected_json)]
+
+        tick = loop.time()
+        try:
+            await asyncio.gather(*[
+                drive(client, range(i, BURST_REQUESTS, HTTP_CONNECTIONS))
+                for i, client in enumerate(clients)])
+            elapsed = loop.time() - tick
+            stats = http.server.stats
+        finally:
+            await asyncio.gather(*[client.close() for client in clients])
+    p50, p99 = np.percentile(np.asarray(latencies) * 1000.0, [50, 99])
+    return {
+        "queries_per_second": BURST_REQUESTS / elapsed,
+        "p50_ms": float(p50),
+        "p99_ms": float(p99),
+        "waves": stats["waves"],
+        "mean_batch_size": stats["mean_batch_size"],
+    }
+
+
 def _amortization_curve(store, queries):
     """Kernel-side per-query cost vs batch size (best of 3)."""
     curve = []
@@ -143,6 +201,7 @@ def test_serving_surface_json():
     throughput = []
     latency = []
     amortization = None
+    wire = None
     naive_by_size = {}
     best_by_size = {}
     for num_items in sizes:
@@ -177,6 +236,25 @@ def test_serving_surface_json():
 
         if num_items == sizes[-1]:
             amortization = _amortization_curve(store, queries)
+            wire_points = []
+            for max_wait_ms, max_batch in SETTINGS:
+                point = asyncio.run(_http_burst(
+                    store, max_wait_ms, max_batch, queries, expected))
+                in_process = next(
+                    t["queries_per_second"] for t in throughput
+                    if t["items"] == num_items
+                    and t["max_wait_ms"] == max_wait_ms
+                    and t["max_batch"] == max_batch)
+                point.update(
+                    items=num_items, max_wait_ms=max_wait_ms,
+                    max_batch=max_batch, naive_baseline=max_batch == 1,
+                    in_process_queries_per_second=in_process,
+                    wire_overhead_multiple=(
+                        in_process / point["queries_per_second"]),
+                )
+                wire_points.append(point)
+            wire = {"connections": HTTP_CONNECTIONS,
+                    "throughput": wire_points}
         del store
 
     multiples = {
@@ -197,6 +275,7 @@ def test_serving_surface_json():
         "throughput": throughput,
         "latency_vs_offered_qps": latency,
         "amortization": amortization,
+        "wire": wire,
         "batching_multiple": multiples,
     }
 

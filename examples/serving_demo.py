@@ -16,11 +16,16 @@ latency/throughput trade-off. Try a rate below and above the store's
 single-request capacity (~130 q/s for 100k × 1024 on one core) to watch
 micro-batching absorb the difference.
 
-    python examples/serving_demo.py [num_items] [offered_qps] \\
+    python examples/serving_demo.py [--http] [num_items] [offered_qps] \\
         [max_wait_ms] [max_batch] [num_requests]
 
-Answers are bit-identical to direct ``store.cleanup`` calls no matter
-how requests coalesce — the demo spot-checks a sample at the end.
+With ``--http`` the same open-loop load travels over real sockets: a
+:class:`StoreHTTPServer` on an ephemeral port, requests as JSON bodies
+on a pool of keep-alive :class:`JSONHTTPClient` connections (one grows
+per concurrently in-flight request, like a real client fleet), wire
+traffic riding the same micro-batching. Answers are bit-identical to
+direct ``store.cleanup`` calls no matter how requests coalesce — or
+travel — and the demo spot-checks a sample at the end.
 """
 
 import asyncio
@@ -30,7 +35,12 @@ import time
 import numpy as np
 
 from repro.hdc import random_bipolar
-from repro.hdc.store import AssociativeStore, StoreServer
+from repro.hdc.store import (
+    AssociativeStore,
+    JSONHTTPClient,
+    StoreHTTPServer,
+    StoreServer,
+)
 
 DIM = 1024
 SHARDS = 8
@@ -89,8 +99,68 @@ def print_histogram(latencies_ms, bins=12):
         print(f"  {lo:8.2f}-{hi:8.2f} ms  {count:6d}  {bar}")
 
 
+async def offered_load_http(http, queries, offered_qps, num_requests):
+    """The same open-loop schedule, over the wire.
+
+    Connections are checked out of a keep-alive pool that grows by one
+    whenever every connection is busy (a ``JSONHTTPClient`` carries one
+    request at a time), so the pool size ends up tracking the peak
+    concurrency the offered rate actually produced.
+    """
+    period = 1.0 / offered_qps
+    loop = asyncio.get_running_loop()
+    wire = [[int(v) for v in q] for q in queries]
+    pool = asyncio.Queue()
+    clients = []
+    start = loop.time()
+    latencies = [None] * num_requests
+    answers = [None] * num_requests
+
+    async def one(index):
+        scheduled = start + index * period
+        delay = scheduled - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        if pool.empty():
+            client = await JSONHTTPClient.connect(http.host, http.port)
+            clients.append(client)
+        else:
+            client = pool.get_nowait()
+        status, payload = await client.request(
+            "POST", "/v1/cleanup", {"query": wire[index % len(wire)]})
+        assert status == 200, payload
+        answers[index] = (payload["label"], payload["similarity"])
+        latencies[index] = loop.time() - scheduled
+        pool.put_nowait(client)
+
+    await asyncio.gather(*[one(i) for i in range(num_requests)])
+    elapsed = loop.time() - start
+    await asyncio.gather(*[client.close() for client in clients])
+    return np.asarray(latencies) * 1000.0, answers, elapsed, len(clients)
+
+
 async def run(store, queries, offered_qps, max_wait_ms, max_batch,
-              num_requests):
+              num_requests, http=False):
+    if http:
+        server = StoreServer(store, max_batch=max_batch,
+                             max_wait_ms=max_wait_ms)
+        async with StoreHTTPServer(server) as front:
+            print(f"\nserving over http://{front.host}:{front.port} — "
+                  f"offering {offered_qps:.0f} q/s ({num_requests} "
+                  f"requests, max_wait_ms={max_wait_ms}, "
+                  f"max_batch={max_batch})...")
+            latencies, answers, elapsed, connections = (
+                await offered_load_http(front, queries, offered_qps,
+                                        num_requests))
+            print(f"pool grew to {connections} keep-alive connections")
+            stats = server.stats
+        return latencies, answers, elapsed, stats
+    return await run_in_process(store, queries, offered_qps, max_wait_ms,
+                                max_batch, num_requests)
+
+
+async def run_in_process(store, queries, offered_qps, max_wait_ms, max_batch,
+                         num_requests):
     async with StoreServer(store, max_batch=max_batch,
                            max_wait_ms=max_wait_ms) as server:
         print(f"\noffering {offered_qps:.0f} q/s "
@@ -103,13 +173,13 @@ async def run(store, queries, offered_qps, max_wait_ms, max_batch,
 
 
 def main(num_items=100_000, offered_qps=200.0, max_wait_ms=5.0,
-         max_batch=64, num_requests=400):
+         max_batch=64, num_requests=400, http=False):
     rng = np.random.default_rng(0)
     store, queries = build_store(num_items, rng)
 
     latencies, answers, elapsed, stats = asyncio.run(
         run(store, queries, offered_qps, max_wait_ms, max_batch,
-            num_requests))
+            num_requests, http=http))
 
     p50, p90, p99 = np.percentile(latencies, [50, 90, 99])
     print(f"\nachieved {num_requests / elapsed:,.0f} q/s "
@@ -136,10 +206,12 @@ def main(num_items=100_000, offered_qps=200.0, max_wait_ms=5.0,
 
 
 if __name__ == "__main__":
+    argv = [arg for arg in sys.argv[1:] if arg != "--http"]
     main(
-        int(sys.argv[1]) if len(sys.argv) > 1 else 100_000,
-        float(sys.argv[2]) if len(sys.argv) > 2 else 200.0,
-        float(sys.argv[3]) if len(sys.argv) > 3 else 5.0,
-        int(sys.argv[4]) if len(sys.argv) > 4 else 64,
-        int(sys.argv[5]) if len(sys.argv) > 5 else 400,
+        int(argv[0]) if len(argv) > 0 else 100_000,
+        float(argv[1]) if len(argv) > 1 else 200.0,
+        float(argv[2]) if len(argv) > 2 else 5.0,
+        int(argv[3]) if len(argv) > 3 else 64,
+        int(argv[4]) if len(argv) > 4 else 400,
+        http="--http" in sys.argv[1:],
     )

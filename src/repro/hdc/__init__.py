@@ -6,7 +6,8 @@ pluggable dense/bit-packed storage backends, codebooks, associative item
 memory with batched cleanup, the sharded store subsystem
 (:mod:`repro.hdc.store`: ``AssociativeStore`` facade, label-routed
 shards, memmap persistence, the ``StoreServer`` async micro-batching
-front-end), the two-codebook attribute dictionary
+front-end and its ``StoreHTTPServer`` wire transport), the two-codebook
+attribute dictionary
 ``b_x = g_y ⊙ v_z``, quasi-orthogonality analytics and the memory
 footprint accounting behind the 17 KB / 71 % claims.
 """
@@ -34,9 +35,11 @@ from .item_memory import ItemMemory
 from .ordering import topk_order, topk_order_partitioned
 from .store import (
     AssociativeStore,
+    JSONHTTPClient,
     ServerClosed,
     ServerOverloaded,
     ShardedItemMemory,
+    StoreHTTPServer,
     StoreServer,
     open_store,
     save_store,
@@ -92,6 +95,8 @@ __all__ = [
     "topk_order_partitioned",
     "AssociativeStore",
     "StoreServer",
+    "StoreHTTPServer",
+    "JSONHTTPClient",
     "ServerClosed",
     "ServerOverloaded",
     "ShardedItemMemory",

@@ -11,6 +11,10 @@ into a layered subsystem (see ``docs/ARCHITECTURE.md``, "Store layer"):
   concurrent *single* requests: deadline/size-triggered micro-batching
   into the facade's batch kernels, admission control, graceful drain —
   served answers bit-identical to direct calls.
+- :class:`StoreHTTPServer` (:mod:`.http`) — the stdlib HTTP/1.1 wire
+  transport over :class:`StoreServer`: a fixed ``/v1`` route table,
+  JSON bodies in/out, 429/503/400 error mapping, drain-on-stop — wire
+  answers bit-identical to direct calls too.
 - :class:`ShardedItemMemory` (:mod:`.sharded`) — label-routed shards
   with streaming ingestion and fan-out/merge queries, decision-identical
   to a single ``ItemMemory`` for any shard *and worker* count.
@@ -45,24 +49,32 @@ from .persistence import (
     read_manifest,
     save_store,
 )
+from .http import ROUTES, JSONHTTPClient, StoreHTTPServer
 from .planner import AssociativeStore
 from .routing import ROUTINGS, hash_shard, route_label
 from .serving import (
     ADMISSION_POLICIES,
     FLUSH_TRIGGERS,
+    REQUEST_KINDS,
     ServerClosed,
     ServerOverloaded,
     StoreServer,
+    jsonable_result,
 )
 from .sharded import DEFAULT_CHUNK_SIZE, ShardedItemMemory
 
 __all__ = [
     "AssociativeStore",
     "StoreServer",
+    "StoreHTTPServer",
+    "JSONHTTPClient",
+    "ROUTES",
     "ServerClosed",
     "ServerOverloaded",
     "ADMISSION_POLICIES",
     "FLUSH_TRIGGERS",
+    "REQUEST_KINDS",
+    "jsonable_result",
     "ShardedItemMemory",
     "ShardExecutor",
     "BoundTracker",

@@ -1,0 +1,527 @@
+"""HTTP/1.1 transport over the micro-batching serving layer.
+
+:class:`StoreServer` (:mod:`.serving`) is the in-process half of
+production serving — it turns many concurrent *single* requests into the
+batched kernel calls the store amortizes. This module is the wire half:
+:class:`StoreHTTPServer`, an asyncio HTTP/1.1 front-end built on
+``asyncio.start_server`` with hand-rolled request parsing — stdlib only,
+no web framework — where every request body parses into exactly one
+``StoreServer`` awaitable, so wire traffic rides the same micro-batching
+(and the same admission control and drain semantics) as in-process
+callers.
+
+**Route table** (:data:`ROUTES` — the single dispatch source):
+
+=======  ====================  ==========================================
+method   path                  body → awaitable → response
+=======  ====================  ==========================================
+POST     ``/v1/cleanup``       ``{"query": [...]}`` →
+                               ``server.cleanup`` →
+                               ``{"label", "similarity"}``
+POST     ``/v1/topk``          ``{"query": [...], "k": 5}`` →
+                               ``server.topk`` → ``{"results": [...]}``
+POST     ``/v1/similarities``  ``{"query": [...]}`` →
+                               ``server.similarities`` →
+                               ``{"similarities": [...]}``
+GET      ``/v1/stats``         per-route/status HTTP counters folded
+                               with the ``StoreServer`` stats
+GET      ``/v1/healthz``       ``{"status": "ok", "pending": n}``
+=======  ====================  ==========================================
+
+**Error mapping** — every failure is a JSON body
+``{"error": {"status": ..., "message": ...}}``:
+
+- :exc:`~.serving.ServerOverloaded` (admission ``"reject"``) → **429**;
+- :exc:`~.serving.ServerClosed` / server draining → **503**;
+- validation (malformed JSON, missing/ill-typed ``query`` or ``k``,
+  wrong dimensionality, unknown body keys) → **400**;
+- unknown path → **404**; known path, wrong method → **405**; ``POST``
+  without ``Content-Length`` → **411**; body over
+  ``max_body_bytes`` → **413**; headers over ``max_header_bytes`` →
+  **431**; chunked transfer encoding → **501**.
+
+**Decision contract**: answers serialize through
+:func:`~.serving.jsonable_result` — similarity floats travel as JSON
+numbers, which round-trip doubles exactly — so an answer fetched over
+the wire is *bit-identical* to the same query issued directly against
+the store (``tests/hdc/store/test_http.py`` pins this across executors ×
+backends on tie-heavy inputs, and the CI ``http_smoke`` step re-checks
+it over a persisted store).
+
+**Shutdown** propagates the serving layer's drain: :meth:`stop` (or
+leaving the ``async with`` block) first refuses *new* requests with
+**503** while every request already dispatched into the ``StoreServer``
+completes and its response is written, then closes the listening socket
+and any idle keep-alive connections. A ``StoreServer`` the HTTP server
+started itself (one passed in unstarted) is stopped too; a borrowed,
+already-running one is left running.
+
+Protocol support is deliberately minimal: ``HTTP/1.1`` (keep-alive by
+default, ``Connection: close`` honored) and ``HTTP/1.0`` (close by
+default), ``Content-Length`` bodies only. :class:`JSONHTTPClient` is the
+matching minimal keep-alive client used by the tests, the smoke check,
+the benchmark and the demo.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+
+from .serving import (
+    ServerClosed,
+    ServerOverloaded,
+    jsonable_result,
+)
+
+__all__ = ["StoreHTTPServer", "JSONHTTPClient", "ROUTES"]
+
+#: the wire surface: ``(method, path)`` → request kind. Query kinds
+#: (``cleanup`` / ``topk`` / ``similarities``) parse the body into one
+#: :class:`~.serving.StoreServer` awaitable; ``stats`` / ``healthz`` are
+#: read-only introspection.
+ROUTES = {
+    ("POST", "/v1/cleanup"): "cleanup",
+    ("POST", "/v1/topk"): "topk",
+    ("POST", "/v1/similarities"): "similarities",
+    ("GET", "/v1/stats"): "stats",
+    ("GET", "/v1/healthz"): "healthz",
+}
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    411: "Length Required",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+}
+
+#: body keys each query route accepts — anything else is a 400, so a
+#: misspelled field fails loudly instead of silently using a default
+_ALLOWED_KEYS = {
+    "cleanup": {"query"},
+    "topk": {"query", "k"},
+    "similarities": {"query"},
+}
+
+
+class _BadRequest(Exception):
+    """A transport-level parse failure with its HTTP status."""
+
+    def __init__(self, status, message):
+        super().__init__(message)
+        self.status = status
+
+
+def _error_payload(status, message):
+    return {"error": {"status": status, "message": message}}
+
+
+def _parse_body(kind, body):
+    """Parse one query route's JSON body into ``(query, kwargs)``."""
+    try:
+        payload = json.loads(body)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"request body is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ValueError("request body must be a JSON object")
+    unknown = set(payload) - _ALLOWED_KEYS[kind]
+    if unknown:
+        raise ValueError(
+            f"unknown body keys {sorted(unknown)}; "
+            f"{kind} accepts {sorted(_ALLOWED_KEYS[kind])}"
+        )
+    if "query" not in payload:
+        raise ValueError('request body must carry a "query" array')
+    query = np.asarray(payload["query"])
+    if query.dtype.kind not in "iuf":
+        raise ValueError('"query" must be an array of numbers')
+    kwargs = {}
+    if kind == "topk":
+        k = payload.get("k", 5)
+        if isinstance(k, bool) or not isinstance(k, int):
+            raise ValueError('"k" must be an integer')
+        kwargs["k"] = k
+    return query, kwargs
+
+
+class StoreHTTPServer:
+    """Stdlib asyncio HTTP/1.1 front-end over a :class:`StoreServer`.
+
+    Every ``POST`` body becomes one ``StoreServer`` awaitable, so wire
+    requests coalesce into the same micro-batched waves as in-process
+    callers — same admission control, same drain, bit-identical answers
+    (module docstring has the route table and the error mapping).
+
+    Use it as an async context manager inside a running loop::
+
+        async with StoreHTTPServer(StoreServer(store), port=8080) as http:
+            print(http.port)  # serve until cancelled/stopped
+
+    Parameters
+    ----------
+    server:
+        The :class:`~.serving.StoreServer` to ride. Passed *unstarted*,
+        the HTTP server starts it and owns it (stops it on
+        :meth:`stop`); passed already started, it is borrowed and left
+        running when the HTTP front stops.
+    host, port:
+        Listening address; ``port=0`` (default) picks an ephemeral port,
+        readable from :attr:`port` once started.
+    max_header_bytes, max_body_bytes:
+        Transport bounds — requests beyond them fail with **431** /
+        **413** before touching the serving layer.
+    """
+
+    def __init__(self, server, host="127.0.0.1", port=0,
+                 max_header_bytes=16384, max_body_bytes=8 << 20):
+        if int(max_header_bytes) < 1024:
+            raise ValueError("max_header_bytes must be >= 1024")
+        if int(max_body_bytes) < 1024:
+            raise ValueError("max_body_bytes must be >= 1024")
+        self._server = server
+        self._host = host
+        self._port = int(port)
+        self.max_header_bytes = int(max_header_bytes)
+        self.max_body_bytes = int(max_body_bytes)
+        self._listener = None
+        self._owns_server = False
+        self._closing = False
+        self._stopped = None  # set() once stop() fully completed
+        self._inflight = 0
+        self._drained = None  # set() when _closing and _inflight == 0
+        self._writers = set()
+        self._handlers = set()  # live _serve_connection tasks
+        self._route_counts = dict.fromkeys(
+            (f"{method} {path}" for method, path in ROUTES), 0)
+        self._status_counts = {}
+        self._connections = 0
+
+    # -- lifecycle ---------------------------------------------------------- #
+
+    async def start(self):
+        """Bind the listening socket (and the server, if it is ours).
+
+        Must run inside the event loop that will serve connections (the
+        async-context-manager form does this). Starting twice or after
+        :meth:`stop` raises.
+        """
+        if self._closing:
+            raise ServerClosed("StoreHTTPServer was stopped; build a new one")
+        if self._listener is not None:
+            raise RuntimeError("StoreHTTPServer is already started")
+        self._stopped = asyncio.Event()
+        self._drained = asyncio.Event()
+        self._owns_server = not self._server.started
+        if self._owns_server:
+            await self._server.start()
+        self._listener = await asyncio.start_server(
+            self._serve_connection, self._host, self._port,
+            limit=self.max_header_bytes,
+        )
+        return self
+
+    async def stop(self):
+        """Drain and shut down the wire — :class:`StoreServer`-style.
+
+        New requests (on new or kept-alive connections) get **503**
+        while requests already past parsing finish and their responses
+        are written; then the listening socket closes, idle connections
+        are dropped, and an owned ``StoreServer`` is stopped (draining
+        its queued waves in turn). Idempotent; a concurrent second call
+        waits for the first to finish.
+        """
+        if self._closing:
+            if self._stopped is not None:
+                await self._stopped.wait()
+            return
+        self._closing = True
+        if self._listener is None:
+            return  # never started: nothing to drain
+        if self._inflight:
+            await self._drained.wait()
+        self._listener.close()
+        await self._listener.wait_closed()
+        for writer in list(self._writers):
+            writer.close()
+        if self._handlers:
+            # closed transports deliver EOF; wait for every connection
+            # handler to unwind so none is left to be cancelled when the
+            # caller's event loop shuts down
+            await asyncio.gather(*list(self._handlers),
+                                 return_exceptions=True)
+        if self._owns_server:
+            await self._server.stop()
+        self._stopped.set()
+
+    async def __aenter__(self):
+        return await self.start()
+
+    async def __aexit__(self, *exc_info):
+        await self.stop()
+
+    # -- introspection ------------------------------------------------------ #
+
+    @property
+    def server(self):
+        """The wrapped :class:`~.serving.StoreServer`."""
+        return self._server
+
+    @property
+    def host(self):
+        return self._host
+
+    @property
+    def port(self):
+        """The bound port (resolves ``port=0`` to the ephemeral pick)."""
+        if self._listener is None:
+            return self._port
+        return self._listener.sockets[0].getsockname()[1]
+
+    @property
+    def stats(self):
+        """Wire counters folded with the serving layer's stats.
+
+        ``{"http": {connections, requests_by_route, responses_by_status},
+        "server": StoreServer.stats}`` — the ``GET /v1/stats`` payload.
+        Counters are cumulative; route counts only tick for known
+        routes, status counts for every response written.
+        """
+        return {
+            "http": {
+                "connections": self._connections,
+                "requests_by_route": dict(self._route_counts),
+                "responses_by_status": {
+                    str(status): count
+                    for status, count in sorted(self._status_counts.items())
+                },
+            },
+            "server": self._server.stats,
+        }
+
+    def __repr__(self):
+        state = "closing" if self._closing else (
+            "listening" if self._listener else "unstarted")
+        return (
+            f"StoreHTTPServer({self._host}:{self.port}, {state}, "
+            f"server={self._server!r})"
+        )
+
+    # -- connection handling ------------------------------------------------ #
+
+    async def _serve_connection(self, reader, writer):
+        self._connections += 1
+        self._writers.add(writer)
+        self._handlers.add(asyncio.current_task())
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except _BadRequest as exc:
+                    await self._respond(
+                        writer, exc.status,
+                        _error_payload(exc.status, str(exc)),
+                        keep_alive=False,
+                    )
+                    return
+                if request is None:
+                    return  # EOF / client went away
+                method, path, body, keep_alive = request
+                if self._closing:
+                    await self._respond(
+                        writer, 503,
+                        _error_payload(503, "server is shutting down"),
+                        keep_alive=False,
+                    )
+                    return
+                # In-flight from here: stop() waits for the dispatched
+                # awaitable to resolve AND the response bytes to go out.
+                self._inflight += 1
+                try:
+                    status, payload = await self._dispatch(method, path, body)
+                    await self._respond(writer, status, payload,
+                                        keep_alive=keep_alive)
+                finally:
+                    self._inflight -= 1
+                    if self._closing and self._inflight == 0:
+                        self._drained.set()
+                if not keep_alive:
+                    return
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client dropped mid-request/response
+        finally:
+            self._handlers.discard(asyncio.current_task())
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self, reader):
+        """Parse one request; ``None`` on clean EOF, :exc:`_BadRequest`
+        on framing errors (response status attached)."""
+        try:
+            line = await reader.readline()
+        except ValueError as exc:  # StreamReader limit overrun
+            raise _BadRequest(431, "request line too long") from exc
+        if not line:
+            return None
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            raise _BadRequest(400, "malformed request line")
+        method, target, version = parts
+        if version not in ("HTTP/1.1", "HTTP/1.0"):
+            raise _BadRequest(400, f"unsupported protocol {version!r}")
+        headers = {}
+        total = len(line)
+        while True:
+            try:
+                line = await reader.readline()
+            except ValueError as exc:
+                raise _BadRequest(431, "header line too long") from exc
+            if not line:
+                return None  # client vanished mid-headers
+            total += len(line)
+            if total > self.max_header_bytes:
+                raise _BadRequest(431, "request headers too large")
+            if line in (b"\r\n", b"\n"):
+                break
+            name, sep, value = line.decode("latin-1").partition(":")
+            if not sep:
+                raise _BadRequest(400, "malformed header line")
+            headers[name.strip().lower()] = value.strip()
+        if "transfer-encoding" in headers:
+            raise _BadRequest(
+                501, "chunked transfer encoding is not supported; "
+                     "send Content-Length bodies")
+        body = b""
+        if method == "POST":
+            length = headers.get("content-length")
+            if length is None:
+                raise _BadRequest(411, "POST requires Content-Length")
+            if not length.isdigit():
+                raise _BadRequest(400, f"malformed Content-Length {length!r}")
+            length = int(length)
+            if length > self.max_body_bytes:
+                raise _BadRequest(
+                    413, f"request body of {length} bytes exceeds "
+                         f"max_body_bytes={self.max_body_bytes}")
+            body = await reader.readexactly(length)
+        connection = headers.get("connection", "").lower()
+        if version == "HTTP/1.0":
+            keep_alive = connection == "keep-alive"
+        else:
+            keep_alive = connection != "close"
+        return method, target.split("?", 1)[0], body, keep_alive
+
+    async def _dispatch(self, method, path, body):
+        """Route one parsed request; returns ``(status, json payload)``."""
+        kind = ROUTES.get((method, path))
+        if kind is None:
+            allowed = [m for m, p in ROUTES if p == path]
+            if allowed:
+                return 405, _error_payload(
+                    405, f"{path} only accepts {' / '.join(sorted(allowed))}")
+            return 404, _error_payload(
+                404, f"unknown route {path!r}; routes: "
+                     + ", ".join(sorted(f"{m} {p}" for m, p in ROUTES)))
+        self._route_counts[f"{method} {path}"] += 1
+        try:
+            if kind == "healthz":
+                return 200, {"status": "ok", "pending": self._server.pending}
+            if kind == "stats":
+                return 200, self.stats
+            query, kwargs = _parse_body(kind, body)
+            result = await getattr(self._server, kind)(query, **kwargs)
+            return 200, jsonable_result(kind, result)
+        except ServerOverloaded as exc:
+            return 429, _error_payload(429, str(exc))
+        except ServerClosed as exc:
+            return 503, _error_payload(503, str(exc))
+        except (ValueError, TypeError) as exc:
+            return 400, _error_payload(400, str(exc))
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # never leak a traceback onto the wire
+            return 500, _error_payload(
+                500, f"{type(exc).__name__}: {exc}")
+
+    async def _respond(self, writer, status, payload, keep_alive):
+        self._status_counts[status] = self._status_counts.get(status, 0) + 1
+        body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+
+class JSONHTTPClient:
+    """Minimal keep-alive HTTP/1.1 JSON client (one request at a time).
+
+    The counterpart the agreement tests, the smoke check, the benchmark
+    and the demo drive :class:`StoreHTTPServer` with — concurrency comes
+    from opening several clients, one in-flight request per connection::
+
+        client = await JSONHTTPClient.connect("127.0.0.1", port)
+        status, payload = await client.request(
+            "POST", "/v1/cleanup", {"query": [1, -1, ...]})
+        await client.close()
+    """
+
+    def __init__(self, reader, writer):
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def connect(cls, host, port):
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def request(self, method, path, payload=None):
+        """Issue one request; returns ``(status, decoded JSON body)``."""
+        body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: localhost\r\n"
+            + (f"Content-Length: {len(body)}\r\n" if method == "POST" else "")
+            + "\r\n"
+        )
+        self._writer.write(head.encode("latin-1") + body)
+        await self._writer.drain()
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ConnectionError("server closed the connection")
+        status = int(status_line.split(b" ", 2)[1])
+        length = None
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        if length is None:
+            raise ConnectionError("response without Content-Length")
+        data = await self._reader.readexactly(length)
+        return status, json.loads(data)
+
+    async def close(self):
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass

@@ -74,6 +74,8 @@ __all__ = [
     "ServerOverloaded",
     "ADMISSION_POLICIES",
     "FLUSH_TRIGGERS",
+    "REQUEST_KINDS",
+    "jsonable_result",
 ]
 
 #: what happens to a request arriving with ``max_pending`` already inside
@@ -84,6 +86,39 @@ ADMISSION_POLICIES = ("wait", "reject")
 #: why a wave left the queue: it filled (``size``), its oldest request's
 #: deadline expired (``deadline``), or the server drained it at shutdown
 FLUSH_TRIGGERS = ("size", "deadline", "drain")
+
+#: the request kinds a server coalesces — also the vocabulary transports
+#: use with :func:`jsonable_result`
+REQUEST_KINDS = ("cleanup", "topk", "similarities")
+
+
+def jsonable_result(kind, result):
+    """Convert one demuxed result row into plain-JSON types.
+
+    The transport-facing serialization seam: every wire front-end (the
+    HTTP server in :mod:`repro.hdc.store.http` today, any future
+    transport) must serialize answers through this one function so the
+    on-the-wire shape cannot drift per transport. The mapping preserves
+    bit-identity — similarities stay ``float`` (Python floats serialize
+    via shortest round-trip repr, so JSON encode→decode returns the
+    exact same double) and labels stay strings:
+
+    - ``"cleanup"``: ``(label, sim)`` → ``{"label": ..., "similarity": ...}``
+    - ``"topk"``: ranked pairs → ``{"results": [{"label": ..., "similarity": ...}, ...]}``
+    - ``"similarities"``: the ``(n,)`` row → ``{"similarities": [...]}``
+    """
+    if kind == "cleanup":
+        label, sim = result
+        return {"label": label, "similarity": float(sim)}
+    if kind == "topk":
+        return {"results": [
+            {"label": label, "similarity": float(sim)} for label, sim in result
+        ]}
+    if kind == "similarities":
+        return {"similarities": [float(sim) for sim in result]}
+    raise ValueError(
+        f"unknown request kind {kind!r}; available: {REQUEST_KINDS}"
+    )
 
 
 class ServerClosed(RuntimeError):
@@ -247,6 +282,16 @@ class StoreServer:
         return self._pending
 
     @property
+    def started(self):
+        """Whether :meth:`start` ran (stays ``True`` after :meth:`stop`)."""
+        return self._started
+
+    @property
+    def closed(self):
+        """Whether :meth:`stop` ran — the server no longer admits."""
+        return self._closed
+
+    @property
     def stats(self):
         """Cumulative serving telemetry (the ``pruning_stats`` pattern).
 
@@ -326,6 +371,18 @@ class StoreServer:
                 f"expected a ({self._store.dim},) query row, got {row.shape}"
             )
         await self._admit()
+        if self._closed:
+            # stop() can interleave between admission and this enqueue
+            # whenever admission yields to the loop (a parked waiter
+            # resumes on a later tick; subclassed/instrumented admission
+            # may add further suspension points). Enqueueing now would
+            # strand the request in a fresh group that no drain wave ever
+            # flushes, so fail it and hand the admitted slot to a
+            # successor instead.
+            self._wake_waiters()
+            raise ServerClosed(
+                "StoreServer stopped while the request was being admitted"
+            )
         self._stats["requests"] += 1
         self._pending += 1
         if self._pending > self._stats["queue_high_water"]:
@@ -364,6 +421,13 @@ class StoreServer:
             except asyncio.CancelledError:
                 if waiter in self._waiters:
                     self._waiters.remove(waiter)
+                elif waiter.done() and not waiter.cancelled():
+                    # Woken (its wake consumed a freed slot) then
+                    # cancelled before resuming: the wake token would
+                    # vanish with this caller and the FIFO behind it
+                    # would starve until some later release — pass the
+                    # token to the next parked waiter instead.
+                    self._wake_waiters()
                 raise
             if self._closed:
                 raise ServerClosed("StoreServer stopped while awaiting admission")
@@ -442,6 +506,16 @@ class StoreServer:
     def _release(self, count):
         """Free ``count`` pending slots and wake that many parked waiters."""
         self._pending -= count
+        self._wake_waiters()
+
+    def _wake_waiters(self):
+        """Wake one parked waiter per currently-free slot (FIFO).
+
+        Each wake hands its slot to exactly one waiter; a woken waiter
+        that never claims it (cancelled before resuming, or refused at
+        the post-admission ``_closed`` re-check) must call this again to
+        pass the token on.
+        """
         free = self.max_pending - self._pending
         while self._waiters and free > 0:
             waiter = self._waiters.popleft()

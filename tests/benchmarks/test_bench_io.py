@@ -1,0 +1,65 @@
+"""The shared benchmark-record merge: atomic, loud on corruption.
+
+``benchmarks/_bench_io.py`` is the one read-modify-write every harness
+funnels through; a torn or silently-reset ``BENCH_store.json`` would
+eat every other harness's recorded surfaces, so the merge must (a)
+swap files in atomically via the persistence ``os.replace`` idiom and
+(b) refuse a corrupt record with an error naming the file.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_MODULE_PATH = (
+    Path(__file__).resolve().parents[2] / "benchmarks" / "_bench_io.py"
+)
+
+
+@pytest.fixture
+def bench_io(tmp_path, monkeypatch):
+    """The module, loaded from source, recording into a temp dir."""
+    spec = importlib.util.spec_from_file_location("_bench_io", _MODULE_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    monkeypatch.setattr(module, "BENCH_DIR", tmp_path)
+    return module
+
+
+def test_merge_preserves_other_harnesses_keys(bench_io, tmp_path):
+    first = bench_io.merge_bench_record("rec.json", {"store": {"n": 1}})
+    assert first == {"store": {"n": 1}}
+    merged = bench_io.merge_bench_record("rec.json", {"serving": {"qps": 2}})
+    assert merged == {"store": {"n": 1}, "serving": {"qps": 2}}
+    on_disk = json.loads((tmp_path / "rec.json").read_text())
+    assert on_disk == merged
+    # top-level keys replace wholesale, everything else survives
+    merged = bench_io.merge_bench_record("rec.json", {"serving": {"qps": 3}})
+    assert merged == {"store": {"n": 1}, "serving": {"qps": 3}}
+
+
+def test_merge_writes_through_a_temp_swap(bench_io, tmp_path, monkeypatch):
+    """A write that dies mid-dump leaves the previous record intact and
+    no ``.tmp`` litter — the merge goes temp-file-then-os.replace."""
+    bench_io.merge_bench_record("rec.json", {"store": {"n": 1}})
+
+    def explode(*args, **kwargs):
+        raise RuntimeError("disk full")
+
+    monkeypatch.setattr(bench_io.json, "dumps", explode)
+    with pytest.raises(RuntimeError, match="disk full"):
+        bench_io.merge_bench_record("rec.json", {"serving": {"qps": 2}})
+    assert json.loads((tmp_path / "rec.json").read_text()) == {
+        "store": {"n": 1}
+    }
+    assert list(tmp_path.iterdir()) == [tmp_path / "rec.json"]
+
+
+def test_corrupt_record_fails_loudly_naming_the_file(bench_io, tmp_path):
+    (tmp_path / "rec.json").write_text('{"store": {"n": 1')  # torn write
+    with pytest.raises(ValueError, match="rec.json"):
+        bench_io.merge_bench_record("rec.json", {"serving": {"qps": 2}})
+    # the corrupt file is left for inspection, not clobbered
+    assert (tmp_path / "rec.json").read_text() == '{"store": {"n": 1'

@@ -382,6 +382,169 @@ class TestShutdown:
         asyncio.run(main())
 
 
+class TestAdmissionShutdownRaces:
+    """Regression pins for the admission/shutdown races: the wake-token
+    loss on cancel-after-wake and the stop-vs-enqueue window."""
+
+    def test_cancel_after_wake_passes_token_to_next_waiter(self, rng):
+        """A parked waiter woken by a freed slot, then cancelled before
+        it resumes, must hand the wake token to the next waiter in the
+        FIFO — pre-fix the token vanished with the cancelled caller and
+        the queue behind it starved until some unrelated later release.
+
+        The interleave is built from plain event-loop FIFO order: the
+        cancellation of a queued request releases its slot and wakes
+        ``woken`` synchronously, and the test's own wakeup (scheduled
+        first) runs before ``woken`` resumes — exactly the window where
+        the second cancel must not swallow the token."""
+        store, vectors = _store(rng, shards=1, items=8)
+        expected = [store.cleanup(vectors[1]), store.topk(vectors[0], k=5),
+                    store.topk(vectors[1], k=5), store.cleanup(vectors[3])]
+
+        async def main():
+            async with StoreServer(store, max_batch=3, max_wait_ms=60.0,
+                                   max_pending=4) as srv:
+                held = [asyncio.ensure_future(srv.cleanup(vectors[0])),
+                        asyncio.ensure_future(srv.cleanup(vectors[1])),
+                        asyncio.ensure_future(srv.topk(vectors[0])),
+                        asyncio.ensure_future(srv.topk(vectors[1]))]
+                await asyncio.sleep(0)
+                # two part-filled groups, no wave dispatched, at capacity
+                assert srv.pending == 4
+                woken = asyncio.ensure_future(srv.cleanup(vectors[2]))
+                starved = asyncio.ensure_future(srv.cleanup(vectors[3]))
+                await asyncio.sleep(0)  # both parked on the admission FIFO
+                held[0].cancel()        # frees one slot -> wakes `woken`
+                await asyncio.sleep(0)  # wake delivered, `woken` not resumed
+                woken.cancel()          # cancel-after-wake
+                await asyncio.gather(held[0], woken, return_exceptions=True)
+                await asyncio.sleep(0)  # the passed-on token admits `starved`
+                assert srv.pending == 4, "wake token was lost"
+                # only held[0] counts: `woken` never got past admission
+                assert srv.stats["cancelled"] == 1
+            # leaving the context drained the queued groups as drain waves
+            return await asyncio.gather(held[1], held[2], held[3], starved)
+
+        assert asyncio.run(main()) == expected
+
+    def test_stop_between_admission_and_enqueue_fails_closed(self, rng):
+        """stop() landing after a request is admitted but before it
+        enqueues must fail it with ServerClosed — pre-fix it enqueued
+        into a fresh group that no drain wave would ever flush and hung
+        until its (arbitrarily distant) deadline. The subclass holds
+        open the loop tick a woken admission waiter pays between its
+        wake and the enqueue."""
+        store, vectors = _store(rng, shards=1, items=8)
+
+        class _GatedAdmission(StoreServer):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                self.admitted = asyncio.Event()
+                self.proceed = asyncio.Event()
+
+            async def _admit(self):
+                await super()._admit()
+                self.admitted.set()
+                await self.proceed.wait()
+
+        async def main():
+            async with _GatedAdmission(store, max_batch=64,
+                                       max_wait_ms=60.0) as srv:
+                request = asyncio.ensure_future(srv.cleanup(vectors[0]))
+                await srv.admitted.wait()  # admitted, not yet enqueued
+                stopper = asyncio.ensure_future(srv.stop())
+                await asyncio.sleep(0)     # stop() completed: nothing queued
+                assert srv.closed
+                srv.proceed.set()
+                with pytest.raises(ServerClosed):
+                    await asyncio.wait_for(request, timeout=5.0)
+                assert srv.pending == 0
+                assert srv.stats["requests"] == 0  # never counted as admitted
+                await stopper
+
+        asyncio.run(main())
+
+
+class TestRestartability:
+    def test_start_after_stop_leaves_no_half_initialized_pool(self, rng):
+        store, _ = _store(rng, shards=1, items=4)
+
+        async def main():
+            srv = StoreServer(store)
+            await srv.start()
+            await srv.stop()
+            with pytest.raises(ServerClosed):
+                await srv.start()
+            assert srv.started and srv.closed
+            assert srv._pool is None  # refused before any pool was built
+            # stop before ever starting is clean, and pins start shut too
+            fresh = StoreServer(store)
+            await fresh.stop()
+            assert not fresh.started and fresh.closed
+            with pytest.raises(ServerClosed):
+                await fresh.start()
+            assert fresh._pool is None
+
+        asyncio.run(main())
+
+    def test_concurrent_stops_during_inflight_drain(self, rng):
+        """Two stop() calls racing an in-flight wave: both complete, the
+        wave's requests all resolve, and a third stop stays a no-op."""
+        store, vectors = _store(rng)
+        gated = _GatedStore(store)
+        expected = [store.cleanup(q) for q in vectors[:3]]
+
+        async def main():
+            srv = await StoreServer(gated, max_batch=3,
+                                    max_wait_ms=60.0).start()
+            tasks = [asyncio.ensure_future(srv.cleanup(q))
+                     for q in vectors[:3]]
+            while not gated.entered.is_set():  # wave of 3 dispatched
+                await asyncio.sleep(0.001)
+            stoppers = [asyncio.ensure_future(srv.stop()),
+                        asyncio.ensure_future(srv.stop())]
+            await asyncio.sleep(0.01)  # both stops await the same wave
+            gated.release.set()
+            await asyncio.gather(*stoppers)
+            results = await asyncio.gather(*tasks)
+            await srv.stop()  # already stopped: plain no-op
+            return results
+
+        assert asyncio.run(main()) == expected
+        store.memory.close()
+
+    def test_reset_stats_mid_wave_keeps_epochs_separate(self, rng):
+        """reset_stats concurrent with an in-flight wave: the wave was
+        counted when it flushed, so the closing snapshot keeps it and
+        its late completion leaks no increments into the new epoch."""
+        store, vectors = _store(rng)
+        gated = _GatedStore(store)
+
+        async def main():
+            async with StoreServer(gated, max_batch=2, max_wait_ms=0.0) as srv:
+                tasks = [asyncio.ensure_future(srv.cleanup(q))
+                         for q in vectors[:2]]
+                while not gated.entered.is_set():
+                    await asyncio.sleep(0.001)
+                snapshot = srv.reset_stats()  # mid-wave
+                assert snapshot["requests"] == 2
+                assert snapshot["waves"] == 1
+                assert snapshot["flushed_size"] == 1
+                assert snapshot["batched_requests"] == 2
+                assert snapshot["queue_depth"] == 2  # still in flight
+                gated.release.set()
+                await asyncio.gather(*tasks)
+                fresh = srv.stats
+                assert fresh["requests"] == 0
+                assert fresh["waves"] == 0
+                assert fresh["batched_requests"] == 0
+                assert fresh["flushed_size"] == 0
+                assert fresh["queue_depth"] == 0
+
+        asyncio.run(main())
+        store.memory.close()
+
+
 class TestValidationAndStats:
     def test_constructor_validation(self, rng):
         store, _ = _store(rng, shards=1, items=4)
