@@ -13,8 +13,16 @@ into a layered subsystem (see ``docs/ARCHITECTURE.md``, "Store layer"):
   served answers bit-identical to direct calls.
 - :class:`StoreHTTPServer` (:mod:`.http`) — the stdlib HTTP/1.1 wire
   transport over :class:`StoreServer`: a fixed ``/v1`` route table,
-  JSON bodies in/out, 429/503/400 error mapping, drain-on-stop — wire
-  answers bit-identical to direct calls too.
+  JSON bodies in/out, 429/503/504/400 error mapping with ``Retry-After``
+  hints, drain-on-stop — wire answers bit-identical to direct calls
+  too. :class:`JSONHTTPClient` pairs it with a typed failure hierarchy
+  (:class:`StoreHTTPError` / :class:`TransportError` /
+  :class:`HTTPStatusError`) and budget-bounded :class:`RetryPolicy`
+  backoff.
+- :mod:`.faults` — the injectable I/O seam under persistence
+  (:func:`injected_faults`, :class:`FaultPlan`) and :mod:`.crash_fuzz`,
+  the crash-consistency fuzzer that kills writers at every commit-path
+  injection point and checks survivors reopen to a legal state.
 - :class:`ShardedItemMemory` (:mod:`.sharded`) — label-routed shards
   with streaming ingestion and fan-out/merge queries, decision-identical
   to a single ``ItemMemory`` for any shard *and worker* count.
@@ -49,7 +57,27 @@ from .persistence import (
     read_manifest,
     save_store,
 )
-from .http import ROUTES, JSONHTTPClient, StoreHTTPServer
+from .faults import (
+    FAULT_MODES,
+    KILL_EXIT_CODE,
+    CountingIO,
+    FaultInjected,
+    FaultingIO,
+    FaultPlan,
+    StoreIO,
+    active_io,
+    injected_faults,
+    install_io,
+)
+from .http import (
+    ROUTES,
+    HTTPStatusError,
+    JSONHTTPClient,
+    RetryPolicy,
+    StoreHTTPError,
+    StoreHTTPServer,
+    TransportError,
+)
 from .planner import AssociativeStore
 from .routing import ROUTINGS, hash_shard, route_label
 from .serving import (
@@ -58,6 +86,7 @@ from .serving import (
     REQUEST_KINDS,
     ServerClosed,
     ServerOverloaded,
+    ServerTimeout,
     StoreServer,
     jsonable_result,
 )
@@ -69,8 +98,23 @@ __all__ = [
     "StoreHTTPServer",
     "JSONHTTPClient",
     "ROUTES",
+    "RetryPolicy",
+    "StoreHTTPError",
+    "TransportError",
+    "HTTPStatusError",
     "ServerClosed",
     "ServerOverloaded",
+    "ServerTimeout",
+    "StoreIO",
+    "CountingIO",
+    "FaultingIO",
+    "FaultPlan",
+    "FaultInjected",
+    "FAULT_MODES",
+    "KILL_EXIT_CODE",
+    "active_io",
+    "install_io",
+    "injected_faults",
     "ADMISSION_POLICIES",
     "FLUSH_TRIGGERS",
     "REQUEST_KINDS",

@@ -1,0 +1,300 @@
+"""Injectable I/O seam + fault plans for the store commit path.
+
+The persistence layer's crash-safety story (``docs/STORE_FORMAT.md``,
+"Commit protocol") rests on a handful of syscall-level operations: write
+a sibling temp file, ``fsync`` it, ``os.replace`` it into place, unlink
+what the committed manifest no longer names. This module makes every one
+of those operations *injectable* so the story can be executed instead of
+argued:
+
+- :class:`StoreIO` is the seam — the default, zero-overhead passthrough
+  the commit path (:mod:`.persistence`) routes every file operation
+  through. Production code never notices it exists.
+- :class:`FaultPlan` describes one injected failure: at the Nth
+  operation matching an op name / path glob, either **fail** (raise
+  :exc:`FaultInjected`, an ``OSError`` — the recoverable error path),
+  **truncate** (write a torn prefix of the bytes, then hard-kill — a
+  torn write at the crash point), or **kill** (hard-kill the process via
+  ``os._exit`` before the operation happens — a crash that runs no
+  cleanup handlers).
+- :class:`FaultingIO` executes a plan; :class:`CountingIO` records the
+  operation trace of a fault-free run, which is how the crash fuzzer
+  (:mod:`.crash_fuzz`) enumerates every reachable injection point of a
+  schedule before killing a writer at each one.
+
+Installation is process-global (:func:`install_io` / the
+:func:`injected_faults` context manager): the fuzzer's writer children
+install their plan from a JSON blob on the command line, in-process
+tests install a seam for the duration of a ``with`` block. The active
+seam is looked up per operation, so installing after import works.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import io as _io_module
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "FAULT_MODES",
+    "KILL_EXIT_CODE",
+    "FaultInjected",
+    "FaultPlan",
+    "StoreIO",
+    "FaultingIO",
+    "CountingIO",
+    "active_io",
+    "install_io",
+    "injected_faults",
+]
+
+#: what a triggered :class:`FaultPlan` does: raise :exc:`FaultInjected`
+#: (``"fail"``), write a torn prefix then hard-kill (``"truncate"``), or
+#: hard-kill before the operation runs (``"kill"``)
+FAULT_MODES = ("fail", "truncate", "kill")
+
+#: the exit code of a hard-killed writer — distinctive, so the fuzzer can
+#: tell an injected crash from an ordinary failure
+KILL_EXIT_CODE = 86
+
+
+class FaultInjected(OSError):
+    """The injected failure of a ``mode="fail"`` :class:`FaultPlan`.
+
+    An ``OSError`` subclass: callers of the persistence layer see
+    exactly the type a real full disk / permission error would raise,
+    so the recovery contract being tested is the production one.
+    """
+
+
+class FaultPlan:
+    """One injected failure: at the Nth matching operation, do ``mode``.
+
+    Parameters
+    ----------
+    op_index:
+        Zero-based index among *matching* operations: ``0`` triggers on
+        the first match, ``3`` on the fourth.
+    mode:
+        One of :data:`FAULT_MODES`.
+    op:
+        Restrict matching to one operation name (``"write"`` /
+        ``"fsync"`` / ``"replace"`` / ``"unlink"``); ``None`` matches
+        every operation.
+    path_glob:
+        ``fnmatch`` pattern against the operation target's *file name*
+        (not the full path), e.g. ``"manifest.json*"`` or
+        ``"delta.g*"``; ``None`` matches every file.
+    keep_fraction:
+        For ``mode="truncate"``: fraction of the payload bytes written
+        before the kill (default ``0.5``; clamped so a non-empty payload
+        always loses at least one byte).
+    """
+
+    def __init__(self, op_index, mode="kill", op=None, path_glob=None,
+                 keep_fraction=0.5):
+        if int(op_index) < 0:
+            raise ValueError("op_index must be >= 0")
+        if mode not in FAULT_MODES:
+            raise ValueError(
+                f"unknown fault mode {mode!r}; available: {FAULT_MODES}"
+            )
+        if not 0.0 <= float(keep_fraction) <= 1.0:
+            raise ValueError("keep_fraction must be within [0, 1]")
+        self.op_index = int(op_index)
+        self.mode = mode
+        self.op = op
+        self.path_glob = path_glob
+        self.keep_fraction = float(keep_fraction)
+
+    def matches(self, op, path):
+        if self.op is not None and op != self.op:
+            return False
+        if self.path_glob is not None and not fnmatch.fnmatch(
+            Path(path).name, self.path_glob
+        ):
+            return False
+        return True
+
+    # -- subprocess handoff -------------------------------------------------- #
+
+    def to_json(self):
+        """Serialize for handing to a writer subprocess."""
+        return json.dumps({
+            "op_index": self.op_index, "mode": self.mode, "op": self.op,
+            "path_glob": self.path_glob, "keep_fraction": self.keep_fraction,
+        })
+
+    @classmethod
+    def from_json(cls, text):
+        return cls(**json.loads(text))
+
+    def __repr__(self):
+        return (
+            f"FaultPlan(op_index={self.op_index}, mode={self.mode!r}, "
+            f"op={self.op!r}, path_glob={self.path_glob!r})"
+        )
+
+
+class StoreIO:
+    """The injectable I/O seam of the persistence commit path.
+
+    The default instance is a pure passthrough — every method is the one
+    stdlib/NumPy call the commit path would otherwise make inline. Fault
+    injection subclasses override :meth:`_observe` (called once per
+    operation with ``(op, path)`` plus the payload bytes for writes) and
+    leave the actual I/O here.
+    """
+
+    def _observe(self, op, path, payload=None):
+        """Hook: called before each operation. Passthrough does nothing."""
+
+    def open(self, path, mode="wb"):
+        """Open a data file for writing (the ``open``-style operation)."""
+        return open(path, mode)
+
+    def write_bytes(self, path, data):
+        """Write a JSON sidecar / manifest payload to ``path``."""
+        self._observe("write", path, payload=data)
+        with self.open(path) as handle:
+            handle.write(data)
+
+    def save_array(self, path, array):
+        """Write one ``.npy`` matrix file to ``path``."""
+        self._observe("write", path)
+        with self.open(path) as handle:
+            np.save(handle, array)
+
+    def fsync(self, path):
+        """Flush a written file to stable storage before its rename."""
+        self._observe("fsync", path)
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def replace(self, src, dst):
+        """Atomically rename ``src`` over ``dst`` (the commit operation)."""
+        self._observe("replace", dst)
+        os.replace(src, dst)
+
+    def unlink(self, path):
+        """Garbage-collect a file the committed manifest no longer names."""
+        self._observe("unlink", path)
+        os.unlink(path)
+
+
+class CountingIO(StoreIO):
+    """Passthrough that records the ``(op, file name)`` trace.
+
+    The fuzzer runs a schedule once under this seam to enumerate every
+    reachable injection point (``len(trace)`` operations), then replays
+    the schedule in subprocesses with a :class:`FaultPlan` aimed at each
+    index in turn.
+    """
+
+    def __init__(self):
+        self.trace = []
+
+    def _observe(self, op, path, payload=None):
+        self.trace.append((op, Path(path).name))
+
+
+class FaultingIO(StoreIO):
+    """Executes a :class:`FaultPlan` over the passthrough seam.
+
+    Counts operations matching the plan; at the plan's ``op_index`` it
+    fails, tears, or kills. A ``"truncate"`` fault on a non-write
+    operation (nothing to tear) degrades to ``"kill"``.
+    """
+
+    def __init__(self, plan):
+        self.plan = plan
+        self.matched = 0
+        self.triggered = False
+
+    def _observe(self, op, path, payload=None):
+        plan = self.plan
+        if self.triggered or not plan.matches(op, path):
+            return
+        index, self.matched = self.matched, self.matched + 1
+        if index != plan.op_index:
+            return
+        self.triggered = True
+        if plan.mode == "fail":
+            raise FaultInjected(
+                f"injected fault: {op} on {Path(path).name} "
+                f"(match #{index})"
+            )
+        if plan.mode == "truncate":
+            data = payload
+            if data is None and op == "write":
+                data = b""
+            if data is not None:
+                keep = min(len(data) - 1, int(len(data) * plan.keep_fraction))
+                with open(path, "wb") as handle:
+                    handle.write(data[: max(keep, 0)])
+        # Hard-kill: no atexit hooks, no finally blocks, no buffer
+        # flushes — the closest a test harness gets to pulling power.
+        os._exit(KILL_EXIT_CODE)
+
+    def save_array(self, path, array):
+        # Serialize first so a "truncate" fault can tear the real bytes.
+        if self.plan.mode == "truncate" and not self.triggered:
+            buffer = _io_module.BytesIO()
+            np.save(buffer, array)
+            data = buffer.getvalue()
+            self._observe("write", path, payload=data)
+            with self.open(path) as handle:
+                handle.write(data)
+            return
+        super().save_array(path, array)
+
+
+#: the process-global active seam; production code never reassigns it
+_ACTIVE_IO = StoreIO()
+
+
+def active_io():
+    """The seam the persistence commit path routes operations through."""
+    return _ACTIVE_IO
+
+
+def install_io(io):
+    """Install ``io`` as the process-global seam; returns the previous one.
+
+    Test/fuzzer entry point — production code leaves the passthrough
+    installed. Prefer :func:`injected_faults` for scoped installation.
+    """
+    global _ACTIVE_IO
+    previous = _ACTIVE_IO
+    _ACTIVE_IO = io if io is not None else StoreIO()
+    return previous
+
+
+class injected_faults:
+    """Context manager: install a seam (or a plan) for a ``with`` block.
+
+    Accepts a :class:`StoreIO` instance or a :class:`FaultPlan` (wrapped
+    in a fresh :class:`FaultingIO`). The entered seam is yielded; the
+    previous seam is restored on exit, whatever happens inside.
+    """
+
+    def __init__(self, io_or_plan):
+        if isinstance(io_or_plan, FaultPlan):
+            io_or_plan = FaultingIO(io_or_plan)
+        self._io = io_or_plan
+        self._previous = None
+
+    def __enter__(self):
+        self._previous = install_io(self._io)
+        return self._io
+
+    def __exit__(self, *exc_info):
+        install_io(self._previous)
+        return False

@@ -31,14 +31,29 @@ GET      ``/v1/healthz``       ``{"status": "ok", "pending": n}``
 **Error mapping** — every failure is a JSON body
 ``{"error": {"status": ..., "message": ...}}``:
 
-- :exc:`~.serving.ServerOverloaded` (admission ``"reject"``) → **429**;
-- :exc:`~.serving.ServerClosed` / server draining → **503**;
-- validation (malformed JSON, missing/ill-typed ``query`` or ``k``,
-  wrong dimensionality, unknown body keys) → **400**;
+- :exc:`~.serving.ServerOverloaded` (admission ``"reject"``) → **429**,
+  with a ``Retry-After`` hint derived from the server's ``max_wait_ms``
+  (one micro-batch deadline is how long a slot typically takes to free);
+- :exc:`~.serving.ServerClosed` / server draining → **503** (same
+  ``Retry-After`` hint — drains are transient in a restart window);
+- :exc:`~.serving.ServerTimeout` (request deadline expired) → **504**;
+- validation (malformed JSON, missing/ill-typed ``query`` / ``k`` /
+  ``timeout_ms``, wrong dimensionality, unknown body keys) → **400**;
 - unknown path → **404**; known path, wrong method → **405**; ``POST``
   without ``Content-Length`` → **411**; body over
   ``max_body_bytes`` → **413**; headers over ``max_header_bytes`` →
   **431**; chunked transfer encoding → **501**.
+
+**Client-side failure typing**: :class:`JSONHTTPClient` raises
+:class:`TransportError` (a :class:`StoreHTTPError` *and* a
+``ConnectionError``) whenever the connection dies before a complete
+response, and :class:`HTTPStatusError` on ``raise_for_status=True``
+responses — callers and the retry layer key on types, never on message
+strings. With a :class:`RetryPolicy` attached, idempotent requests
+retry on 429/503/transport failures with capped exponential backoff,
+deterministic jitter, and a total time budget; the clock and sleep are
+injectable so the backoff schedule is unit-testable without real
+sleeps.
 
 **Decision contract**: answers serialize through
 :func:`~.serving.jsonable_result` — similarity floats travel as JSON
@@ -67,16 +82,27 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
+import random
 
 import numpy as np
 
 from .serving import (
     ServerClosed,
     ServerOverloaded,
+    ServerTimeout,
     jsonable_result,
 )
 
-__all__ = ["StoreHTTPServer", "JSONHTTPClient", "ROUTES"]
+__all__ = [
+    "StoreHTTPServer",
+    "JSONHTTPClient",
+    "RetryPolicy",
+    "StoreHTTPError",
+    "TransportError",
+    "HTTPStatusError",
+    "ROUTES",
+]
 
 #: the wire surface: ``(method, path)`` → request kind. Query kinds
 #: (``cleanup`` / ``topk`` / ``similarities``) parse the body into one
@@ -102,14 +128,19 @@ _REASONS = {
     500: "Internal Server Error",
     501: "Not Implemented",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
+
+#: statuses that carry a ``Retry-After`` hint: transient by contract —
+#: overload clears as waves complete, drain windows end with a restart
+_RETRYABLE_STATUSES = (429, 503)
 
 #: body keys each query route accepts — anything else is a 400, so a
 #: misspelled field fails loudly instead of silently using a default
 _ALLOWED_KEYS = {
-    "cleanup": {"query"},
-    "topk": {"query", "k"},
-    "similarities": {"query"},
+    "cleanup": {"query", "timeout_ms"},
+    "topk": {"query", "k", "timeout_ms"},
+    "similarities": {"query", "timeout_ms"},
 }
 
 
@@ -150,6 +181,13 @@ def _parse_body(kind, body):
         if isinstance(k, bool) or not isinstance(k, int):
             raise ValueError('"k" must be an integer')
         kwargs["k"] = k
+    if "timeout_ms" in payload:
+        timeout_ms = payload["timeout_ms"]
+        if (isinstance(timeout_ms, bool)
+                or not isinstance(timeout_ms, (int, float))
+                or not timeout_ms > 0):
+            raise ValueError('"timeout_ms" must be a positive number')
+        kwargs["timeout_ms"] = float(timeout_ms)
     return query, kwargs
 
 
@@ -445,6 +483,11 @@ class StoreHTTPServer:
             return 200, jsonable_result(kind, result)
         except ServerOverloaded as exc:
             return 429, _error_payload(429, str(exc))
+        except ServerTimeout as exc:
+            # ServerTimeout subclasses TimeoutError, not ServerClosed —
+            # an expired deadline is the *request's* failure, never the
+            # server's, so it must not read as retry-forever 503.
+            return 504, _error_payload(504, str(exc))
         except ServerClosed as exc:
             return 503, _error_payload(503, str(exc))
         except (ValueError, TypeError) as exc:
@@ -455,18 +498,142 @@ class StoreHTTPServer:
             return 500, _error_payload(
                 500, f"{type(exc).__name__}: {exc}")
 
+    @property
+    def retry_after_hint(self):
+        """``Retry-After`` seconds sent on 429/503 responses.
+
+        One micro-batch deadline (``max_wait_ms``) is how long a queue
+        slot typically takes to free under overload, rounded up to the
+        1-second floor HTTP's integer ``Retry-After`` allows.
+        """
+        return max(1, math.ceil(self._server.max_wait_ms / 1000.0))
+
     async def _respond(self, writer, status, payload, keep_alive):
         self._status_counts[status] = self._status_counts.get(status, 0) + 1
         body = json.dumps(payload).encode("utf-8")
+        retry_after = ""
+        if status in _RETRYABLE_STATUSES:
+            retry_after = f"Retry-After: {self.retry_after_hint}\r\n"
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
-            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            + retry_after
+            + f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             f"\r\n"
         )
         writer.write(head.encode("latin-1") + body)
         await writer.drain()
+
+
+class StoreHTTPError(Exception):
+    """Base of the client-side failure hierarchy.
+
+    Everything :class:`JSONHTTPClient` raises about the *HTTP exchange*
+    derives from this, so callers can write one ``except StoreHTTPError``
+    and key on the concrete type — never on message strings.
+    """
+
+
+class TransportError(StoreHTTPError, ConnectionError):
+    """The connection died before a complete response arrived.
+
+    Wraps every raw ``OSError`` / ``ConnectionError`` /
+    ``IncompleteReadError`` surface in the client (connect, send, read),
+    so transport failures have exactly one type. Still a
+    ``ConnectionError`` subclass, so pre-hierarchy ``except
+    ConnectionError`` callers keep working. Retryable for idempotent
+    requests: the request may or may not have executed, but every store
+    query route is read-only, so replaying is always safe.
+    """
+
+
+class HTTPStatusError(StoreHTTPError):
+    """A non-2xx response, raised by ``request(raise_for_status=True)``.
+
+    Carries the parsed ``status`` and the decoded JSON ``payload`` (the
+    server's ``{"error": {...}}`` body) for programmatic handling.
+    """
+
+    def __init__(self, status, payload):
+        message = status if isinstance(payload, str) else (
+            (payload or {}).get("error", {}).get("message", ""))
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = int(status)
+        self.payload = payload
+
+
+class RetryPolicy:
+    """Capped exponential backoff with deterministic jitter and a budget.
+
+    Governs :class:`JSONHTTPClient` retries. A request is retried only
+    when the failure is transient *and* replay is safe:
+
+    - response status in ``retry_statuses`` (**429** overload, **503**
+      drain/restart window — never 504: an expired deadline means the
+      caller's time allowance is already spent, and never 4xx/500:
+      replaying a bad request reproduces the answer, not fixes it);
+    - :class:`TransportError`, for idempotent requests only.
+
+    Delay for attempt *n* (0-based) is ``base_delay_ms * multiplier**n``
+    capped at ``max_delay_ms``, then scaled by a jitter factor drawn
+    deterministically from ``seed`` and *n* — two clients with different
+    seeds desynchronize their retry storms, while any single schedule is
+    exactly reproducible. A server ``Retry-After`` hint raises the delay
+    to at least the hinted seconds (still capped at ``max_delay_ms``).
+    ``budget_ms`` bounds the *total* time from first send: a retry whose
+    delay would overrun the budget is not attempted.
+
+    ``clock`` / ``sleep`` are injectable (defaults: the running loop's
+    ``time`` and ``asyncio.sleep``) so tests pin the whole schedule on a
+    fake clock with zero real sleeps.
+    """
+
+    def __init__(self, max_retries=4, base_delay_ms=25.0, max_delay_ms=1000.0,
+                 budget_ms=10_000.0, retry_statuses=(429, 503), jitter=0.5,
+                 seed=0, clock=None, sleep=None):
+        if int(max_retries) < 0:
+            raise ValueError("max_retries must be >= 0")
+        if float(base_delay_ms) <= 0 or float(max_delay_ms) <= 0:
+            raise ValueError("delays must be > 0")
+        if float(budget_ms) <= 0:
+            raise ValueError("budget_ms must be > 0")
+        if not 0.0 <= float(jitter) <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        self.max_retries = int(max_retries)
+        self.base_delay_ms = float(base_delay_ms)
+        self.max_delay_ms = float(max_delay_ms)
+        self.budget_ms = float(budget_ms)
+        self.retry_statuses = tuple(int(s) for s in retry_statuses)
+        self.jitter = float(jitter)
+        self.seed = seed
+        self._clock = clock
+        self._sleep = sleep
+
+    def now_ms(self):
+        if self._clock is not None:
+            return float(self._clock()) * 1000.0
+        return asyncio.get_running_loop().time() * 1000.0
+
+    async def pause_ms(self, delay_ms):
+        if self._sleep is not None:
+            await self._sleep(delay_ms / 1000.0)
+        else:
+            await asyncio.sleep(delay_ms / 1000.0)
+
+    def delay_ms(self, attempt, retry_after_s=None):
+        """Backoff before retry *attempt* (0-based), in milliseconds."""
+        raw = min(self.max_delay_ms,
+                  self.base_delay_ms * (2.0 ** attempt))
+        # deterministic jitter: same (seed, attempt) → same factor, so a
+        # test can assert the exact schedule; factor spans [1-j, 1]
+        factor = 1.0 - self.jitter * random.Random(
+            f"retry:{self.seed}:{attempt}").random()
+        delay = raw * factor
+        if retry_after_s is not None:
+            delay = max(delay, min(float(retry_after_s) * 1000.0,
+                                   self.max_delay_ms))
+        return delay
 
 
 class JSONHTTPClient:
@@ -480,19 +647,116 @@ class JSONHTTPClient:
         status, payload = await client.request(
             "POST", "/v1/cleanup", {"query": [1, -1, ...]})
         await client.close()
+
+    Transport failures raise :class:`TransportError`;
+    ``request(..., raise_for_status=True)`` turns non-2xx responses into
+    :class:`HTTPStatusError`. Pass ``retry=RetryPolicy(...)`` to
+    ``connect`` and idempotent requests transparently survive overload
+    (429), drain/restart windows (503, with reconnect) and dropped
+    connections — see :class:`RetryPolicy` for exactly what retries.
+    The headers of the last response are kept on :attr:`last_headers`
+    (lower-cased names), where the retry layer reads ``Retry-After``.
     """
 
-    def __init__(self, reader, writer):
+    def __init__(self, reader, writer, host=None, port=None, retry=None):
         self._reader = reader
         self._writer = writer
+        self._host = host
+        self._port = port
+        self._retry = retry
+        self.last_headers = {}
 
     @classmethod
-    async def connect(cls, host, port):
-        reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer)
+    async def connect(cls, host, port, retry=None):
+        """Open a connection; remembers ``host``/``port`` for reconnect."""
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+        except (ConnectionError, OSError) as exc:
+            raise TransportError(
+                f"cannot connect to {host}:{port}: {exc}") from exc
+        return cls(reader, writer, host=host, port=port, retry=retry)
 
-    async def request(self, method, path, payload=None):
-        """Issue one request; returns ``(status, decoded JSON body)``."""
+    async def _reconnect(self):
+        if self._host is None or self._port is None:
+            raise TransportError(
+                "cannot reconnect: client was built without host/port")
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+        try:
+            self._reader, self._writer = await asyncio.open_connection(
+                self._host, self._port)
+        except (ConnectionError, OSError) as exc:
+            raise TransportError(
+                f"cannot reconnect to {self._host}:{self._port}: "
+                f"{exc}") from exc
+
+    async def request(self, method, path, payload=None, *,
+                      idempotent=True, raise_for_status=False):
+        """Issue one request; returns ``(status, decoded JSON body)``.
+
+        With a :class:`RetryPolicy` attached, transient failures (429,
+        503, and — for ``idempotent=True`` requests — transport errors,
+        after reconnecting) are retried within the policy's attempt and
+        time budget; the *final* outcome is returned or raised as usual.
+        ``raise_for_status=True`` converts any non-2xx final status into
+        :class:`HTTPStatusError` instead of returning it.
+        """
+        policy = self._retry
+        if policy is None:
+            status, body = await self._request_once(method, path, payload)
+        else:
+            status, body = await self._request_with_retry(
+                policy, method, path, payload, idempotent)
+        if raise_for_status and not 200 <= status < 300:
+            raise HTTPStatusError(status, body)
+        return status, body
+
+    async def _request_with_retry(self, policy, method, path, payload,
+                                  idempotent):
+        start_ms = policy.now_ms()
+        attempt = 0
+        needs_reconnect = False
+        while True:
+            retry_after_s = None
+            try:
+                if needs_reconnect:
+                    # the previous exchange died (or the reconnect itself
+                    # failed — a refused port mid-restart retries too)
+                    await self._reconnect()
+                    needs_reconnect = False
+                status, body = await self._request_once(method, path, payload)
+            except TransportError:
+                if not idempotent or attempt >= policy.max_retries:
+                    raise
+                retryable = True
+                needs_reconnect = True
+                outcome = None
+            else:
+                outcome = (status, body)
+                retryable = (status in policy.retry_statuses
+                             and attempt < policy.max_retries)
+                header = self.last_headers.get("retry-after")
+                if header is not None:
+                    try:
+                        retry_after_s = float(header)
+                    except ValueError:
+                        retry_after_s = None
+            if not retryable:
+                return outcome
+            delay = policy.delay_ms(attempt, retry_after_s)
+            if policy.now_ms() - start_ms + delay > policy.budget_ms:
+                if outcome is None:
+                    raise TransportError(
+                        f"retry budget of {policy.budget_ms:g} ms exhausted "
+                        f"after {attempt + 1} attempt(s)")
+                return outcome
+            await policy.pause_ms(delay)
+            attempt += 1
+
+    async def _request_once(self, method, path, payload):
         body = b"" if payload is None else json.dumps(payload).encode("utf-8")
         head = (
             f"{method} {path} HTTP/1.1\r\n"
@@ -500,23 +764,30 @@ class JSONHTTPClient:
             + (f"Content-Length: {len(body)}\r\n" if method == "POST" else "")
             + "\r\n"
         )
-        self._writer.write(head.encode("latin-1") + body)
-        await self._writer.drain()
-        status_line = await self._reader.readline()
-        if not status_line:
-            raise ConnectionError("server closed the connection")
-        status = int(status_line.split(b" ", 2)[1])
-        length = None
-        while True:
-            line = await self._reader.readline()
-            if line in (b"\r\n", b"\n", b""):
-                break
-            name, _, value = line.decode("latin-1").partition(":")
-            if name.strip().lower() == "content-length":
-                length = int(value.strip())
-        if length is None:
-            raise ConnectionError("response without Content-Length")
-        data = await self._reader.readexactly(length)
+        try:
+            self._writer.write(head.encode("latin-1") + body)
+            await self._writer.drain()
+            status_line = await self._reader.readline()
+            if not status_line:
+                raise TransportError("server closed the connection")
+            status = int(status_line.split(b" ", 2)[1])
+            headers = {}
+            while True:
+                line = await self._reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            self.last_headers = headers
+            length = headers.get("content-length")
+            if length is None:
+                raise TransportError("response without Content-Length")
+            data = await self._reader.readexactly(int(length))
+        except TransportError:
+            raise
+        except (ConnectionError, OSError, asyncio.IncompleteReadError) as exc:
+            raise TransportError(
+                f"connection failed mid-request: {exc}") from exc
         return status, json.loads(data)
 
     async def close(self):

@@ -85,12 +85,14 @@ from __future__ import annotations
 import json
 import math
 import os
+import re
 from pathlib import Path
 
 import numpy as np
 
 from ..hypervector import pack_bipolar, unpack_bipolar
 from ..item_memory import ItemMemory
+from .faults import active_io
 from .routing import ROUTINGS, route_label
 from .sharded import DEFAULT_CHUNK_SIZE, ShardedItemMemory, validate_batch
 
@@ -163,40 +165,44 @@ def _check_labels(labels):
 
 
 def _replace_with(path, writer):
-    """Write through a sibling temp file, then ``os.replace`` into place.
+    """Write through a sibling temp file, fsync, then swap into place.
 
     The swap changes the directory entry, not the old inode, so live
     ``np.memmap`` views of the previous file stay valid (compaction can
     rewrite a shard the open store is still reading) and a crash never
-    leaves a torn file under the final name.
+    leaves a torn file under the final name. The temp write, the fsync
+    and the ``os.replace`` all route through the injectable I/O seam
+    (:mod:`.faults`) — a zero-overhead passthrough in production, the
+    crash fuzzer's kill points under test.
     """
     path = Path(path)
     tmp = path.with_name(path.name + ".tmp")
+    io = active_io()
     try:
-        writer(tmp)
-        os.replace(tmp, path)
+        writer(tmp, io)
+        io.fsync(tmp)
+        io.replace(tmp, path)
     finally:
         tmp.unlink(missing_ok=True)
 
 
 def _save_array(path, array):
-    def writer(tmp):
-        with open(tmp, "wb") as handle:
-            np.save(handle, array)
-
-    _replace_with(path, writer)
+    _replace_with(path, lambda tmp, io: io.save_array(tmp, array))
 
 
 def _write_json(path, payload):
-    _replace_with(path, lambda tmp: tmp.write_text(json.dumps(payload) + "\n"))
+    data = (json.dumps(payload) + "\n").encode("utf-8")
+    _replace_with(path, lambda tmp, io: io.write_bytes(tmp, data))
 
 
 def _write_manifest(path, manifest):
-    _replace_with(
-        Path(path) / MANIFEST_NAME,
-        lambda tmp: tmp.write_text(json.dumps(manifest) + "\n"),
-    )
+    _write_json(Path(path) / MANIFEST_NAME, manifest)
     return Path(path) / MANIFEST_NAME
+
+
+def _unlink_stale(path):
+    """Garbage-collect one stale file through the injectable seam."""
+    active_io().unlink(path)
 
 
 #: segment fields that persist in the manifest itself — labels, orders,
@@ -259,10 +265,7 @@ def _write_worker_index(path, manifest):
             for entry in manifest["shards"]
         ],
     }
-    _replace_with(
-        Path(path) / WORKER_INDEX_NAME,
-        lambda tmp: tmp.write_text(json.dumps(index) + "\n"),
-    )
+    _write_json(Path(path) / WORKER_INDEX_NAME, index)
 
 
 def _collect_stale_sidecars(path, manifest):
@@ -276,11 +279,11 @@ def _collect_stale_sidecars(path, manifest):
     }
     for stale in path.glob("orders_*.npy"):
         if stale.name not in orders:
-            stale.unlink()
+            _unlink_stale(stale)
     labels = {manifest.get("labels_file")}
     for stale in path.glob("labels.g*.json"):
         if stale.name not in labels:
-            stale.unlink()
+            _unlink_stale(stale)
     deltas = {
         segment.get("delta_file")
         for entry in manifest["shards"]
@@ -289,7 +292,7 @@ def _collect_stale_sidecars(path, manifest):
     }
     for stale in path.glob("delta.g*.json"):
         if stale.name not in deltas:
-            stale.unlink()
+            _unlink_stale(stale)
 
 
 def _centroid_to_hex(backend, native_centroid):
@@ -438,7 +441,7 @@ def save_store(memory, path):
     current = {entry["file"] for entry in shard_entries}
     for stale in path.glob("shard_*.npy"):
         if stale.name not in current:
-            stale.unlink()
+            _unlink_stale(stale)
     _collect_stale_sidecars(path, manifest)
     if isinstance(memory, ShardedItemMemory):
         # The saved directory is now a faithful copy of this memory:
@@ -471,28 +474,72 @@ def read_manifest(path):
     return _read_manifest(path)
 
 
+def _gen_tag(file_path, generation):
+    """Uniform corruption-message suffix: offending file + generation.
+
+    Every corruption raise in this module carries it — the crash fuzzer
+    (:mod:`.crash_fuzz`) asserts that refused stores name both the file
+    and the generation, so operators can tell *which* commit's artifact
+    is damaged without spelunking the directory.
+    """
+    generation = "unknown" if generation is None else generation
+    return f" [file {file_path}, generation {generation}]"
+
+
+def _file_generation(name, fallback=None):
+    """The generation baked into an artifact's file name, or ``fallback``.
+
+    Shard/orders/label/delta names carry ``.g<gen>.`` and segment names
+    ``.seg<gen>.`` (the commit that wrote them) — the most precise
+    generation a corruption message can name, since base files legally
+    outlive the manifest generation across appends.
+    """
+    match = re.search(r"\.(?:g|seg)(\d+)\.", str(name))
+    return int(match.group(1)) if match else fallback
+
+
 def _read_manifest(path):
     manifest_path = Path(path) / MANIFEST_NAME
     if not manifest_path.is_file():
-        raise FileNotFoundError(f"no store manifest at {manifest_path}")
-    manifest = json.loads(manifest_path.read_text())
+        raise FileNotFoundError(
+            f"no store manifest at {manifest_path}"
+            + _gen_tag(manifest_path, None)
+        )
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except ValueError as exc:
+        raise ValueError(
+            f"corrupted manifest {manifest_path}: {exc}"
+            + _gen_tag(manifest_path, None)
+        ) from exc
+    if not isinstance(manifest, dict):
+        raise ValueError(
+            f"{manifest_path} does not hold a JSON object"
+            + _gen_tag(manifest_path, None)
+        )
+    tag = _gen_tag(manifest_path, manifest.get("generation", 0))
     if manifest.get("format") != FORMAT_NAME:
         raise ValueError(
             f"{manifest_path} is not a {FORMAT_NAME} manifest "
-            f"(format={manifest.get('format')!r})"
+            f"(format={manifest.get('format')!r})" + tag
         )
     version = manifest.get("format_version")
     if version not in SUPPORTED_VERSIONS:
         raise ValueError(
             f"store format version {version!r} is not supported "
-            f"(this build reads versions {SUPPORTED_VERSIONS})"
+            f"(this build reads versions {SUPPORTED_VERSIONS})" + tag
         )
     if manifest.get("kind") not in ("single", "sharded"):
-        raise ValueError(f"unknown store kind {manifest.get('kind')!r}")
+        raise ValueError(f"unknown store kind {manifest.get('kind')!r}" + tag)
     if manifest["kind"] == "sharded" and manifest.get("routing") not in ROUTINGS:
-        raise ValueError(f"unknown routing policy {manifest.get('routing')!r}")
+        raise ValueError(
+            f"unknown routing policy {manifest.get('routing')!r}" + tag
+        )
     if len(manifest["shards"]) != manifest["num_shards"]:
-        raise ValueError("manifest shard count does not match shard entries")
+        raise ValueError(
+            f"manifest records num_shards={manifest['num_shards']} but holds "
+            f"{len(manifest['shards'])} shard entries" + tag
+        )
     # Version-1 manifests predate the append journal, version-1/2 the
     # bounds block: migrate in place. Legacy top-level minus_min/max
     # keys (the v2 layout) fold into the block; geometric bounds are
@@ -564,41 +611,58 @@ def _materialize_v4(path, manifest):
     ``labels``, segment ``labels``/``orders``/``bounds``) exist only in
     the returned dict; :func:`_manifest_to_disk` strips them on write.
     """
+    generation = manifest.get("generation")
     labels_name = manifest.get("labels_file")
     if not isinstance(labels_name, str):
-        raise ValueError("v4 manifest does not name a labels_file")
+        raise ValueError(
+            "v4 manifest does not name a labels_file"
+            + _gen_tag(path / MANIFEST_NAME, generation)
+        )
     labels_path = path / labels_name
     if not labels_path.is_file():
-        raise FileNotFoundError(f"missing labels file {labels_path}")
+        raise FileNotFoundError(
+            f"missing labels file {labels_path}"
+            + _gen_tag(labels_path, generation)
+        )
     try:
         labels = json.loads(labels_path.read_text())
     except ValueError as exc:
-        raise ValueError(f"corrupted labels file {labels_path}: {exc}") from exc
+        raise ValueError(
+            f"corrupted labels file {labels_path}: {exc}"
+            + _gen_tag(labels_path, generation)
+        ) from exc
     if not isinstance(labels, list):
-        raise ValueError(f"labels file {labels_path} does not hold a JSON list")
+        raise ValueError(
+            f"labels file {labels_path} does not hold a JSON list"
+            + _gen_tag(labels_path, generation)
+        )
     base_rows = sum(int(entry["rows"]) for entry in manifest["shards"])
     if len(labels) != base_rows:
         raise ValueError(
             f"labels file {labels_path} holds {len(labels)} labels but the "
             f"manifest's shard entries record {base_rows} base rows"
+            + _gen_tag(labels_path, generation)
         )
     if manifest["kind"] == "single":
         manifest["shards"][0]["labels"] = list(labels)
     else:
         assigned = np.zeros(len(labels), dtype=bool)
         for index, entry in enumerate(manifest["shards"]):
-            orders = _load_base_orders(path, index, entry, len(labels))
+            orders = _load_base_orders(path, index, entry, len(labels),
+                                       generation)
             if orders.size:
                 if bool(assigned[orders].any()):
                     raise ValueError(
                         f"orders sidecars assign a global row to shard {index} "
                         f"and to an earlier shard"
+                        + _gen_tag(path / entry["orders_file"], generation)
                     )
                 assigned[orders] = True
             entry["labels"] = [labels[order] for order in orders]
         if not bool(assigned.all()):
             raise ValueError(
                 "orders sidecars do not cover every row of the labels file"
+                + _gen_tag(labels_path, generation)
             )
     _replay_deltas(path, manifest, labels)
     manifest["labels"] = labels
@@ -607,30 +671,42 @@ def _materialize_v4(path, manifest):
         raise ValueError(
             f"manifest records {total} rows but its label sidecars and delta "
             f"chain reconstruct {len(labels)} (row-count drift)"
+            + _gen_tag(path / MANIFEST_NAME, generation)
         )
 
 
-def _load_base_orders(path, index, entry, num_labels):
+def _load_base_orders(path, index, entry, num_labels, generation=None):
     """One shard entry's validated base global-orders array (v4)."""
     orders_name = entry.get("orders_file")
     if not isinstance(orders_name, str):
-        raise ValueError(f"v4 shard entry {index} does not name an orders_file")
+        raise ValueError(
+            f"v4 shard entry {index} does not name an orders_file"
+            + _gen_tag(path / MANIFEST_NAME, generation)
+        )
     orders_path = path / orders_name
     if not orders_path.is_file():
-        raise FileNotFoundError(f"missing orders file {orders_path}")
+        raise FileNotFoundError(
+            f"missing orders file {orders_path}"
+            + _gen_tag(orders_path, generation)
+        )
     try:
         orders = np.asarray(np.load(orders_path), dtype=np.int64)
     except (ValueError, EOFError, OSError) as exc:
-        raise ValueError(f"corrupted orders file {orders_path}: {exc}") from exc
+        raise ValueError(
+            f"corrupted orders file {orders_path}: {exc}"
+            + _gen_tag(orders_path, generation)
+        ) from exc
     if orders.ndim != 1 or orders.shape[0] != int(entry["rows"]):
         raise ValueError(
             f"{orders_path} holds {orders.shape} orders but the manifest "
             f"records {entry['rows']} base rows for shard {index}"
+            + _gen_tag(orders_path, generation)
         )
     if orders.size and (int(orders.min()) < 0 or int(orders.max()) >= num_labels):
         raise ValueError(
             f"{orders_path} references global rows outside the "
             f"{num_labels}-row labels file"
+            + _gen_tag(orders_path, generation)
         )
     return orders
 
@@ -645,6 +721,7 @@ def _replay_deltas(path, manifest, labels):
     global insertion orders; each covered segment gains its materialized
     ``labels``, ``orders``, and per-segment ``bounds``.
     """
+    manifest_tag = _gen_tag(path / MANIFEST_NAME, manifest.get("generation"))
     by_delta = {}
     for index, entry in enumerate(manifest["shards"]):
         for segment in entry["segments"]:
@@ -652,25 +729,29 @@ def _replay_deltas(path, manifest, labels):
             if not isinstance(name, str):
                 raise ValueError(
                     f"journaled segment {segment.get('file')!r} names no "
-                    f"delta sidecar"
+                    f"delta sidecar" + manifest_tag
                 )
             by_delta.setdefault(name, {})[(index, segment["file"])] = segment
     for name in sorted(by_delta):
         delta_path = path / name
+        tag = _gen_tag(delta_path,
+                       _file_generation(name, manifest.get("generation")))
         if not delta_path.is_file():
-            raise FileNotFoundError(f"missing delta sidecar {delta_path}")
+            raise FileNotFoundError(f"missing delta sidecar {delta_path}" + tag)
         try:
             delta = json.loads(delta_path.read_text())
         except ValueError as exc:
             raise ValueError(
-                f"corrupted delta sidecar {delta_path}: {exc}"
+                f"corrupted delta sidecar {delta_path}: {exc}" + tag
             ) from exc
         if not isinstance(delta, dict) or delta.get("format") != FORMAT_NAME:
-            raise ValueError(f"{delta_path} is not a {FORMAT_NAME} delta sidecar")
+            raise ValueError(
+                f"{delta_path} is not a {FORMAT_NAME} delta sidecar" + tag
+            )
         if int(delta.get("base_rows", -1)) != len(labels):
             raise ValueError(
                 f"{delta_path} chains from {delta.get('base_rows')} rows but "
-                f"{len(labels)} rows precede it (row-count drift)"
+                f"{len(labels)} rows precede it (row-count drift)" + tag
             )
         pending = dict(by_delta[name])
         batch = {}
@@ -680,7 +761,7 @@ def _replay_deltas(path, manifest, labels):
             if segment is None:
                 raise ValueError(
                     f"{delta_path} records segment {part['file']!r} of shard "
-                    f"{part['shard']} that the manifest does not journal"
+                    f"{part['shard']} that the manifest does not journal" + tag
                 )
             part_labels, part_orders = part.get("labels"), part.get("orders")
             if not isinstance(part_labels, list) \
@@ -689,14 +770,14 @@ def _replay_deltas(path, manifest, labels):
                     or len(part_labels) != int(segment["rows"]):
                 raise ValueError(
                     f"{delta_path} labels/orders for segment {part['file']!r} "
-                    f"do not match its {segment['rows']} manifest rows"
+                    f"do not match its {segment['rows']} manifest rows" + tag
                 )
             for label, order in zip(part_labels, part_orders):
                 order = int(order)
                 if order in batch:
                     raise ValueError(
                         f"{delta_path} assigns global insertion order {order} "
-                        f"twice"
+                        f"twice" + tag
                     )
                 batch[order] = label
             segment["labels"] = list(part_labels)
@@ -706,30 +787,36 @@ def _replay_deltas(path, manifest, labels):
             missing = ", ".join(
                 f"{file!r} (shard {shard})" for shard, file in sorted(pending)
             )
-            raise ValueError(f"{delta_path} does not cover segment(s) {missing}")
+            raise ValueError(
+                f"{delta_path} does not cover segment(s) {missing}" + tag
+            )
         expected = range(len(labels), len(labels) + len(batch))
         if sorted(batch) != list(expected):
             raise ValueError(
                 f"{delta_path} insertion orders are not the contiguous block "
-                f"[{expected.start}, {expected.stop}) (row-count drift)"
+                f"[{expected.start}, {expected.stop}) (row-count drift)" + tag
             )
         labels.extend(batch[order] for order in expected)
 
 
-def _load_matrix(path, entry, what, mmap):
+def _load_matrix(path, entry, what, mmap, generation=None):
     """Load one base/segment file, validating it against its manifest entry."""
     file_path = path / entry["file"]
+    tag = _gen_tag(file_path, _file_generation(entry["file"], generation))
     if not file_path.is_file():
-        raise FileNotFoundError(f"missing {what} file {file_path}")
+        raise FileNotFoundError(f"missing {what} file {file_path}" + tag)
     try:
         matrix = np.load(file_path, mmap_mode="r" if mmap else None)
     except (ValueError, EOFError, OSError) as exc:
-        raise ValueError(f"corrupted {what} file {file_path}: {exc}") from exc
+        raise ValueError(
+            f"corrupted {what} file {file_path}: {exc}" + tag
+        ) from exc
     if matrix.ndim != 2 or matrix.shape[0] != entry["rows"] \
             or len(entry["labels"]) != entry["rows"]:
         raise ValueError(
             f"{file_path} holds {matrix.shape[0] if matrix.ndim else 0} rows but "
             f"the manifest records {entry['rows']} ({len(entry['labels'])} labels)"
+            + tag
         )
     return matrix
 
@@ -761,6 +848,8 @@ def open_store(path, mmap=True):
         if list(memory.labels) != list(manifest["labels"]):
             raise ValueError(
                 "global labels do not match the shard's base+segment labels"
+                + _gen_tag(path / manifest.get("labels_file", MANIFEST_NAME),
+                           manifest.get("generation"))
             )
         return memory
     memory = ShardedItemMemory.from_shards(
@@ -794,7 +883,10 @@ def _entry_pop_bounds(entry):
     low, high = entry["bounds"].get("minus_min"), entry["bounds"].get("minus_max")
     if low is None or high is None:
         return None
-    return (int(low), int(high))
+    try:
+        return (int(low), int(high))
+    except (TypeError, ValueError):
+        return None  # malformed bounds are advisory: unknown, never refuse
 
 
 def _entry_geo_bounds(entry, backend):
@@ -812,7 +904,11 @@ def _entry_geo_bounds(entry, backend):
     if _entry_total_rows(entry) == 0 or bounds.get("centroid") is None \
             or bounds.get("radius") is None:
         return None
-    return _centroid_from_hex(backend, bounds["centroid"]), int(bounds["radius"])
+    try:
+        return (_centroid_from_hex(backend, bounds["centroid"]),
+                int(bounds["radius"]))
+    except (TypeError, ValueError):
+        return None  # malformed bounds are advisory: unknown, never refuse
 
 
 def _entry_segment_bounds(entry, backend):
@@ -832,24 +928,49 @@ def _entry_segment_bounds(entry, backend):
         pop = None
         if bounds.get("minus_min") is not None \
                 and bounds.get("minus_max") is not None:
-            pop = (int(bounds["minus_min"]), int(bounds["minus_max"]))
+            try:
+                pop = (int(bounds["minus_min"]), int(bounds["minus_max"]))
+            except (TypeError, ValueError):
+                pop = None  # malformed bounds: unknown, never refuse
         geo = None
         if bounds.get("centroid") is not None \
                 and bounds.get("radius") is not None:
-            geo = (_centroid_from_hex(backend, bounds["centroid"]),
-                   int(bounds["radius"]))
+            try:
+                geo = (_centroid_from_hex(backend, bounds["centroid"]),
+                       int(bounds["radius"]))
+            except (TypeError, ValueError):
+                geo = None
         groups.append((int(segment["rows"]), pop, geo))
     return groups
 
 
 def _load_shard_entry(path, entry, manifest, mmap):
-    matrix = _load_matrix(path, entry, "shard", mmap)
-    shard = ItemMemory.from_native(
-        manifest["dim"], entry["labels"], matrix, backend=manifest["backend"]
-    )
+    generation = manifest.get("generation")
+    matrix = _load_matrix(path, entry, "shard", mmap, generation)
+    try:
+        shard = ItemMemory.from_native(
+            manifest["dim"], entry["labels"], matrix, backend=manifest["backend"]
+        )
+    except (ValueError, TypeError) as exc:
+        # from_native validates dtype/width against the backend; name the
+        # offending file so a corrupted matrix is attributable on sight.
+        raise ValueError(
+            f"shard file {path / entry['file']} does not match the manifest: "
+            f"{exc}"
+            + _gen_tag(path / entry["file"],
+                       _file_generation(entry["file"], generation))
+        ) from exc
     for segment in entry["segments"]:
-        segment_matrix = _load_matrix(path, segment, "segment", mmap)
-        shard.extend_native(segment["labels"], segment_matrix)
+        segment_matrix = _load_matrix(path, segment, "segment", mmap, generation)
+        try:
+            shard.extend_native(segment["labels"], segment_matrix)
+        except (ValueError, TypeError) as exc:
+            raise ValueError(
+                f"segment file {path / segment['file']} does not match the "
+                f"manifest: {exc}"
+                + _gen_tag(path / segment["file"],
+                           _file_generation(segment["file"], generation))
+            ) from exc
     return shard
 
 

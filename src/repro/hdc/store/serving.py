@@ -72,6 +72,7 @@ __all__ = [
     "StoreServer",
     "ServerClosed",
     "ServerOverloaded",
+    "ServerTimeout",
     "ADMISSION_POLICIES",
     "FLUSH_TRIGGERS",
     "REQUEST_KINDS",
@@ -129,6 +130,20 @@ class ServerOverloaded(RuntimeError):
     """Admission control rejected the request (``admission="reject"``)."""
 
 
+class ServerTimeout(TimeoutError):
+    """The request's deadline expired before a wave resolved it.
+
+    Raised to exactly one caller; the request's micro-batch wave is
+    never poisoned — co-batched rows still resolve bit-identically, and
+    an expired request that was still *queued* frees its admission slot
+    immediately. A ``TimeoutError`` subclass so generic timeout handling
+    catches it. Deadlines outrank shutdown: a deadline expiring while
+    the request rides a ``stop()`` drain wave still raises this, not
+    :exc:`ServerClosed` — the request *was* admitted; it ran out of
+    time.
+    """
+
+
 class StoreServer:
     """Asyncio micro-batching server over an :class:`AssociativeStore`.
 
@@ -172,10 +187,16 @@ class StoreServer:
         Threads executing waves. ``1`` (default) serializes waves —
         the store sees one batch query at a time; more lets waves of
         different kinds overlap.
+    default_timeout_ms:
+        Per-request deadline applied when a request passes no
+        ``timeout_ms`` of its own. ``None`` (default) means requests
+        wait indefinitely. A request whose deadline expires — parked at
+        admission, queued in a group, or already riding a wave — fails
+        with :exc:`ServerTimeout` without poisoning its wave.
     """
 
     def __init__(self, store, max_batch=64, max_wait_ms=2.0, max_pending=4096,
-                 admission="wait", dispatch_workers=1):
+                 admission="wait", dispatch_workers=1, default_timeout_ms=None):
         if int(max_batch) < 1:
             raise ValueError("max_batch must be >= 1")
         if float(max_wait_ms) < 0:
@@ -192,12 +213,17 @@ class StoreServer:
             )
         if int(dispatch_workers) < 1:
             raise ValueError("dispatch_workers must be >= 1")
+        if default_timeout_ms is not None and float(default_timeout_ms) <= 0:
+            raise ValueError("default_timeout_ms must be > 0 (or None)")
         self._store = store
         self.max_batch = int(max_batch)
         self.max_wait_ms = float(max_wait_ms)
         self.max_pending = int(max_pending)
         self.admission = admission
         self.dispatch_workers = int(dispatch_workers)
+        self.default_timeout_ms = (
+            None if default_timeout_ms is None else float(default_timeout_ms)
+        )
         self._loop = None
         self._pool = None
         self._started = False
@@ -213,9 +239,9 @@ class StoreServer:
     @staticmethod
     def _zero_stats():
         return dict.fromkeys(
-            ("requests", "rejected", "cancelled", "waves", "batched_requests",
-             "flushed_size", "flushed_deadline", "flushed_drain",
-             "queue_high_water"), 0,
+            ("requests", "rejected", "cancelled", "timed_out", "waves",
+             "batched_requests", "flushed_size", "flushed_deadline",
+             "flushed_drain", "queue_high_water"), 0,
         )
 
     # -- lifecycle ---------------------------------------------------------- #
@@ -299,8 +325,9 @@ class StoreServer:
         :meth:`reset_stats`:
 
         - ``requests`` — requests admitted past validation (including
-          later-cancelled ones); ``rejected`` / ``cancelled`` count
-          admission rejections and caller cancellations;
+          later-cancelled ones); ``rejected`` / ``cancelled`` /
+          ``timed_out`` count admission rejections, caller
+          cancellations, and expired deadlines (:exc:`ServerTimeout`);
         - ``waves`` — batched kernel dispatches; ``batched_requests`` —
           rows those waves carried (``mean_batch_size`` is the derived
           amortization actually achieved);
@@ -335,15 +362,16 @@ class StoreServer:
 
     # -- request surface ---------------------------------------------------- #
 
-    async def cleanup(self, query):
+    async def cleanup(self, query, timeout_ms=None):
         """Await the best ``(label, similarity)`` for one query row.
 
         Equal to ``store.cleanup(query)`` bit for bit, however the
-        request was batched.
+        request was batched. ``timeout_ms`` overrides the server's
+        ``default_timeout_ms`` deadline for this request.
         """
-        return await self._submit(("cleanup",), query)
+        return await self._submit(("cleanup",), query, timeout_ms)
 
-    async def topk(self, query, k=5):
+    async def topk(self, query, k=5, timeout_ms=None):
         """Await the ranked ``(label, similarity)`` list for one query.
 
         Requests batch per ``k`` (rows of one kernel call must share a
@@ -351,13 +379,22 @@ class StoreServer:
         """
         if int(k) < 1:
             raise ValueError("k must be >= 1")
-        return await self._submit(("topk", int(k)), query)
+        return await self._submit(("topk", int(k)), query, timeout_ms)
 
-    async def similarities(self, query):
+    async def similarities(self, query, timeout_ms=None):
         """Await the full ``(n,)`` similarity row for one query."""
-        return await self._submit(("similarities",), query)
+        return await self._submit(("similarities",), query, timeout_ms)
 
-    async def _submit(self, key, query):
+    def _resolve_timeout(self, timeout_ms):
+        timeout = self.default_timeout_ms if timeout_ms is None else timeout_ms
+        if timeout is None:
+            return None
+        timeout = float(timeout)
+        if timeout <= 0:
+            raise ValueError("timeout_ms must be > 0 (or None)")
+        return timeout
+
+    async def _submit(self, key, query, timeout_ms=None):
         if not self._started:
             raise RuntimeError(
                 "StoreServer is not started; use 'async with StoreServer(...)'"
@@ -370,42 +407,112 @@ class StoreServer:
             raise ValueError(
                 f"expected a ({self._store.dim},) query row, got {row.shape}"
             )
-        await self._admit()
-        if self._closed:
-            # stop() can interleave between admission and this enqueue
-            # whenever admission yields to the loop (a parked waiter
-            # resumes on a later tick; subclassed/instrumented admission
-            # may add further suspension points). Enqueueing now would
-            # strand the request in a fresh group that no drain wave ever
-            # flushes, so fail it and hand the admitted slot to a
-            # successor instead.
-            self._wake_waiters()
-            raise ServerClosed(
-                "StoreServer stopped while the request was being admitted"
+        timeout = self._resolve_timeout(timeout_ms)
+        # Deadline state shared with the timer callback: which admission
+        # waiter / result future currently carries this request, so
+        # _expire can fail it at whatever stage the deadline catches it.
+        state = {"key": key, "waiter": None, "future": None, "expired": False}
+        timer = None
+        if timeout is not None:
+            timer = self._loop.call_later(
+                timeout / 1000.0, self._expire, state
             )
-        self._stats["requests"] += 1
-        self._pending += 1
-        if self._pending > self._stats["queue_high_water"]:
-            self._stats["queue_high_water"] = self._pending
-        group = self._groups.get(key)
-        if group is None:
-            group = self._groups[key] = {"futures": [], "queries": [], "timer": None}
-            group["timer"] = self._loop.call_later(
-                self.max_wait_ms / 1000.0, self._flush, key, "deadline"
-            )
-        future = self._loop.create_future()
-        group["futures"].append(future)
-        group["queries"].append(row)
-        if len(group["futures"]) >= self.max_batch:
-            self._flush(key, "size")
         try:
-            return await future
-        except asyncio.CancelledError:
-            self._stats["cancelled"] += 1
-            self._discard_queued(key, future)
-            raise
+            await self._admit(state)
+            if state["expired"]:
+                # Deadline hit between the waiter's wake (which consumed
+                # a freed slot) and this resumption: hand the token on,
+                # exactly like the _closed re-check below.
+                self._wake_waiters()
+                self._stats["timed_out"] += 1
+                raise ServerTimeout(
+                    f"request deadline ({timeout} ms) expired while "
+                    f"awaiting admission"
+                )
+            if self._closed:
+                # stop() can interleave between admission and this enqueue
+                # whenever admission yields to the loop (a parked waiter
+                # resumes on a later tick; subclassed/instrumented admission
+                # may add further suspension points). Enqueueing now would
+                # strand the request in a fresh group that no drain wave ever
+                # flushes, so fail it and hand the admitted slot to a
+                # successor instead.
+                self._wake_waiters()
+                raise ServerClosed(
+                    "StoreServer stopped while the request was being admitted"
+                )
+            self._stats["requests"] += 1
+            self._pending += 1
+            if self._pending > self._stats["queue_high_water"]:
+                self._stats["queue_high_water"] = self._pending
+            group = self._groups.get(key)
+            if group is None:
+                group = self._groups[key] = {
+                    "futures": [], "queries": [], "timer": None,
+                }
+                group["timer"] = self._loop.call_later(
+                    self.max_wait_ms / 1000.0, self._flush, key, "deadline"
+                )
+            future = self._loop.create_future()
+            state["future"] = future
+            group["futures"].append(future)
+            group["queries"].append(row)
+            if len(group["futures"]) >= self.max_batch:
+                self._flush(key, "size")
+            try:
+                return await future
+            except asyncio.CancelledError:
+                self._stats["cancelled"] += 1
+                self._discard_queued(key, future)
+                raise
+        finally:
+            if timer is not None:
+                timer.cancel()
 
-    async def _admit(self):
+    def _expire(self, state):
+        """Deadline timer callback: fail the request wherever it stands.
+
+        Three stages, one outcome (:exc:`ServerTimeout` to this caller
+        only):
+
+        - **parked at admission** — the waiter leaves the FIFO and fails
+          (it held no slot, so none is released);
+        - **queued in a group** — the request leaves its group exactly
+          like a cancellation, freeing its admission slot immediately;
+        - **riding a dispatched wave** — the result future fails now;
+          the wave completes for its co-batched rows (demux skips done
+          futures) and releases every slot it dispatched with, this
+          one included.
+        """
+        state["expired"] = True
+        waiter = state["waiter"]
+        if waiter is not None and not waiter.done():
+            if waiter in self._waiters:
+                self._waiters.remove(waiter)
+            self._stats["timed_out"] += 1
+            waiter.set_exception(
+                ServerTimeout("request deadline expired while awaiting admission")
+            )
+            return
+        future = state["future"]
+        if future is None or future.done():
+            return  # resolved first (or _submit will notice "expired")
+        key = state["key"]
+        group = self._groups.get(key)
+        if group is not None and future in group["futures"]:
+            index = group["futures"].index(future)
+            del group["futures"][index]
+            del group["queries"][index]
+            if not group["futures"]:
+                group["timer"].cancel()
+                del self._groups[key]
+            self._release(1)
+        self._stats["timed_out"] += 1
+        future.set_exception(
+            ServerTimeout("request deadline expired before its wave resolved")
+        )
+
+    async def _admit(self, state=None):
         """Block (or reject) until the server is under ``max_pending``."""
         while self._pending >= self.max_pending:
             if self.admission == "reject":
@@ -415,6 +522,8 @@ class StoreServer:
                     f"(max_pending={self.max_pending})"
                 )
             waiter = self._loop.create_future()
+            if state is not None:
+                state["waiter"] = waiter
             self._waiters.append(waiter)
             try:
                 await waiter
@@ -429,6 +538,9 @@ class StoreServer:
                     # token to the next parked waiter instead.
                     self._wake_waiters()
                 raise
+            finally:
+                if state is not None:
+                    state["waiter"] = None
             if self._closed:
                 raise ServerClosed("StoreServer stopped while awaiting admission")
 

@@ -1,0 +1,160 @@
+"""Crash-consistency guarantees, executed: the fuzzer and its cases.
+
+Tier-1 runs the cheap in-process legs — schedule determinism, the
+exhaustive ``mode="fail"`` sweep of one schedule (every reachable
+injection point of the commit path raises, and the survivor reopens to
+a legal pre/post-commit state), and every row of STORE_FORMAT.md's
+corruption table as an executed case. The subprocess legs that
+hard-kill writer children (``kill`` / ``truncate`` — the power-pull
+equivalents) carry ``@pytest.mark.crash_fuzz`` and run in their own CI
+step; deselect stays in ``pytest.ini``.
+"""
+
+import json
+import subprocess
+
+import pytest
+
+from repro.hdc.store import AssociativeStore
+from repro.hdc.store import crash_fuzz as cf
+from repro.hdc.store.faults import KILL_EXIT_CODE, FaultPlan
+
+LEGAL_STATES = {"pre", "post", "refused"}
+
+
+def _assert_legal(reference, outcomes, exhaustive=False):
+    assert {o["state"] for o in outcomes} <= LEGAL_STATES
+    assert all(o["recovered"] for o in outcomes)
+    # only a crash before the very first manifest commit may refuse
+    assert all(o["crash_step"] == 0 for o in outcomes
+               if o["state"] == "refused")
+    if exhaustive:
+        # sweeping every point must observe crashes on both sides of a
+        # commit: the pre state (before the manifest swap) and the post
+        # state (swap done, cleanup interrupted) both occur
+        assert {o["state"] for o in outcomes if o["crash_step"] > 0} >= {
+            "pre"}
+
+
+class TestSchedules:
+    def test_make_schedule_is_deterministic_and_seed_sensitive(self):
+        assert cf.make_schedule(11) == cf.make_schedule(11)
+        layouts = {json.dumps(cf.make_schedule(seed)) for seed in range(12)}
+        assert len(layouts) > 6  # seeds actually vary the shape
+
+    def test_schedules_start_with_save(self):
+        for seed in range(8):
+            steps = cf.make_schedule(seed)["steps"]
+            assert steps[0]["op"] == "save"
+            assert all(s["op"] in ("save", "append", "compact")
+                       for s in steps)
+
+    def test_stepwise_replay_equals_one_shot(self, tmp_path):
+        """run_schedule step-at-a-time (what reference building and
+        recovery replay do) converges to the same logical state as one
+        uninterrupted run."""
+        schedule = cf.make_schedule(3)
+        one_shot, stepped = tmp_path / "one", tmp_path / "stepped"
+        cf.run_schedule(schedule, one_shot)
+        for index in range(len(schedule["steps"])):
+            cf.run_schedule(schedule, stepped, start_step=index,
+                            end_step=index + 1)
+        assert cf.fingerprint(one_shot) == cf.fingerprint(stepped)
+
+
+class TestReference:
+    def test_reference_enumerates_points_and_states(self):
+        schedule = cf.make_schedule(0)
+        reference = cf.build_reference(schedule)
+        assert len(reference["cumulative"]) == len(schedule["steps"])
+        assert reference["cumulative"] == sorted(reference["cumulative"])
+        assert reference["total_ops"] == reference["cumulative"][-1]
+        assert len(reference["ops"]) == reference["total_ops"]
+        steps = schedule["steps"]
+        prints = reference["fingerprints"]
+        for index in range(1, len(steps)):
+            if steps[index]["op"] == "compact":
+                # compaction rewrites the physical layout but must not
+                # move the logical state
+                assert prints[index] == prints[index - 1]
+            else:
+                assert prints[index] != prints[index - 1]
+
+
+class TestExhaustiveFailSweep:
+    def test_every_injection_point_fail_mode(self):
+        """The acceptance sweep, in-process: inject an OSError at every
+        reachable commit-path operation of one schedule; every survivor
+        opens to a legal state and replays to convergence."""
+        schedule = cf.make_schedule(0)
+        reference, outcomes = cf.fuzz_schedule(schedule, modes=("fail",))
+        assert len(outcomes) == reference["total_ops"]
+        _assert_legal(reference, outcomes, exhaustive=True)
+
+
+class TestCorruptionTable:
+    def test_registry_shape(self):
+        ids = [case_id for case_id, _, _, _ in cf.CORRUPTION_CASES]
+        assert len(ids) == len(set(ids))
+        rows = {row for _, row, _, _ in cf.CORRUPTION_CASES}
+        assert rows == set(range(cf.CORRUPTION_TABLE_ROWS))
+
+    def test_every_table_row_is_exercised(self):
+        covered = cf.run_corruption_cases()
+        assert len(covered) == len(cf.CORRUPTION_CASES)
+        assert len(set(covered.values())) == cf.CORRUPTION_TABLE_ROWS
+
+
+class TestCLI:
+    def test_cli_summary_shape_without_heavy_legs(self, capsys):
+        assert cf.main(["--schedules", "0", "--no-exhaustive",
+                        "--no-corruption"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["schedules"] == 0
+        assert summary["states"] == {"pre": 0, "post": 0, "refused": 0}
+
+
+@pytest.mark.crash_fuzz
+class TestSubprocessKills:
+    """The power-pull legs: writer children hard-killed mid-commit."""
+
+    def test_writer_child_exits_with_the_kill_code(self, tmp_path):
+        schedule = cf.make_schedule(0)
+        plan = FaultPlan(0, mode="kill")
+        proc = subprocess.run(
+            cf._writer_command(schedule, plan, tmp_path / "store"),
+            capture_output=True, text=True, timeout=300,
+        )
+        assert proc.returncode == KILL_EXIT_CODE, proc.stderr[-500:]
+        # killed before the first operation: no store was ever committed
+        with pytest.raises(FileNotFoundError):
+            AssociativeStore.open(tmp_path / "store")
+
+    def test_exhaustive_kill_and_truncate_sweep(self):
+        schedule = cf.make_schedule(0)
+        reference, outcomes = cf.fuzz_schedule(
+            schedule, modes=("kill", "truncate"), jobs=8)
+        assert len(outcomes) == reference["total_ops"]
+        _assert_legal(reference, outcomes, exhaustive=True)
+        assert {o["mode"] for o in outcomes} == {"kill", "truncate"}
+
+    @pytest.mark.parametrize("seed", (1, 2, 3))
+    def test_randomized_schedules_survive_sampled_kills(self, seed):
+        schedule = cf.make_schedule(seed)
+        reference = cf.build_reference(schedule)
+        points = list(range(0, reference["total_ops"],
+                            max(1, reference["total_ops"] // 4)))
+        _, outcomes = cf.fuzz_schedule(
+            schedule, modes=("kill", "truncate"), op_indices=points,
+            jobs=4, reference=reference)
+        assert {o["state"] for o in outcomes} <= LEGAL_STATES
+        assert all(o["recovered"] for o in outcomes)
+
+    def test_process_executor_queries_survivors_identically(self):
+        """Survivor fingerprints are executor-agnostic: the process pool
+        reopens a post-crash directory to the same logical state."""
+        schedule = cf.make_schedule(0)
+        reference, outcomes = cf.fuzz_schedule(
+            schedule, modes=("kill",), op_indices=(0, 1),
+            executor="process")
+        _assert_legal(reference, outcomes)

@@ -25,10 +25,14 @@ from repro.hdc import ItemMemory, random_bipolar
 from repro.hdc.store import (
     ROUTES,
     AssociativeStore,
+    HTTPStatusError,
     JSONHTTPClient,
+    RetryPolicy,
     ServerClosed,
+    StoreHTTPError,
     StoreHTTPServer,
     StoreServer,
+    TransportError,
     jsonable_result,
 )
 
@@ -497,6 +501,326 @@ class TestObservability:
         assert stats["http"]["connections"] == 1
         assert stats["server"]["requests"] == 5  # the serving layer's view
 
+class TestDeadlinesOnTheWire:
+    """timeout_ms in the body → ServerTimeout → 504; Retry-After hints."""
+
+    def test_expired_deadline_maps_to_504_and_is_not_retryable(self, rng):
+        """A gated wave holds the request past its wire deadline: the
+        response is 504 (no Retry-After — the caller's time allowance is
+        spent), the wave is not poisoned, and the connection keeps
+        serving."""
+        store, _, vectors = _store(rng)
+        gated = _GatedStore(store)
+        expected = jsonable_result("cleanup", store.cleanup(vectors[1]))
+
+        async def main():
+            server = StoreServer(gated, max_batch=1, max_wait_ms=0.0)
+            async with StoreHTTPServer(server) as http:
+                timed = await JSONHTTPClient.connect(http.host, http.port)
+                inflight = asyncio.ensure_future(timed.request(
+                    "POST", "/v1/cleanup",
+                    {"query": _wire(vectors[0]), "timeout_ms": 20.0}))
+                while not gated.entered.is_set():
+                    await asyncio.sleep(0.001)
+                status, payload = await inflight  # deadline fired mid-wave
+                assert status == 504
+                assert payload["error"]["status"] == 504
+                assert "retry-after" not in timed.last_headers
+                gated.release.set()
+                status, payload = await timed.request(
+                    "POST", "/v1/cleanup", {"query": _wire(vectors[1])})
+                assert (status, payload) == (200, expected)
+                await timed.close()
+
+        asyncio.run(main())
+        store.memory.close()
+
+    def test_timeout_ms_validation_maps_to_400(self, rng):
+        store, _, vectors = _store(rng, shards=1, items=8)
+        q = _wire(vectors[0])
+        jobs = [
+            ("POST", "/v1/cleanup", {"query": q, "timeout_ms": 0}),
+            ("POST", "/v1/topk", {"query": q, "timeout_ms": -5}),
+            ("POST", "/v1/similarities", {"query": q, "timeout_ms": "soon"}),
+            ("POST", "/v1/cleanup", {"query": q, "timeout_ms": True}),
+        ]
+        answers = _serve_jobs(store, jobs, clients=1)
+        for (status, payload), job in zip(answers, jobs):
+            assert status == 400, (job, payload)
+            assert "timeout_ms" in payload["error"]["message"]
+
+    def test_429_and_503_carry_the_retry_after_hint(self, rng):
+        """Overload and drain responses advertise when to come back:
+        one micro-batch deadline, rounded up to whole seconds."""
+        store, _, vectors = _store(rng)
+        gated = _GatedStore(store)
+
+        async def main():
+            server = StoreServer(gated, max_batch=1, max_wait_ms=0.0,
+                                 max_pending=1, admission="reject")
+            async with StoreHTTPServer(server) as http:
+                assert http.retry_after_hint == 1  # ceil(0 ms) floors at 1 s
+                first = await JSONHTTPClient.connect(http.host, http.port)
+                second = await JSONHTTPClient.connect(http.host, http.port)
+                inflight = asyncio.ensure_future(first.request(
+                    "POST", "/v1/cleanup", {"query": _wire(vectors[0])}))
+                while not gated.entered.is_set():
+                    await asyncio.sleep(0.001)
+                status, _ = await second.request(
+                    "POST", "/v1/cleanup", {"query": _wire(vectors[1])})
+                assert status == 429
+                assert second.last_headers["retry-after"] == "1"
+                gated.release.set()
+                await inflight
+                await first.close()
+                await second.close()
+
+        asyncio.run(main())
+
+        async def drained():
+            async with StoreServer(store, max_wait_ms=2500.0) as server:
+                async with StoreHTTPServer(server) as http:
+                    assert http.retry_after_hint == 3  # ceil(2.5 s)
+                    client = await JSONHTTPClient.connect(http.host, http.port)
+                    await server.stop()
+                    status, _ = await client.request(
+                        "POST", "/v1/cleanup", {"query": _wire(vectors[0])})
+                    assert status == 503
+                    assert client.last_headers["retry-after"] == "3"
+                    await client.close()
+
+        asyncio.run(drained())
+        store.memory.close()
+
+
+class TestRetryPolicy:
+    """The backoff schedule, pinned without a single real sleep."""
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError, match="delays"):
+            RetryPolicy(base_delay_ms=0)
+        with pytest.raises(ValueError, match="budget_ms"):
+            RetryPolicy(budget_ms=0)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=2.0)
+
+    def test_schedule_is_deterministic_capped_and_jittered(self):
+        policy = RetryPolicy(base_delay_ms=100.0, max_delay_ms=400.0,
+                             jitter=0.5, seed=7)
+        schedule = [policy.delay_ms(n) for n in range(6)]
+        assert schedule == [policy.delay_ms(n) for n in range(6)]
+        for attempt, delay in enumerate(schedule):
+            raw = min(400.0, 100.0 * 2 ** attempt)
+            assert raw * 0.5 <= delay <= raw  # jitter shrinks, never grows
+        assert max(schedule) <= 400.0
+        # different seeds desynchronize the fleet
+        other = RetryPolicy(base_delay_ms=100.0, max_delay_ms=400.0,
+                            jitter=0.5, seed=8)
+        assert [other.delay_ms(n) for n in range(6)] != schedule
+        # zero jitter: the exact exponential curve
+        flat = RetryPolicy(base_delay_ms=100.0, max_delay_ms=400.0, jitter=0.0)
+        assert [flat.delay_ms(n) for n in range(4)] == [100.0, 200.0, 400.0,
+                                                        400.0]
+
+    def test_retry_after_raises_the_floor_but_respects_the_cap(self):
+        policy = RetryPolicy(base_delay_ms=10.0, max_delay_ms=500.0,
+                             jitter=0.0)
+        assert policy.delay_ms(0, retry_after_s=0.35) == 350.0
+        assert policy.delay_ms(0, retry_after_s=60.0) == 500.0  # capped
+        assert policy.delay_ms(5, retry_after_s=0.001) == 320.0  # no shrink
+
+
+class TestClientFailureTyping:
+    def test_connect_refused_raises_transport_error(self):
+        async def main():
+            with pytest.raises(TransportError) as info:
+                await JSONHTTPClient.connect("127.0.0.1", 1)  # reserved port
+            assert isinstance(info.value, ConnectionError)
+            assert isinstance(info.value, StoreHTTPError)
+
+        asyncio.run(main())
+
+    def test_server_gone_mid_connection_raises_transport_error(self, rng):
+        store, _, vectors = _store(rng, shards=1, items=8)
+
+        async def main():
+            http = await StoreHTTPServer(StoreServer(store)).start()
+            client = await JSONHTTPClient.connect(http.host, http.port)
+            status, _ = await client.request(
+                "POST", "/v1/cleanup", {"query": _wire(vectors[0])})
+            assert status == 200
+            await http.stop()  # idle keep-alive connection dropped
+            with pytest.raises(TransportError):
+                await client.request(
+                    "POST", "/v1/cleanup", {"query": _wire(vectors[1])})
+            await client.close()
+
+        asyncio.run(main())
+
+    def test_raise_for_status_yields_typed_error(self, rng):
+        store, _, _ = _store(rng, shards=1, items=8)
+
+        async def main():
+            async with StoreHTTPServer(StoreServer(store)) as http:
+                client = await JSONHTTPClient.connect(http.host, http.port)
+                with pytest.raises(HTTPStatusError) as info:
+                    await client.request("GET", "/v1/nope",
+                                         raise_for_status=True)
+                assert info.value.status == 404
+                assert info.value.payload["error"]["status"] == 404
+                assert isinstance(info.value, StoreHTTPError)
+                # 2xx is untouched
+                status, _ = await client.request("GET", "/v1/healthz",
+                                                 raise_for_status=True)
+                assert status == 200
+                await client.close()
+
+        asyncio.run(main())
+
+
+class TestClientRetry:
+    def test_retry_on_429_with_fake_clock_and_zero_real_sleeps(self, rng):
+        """Overload → 429 → backoff (on an injected clock and sleep) →
+        success, with the recorded delays exactly the policy schedule
+        floored by the server's Retry-After hint."""
+        store, _, vectors = _store(rng)
+        gated = _GatedStore(store)
+        expected = jsonable_result("cleanup", store.cleanup(vectors[1]))
+        slept = []
+        holder = {}
+
+        async def fake_sleep(seconds):
+            slept.append(seconds)
+            gated.release.set()           # capacity frees while we "sleep"
+            await holder["inflight"]      # ...and the slot is back before
+            # the fake pause returns — deterministic, still zero real sleep
+
+        policy = RetryPolicy(max_retries=3, base_delay_ms=40.0,
+                             max_delay_ms=200.0, jitter=0.0, seed=1,
+                             clock=lambda: 0.0, sleep=fake_sleep)
+
+        async def main():
+            server = StoreServer(gated, max_batch=1, max_wait_ms=0.0,
+                                 max_pending=1, admission="reject")
+            async with StoreHTTPServer(server) as http:
+                first = await JSONHTTPClient.connect(http.host, http.port)
+                retrier = await JSONHTTPClient.connect(http.host, http.port,
+                                                       retry=policy)
+                holder["inflight"] = asyncio.ensure_future(first.request(
+                    "POST", "/v1/cleanup", {"query": _wire(vectors[0])}))
+                while not gated.entered.is_set():
+                    await asyncio.sleep(0.001)
+                status, payload = await retrier.request(
+                    "POST", "/v1/cleanup", {"query": _wire(vectors[1])})
+                assert (status, payload) == (200, expected)
+                await holder["inflight"]
+                await first.close()
+                await retrier.close()
+
+        asyncio.run(main())
+        # one 429 then success: one backoff pause, floored by the server's
+        # 1 s Retry-After hint but still capped at max_delay_ms
+        assert slept == [policy.delay_ms(0, retry_after_s=1.0) / 1000.0]
+        assert slept == [0.2]
+        store.memory.close()
+
+    def test_budget_exhaustion_returns_the_last_status(self, rng):
+        """A clock that jumps past the budget: the retry loop gives up
+        without sleeping and hands back the final 429."""
+        store, _, vectors = _store(rng)
+        gated = _GatedStore(store)
+
+        async def never_sleep(seconds):
+            raise AssertionError("budget should forbid any pause")
+
+        policy = RetryPolicy(max_retries=5, base_delay_ms=50.0, jitter=0.0,
+                             budget_ms=10.0, clock=lambda: 0.0,
+                             sleep=never_sleep)
+
+        async def main():
+            server = StoreServer(gated, max_batch=1, max_wait_ms=0.0,
+                                 max_pending=1, admission="reject")
+            async with StoreHTTPServer(server) as http:
+                first = await JSONHTTPClient.connect(http.host, http.port)
+                retrier = await JSONHTTPClient.connect(http.host, http.port,
+                                                       retry=policy)
+                inflight = asyncio.ensure_future(first.request(
+                    "POST", "/v1/cleanup", {"query": _wire(vectors[0])}))
+                while not gated.entered.is_set():
+                    await asyncio.sleep(0.001)
+                status, _ = await retrier.request(
+                    "POST", "/v1/cleanup", {"query": _wire(vectors[1])})
+                assert status == 429  # budget spent: surfaced, not retried
+                gated.release.set()
+                await inflight
+                await first.close()
+                await retrier.close()
+
+        asyncio.run(main())
+        store.memory.close()
+
+    def test_non_idempotent_transport_failure_is_not_retried(self, rng):
+        store, _, vectors = _store(rng, shards=1, items=8)
+
+        async def main():
+            http = await StoreHTTPServer(StoreServer(store)).start()
+            policy = RetryPolicy(max_retries=5, base_delay_ms=1.0)
+            client = await JSONHTTPClient.connect(http.host, http.port,
+                                                  retry=policy)
+            await http.stop()
+            with pytest.raises(TransportError):
+                await client.request(
+                    "POST", "/v1/cleanup", {"query": _wire(vectors[0])},
+                    idempotent=False)
+            await client.close()
+
+        asyncio.run(main())
+
+    def test_restart_window_loses_zero_idempotent_requests(self, rng):
+        """The acceptance scenario: a server stops, the port stays dark,
+        a replacement comes up — a retrying client issuing idempotent
+        queries across the whole window sees every request succeed with
+        the exact answer and zero surfaced failures."""
+        store, _, vectors = _store(rng, shards=1, items=8)
+        queries = [vectors[i % 8] for i in range(10)]
+        expected = [jsonable_result("cleanup", store.cleanup(q))
+                    for q in queries]
+
+        async def main():
+            http_a = await StoreHTTPServer(StoreServer(store)).start()
+            port = http_a.port
+            policy = RetryPolicy(max_retries=10, base_delay_ms=10.0,
+                                 max_delay_ms=50.0, budget_ms=20_000.0,
+                                 jitter=0.5, seed=3)
+            client = await JSONHTTPClient.connect(http_a.host, port,
+                                                  retry=policy)
+
+            answers = []
+
+            async def issue_all():
+                for q in queries:
+                    answers.append(await client.request(
+                        "POST", "/v1/cleanup", {"query": _wire(q)}))
+
+            issuing = asyncio.ensure_future(issue_all())
+            await asyncio.sleep(0.02)   # a few requests land on server A
+            await http_a.stop()
+            await asyncio.sleep(0.05)   # the dark window: connect refused
+            http_b = await StoreHTTPServer(
+                StoreServer(store), port=port).start()
+            await issuing
+            await client.close()
+            await http_b.stop()
+            return answers
+
+        answers = asyncio.run(main())
+        assert [status for status, _ in answers] == [200] * len(queries)
+        assert [payload for _, payload in answers] == expected
+
+
+class TestObservabilityExtra:
     def test_keep_alive_and_connection_close(self, rng):
         """Several requests ride one connection; Connection: close is
         honored with an EOF right after the response."""

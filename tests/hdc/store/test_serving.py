@@ -23,6 +23,7 @@ from repro.hdc.store import (
     AssociativeStore,
     ServerClosed,
     ServerOverloaded,
+    ServerTimeout,
     StoreServer,
 )
 
@@ -442,8 +443,8 @@ class TestAdmissionShutdownRaces:
                 self.admitted = asyncio.Event()
                 self.proceed = asyncio.Event()
 
-            async def _admit(self):
-                await super()._admit()
+            async def _admit(self, state=None):
+                await super()._admit(state)
                 self.admitted.set()
                 await self.proceed.wait()
 
@@ -463,6 +464,147 @@ class TestAdmissionShutdownRaces:
                 await stopper
 
         asyncio.run(main())
+
+
+class TestDeadlines:
+    """Per-request deadlines: a timed-out request fails alone with
+    ServerTimeout — its micro-batch wave, its queue slot, and the
+    server's liveness are all unaffected."""
+
+    def test_timeout_validation(self, rng):
+        store, vectors = _store(rng, shards=1, items=4)
+        with pytest.raises(ValueError, match="default_timeout_ms"):
+            StoreServer(store, default_timeout_ms=0)
+        with pytest.raises(ValueError, match="default_timeout_ms"):
+            StoreServer(store, default_timeout_ms=-5)
+
+        async def main():
+            async with StoreServer(store) as srv:
+                with pytest.raises(ValueError, match="timeout_ms"):
+                    await srv.cleanup(vectors[0], timeout_ms=0)
+                with pytest.raises(ValueError, match="timeout_ms"):
+                    await srv.topk(vectors[0], timeout_ms=-1)
+                assert srv.pending == 0
+                assert srv.stats["timed_out"] == 0
+
+        asyncio.run(main())
+
+    def test_timeout_while_queued_frees_the_slot(self, rng):
+        """A deadline firing before the group's flush: the request fails
+        with ServerTimeout, the queue drains to empty, no wave ever
+        dispatches, and the server keeps serving."""
+        store, vectors = _store(rng, shards=1, items=8)
+
+        async def main():
+            async with StoreServer(store, max_batch=64,
+                                   max_wait_ms=60.0) as srv:
+                with pytest.raises(ServerTimeout):
+                    await srv.cleanup(vectors[0], timeout_ms=5.0)
+                assert srv.pending == 0
+                assert srv.stats["timed_out"] == 1
+                assert srv.stats["waves"] == 0  # the group dissolved
+                answer = await srv.cleanup(vectors[1], timeout_ms=5000.0)
+                assert answer == store.cleanup(vectors[1])
+
+        asyncio.run(main())
+
+    def test_timeout_in_wave_does_not_poison_the_batch(self, rng):
+        """Expiry while the request's wave is mid-kernel: the timed-out
+        caller gets ServerTimeout, the co-batched request in the *same
+        wave* still receives its exact answer, and the slots drain."""
+        store, vectors = _store(rng)
+        gated = _GatedStore(store)
+        expected = store.cleanup(vectors[1])
+
+        async def main():
+            async with StoreServer(gated, max_batch=2,
+                                   max_wait_ms=60.0) as srv:
+                fast = asyncio.ensure_future(
+                    srv.cleanup(vectors[0], timeout_ms=20.0))
+                slow = asyncio.ensure_future(srv.cleanup(vectors[1]))
+                # size trigger at 2: the wave dispatches and parks on the
+                # gate; the 20 ms deadline fires while it is in flight
+                while not gated.entered.is_set():
+                    await asyncio.sleep(0.001)
+                with pytest.raises(ServerTimeout):
+                    await fast
+                gated.release.set()
+                assert await slow == expected
+                assert srv.pending == 0
+                assert srv.stats["timed_out"] == 1
+                assert srv.stats["waves"] == 1  # one wave, not poisoned
+
+        asyncio.run(main())
+        store.memory.close()
+
+    def test_timeout_parked_on_admission(self, rng):
+        """A deadline expiring while the caller is still parked on the
+        admission FIFO: ServerTimeout, the FIFO entry is removed, and
+        the in-flight request is untouched."""
+        store, vectors = _store(rng)
+        gated = _GatedStore(store)
+        expected = store.cleanup(vectors[0])
+
+        async def main():
+            async with StoreServer(gated, max_batch=1, max_wait_ms=0.0,
+                                   max_pending=1) as srv:
+                first = asyncio.ensure_future(srv.cleanup(vectors[0]))
+                while not gated.entered.is_set():
+                    await asyncio.sleep(0.001)
+                with pytest.raises(ServerTimeout):
+                    await srv.cleanup(vectors[1], timeout_ms=15.0)
+                assert srv.stats["timed_out"] == 1
+                gated.release.set()
+                assert await first == expected
+                # capacity intact: a fresh request is admitted and served
+                assert await srv.cleanup(vectors[2]) == store.cleanup(
+                    vectors[2])
+
+        asyncio.run(main())
+        store.memory.close()
+
+    def test_default_timeout_applies_and_per_request_overrides(self, rng):
+        store, vectors = _store(rng, shards=1, items=8)
+
+        async def main():
+            async with StoreServer(store, max_batch=64, max_wait_ms=30.0,
+                                   default_timeout_ms=5.0) as srv:
+                with pytest.raises(ServerTimeout):
+                    await srv.cleanup(vectors[0])  # inherits the default
+                # a generous per-request override outlives the 30 ms flush
+                answer = await srv.cleanup(vectors[1], timeout_ms=5000.0)
+                assert answer == store.cleanup(vectors[1])
+                assert srv.stats["timed_out"] == 1
+
+        asyncio.run(main())
+
+    def test_deadline_during_drain_is_timeout_not_closed(self, rng):
+        """Deadlines outrank shutdown: a request whose deadline expires
+        while its wave drains inside stop() raises ServerTimeout — not
+        ServerClosed — and the drain still completes cleanly."""
+        store, vectors = _store(rng)
+        gated = _GatedStore(store)
+        expected = store.cleanup(vectors[1])
+
+        async def main():
+            srv = await StoreServer(gated, max_batch=2,
+                                    max_wait_ms=60.0).start()
+            timed = asyncio.ensure_future(
+                srv.cleanup(vectors[0], timeout_ms=30.0))
+            other = asyncio.ensure_future(srv.cleanup(vectors[1]))
+            while not gated.entered.is_set():  # wave of 2 in flight
+                await asyncio.sleep(0.001)
+            stopper = asyncio.ensure_future(srv.stop())
+            await asyncio.sleep(0.05)  # deadline fires mid-drain
+            with pytest.raises(ServerTimeout):
+                await timed
+            gated.release.set()
+            assert await other == expected
+            await stopper
+            assert srv.stats["timed_out"] == 1
+
+        asyncio.run(main())
+        store.memory.close()
 
 
 class TestRestartability:
