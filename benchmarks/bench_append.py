@@ -18,10 +18,19 @@ append commits, and measures what one commit actually costs:
   headline ``rewrite_reduction_vs_full_map`` asserts ≥ 10× less
   metadata rewritten per commit at one million items.
 
+The ``mutation`` surface applies the same yardstick to format v5's
+delete/upsert commits: at each size the harness runs interleaved
+tombstone-only deletes and replace+enroll upserts and records the
+per-commit metadata bytes (manifest + worker index + delta sidecar),
+which must stay **flat in store size** exactly like appends — a delete
+against a million-item store journals the same few kilobytes as one
+against ten thousand items.
+
 ``BENCH_APPEND_MAX_ITEMS`` caps the sweep for a quick pass; the JSON
 record and the headline assertion only engage on a full sweep. Every
 size spot-checks that appended rows answer after a fresh reopen — the
-cost being measured is of *committed* appends.
+cost being measured is of *committed* appends — and that deleted
+labels are gone and upserted rows answer after a fresh reopen.
 
 Run: ``PYTHONPATH=src python -m pytest benchmarks/bench_append.py -q``
 """
@@ -118,6 +127,65 @@ def _append_point(num_items, rng, tmp_root=None):
         shutil.rmtree(tmp, ignore_errors=True)
 
 
+def _mutation_point(num_items, rng, tmp_root=None):
+    store = _build(num_items, rng)
+    tmp = Path(tempfile.mkdtemp(dir=tmp_root))
+    try:
+        store_path = tmp / "store"
+        store.save(store_path)
+        manifest_path = store_path / MANIFEST_NAME
+        del store
+
+        opened = AssociativeStore.open(store_path)
+        delete_seconds, upsert_seconds = [], []
+        for commit in range(COMMITS):
+            # Tombstone-only commit: BATCH distinct labels per round.
+            doomed = list(range(commit * BATCH, (commit + 1) * BATCH))
+            tick = time.perf_counter()
+            opened.delete(doomed)
+            delete_seconds.append(time.perf_counter() - tick)
+            # Upsert commit: half replacements, half new enrollments.
+            refreshed = list(range(
+                (COMMITS + commit) * BATCH,
+                (COMMITS + commit) * BATCH + BATCH // 2,
+            ))
+            enrolled = list(range(
+                num_items + commit * (BATCH // 2),
+                num_items + (commit + 1) * (BATCH // 2),
+            ))
+            vectors = random_bipolar(BATCH, D, rng)
+            tick = time.perf_counter()
+            opened.upsert(refreshed + enrolled, vectors)
+            upsert_seconds.append(time.perf_counter() - tick)
+
+        manifest_bytes = manifest_path.stat().st_size
+        worker_index_bytes = (store_path / WORKER_INDEX_NAME).stat().st_size
+        delta_bytes = _glob_bytes(store_path, "delta.g*.json") / (2 * COMMITS)
+        metadata_bytes = manifest_bytes + worker_index_bytes + delta_bytes
+
+        # Committed means committed: a fresh open drops every tombstoned
+        # row and answers the last upserted one.
+        fresh = AssociativeStore.open(store_path)
+        assert 0 not in fresh.labels
+        assert fresh.cleanup(vectors[-1])[0] == enrolled[-1]
+        return {
+            "items": num_items,
+            "shards": SHARDS,
+            "batch": BATCH,
+            "commits": 2 * COMMITS,
+            "delete_rows_per_second": BATCH * COMMITS / sum(delete_seconds),
+            "upsert_rows_per_second": BATCH * COMMITS / sum(upsert_seconds),
+            "seconds_per_delete_median": statistics.median(delete_seconds),
+            "seconds_per_upsert_median": statistics.median(upsert_seconds),
+            "manifest_bytes_per_commit": manifest_bytes,
+            "worker_index_bytes_per_commit": worker_index_bytes,
+            "delta_bytes_per_commit": delta_bytes,
+            "metadata_bytes_per_commit": metadata_bytes,
+        }
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
 def test_append_surface_json():
     """Record per-commit cost at each decade; assert it is O(batch)."""
     max_items = int(os.environ.get("BENCH_APPEND_MAX_ITEMS", SIZES[-1]))
@@ -147,6 +215,39 @@ def test_append_surface_json():
                         "shards": SHARDS,
                         "batch": BATCH,
                         "commits": COMMITS,
+                    },
+                    "points": points,
+                }
+            },
+        )
+
+
+def test_mutation_surface_json():
+    """Record per-commit delete/upsert cost; assert it is O(batch)."""
+    max_items = int(os.environ.get("BENCH_APPEND_MAX_ITEMS", SIZES[-1]))
+    sizes = [size for size in SIZES if size <= max_items]
+    points = [
+        _mutation_point(num_items, np.random.default_rng(num_items + 11))
+        for num_items in sizes
+    ]
+
+    # Flat in store size, exactly like appends: mutation commit metadata
+    # at the largest size stays within 2x of the smallest.
+    if len(points) > 1:
+        assert points[-1]["metadata_bytes_per_commit"] <= (
+            2 * points[0]["metadata_bytes_per_commit"]
+        ), points
+    if sizes[-1] == SIZES[-1]:  # full sweep: record the surface
+        merge_bench_record(
+            "BENCH_store.json",
+            {
+                "mutation": {
+                    "config": {
+                        "dim": D,
+                        "backend": "packed",
+                        "shards": SHARDS,
+                        "batch": BATCH,
+                        "commits": 2 * COMMITS,
                     },
                     "points": points,
                 }

@@ -374,6 +374,35 @@ class ItemMemory:
             self._labels.append(label)
             self._pending.append(row)
 
+    def remove_many(self, labels):
+        """Remove stored rows by label, preserving the survivors' order.
+
+        The single-shard deletion primitive underneath the mutable-store
+        subsystem: the whole batch is validated first (duplicates within
+        the batch, membership), so a rejected batch leaves the memory
+        untouched; on success the surviving rows are rebuilt as one
+        contiguous native matrix in their original insertion order, so
+        queries over the survivors are bit-identical to a memory that
+        never held the removed rows. Removal is O(n) — the matrix is
+        gathered once through a keep mask.
+        """
+        labels = list(labels)
+        if not labels:
+            return
+        if len(set(labels)) != len(labels):
+            raise ValueError("duplicate labels in remove_many")
+        for label in labels:
+            if label not in self._label_index:
+                raise ValueError(f"label {label!r} is not stored")
+        native = self._native_matrix()
+        keep = np.ones(len(self._labels), dtype=bool)
+        keep[[self._label_index[label] for label in labels]] = False
+        matrix = np.ascontiguousarray(np.asarray(native)[keep])
+        matrix.setflags(write=False)
+        self._matrix = matrix
+        self._labels = [label for label, kept in zip(self._labels, keep) if kept]
+        self._label_index = {label: i for i, label in enumerate(self._labels)}
+
     def cleanup(self, query):
         """Return ``(label, similarity)`` of the best-matching stored item.
 

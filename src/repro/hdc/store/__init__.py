@@ -51,11 +51,13 @@ from .persistence import (
     SUPPORTED_VERSIONS,
     WORKER_INDEX_NAME,
     append_rows,
+    delete_rows,
     load_shard,
     load_worker_shard,
     open_store,
     read_manifest,
     save_store,
+    upsert_rows,
 )
 from .faults import (
     FAULT_MODES,
@@ -134,6 +136,8 @@ __all__ = [
     "save_store",
     "open_store",
     "append_rows",
+    "delete_rows",
+    "upsert_rows",
     "load_shard",
     "load_worker_shard",
     "read_manifest",

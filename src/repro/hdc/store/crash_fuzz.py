@@ -13,8 +13,11 @@ prose into executed cases:
    and generation; the two advisory rows degrade silently and the
    malformed-bounds exception is tolerated without skipping.
 
-The fuzzer drives deterministic ``save → append×N → compact`` schedules
-(:func:`make_schedule`, seed-derived) through the injectable I/O seam
+The fuzzer drives deterministic ``save → {append | delete | upsert |
+compact}×N`` schedules (:func:`make_schedule`, seed-derived; mutation
+ops are weighted into the grammar, and
+:func:`make_mutation_schedule` guarantees a delete- and upsert-bearing
+schedule for the exhaustive sweep) through the injectable I/O seam
 (:mod:`.faults`):
 
 - a fault-free run under :class:`~.faults.CountingIO` enumerates every
@@ -31,7 +34,7 @@ The fuzzer drives deterministic ``save → append×N → compact`` schedules
 
 Run ``python -m repro.hdc.store.crash_fuzz --help`` for the CLI; the CI
 step bounds the randomized legs via ``CRASH_FUZZ_SCHEDULES`` /
-``CRASH_FUZZ_EXECUTOR``. The corruption table's rows are exercised by
+``CRASH_FUZZ_EXECUTOR`` and picks fault modes via ``CRASH_FUZZ_MODES``. The corruption table's rows are exercised by
 :data:`CORRUPTION_CASES` (the ``CF-xx`` ids cited by STORE_FORMAT.md's
 "verified by" column), and the summary printed by :func:`main` counts
 every table row exercised.
@@ -70,6 +73,7 @@ from .routing import ROUTINGS
 __all__ = [
     "FuzzFailure",
     "make_schedule",
+    "make_mutation_schedule",
     "run_schedule",
     "fingerprint",
     "build_reference",
@@ -89,21 +93,43 @@ class FuzzFailure(AssertionError):
 
 
 def make_schedule(seed):
-    """A deterministic ``save → append×N → (compact) → append×M`` schedule.
+    """A deterministic ``save → {append|delete|upsert|compact}×N`` schedule.
 
-    Everything — layout, backend, step count, batch sizes, and (via
-    :func:`schedule_batch`) the row contents — derives from ``seed``, so
-    a writer child handed the schedule JSON replays bit-identical
-    writes.
+    Everything — layout, backend, step count, batch sizes, mutation
+    targets, and (via :func:`schedule_batch`) the row contents —
+    derives from ``seed``, so a writer child handed the schedule JSON
+    replays bit-identical writes. Mutation steps carry their label
+    lists explicitly: the generator tracks the live-label set, so a
+    ``delete`` only ever names stored labels (and never empties the
+    store) and an ``upsert`` mixes re-enrolled and fresh labels.
     """
     rng = random.Random(f"crash_fuzz:{seed}")
     steps = [{"op": "save", "rows": rng.randint(3, 8)}]
-    for _ in range(rng.randint(1, 3)):
-        steps.append({"op": "append", "rows": rng.randint(2, 6)})
-    if rng.random() < 0.7:
-        steps.append({"op": "compact", "rows": 0})
-        for _ in range(rng.randint(0, 2)):
-            steps.append({"op": "append", "rows": rng.randint(2, 6)})
+    live = [f"s{seed}.0.{j}" for j in range(steps[0]["rows"])]
+    for _ in range(rng.randint(2, 4)):
+        index = len(steps)
+        op = rng.choices(("append", "delete", "upsert", "compact"),
+                         weights=(40, 20, 20, 20))[0]
+        if op == "delete" and len(live) < 3:
+            op = "append"  # keep at least two survivors queryable
+        if op == "append":
+            rows = rng.randint(2, 6)
+            steps.append({"op": "append", "rows": rows})
+            live += [f"s{seed}.{index}.{j}" for j in range(rows)]
+        elif op == "delete":
+            victims = rng.sample(live, rng.randint(1, min(3, len(live) - 2)))
+            steps.append({"op": "delete", "rows": 0, "labels": victims})
+            live = [label for label in live if label not in victims]
+        elif op == "upsert":
+            existing = rng.sample(live, rng.randint(1, min(2, len(live))))
+            fresh = [f"s{seed}.{index}.{j}"
+                     for j in range(rng.randint(0, 2))]
+            labels = existing + fresh
+            steps.append({"op": "upsert", "rows": len(labels),
+                          "labels": labels})
+            live = [label for label in live if label not in existing] + labels
+        else:
+            steps.append({"op": "compact", "rows": 0})
     return {
         "seed": seed,
         "dim": rng.choice((64, 128)),
@@ -114,12 +140,39 @@ def make_schedule(seed):
     }
 
 
+def make_mutation_schedule(seed):
+    """The exhaustive-sweep mutation schedule: guaranteed delete + upsert.
+
+    Deterministically probes :func:`make_schedule` seeds (derived from
+    ``seed``) until the grammar rolls a schedule journaling at least one
+    ``delete`` and one ``upsert`` commit, so the exhaustive sweep
+    kill-tests every v5 injection point — tombstone sidecars included —
+    not just whichever ops a lucky seed happened to draw.
+    """
+    for salt in range(10_000):
+        schedule = make_schedule(seed + 100_003 * (salt + 1))
+        ops = {step["op"] for step in schedule["steps"]}
+        if {"delete", "upsert"} <= ops:
+            return schedule
+    raise FuzzFailure(
+        f"mutation grammar never rolled delete+upsert from seed {seed}"
+    )
+
+
 def schedule_batch(schedule, step_index):
-    """The ``(labels, vectors)`` batch one schedule step ingests."""
-    rows = schedule["steps"][step_index]["rows"]
-    labels = [f"s{schedule['seed']}.{step_index}.{j}" for j in range(rows)]
+    """The ``(labels, vectors)`` batch one schedule step ingests.
+
+    ``save``/``append`` steps derive their labels from the step index;
+    ``delete``/``upsert`` steps carry theirs explicitly (mutations must
+    name labels that exist at that point of the history).
+    """
+    step = schedule["steps"][step_index]
+    labels = step.get("labels")
+    if labels is None:
+        labels = [f"s{schedule['seed']}.{step_index}.{j}"
+                  for j in range(step["rows"])]
     rng = np.random.default_rng([abs(schedule["seed"]), step_index, 0xC4A5])
-    return labels, random_bipolar(rows, schedule["dim"], rng)
+    return labels, random_bipolar(len(labels), schedule["dim"], rng)
 
 
 def run_schedule(schedule, path, start_step=0, end_step=None):
@@ -148,6 +201,10 @@ def run_schedule(schedule, path, start_step=0, end_step=None):
                 store = AssociativeStore.open(path)
             if step["op"] == "append":
                 store.add_many(*schedule_batch(schedule, index))
+            elif step["op"] == "delete":
+                store.delete(step["labels"])
+            elif step["op"] == "upsert":
+                store.upsert(*schedule_batch(schedule, index))
             elif step["op"] == "compact":
                 store.compact()
             else:
@@ -381,6 +438,14 @@ def _case_paths(root):
     }
 
 
+def _find_delta(root, op):
+    """The first delta sidecar in the manifest chain journaling ``op``."""
+    for name in _manifest(root)["deltas"]:
+        if json.loads((Path(root) / name).read_text()).get("op") == op:
+            return name
+    raise FuzzFailure(f"corruption-case store journals no {op!r} delta")
+
+
 def _truncate_file(root, name):
     path = Path(root) / name
     data = path.read_bytes()
@@ -546,16 +611,45 @@ CORRUPTION_CASES = [
             bounds={"minus_min": "bogus", "minus_max": [], "centroid": "zz",
                     "radius": "wide"})),
      _check_tolerated),
+    ("CF-28", 17, lambda r: _edit_json(
+        Path(r) / _find_delta(r, "delete"),
+        lambda d: d["tombstones"][0].update(
+            orders=[10_000] * len(d["tombstones"][0]["orders"]))),
+     _expect_raise(ValueError, "outside")),
+    ("CF-29", 17, lambda r: _edit_json(
+        Path(r) / _find_delta(r, "delete"),
+        lambda d: d["tombstones"][0].update(
+            labels=["imposter"] * len(d["tombstones"][0]["labels"]))),
+     _expect_raise(ValueError, "imposter")),
+    ("CF-30", 18, lambda r: _edit_json(
+        Path(r) / _find_delta(r, "delete"),
+        lambda d: d["tombstones"][0].update(
+            labels=d["tombstones"][0]["labels"] * 2,
+            orders=d["tombstones"][0]["orders"] * 2)),
+     _expect_raise(ValueError, "twice")),
+    ("CF-31", 19, lambda r: _edit_manifest(
+        r, lambda m: m.update(deltas=[name for name in m["deltas"]
+                                      if name != _find_delta(r, "delete")])),
+     _expect_raise(ValueError, "row-count drift")),
+    ("CF-32", 19, lambda r: _edit_manifest(
+        r, lambda m: m.update(deltas=[name for name in m["deltas"]
+                                      if name != _find_delta(r, "append")])),
+     _expect_raise(ValueError, "absent from the manifest delta chain")),
+    ("CF-33", 20, lambda r: _edit_manifest(
+        r, lambda m: (m.update(format_version=4),
+                      m.pop("deltas"), m.pop("next_order"))),
+     _expect_raise(ValueError, "predates format v5")),
 ]
 
-#: corruption-table row count the cases above must cover (14 raising
+#: corruption-table row count the cases above must cover (18 raising
 #: rows + 2 advisory rows + the malformed-bounds tolerance paragraph)
-CORRUPTION_TABLE_ROWS = 17
+CORRUPTION_TABLE_ROWS = 21
 
 
 def _build_case_store(root):
     """The standard store the corruption cases mutate: sharded, packed,
-    one journaled append (so delta/segment rows have targets)."""
+    one journaled append, delete, and upsert each (so delta/segment AND
+    tombstone-sidecar rows have targets)."""
     rng = np.random.default_rng(1234)
     dim = 64
     store = AssociativeStore(dim, backend="packed", shards=2, routing="hash")
@@ -565,6 +659,8 @@ def _build_case_store(root):
     handle = AssociativeStore.open(root)
     handle.add_many([f"extra{i}" for i in range(6)],
                     random_bipolar(6, dim, rng))
+    handle.delete(["base1", "extra2"])
+    handle.upsert(["base3", "mut0"], random_bipolar(2, dim, rng))
 
 
 def run_corruption_cases(case_ids=None):
@@ -634,8 +730,11 @@ def main(argv=None):
                         default=os.environ.get("CRASH_FUZZ_EXECUTOR", "thread"),
                         choices=("thread", "process"),
                         help="executor used to query survivors")
-    parser.add_argument("--modes", default="kill,truncate",
-                        help="comma-separated fault modes to cycle through")
+    parser.add_argument("--modes",
+                        default=os.environ.get("CRASH_FUZZ_MODES",
+                                               "kill,truncate"),
+                        help="comma-separated fault modes to cycle through "
+                             "(default $CRASH_FUZZ_MODES or kill,truncate)")
     parser.add_argument("--jobs", type=int,
                         default=_env_int("CRASH_FUZZ_JOBS",
                                          min(8, os.cpu_count() or 1)),
@@ -664,16 +763,21 @@ def main(argv=None):
             summary["by_mode"][outcome["mode"]] += 1
 
     if not args.no_exhaustive:
-        # One schedule, every injection point killed: the atomicity
-        # guarantee holds at each reachable operation, not a sample.
-        schedule = make_schedule(args.seed)
-        reference, outcomes = fuzz_schedule(
-            schedule, modes=modes, executor=args.executor, jobs=args.jobs)
-        summary["schedules"] += 1
-        summary["exhaustive_ops"] = reference["total_ops"]
-        absorb(outcomes)
-        print(f"exhaustive: seed {args.seed}, "
-              f"{reference['total_ops']} injection points", flush=True)
+        # Two schedules, every injection point killed: the atomicity
+        # guarantee holds at each reachable operation, not a sample —
+        # once over whatever ops the base seed draws, once over a
+        # schedule guaranteed to journal delete and upsert commits.
+        for leg, schedule in (
+            ("exhaustive", make_schedule(args.seed)),
+            ("mutation", make_mutation_schedule(args.seed)),
+        ):
+            reference, outcomes = fuzz_schedule(
+                schedule, modes=modes, executor=args.executor, jobs=args.jobs)
+            summary["schedules"] += 1
+            summary[f"{leg}_ops"] = reference["total_ops"]
+            absorb(outcomes)
+            print(f"{leg}: seed {schedule['seed']}, "
+                  f"{reference['total_ops']} injection points", flush=True)
 
     for offset in range(args.schedules):
         seed = args.seed + 1 + offset

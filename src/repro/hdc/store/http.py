@@ -23,10 +23,21 @@ POST     ``/v1/topk``          ``{"query": [...], "k": 5}`` →
 POST     ``/v1/similarities``  ``{"query": [...]}`` →
                                ``server.similarities`` →
                                ``{"similarities": [...]}``
+POST     ``/v1/delete``        ``{"labels": [...]}`` →
+                               ``server.delete`` →
+                               ``{"status": "ok", "deleted": n}``
+POST     ``/v1/upsert``        ``{"labels": [...], "vectors": [[...]]}`` →
+                               ``server.upsert`` →
+                               ``{"status": "ok", "upserted": n}``
 GET      ``/v1/stats``         per-route/status HTTP counters folded
                                with the ``StoreServer`` stats
 GET      ``/v1/healthz``       ``{"status": "ok", "pending": n}``
 =======  ====================  ==========================================
+
+The mutation routes ride the serving layer's exclusive barrier (no
+micro-batching) and are refused with **503** once a drain has begun —
+mid-drain mutations never race the drain waves. They are not idempotent
+on the wire; retrying clients must send them with ``idempotent=False``.
 
 **Error mapping** — every failure is a JSON body
 ``{"error": {"status": ..., "message": ...}}``:
@@ -102,6 +113,7 @@ __all__ = [
     "TransportError",
     "HTTPStatusError",
     "ROUTES",
+    "MUTATION_KINDS",
 ]
 
 #: the wire surface: ``(method, path)`` → request kind. Query kinds
@@ -112,9 +124,18 @@ ROUTES = {
     ("POST", "/v1/cleanup"): "cleanup",
     ("POST", "/v1/topk"): "topk",
     ("POST", "/v1/similarities"): "similarities",
+    ("POST", "/v1/delete"): "delete",
+    ("POST", "/v1/upsert"): "upsert",
     ("GET", "/v1/stats"): "stats",
     ("GET", "/v1/healthz"): "healthz",
 }
+
+#: the mutation routes: not micro-batched — each rides the serving
+#: layer's exclusive mutation barrier. NOT idempotent on the wire
+#: (an upsert re-orders ties; a replayed delete 400s on the missing
+#: label): clients must pass ``idempotent=False`` so a
+#: :class:`RetryPolicy` never replays one after a transport failure.
+MUTATION_KINDS = ("delete", "upsert")
 
 _REASONS = {
     200: "OK",
@@ -141,6 +162,12 @@ _ALLOWED_KEYS = {
     "cleanup": {"query", "timeout_ms"},
     "topk": {"query", "k", "timeout_ms"},
     "similarities": {"query", "timeout_ms"},
+}
+
+#: body keys each mutation route accepts (same strictness as queries)
+_MUTATION_KEYS = {
+    "delete": {"labels"},
+    "upsert": {"labels", "vectors"},
 }
 
 
@@ -189,6 +216,34 @@ def _parse_body(kind, body):
             raise ValueError('"timeout_ms" must be a positive number')
         kwargs["timeout_ms"] = float(timeout_ms)
     return query, kwargs
+
+
+def _parse_mutation(kind, body):
+    """Parse one mutation route's JSON body into the awaitable's args."""
+    try:
+        payload = json.loads(body)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"request body is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ValueError("request body must be a JSON object")
+    unknown = set(payload) - _MUTATION_KEYS[kind]
+    if unknown:
+        raise ValueError(
+            f"unknown body keys {sorted(unknown)}; "
+            f"{kind} accepts {sorted(_MUTATION_KEYS[kind])}"
+        )
+    labels = payload.get("labels")
+    if not isinstance(labels, list) or not labels:
+        raise ValueError('request body must carry a non-empty "labels" array')
+    if kind == "delete":
+        return (labels,)
+    vectors = payload.get("vectors")
+    if not isinstance(vectors, list):
+        raise ValueError('request body must carry a "vectors" array of rows')
+    vectors = np.asarray(vectors)
+    if vectors.dtype.kind not in "iu":
+        raise ValueError('"vectors" must be an array of bipolar integers')
+    return labels, vectors
 
 
 class StoreHTTPServer:
@@ -478,6 +533,11 @@ class StoreHTTPServer:
                 return 200, {"status": "ok", "pending": self._server.pending}
             if kind == "stats":
                 return 200, self.stats
+            if kind in MUTATION_KINDS:
+                args = _parse_mutation(kind, body)
+                await getattr(self._server, kind)(*args)
+                counted = "deleted" if kind == "delete" else "upserted"
+                return 200, {"status": "ok", counted: len(args[0])}
             query, kwargs = _parse_body(kind, body)
             result = await getattr(self._server, kind)(query, **kwargs)
             return 200, jsonable_result(kind, result)

@@ -105,17 +105,20 @@ __all__ = [
     "save_store",
     "open_store",
     "append_rows",
+    "delete_rows",
+    "upsert_rows",
     "read_manifest",
     "load_shard",
     "load_worker_shard",
 ]
 
 FORMAT_NAME = "repro.hdc.store"
-FORMAT_VERSION = 4
+FORMAT_VERSION = 5
 #: versions :func:`open_store` reads (1 = PR 2 layout, 2 = pre-geometric
-#: bounds, 3 = inline label maps + single base+segments ball per shard;
-#: all migrated on open)
-SUPPORTED_VERSIONS = (1, 2, 3, 4)
+#: bounds, 3 = inline label maps + single base+segments ball per shard,
+#: 4 = append-only delta sidecars — no tombstones, no manifest delta
+#: chain; all migrated on open)
+SUPPORTED_VERSIONS = (1, 2, 3, 4, 5)
 MANIFEST_NAME = "manifest.json"
 #: label-free twin of the manifest for O(1) process-worker attach
 WORKER_INDEX_NAME = "worker_index.json"
@@ -206,25 +209,41 @@ def _unlink_stale(path):
 
 
 #: segment fields that persist in the manifest itself — labels, orders,
-#: and bounds are *materialized* onto segments by :func:`_read_manifest`
-#: (from the delta sidecars) and must never be inlined back
+#: bounds, and live-row counts are *materialized* onto segments by
+#: :func:`_read_manifest` (from the delta sidecars) and must never be
+#: inlined back
 _SEGMENT_DISK_KEYS = ("file", "rows", "delta_file")
+
+#: top-level manifest fields materialized by :func:`_read_manifest`
+#: (never serialized): the dense surviving label list, the surviving
+#: label → physical order map, and the sorted tombstoned orders — all
+#: O(store), reconstructed from the sidecars + delta chain on open
+_MANIFEST_MATERIALIZED_KEYS = ("labels", "label_orders", "deleted_orders")
+
+#: shard-entry fields materialized by :func:`_read_manifest`
+_ENTRY_MATERIALIZED_KEYS = ("labels", "orders", "live_rows")
 
 
 def _manifest_to_disk(manifest):
-    """The serializable v4 manifest: strip every materialized field.
+    """The serializable v5 manifest: strip every materialized field.
 
-    :func:`_read_manifest` materializes the global ``labels`` list, each
-    shard entry's ``labels``, and each segment's ``labels`` / ``orders``
-    / ``bounds`` into the returned dict so in-process callers see one
-    uniform shape. On disk those belong to the label/orders/delta
-    sidecars — inlining them back would make every commit O(store)
-    again, which is exactly what v4 exists to avoid.
+    :func:`_read_manifest` materializes the global surviving ``labels``
+    list, the ``label_orders`` / ``deleted_orders`` physical-order maps,
+    each shard entry's ``labels`` / ``orders`` / ``live_rows``, and each
+    segment's ``labels`` / ``orders`` / ``bounds`` / ``live_rows`` into
+    the returned dict so in-process callers see one uniform shape. On
+    disk those belong to the label/orders/delta sidecars — inlining
+    them back would make every commit O(store) again, which is exactly
+    what v4/v5 exist to avoid.
     """
-    out = {key: value for key, value in manifest.items() if key != "labels"}
+    out = {
+        key: value for key, value in manifest.items()
+        if key not in _MANIFEST_MATERIALIZED_KEYS
+    }
     out["shards"] = [
         {
-            **{key: value for key, value in entry.items() if key != "labels"},
+            **{key: value for key, value in entry.items()
+               if key not in _ENTRY_MATERIALIZED_KEYS},
             "segments": [
                 {key: segment[key] for key in _SEGMENT_DISK_KEYS
                  if key in segment}
@@ -251,6 +270,9 @@ def _write_worker_index(path, manifest):
         "kind": manifest["kind"],
         "dim": manifest["dim"],
         "backend": manifest["backend"],
+        # v5: the delta chain, so workers can collect tombstones and
+        # dense-renumber their orders without parsing the manifest.
+        "deltas": list(manifest.get("deltas", ())),
         "shards": [
             {
                 "file": entry["file"],
@@ -284,12 +306,19 @@ def _collect_stale_sidecars(path, manifest):
     for stale in path.glob("labels.g*.json"):
         if stale.name not in labels:
             _unlink_stale(stale)
-    deltas = {
-        segment.get("delta_file")
-        for entry in manifest["shards"]
-        for segment in entry["segments"]
-        if segment.get("delta_file")
-    }
+    # v5 manifests name their whole delta chain (pure-delete commits
+    # journal no segment, so segment references alone would leak them);
+    # v4 manifests fall back to the segments' references.
+    chain = manifest.get("deltas")
+    if chain is None:
+        deltas = {
+            segment.get("delta_file")
+            for entry in manifest["shards"]
+            for segment in entry["segments"]
+            if segment.get("delta_file")
+        }
+    else:
+        deltas = set(chain)
     for stale in path.glob("delta.g*.json"):
         if stale.name not in deltas:
             _unlink_stale(stale)
@@ -362,9 +391,10 @@ def save_store(memory, path):
     """Write an :class:`ItemMemory` or :class:`ShardedItemMemory` to ``path``.
 
     Creates the directory (parents included) and writes *contiguous*
-    shard files — saving over a store that has journaled append segments
-    folds them in and deletes the journal, i.e. this is also the
-    compaction primitive. Returns the manifest path.
+    shard files — saving over a store that has journaled append,
+    replacement, or tombstone commits folds them all in (survivors
+    only, bounds recomputed exactly) and deletes the journal, i.e. this
+    is also the compaction primitive. Returns the manifest path.
     """
     if isinstance(memory, ItemMemory):
         kind, shards, routing = "single", [memory], None
@@ -432,6 +462,11 @@ def save_store(memory, path):
         "num_shards": len(shards),
         "generation": generation,
         "rows": len(labels),
+        # Save/compact folds every tombstone and replacement out, so the
+        # fresh generation starts with an empty delta chain and physical
+        # orders dense again (next_order == rows).
+        "next_order": len(labels),
+        "deltas": [],
         "labels_file": labels_name,
         "labels": labels,
         "shards": shard_entries,
@@ -555,7 +590,7 @@ def _read_manifest(path):
         for key in _EMPTY_BOUNDS:
             bounds.setdefault(key, None)
     if version >= 4:
-        _materialize_v4(Path(path), manifest)
+        _materialize_sidecars(Path(path), manifest)
     return manifest
 
 
@@ -597,19 +632,24 @@ def _bounds_block(raw):
     return bounds
 
 
-def _materialize_v4(path, manifest):
-    """Rebuild the in-memory label/orders/bounds view of a v4 manifest.
+def _materialize_sidecars(path, manifest):
+    """Rebuild the in-memory label/orders/bounds view of a v4/v5 manifest.
 
     Loads the global label sidecar, recovers each shard's base labels
-    through its normative orders sidecar, then replays the append delta
-    chain in generation order. Every structural inconsistency —
+    through its normative orders sidecar, then replays the journaled
+    delta chain in generation order (appends, and — since v5 —
+    tombstone/replacement commits). Every structural inconsistency —
     truncated or missing sidecars, orders that do not partition the base
     rows, a delta that chains from the wrong row count, insertion orders
-    that are not the contiguous next block, a journaled segment without
-    its delta record — raises: a corrupted store must fail to open, not
-    mis-answer. The materialized fields (``manifest["labels"]``, entry
-    ``labels``, segment ``labels``/``orders``/``bounds``) exist only in
-    the returned dict; :func:`_manifest_to_disk` strips them on write.
+    that are not the contiguous next block, a tombstone naming a dead,
+    unknown, or mislabelled slot, a journaled segment without its delta
+    record — raises: a corrupted store must fail to open, not
+    mis-answer. The materialized fields (``manifest["labels"]`` — the
+    *surviving* labels in physical order — plus ``label_orders`` /
+    ``deleted_orders``, entry ``labels``/``orders``/``live_rows``,
+    segment ``labels``/``orders``/``bounds``/``live_rows``) exist only
+    in the returned dict; :func:`_manifest_to_disk` strips them on
+    write.
     """
     generation = manifest.get("generation")
     labels_name = manifest.get("labels_file")
@@ -643,8 +683,12 @@ def _materialize_v4(path, manifest):
             f"manifest's shard entries record {base_rows} base rows"
             + _gen_tag(labels_path, generation)
         )
+    # Materialized orders stay plain lists — the materialized manifest
+    # must remain JSON-serializable (callers round-trip read_manifest()).
     if manifest["kind"] == "single":
-        manifest["shards"][0]["labels"] = list(labels)
+        entry = manifest["shards"][0]
+        entry["labels"] = list(labels)
+        entry["orders"] = list(range(len(labels)))
     else:
         assigned = np.zeros(len(labels), dtype=bool)
         for index, entry in enumerate(manifest["shards"]):
@@ -659,18 +703,64 @@ def _materialize_v4(path, manifest):
                     )
                 assigned[orders] = True
             entry["labels"] = [labels[order] for order in orders]
+            entry["orders"] = orders.tolist()
         if not bool(assigned.all()):
             raise ValueError(
                 "orders sidecars do not cover every row of the labels file"
                 + _gen_tag(labels_path, generation)
             )
-    _replay_deltas(path, manifest, labels)
-    manifest["labels"] = labels
+    deleted = _replay_deltas(path, manifest, labels)
+    # ``labels`` is now the full *physical* slot list (tombstoned slots
+    # keep their label); the surviving view is what readers consume.
+    manifest["deleted_orders"] = deleted
+    if deleted:
+        dead = np.zeros(len(labels), dtype=bool)
+        dead[np.asarray(deleted, dtype=np.int64)] = True
+        manifest["labels"] = [
+            label for order, label in enumerate(labels) if not dead[order]
+        ]
+        manifest["label_orders"] = {
+            label: order for order, label in enumerate(labels)
+            if not dead[order]
+        }
+        dead_arr = np.asarray(deleted, dtype=np.int64)
+        for entry in manifest["shards"]:
+            entry_orders = np.asarray(entry["orders"], dtype=np.int64)
+            entry["live_rows"] = int(entry["rows"]) - int(
+                np.isin(entry_orders, dead_arr).sum()
+            )
+            for segment in entry["segments"]:
+                seg_orders = np.asarray(segment.get("orders", ()),
+                                        dtype=np.int64)
+                segment["live_rows"] = int(segment["rows"]) - int(
+                    np.isin(seg_orders, dead_arr).sum()
+                )
+    else:
+        manifest["labels"] = labels
+        manifest["label_orders"] = {
+            label: order for order, label in enumerate(labels)
+        }
+    if int(manifest["format_version"]) >= 5:
+        recorded = manifest.get("next_order")
+        try:
+            recorded = int(recorded)
+        except (TypeError, ValueError):
+            recorded = None
+        if recorded != len(labels):
+            raise ValueError(
+                f"manifest records next_order={manifest.get('next_order')} "
+                f"but the delta chain reconstructs {len(labels)} physical "
+                f"rows (row-count drift)"
+                + _gen_tag(path / MANIFEST_NAME, generation)
+            )
+    else:
+        manifest["next_order"] = len(labels)
     total = manifest.get("rows")
-    if total is not None and int(total) != len(labels):
+    if total is not None and int(total) != len(manifest["labels"]):
         raise ValueError(
             f"manifest records {total} rows but its label sidecars and delta "
-            f"chain reconstruct {len(labels)} (row-count drift)"
+            f"chain reconstruct {len(manifest['labels'])} surviving rows "
+            f"(row-count drift)"
             + _gen_tag(path / MANIFEST_NAME, generation)
         )
 
@@ -712,15 +802,33 @@ def _load_base_orders(path, index, entry, num_labels, generation=None):
 
 
 def _replay_deltas(path, manifest, labels):
-    """Replay the append delta chain, extending ``labels`` in place.
+    """Replay the journaled delta chain, extending ``labels`` in place.
 
-    Deltas are replayed in generation order (their zero-padded file
-    names sort chronologically). Each delta must chain from exactly the
-    row count the prior state reconstructs, cover exactly the journaled
-    segments that reference it, and assign the contiguous next block of
-    global insertion orders; each covered segment gains its materialized
-    ``labels``, ``orders``, and per-segment ``bounds``.
+    Deltas are replayed in generation order. ``labels`` enters holding
+    the *physical* base slots (one per base row) and leaves holding
+    every physical slot ever committed — appends extend it, tombstones
+    never shrink it (a dead slot keeps its label, so corruption stays
+    attributable). Returns the sorted physical orders of every
+    tombstoned slot.
+
+    A v4 chain is discovered through the journaled segments' references
+    (append-only, so segment references reach every delta). A v5 chain
+    is the manifest's explicit ``deltas`` list — a pure-delete commit
+    journals no segment — and each v5 delta carries its ``op``
+    (``append`` / ``delete`` / ``upsert``), the surviving-row count it
+    chains from (``base_rows``), its physical length (``next_order``),
+    appended segment ``entries``, and per-shard ``tombstones``.
+    Tombstones apply before the same commit's appended rows (an upsert
+    re-enrolls the replaced labels at the end of the insertion order).
+    Each delta must chain from exactly the surviving/physical counts the
+    prior state reconstructs, cover exactly the journaled segments that
+    reference it, and assign the contiguous next block of physical
+    insertion orders; each covered segment gains its materialized
+    ``labels``, ``orders``, and per-segment ``bounds``, and every
+    structural inconsistency — including a tombstone naming an unknown,
+    already-dead, mislabelled, or wrong-shard slot — raises.
     """
+    version = int(manifest.get("format_version", FORMAT_VERSION))
     manifest_tag = _gen_tag(path / MANIFEST_NAME, manifest.get("generation"))
     by_delta = {}
     for index, entry in enumerate(manifest["shards"]):
@@ -732,7 +840,35 @@ def _replay_deltas(path, manifest, labels):
                     f"delta sidecar" + manifest_tag
                 )
             by_delta.setdefault(name, {})[(index, segment["file"])] = segment
-    for name in sorted(by_delta):
+    if version >= 5:
+        names = manifest.get("deltas")
+        if not isinstance(names, list) \
+                or not all(isinstance(name, str) for name in names) \
+                or len(set(names)) != len(names):
+            raise ValueError(
+                f"v5 manifest does not carry a valid delta chain "
+                f"({manifest.get('deltas')!r})" + manifest_tag
+            )
+        orphaned = set(by_delta) - set(names)
+        if orphaned:
+            missing = ", ".join(repr(name) for name in sorted(orphaned))
+            raise ValueError(
+                f"journaled segments reference delta sidecar(s) {missing} "
+                f"absent from the manifest delta chain" + manifest_tag
+            )
+    else:
+        names = sorted(by_delta)
+        manifest["deltas"] = list(names)
+    # Physical order → owning shard, extended as appends replay, so a
+    # tombstone's shard attribution validates in O(1).
+    shard_of = np.zeros(len(labels), dtype=np.int64)
+    if manifest["kind"] == "sharded":
+        for index, entry in enumerate(manifest["shards"]):
+            orders = np.asarray(entry["orders"], dtype=np.int64)
+            if orders.size:
+                shard_of[orders] = index
+    dead = set()
+    for name in names:
         delta_path = path / name
         tag = _gen_tag(delta_path,
                        _file_generation(name, manifest.get("generation")))
@@ -748,12 +884,81 @@ def _replay_deltas(path, manifest, labels):
             raise ValueError(
                 f"{delta_path} is not a {FORMAT_NAME} delta sidecar" + tag
             )
-        if int(delta.get("base_rows", -1)) != len(labels):
+        op = delta.get("op", "append")
+        if op not in ("append", "delete", "upsert"):
+            raise ValueError(f"{delta_path} records unknown op {op!r}" + tag)
+        tombstones = delta.get("tombstones") or ()
+        # The version gate outranks row-count chaining: a pre-v5
+        # manifest over a mutated chain refuses with the format error,
+        # not whatever drift the invisible pure-delete commits cause.
+        if version < 5 and (op != "append" or tombstones):
+            raise ValueError(
+                f"{delta_path} carries a mutation commit (op {op!r}) but the "
+                f"manifest predates format v5" + tag
+            )
+        live = len(labels) - len(dead)
+        if int(delta.get("base_rows", -1)) != live:
             raise ValueError(
                 f"{delta_path} chains from {delta.get('base_rows')} rows but "
-                f"{len(labels)} rows precede it (row-count drift)" + tag
+                f"{live} rows precede it (row-count drift)" + tag
             )
-        pending = dict(by_delta[name])
+        if op == "append" and tombstones:
+            raise ValueError(
+                f"{delta_path} records op 'append' but carries tombstones"
+                + tag
+            )
+        recorded_next = delta.get("next_order")
+        if recorded_next is None:
+            # A v4-era delta in a migrated chain: legal only while the
+            # physical and surviving counts still coincide (no holes).
+            if len(dead):
+                raise ValueError(
+                    f"{delta_path} records no next_order but tombstoned "
+                    f"rows precede it (row-count drift)" + tag
+                )
+        elif int(recorded_next) != len(labels):
+            raise ValueError(
+                f"{delta_path} chains from physical row {recorded_next} but "
+                f"{len(labels)} physical rows precede it (row-count drift)"
+                + tag
+            )
+        for group in tombstones:
+            t_shard = group.get("shard") if isinstance(group, dict) else None
+            t_labels = group.get("labels") if isinstance(group, dict) else None
+            t_orders = group.get("orders") if isinstance(group, dict) else None
+            if not isinstance(t_shard, int) \
+                    or not 0 <= t_shard < len(manifest["shards"]) \
+                    or not isinstance(t_labels, list) \
+                    or not isinstance(t_orders, list) \
+                    or len(t_labels) != len(t_orders):
+                raise ValueError(
+                    f"{delta_path} carries a malformed tombstone group" + tag
+                )
+            for t_label, order in zip(t_labels, t_orders):
+                order = int(order)
+                if not 0 <= order < len(labels):
+                    raise ValueError(
+                        f"{delta_path} tombstones physical row {order} "
+                        f"outside the {len(labels)} committed rows" + tag
+                    )
+                if order in dead:
+                    raise ValueError(
+                        f"{delta_path} tombstones physical row {order} twice"
+                        + tag
+                    )
+                if labels[order] != t_label:
+                    raise ValueError(
+                        f"{delta_path} tombstones row {order} as {t_label!r} "
+                        f"but the chain holds {labels[order]!r}" + tag
+                    )
+                if int(shard_of[order]) != t_shard:
+                    raise ValueError(
+                        f"{delta_path} tombstones row {order} in shard "
+                        f"{t_shard} but the row lives in shard "
+                        f"{int(shard_of[order])}" + tag
+                    )
+                dead.add(order)
+        pending = dict(by_delta.get(name, ()))
         batch = {}
         for part in delta.get("entries", ()):
             key = (int(part["shard"]), part["file"])
@@ -779,7 +984,7 @@ def _replay_deltas(path, manifest, labels):
                         f"{delta_path} assigns global insertion order {order} "
                         f"twice" + tag
                     )
-                batch[order] = label
+                batch[order] = (label, int(part["shard"]))
             segment["labels"] = list(part_labels)
             segment["orders"] = [int(order) for order in part_orders]
             segment["bounds"] = _bounds_block(part.get("bounds"))
@@ -790,13 +995,25 @@ def _replay_deltas(path, manifest, labels):
             raise ValueError(
                 f"{delta_path} does not cover segment(s) {missing}" + tag
             )
+        if batch and op == "delete":
+            raise ValueError(
+                f"{delta_path} records op 'delete' but carries appended "
+                f"segment entries" + tag
+            )
         expected = range(len(labels), len(labels) + len(batch))
         if sorted(batch) != list(expected):
             raise ValueError(
                 f"{delta_path} insertion orders are not the contiguous block "
                 f"[{expected.start}, {expected.stop}) (row-count drift)" + tag
             )
-        labels.extend(batch[order] for order in expected)
+        if len(batch):
+            shard_of = np.concatenate([
+                shard_of,
+                np.asarray([batch[order][1] for order in expected],
+                           dtype=np.int64),
+            ])
+        labels.extend(batch[order][0] for order in expected)
+    return sorted(dead)
 
 
 def _load_matrix(path, entry, what, mmap, generation=None):
@@ -868,15 +1085,33 @@ def open_store(path, mmap=True):
     return memory
 
 
+def _entry_live_rows(entry):
+    """Surviving base rows of a shard entry (physical rows minus tombstones)."""
+    live = entry.get("live_rows")
+    return int(entry["rows"] if live is None else live)
+
+
+def _segment_live_rows(segment):
+    """Surviving rows of one journaled segment."""
+    live = segment.get("live_rows")
+    return int(segment["rows"] if live is None else live)
+
+
 def _entry_total_rows(entry):
-    return entry["rows"] + sum(seg["rows"] for seg in entry["segments"])
+    return _entry_live_rows(entry) + sum(
+        _segment_live_rows(seg) for seg in entry["segments"]
+    )
 
 
 def _entry_pop_bounds(entry):
     """A manifest shard entry's minus-count bounds for the query planner.
 
     ``None`` means unknown (a pre-bounds manifest) — the planner never
-    skips such a shard; a rowless shard is known-empty.
+    skips such a shard; a shard with no *surviving* rows is known-empty.
+    The recorded interval is not recomputed when tombstones thin the
+    entry: a deletion only shrinks the row population, so the interval
+    stays a valid (possibly loose) superset until compact re-tightens
+    it — bounds only ever tighten mid-generation.
     """
     if _entry_total_rows(entry) == 0:
         return ShardedItemMemory.EMPTY_POP_BOUNDS
@@ -926,6 +1161,7 @@ def _entry_segment_bounds(entry, backend):
         if bounds is None:
             continue  # legacy journal: folded into the shard-level ball
         pop = None
+        rows = _segment_live_rows(segment)
         if bounds.get("minus_min") is not None \
                 and bounds.get("minus_max") is not None:
             try:
@@ -940,16 +1176,45 @@ def _entry_segment_bounds(entry, backend):
                        int(bounds["radius"]))
             except (TypeError, ValueError):
                 geo = None
-        groups.append((int(segment["rows"]), pop, geo))
+        # Surviving rows only: a fully tombstoned segment keeps a
+        # zero-row group the planner skips, and the recorded ball stays
+        # a valid superset for the rows that remain.
+        groups.append((rows, pop, geo))
     return groups
 
 
 def _load_shard_entry(path, entry, manifest, mmap):
     generation = manifest.get("generation")
     matrix = _load_matrix(path, entry, "shard", mmap, generation)
+    # Tombstoned rows are physically dropped here, before the shard
+    # memory ever exists — deleted labels are unreachable from every
+    # kernel (cleanup/topk/similarities and the packed hamming_topk
+    # survivor gathers all run over survivor-only matrices). A shard
+    # with no tombstoned rows keeps the fully lazy memmap path.
+    deleted = np.asarray(manifest.get("deleted_orders", ()), dtype=np.int64)
+    base_keep = None
+    seg_keeps = [None] * len(entry["segments"])
+    if deleted.size:
+        base_orders = np.asarray(
+            entry.get("orders", np.arange(int(entry["rows"]))), dtype=np.int64
+        )
+        keep = ~np.isin(base_orders, deleted)
+        if not keep.all():
+            base_keep = keep
+        for position, segment in enumerate(entry["segments"]):
+            seg_orders = np.asarray(segment.get("orders", ()), dtype=np.int64)
+            keep = ~np.isin(seg_orders, deleted)
+            if not keep.all():
+                seg_keeps[position] = keep
+    base_labels = entry["labels"]
+    if base_keep is not None:
+        base_labels = [
+            label for label, kept in zip(entry["labels"], base_keep) if kept
+        ]
+        matrix = np.ascontiguousarray(np.asarray(matrix)[base_keep])
     try:
         shard = ItemMemory.from_native(
-            manifest["dim"], entry["labels"], matrix, backend=manifest["backend"]
+            manifest["dim"], base_labels, matrix, backend=manifest["backend"]
         )
     except (ValueError, TypeError) as exc:
         # from_native validates dtype/width against the backend; name the
@@ -960,10 +1225,19 @@ def _load_shard_entry(path, entry, manifest, mmap):
             + _gen_tag(path / entry["file"],
                        _file_generation(entry["file"], generation))
         ) from exc
-    for segment in entry["segments"]:
+    for segment, seg_keep in zip(entry["segments"], seg_keeps):
         segment_matrix = _load_matrix(path, segment, "segment", mmap, generation)
+        segment_labels = segment["labels"]
+        if seg_keep is not None:
+            segment_labels = [
+                label for label, kept in zip(segment["labels"], seg_keep)
+                if kept
+            ]
+            segment_matrix = np.ascontiguousarray(
+                np.asarray(segment_matrix)[seg_keep]
+            )
         try:
-            shard.extend_native(segment["labels"], segment_matrix)
+            shard.extend_native(segment_labels, segment_matrix)
         except (ValueError, TypeError) as exc:
             raise ValueError(
                 f"segment file {path / segment['file']} does not match the "
@@ -1003,44 +1277,98 @@ def load_worker_shard(path, shard_index, generation, mmap=True):
         return None
     mode = "r" if mmap else None
     try:
+        deltas = {}
+
+        def _load_delta(name):
+            delta = deltas.get(name)
+            if delta is None:
+                delta = json.loads((path / name).read_text())
+                deltas[name] = delta
+            return delta
+
+        # v5 chains tombstone rows through their delta sidecars; workers
+        # collect the *global* dead-order set (O(chain), every delta is
+        # O(batch)-sized) so they can both drop this shard's dead rows
+        # and dense-renumber the surviving orders to match the
+        # controller's in-memory numbering.
+        dead = set()
+        for name in index.get("deltas") or ():
+            for group in _load_delta(name).get("tombstones") or ():
+                dead.update(int(order) for order in group["orders"])
         matrix = np.load(path / entry["file"], mmap_mode=mode)
+        if matrix.ndim != 2 or matrix.shape[0] != int(entry["rows"]):
+            return None
         orders = np.asarray(np.load(path / entry["orders_file"]), dtype=np.int64)
-        rows = int(entry["rows"])
-        shard = ItemMemory.from_native(
-            index["dim"], range(rows), matrix, backend=index["backend"]
-        )
-        # v4 journals: the base orders sidecar covers base rows only and
-        # each segment's global orders ride its (O(batch)-sized) delta
-        # sidecar — concatenating them is O(appended rows), never
+        if orders.ndim != 1:
+            return None
+        # v4/v5 journals: the base orders sidecar covers base rows only
+        # and each segment's global orders ride its (O(batch)-sized)
+        # delta sidecar — concatenating them is O(appended rows), never
         # O(store). Legacy (v3) indexes carry no delta_file: there the
-        # orders sidecar already covers base + segments, so nothing is
-        # appended and the final length check still validates.
-        extra, deltas = [], {}
+        # orders sidecar already covers base + segments (and tombstones
+        # cannot exist), so nothing is appended and the final length
+        # check still validates.
+        parts = [(matrix, orders)]
         for segment in entry["segments"]:
             segment_matrix = np.load(path / segment["file"], mmap_mode=mode)
-            shard.extend_native(
-                range(rows, rows + int(segment["rows"])), segment_matrix
-            )
-            rows += int(segment["rows"])
+            if segment_matrix.ndim != 2 \
+                    or segment_matrix.shape[0] != int(segment["rows"]):
+                return None
             delta_name = segment.get("delta_file")
             if not delta_name:
+                if dead:
+                    return None  # tombstones need per-segment orders
+                parts.append((segment_matrix, None))
                 continue
-            delta = deltas.get(delta_name)
-            if delta is None:
-                delta = json.loads((path / delta_name).read_text())
-                deltas[delta_name] = delta
             part = next(
-                (part for part in delta.get("entries", ())
+                (part for part in _load_delta(delta_name).get("entries", ())
                  if int(part["shard"]) == shard_index
                  and part["file"] == segment["file"]),
                 None,
             )
             if part is None:
                 return None
-            extra.append(np.asarray(part["orders"], dtype=np.int64))
-        if extra:
-            orders = np.concatenate([orders] + extra)
-    except (OSError, ValueError, EOFError, KeyError, TypeError):
+            part_orders = np.asarray(part["orders"], dtype=np.int64)
+            if part_orders.shape != (segment_matrix.shape[0],):
+                return None
+            parts.append((segment_matrix, part_orders))
+        if dead:
+            if orders.shape[0] != matrix.shape[0]:
+                return None
+            dead_sorted = np.asarray(sorted(dead), dtype=np.int64)
+            kept = []
+            for part_matrix, part_orders in parts:
+                keep = ~np.isin(part_orders, dead_sorted)
+                if bool(keep.all()):
+                    kept.append((part_matrix, part_orders))
+                else:
+                    kept.append((
+                        np.ascontiguousarray(np.asarray(part_matrix)[keep]),
+                        part_orders[keep],
+                    ))
+            parts = kept
+        shard, collected, start = None, [], 0
+        for part_matrix, part_orders in parts:
+            count = int(part_matrix.shape[0])
+            placeholder = range(start, start + count)
+            if shard is None:
+                shard = ItemMemory.from_native(
+                    index["dim"], placeholder, part_matrix,
+                    backend=index["backend"],
+                )
+            else:
+                shard.extend_native(placeholder, part_matrix)
+            start += count
+            if part_orders is not None:
+                collected.append(part_orders)
+        orders = (
+            np.concatenate(collected) if len(collected) > 1 else collected[0]
+        )
+        if dead:
+            # Physical → dense: close the tombstone holes, matching the
+            # controller's always-dense in-memory orders.
+            orders = orders - np.searchsorted(dead_sorted, orders, side="left")
+    except (OSError, ValueError, EOFError, KeyError, TypeError, IndexError):
         return None  # torn/stale sidecars: use the validating manifest path
     if orders.ndim != 1 or orders.shape[0] != len(shard):
         return None
@@ -1066,6 +1394,245 @@ def load_shard(path, shard_index, manifest=None, mmap=True):
     return _load_shard_entry(path, manifest["shards"][shard_index], manifest, mmap)
 
 
+def _prepare_commit(memory, path, op):
+    """Shared preamble of every journaled commit (append/delete/upsert).
+
+    Resolves the manifest — the handle's trusted cache or a cold read —
+    validates it against the open ``memory`` (kind, dim, backend,
+    labels), and migrates legacy layouts: v1–v3 stores compact once into
+    the sidecar layout (O(store), once), a v4 store migrates to v5
+    in-dict — :func:`_materialize_sidecars` already reconstructed the
+    uniform ``deltas`` chain and ``next_order``, so bumping the version
+    is the whole migration and it persists with this commit's own
+    manifest swap. Returns ``(path, manifest, trusted, sharded)``.
+    """
+    path = Path(path)
+    manifest = _cached_manifest(memory, path)
+    trusted = manifest is not None
+    if not trusted:
+        manifest = _read_manifest(path)
+    sharded = isinstance(memory, ShardedItemMemory)
+    kind = "sharded" if sharded else "single"
+    if manifest["kind"] != kind:
+        raise ValueError(
+            f"cannot {op} a {kind} store to a {manifest['kind']} manifest"
+        )
+    if manifest["dim"] != memory.dim or manifest["backend"] != memory.backend.name:
+        raise ValueError(
+            f"open store (dim={memory.dim}, backend={memory.backend.name!r}) does "
+            f"not match the manifest (dim={manifest['dim']}, "
+            f"backend={manifest['backend']!r})"
+        )
+    # Out-of-sync guard. On a cache hit this handle's own last commit
+    # left manifest["labels"] equal to memory.labels (every commit —
+    # append, delete, upsert — re-establishes that invariant before it
+    # caches the dict), so equal *lengths* prove equality in O(1) —
+    # keeping the steady-state commit O(batch). A cold manifest gets the
+    # full element-wise comparison.
+    synced = (
+        len(manifest["labels"]) == len(memory)
+        if trusted
+        else list(manifest["labels"]) == list(memory.labels)
+    )
+    if not synced:
+        raise ValueError(
+            "on-disk manifest is out of sync with the open store; "
+            "re-open or compact() before committing"
+        )
+    version = int(manifest["format_version"])
+    if version < 4:
+        # Legacy (v1–v3) layouts inline full label maps in the manifest
+        # and fold appends into a single shard-level ball; delta
+        # sidecars cannot reference rows those manifests own. One
+        # implicit compact migrates the store — O(store), once — and
+        # every subsequent commit is O(batch). memory == disk was just
+        # validated, so the compact is a faithful rewrite.
+        save_store(memory, path)
+        manifest = _read_manifest(path)
+        trusted = False
+    elif version < FORMAT_VERSION:
+        manifest["format_version"] = FORMAT_VERSION
+    return path, manifest, trusted, sharded
+
+
+def _journal_tombstones(memory, manifest, labels, sharded):
+    """Per-shard tombstone groups for ``labels``, with live-row bookkeeping.
+
+    Must run *before* the in-memory removal — shard placement comes from
+    the live label map. Groups the batch's physical rows by owning
+    shard, decrements the affected entry/segment ``live_rows`` in the
+    materialized manifest (bounds themselves are never touched: a
+    shrunken group keeps its ball/interval, which stays a valid
+    *superset* — deletes only ever tighten pruning, never loosen it),
+    and returns the JSON-ready tombstone groups.
+    """
+    label_orders = manifest["label_orders"]
+    groups = {}
+    for label in labels:
+        index = memory._shard_of[label] if sharded else 0
+        groups.setdefault(index, []).append(label)
+    tombstones = []
+    for index in sorted(groups):
+        group_labels = groups[index]
+        orders = [int(label_orders[label]) for label in group_labels]
+        tombstones.append(
+            {"shard": index, "labels": list(group_labels), "orders": orders}
+        )
+        dead = np.asarray(sorted(orders), dtype=np.int64)
+        entry = manifest["shards"][index]
+        hit = int(np.isin(
+            np.asarray(entry["orders"], dtype=np.int64), dead
+        ).sum())
+        if hit:
+            entry["live_rows"] = _entry_live_rows(entry) - hit
+        for segment in entry["segments"]:
+            seg_hit = int(np.isin(
+                np.asarray(segment["orders"], dtype=np.int64), dead
+            ).sum())
+            if seg_hit:
+                segment["live_rows"] = _segment_live_rows(segment) - seg_hit
+    return tombstones
+
+
+def _validate_ingest(memory, labels, vectors, sharded, what,
+                     allow_existing=False):
+    """Validate a whole ingest batch up front — labels (alignment,
+    duplicates in-batch and, unless ``allow_existing``, against the
+    store) and rows (shape, bipolarity). The in-memory ingest streams
+    chunk by chunk, so without this a failure in a late chunk would
+    commit earlier chunks to RAM with nothing journaled, leaving the
+    open handle permanently diverged from disk."""
+    validate_batch(labels, vectors, memory, allow_existing=allow_existing)
+    reference_shard = memory.shards[0] if sharded else memory
+    if vectors.ndim != 2 or vectors.shape != (len(labels), memory.dim):
+        raise ValueError(
+            f"expected a ({len(labels)}, {memory.dim}) {what} batch, "
+            f"got {vectors.shape}"
+        )
+    reference_shard._check_rows(vectors, (len(labels), memory.dim))
+
+
+def _ingest_grouped(memory, labels, vectors, sharded, chunk_size):
+    """Route + add one validated batch; returns {shard: [batch offsets]}.
+
+    Routing uses the same ``route_label`` over *dense* insertion orders
+    that the in-memory ingest uses, so journal placement can never
+    diverge; placement then persists via the journal and is never
+    re-derived on load.
+    """
+    base = len(memory)
+    if sharded:
+        groups = {}
+        for offset, label in enumerate(labels):
+            index = route_label(label, base + offset, memory.num_shards,
+                                memory.routing)
+            groups.setdefault(index, []).append(offset)
+        # Journaled rows get their own exact per-segment bound groups
+        # in _commit instead of folding into the shard-level base
+        # bounds — that is what lets appends *tighten* pruning.
+        memory._suspend_bound_folds = True
+        try:
+            memory.add_many(labels, vectors, chunk_size=chunk_size)
+        finally:
+            memory._suspend_bound_folds = False
+    else:
+        groups = {0: list(range(len(labels)))}
+        memory.add_many(labels, vectors)
+    return groups
+
+
+def _commit(memory, path, manifest, trusted, sharded, op, base_rows,
+            add_labels=(), vectors=None, groups=None,
+            remove_labels=(), removed_orders=(), tombstones=()):
+    """Write one commit: segment files + delta sidecar + manifest swap.
+
+    ``base_rows`` is the *surviving* row count before this commit;
+    ``add_labels``/``groups`` describe rows entering at the end of the
+    physical order, ``remove_labels``/``removed_orders``/``tombstones``
+    the rows leaving it. The delta sidecar carries both sides, so replay
+    reconstructs the commit from O(batch) bytes.
+    """
+    generation = int(manifest["generation"]) + 1
+    next_order = int(manifest["next_order"])
+    delta_name = _delta_filename(generation)
+    delta_entries = []
+    for index in sorted(groups or {}):
+        offsets = groups[index]
+        segment_labels = [add_labels[o] for o in offsets]
+        native = memory.backend.from_bipolar(np.asarray(vectors[offsets]))
+        filename = _segment_filename(index, generation)
+        _save_array(path / filename, native)
+        # Exact bounds of just this batch: the segment's own minus-count
+        # interval and centroid + radius ball, recorded in the delta
+        # sidecar (the shard entry's base bounds are never touched).
+        bounds, centroid = _exact_bounds(memory.backend, native)
+        # New rows occupy the contiguous *physical* block starting at
+        # next_order — tombstoned slots are never reused, so physical
+        # orders stay stable until compact renumbers everything.
+        orders = [next_order + offset for offset in offsets]
+        manifest["shards"][index]["segments"].append({
+            "file": filename, "rows": len(offsets), "delta_file": delta_name,
+            "labels": segment_labels, "orders": orders, "bounds": bounds,
+        })
+        delta_entries.append({
+            "shard": index, "file": filename, "rows": len(offsets),
+            "labels": segment_labels, "orders": orders, "bounds": bounds,
+        })
+        if sharded:
+            memory._push_segment_bounds(
+                index, len(offsets),
+                (bounds["minus_min"], bounds["minus_max"]),
+                centroid, bounds["radius"],
+            )
+    _write_json(path / delta_name, {
+        "format": FORMAT_NAME,
+        "format_version": FORMAT_VERSION,
+        "generation": generation,
+        "op": op,
+        "base_rows": base_rows,
+        "next_order": next_order,
+        "entries": delta_entries,
+        "tombstones": list(tombstones),
+    })
+    # The mutations already landed in RAM in exactly this shape, and a
+    # trusted manifest was label-equal before the batch — editing the
+    # survivor list/label map in place keeps the commit O(batch + dead)
+    # instead of copying the full map. (The legacy migration re-reads
+    # the manifest, so it is never `trusted`.)
+    if trusted:
+        if remove_labels:
+            removed_set = set(remove_labels)
+            manifest["labels"] = [
+                label for label in manifest["labels"]
+                if label not in removed_set
+            ]
+        if add_labels:
+            manifest["labels"].extend(add_labels)
+    else:
+        manifest["labels"] = list(memory.labels)
+    label_orders = manifest["label_orders"]
+    for label in remove_labels:
+        del label_orders[label]
+    for offset, label in enumerate(add_labels):
+        label_orders[label] = next_order + offset
+    if removed_orders:
+        manifest["deleted_orders"] = sorted(
+            set(manifest.get("deleted_orders") or ()).union(removed_orders)
+        )
+    manifest["rows"] = len(memory)
+    manifest["next_order"] = next_order + len(add_labels)
+    manifest["deltas"].append(delta_name)
+    manifest["generation"] = generation
+    manifest_path = _write_manifest(path, _manifest_to_disk(manifest))
+    _write_worker_index(path, manifest)
+    # The materialized dict now mirrors the directory exactly: keep it on
+    # the handle so the next commit skips the O(store) re-materialization.
+    memory._manifest_cache = (path, manifest)
+    if sharded:
+        memory._attach(path, generation)
+    return manifest_path
+
+
 def append_rows(memory, path, labels, vectors, chunk_size=DEFAULT_CHUNK_SIZE):
     """Ingest rows into an opened ``memory`` *and* journal them at ``path``.
 
@@ -1087,139 +1654,98 @@ def append_rows(memory, path, labels, vectors, chunk_size=DEFAULT_CHUNK_SIZE):
     is O(batch). Batching appends still amortizes the per-commit file
     count (one segment per touched shard per call).
     """
-    path = Path(path)
-    manifest = _cached_manifest(memory, path)
-    trusted = manifest is not None
-    if not trusted:
-        manifest = _read_manifest(path)
-    sharded = isinstance(memory, ShardedItemMemory)
-    kind = "sharded" if sharded else "single"
-    if manifest["kind"] != kind:
-        raise ValueError(
-            f"cannot append a {kind} store to a {manifest['kind']} manifest"
-        )
-    if manifest["dim"] != memory.dim or manifest["backend"] != memory.backend.name:
-        raise ValueError(
-            f"open store (dim={memory.dim}, backend={memory.backend.name!r}) does "
-            f"not match the manifest (dim={manifest['dim']}, "
-            f"backend={manifest['backend']!r})"
-        )
-    # Out-of-sync guard. On a cache hit this handle's own last commit
-    # left manifest["labels"] equal to memory.labels, and labels are
-    # append-only, so equal *lengths* prove equality in O(1) — keeping
-    # the steady-state commit O(batch). A cold manifest gets the full
-    # element-wise comparison.
-    synced = (
-        len(manifest["labels"]) == len(memory)
-        if trusted
-        else list(manifest["labels"]) == list(memory.labels)
-    )
-    if not synced:
-        raise ValueError(
-            "on-disk manifest is out of sync with the open store; "
-            "re-open or compact() before appending"
-        )
     labels = list(labels)
     _check_labels(labels)  # journalable before anything commits
-
-    if int(manifest["format_version"]) != FORMAT_VERSION:
-        # Legacy (v1–v3) layouts inline full label maps in the manifest
-        # and fold appends into a single shard-level ball; delta
-        # sidecars cannot reference rows those manifests own. One
-        # implicit compact migrates the store to v4 — O(store), once —
-        # and every subsequent commit is O(batch). memory == disk was
-        # just validated, so the compact is a faithful rewrite.
-        save_store(memory, path)
-        manifest = _read_manifest(path)
-
+    path, manifest, trusted, sharded = _prepare_commit(memory, path, "append")
     base = len(memory)
-
-    # Validate the *whole* batch up front — labels (alignment,
-    # duplicates in-batch and against the store) and rows (shape,
-    # bipolarity). The in-memory ingest streams chunk by chunk, so
-    # without this a failure in a late chunk would commit earlier
-    # chunks to RAM with nothing journaled, leaving the open handle
-    # permanently diverged from disk.
     vectors = np.asarray(vectors)
-    validate_batch(labels, vectors, memory)
-    reference_shard = memory.shards[0] if sharded else memory
-    if vectors.ndim != 2 or vectors.shape != (len(labels), memory.dim):
-        raise ValueError(
-            f"expected a ({len(labels)}, {memory.dim}) append batch, "
-            f"got {vectors.shape}"
-        )
-    reference_shard._check_rows(vectors, (len(labels), memory.dim))
+    _validate_ingest(memory, labels, vectors, sharded, "append")
+    groups = _ingest_grouped(memory, labels, vectors, sharded, chunk_size)
+    return _commit(
+        memory, path, manifest, trusted, sharded, "append", base,
+        add_labels=labels, vectors=vectors, groups=groups,
+    )
 
-    # Group the new rows by destination shard — the same route_label the
-    # in-memory ingest uses, so journal placement can never diverge.
-    if sharded:
-        groups = {}
-        for offset, label in enumerate(labels):
-            index = route_label(label, base + offset, memory.num_shards,
-                                memory.routing)
-            groups.setdefault(index, []).append(offset)
-        # Journaled rows get their own exact per-segment bound groups
-        # below instead of folding into the shard-level base bounds —
-        # that is what lets appends *tighten* pruning.
-        memory._suspend_bound_folds = True
-        try:
-            memory.add_many(labels, vectors, chunk_size=chunk_size)
-        finally:
-            memory._suspend_bound_folds = False
-    else:
-        groups = {0: list(range(len(labels)))}
-        memory.add_many(labels, vectors)
 
-    generation = int(manifest["generation"]) + 1
-    delta_name = _delta_filename(generation)
-    delta_entries = []
-    for index in sorted(groups):
-        offsets = groups[index]
-        segment_labels = [labels[o] for o in offsets]
-        native = memory.backend.from_bipolar(np.asarray(vectors[offsets]))
-        filename = _segment_filename(index, generation)
-        _save_array(path / filename, native)
-        # Exact bounds of just this batch: the segment's own minus-count
-        # interval and centroid + radius ball, recorded in the delta
-        # sidecar (the shard entry's base bounds are never touched).
-        bounds, centroid = _exact_bounds(memory.backend, native)
-        orders = [base + offset for offset in offsets]
-        manifest["shards"][index]["segments"].append({
-            "file": filename, "rows": len(offsets), "delta_file": delta_name,
-            "labels": segment_labels, "orders": orders, "bounds": bounds,
-        })
-        delta_entries.append({
-            "shard": index, "file": filename, "rows": len(offsets),
-            "labels": segment_labels, "orders": orders, "bounds": bounds,
-        })
-        if sharded:
-            memory._push_segment_bounds(
-                index, len(offsets),
-                (bounds["minus_min"], bounds["minus_max"]),
-                centroid, bounds["radius"],
-            )
-    _write_json(path / delta_name, {
-        "format": FORMAT_NAME,
-        "format_version": FORMAT_VERSION,
-        "generation": generation,
-        "base_rows": base,
-        "entries": delta_entries,
-    })
-    # add_many appended the batch labels in global insertion order, and a
-    # trusted manifest was label-equal before the batch — extending keeps
-    # the commit O(batch) instead of copying the full map. (The legacy
-    # migration above re-reads the manifest, so it is never `trusted`.)
-    if trusted:
-        manifest["labels"].extend(labels)
-    else:
-        manifest["labels"] = list(memory.labels)
-    manifest["rows"] = len(memory)
-    manifest["generation"] = generation
-    manifest_path = _write_manifest(path, _manifest_to_disk(manifest))
-    _write_worker_index(path, manifest)
-    # The materialized dict now mirrors the directory exactly: keep it on
-    # the handle so the next commit skips the O(store) re-materialization.
-    memory._manifest_cache = (path, manifest)
+def delete_rows(memory, path, labels):
+    """Remove ``labels`` from an opened ``memory`` *and* journal it.
+
+    A delete commit writes **no** vector data: one ``delta.g<gen>.json``
+    sidecar records per-shard tombstone groups — each tombstoned row
+    named by its (shard, label, physical order) triple — and the
+    constant-size manifest swap publishes the new generation. Replay
+    drops tombstoned rows before any kernel sees them, so deleted labels
+    are structurally unreachable from ``cleanup``/``topk``/
+    ``similarities``. Bounds are never recomputed mid-generation: a
+    group that lost rows keeps its (now superset) ball/interval, so
+    pruning can only tighten; ``compact()`` folds the tombstones out and
+    recomputes exact bounds. The whole batch is validated up front
+    (duplicates, unknown labels) — a rejected batch touches neither RAM
+    nor disk. Returns the manifest path.
+    """
+    labels = list(labels)
+    path, manifest, trusted, sharded = _prepare_commit(memory, path, "delete")
+    if not labels:
+        return path / MANIFEST_NAME
+    if len(set(labels)) != len(labels):
+        raise ValueError("duplicate labels in delete batch")
+    label_orders = manifest["label_orders"]
+    for label in labels:
+        if label not in label_orders:
+            raise ValueError(f"label {label!r} is not stored")
+    removed_orders = [int(label_orders[label]) for label in labels]
+    tombstones = _journal_tombstones(memory, manifest, labels, sharded)
+    base = len(memory)
     if sharded:
-        memory._attach(path, generation)
-    return manifest_path
+        memory.delete_many(labels)
+    else:
+        memory.remove_many(labels)
+    return _commit(
+        memory, path, manifest, trusted, sharded, "delete", base,
+        remove_labels=labels, removed_orders=removed_orders,
+        tombstones=tombstones,
+    )
+
+
+def upsert_rows(memory, path, labels, vectors, chunk_size=DEFAULT_CHUNK_SIZE):
+    """Insert-or-replace ``labels`` in an opened ``memory`` and journal it.
+
+    One commit, both sides: labels already stored leave a tombstone on
+    their old physical row, and the whole batch (replacements and new
+    labels alike) re-enters at the *end* of the insertion order — an
+    upsert refreshes recency, so a re-enrolled duplicate loses ties it
+    used to win. The replacement rows land as ordinary segment files
+    carrying their own exact minus-interval and centroid/radius group,
+    exactly like append segments, and the single ``delta.g<gen>.json``
+    sidecar records both the tombstones and the new entries — still
+    O(batch) bytes per commit. Validation is all-up-front as for
+    :func:`append_rows`. Returns the manifest path.
+    """
+    labels = list(labels)
+    _check_labels(labels)  # journalable before anything commits
+    path, manifest, trusted, sharded = _prepare_commit(memory, path, "upsert")
+    if not labels:
+        return path / MANIFEST_NAME
+    vectors = np.asarray(vectors)
+    _validate_ingest(memory, labels, vectors, sharded, "upsert",
+                     allow_existing=True)
+    label_orders = manifest["label_orders"]
+    existing = [label for label in labels if label in label_orders]
+    removed_orders = [int(label_orders[label]) for label in existing]
+    tombstones = (
+        _journal_tombstones(memory, manifest, existing, sharded)
+        if existing else []
+    )
+    base = len(memory)  # surviving rows before either side applies
+    if sharded:
+        if existing:
+            memory.delete_many(existing)
+    elif existing:
+        memory.remove_many(existing)
+    groups = _ingest_grouped(memory, labels, vectors, sharded, chunk_size)
+    return _commit(
+        memory, path, manifest, trusted, sharded, "upsert", base,
+        add_labels=labels, vectors=vectors, groups=groups,
+        remove_labels=existing, removed_orders=removed_orders,
+        tombstones=tombstones,
+    )

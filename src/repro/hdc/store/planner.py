@@ -32,7 +32,13 @@ import numpy as np
 
 from ..item_memory import ItemMemory
 from .parallel import resolve_executor, resolve_workers
-from .persistence import append_rows, open_store, save_store
+from .persistence import (
+    append_rows,
+    delete_rows,
+    open_store,
+    save_store,
+    upsert_rows,
+)
 from .sharded import DEFAULT_CHUNK_SIZE, ShardedItemMemory, validate_batch
 
 __all__ = ["AssociativeStore"]
@@ -52,8 +58,9 @@ class AssociativeStore:
 
     **Thread/process-safety**: same single-controller rule as the
     memories it wraps — concurrent read-only queries are safe, but
-    mutation (``add``/``add_many``/``save``/``compact``) must not race
-    queries or other mutations; a persisted store directory must have
+    mutation (``add``/``add_many``/``delete``/``upsert``/``save``/
+    ``compact``) must not race queries or other mutations; a persisted
+    store directory must have
     at most one *writing* handle at a time (writers commit via atomic
     manifest swaps, so concurrent readers in other processes stay
     consistent).
@@ -299,6 +306,79 @@ class AssociativeStore:
             memory.add_many(labels, vectors, chunk_size=chunk_size)
             return
         labels = validate_batch(labels, vectors, memory)
+        for start in range(0, len(labels), chunk_size):
+            memory.add_many(
+                labels[start : start + chunk_size],
+                np.asarray(vectors[start : start + chunk_size]),
+            )
+
+    def delete(self, labels):
+        """Remove labelled rows (tombstone-journaled when persisted).
+
+        ``labels`` is a list (a single ``str``/``bytes`` label is
+        accepted as a convenience). Deleted labels become unreachable
+        from every query surface immediately; decisions over the
+        surviving items are bit-identical to a store freshly built
+        without the deleted rows. On a persisted store the commit writes
+        one tombstone delta sidecar plus the constant-size manifest swap
+        (format v5); :meth:`compact` later folds the tombstones out.
+        Unknown or duplicated labels reject the whole batch up front.
+        """
+        if isinstance(labels, (str, bytes)):
+            labels = [labels]
+        labels = list(labels)
+        if self._path is not None:
+            delete_rows(self._memory, self._path, labels)
+            return
+        if not labels:
+            return
+        memory = self._memory
+        if isinstance(memory, ShardedItemMemory):
+            memory.delete_many(labels)
+        else:
+            memory.remove_many(labels)
+
+    def upsert(self, labels, vectors, chunk_size=DEFAULT_CHUNK_SIZE):
+        """Insert-or-replace labelled rows (journaled when persisted).
+
+        Labels already stored are replaced; new labels are enrolled. A
+        replaced label re-enters at the *end* of the insertion order —
+        an upsert refreshes recency, so a re-enrolled duplicate loses
+        exact-similarity ties it used to win. On a persisted store the
+        whole batch commits as one delta (tombstones for the replaced
+        rows + one replacement segment per touched shard, each carrying
+        its own exact bounds group). The batch is validated up front; a
+        rejected batch touches neither RAM nor disk.
+        """
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        if self._path is not None:
+            upsert_rows(self._memory, self._path, labels, vectors,
+                        chunk_size=chunk_size)
+            self._maybe_auto_compact()
+            return
+        labels = list(labels)
+        if not labels:
+            return
+        memory = self._memory
+        vectors = np.asarray(vectors)
+        validate_batch(labels, vectors, memory, allow_existing=True)
+        sharded = isinstance(memory, ShardedItemMemory)
+        reference = memory.shards[0] if sharded else memory
+        if vectors.ndim != 2 or vectors.shape != (len(labels), memory.dim):
+            raise ValueError(
+                f"expected a ({len(labels)}, {memory.dim}) upsert batch, "
+                f"got {vectors.shape}"
+            )
+        reference._check_rows(vectors, (len(labels), memory.dim))
+        existing = [label for label in labels if label in memory]
+        if sharded:
+            if existing:
+                memory.delete_many(existing)
+            memory.add_many(labels, vectors, chunk_size=chunk_size)
+            return
+        if existing:
+            memory.remove_many(existing)
         for start in range(0, len(labels), chunk_size):
             memory.add_many(
                 labels[start : start + chunk_size],

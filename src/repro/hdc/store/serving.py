@@ -161,8 +161,14 @@ class StoreServer:
 
     The server owns no store state: the wrapped ``store`` (anything with
     ``dim``, ``cleanup_batch``, ``topk_batch``, ``similarities_batch``)
-    is queried read-only and is *not* closed by :meth:`stop`. Do not
-    mutate the store while the server is running.
+    is queried read-only by waves and is *not* closed by :meth:`stop`.
+    Mutations go through :meth:`delete` / :meth:`upsert` — **barrier
+    operations** that serialize against each other and against every
+    wave: a mutation waits for executing waves to finish, runs
+    exclusively, and waves that arrive meanwhile park until it commits.
+    Every query therefore resolves against exactly one snapshot — wholly
+    before or wholly after any mutation, never half-applied. Do not
+    mutate the store around the server's back while it is running.
 
     Parameters
     ----------
@@ -241,7 +247,7 @@ class StoreServer:
         return dict.fromkeys(
             ("requests", "rejected", "cancelled", "timed_out", "waves",
              "batched_requests", "flushed_size", "flushed_deadline",
-             "flushed_drain", "queue_high_water"), 0,
+             "flushed_drain", "queue_high_water", "mutations"), 0,
         )
 
     # -- lifecycle ---------------------------------------------------------- #
@@ -261,6 +267,15 @@ class StoreServer:
         self._pool = ThreadPoolExecutor(
             max_workers=self.dispatch_workers, thread_name_prefix="repro-serve"
         )
+        # Mutation barrier: _mutation_lock serializes delete/upsert,
+        # _gate parks wave execution while a mutation runs, _idle is set
+        # whenever no wave is executing a kernel.
+        self._mutation_lock = asyncio.Lock()
+        self._gate = asyncio.Event()
+        self._gate.set()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._active_waves = 0
         self._started = True
         return self
 
@@ -384,6 +399,63 @@ class StoreServer:
     async def similarities(self, query, timeout_ms=None):
         """Await the full ``(n,)`` similarity row for one query."""
         return await self._submit(("similarities",), query, timeout_ms)
+
+    async def delete(self, labels):
+        """Remove ``labels`` from the store through the serving barrier.
+
+        Serializes against other mutations and against every query wave
+        (see :meth:`_mutate`). Validation errors (unknown or duplicate
+        labels) propagate to this caller only; the batch is all-or-
+        nothing, so a rejected delete changes no snapshot. Refused with
+        :exc:`ServerClosed` once :meth:`stop` has begun — mutations do
+        not ride the drain.
+        """
+        labels = list(labels)
+        await self._mutate(lambda store: store.delete(labels))
+
+    async def upsert(self, labels, vectors):
+        """Insert-or-replace ``labels`` through the serving barrier.
+
+        Same barrier/refusal semantics as :meth:`delete`; the store's
+        own upsert contract applies (replaced labels re-enter at the end
+        of the insertion order).
+        """
+        labels = list(labels)
+        vectors = np.asarray(vectors)
+        await self._mutate(lambda store: store.upsert(labels, vectors))
+
+    async def _mutate(self, apply):
+        """Run one exclusive mutation between waves.
+
+        Protocol: take the mutation lock (mutations serialize), close
+        the wave gate (waves flushed from now on park before touching
+        the store), wait until no wave is executing, run the mutation on
+        the dispatch pool, then reopen the gate. Parked waves — and any
+        request still queued in a group — resolve against the *new*
+        snapshot; waves already executing finished against the old one.
+        Either way no kernel ever observes a half-applied mutation, on
+        thread and process executors alike.
+        """
+        if not self._started:
+            raise RuntimeError(
+                "StoreServer is not started; use 'async with StoreServer(...)'"
+                " or await server.start() first"
+            )
+        if self._closed:
+            raise ServerClosed("StoreServer is stopped")
+        async with self._mutation_lock:
+            if self._closed:
+                raise ServerClosed("StoreServer stopped before the mutation ran")
+            self._gate.clear()
+            try:
+                await self._idle.wait()
+                result = await self._loop.run_in_executor(
+                    self._pool, apply, self._store
+                )
+                self._stats["mutations"] += 1
+                return result
+            finally:
+                self._gate.set()
 
     def _resolve_timeout(self, timeout_ms):
         timeout = self.default_timeout_ms if timeout_ms is None else timeout_ms
@@ -590,6 +662,13 @@ class StoreServer:
         """Execute one wave off-loop and demultiplex per-row results."""
         futures = [future for future, _ in live]
         batch = np.stack([row for _, row in live])
+        # The mutation barrier: park until no delete/upsert holds the
+        # gate, then count this wave as executing so a later mutation
+        # waits for it. The gate check and the counter bump share one
+        # event-loop tick, so a mutation can never slip between them.
+        await self._gate.wait()
+        self._active_waves += 1
+        self._idle.clear()
         try:
             results = await self._loop.run_in_executor(
                 self._pool, self._execute, key, batch
@@ -603,6 +682,9 @@ class StoreServer:
                 if not future.done():  # cancelled mid-wave: skip
                     future.set_result(result)
         finally:
+            self._active_waves -= 1
+            if self._active_waves == 0:
+                self._idle.set()
             self._release(len(live))
 
     def _execute(self, key, batch):

@@ -71,12 +71,14 @@ __all__ = ["ShardedItemMemory", "DEFAULT_CHUNK_SIZE", "validate_batch"]
 DEFAULT_CHUNK_SIZE = 65536
 
 
-def validate_batch(labels, vectors, store):
+def validate_batch(labels, vectors, store, allow_existing=False):
     """Shared ``add_many`` batch validation for the store layer.
 
     Checks label/vector alignment, in-batch duplicates, and duplicates
     against ``store`` (anything supporting ``in``) — *before* anything
     commits, so ingestion semantics are identical on every layout.
+    ``allow_existing=True`` (the upsert path) skips the against-store
+    duplicate check: existing labels are replaced, not refused.
     Returns the labels as a list.
     """
     labels = list(labels)
@@ -88,9 +90,10 @@ def validate_batch(labels, vectors, store):
         )
     if len(set(labels)) != len(labels):
         raise ValueError("duplicate labels in add_many")
-    for label in labels:
-        if label in store:
-            raise ValueError(f"label {label!r} already stored")
+    if not allow_existing:
+        for label in labels:
+            if label in store:
+                raise ValueError(f"label {label!r} already stored")
     return labels
 
 
@@ -607,6 +610,82 @@ class ShardedItemMemory:
         for label in chunk_labels:
             index = self._shard_of[label]
             self._commit_order(index, label)
+
+    def delete_many(self, labels):
+        """Remove stored labels from their shards and the global maps.
+
+        The in-memory deletion primitive of the mutable-store subsystem:
+        the whole batch is validated first (in-batch duplicates,
+        membership — a rejected batch touches nothing), then each shard
+        drops its rows (:meth:`ItemMemory.remove_many`) and the global
+        insertion orders are *densely renumbered* over the survivors, so
+        every later decision — including exact-tie resolution — is
+        bit-identical to a memory freshly built from the surviving
+        (label, vector) sequence. Pruning bounds are never recomputed
+        here: a deletion can only shrink a group's row population, so
+        the recorded bounds remain valid (possibly loose) supersets —
+        only ever *tightened* — until a compact recomputes them exactly;
+        a journaled segment group whose rows all die is dropped from the
+        skip test by its zero row count. Single-controller like every
+        other mutation.
+        """
+        labels = list(labels)
+        if not labels:
+            return
+        if len(set(labels)) != len(labels):
+            raise ValueError("duplicate labels in delete_many")
+        for label in labels:
+            if label not in self._order:
+                raise ValueError(f"label {label!r} is not stored")
+        by_shard = {}
+        for label in labels:
+            by_shard.setdefault(self._shard_of[label], []).append(label)
+        dead_orders = np.asarray(
+            sorted(self._order[label] for label in labels), dtype=np.int64
+        )
+        for index, shard_labels in by_shard.items():
+            shard = self._shards[index]
+            positions = sorted(shard.index_of(label) for label in shard_labels)
+            # Attribute each dying row to its bound group *before* the
+            # rows move: base rows come first, then the journaled
+            # segment groups in push order, so a row's group is fixed by
+            # its position against the cumulative group boundaries.
+            groups = self._segment_groups[index]
+            if groups:
+                base_rows = len(shard) - self._segment_rows(index)
+                boundaries = np.cumsum(
+                    [base_rows] + [group["rows"] for group in groups]
+                )
+                attributed = np.searchsorted(
+                    boundaries, np.asarray(positions, dtype=np.int64),
+                    side="right",
+                )
+                for gi in attributed:
+                    if gi >= 1:  # 0 = base group (bounds stay as supersets)
+                        groups[int(gi) - 1]["rows"] -= 1
+            shard.remove_many(shard_labels)
+            position_set = set(positions)
+            self._shard_orders[index] = [
+                order for pos, order in enumerate(self._shard_orders[index])
+                if pos not in position_set
+            ]
+        # Dense global renumber: survivors keep their relative insertion
+        # order and close ranks, so in-memory orders are always dense —
+        # the persistence layer's physical (on-disk) orders keep their
+        # holes until compact and translate on load.
+        dead_set = set(labels)
+        for label in labels:
+            del self._shard_of[label]
+        self._labels = [
+            label for label in self._labels if label not in dead_set
+        ]
+        self._order = {label: i for i, label in enumerate(self._labels)}
+        for index in range(self.num_shards):
+            kept = np.asarray(self._shard_orders[index], dtype=np.int64)
+            renumbered = kept - np.searchsorted(dead_orders, kept, side="left")
+            self._shard_orders[index] = renumbered.tolist()
+            self._shard_order_arrays[index] = None
+        self._invalidate_bound_state()
 
     # -- queries ----------------------------------------------------------- #
 

@@ -13,8 +13,11 @@ as a run of many small commits — each one a segment + delta-sidecar +
 manifest-swap cycle, the high-rate-ingest shape the O(batch) commit
 path exists for — verifying after every commit that a fresh reopen
 answers bit-identically through the delta chain; a second child must
-answer for the fully grown store; after ``compact()`` a third child
-must still agree, from the rewritten contiguous layout.
+answer for the fully grown store; the parent then *mutates* — a
+tombstone-journaled ``delete`` and an ``upsert`` that replaces and
+enrolls in one commit — and a third child must see deleted labels gone
+and answer the mutated store bit-for-bit; after ``compact()`` a fourth
+child must still agree, from the rewritten contiguous layout.
 
 ``STORE_SMOKE_ITEMS`` scales the store (default 400; the CI
 ``store_scale`` step runs a larger pass) and ``STORE_SMOKE_EXECUTOR``
@@ -154,10 +157,40 @@ def main():
                   "fresh-process reopen", file=sys.stderr)
             return 1
 
-        # Stage 3: compact; the contiguous rewrite must change nothing.
+        # Stage 3: mutations through the journal — a tombstone-only
+        # delete commit and an upsert (replacement segments + tombstones
+        # in one commit). A fresh process must see deleted labels gone
+        # and answer the mutated store bit-identically.
+        doomed = ["item1", f"item{ITEMS // 2}", f"item{ITEMS + 1}"]
+        grown.delete(doomed)
+        replaced = ["item2", f"item{ITEMS - 1}"]
+        upsert_labels = replaced + ["fresh0", "fresh1"]
+        grown.upsert(upsert_labels,
+                     random_bipolar(len(upsert_labels), DIM, rng))
+        fresh = AssociativeStore.open(store_path)
+        if any(label in fresh.labels for label in doomed):
+            print("SMOKE FAIL: deleted labels survive a fresh reopen",
+                  file=sys.stderr)
+            return 1
+        if fresh.labels[-len(upsert_labels):] != tuple(upsert_labels):
+            print("SMOKE FAIL: upserted batch did not re-enter at the end "
+                  "of the insertion order", file=sys.stderr)
+            return 1
+        stages.append(("mutated", _expected(grown, queries)))
+        answer = _child_answers(store_path, query_path)
+        if answer != stages[-1][1]:
+            print("SMOKE FAIL: delete/upsert commits not reproduced after "
+                  "fresh-process reopen", file=sys.stderr)
+            return 1
+
+        # Stage 4: compact; folding tombstones out must change nothing.
         grown.compact()
         if list(store_path.glob("shard_*.seg*.npy")):
             print("SMOKE FAIL: compact() left segment files behind",
+                  file=sys.stderr)
+            return 1
+        if list(store_path.glob("delta.g*.json")):
+            print("SMOKE FAIL: compact() left delta sidecars behind",
                   file=sys.stderr)
             return 1
         answer = _child_answers(store_path, query_path)
@@ -170,7 +203,8 @@ def main():
         f"store smoke OK: {ITEMS}+{APPEND_ITEMS} items x {DIM} dims, "
         f"{SHARDS} shards, workers={WORKERS}, executor={EXECUTOR}, "
         f"{QUERIES} queries bit-identical across save / "
-        f"{APPEND_COMMITS}-commit append run / compact fresh-process reopens"
+        f"{APPEND_COMMITS}-commit append run / delete+upsert / compact "
+        f"fresh-process reopens"
     )
     return 0
 

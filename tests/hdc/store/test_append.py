@@ -17,9 +17,11 @@ from repro.hdc.store import (
     AssociativeStore,
     ShardedItemMemory,
     append_rows,
+    delete_rows,
     open_store,
     read_manifest,
     save_store,
+    upsert_rows,
 )
 
 
@@ -35,6 +37,23 @@ def _manifest(path):
 
 def _write_manifest(path, manifest):
     (path / MANIFEST_NAME).write_text(json.dumps(manifest))
+
+
+def _downgrade_to_v4(path):
+    """Rewrite a freshly saved manifest in the PR 7 (version 4) layout.
+
+    v4 predates mutations: no explicit ``deltas`` chain (the chain was
+    discovered through journaled segments' references) and no
+    ``next_order`` (physical orders equalled surviving rows). A fresh
+    save journals nothing, so dropping the two v5 keys is the whole
+    downgrade.
+    """
+    manifest = _manifest(path)
+    assert all(not entry["segments"] for entry in manifest["shards"])
+    manifest["format_version"] = 4
+    manifest.pop("deltas")
+    manifest.pop("next_order")
+    _write_manifest(path, manifest)
 
 
 def _downgrade_to_v1(path):
@@ -449,3 +468,208 @@ class TestAutoCompaction:
         store.save(tmp_path / "s")
         with pytest.raises(ValueError, match="auto_compact_segments"):
             AssociativeStore.open(tmp_path / "s", auto_compact_segments=0)
+
+
+class TestMutationPersistence:
+    """Delete/upsert commits (format v5): tombstone journaling, the
+    v4 → v5 in-dict migration, out-of-sync refusal, and crash
+    consistency around the mutation commit's manifest swap."""
+
+    def _saved(self, tmp_path, rng, n=20, dim=128, backend="packed", shards=3):
+        vectors = random_bipolar(n, dim, rng)
+        labels = [f"v{i}" for i in range(n)]
+        AssociativeStore.from_vectors(labels, vectors, backend=backend,
+                                      shards=shards).save(tmp_path / "s")
+        return tmp_path / "s", labels, vectors
+
+    @pytest.mark.parametrize("backend", ["dense", "packed"])
+    @pytest.mark.parametrize("shards", [1, 3])
+    def test_mutation_history_roundtrips_through_compact(
+        self, backend, shards, tmp_path, rng
+    ):
+        dim = 128
+        vectors = random_bipolar(24, dim, rng)
+        labels = [f"v{i}" for i in range(20)]
+        AssociativeStore.from_vectors(labels, vectors[:20], backend=backend,
+                                      shards=shards).save(tmp_path / "s")
+        handle = AssociativeStore.open(tmp_path / "s")
+        handle.delete(["v3", "v11"])
+        replace, fresh_labels, batch = ["v5", "v7"], ["w0", "w1"], vectors[20:]
+        handle.upsert(replace + fresh_labels, batch)
+        # Survivors keep insertion order; the whole upsert batch
+        # (replacements included) re-enters at the end.
+        gone = {"v3", "v11", *replace}
+        survivors = [i for i in range(20) if labels[i] not in gone]
+        reference = _reference(
+            [labels[i] for i in survivors] + replace + fresh_labels,
+            np.concatenate([vectors[survivors], batch]),
+            backend=backend,
+        )
+        queries = vectors[:8]
+        fresh = AssociativeStore.open(tmp_path / "s")
+        assert fresh.labels == reference.labels
+        assert fresh.topk_batch(queries, k=6) == reference.topk_batch(queries, k=6)
+
+        # compact folds the tombstones out: empty delta chain, no
+        # journal files, answers unchanged
+        fresh.compact()
+        manifest = _manifest(tmp_path / "s")
+        assert manifest["deltas"] == []
+        assert manifest["next_order"] == manifest["rows"] == 20
+        assert not list((tmp_path / "s").glob("delta.g*.json"))
+        assert not list((tmp_path / "s").glob("shard_*.seg*.npy"))
+        compacted = AssociativeStore.open(tmp_path / "s")
+        assert compacted.labels == reference.labels
+        assert compacted.topk_batch(queries, k=6) == reference.topk_batch(
+            queries, k=6)
+
+    def test_delete_commit_writes_only_a_delta_and_the_manifest(
+        self, tmp_path, rng
+    ):
+        path, labels, vectors = self._saved(tmp_path, rng)
+        handle = AssociativeStore.open(path)
+        handle.delete(["v2", "v9"])
+        assert not list(path.glob("shard_*.seg*.npy"))  # no vector data
+        deltas = list(path.glob("delta.g*.json"))
+        assert len(deltas) == 1
+        manifest = _manifest(path)
+        assert manifest["deltas"] == [deltas[0].name]
+        delta = json.loads(deltas[0].read_text())
+        assert delta["op"] == "delete"
+        assert not delta["entries"]
+        assert sum(len(g["orders"]) for g in delta["tombstones"]) == 2
+        # surviving rows shrink; physical orders never do
+        assert manifest["rows"] == 18
+        assert manifest["next_order"] == 20
+        fresh = AssociativeStore.open(path)
+        keep = [i for i in range(20) if labels[i] not in ("v2", "v9")]
+        reference = _reference([labels[i] for i in keep], vectors[keep])
+        queries = vectors[:8]
+        assert fresh.labels == reference.labels
+        assert fresh.topk_batch(queries, k=5) == reference.topk_batch(queries, k=5)
+
+    def test_version4_manifest_opens_and_answers(self, tmp_path, rng):
+        path, labels, vectors = self._saved(tmp_path, rng)
+        reference = _reference(labels, vectors)
+        _downgrade_to_v4(path)
+        reopened = AssociativeStore.open(path)
+        queries = random_bipolar(5, 128, rng)
+        assert reopened.labels == reference.labels
+        ref_labels, ref_sims = reference.cleanup_batch(queries)
+        new_labels, new_sims = reopened.cleanup_batch(queries)
+        assert new_labels == ref_labels and np.array_equal(new_sims, ref_sims)
+
+    def test_first_mutation_migrates_v4_manifest_to_v5(self, tmp_path, rng):
+        path, labels, vectors = self._saved(tmp_path, rng)
+        _downgrade_to_v4(path)
+        handle = AssociativeStore.open(path)
+        handle.delete(["v1"])
+        manifest = _manifest(path)
+        assert manifest["format_version"] == FORMAT_VERSION == 5
+        assert manifest["next_order"] == 20
+        assert len(manifest["deltas"]) == 1
+        fresh = AssociativeStore.open(path)
+        reference = _reference(labels[:1] + labels[2:],
+                               vectors[[0] + list(range(2, 20))])
+        queries = vectors[:6]
+        assert fresh.labels == reference.labels
+        assert fresh.topk_batch(queries, k=4) == reference.topk_batch(queries, k=4)
+
+    def test_mutations_reject_out_of_sync_manifest(self, tmp_path, rng):
+        vectors = random_bipolar(4, 64, rng)
+        AssociativeStore.from_vectors(list("abcd"), vectors, backend="packed").save(
+            tmp_path / "store"
+        )
+        stale = open_store(tmp_path / "store")  # plain memory, no journal
+        stale.add("extra", random_bipolar(1, 64, rng)[0])  # in-memory only
+        with pytest.raises(ValueError, match="out of sync"):
+            delete_rows(stale, tmp_path / "store", ["a"])
+        with pytest.raises(ValueError, match="out of sync"):
+            upsert_rows(stale, tmp_path / "store", ["a"],
+                        random_bipolar(1, 64, rng))
+
+    def test_crash_before_swap_keeps_the_mutation_invisible(
+        self, tmp_path, rng, monkeypatch
+    ):
+        path, labels, vectors = self._saved(tmp_path, rng)
+        queries = vectors[:6]
+        expected = AssociativeStore.open(path).topk_batch(queries, k=4)
+
+        import repro.hdc.store.persistence as persistence_module
+
+        def crash(target, manifest):
+            raise RuntimeError("simulated crash before the manifest swap")
+
+        monkeypatch.setattr(persistence_module, "_write_manifest", crash)
+        opened = AssociativeStore.open(path)
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            opened.delete(["v4", "v9"])
+        monkeypatch.undo()
+
+        # The delta sidecar is orphaned on disk, but the surviving
+        # manifest's chain never names it: the store opens as the
+        # pre-delete generation.
+        assert list(path.glob("delta.g*.json"))
+        survivor = AssociativeStore.open(path)
+        assert survivor.labels == tuple(labels)
+        assert survivor.topk_batch(queries, k=4) == expected
+
+        # Retrying on a fresh handle reuses the generation number and
+        # overwrites the orphan.
+        retry = AssociativeStore.open(path)
+        retry.delete(["v4", "v9"])
+        fresh = AssociativeStore.open(path)
+        assert "v4" not in fresh.labels and "v9" not in fresh.labels
+        assert len(fresh) == 18
+
+    def test_crash_after_swap_keeps_the_mutation_durable(
+        self, tmp_path, rng, monkeypatch
+    ):
+        path, labels, vectors = self._saved(tmp_path, rng)
+        batch = random_bipolar(2, 128, rng)
+
+        import repro.hdc.store.persistence as persistence_module
+
+        def crash(*args, **kwargs):
+            raise RuntimeError("simulated crash after the manifest swap")
+
+        monkeypatch.setattr(persistence_module, "_write_worker_index", crash)
+        opened = AssociativeStore.open(path)
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            opened.upsert(["v0", "new0"], batch)
+        monkeypatch.undo()
+
+        # The manifest swap already happened, so the upsert is durable;
+        # the stale worker index is an optimization only.
+        reference = _reference(labels[1:] + ["v0", "new0"],
+                               np.concatenate([vectors[1:], batch]))
+        queries = vectors[:6]
+        for executor in ("thread", "process"):
+            survivor = AssociativeStore.open(path, executor=executor)
+            assert survivor.labels == reference.labels
+            assert survivor.topk_batch(queries, k=4) == reference.topk_batch(
+                queries, k=4)
+            survivor.memory.close()
+
+    def test_upserts_past_threshold_fold_tombstones_out(self, tmp_path, rng):
+        path, labels, vectors = self._saved(tmp_path, rng, shards=2)
+        opened = AssociativeStore.open(path, auto_compact_segments=3)
+        folded = False
+        for round_index in range(8):
+            fresh_vector = random_bipolar(1, 128, rng)
+            opened.upsert(["v0"], fresh_vector)
+            vectors[0] = fresh_vector[0]
+            if not list(path.glob("shard_*.seg*.npy")):
+                folded = True
+                break
+        assert folded, "auto-compaction never folded the mutation journal"
+        manifest = _manifest(path)
+        assert manifest["deltas"] == []
+        assert manifest["next_order"] == manifest["rows"] == 20
+        # v0 sits at the end of the insertion order after its upserts
+        reference = _reference(labels[1:] + ["v0"],
+                               np.concatenate([vectors[1:], vectors[:1]]))
+        fresh = AssociativeStore.open(path)
+        assert fresh.labels == reference.labels
+        queries = vectors[:6]
+        assert fresh.topk_batch(queries, k=4) == reference.topk_batch(queries, k=4)

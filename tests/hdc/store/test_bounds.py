@@ -391,6 +391,168 @@ class TestBoundsExactness:
         assert report["stats"]["skipped_centroid"] > 0  # and they skip
 
 
+def _assert_segment_bounds_exact_over_committed_rows(path):
+    """Invariant that survives mutation: every journaled segment's bounds
+    block is exact over the rows *committed with it* (the ``.npy`` rows),
+    even after later tombstones thin the segment — bounds are write-once
+    supersets, recomputed only at compact."""
+    manifest = read_manifest(path)
+    memory = open_store(path, mmap=False)
+    backend = (memory.shards[0].backend
+               if isinstance(memory, ShardedItemMemory) else memory.backend)
+    checked = 0
+    for entry in manifest["shards"]:
+        for segment in entry.get("segments", ()):
+            rows = np.load(path / segment["file"])
+            bounds = segment["bounds"]
+            minus = backend.minus_counts(rows)
+            assert bounds["minus_min"] == int(minus.min())
+            assert bounds["minus_max"] == int(minus.max())
+            centroid = _centroid_from_hex(backend, bounds["centroid"])
+            distances = np.atleast_1d(backend.hamming(centroid, rows))
+            assert int(distances.max()) == int(bounds["radius"])
+            checked += 1
+    return checked
+
+
+class TestBoundsUnderMutation:
+    """The v5 bounds contract: a delete may only *tighten* a group's
+    bound (never recomputed mid-generation, so the persisted block is an
+    unchanged, still-sound superset), a replacement segment carries its
+    own exact ball, and pruning stays decision-invisible across whole
+    delete → query → compact → query histories."""
+
+    def test_delete_leaves_bound_blocks_unchanged_and_sound(self, tmp_path,
+                                                            rng):
+        reference, sharded, vectors, queries = _cluster_store(rng)
+        path = tmp_path / "s"
+        save_store(sharded, path)
+        opened = AssociativeStore.open(path)
+        opened.add_many(["x0", "x1", "x2"], random_bipolar(3, 128, rng))
+        before = read_manifest(path)
+
+        victims = ["v1", "v6", "v11", "x1"]
+        opened.delete(victims)
+        after = read_manifest(path)
+        for entry_before, entry_after in zip(before["shards"],
+                                             after["shards"]):
+            # bound blocks byte-identical: deletes never touch them
+            assert entry_after["bounds"] == entry_before["bounds"]
+            for seg_before, seg_after in zip(entry_before["segments"],
+                                             entry_after["segments"]):
+                assert seg_after["bounds"] == seg_before["bounds"]
+        # live-row accounting moved instead, by exactly the batch size
+        lost = sum(
+            (b.get("live_rows", b["rows"]) - a["live_rows"])
+            + sum(sb.get("live_rows", sb["rows"]) - sa["live_rows"]
+                  for sb, sa in zip(b["segments"], a["segments"]))
+            for b, a in zip(before["shards"], after["shards"])
+        )
+        assert lost == len(victims)
+
+        # ... and the untouched radii are still *sound* supersets over
+        # the surviving rows of every in-memory bound group
+        memory = opened.memory
+        for index, shard in enumerate(memory.shards):
+            native = shard.native_matrix()
+            segments = memory._segment_groups[index]
+            base_rows = len(shard) - sum(group["rows"] for group in segments)
+            blocks = [(memory._geo_centroid[index],
+                       memory._geo_radius[index], native[:base_rows])]
+            offset = base_rows
+            for group in segments:
+                blocks.append((group["centroid"], group["radius"],
+                               native[offset:offset + group["rows"]]))
+                offset += group["rows"]
+            for centroid, radius, block_rows in blocks:
+                if centroid is None or not block_rows.shape[0]:
+                    continue
+                distances = np.atleast_1d(
+                    memory.backend.hamming(centroid, block_rows))
+                assert int(distances.max()) <= int(radius)
+
+    def test_replacement_segment_carries_its_own_exact_ball(self, tmp_path,
+                                                            rng):
+        """An upsert's replacement segment journals an exact minus
+        interval + centroid/radius over its committed rows, exactly like
+        an append segment — and the planner still skips with it."""
+        dim = 128
+        reference, sharded, vectors, queries = _cluster_store(rng, dim=dim)
+        path = tmp_path / "s"
+        save_store(sharded, path)
+        opened = AssociativeStore.open(path)
+
+        replace = [f"v{i}" for i in range(4)]
+        fresh = [f"far{i}" for i in range(4)]
+        batch = -vectors[np.arange(8) % 4].copy()  # antipodal, tight balls
+        flips = rng.integers(0, dim, size=(8, 3))
+        for row, columns in enumerate(flips):
+            batch[row, columns] *= -1
+        opened.upsert(replace + fresh, batch)
+        assert _assert_segment_bounds_exact_over_committed_rows(path) > 0
+
+        survivors = [i for i in range(len(vectors))
+                     if f"v{i}" not in replace]
+        rebuilt = ItemMemory(dim, backend="packed")
+        rebuilt.add_many(
+            [f"v{i}" for i in survivors] + replace + fresh,
+            np.concatenate([vectors[survivors], batch]),
+        )
+        ref_labels, ref_sims = rebuilt.cleanup_batch(queries)
+        got_labels, got_sims = opened.cleanup_batch(queries)
+        assert got_labels == ref_labels
+        assert np.array_equal(got_sims, ref_sims)
+        assert opened.pruning_stats["skipped_centroid"] > 0
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_prune_toggle_invisible_across_mutation_history(self, tmp_path,
+                                                            backend, rng):
+        """delete → query → upsert → query → compact → query, pruning on
+        vs off: every decision bit-identical, and the post-compact
+        bounds are exact again (the delete's tightening realized)."""
+        dim = 128
+        reference, sharded, vectors, queries = _cluster_store(
+            rng, dim=dim, backend=backend)
+        path = tmp_path / "s"
+        save_store(sharded, path)
+        mixed = np.concatenate([queries, vectors[:3]])
+
+        def history(store):
+            answers = []
+            store.delete(["v2", "v7", "v13"])
+            answers.append(store.cleanup_batch(mixed))
+            answers.append(store.topk_batch(mixed, k=5))
+            store.upsert(["v4", "new0"],
+                         random_bipolar(2, dim, np.random.default_rng(77)))
+            answers.append(store.cleanup_batch(mixed))
+            store.compact()
+            answers.append(store.cleanup_batch(mixed))
+            answers.append(store.topk_batch(mixed, k=5))
+            return answers
+
+        with_prune = tmp_path / "on"
+        import shutil as _shutil
+        _shutil.copytree(path, with_prune)
+        pruned_store = AssociativeStore.open(with_prune)
+        pruned = history(pruned_store)
+        plain_store = AssociativeStore.open(path)
+        plain_store.memory.prune = False
+        plain = history(plain_store)
+        for got, expected in zip(pruned, plain):
+            if isinstance(got, tuple):
+                assert got[0] == expected[0]
+                assert np.array_equal(got[1], expected[1])
+            else:
+                assert got == expected
+        assert plain_store.pruning_stats["skipped"] == 0
+        # compact folded every tombstone out: exactness is restorable
+        _assert_manifest_bounds_exact(with_prune)
+        manifest = read_manifest(with_prune)
+        assert manifest.get("deltas") == []
+        assert sum(entry["rows"] for entry in manifest["shards"]) == len(
+            pruned_store.labels)
+
+
 class TestManifestMigration:
     def _downgrade_to_v2(self, path):
         """Rewrite a saved manifest in the PR 4 (version 2) layout: label

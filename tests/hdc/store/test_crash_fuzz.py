@@ -46,8 +46,40 @@ class TestSchedules:
         for seed in range(8):
             steps = cf.make_schedule(seed)["steps"]
             assert steps[0]["op"] == "save"
-            assert all(s["op"] in ("save", "append", "compact")
+            assert all(s["op"] in ("save", "append", "delete", "upsert",
+                                   "compact")
                        for s in steps)
+
+    def test_mutation_steps_only_name_live_labels(self):
+        """The grammar tracks the live-label set: every delete names
+        stored labels (and keeps >= 2 survivors), every upsert mixes
+        stored and fresh labels with no in-batch duplicates."""
+        saw_delete = saw_upsert = False
+        for seed in range(40):
+            schedule = cf.make_schedule(seed)
+            live = set()
+            for index, step in enumerate(schedule["steps"]):
+                if step["op"] in ("save", "append"):
+                    live.update(cf.schedule_batch(schedule, index)[0])
+                elif step["op"] == "delete":
+                    saw_delete = True
+                    assert set(step["labels"]) <= live
+                    assert len(live) - len(step["labels"]) >= 2
+                    live -= set(step["labels"])
+                elif step["op"] == "upsert":
+                    saw_upsert = True
+                    labels = step["labels"]
+                    assert len(labels) == len(set(labels))
+                    assert any(label in live for label in labels)
+                    live.update(labels)
+        assert saw_delete and saw_upsert  # the weights actually fire
+
+    def test_mutation_schedule_guarantees_both_ops(self):
+        for seed in (0, 7):
+            schedule = cf.make_mutation_schedule(seed)
+            assert schedule == cf.make_mutation_schedule(seed)
+            ops = {step["op"] for step in schedule["steps"]}
+            assert {"delete", "upsert"} <= ops
 
     def test_stepwise_replay_equals_one_shot(self, tmp_path):
         """run_schedule step-at-a-time (what reference building and
@@ -87,6 +119,15 @@ class TestExhaustiveFailSweep:
         reachable commit-path operation of one schedule; every survivor
         opens to a legal state and replays to convergence."""
         schedule = cf.make_schedule(0)
+        reference, outcomes = cf.fuzz_schedule(schedule, modes=("fail",))
+        assert len(outcomes) == reference["total_ops"]
+        _assert_legal(reference, outcomes, exhaustive=True)
+
+    def test_every_injection_point_of_a_mutation_schedule(self):
+        """The same sweep over a schedule guaranteed to journal delete
+        and upsert commits: tombstone-sidecar writes are injection
+        points too, and their survivors obey the same pre/post law."""
+        schedule = cf.make_mutation_schedule(0)
         reference, outcomes = cf.fuzz_schedule(schedule, modes=("fail",))
         assert len(outcomes) == reference["total_ops"]
         _assert_legal(reference, outcomes, exhaustive=True)
@@ -137,6 +178,13 @@ class TestSubprocessKills:
         assert len(outcomes) == reference["total_ops"]
         _assert_legal(reference, outcomes, exhaustive=True)
         assert {o["mode"] for o in outcomes} == {"kill", "truncate"}
+
+    def test_exhaustive_kill_sweep_of_a_mutation_schedule(self):
+        schedule = cf.make_mutation_schedule(0)
+        reference, outcomes = cf.fuzz_schedule(
+            schedule, modes=("kill", "truncate"), jobs=8)
+        assert len(outcomes) == reference["total_ops"]
+        _assert_legal(reference, outcomes, exhaustive=True)
 
     @pytest.mark.parametrize("seed", (1, 2, 3))
     def test_randomized_schedules_survive_sampled_kills(self, seed):

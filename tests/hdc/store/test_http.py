@@ -371,6 +371,117 @@ class TestErrorMapping:
         asyncio.run(main())
 
 
+class TestWireMutations:
+    """POST /v1/delete and /v1/upsert: wire-driven mutation histories
+    answer bit-identically to direct calls, validation maps to 400, and
+    mutations refuse with 503 once the server drains."""
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_wire_mutation_history_bit_identical(self, executor, rng):
+        dim = 128
+        store, labels, vectors = _store(rng, executor=executor, dim=dim,
+                                        items=24)
+        reference = ItemMemory(dim, backend="packed")
+        reference.add_many(labels, vectors)
+        queries = _noisy_queries(vectors, rng, num=6)
+        batch = random_bipolar(2, dim, rng)
+
+        jobs, expected = [], []
+        for q in queries:
+            jobs.append(("POST", "/v1/topk", {"query": _wire(q), "k": 5}))
+            expected.append(jsonable_result("topk", reference.topk(q, k=5)))
+        jobs.append(("POST", "/v1/delete", {"labels": ["item3", "item17"]}))
+        expected.append({"status": "ok", "deleted": 2})
+        reference.remove_many(["item3", "item17"])
+        jobs.append(("POST", "/v1/upsert",
+                     {"labels": ["item5", "new0"],
+                      "vectors": [_wire(v) for v in batch]}))
+        expected.append({"status": "ok", "upserted": 2})
+        reference.remove_many(["item5"])
+        reference.add_many(["item5", "new0"], batch)
+        for q in queries:
+            jobs.append(("POST", "/v1/topk", {"query": _wire(q), "k": 5}))
+            expected.append(jsonable_result("topk", reference.topk(q, k=5)))
+
+        answers = _serve_jobs(store, jobs, clients=1)  # sequenced history
+        assert [status for status, _ in answers] == [200] * len(jobs)
+        assert [payload for _, payload in answers] == expected
+        post = [payload for _, payload in answers[len(queries) + 2:]]
+        assert all(entry["label"] not in ("item3", "item17")
+                   for payload in post for entry in payload["results"])
+        store.memory.close()
+
+    def test_tie_heavy_duplicate_deleted_over_the_wire(self, rng):
+        dim = 128
+        base = random_bipolar(1, dim, rng)[0]
+        store = AssociativeStore.from_vectors(
+            [f"dup{i}" for i in range(6)], np.tile(base, (6, 1)),
+            backend="packed", shards=3)
+        jobs = [
+            ("POST", "/v1/cleanup", {"query": _wire(base)}),
+            ("POST", "/v1/delete", {"labels": ["dup0"]}),
+            ("POST", "/v1/cleanup", {"query": _wire(base)}),
+        ]
+        answers = _serve_jobs(store, jobs, clients=1)
+        assert [status for status, _ in answers] == [200, 200, 200]
+        assert answers[0][1]["label"] == "dup0"
+        assert answers[2][1]["label"] == "dup1"  # survivor tie order
+        store.memory.close()
+
+    def test_mutation_validation_maps_to_400(self, rng):
+        store, _, vectors = _store(rng, shards=1, items=8)
+        good = [_wire(v) for v in vectors[:1]]
+        jobs = [
+            ("POST", "/v1/delete", {"labels": ["ghost"]}),     # unknown label
+            ("POST", "/v1/delete", {"labels": []}),            # empty batch
+            ("POST", "/v1/delete", {"labels": "item0"}),       # not a list
+            ("POST", "/v1/delete", {"labels": ["item0"], "k": 1}),  # bad key
+            ("POST", "/v1/upsert", {"labels": ["item0"]}),     # no vectors
+            ("POST", "/v1/upsert", {"labels": ["item0"],
+                                    "vectors": [[0.5] * store.dim]}),
+            ("POST", "/v1/upsert", {"labels": ["a", "a"], "vectors": good * 2}),
+        ]
+        answers = _serve_jobs(store, jobs, clients=1)
+        for (status, payload), job in zip(answers, jobs):
+            assert status == 400, (job, payload)
+            assert payload["error"]["status"] == 400
+            assert payload["error"]["message"]
+        assert len(store) == 8  # every refused mutation left the store alone
+
+    def test_mutation_mid_drain_maps_to_503(self, rng):
+        """A mutation arriving while the transport drains (and after the
+        serving layer stops) is refused with 503 — never half-applied."""
+        store, _, vectors = _store(rng)
+        gated = _GatedStore(store)
+        rows_before = len(store)
+
+        async def main():
+            server = StoreServer(gated, max_batch=1, max_wait_ms=0.0)
+            http = await StoreHTTPServer(server).start()
+            first = await JSONHTTPClient.connect(http.host, http.port)
+            inflight = asyncio.ensure_future(first.request(
+                "POST", "/v1/cleanup", {"query": _wire(vectors[0])}))
+            while not gated.entered.is_set():
+                await asyncio.sleep(0.001)
+            stopper = asyncio.ensure_future(http.stop())
+            await asyncio.sleep(0.01)  # stop() is now draining
+            late = await JSONHTTPClient.connect(http.host, http.port)
+            status, payload = await late.request(
+                "POST", "/v1/delete", {"labels": ["item0"]})
+            assert status == 503
+            assert payload["error"]["status"] == 503
+            gated.release.set()
+            await inflight
+            await stopper
+            await first.close()
+            await late.close()
+
+        asyncio.run(main())
+        assert len(store) == rows_before  # the refused delete never landed
+        assert "item0" in store.labels
+        store.memory.close()
+
+
 class TestLifecycle:
     def test_drain_on_stop_completes_inflight_and_503s_new(self, rng):
         """stop() during an in-flight wave: the dispatched request's
@@ -462,6 +573,8 @@ class TestObservability:
             ("POST", "/v1/cleanup"),
             ("POST", "/v1/topk"),
             ("POST", "/v1/similarities"),
+            ("POST", "/v1/delete"),
+            ("POST", "/v1/upsert"),
             ("GET", "/v1/stats"),
             ("GET", "/v1/healthz"),
         }

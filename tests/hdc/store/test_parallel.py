@@ -182,6 +182,152 @@ class TestWorkerAgreement:
         assert sharded.topk_batch(queries, k=8) == reference.topk_batch(queries, k=8)
 
 
+class TestMutationAcrossExecutors:
+    """The executor dimension of the mutation grid: delete/upsert
+    histories on persisted stores answer bit-identically to a fresh
+    rebuild of the surviving set, for thread AND process fan-out, and
+    readers are generation-pinned snapshots while a writer commits."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_persisted_mutation_history_bit_identical(
+        self, tmp_path, backend, executor, workers, rng
+    ):
+        dim = 128
+        labels = [f"v{i}" for i in range(24)]
+        vectors = random_bipolar(24, dim, rng)
+        builder = AssociativeStore.from_vectors(
+            labels, vectors, backend=backend, shards=3)
+        builder.save(tmp_path / "s")
+        store = AssociativeStore.open(tmp_path / "s", mmap=False,
+                                      executor=executor, workers=workers)
+        model = list(zip(labels, vectors))
+
+        def rebuilt():
+            reference = ItemMemory(dim, backend=backend)
+            reference.add_many([l for l, _ in model],
+                               np.stack([v for _, v in model]))
+            return reference
+
+        def check(handle):
+            reference = rebuilt()
+            queries = _noisy_queries(np.stack([v for _, v in model]), rng)
+            ref_labels, ref_sims = reference.cleanup_batch(queries)
+            got_labels, got_sims = handle.cleanup_batch(queries)
+            assert got_labels == ref_labels
+            assert np.array_equal(got_sims, ref_sims)
+            assert handle.topk_batch(queries, k=6) == reference.topk_batch(
+                queries, k=6)
+
+        store.delete(["v2", "v9", "v17"])
+        model = [(l, v) for l, v in model if l not in ("v2", "v9", "v17")]
+        check(store)
+
+        batch = random_bipolar(3, dim, rng)
+        store.upsert(["v5", "v20", "new0"], batch)
+        model = [(l, v) for l, v in model if l not in ("v5", "v20")]
+        model += list(zip(["v5", "v20", "new0"], batch))
+        check(store)
+
+        # a fresh open replays the journal to the same state...
+        fresh = AssociativeStore.open(tmp_path / "s", mmap=False,
+                                      executor=executor, workers=workers)
+        check(fresh)
+        # ... and compaction folds it without moving a single decision
+        fresh.compact()
+        check(fresh)
+        check(AssociativeStore.open(tmp_path / "s", mmap=False,
+                                    executor=executor, workers=workers))
+
+    def test_concurrent_readers_pin_exactly_one_generation(self, tmp_path,
+                                                           rng):
+        """Snapshot isolation: while a writer commits mutations, every
+        reader answer matches exactly one committed generation — handles
+        opened earlier keep answering their pinned snapshot (thread AND
+        process executors), and fresh opens see old-or-new, never a
+        torn mix."""
+        import threading
+        import time
+
+        dim = 64
+        labels = [f"v{i}" for i in range(16)]
+        vectors = random_bipolar(16, dim, rng)
+        path = tmp_path / "s"
+        AssociativeStore.from_vectors(labels, vectors, backend="packed",
+                                      shards=3).save(path)
+        queries = _noisy_queries(vectors, rng, num=4)
+        model = list(zip(labels, vectors))
+
+        def answers_of(current_model):
+            reference = ItemMemory(dim, backend="packed")
+            reference.add_many([l for l, _ in current_model],
+                               np.stack([v for _, v in current_model]))
+            return reference.topk_batch(queries, k=5)
+
+        upsert_batch = random_bipolar(2, dim, rng)
+        mutations = [
+            ("delete", ["v3", "v11"], None),
+            ("upsert", ["v6", "late0"], upsert_batch),
+            ("append", ["tail0", "tail1"], random_bipolar(2, dim, rng)),
+        ]
+        legal = [answers_of(model)]
+        for op, batch_labels, batch_vectors in mutations:
+            model = [(l, v) for l, v in model if l not in set(batch_labels)]
+            if op != "delete":
+                model += list(zip(batch_labels, batch_vectors))
+            legal.append(answers_of(model))
+
+        pinned = AssociativeStore.open(path, mmap=False)
+        pinned_proc = AssociativeStore.open(path, executor="process",
+                                            workers=2)
+        warm = pinned_proc.topk_batch(queries, k=5)  # pin the worker pool
+        assert warm == legal[0]
+
+        writer = AssociativeStore.open(path)
+        done = threading.Event()
+
+        def commit_all():
+            try:
+                for op, batch_labels, batch_vectors in mutations:
+                    time.sleep(0.02)
+                    if op == "delete":
+                        writer.delete(batch_labels)
+                    elif op == "upsert":
+                        writer.upsert(batch_labels, batch_vectors)
+                    else:
+                        writer.add_many(batch_labels, batch_vectors)
+            finally:
+                done.set()
+
+        thread = threading.Thread(target=commit_all)
+        thread.start()
+        observed = []
+        try:
+            while not done.is_set():
+                got = AssociativeStore.open(path, mmap=False).topk_batch(
+                    queries, k=5)
+                assert got in legal  # old or new, never a torn generation
+                observed.append(legal.index(got))
+        finally:
+            thread.join()
+        # earlier handles never move off their pinned snapshot: the
+        # thread handle answers its RAM generation; the process handle
+        # answers its warmed generation-0 cache, or — if a task lands on
+        # a cold worker that can no longer load generation 0 — refuses
+        # with the documented error. Never a torn mix.
+        assert pinned.topk_batch(queries, k=5) == legal[0]
+        try:
+            assert pinned_proc.topk_batch(queries, k=5) == legal[0]
+        except RuntimeError as exc:
+            assert "generation" in str(exc) and "re-open" in str(exc)
+        pinned_proc.memory.close()
+        # the committed chain converged, and readers marched monotonically
+        final = AssociativeStore.open(path, mmap=False)
+        assert final.topk_batch(queries, k=5) == legal[-1]
+        assert observed == sorted(observed)
+
+
 class TestFacadeAndExecutor:
     def test_store_facade_threads_workers(self, rng):
         vectors = random_bipolar(20, 128, rng)
@@ -627,6 +773,64 @@ class TestStoreScale:
         sh_labels, sh_sims = opened.cleanup_batch(queries)
         assert sh_labels == ref_labels
         assert np.array_equal(sh_sims, ref_sims)
+        opened.compact()
+        assert opened.cleanup_batch(queries)[0] == ref_labels
+        assert opened.topk_batch(queries, k=10) == reference.topk_batch(
+            queries, k=10
+        )
+        opened.memory.close()
+
+    def test_mutation_at_scale(self, store_scale_items, store_scale_executor,
+                               tmp_path):
+        """Delete 10% and upsert 5% of a large persisted store: answers
+        must stay bit-identical to a reference built fresh from the
+        surviving rows, through a reopen replaying the tombstones and
+        through the ``compact()`` that folds them out."""
+        rng = np.random.default_rng(103)
+        dim = 512
+        items = store_scale_items
+        vectors = random_bipolar(items, dim, rng)
+        labels = list(range(items))
+        store = AssociativeStore(dim, backend="packed", shards=8)
+        store.add_many(labels, vectors)
+        store.save(tmp_path / "store")
+        del store
+
+        deleted = {int(i) for i in
+                   rng.choice(items, size=items // 10, replace=False)}
+        refreshed = [int(i) for i in rng.choice(
+            [i for i in range(items) if i not in deleted],
+            size=items // 20, replace=False)]
+        new_vectors = random_bipolar(len(refreshed), dim, rng)
+
+        opened = AssociativeStore.open(tmp_path / "store", workers=4,
+                                       executor=store_scale_executor)
+        opened.delete(sorted(deleted))
+        opened.upsert(refreshed, new_vectors)
+
+        # Survivors keep insertion order; the upsert batch re-enters at
+        # the end — exactly what a fresh build from scratch would hold.
+        survivors = [i for i in range(items)
+                     if i not in deleted and i not in set(refreshed)]
+        reference = ItemMemory(dim, backend="packed")
+        reference.add_many(survivors, vectors[survivors])
+        reference.add_many(refreshed, new_vectors)
+
+        queries = _noisy_queries(vectors, rng, num=16, flip_fraction=0.125)
+        ref_labels, ref_sims = reference.cleanup_batch(queries)
+        sh_labels, sh_sims = opened.cleanup_batch(queries)
+        assert sh_labels == ref_labels
+        assert np.array_equal(sh_sims, ref_sims)
+        assert opened.topk_batch(queries, k=10) == reference.topk_batch(
+            queries, k=10
+        )
+
+        # a fresh reopen replays the tombstone chain identically
+        fresh = AssociativeStore.open(tmp_path / "store", workers=4,
+                                      executor=store_scale_executor)
+        assert fresh.cleanup_batch(queries)[0] == ref_labels
+        fresh.memory.close()
+
         opened.compact()
         assert opened.cleanup_batch(queries)[0] == ref_labels
         assert opened.topk_batch(queries, k=10) == reference.topk_batch(

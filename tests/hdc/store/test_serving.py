@@ -84,6 +84,12 @@ class _GatedStore:
         self._gate()
         return self._inner.similarities_batch(queries)
 
+    def delete(self, labels):  # mutations bypass the gate on purpose
+        return self._inner.delete(labels)
+
+    def upsert(self, labels, vectors):
+        return self._inner.upsert(labels, vectors)
+
 
 class TestServedAgreement:
     """Concurrent single requests == sequential direct calls, bit for bit."""
@@ -759,3 +765,107 @@ class TestValidationAndStats:
         assert stats["batches"] > 0
         assert stats["tasks"] == stats["batches"] * 4  # no lost increments
         store.memory.close()
+
+
+class TestServedMutations:
+    """The mutation barrier: served delete/upsert are atomic between
+    waves — requests before see the old generation, requests after see
+    the new one, and answers on both sides stay bit-identical to direct
+    calls against the store in that state."""
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_served_mutation_history_bit_identical(self, executor, rng):
+        store, vectors = _store(rng, executor=executor, items=24, dim=128)
+        queries = _noisy_queries(vectors, rng, num=12)
+        expected_before = [store.topk(q, k=5) for q in queries]
+        batch = random_bipolar(2, 128, rng)
+
+        async def main():
+            async with StoreServer(store, max_batch=8, max_wait_ms=1.0) as srv:
+                before = await asyncio.gather(
+                    *[srv.topk(q, k=5) for q in queries])
+                await srv.delete(["item3", "item17"])
+                await srv.upsert(["item5", "new0"], batch)
+                after = await asyncio.gather(
+                    *[srv.topk(q, k=5) for q in queries])
+                return before, after, srv.stats
+
+        before, after, stats = asyncio.run(main())
+        assert before == expected_before
+        # the store now IS the post-mutation state: direct calls agree
+        assert after == [store.topk(q, k=5) for q in queries]
+        assert all(label not in ("item3", "item17")
+                   for row in after for label, _ in row)
+        assert stats["mutations"] == 2
+        if store.num_shards > 1:
+            store.memory.close()
+
+    def test_served_tie_break_moves_when_the_winner_is_deleted(self, rng):
+        """Tie-heavy duplicates through the server: deleting the
+        earliest-inserted winner promotes the next — served answers
+        track the surviving insertion order exactly."""
+        dim = 128
+        base = random_bipolar(1, dim, rng)[0]
+        labels = [f"dup{i}" for i in range(6)]
+        store = AssociativeStore.from_vectors(
+            labels, np.tile(base, (6, 1)), backend="packed", shards=3)
+
+        async def main():
+            async with StoreServer(store, max_wait_ms=0.5) as srv:
+                first = await srv.cleanup(base)
+                await srv.delete(["dup0"])
+                second = await srv.cleanup(base)
+                await srv.upsert(["dup1"], base[None])  # re-enroll: recency
+                third = await srv.cleanup(base)
+                ranked = await srv.topk(base, k=6)
+                return first, second, third, ranked
+
+        first, second, third, ranked = asyncio.run(main())
+        assert first[0] == "dup0"
+        assert second[0] == "dup1"  # next-earliest survivor wins
+        assert third[0] == "dup2"  # re-enrolled dup1 lost its recency tie
+        assert [label for label, _ in ranked][-1] == "dup1"
+        store.memory.close()
+
+    def test_mutation_parks_until_inflight_wave_finishes(self, rng):
+        """A mutation arriving mid-wave waits for the wave to drain: the
+        executing wave answers against the old generation, the mutation
+        applies after, and parked queries then see the new one."""
+        store, vectors = _store(rng, shards=1, items=8, dim=64)
+        gated = _GatedStore(store)
+        expected = store.topk(vectors[0], k=3)
+
+        async def main():
+            async with StoreServer(gated, max_batch=1, max_wait_ms=0.5) as srv:
+                wave = asyncio.create_task(srv.topk(vectors[0], k=3))
+                while not gated.entered.is_set():
+                    await asyncio.sleep(0.005)
+                mutation = asyncio.create_task(srv.delete(["item0"]))
+                await asyncio.sleep(0.05)
+                assert not mutation.done()  # parked behind the wave
+                gated.release.set()
+                answer = await wave
+                await mutation
+                assert srv.stats["mutations"] == 1
+                return answer
+
+        assert asyncio.run(main()) == expected
+        assert "item0" not in store.labels  # the mutation did land
+
+    def test_mutations_refused_after_stop_and_before_start(self, rng):
+        store, _ = _store(rng, shards=1, items=4)
+        srv = StoreServer(store)
+
+        async def main():
+            with pytest.raises(RuntimeError, match="not started"):
+                await srv.delete(["item0"])
+            async with StoreServer(store) as running:
+                await running.stop()
+                with pytest.raises(ServerClosed):
+                    await running.delete(["item0"])
+                with pytest.raises(ServerClosed):
+                    await running.upsert(["item0"],
+                                         random_bipolar(1, store.dim, rng))
+
+        asyncio.run(main())
+        assert len(store) == 4  # nothing mutated through a refused call

@@ -115,6 +115,138 @@ class TestAgreement:
         assert sharded.topk(query, k=3) == sharded.topk_batch(query[None], k=3)[0]
 
 
+class TestMutationAgreement:
+    """Interleaved add/delete/upsert histories: after every step the
+    sharded store must answer bit-identically to a single-shard
+    reference freshly built from the surviving (label, vector) set in
+    surviving insertion order — and deleted labels are unreachable from
+    every query surface."""
+
+    @staticmethod
+    def _rebuilt(dim, backend, model):
+        reference = ItemMemory(dim, backend=backend)
+        if model:
+            reference.add_many([label for label, _ in model],
+                               np.stack([vector for _, vector in model]))
+        return reference
+
+    @staticmethod
+    def _apply(model, op, labels, vectors=None):
+        if op == "delete":
+            return [(label, vector) for label, vector in model
+                    if label not in set(labels)]
+        survivors = [(label, vector) for label, vector in model
+                     if label not in set(labels)]
+        return survivors + list(zip(labels, vectors))
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_interleaved_history_matches_fresh_rebuild(self, backend, shards,
+                                                       rng):
+        dim = 128
+        labels = [f"item{i}" for i in range(24)]
+        vectors = random_bipolar(24, dim, rng)
+        sharded = ShardedItemMemory(dim, num_shards=shards, backend=backend)
+        sharded.add_many(labels, vectors, chunk_size=7)
+        model = list(zip(labels, vectors))
+        queries = _noisy_queries(vectors, rng)
+
+        history = [
+            ("delete", ["item3", "item17", "item8"], None),
+            ("add", [f"late{i}" for i in range(5)],
+             random_bipolar(5, dim, rng)),
+            ("upsert", ["item5", "late2", "fresh0"],
+             random_bipolar(3, dim, rng)),
+            ("delete", ["late0", "item0"], None),
+            ("upsert", ["item23"], random_bipolar(1, dim, rng)),
+        ]
+        for op, batch_labels, batch_vectors in history:
+            if op == "delete":
+                sharded.delete_many(batch_labels)
+            elif op == "add":
+                sharded.add_many(batch_labels, batch_vectors)
+            else:  # upsert at this layer: delete existing, re-add at end
+                existing = [label for label in batch_labels
+                            if label in sharded]
+                if existing:
+                    sharded.delete_many(existing)
+                sharded.add_many(batch_labels, batch_vectors)
+            model = self._apply(model, "delete" if op == "delete" else "add",
+                                batch_labels, batch_vectors)
+            reference = self._rebuilt(dim, backend, model)
+            assert sharded.labels == reference.labels
+            ref_labels, ref_sims = reference.cleanup_batch(queries)
+            got_labels, got_sims = sharded.cleanup_batch(queries)
+            assert got_labels == ref_labels
+            assert np.array_equal(got_sims, ref_sims)
+            assert sharded.topk_batch(queries, k=6) == reference.topk_batch(
+                queries, k=6)
+            assert np.array_equal(sharded.similarities_batch(queries[:2]),
+                                  reference.similarities_batch(queries[:2]))
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_tie_heavy_duplicates_after_deleting_the_winner(self, backend,
+                                                            shards, rng):
+        """Twelve identical vectors; deleting the earliest-inserted
+        winner promotes the next-earliest, bit-identically to the
+        reference — and a re-enrolled duplicate drops to the back of
+        the tie order (re-enrollment refreshes recency)."""
+        dim = 128
+        base = random_bipolar(1, dim, rng)[0]
+        labels = [f"dup{i}" for i in range(12)]
+        vectors = np.tile(base, (12, 1))
+        reference, sharded = _pair(dim, labels, vectors, backend, shards)
+
+        sharded.delete_many(["dup0", "dup5"])
+        reference.remove_many(["dup0", "dup5"])
+        label, sim = sharded.cleanup(base)
+        assert (label, sim) == reference.cleanup(base)
+        assert label == "dup1" and np.isclose(sim, 1.0)
+        order = [lab for lab, _ in sharded.topk(base, k=12)]
+        assert order == [lab for lab, _ in reference.topk(base, k=12)]
+        assert order[0] == "dup1" and "dup0" not in order
+
+        # re-enroll dup1: same vector, but recency moves it to the back
+        sharded.delete_many(["dup1"])
+        sharded.add("dup1", base)
+        reference.remove_many(["dup1"])
+        reference.add("dup1", base)
+        assert sharded.cleanup(base) == reference.cleanup(base)
+        assert sharded.cleanup(base)[0] == "dup2"
+        order = [lab for lab, _ in sharded.topk(base, k=12)]
+        assert order[-1] == "dup1"  # the re-enrolled duplicate lost its tie
+
+    def test_deleted_labels_are_unreachable_everywhere(self, rng):
+        dim = 64
+        labels = [f"v{i}" for i in range(10)]
+        vectors = random_bipolar(10, dim, rng)
+        sharded = ShardedItemMemory(dim, num_shards=3, backend="packed")
+        sharded.add_many(labels, vectors)
+        sharded.delete_many(["v4", "v7"])
+        assert len(sharded) == 8
+        assert "v4" not in sharded and "v7" not in sharded
+        assert sharded.labels == tuple(l for l in labels
+                                       if l not in ("v4", "v7"))
+        with pytest.raises(KeyError):
+            sharded.index_of("v4")
+        answers = sharded.topk_batch(vectors, k=10)
+        assert all(lab not in ("v4", "v7")
+                   for row in answers for lab, _ in row)
+        assert sharded.cleanup(vectors[4])[0] != "v4"
+        assert sharded.similarities_batch(vectors[:1]).shape[1] == 8
+
+    def test_delete_rejects_unknown_and_duplicate_labels_atomically(self, rng):
+        sharded = ShardedItemMemory(32, num_shards=2)
+        sharded.add_many(list("abc"), random_bipolar(3, 32, rng))
+        with pytest.raises(ValueError, match="not stored"):
+            sharded.delete_many(["a", "ghost"])
+        with pytest.raises(ValueError, match="duplicate"):
+            sharded.delete_many(["a", "a"])
+        assert len(sharded) == 3  # nothing half-deleted
+        assert sharded.labels == ("a", "b", "c")
+
+
 class TestRoutingAndIngestion:
     def test_hash_routing_is_stable_and_in_range(self):
         for label in ["a", "b", 1, 2.5, True, "サンプル"]:
